@@ -1,0 +1,105 @@
+// Experiment E11 (Figure 2): the full AGENP closed loop on a coalition of
+// three AMSs.
+//
+//   PBMS spec -> PReP generates policies -> PDP/PEP serve requests ->
+//   monitor gathers feedback -> PAdaP relearns -> PCP validates ->
+//   repositories update -> learned model is shared coalition-wide.
+//
+// Reported: per-phase decision accuracy of each member, adaptation events,
+// and the effect of sharing (members that never trained reach the trained
+// member's accuracy).
+
+#include <cstdio>
+
+#include "agenp/coalition.hpp"
+#include "scenarios/cav/cav.hpp"
+#include "util/table.hpp"
+
+using namespace agenp;
+namespace cav = scenarios::cav;
+
+namespace {
+
+double measure_accuracy(framework::AutonomousManagedSystem& ams, util::Rng& rng, int n,
+                        cav::Environment env) {
+    std::size_t correct = 0;
+    for (int i = 0; i < n; ++i) {
+        cav::Instance x;
+        x.task = static_cast<std::size_t>(rng.uniform(0, 4));
+        x.env = env;
+        bool truth = cav::ground_truth(x);
+        auto [permitted, index] = ams.handle_request(cav::request_tokens(x));
+        (void)index;
+        if (permitted == truth) ++correct;
+    }
+    return static_cast<double>(correct) / n;
+}
+
+}  // namespace
+
+int main() {
+    util::Rng rng(777);
+    cav::Environment env{.vehicle_loa = 3, .region_limit = 4, .weather = 2 /*fog*/};
+    auto context_source = [env] { return cav::context_program(env); };
+
+    framework::AutonomousManagedSystem alpha("alpha", cav::initial_asg(), cav::hypothesis_space());
+    framework::AutonomousManagedSystem bravo("bravo", cav::initial_asg(), cav::hypothesis_space());
+    framework::AutonomousManagedSystem charlie("charlie", cav::initial_asg(),
+                                               cav::hypothesis_space());
+    for (auto* ams : {&alpha, &bravo, &charlie}) ams->pip().add_source("env", context_source);
+
+    framework::Coalition coalition;
+    coalition.add_member(&alpha);
+    coalition.add_member(&bravo);
+    coalition.add_member(&charlie);
+
+    std::printf("E11 - AGENP closed loop over a 3-member coalition (CAV domain)\n\n");
+    util::Table table({"phase", "alpha", "bravo", "charlie", "event"});
+
+    // Phase 0: initial (unconstrained) GPMs.
+    table.add("0 initial", measure_accuracy(alpha, rng, 60, env),
+              measure_accuracy(bravo, rng, 60, env), measure_accuracy(charlie, rng, 60, env),
+              "no semantics yet");
+
+    // Phase 1: alpha gathers supervised experience across varied contexts
+    // (variety is what lets the learner generalize).
+    util::Rng exp_rng(778);
+    for (int i = 0; i < 70; ++i) {
+        auto x = cav::sample_instance(exp_rng);
+        alpha.pip().remove_source("env");
+        auto env_i = x.env;
+        alpha.pip().add_source("env", [env_i] { return cav::context_program(env_i); });
+        auto [permitted, index] = alpha.handle_request(cav::request_tokens(x));
+        (void)permitted;
+        alpha.give_feedback(index, x.accepted);
+    }
+    alpha.pip().remove_source("env");
+    alpha.pip().add_source("env", context_source);
+    auto outcome = alpha.adapt();
+    table.add("1 alpha adapts", measure_accuracy(alpha, rng, 60, env),
+              measure_accuracy(bravo, rng, 60, env), measure_accuracy(charlie, rng, 60, env),
+              outcome.adapted ? "PAdaP adopted v" + std::to_string(outcome.new_version)
+                              : "adaptation failed: " + outcome.reason);
+
+    // Phase 2: share alpha's model through the wiki.
+    coalition.publish(alpha);
+    std::size_t adopted = coalition.distribute_latest();
+    table.add("2 share", measure_accuracy(alpha, rng, 60, env),
+              measure_accuracy(bravo, rng, 60, env), measure_accuracy(charlie, rng, 60, env),
+              std::to_string(adopted) + " member(s) adopted the shared model");
+
+    std::printf("%s\n", table.render().c_str());
+
+    if (outcome.adapted) {
+        std::printf("alpha's learned GPM:\n%s\n",
+                    outcome.learn_result.hypothesis_to_string().c_str());
+    }
+
+    // PReP materialization under the operating context.
+    auto report = alpha.refresh_policies();
+    std::printf("PReP generated %zu concrete policies under the fog context:\n", report.generated);
+    for (const auto& p : alpha.policies().all()) {
+        std::printf("  %s\n", cfg::detokenize(p.policy).c_str());
+    }
+    return 0;
+}

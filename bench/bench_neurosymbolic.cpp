@@ -1,0 +1,53 @@
+// Experiment E13 (Section V.C closing vision): statistical perception
+// feeding symbolic policies.
+//
+// The weather fact in the CAV context is produced by a statistical
+// classifier over raw sensor vectors instead of an oracle; the symbolic
+// GPM is unchanged. Reported: perception accuracy and end-to-end policy
+// decision accuracy as sensor noise grows — the symbolic layer degrades
+// gracefully (only decisions that actually depend on the misread weather
+// flip).
+
+#include <cstdio>
+
+#include "scenarios/cav/perception.hpp"
+#include "util/table.hpp"
+
+using namespace agenp;
+namespace cav = scenarios::cav;
+
+int main() {
+    auto policy = cav::reference_model();
+
+    util::Table table(
+        {"sensor noise", "perception acc", "policy acc (perceived)", "policy acc (oracle)"});
+    for (double noise : {0.5, 1.0, 2.0, 3.0}) {
+        util::Rng rng(6000 + static_cast<std::uint64_t>(noise * 10));
+        cav::WeatherPerception perception;
+        perception.fit(120, rng, noise);
+        double perception_acc = perception.holdout_accuracy(120, rng, noise);
+
+        std::size_t correct_perceived = 0, correct_oracle = 0;
+        const int kTrials = 400;
+        for (int i = 0; i < kTrials; ++i) {
+            auto x = cav::sample_instance(rng);
+            auto reading = cav::sample_reading(x.env.weather, rng, noise);
+            bool with_perception = asg::in_language(policy, cav::request_tokens(x),
+                                                    perception.perceived_context(x.env, reading));
+            bool with_oracle =
+                asg::in_language(policy, cav::request_tokens(x), cav::context_program(x.env));
+            correct_perceived += with_perception == x.accepted;
+            correct_oracle += with_oracle == x.accepted;
+        }
+        table.add(noise, perception_acc,
+                  static_cast<double>(correct_perceived) / kTrials,
+                  static_cast<double>(correct_oracle) / kTrials);
+    }
+
+    std::printf(
+        "E13 - neurosymbolic pipeline: statistical weather perception -> symbolic policy\n"
+        "(the rule layer is unchanged; decision errors only appear where the misread\n"
+        "weather is actually load-bearing for the decision)\n\n%s\n",
+        table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,177 @@
+// Experiment E7 (Sections III.B, IV.A): performance of the symbolic
+// machinery — the paper's "Performance Optimization" research direction
+// asks whether GPM adaptation and learning are fast enough for real-time
+// autonomous parties. google-benchmark microbenches over:
+//   - grounding (facts sweep),
+//   - answer-set solving (choice-space sweep),
+//   - ASG membership (string-length sweep),
+//   - hypothesis-space generation and end-to-end learning (example sweep).
+
+#include <benchmark/benchmark.h>
+
+#include "asg/membership.hpp"
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "scenarios/cav/cav.hpp"
+
+using namespace agenp;
+
+namespace {
+
+// --- grounding ------------------------------------------------------------
+
+void BM_GroundTransitiveClosure(benchmark::State& state) {
+    auto n = state.range(0);
+    std::string text;
+    for (std::int64_t i = 0; i + 1 < n; ++i) {
+        text += "e(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+    }
+    text += "r(X,Y) :- e(X,Y).\nr(X,Z) :- r(X,Y), e(Y,Z).\n";
+    auto program = asp::parse_program(text);
+    for (auto _ : state) {
+        auto gp = asp::ground(program);
+        benchmark::DoNotOptimize(gp.rules().size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_GroundTransitiveClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+// --- solving ---------------------------------------------------------------
+
+void BM_SolveEvenLoops(benchmark::State& state) {
+    auto k = state.range(0);
+    std::string text;
+    for (std::int64_t i = 0; i < k; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+        // Constraint forcing each loop to the p side: unique answer set.
+        text += ":- q" + std::to_string(i) + ".\n";
+    }
+    auto gp = asp::ground(asp::parse_program(text));
+    for (auto _ : state) {
+        auto result = asp::solve(gp, {.max_models = 1});
+        benchmark::DoNotOptimize(result.models.size());
+    }
+    state.SetComplexityN(k);
+}
+BENCHMARK(BM_SolveEvenLoops)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_SolveEnumerateAll(benchmark::State& state) {
+    auto k = state.range(0);  // 2^k answer sets
+    std::string text;
+    for (std::int64_t i = 0; i < k; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+    }
+    auto gp = asp::ground(asp::parse_program(text));
+    for (auto _ : state) {
+        auto result = asp::solve(gp, {.max_models = 0});
+        benchmark::DoNotOptimize(result.models.size());
+    }
+}
+BENCHMARK(BM_SolveEnumerateAll)->Arg(4)->Arg(6)->Arg(8);
+
+// --- ASG membership ---------------------------------------------------------
+
+void BM_AsgMembershipAnBn(benchmark::State& state) {
+    auto n = state.range(0);
+    auto g = asg::AnswerSetGrammar::parse(R"(
+        s -> as bs { :- size(N)@1, size(M)@2, N != M. }
+        as -> "a" as { size(N) :- size(M)@2, N = M + 1. }
+        as -> epsilon { size(0). }
+        bs -> "b" bs { size(N) :- size(M)@2, N = M + 1. }
+        bs -> epsilon { size(0). }
+    )");
+    cfg::TokenString s;
+    for (std::int64_t i = 0; i < n; ++i) s.emplace_back("a");
+    for (std::int64_t i = 0; i < n; ++i) s.emplace_back("b");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(asg::in_language(g, s));
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_AsgMembershipAnBn)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+void BM_AsgMembershipCav(benchmark::State& state) {
+    auto model = scenarios::cav::reference_model();
+    util::Rng rng(5);
+    auto x = scenarios::cav::sample_instance(rng);
+    auto tokens = scenarios::cav::request_tokens(x);
+    auto context = scenarios::cav::context_program(x.env);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(asg::in_language(model, tokens, context));
+    }
+}
+BENCHMARK(BM_AsgMembershipCav);
+
+// --- hypothesis space + learning --------------------------------------------
+
+void BM_HypothesisSpaceCav(benchmark::State& state) {
+    for (auto _ : state) {
+        auto space = scenarios::cav::hypothesis_space();
+        benchmark::DoNotOptimize(space.candidates.size());
+    }
+}
+BENCHMARK(BM_HypothesisSpaceCav);
+
+// Learning time vs hypothesis-space size: the space is scaled by widening
+// the constant pools and the body budget.
+void BM_LearnVsSpaceSize(benchmark::State& state) {
+    int level = static_cast<int>(state.range(0));  // 1..3
+    auto initial = asg::AnswerSetGrammar::parse(R"(
+        request -> "do" task
+        task -> "patrol" { requires(2). }
+        task -> "strike" { requires(4). }
+        task -> "observe" { requires(1). }
+    )");
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ilp::ModeAtom("maxloa", {ilp::ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "lvl", {asp::Comparison::Op::Gt, asp::Comparison::Op::Lt},
+        /*var_vs_const=*/level >= 2, /*var_vs_var=*/true));
+    for (int v = 0; v <= 3 * level; ++v) bias.add_constant("lvl", asp::Term::integer(v));
+    bias.max_body_atoms = level >= 3 ? 3 : 2;
+    bias.max_vars = 2;
+    ilp::LearningTask task;
+    task.initial = initial;
+    task.space = ilp::generate_space(bias, {0});
+    auto ctx = [](int m) { return asp::parse_program("maxloa(" + std::to_string(m) + ")."); };
+    task.positive.emplace_back(cfg::tokenize("do patrol"), ctx(3));
+    task.positive.emplace_back(cfg::tokenize("do strike"), ctx(5));
+    task.positive.emplace_back(cfg::tokenize("do observe"), ctx(1));
+    task.negative.emplace_back(cfg::tokenize("do strike"), ctx(3));
+    task.negative.emplace_back(cfg::tokenize("do patrol"), ctx(1));
+
+    for (auto _ : state) {
+        auto result = ilp::learn(task);
+        benchmark::DoNotOptimize(result.found);
+    }
+    state.counters["space"] = static_cast<double>(task.space.candidates.size());
+}
+BENCHMARK(BM_LearnVsSpaceSize)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LearnCavPolicy(benchmark::State& state) {
+    auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(6);
+    auto instances = scenarios::cav::sample_instances(n, rng);
+    ilp::LearningTask task;
+    task.initial = scenarios::cav::initial_asg();
+    task.space = scenarios::cav::hypothesis_space();
+    for (const auto& x : instances) {
+        auto ex = scenarios::cav::to_symbolic(x);
+        auto& bucket = ex.accepted ? task.positive : task.negative;
+        bucket.emplace_back(ex.request, ex.context);
+    }
+    for (auto _ : state) {
+        auto result = ilp::learn(task);
+        benchmark::DoNotOptimize(result.found);
+    }
+    state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_LearnCavPolicy)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Coalition resupply with the full AGENP loop (Sections III + IV.B): an
+// AMS bootstraps a convoy-planning GPM from early mission experience,
+// serves decisions, receives operator feedback, adapts when it is wrong,
+// and shares its learned model with a coalition partner (CASWiki-style).
+//
+// Build & run:  ./build/examples/coalition_resupply
+
+#include <cstdio>
+
+#include "agenp/coalition.hpp"
+#include "scenarios/resupply/resupply.hpp"
+
+using namespace agenp;
+namespace rs = scenarios::resupply;
+
+int main() {
+    util::Rng rng(303);
+
+    // The mission context both members operate in.
+    rs::MissionContext ctx{.threat = 2, .risk_appetite = 2, .weather = 2 /*storm*/,
+                           .phase = rs::Phase::Execution};
+    auto context_source = [ctx] { return rs::context_program(ctx); };
+
+    framework::AutonomousManagedSystem alpha("alpha", rs::initial_asg(), rs::hypothesis_space());
+    framework::AutonomousManagedSystem bravo("bravo", rs::initial_asg(), rs::hypothesis_space());
+    alpha.pip().add_source("mission", context_source);
+    bravo.pip().add_source("mission", context_source);
+
+    // --- 1. alpha operates with no semantic policy and gets corrected ----
+    std::printf("Phase 1: alpha decides with the unconstrained initial GPM\n");
+    std::size_t wrong = 0;
+    for (int i = 0; i < 25; ++i) {
+        auto x = rs::sample_instance(rng);
+        x.context = ctx;
+        x.acceptable = rs::ground_truth(x.plan, x.context);
+        auto [permitted, index] = alpha.handle_request(rs::plan_tokens(x.plan));
+        alpha.give_feedback(index, x.acceptable);
+        if (permitted != x.acceptable) ++wrong;
+    }
+    auto accuracy = alpha.monitor().observed_accuracy();
+    std::printf("  %zu of 25 decisions wrong (observed accuracy %.2f)\n\n", wrong,
+                accuracy.value_or(0.0));
+
+    // --- 2. the PAdaP relearns from the monitored feedback ---------------
+    auto outcome = alpha.adapt();
+    std::printf("Phase 2: adaptation %s (%s)\n", outcome.adapted ? "succeeded" : "failed",
+                outcome.reason.c_str());
+    if (outcome.adapted) {
+        std::printf("  learned GPM v%llu:\n%s",
+                    static_cast<unsigned long long>(outcome.new_version),
+                    outcome.learn_result.hypothesis_to_string().c_str());
+    }
+
+    std::size_t wrong_after = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto x = rs::sample_instance(rng);
+        x.context = ctx;
+        bool truth = rs::ground_truth(x.plan, ctx);
+        auto [permitted, index] = alpha.handle_request(rs::plan_tokens(x.plan));
+        (void)index;
+        if (permitted != truth) ++wrong_after;
+    }
+    std::printf("  after adaptation: %zu of 50 decisions wrong\n\n", wrong_after);
+
+    // --- 3. share the learned model with bravo ---------------------------
+    framework::Coalition coalition;
+    coalition.add_member(&alpha);
+    coalition.add_member(&bravo);
+    coalition.publish(alpha);
+    std::size_t adopted = coalition.distribute_latest();
+    std::printf("Phase 3: published alpha's model; %zu partner(s) adopted it\n", adopted);
+
+    std::size_t bravo_wrong = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto x = rs::sample_instance(rng);
+        x.context = ctx;
+        bool truth = rs::ground_truth(x.plan, ctx);
+        auto [permitted, index] = bravo.handle_request(rs::plan_tokens(x.plan));
+        (void)index;
+        if (permitted != truth) ++bravo_wrong;
+    }
+    std::printf("  bravo (never trained): %zu of 50 decisions wrong using the shared model\n",
+                bravo_wrong);
+    return 0;
+}

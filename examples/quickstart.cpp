@@ -1,0 +1,70 @@
+// Quickstart: the Figure-1 workflow end to end.
+//
+// 1. Write a generative policy model as an answer set grammar (ASG):
+//    a CFG for the policy syntax + ASP facts on productions.
+// 2. Give context-dependent examples of which policies are valid where.
+// 3. Learn the semantic conditions with the ILP learner.
+// 4. Query the learned GPM: membership and policy generation per context.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "asg/generate.hpp"
+#include "asp/parser.hpp"
+#include "ilp/learner.hpp"
+
+using namespace agenp;
+
+int main() {
+    // --- 1. initial GPM: syntax + per-task facts, no semantics yet -------
+    auto initial = asg::AnswerSetGrammar::parse(R"(
+        request -> "do" task
+        task -> "patrol"  { requires(2). }
+        task -> "strike"  { requires(4). }
+        task -> "observe" { requires(1). }
+    )");
+    std::printf("Initial ASG:\n%s\n", initial.to_string().c_str());
+
+    // --- 2. context-dependent examples -----------------------------------
+    auto ctx = [](int maxloa) {
+        return asp::parse_program("maxloa(" + std::to_string(maxloa) + ").");
+    };
+    ilp::LearningTask task;
+    task.initial = initial;
+    task.positive.emplace_back(cfg::tokenize("do patrol"), ctx(3));
+    task.positive.emplace_back(cfg::tokenize("do strike"), ctx(5));
+    task.positive.emplace_back(cfg::tokenize("do observe"), ctx(1));
+    task.negative.emplace_back(cfg::tokenize("do strike"), ctx(3));
+    task.negative.emplace_back(cfg::tokenize("do patrol"), ctx(1));
+
+    // --- 3. hypothesis space from a mode bias, then learn ----------------
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ilp::ModeAtom("maxloa", {ilp::ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "lvl", {asp::Comparison::Op::Gt}, /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    task.space = ilp::generate_space(bias, {0});
+    std::printf("Hypothesis space: %zu candidate rules\n", task.space.candidates.size());
+
+    auto result = ilp::learn(task);
+    if (!result.found) {
+        std::printf("learning failed: %s\n", result.failure_reason.c_str());
+        return 1;
+    }
+    std::printf("Learned hypothesis (cost %d):\n%s\n", result.cost,
+                result.hypothesis_to_string().c_str());
+
+    // --- 4. use the learned GPM ------------------------------------------
+    auto learned = initial.with_rules(result.hypothesis);
+    for (int maxloa : {1, 3, 5}) {
+        auto language = asg::language(learned, ctx(maxloa));
+        std::printf("Policies generated under maxloa=%d:\n", maxloa);
+        for (const auto& s : language.strings) {
+            std::printf("  %s\n", cfg::detokenize(s).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+#include "agenp/coalition.hpp"
+
+namespace agenp::framework {
+
+std::size_t Coalition::distribute_latest() {
+    if (wiki_.models().empty()) return 0;
+    const SharedModel& latest = wiki_.models().back();
+    std::size_t adopted = 0;
+    for (auto* member : members_) {
+        if (member->name() == latest.origin) continue;
+        if (member->import_model(latest)) ++adopted;
+    }
+    return adopted;
+}
+
+}  // namespace agenp::framework

@@ -1,0 +1,44 @@
+// Coalition of AMSs with CASWiki-style policy sharing (Sections III.A.3 and
+// IV): members publish learned GPMs to a shared knowledge base; other
+// members PCP-validate and adopt them instead of learning from scratch.
+#pragma once
+
+#include <memory>
+
+#include "agenp/ams.hpp"
+
+namespace agenp::framework {
+
+// The shared knowledge base of contributed models (CASWiki [16]).
+class SharedPolicyRepository {
+public:
+    void publish(SharedModel model) { models_.push_back(std::move(model)); }
+
+    [[nodiscard]] const std::vector<SharedModel>& models() const { return models_; }
+    [[nodiscard]] std::size_t size() const { return models_.size(); }
+
+private:
+    std::vector<SharedModel> models_;
+};
+
+class Coalition {
+public:
+    // The coalition borrows members; callers own AMS lifetimes.
+    void add_member(AutonomousManagedSystem* ams) { members_.push_back(ams); }
+
+    [[nodiscard]] const std::vector<AutonomousManagedSystem*>& members() const { return members_; }
+    SharedPolicyRepository& wiki() { return wiki_; }
+
+    // Publishes `who`'s current model to the wiki.
+    void publish(const AutonomousManagedSystem& who) { wiki_.publish(who.export_model()); }
+
+    // Every member tries to adopt the newest wiki model not of its own
+    // making; returns the number of successful adoptions.
+    std::size_t distribute_latest();
+
+private:
+    std::vector<AutonomousManagedSystem*> members_;
+    SharedPolicyRepository wiki_;
+};
+
+}  // namespace agenp::framework

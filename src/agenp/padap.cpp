@@ -1,0 +1,100 @@
+#include "agenp/padap.hpp"
+
+#include <set>
+
+namespace agenp::framework {
+
+AdaptationOutcome PolicyAdaptationPoint::maybe_adapt(const DecisionMonitor& monitor,
+                                                     RepresentationsRepository& representations) {
+    AdaptationOutcome outcome;
+    auto records = monitor.feedback_records();
+    if (records.size() < options_.min_feedback) {
+        outcome.reason = "insufficient feedback (" + std::to_string(records.size()) + ")";
+        return outcome;
+    }
+    auto accuracy = monitor.observed_accuracy();
+    if (accuracy && *accuracy >= options_.accuracy_threshold) {
+        outcome.reason = "observed accuracy acceptable";
+        return outcome;
+    }
+    outcome.triggered = true;
+
+    std::vector<ilp::Example> positive, negative;
+    for (const auto* r : records) {
+        auto& bucket = *r->should_permit ? positive : negative;
+        bucket.emplace_back(r->request, r->context);
+    }
+    auto result = adapt_from_examples(positive, negative, representations, "relearn-from-feedback");
+    result.triggered = true;
+    return result;
+}
+
+namespace {
+
+// Cache signature for a batch of examples: the deduplicated union of their
+// contexts.
+asp::Program context_signature(const std::vector<ilp::Example>& positive,
+                               const std::vector<ilp::Example>& negative) {
+    asp::Program signature;
+    std::set<std::string> seen;
+    auto absorb = [&](const std::vector<ilp::Example>& examples) {
+        for (const auto& ex : examples) {
+            for (const auto& rule : ex.context.rules()) {
+                if (seen.insert(rule.to_string()).second) signature.add(rule);
+            }
+        }
+    };
+    absorb(positive);
+    absorb(negative);
+    return signature;
+}
+
+}  // namespace
+
+AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
+    const std::vector<ilp::Example>& positive, const std::vector<ilp::Example>& negative,
+    RepresentationsRepository& representations, const std::string& note) {
+    AdaptationOutcome outcome;
+    ilp::LearningTask task;
+    task.initial = initial_;
+    task.space = space_;
+    task.positive = positive;
+    task.negative = negative;
+
+    ilp::Hypothesis hypothesis;
+    if (options_.use_similarity_cache) {
+        auto cached = cache_.adapt(task, context_signature(positive, negative), options_.learn);
+        outcome.reused = cached.reused;
+        if (!cached.reused) {
+            outcome.learn_result = cached.result;
+            if (!outcome.learn_result.found) {
+                outcome.reason = "learning failed: " + outcome.learn_result.failure_reason;
+                return outcome;
+            }
+        }
+        hypothesis = std::move(cached.hypothesis);
+    } else {
+        outcome.learn_result = ilp::learn(task, options_.learn);
+        if (!outcome.learn_result.found) {
+            outcome.reason = "learning failed: " + outcome.learn_result.failure_reason;
+            return outcome;
+        }
+        hypothesis = outcome.learn_result.hypothesis;
+    }
+    auto candidate = initial_.with_rules(hypothesis);
+
+    // ASG Solver / PCP validation before adoption.
+    auto violations = PolicyCheckingPoint::detect_violations(candidate, options_.forbidden,
+                                                             options_.learn.membership);
+    if (!violations.valid()) {
+        outcome.reason = "candidate model accepts " + std::to_string(violations.violated.size()) +
+                         " forbidden string(s); rejected";
+        return outcome;
+    }
+    outcome.adapted = true;
+    outcome.new_version = representations.store(std::move(candidate), note);
+    outcome.reason = "adopted";
+    return outcome;
+}
+
+}  // namespace agenp::framework

@@ -1,0 +1,68 @@
+// PAdaP (Policy Adaptation Point, Section III.A.1): watches the decision
+// history and, when the current GPM underperforms or the context shifts,
+// re-learns the ASG from accumulated examples (the ASG Learner) and
+// validates it (the ASG Solver / PCP hook) before storing it as the latest
+// representation.
+#pragma once
+
+#include "agenp/pcp.hpp"
+#include "agenp/pdp.hpp"
+#include "agenp/repository.hpp"
+#include "agenp/similarity.hpp"
+#include "ilp/learner.hpp"
+
+namespace agenp::framework {
+
+struct AdaptationOptions {
+    // Re-learn when observed accuracy over feedback falls below this.
+    double accuracy_threshold = 0.999;
+    std::size_t min_feedback = 4;  // need this many labelled records first
+    ilp::LearnOptions learn;
+    // Must-never-accept strings checked before adopting a new model.
+    std::vector<ilp::Example> forbidden;
+    // Similarity-based adaptation (Section I): try hypotheses learned under
+    // similar contexts before running the inductive search.
+    bool use_similarity_cache = false;
+    double min_similarity = 0.25;
+};
+
+struct AdaptationOutcome {
+    bool triggered = false;   // the monitor justified a re-learn
+    bool adapted = false;     // a new model was stored
+    bool reused = false;      // a similar context's hypothesis was reused
+    std::uint64_t new_version = 0;
+    ilp::LearnResult learn_result;
+    std::string reason;
+};
+
+class PolicyAdaptationPoint {
+public:
+    PolicyAdaptationPoint(asg::AnswerSetGrammar initial, ilp::HypothesisSpace space,
+                          AdaptationOptions options = {})
+        : initial_(std::move(initial)), space_(std::move(space)), options_(std::move(options)) {}
+
+    // Inspects the monitor; if adaptation is warranted, learns from the
+    // feedback records and stores the result in `representations`.
+    AdaptationOutcome maybe_adapt(const DecisionMonitor& monitor,
+                                  RepresentationsRepository& representations);
+
+    // Unconditional re-learn from explicit examples (used at bootstrap and
+    // on explicit context change).
+    AdaptationOutcome adapt_from_examples(const std::vector<ilp::Example>& positive,
+                                          const std::vector<ilp::Example>& negative,
+                                          RepresentationsRepository& representations,
+                                          const std::string& note);
+
+    [[nodiscard]] const asg::AnswerSetGrammar& initial_model() const { return initial_; }
+    [[nodiscard]] const AdaptationCache* cache() const {
+        return options_.use_similarity_cache ? &cache_ : nullptr;
+    }
+
+private:
+    asg::AnswerSetGrammar initial_;
+    ilp::HypothesisSpace space_;
+    AdaptationOptions options_;
+    AdaptationCache cache_{0.25};
+};
+
+}  // namespace agenp::framework

@@ -1,0 +1,33 @@
+#include "agenp/pbms.hpp"
+
+#include <stdexcept>
+
+namespace agenp::framework {
+
+void PolicyBasedManagementSystem::define(std::string name,
+                                         PolicyCharacterization characterization) {
+    characterizations_[std::move(name)] = std::move(characterization);
+}
+
+const PolicyCharacterization* PolicyBasedManagementSystem::find(const std::string& name) const {
+    auto it = characterizations_.find(name);
+    return it == characterizations_.end() ? nullptr : &it->second;
+}
+
+AutonomousManagedSystem PolicyBasedManagementSystem::instantiate(
+    const std::string& ams_name, const std::string& characterization, AmsOptions options) const {
+    const PolicyCharacterization* c = find(characterization);
+    if (!c) throw std::out_of_range("unknown characterization '" + characterization + "'");
+
+    auto initial = asg::AnswerSetGrammar::parse(c->grammar_text);
+    if (!c->root_constraints.empty()) {
+        ilp::Hypothesis fixed;
+        for (const auto& rule : c->root_constraints.rules()) fixed.emplace_back(rule, 0);
+        initial = initial.with_rules(fixed);
+    }
+    // The managing party's boundaries override whatever the caller set.
+    options.adaptation.forbidden = c->forbidden;
+    return AutonomousManagedSystem(ams_name, std::move(initial), c->space, std::move(options));
+}
+
+}  // namespace agenp::framework

@@ -1,0 +1,45 @@
+// The Policy-Based Management System (Fig 2, left): the managing party that
+// characterizes the policy space — CFG, fixed constraints, learnable
+// hypothesis space, and hard boundaries — and hands AMSs their operating
+// envelope. "The AMS is only free to generate policies that are captured in
+// the language of the CFG and comply with the high level constraints."
+#pragma once
+
+#include "agenp/ams.hpp"
+
+namespace agenp::framework {
+
+struct PolicyCharacterization {
+    // ASG text: the policy-language CFG plus any non-negotiable semantic
+    // conditions baked into the productions.
+    std::string grammar_text;
+    // Additional managing-party constraints attached to the start
+    // production of every instantiated AMS (e.g. global safety rules).
+    asp::Program root_constraints;
+    // Hard boundaries: strings no AMS model may ever accept, enforced by
+    // the PCP at every adaptation.
+    std::vector<ilp::Example> forbidden;
+    // The rules the AMS is allowed to learn.
+    ilp::HypothesisSpace space;
+};
+
+class PolicyBasedManagementSystem {
+public:
+    void define(std::string name, PolicyCharacterization characterization);
+
+    [[nodiscard]] const PolicyCharacterization* find(const std::string& name) const;
+    [[nodiscard]] std::size_t characterization_count() const { return characterizations_.size(); }
+
+    // Instantiates an AMS operating inside the named characterization:
+    // initial ASG = grammar + root constraints; forbidden strings are wired
+    // into the adaptation options. Throws std::out_of_range for unknown
+    // names.
+    [[nodiscard]] AutonomousManagedSystem instantiate(const std::string& ams_name,
+                                                      const std::string& characterization,
+                                                      AmsOptions options = {}) const;
+
+private:
+    std::map<std::string, PolicyCharacterization> characterizations_;
+};
+
+}  // namespace agenp::framework

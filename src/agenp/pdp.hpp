@@ -1,0 +1,98 @@
+// PDP + PEP + decision monitoring (Fig 2, bottom).
+//
+// A "request" at this level is a candidate policy-governed action rendered
+// as a token string of the GPM's policy language; the PDP permits it iff it
+// is (a) present in the Policy Repository (repository strategy, mirroring a
+// conventional PBMS whose PDP consults stored policies), or (b) in the
+// GPM's language under the current context (membership strategy, for
+// request spaces too large to materialize). The PEP carries the decision
+// out and the monitor records history for the PAdaP.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "agenp/repository.hpp"
+#include "asg/membership.hpp"
+
+namespace agenp::framework {
+
+struct DecisionRecord {
+    cfg::TokenString request;
+    asp::Program context;
+    bool permitted = false;
+    std::uint64_t model_version = 0;
+    // Ground truth feedback, when later observed (drives adaptation).
+    std::optional<bool> should_permit;
+};
+
+// History of PDP decisions and PEP actions ("the operations of the PDP and
+// PEP are monitored to produce a history").
+class DecisionMonitor {
+public:
+    std::size_t record(DecisionRecord record) {
+        history_.push_back(std::move(record));
+        return history_.size() - 1;
+    }
+
+    void attach_feedback(std::size_t index, bool should_permit) {
+        history_[index].should_permit = should_permit;
+    }
+
+    [[nodiscard]] const std::vector<DecisionRecord>& history() const { return history_; }
+
+    // Accuracy over records with feedback; nullopt when none.
+    [[nodiscard]] std::optional<double> observed_accuracy() const;
+
+    // Records with feedback, for re-learning.
+    [[nodiscard]] std::vector<const DecisionRecord*> feedback_records() const;
+
+    // Human-readable audit trail (Section V.A's logging requirement): the
+    // last `last_n` decisions (0 = all) plus summary counts — total,
+    // permitted, feedback coverage, observed accuracy, and decisions taken
+    // by superseded model versions.
+    [[nodiscard]] std::string render_audit(std::size_t last_n = 0) const;
+
+    void clear() { history_.clear(); }
+
+private:
+    std::vector<DecisionRecord> history_;
+};
+
+enum class DecisionStrategy {
+    Repository,  // permitted iff the request is a stored generated policy
+    Membership,  // permitted iff the request is in L(model(context))
+};
+
+class PolicyDecisionPoint {
+public:
+    PolicyDecisionPoint(DecisionStrategy strategy, asg::MembershipOptions options = {})
+        : strategy_(strategy), options_(std::move(options)) {}
+
+    [[nodiscard]] bool decide(const cfg::TokenString& request, const asp::Program& context,
+                              const asg::AnswerSetGrammar& model, const PolicyRepository& repo) const;
+
+    [[nodiscard]] DecisionStrategy strategy() const { return strategy_; }
+
+private:
+    DecisionStrategy strategy_;
+    asg::MembershipOptions options_;
+};
+
+// The PEP applies decisions to the managed resources; here the managed
+// side-effect is pluggable.
+class PolicyEnforcementPoint {
+public:
+    using Effector = std::function<void(const cfg::TokenString&, bool permitted)>;
+
+    void set_effector(Effector e) { effector_ = std::move(e); }
+
+    void enforce(const cfg::TokenString& request, bool permitted) const {
+        if (effector_) effector_(request, permitted);
+    }
+
+private:
+    Effector effector_;
+};
+
+}  // namespace agenp::framework

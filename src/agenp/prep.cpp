@@ -1,0 +1,16 @@
+#include "agenp/prep.hpp"
+
+namespace agenp::framework {
+
+PrepReport PolicyRefinementPoint::refresh(const asg::AnswerSetGrammar& model,
+                                          const asp::Program& context, PolicyRepository& repo,
+                                          std::uint64_t version) {
+    auto result = asg::language(model, context, options_.language);
+    PrepReport report;
+    report.generated = result.strings.size();
+    report.truncated = result.truncated;
+    repo.replace(std::move(result.strings), "prep", version);
+    return report;
+}
+
+}  // namespace agenp::framework

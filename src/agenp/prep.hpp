@@ -1,0 +1,32 @@
+// PReP (Policy Refinement Point, Section III.A): turns the PBMS-supplied
+// characterization (CFG + constraints = the ASG) plus the current context
+// into concrete policies in the Policy Repository.
+#pragma once
+
+#include "agenp/repository.hpp"
+#include "asg/generate.hpp"
+
+namespace agenp::framework {
+
+struct PrepOptions {
+    asg::LanguageOptions language;
+};
+
+struct PrepReport {
+    std::size_t generated = 0;
+    bool truncated = false;  // the candidate enumeration hit its budget
+};
+
+class PolicyRefinementPoint {
+public:
+    explicit PolicyRefinementPoint(PrepOptions options = {}) : options_(std::move(options)) {}
+
+    // Materializes L(model(context)) into `repo`, tagged with `version`.
+    PrepReport refresh(const asg::AnswerSetGrammar& model, const asp::Program& context,
+                       PolicyRepository& repo, std::uint64_t version);
+
+private:
+    PrepOptions options_;
+};
+
+}  // namespace agenp::framework

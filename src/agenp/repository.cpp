@@ -1,0 +1,47 @@
+#include "agenp/repository.hpp"
+
+#include <stdexcept>
+
+namespace agenp::framework {
+
+void PolicyRepository::replace(std::vector<cfg::TokenString> policies, const std::string& source,
+                               std::uint64_t version) {
+    policies_.clear();
+    index_.clear();
+    version_ = version;
+    for (auto& p : policies) add(std::move(p), source, version);
+}
+
+void PolicyRepository::add(cfg::TokenString policy, const std::string& source,
+                           std::uint64_t version) {
+    auto key = cfg::detokenize(policy);
+    if (!index_.insert(key).second) return;  // already present
+    policies_.push_back({std::move(policy), source, version});
+}
+
+bool PolicyRepository::contains(const cfg::TokenString& policy) const {
+    return index_.contains(cfg::detokenize(policy));
+}
+
+std::uint64_t RepresentationsRepository::store(asg::AnswerSetGrammar model, std::string note) {
+    history_.push_back({std::move(model), std::move(note)});
+    return history_.size();
+}
+
+const asg::AnswerSetGrammar& RepresentationsRepository::latest() const {
+    if (history_.empty()) throw std::logic_error("representations repository is empty");
+    return history_.back().model;
+}
+
+const asg::AnswerSetGrammar* RepresentationsRepository::at_version(std::uint64_t version) const {
+    if (version == 0 || version > history_.size()) return nullptr;
+    return &history_[version - 1].model;
+}
+
+const std::string& RepresentationsRepository::note_for(std::uint64_t version) const {
+    static const std::string kEmpty;
+    if (version == 0 || version > history_.size()) return kEmpty;
+    return history_[version - 1].note;
+}
+
+}  // namespace agenp::framework

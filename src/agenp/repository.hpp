@@ -1,0 +1,65 @@
+// The Policy Repository and Representations Repository of Fig 2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "asg/asg.hpp"
+
+namespace agenp::framework {
+
+// A concrete generated policy: one string of the GPM's language, plus
+// provenance.
+struct StoredPolicy {
+    cfg::TokenString policy;
+    std::string source;        // "prep", "shared:<ams>", ...
+    std::uint64_t version = 0;  // GPM version that generated it
+};
+
+// Holds the policies currently in force for the AMS. The PDP consults it;
+// the PReP refreshes it whenever the GPM or context changes.
+class PolicyRepository {
+public:
+    // Replaces the whole set (a PReP refresh).
+    void replace(std::vector<cfg::TokenString> policies, const std::string& source,
+                 std::uint64_t version);
+
+    // Adds one policy (e.g. imported from a coalition partner).
+    void add(cfg::TokenString policy, const std::string& source, std::uint64_t version);
+
+    [[nodiscard]] bool contains(const cfg::TokenString& policy) const;
+    [[nodiscard]] const std::vector<StoredPolicy>& all() const { return policies_; }
+    [[nodiscard]] std::size_t size() const { return policies_.size(); }
+    [[nodiscard]] std::uint64_t version() const { return version_; }
+
+private:
+    std::vector<StoredPolicy> policies_;
+    std::set<std::string> index_;  // detokenized strings for O(log n) lookup
+    std::uint64_t version_ = 0;
+};
+
+// Versioned store of learned GPMs ("the PAdaP can access the latest
+// representation of the ASG-based generative policy model").
+class RepresentationsRepository {
+public:
+    // Returns the new version number.
+    std::uint64_t store(asg::AnswerSetGrammar model, std::string note);
+
+    [[nodiscard]] const asg::AnswerSetGrammar& latest() const;
+    [[nodiscard]] std::uint64_t latest_version() const { return history_.size(); }
+    [[nodiscard]] const asg::AnswerSetGrammar* at_version(std::uint64_t version) const;
+    [[nodiscard]] const std::string& note_for(std::uint64_t version) const;
+    [[nodiscard]] bool empty() const { return history_.empty(); }
+
+private:
+    struct Entry {
+        asg::AnswerSetGrammar model;
+        std::string note;
+    };
+    std::vector<Entry> history_;
+};
+
+}  // namespace agenp::framework

@@ -1,0 +1,102 @@
+#include "agenp/similarity.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace agenp::framework {
+namespace {
+
+std::set<std::string> rule_set(const asp::Program& p) {
+    std::set<std::string> out;
+    for (const auto& r : p.rules()) out.insert(r.to_string());
+    return out;
+}
+
+double jaccard(const std::set<std::string>& a, const std::set<std::string>& b) {
+    if (a.empty() && b.empty()) return 1.0;
+    std::size_t inter = 0;
+    for (const auto& x : a) inter += b.contains(x);
+    std::size_t uni = a.size() + b.size() - inter;
+    return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double context_similarity(const asp::Program& a, const asp::Program& b) {
+    return jaccard(rule_set(a), rule_set(b));
+}
+
+double model_similarity(const asg::AnswerSetGrammar& a, const asg::AnswerSetGrammar& b) {
+    std::set<std::string> ra, rb;
+    for (std::size_t i = 0; i < a.production_count(); ++i) {
+        for (const auto& r : a.annotation(static_cast<int>(i)).rules()) {
+            ra.insert(std::to_string(i) + "|" + r.to_string());
+        }
+    }
+    for (std::size_t i = 0; i < b.production_count(); ++i) {
+        for (const auto& r : b.annotation(static_cast<int>(i)).rules()) {
+            rb.insert(std::to_string(i) + "|" + r.to_string());
+        }
+    }
+    double annotation_score = jaccard(ra, rb);
+    // Production-structure mismatch scales the score down.
+    double structure =
+        a.production_count() == 0 && b.production_count() == 0
+            ? 1.0
+            : static_cast<double>(std::min(a.production_count(), b.production_count())) /
+                  static_cast<double>(std::max<std::size_t>(
+                      1, std::max(a.production_count(), b.production_count())));
+    return annotation_score * structure;
+}
+
+bool hypothesis_consistent(const ilp::LearningTask& task, const ilp::Hypothesis& hypothesis,
+                           const asg::MembershipOptions& options) {
+    asg::AnswerSetGrammar candidate;
+    try {
+        candidate = task.initial.with_rules(hypothesis);
+    } catch (const asg::AsgError&) {
+        return false;  // hypothesis targets productions this grammar lacks
+    }
+    for (const auto& ex : task.positive) {
+        if (!asg::in_language(candidate, ex.string, ex.context, options)) return false;
+    }
+    for (const auto& ex : task.negative) {
+        if (asg::in_language(candidate, ex.string, ex.context, options)) return false;
+    }
+    return true;
+}
+
+AdaptationCache::Outcome AdaptationCache::adapt(const ilp::LearningTask& task,
+                                                const asp::Program& signature,
+                                                const ilp::LearnOptions& options) {
+    Outcome outcome;
+
+    // Rank cached entries by context similarity, most similar first.
+    std::vector<std::pair<double, const Entry*>> ranked;
+    for (const auto& e : entries_) {
+        ranked.emplace_back(context_similarity(signature, e.context), &e);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    if (!ranked.empty()) outcome.best_similarity = ranked.front().first;
+
+    for (const auto& [similarity, entry] : ranked) {
+        if (similarity < min_similarity_) break;
+        if (hypothesis_consistent(task, entry->hypothesis, options.membership)) {
+            ++reuse_hits_;
+            outcome.reused = true;
+            outcome.hypothesis = entry->hypothesis;
+            return outcome;
+        }
+    }
+
+    ++learn_calls_;
+    outcome.result = ilp::learn(task, options);
+    if (outcome.result.found) {
+        outcome.hypothesis = outcome.result.hypothesis;
+        entries_.push_back({signature, outcome.result.hypothesis});
+    }
+    return outcome;
+}
+
+}  // namespace agenp::framework

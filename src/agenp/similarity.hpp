@@ -1,0 +1,64 @@
+// Similarity-based policy adaptation (Section I: "because policies are
+// expressed according to a symbolic formalism, it is easy to support
+// similarity-based policy adaptation").
+//
+// Contexts and learned models are symbolic objects, so similarity is
+// syntactic and cheap: Jaccard over ground context facts, and Jaccard over
+// annotation rules for GPMs. The AdaptationCache exploits this: when a
+// party faces a new context, it first tries the hypothesis learned under
+// the most similar previous context — if that hypothesis is already
+// consistent with the new examples, the (expensive) inductive search is
+// skipped entirely.
+#pragma once
+
+#include "ilp/learner.hpp"
+
+namespace agenp::framework {
+
+// Jaccard similarity of the fact/rule sets of two context programs (1.0 for
+// identical, 0.0 for disjoint; two empty contexts count as identical).
+double context_similarity(const asp::Program& a, const asp::Program& b);
+
+// Jaccard similarity over the annotation rules of two ASGs (productions are
+// matched by index; differing production counts lower the score).
+double model_similarity(const asg::AnswerSetGrammar& a, const asg::AnswerSetGrammar& b);
+
+// Checks an existing hypothesis against a task's examples (Definition 3
+// conditions) without searching.
+bool hypothesis_consistent(const ilp::LearningTask& task, const ilp::Hypothesis& hypothesis,
+                           const asg::MembershipOptions& options = {});
+
+class AdaptationCache {
+public:
+    struct Entry {
+        asp::Program context;  // the context signature the hypothesis was learned under
+        ilp::Hypothesis hypothesis;
+    };
+
+    struct Outcome {
+        bool reused = false;            // a cached hypothesis was consistent
+        double best_similarity = 0.0;   // similarity of the closest cached context
+        ilp::LearnResult result;        // filled by learning when !reused
+        ilp::Hypothesis hypothesis;     // the hypothesis in force either way
+    };
+
+    explicit AdaptationCache(double min_similarity = 0.25) : min_similarity_(min_similarity) {}
+
+    // Adapts to `task` under `signature`: tries cached hypotheses from
+    // similar contexts (most similar first), falls back to ilp::learn, and
+    // caches the result.
+    Outcome adapt(const ilp::LearningTask& task, const asp::Program& signature,
+                  const ilp::LearnOptions& options = {});
+
+    [[nodiscard]] std::size_t size() const { return entries_.size(); }
+    [[nodiscard]] std::size_t reuse_hits() const { return reuse_hits_; }
+    [[nodiscard]] std::size_t learn_calls() const { return learn_calls_; }
+
+private:
+    double min_similarity_;
+    std::vector<Entry> entries_;
+    std::size_t reuse_hits_ = 0;
+    std::size_t learn_calls_ = 0;
+};
+
+}  // namespace agenp::framework

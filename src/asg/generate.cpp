@@ -1,0 +1,18 @@
+#include "asg/generate.hpp"
+
+namespace agenp::asg {
+
+LanguageResult language(const AnswerSetGrammar& grammar, const asp::Program& context,
+                        const LanguageOptions& options) {
+    LanguageResult result;
+    auto sentences = cfg::generate_strings(grammar.grammar(), options.enumeration);
+    result.truncated = sentences.truncated;
+    for (auto& s : sentences.strings) {
+        if (in_language(grammar, s, context, options.membership)) {
+            result.strings.push_back(std::move(s));
+        }
+    }
+    return result;
+}
+
+}  // namespace agenp::asg

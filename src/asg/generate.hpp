@@ -1,0 +1,25 @@
+// Enumeration of L(G(C)): the concrete policies a GPM generates in a
+// context. This is the PReP's "generate policies" primitive (Section III.A).
+#pragma once
+
+#include "asg/membership.hpp"
+#include "cfg/generate.hpp"
+
+namespace agenp::asg {
+
+struct LanguageOptions {
+    cfg::GenerateOptions enumeration;
+    MembershipOptions membership;
+};
+
+struct LanguageResult {
+    std::vector<cfg::TokenString> strings;
+    bool truncated = false;  // the CFG enumeration hit a budget
+};
+
+// Enumerates the CFG's sentences and keeps those accepted by the ASG under
+// `context`.
+LanguageResult language(const AnswerSetGrammar& grammar, const asp::Program& context = {},
+                        const LanguageOptions& options = {});
+
+}  // namespace agenp::asg

@@ -1,0 +1,79 @@
+#include "asg/instantiate.hpp"
+
+namespace agenp::asg {
+
+util::Symbol mangle_predicate(util::Symbol predicate, const Trace& trace) {
+    std::string name(predicate.str());
+    name += '@';
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0) name += '.';
+        name += std::to_string(trace[i]);
+    }
+    return util::Symbol(name);
+}
+
+namespace {
+
+asp::Atom rename_atom(const asp::Atom& atom, const Trace& trace) {
+    Trace target = trace;
+    if (atom.annotation != asp::kUnannotated) target.push_back(atom.annotation);
+    asp::Atom out;
+    out.predicate = mangle_predicate(atom.predicate, target);
+    out.args = atom.args;
+    out.annotation = asp::kUnannotated;
+    return out;
+}
+
+void walk(const AnswerSetGrammar& grammar, const cfg::ParseNode& node, const asp::Program& context,
+          Trace& trace, asp::Program& out) {
+    if (node.is_leaf()) return;
+    const asp::Program& annotation = grammar.annotation(node.production);
+    for (const auto& rule : annotation.rules()) out.add(rename_rule_at(rule, trace));
+    for (const auto& rule : context.rules()) out.add(rename_rule_at(rule, trace));
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        trace.push_back(static_cast<int>(i) + 1);  // 1-based child indices
+        walk(grammar, node.children[i], context, trace, out);
+        trace.pop_back();
+    }
+}
+
+void collect_nodes(const cfg::ParseNode& node, Trace& trace,
+                   std::vector<std::pair<Trace, int>>& out) {
+    if (node.is_leaf()) return;
+    out.emplace_back(trace, node.production);
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        trace.push_back(static_cast<int>(i) + 1);
+        collect_nodes(node.children[i], trace, out);
+        trace.pop_back();
+    }
+}
+
+}  // namespace
+
+asp::Rule rename_rule_at(const asp::Rule& rule, const Trace& trace) {
+    asp::Rule out;
+    if (rule.head) out.head = rename_atom(*rule.head, trace);
+    out.body.reserve(rule.body.size());
+    for (const auto& l : rule.body) {
+        out.body.emplace_back(rename_atom(l.atom, trace), l.positive);
+    }
+    out.builtins = rule.builtins;  // comparisons carry no predicates
+    return out;
+}
+
+std::vector<std::pair<Trace, int>> production_nodes(const cfg::ParseNode& tree) {
+    std::vector<std::pair<Trace, int>> out;
+    Trace trace;
+    collect_nodes(tree, trace, out);
+    return out;
+}
+
+asp::Program instantiate(const AnswerSetGrammar& grammar, const cfg::ParseNode& tree,
+                         const asp::Program& context) {
+    asp::Program out;
+    Trace trace;
+    walk(grammar, tree, context, trace, out);
+    return out;
+}
+
+}  // namespace agenp::asg

@@ -1,0 +1,38 @@
+// Construction of G[PT] (Section II.A): mapping a parse tree of an ASG to
+// the ASP program whose consistency decides language membership.
+//
+// Each parse-tree node `n` contributes annotation(production(n)) with every
+// annotated atom a@i renamed to the namespace trace(n)++[i] and every
+// unannotated atom to trace(n). Namespaces are folded into predicate names
+// ("p@1.2"), which realizes the paper's "annotated atoms are treated as
+// ordinary atoms".
+#pragma once
+
+#include "asg/asg.hpp"
+#include "cfg/earley.hpp"
+
+namespace agenp::asg {
+
+// A trace through the parse tree ([] = root, [i] = i-th child, 1-based).
+using Trace = std::vector<int>;
+
+// Predicate renaming: p with trace [1,2] -> "p@1.2"; the root trace yields
+// "p@". The '@' separator cannot collide with user predicates because the
+// ASP lexer rejects '@' inside identifiers.
+util::Symbol mangle_predicate(util::Symbol predicate, const Trace& trace);
+
+// G[PT] for `tree`, with `context` (the C of G(C)) added to the annotation
+// of every production rule, i.e. contributed at every nonterminal node.
+asp::Program instantiate(const AnswerSetGrammar& grammar, const cfg::ParseNode& tree,
+                         const asp::Program& context = {});
+
+// Renames one annotation rule into the namespace of a node with `trace`
+// (a@i -> trace++[i], unannotated -> trace). Exposed for the ILP learner,
+// which evaluates candidate rules against precomputed answer sets.
+asp::Rule rename_rule_at(const asp::Rule& rule, const Trace& trace);
+
+// All (trace, production) pairs of the tree's nonterminal nodes, in
+// depth-first order.
+std::vector<std::pair<Trace, int>> production_nodes(const cfg::ParseNode& tree);
+
+}  // namespace agenp::asg

@@ -1,0 +1,35 @@
+#include "asg/membership.hpp"
+
+namespace agenp::asg {
+
+MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
+                                  const asp::Program& context, const MembershipOptions& options) {
+    MembershipResult result;
+    auto trees = cfg::parse_trees(grammar.grammar(), tokens, options.parse);
+    for (const auto& tree : trees) {
+        ++result.trees_checked;
+        asp::Program program = instantiate(grammar, tree, context);
+        auto gp = asp::ground(program, options.grounding);
+        auto solved = asp::solve(gp, options.solve);
+        if (solved.satisfiable()) {
+            result.in_language = true;
+            return result;
+        }
+        if (solved.exhausted) result.resource_limited = true;
+    }
+    return result;
+}
+
+bool in_language(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
+                 const asp::Program& context, const MembershipOptions& options) {
+    return check_membership(grammar, tokens, context, options).in_language;
+}
+
+asp::SolveResult solve_tree(const AnswerSetGrammar& grammar, const cfg::ParseNode& tree,
+                            const asp::Program& context, const MembershipOptions& options) {
+    asp::Program program = instantiate(grammar, tree, context);
+    auto gp = asp::ground(program, options.grounding);
+    return asp::solve(gp, options.solve);
+}
+
+}  // namespace agenp::asg

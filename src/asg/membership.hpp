@@ -1,0 +1,38 @@
+// Language membership for ASGs: s ∈ L(G(C)) iff some parse tree PT of the
+// underlying CFG yields a satisfiable G(C)[PT] (Section II.A).
+#pragma once
+
+#include "asg/instantiate.hpp"
+#include "asp/grounder.hpp"
+#include "asp/solver.hpp"
+
+namespace agenp::asg {
+
+struct MembershipOptions {
+    cfg::ParseOptions parse;
+    asp::GroundingLimits grounding;
+    asp::SolveOptions solve{.max_models = 1};
+};
+
+struct MembershipResult {
+    bool in_language = false;
+    int trees_checked = 0;
+    // A solver budget ran out on some tree; a negative verdict is then
+    // unreliable.
+    bool resource_limited = false;
+};
+
+MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
+                                  const asp::Program& context = {},
+                                  const MembershipOptions& options = {});
+
+// Convenience wrapper.
+bool in_language(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
+                 const asp::Program& context = {}, const MembershipOptions& options = {});
+
+// The answer sets of G(C)[tree] for one parse tree; the learner's fast path
+// uses this to evaluate candidate constraints against a fixed model.
+asp::SolveResult solve_tree(const AnswerSetGrammar& grammar, const cfg::ParseNode& tree,
+                            const asp::Program& context = {}, const MembershipOptions& options = {});
+
+}  // namespace agenp::asg

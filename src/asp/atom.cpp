@@ -1,0 +1,118 @@
+#include "asp/atom.hpp"
+
+namespace agenp::asp {
+
+bool Atom::is_ground() const {
+    for (const auto& t : args) {
+        if (!t.is_ground()) return false;
+    }
+    return true;
+}
+
+void Atom::collect_variables(std::vector<Symbol>& out) const {
+    for (const auto& t : args) t.collect_variables(out);
+}
+
+std::string Atom::to_string() const {
+    std::string out(predicate.str());
+    if (!args.empty()) {
+        out += '(';
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            if (i > 0) out += ',';
+            out += args[i].to_string();
+        }
+        out += ')';
+    }
+    if (annotation != kUnannotated) {
+        out += '@';
+        out += std::to_string(annotation);
+    }
+    return out;
+}
+
+bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate) return a.predicate.str() < b.predicate.str();
+    if (a.annotation != b.annotation) return a.annotation < b.annotation;
+    return a.args < b.args;
+}
+
+std::size_t Atom::hash() const {
+    std::size_t h = std::hash<Symbol>{}(predicate) ^ (static_cast<std::size_t>(annotation) << 1);
+    for (const auto& t : args) h ^= t.hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+}
+
+std::string Literal::to_string() const {
+    return positive ? atom.to_string() : "not " + atom.to_string();
+}
+
+std::string Comparison::op_to_string(Op op) {
+    switch (op) {
+        case Op::Eq: return "=";
+        case Op::Ne: return "!=";
+        case Op::Lt: return "<";
+        case Op::Le: return "<=";
+        case Op::Gt: return ">";
+        case Op::Ge: return ">=";
+    }
+    return "?";
+}
+
+std::string Comparison::to_string() const {
+    return lhs.to_string() + " " + op_to_string(op) + " " + rhs.to_string();
+}
+
+namespace {
+
+bool is_arith_functor(Symbol s) {
+    auto v = s.str();
+    return v == "+" || v == "-" || v == "*" || v == "/";
+}
+
+}  // namespace
+
+std::optional<Term> evaluate_arithmetic(const Term& term) {
+    if (!term.is_ground()) return std::nullopt;
+    if (!term.is_compound() || !is_arith_functor(term.symbol())) return term;
+    if (term.args().size() != 2) return std::nullopt;
+    auto lhs = evaluate_arithmetic(term.args()[0]);
+    auto rhs = evaluate_arithmetic(term.args()[1]);
+    if (!lhs || !rhs || !lhs->is_integer() || !rhs->is_integer()) return std::nullopt;
+    std::int64_t a = lhs->int_value();
+    std::int64_t b = rhs->int_value();
+    auto op = term.symbol().str();
+    if (op == "+") return Term::integer(a + b);
+    if (op == "-") return Term::integer(a - b);
+    if (op == "*") return Term::integer(a * b);
+    if (b == 0) return std::nullopt;
+    return Term::integer(a / b);
+}
+
+std::optional<bool> Comparison::evaluate() const {
+    auto l = evaluate_arithmetic(lhs);
+    auto r = evaluate_arithmetic(rhs);
+    if (!l || !r) return std::nullopt;
+    if (l->is_integer() && r->is_integer()) {
+        std::int64_t a = l->int_value();
+        std::int64_t b = r->int_value();
+        switch (op) {
+            case Op::Eq: return a == b;
+            case Op::Ne: return a != b;
+            case Op::Lt: return a < b;
+            case Op::Le: return a <= b;
+            case Op::Gt: return a > b;
+            case Op::Ge: return a >= b;
+        }
+    }
+    switch (op) {
+        case Op::Eq: return *l == *r;
+        case Op::Ne: return *l != *r;
+        case Op::Lt: return *l < *r;
+        case Op::Le: return *l < *r || *l == *r;
+        case Op::Gt: return *r < *l;
+        case Op::Ge: return *r < *l || *l == *r;
+    }
+    return std::nullopt;
+}
+
+}  // namespace agenp::asp

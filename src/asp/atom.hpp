@@ -1,0 +1,99 @@
+// Atoms, literals and builtin comparisons.
+//
+// An Atom may carry an ASG annotation (`a(1)@2` in the paper's notation):
+// `annotation == k >= 1` refers to the k-th child of the production rule the
+// annotation program is attached to; kUnannotated means the atom is local to
+// the node itself. Annotations are resolved (folded into the predicate name)
+// during ASG instantiation, so ground programs handed to the solver never
+// carry them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asp/term.hpp"
+
+namespace agenp::asp {
+
+inline constexpr int kUnannotated = 0;
+
+struct Atom {
+    Symbol predicate;
+    TermList args;
+    int annotation = kUnannotated;
+
+    Atom() = default;
+    Atom(Symbol pred, TermList arguments, int ann = kUnannotated)
+        : predicate(pred), args(std::move(arguments)), annotation(ann) {}
+    Atom(std::string_view pred, TermList arguments, int ann = kUnannotated)
+        : predicate(pred), args(std::move(arguments)), annotation(ann) {}
+
+    [[nodiscard]] bool is_ground() const;
+    void collect_variables(std::vector<Symbol>& out) const;
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Atom& a, const Atom& b) {
+        return a.predicate == b.predicate && a.annotation == b.annotation && a.args == b.args;
+    }
+    friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+    friend bool operator<(const Atom& a, const Atom& b);
+
+    [[nodiscard]] std::size_t hash() const;
+};
+
+// A (possibly negated) atom in a rule body. `positive == false` means
+// negation as failure ("not a").
+struct Literal {
+    Atom atom;
+    bool positive = true;
+
+    Literal() = default;
+    Literal(Atom a, bool pos) : atom(std::move(a)), positive(pos) {}
+    static Literal pos(Atom a) { return Literal(std::move(a), true); }
+    static Literal neg(Atom a) { return Literal(std::move(a), false); }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Literal& a, const Literal& b) {
+        return a.positive == b.positive && a.atom == b.atom;
+    }
+};
+
+// Builtin comparison between two terms; terms may contain the arithmetic
+// functors +, -, * and / which are evaluated over integers when ground.
+struct Comparison {
+    enum class Op { Eq, Ne, Lt, Le, Gt, Ge };
+
+    Op op = Op::Eq;
+    Term lhs;
+    Term rhs;
+
+    Comparison() = default;
+    Comparison(Op o, Term l, Term r) : op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+
+    [[nodiscard]] std::string to_string() const;
+    static std::string op_to_string(Op op);
+
+    // Evaluates a ground comparison. Integer operands (after arithmetic
+    // evaluation) compare numerically; other ground terms compare
+    // structurally. Returns nullopt if either side is non-ground or
+    // arithmetic hits a non-integer operand.
+    [[nodiscard]] std::optional<bool> evaluate() const;
+
+    friend bool operator==(const Comparison& a, const Comparison& b) {
+        return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
+    }
+};
+
+// Evaluates arithmetic functors in a ground term, e.g. +(3,*(2,4)) -> 11.
+// Non-arithmetic ground terms evaluate to themselves. Returns nullopt when
+// an arithmetic functor has a non-integer argument or division by zero.
+std::optional<Term> evaluate_arithmetic(const Term& term);
+
+}  // namespace agenp::asp
+
+template <>
+struct std::hash<agenp::asp::Atom> {
+    std::size_t operator()(const agenp::asp::Atom& a) const noexcept { return a.hash(); }
+};

@@ -1,0 +1,54 @@
+#include "asp/consequences.hpp"
+
+#include <algorithm>
+
+namespace agenp::asp {
+
+Consequences compute_consequences(const GroundProgram& program, const ConsequenceOptions& options) {
+    Consequences out;
+    SolveOptions solve_options;
+    solve_options.max_models = options.max_models;
+    solve_options.max_decisions = options.max_decisions;
+    auto result = solve(program, solve_options);
+    if (result.models.empty()) {
+        out.exact = !result.exhausted;
+        return out;
+    }
+    out.satisfiable = true;
+    // Models arrive sorted (extract_model walks atom ids in order).
+    std::vector<AtomId> brave = result.models[0];
+    std::vector<AtomId> cautious = result.models[0];
+    for (std::size_t i = 1; i < result.models.size(); ++i) {
+        const auto& m = result.models[i];
+        std::vector<AtomId> u, inter;
+        std::set_union(brave.begin(), brave.end(), m.begin(), m.end(), std::back_inserter(u));
+        std::set_intersection(cautious.begin(), cautious.end(), m.begin(), m.end(),
+                              std::back_inserter(inter));
+        brave = std::move(u);
+        cautious = std::move(inter);
+    }
+    out.brave = std::move(brave);
+    out.cautious = std::move(cautious);
+    out.exact = !result.exhausted &&
+                (options.max_models == 0 || result.models.size() < options.max_models);
+    return out;
+}
+
+bool bravely_holds(const GroundProgram& program, const Atom& atom,
+                   const ConsequenceOptions& options) {
+    AtomId id = program.find(atom);
+    if (id == kNoHead) return false;
+    auto c = compute_consequences(program, options);
+    return std::binary_search(c.brave.begin(), c.brave.end(), id);
+}
+
+bool cautiously_holds(const GroundProgram& program, const Atom& atom,
+                      const ConsequenceOptions& options) {
+    AtomId id = program.find(atom);
+    auto c = compute_consequences(program, options);
+    if (!c.satisfiable) return false;
+    if (id == kNoHead) return false;
+    return std::binary_search(c.cautious.begin(), c.cautious.end(), id);
+}
+
+}  // namespace agenp::asp

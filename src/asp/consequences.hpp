@@ -1,0 +1,38 @@
+// Brave and cautious consequences of a ground program.
+//
+// brave(P)    = atoms true in SOME answer set;
+// cautious(P) = atoms true in EVERY answer set (empty when P is unsat).
+//
+// The PCP uses these for ASG-level policy analysis: a candidate policy
+// conflict exists when two decisions are bravely co-derivable; an
+// invariant holds when it is a cautious consequence.
+#pragma once
+
+#include "asp/solver.hpp"
+
+namespace agenp::asp {
+
+struct ConsequenceOptions {
+    // Enumeration budget; when hit, `exact` is false and the sets are the
+    // union/intersection over the models seen so far.
+    std::size_t max_models = 4096;
+    std::size_t max_decisions = 50'000'000;
+};
+
+struct Consequences {
+    std::vector<AtomId> brave;     // sorted
+    std::vector<AtomId> cautious;  // sorted
+    bool satisfiable = false;
+    bool exact = true;
+};
+
+Consequences compute_consequences(const GroundProgram& program,
+                                  const ConsequenceOptions& options = {});
+
+// Convenience: is `atom` true in some / every answer set?
+bool bravely_holds(const GroundProgram& program, const Atom& atom,
+                   const ConsequenceOptions& options = {});
+bool cautiously_holds(const GroundProgram& program, const Atom& atom,
+                      const ConsequenceOptions& options = {});
+
+}  // namespace agenp::asp

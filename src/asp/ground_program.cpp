@@ -1,0 +1,84 @@
+#include "asp/ground_program.hpp"
+
+#include <algorithm>
+
+namespace agenp::asp {
+
+AtomId GroundProgram::intern(const Atom& atom) {
+    auto it = index_.find(atom);
+    if (it != index_.end()) return it->second;
+    auto id = static_cast<AtomId>(atoms_.size());
+    atoms_.push_back(atom);
+    index_.emplace(atom, id);
+    return id;
+}
+
+AtomId GroundProgram::find(const Atom& atom) const {
+    auto it = index_.find(atom);
+    return it == index_.end() ? kNoHead : it->second;
+}
+
+namespace {
+
+// Deduplicates in place while preserving first-occurrence order (rule bodies
+// keep the order they were written in, which matters for readable output).
+void dedupe_keep_order(std::vector<AtomId>& ids) {
+    std::vector<AtomId> seen;
+    std::size_t out = 0;
+    for (auto id : ids) {
+        if (std::find(seen.begin(), seen.end(), id) == seen.end()) {
+            seen.push_back(id);
+            ids[out++] = id;
+        }
+    }
+    ids.resize(out);
+}
+
+// Order-insensitive structural key for rule deduplication.
+std::string rule_key(const GroundRule& r) {
+    auto sorted = [](std::vector<AtomId> ids) {
+        std::sort(ids.begin(), ids.end());
+        return ids;
+    };
+    std::string key = std::to_string(r.head) + "|";
+    for (auto id : sorted(r.pos)) key += std::to_string(id) + ",";
+    key += "|";
+    for (auto id : sorted(r.neg)) key += std::to_string(id) + ",";
+    return key;
+}
+
+}  // namespace
+
+void GroundProgram::add_rule(GroundRule rule) {
+    dedupe_keep_order(rule.pos);
+    dedupe_keep_order(rule.neg);
+    std::string key = rule_key(rule);
+    if (rule_index_.contains(key)) return;
+    rule_index_.emplace(std::move(key), rules_.size());
+    rules_.push_back(std::move(rule));
+}
+
+std::string GroundProgram::to_string() const {
+    std::string out;
+    for (const auto& r : rules_) {
+        if (r.head != kNoHead) out += atom(r.head).to_string();
+        if (!r.pos.empty() || !r.neg.empty()) {
+            out += r.head != kNoHead ? " :- " : ":- ";
+            bool first = true;
+            for (auto id : r.pos) {
+                if (!first) out += ", ";
+                out += atom(id).to_string();
+                first = false;
+            }
+            for (auto id : r.neg) {
+                if (!first) out += ", ";
+                out += "not " + atom(id).to_string();
+                first = false;
+            }
+        }
+        out += ".\n";
+    }
+    return out;
+}
+
+}  // namespace agenp::asp

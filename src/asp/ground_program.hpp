@@ -1,0 +1,51 @@
+// Ground (variable-free) programs in the solver's integer representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asp/atom.hpp"
+
+namespace agenp::asp {
+
+using AtomId = std::int32_t;
+inline constexpr AtomId kNoHead = -1;  // marks a constraint
+
+struct GroundRule {
+    AtomId head = kNoHead;
+    std::vector<AtomId> pos;  // positive body atoms
+    std::vector<AtomId> neg;  // negated body atoms
+
+    [[nodiscard]] bool is_constraint() const { return head == kNoHead; }
+};
+
+// Interned ground atoms + rules over their ids. Ground rules are deduped on
+// insertion.
+class GroundProgram {
+public:
+    // Interns `atom` (must be ground) and returns its id.
+    AtomId intern(const Atom& atom);
+
+    // Returns the id of `atom` or kNoHead when never interned.
+    [[nodiscard]] AtomId find(const Atom& atom) const;
+
+    // Adds a rule; pos/neg are normalized (sorted, deduped) and structurally
+    // identical rules are dropped.
+    void add_rule(GroundRule rule);
+
+    [[nodiscard]] const Atom& atom(AtomId id) const { return atoms_[static_cast<std::size_t>(id)]; }
+    [[nodiscard]] std::size_t atom_count() const { return atoms_.size(); }
+    [[nodiscard]] const std::vector<GroundRule>& rules() const { return rules_; }
+
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<Atom> atoms_;
+    std::unordered_map<Atom, AtomId> index_;
+    std::vector<GroundRule> rules_;
+    std::unordered_map<std::string, std::size_t> rule_index_;  // dedupe key -> rule slot
+};
+
+}  // namespace agenp::asp

@@ -1,0 +1,283 @@
+#include "asp/grounder.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "asp/substitution.hpp"
+
+namespace agenp::asp {
+namespace {
+
+// Ground rule in atom (not yet id) form, produced during instantiation.
+struct PendingRule {
+    std::optional<Atom> head;
+    std::vector<Atom> pos;
+    std::vector<Atom> neg;
+
+    [[nodiscard]] std::string key() const {
+        std::string k = head ? head->to_string() : "";
+        k += "|";
+        for (const auto& a : pos) k += a.to_string() + ",";
+        k += "|";
+        for (const auto& a : neg) k += a.to_string() + ",";
+        return k;
+    }
+};
+
+// Atoms derived so far, indexed by predicate for matching. Per-predicate
+// vectors carry two boundaries so the semi-naive rounds can address the
+// "old" span [0, old_end) and the "delta" span [old_end, cur_end); atoms
+// appended during the running round land beyond cur_end and form the next
+// delta.
+class DerivedAtoms {
+public:
+    bool contains(const Atom& a) const { return known_.contains(a); }
+
+    // New atoms are staged and only appended to the per-predicate lists at
+    // round boundaries: match_from holds raw pointers into those lists, so
+    // appending mid-round would invalidate them.
+    void add(const Atom& a) {
+        if (!known_.insert(a).second) return;
+        staging_.push_back(a);
+        ++total_;
+    }
+
+    [[nodiscard]] std::size_t total() const { return total_; }
+
+    struct Span {
+        const Atom* begin = nullptr;
+        const Atom* end = nullptr;
+    };
+
+    enum class Range { Old, Delta, All };
+
+    Span span(Symbol pred, Range range) const {
+        auto it = lists_.find(pred.id());
+        if (it == lists_.end()) return {};
+        const auto& list = it->second;
+        const auto& b = boundary(pred.id());
+        switch (range) {
+            case Range::Old:
+                return {list.data(), list.data() + b.old_end};
+            case Range::Delta:
+                return {list.data() + b.old_end, list.data() + b.cur_end};
+            case Range::All:
+                return {list.data(), list.data() + b.cur_end};
+        }
+        return {};
+    }
+
+    // Closes the round: flushes staged atoms, then old <- previous
+    // old+delta, delta <- the flushed atoms. Returns true if the new delta
+    // is non-empty for any predicate.
+    bool advance_round() {
+        for (auto& a : staging_) lists_[a.predicate.id()].push_back(std::move(a));
+        staging_.clear();
+        bool any = false;
+        for (auto& [pred, list] : lists_) {
+            auto& b = boundaries_[pred];
+            b.old_end = b.cur_end;
+            b.cur_end = list.size();
+            if (b.cur_end > b.old_end) any = true;
+        }
+        return any;
+    }
+
+private:
+    struct Boundary {
+        std::size_t old_end = 0;
+        std::size_t cur_end = 0;
+    };
+
+    const Boundary& boundary(std::uint32_t pred) const {
+        static const Boundary kEmpty;
+        auto it = boundaries_.find(pred);
+        return it == boundaries_.end() ? kEmpty : it->second;
+    }
+
+    std::unordered_set<Atom> known_;
+    std::vector<Atom> staging_;
+    std::unordered_map<std::uint32_t, std::vector<Atom>> lists_;
+    std::unordered_map<std::uint32_t, Boundary> boundaries_;
+    std::size_t total_ = 0;
+};
+
+class GrounderImpl {
+public:
+    GrounderImpl(const Program& program, const GroundingLimits& limits)
+        : program_(program), limits_(limits) {}
+
+    GroundProgram run() {
+        for (const auto& rule : program_.rules()) {
+            if (!rule.is_safe()) {
+                throw GroundingError("unsafe rule: " + rule.to_string());
+            }
+        }
+
+        // Round 0: rules with no positive body literals fire exactly once.
+        for (const auto& rule : program_.rules()) {
+            if (positive_count(rule) == 0) {
+                Subst subst;
+                finish_instance(rule, subst);
+            }
+        }
+
+        // Semi-naive rounds: each instantiation must use at least one delta
+        // atom in its positive body (pivot position j).
+        while (derived_.advance_round()) {
+            for (const auto& rule : program_.rules()) {
+                int pcount = positive_count(rule);
+                for (int pivot = 0; pivot < pcount; ++pivot) {
+                    Subst subst;
+                    match_from(rule, 0, pivot, subst);
+                }
+            }
+        }
+        derived_.advance_round();  // flush atoms from the final round into "all"
+
+        return finalize();
+    }
+
+private:
+    static int positive_count(const Rule& rule) {
+        int n = 0;
+        for (const auto& l : rule.body) {
+            if (l.positive) ++n;
+        }
+        return n;
+    }
+
+    // Returns the index-th positive literal of the rule.
+    static const Atom& positive_literal(const Rule& rule, int index) {
+        int n = 0;
+        for (const auto& l : rule.body) {
+            if (l.positive && n++ == index) return l.atom;
+        }
+        throw GroundingError("internal: positive literal index out of range");
+    }
+
+    void match_from(const Rule& rule, int index, int pivot, Subst& subst) {
+        if (index == positive_count(rule)) {
+            finish_instance(rule, subst);
+            return;
+        }
+        const Atom& pattern = positive_literal(rule, index);
+        auto range = index == pivot   ? DerivedAtoms::Range::Delta
+                     : index < pivot ? DerivedAtoms::Range::Old
+                                     : DerivedAtoms::Range::All;
+        auto span = derived_.span(pattern.predicate, range);
+        for (const Atom* a = span.begin; a != span.end; ++a) {
+            std::size_t mark = subst.size();
+            if (match_atom(pattern, *a, subst)) {
+                match_from(rule, index + 1, pivot, subst);
+            }
+            subst.truncate(mark);
+        }
+    }
+
+    // Evaluates builtins (with `V = ground-expr` acting as a binder),
+    // grounds negatives and the head, and emits the instance.
+    void finish_instance(const Rule& rule, Subst& subst) {
+        std::size_t mark = subst.size();
+        if (!evaluate_builtins(rule.builtins, subst)) {
+            subst.truncate(mark);
+            return;
+        }
+
+        PendingRule pending;
+        for (const auto& l : rule.body) {
+            Atom ground_atom = apply_subst(l.atom, subst);
+            if (!ground_atom.is_ground()) {
+                throw GroundingError("internal: non-ground literal after substitution in " + rule.to_string());
+            }
+            (l.positive ? pending.pos : pending.neg).push_back(std::move(ground_atom));
+        }
+        if (rule.head) {
+            Atom head = apply_subst(*rule.head, subst);
+            if (!head.is_ground()) {
+                throw GroundingError("internal: non-ground head after substitution in " + rule.to_string());
+            }
+            derived_.add(head);
+            if (derived_.total() > limits_.max_atoms) {
+                throw GroundingError("grounding exceeded max_atoms limit");
+            }
+            pending.head = std::move(head);
+        }
+
+        std::string key = pending.key();
+        if (seen_rules_.insert(std::move(key)).second) {
+            pending_.push_back(std::move(pending));
+            if (pending_.size() > limits_.max_rules) {
+                throw GroundingError("grounding exceeded max_rules limit");
+            }
+        }
+        subst.truncate(mark);
+    }
+
+    bool evaluate_builtins(const std::vector<Comparison>& builtins, Subst& subst) {
+        std::vector<bool> done(builtins.size(), false);
+        bool progress = true;
+        std::size_t remaining = builtins.size();
+        while (progress && remaining > 0) {
+            progress = false;
+            for (std::size_t i = 0; i < builtins.size(); ++i) {
+                if (done[i]) continue;
+                Term lhs = apply_subst(builtins[i].lhs, subst);
+                Term rhs = apply_subst(builtins[i].rhs, subst);
+                if (builtins[i].op == Comparison::Op::Eq && lhs.is_variable() && rhs.is_ground()) {
+                    auto value = evaluate_arithmetic(rhs);
+                    if (!value) return false;
+                    subst.bind(lhs.symbol(), *value);
+                } else if (lhs.is_ground() && rhs.is_ground()) {
+                    auto result = Comparison(builtins[i].op, lhs, rhs).evaluate();
+                    if (!result || !*result) return false;
+                } else {
+                    continue;  // wait for more bindings
+                }
+                done[i] = true;
+                --remaining;
+                progress = true;
+            }
+        }
+        // Safety guarantees every builtin eventually grounds.
+        return remaining == 0;
+    }
+
+    GroundProgram finalize() {
+        GroundProgram gp;
+        for (const auto& pending : pending_) {
+            GroundRule rule;
+            bool dropped = false;
+            for (const auto& a : pending.neg) {
+                if (!derived_.contains(a)) continue;  // atom underivable: "not a" trivially true
+                rule.neg.push_back(gp.intern(a));
+            }
+            for (const auto& a : pending.pos) {
+                if (!derived_.contains(a)) {  // defensive; cannot happen by construction
+                    dropped = true;
+                    break;
+                }
+                rule.pos.push_back(gp.intern(a));
+            }
+            if (dropped) continue;
+            if (pending.head) rule.head = gp.intern(*pending.head);
+            gp.add_rule(std::move(rule));
+        }
+        return gp;
+    }
+
+    const Program& program_;
+    GroundingLimits limits_;
+    DerivedAtoms derived_;
+    std::vector<PendingRule> pending_;
+    std::unordered_set<std::string> seen_rules_;
+};
+
+}  // namespace
+
+GroundProgram ground(const Program& program, const GroundingLimits& limits) {
+    return GrounderImpl(program, limits).run();
+}
+
+}  // namespace agenp::asp

@@ -1,0 +1,31 @@
+// Semi-naive bottom-up grounder.
+//
+// Instantiates a safe non-ground program over its Herbrand base, producing a
+// GroundProgram for the solver. Negative literals whose atom can never be
+// derived are simplified away; constraints are instantiated alongside
+// deriving rules.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "asp/ground_program.hpp"
+#include "asp/program.hpp"
+
+namespace agenp::asp {
+
+struct GroundingError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+struct GroundingLimits {
+    // Hard caps guarding against accidental grounding explosion; exceeded
+    // limits raise GroundingError rather than exhausting memory.
+    std::size_t max_atoms = 200000;
+    std::size_t max_rules = 1000000;
+};
+
+// Grounds `program`. Throws GroundingError on unsafe rules or blown limits.
+GroundProgram ground(const Program& program, const GroundingLimits& limits = {});
+
+}  // namespace agenp::asp

@@ -1,0 +1,41 @@
+// Text parser for the ASP fragment.
+//
+// Syntax (one statement per '.', '%' starts a line comment):
+//
+//   p(a, 1).
+//   q(X) :- p(X, Y), not r(X), Y >= 1, Z = Y + 1.
+//   :- q(X), X = bad.
+//   holds(route)@1.            % annotated atom (inside ASG blocks)
+//
+// Constants start lowercase (or are "quoted strings" / integers); variables
+// start uppercase or with '_'. Arithmetic (+ - * /) is allowed inside
+// comparison operands with the usual precedence.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "asp/program.hpp"
+
+namespace agenp::asp {
+
+struct ParseError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+// Parses a full program. Throws ParseError with line information on bad
+// input.
+Program parse_program(std::string_view text);
+
+// Parses a single rule (the trailing '.' is optional here, for convenience
+// in tests and mode declarations).
+Rule parse_rule(std::string_view text);
+
+// Parses a single (possibly annotated) atom.
+Atom parse_atom(std::string_view text);
+
+// Parses a single ground or non-ground term.
+Term parse_term(std::string_view text);
+
+}  // namespace agenp::asp

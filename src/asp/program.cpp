@@ -1,0 +1,21 @@
+#include "asp/program.hpp"
+
+namespace agenp::asp {
+
+bool Program::is_ground() const {
+    for (const auto& r : rules_) {
+        if (!r.is_ground()) return false;
+    }
+    return true;
+}
+
+std::string Program::to_string() const {
+    std::string out;
+    for (const auto& r : rules_) {
+        out += r.to_string();
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace agenp::asp

@@ -1,0 +1,85 @@
+#include "asp/rule.hpp"
+
+#include <algorithm>
+
+namespace agenp::asp {
+
+bool Rule::is_ground() const {
+    if (head && !head->is_ground()) return false;
+    for (const auto& l : body) {
+        if (!l.atom.is_ground()) return false;
+    }
+    for (const auto& c : builtins) {
+        if (!c.lhs.is_ground() || !c.rhs.is_ground()) return false;
+    }
+    return true;
+}
+
+void Rule::collect_variables(std::vector<Symbol>& out) const {
+    if (head) head->collect_variables(out);
+    for (const auto& l : body) l.atom.collect_variables(out);
+    for (const auto& c : builtins) {
+        c.lhs.collect_variables(out);
+        c.rhs.collect_variables(out);
+    }
+}
+
+bool Rule::is_safe() const {
+    std::vector<Symbol> bound;
+    for (const auto& l : body) {
+        if (l.positive) l.atom.collect_variables(bound);
+    }
+    // `V = expr` binds V when every variable of expr is already bound by a
+    // positive literal. One pass suffices for the common "V = constant" and
+    // "V = F(bound...)" binders; chained binders are re-checked below.
+    auto is_bound = [&](Symbol v) { return std::find(bound.begin(), bound.end(), v) != bound.end(); };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& c : builtins) {
+            if (c.op != Comparison::Op::Eq) continue;
+            if (c.lhs.is_variable() && !is_bound(c.lhs.symbol())) {
+                std::vector<Symbol> rhs_vars;
+                c.rhs.collect_variables(rhs_vars);
+                if (std::all_of(rhs_vars.begin(), rhs_vars.end(), is_bound)) {
+                    bound.push_back(c.lhs.symbol());
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    std::vector<Symbol> need;
+    if (head) head->collect_variables(need);
+    for (const auto& l : body) {
+        if (!l.positive) l.atom.collect_variables(need);
+    }
+    for (const auto& c : builtins) {
+        c.lhs.collect_variables(need);
+        c.rhs.collect_variables(need);
+    }
+    return std::all_of(need.begin(), need.end(), is_bound);
+}
+
+std::string Rule::to_string() const {
+    std::string out;
+    if (head) out += head->to_string();
+    if (!body.empty() || !builtins.empty()) {
+        out += head ? " :- " : ":- ";
+        bool first = true;
+        for (const auto& l : body) {
+            if (!first) out += ", ";
+            out += l.to_string();
+            first = false;
+        }
+        for (const auto& c : builtins) {
+            if (!first) out += ", ";
+            out += c.to_string();
+            first = false;
+        }
+    }
+    out += '.';
+    return out;
+}
+
+}  // namespace agenp::asp

@@ -1,0 +1,64 @@
+// Normal rules and constraints (the ASP fragment of Section II.A).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asp/atom.hpp"
+
+namespace agenp::asp {
+
+// `h :- b1, ..., bn, not c1, ..., not cm, t1 ⊙ t2, ...`
+// A missing head makes the rule a constraint.
+struct Rule {
+    std::optional<Atom> head;
+    std::vector<Literal> body;
+    std::vector<Comparison> builtins;
+
+    Rule() = default;
+
+    static Rule fact(Atom h) {
+        Rule r;
+        r.head = std::move(h);
+        return r;
+    }
+    static Rule normal(Atom h, std::vector<Literal> b, std::vector<Comparison> c = {}) {
+        Rule r;
+        r.head = std::move(h);
+        r.body = std::move(b);
+        r.builtins = std::move(c);
+        return r;
+    }
+    static Rule constraint(std::vector<Literal> b, std::vector<Comparison> c = {}) {
+        Rule r;
+        r.body = std::move(b);
+        r.builtins = std::move(c);
+        return r;
+    }
+
+    [[nodiscard]] bool is_constraint() const { return !head.has_value(); }
+    [[nodiscard]] bool is_fact() const { return head.has_value() && body.empty() && builtins.empty(); }
+
+    [[nodiscard]] bool is_ground() const;
+    void collect_variables(std::vector<Symbol>& out) const;
+
+    // A rule is safe when every variable occurring in the head, in a negative
+    // literal, or in a builtin appears in some positive body literal (a
+    // variable bound by `V = ground-expr` also counts as safe).
+    [[nodiscard]] bool is_safe() const;
+
+    // Number of literals counting the head; used as the hypothesis cost in
+    // the ILP learner.
+    [[nodiscard]] int size() const {
+        return static_cast<int>(body.size() + builtins.size()) + (head ? 1 : 0);
+    }
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Rule& a, const Rule& b) {
+        return a.head == b.head && a.body == b.body && a.builtins == b.builtins;
+    }
+};
+
+}  // namespace agenp::asp

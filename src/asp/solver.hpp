@@ -1,0 +1,59 @@
+// Answer-set solver for ground normal programs with constraints.
+//
+// Architecture: completion-style unit propagation (rule-firing, blocking,
+// support counting, constraint/last-literal forcing) with chronological
+// backtracking; every total assignment that survives propagation is
+// subjected to a stability check (least model of the reduct must equal the
+// assignment's true set), which makes the solver sound and complete for
+// arbitrary finite normal programs, including non-tight (loop-carrying)
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asp/ground_program.hpp"
+
+namespace agenp::asp {
+
+// One answer set: the ids of the atoms that are true, sorted ascending.
+using Model = std::vector<AtomId>;
+
+struct SolveOptions {
+    // Stop after this many answer sets (0 = unlimited enumeration).
+    std::size_t max_models = 1;
+    // Abort after this many branching decisions; exceeded budgets surface as
+    // SolveResult::exhausted = true so callers can treat the program as
+    // "unknown" rather than unsatisfiable.
+    std::size_t max_decisions = 50'000'000;
+};
+
+struct SolveResult {
+    std::vector<Model> models;
+    bool exhausted = false;  // decision budget ran out before the search completed
+
+    [[nodiscard]] bool satisfiable() const { return !models.empty(); }
+};
+
+class Solver {
+public:
+    explicit Solver(const GroundProgram& program);
+
+    SolveResult solve(const SolveOptions& options = {});
+
+    // Convenience: true iff the program has at least one answer set.
+    bool satisfiable();
+
+private:
+    struct Impl;
+    const GroundProgram& program_;
+};
+
+// One-shot helpers.
+SolveResult solve(const GroundProgram& program, const SolveOptions& options = {});
+bool satisfiable(const GroundProgram& program);
+
+// Renders a model as sorted atom strings (for tests and reports).
+std::vector<std::string> model_to_strings(const GroundProgram& program, const Model& model);
+
+}  // namespace agenp::asp

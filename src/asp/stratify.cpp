@@ -1,0 +1,74 @@
+#include "asp/stratify.hpp"
+
+#include <map>
+#include <set>
+
+namespace agenp::asp {
+namespace {
+
+// Key: (predicate symbol, annotation). Distinct annotations are distinct
+// predicates for dependency purposes, matching the solver's view.
+using PredKey = std::pair<Symbol, int>;
+
+struct Graph {
+    std::set<PredKey> nodes;
+    // edge -> is_negative (an edge is negative if ANY dependency between the
+    // pair is through negation)
+    std::map<std::pair<PredKey, PredKey>, bool> edges;
+};
+
+Graph build_graph(const Program& program) {
+    Graph g;
+    for (const auto& rule : program.rules()) {
+        if (!rule.head) continue;  // constraints never derive; they cannot create recursion
+        PredKey head{rule.head->predicate, rule.head->annotation};
+        g.nodes.insert(head);
+        for (const auto& lit : rule.body) {
+            PredKey dep{lit.atom.predicate, lit.atom.annotation};
+            g.nodes.insert(dep);
+            auto key = std::make_pair(dep, head);  // head depends on dep
+            auto [it, inserted] = g.edges.emplace(key, !lit.positive);
+            if (!inserted && !lit.positive) it->second = true;
+        }
+    }
+    return g;
+}
+
+}  // namespace
+
+StratificationInfo analyze_stratification(const Program& program) {
+    Graph g = build_graph(program);
+    StratificationInfo info;
+
+    // Bellman-Ford-style stratum assignment: stratum(head) >= stratum(dep),
+    // strictly greater across negation. The program is stratified iff the
+    // constraints stabilize; a negative cycle forces unbounded growth, which
+    // surfaces as more than |nodes|+1 sweeps.
+    std::map<PredKey, int> stratum;
+    for (const auto& n : g.nodes) stratum[n] = 0;
+    std::size_t n = g.nodes.size();
+    bool changed = true;
+    std::size_t iterations = 0;
+    while (changed) {
+        changed = false;
+        if (++iterations > n + 1) {
+            info.stratified = false;
+            return info;
+        }
+        for (const auto& [edge, negative] : g.edges) {
+            const auto& [dep, head] = edge;
+            int need = stratum[dep] + (negative ? 1 : 0);
+            if (stratum[head] < need) {
+                stratum[head] = need;
+                changed = true;
+            }
+        }
+    }
+    info.stratified = true;
+    for (const auto& [key, s] : stratum) info.strata.emplace_back(key.first, s);
+    return info;
+}
+
+bool is_stratified(const Program& program) { return analyze_stratification(program).stratified; }
+
+}  // namespace agenp::asp

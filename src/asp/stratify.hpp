@@ -1,0 +1,27 @@
+// Predicate-level dependency analysis.
+//
+// A program is stratified when no cycle in its predicate dependency graph
+// passes through negation; stratified programs have exactly one answer set,
+// which lets the ILP learner treat per-parse-tree programs as deterministic
+// and use its set-cover fast path.
+#pragma once
+
+#include <vector>
+
+#include "asp/program.hpp"
+
+namespace agenp::asp {
+
+struct StratificationInfo {
+    bool stratified = false;
+    // Stratum per predicate symbol id (only meaningful when stratified).
+    // Predicates not mentioned get stratum 0.
+    std::vector<std::pair<Symbol, int>> strata;
+};
+
+StratificationInfo analyze_stratification(const Program& program);
+
+// Convenience: true iff `program` is stratified.
+bool is_stratified(const Program& program);
+
+}  // namespace agenp::asp

@@ -1,0 +1,101 @@
+// Variable substitutions and one-way matching (pattern against ground atom).
+//
+// Header-only: these are the grounder's inner-loop primitives and benefit
+// from inlining.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "asp/atom.hpp"
+
+namespace agenp::asp {
+
+// A small association list. Rules in this codebase rarely exceed a handful
+// of variables, so linear scans beat hashing.
+class Subst {
+public:
+    [[nodiscard]] const Term* lookup(Symbol var) const {
+        for (const auto& [v, t] : bindings_) {
+            if (v == var) return &t;
+        }
+        return nullptr;
+    }
+
+    void bind(Symbol var, Term value) { bindings_.emplace_back(var, std::move(value)); }
+
+    [[nodiscard]] std::size_t size() const { return bindings_.size(); }
+    void truncate(std::size_t n) { bindings_.resize(n); }
+
+private:
+    std::vector<std::pair<Symbol, Term>> bindings_;
+};
+
+// Matches `pattern` (may contain variables) against ground `value`,
+// extending `subst`. On failure the substitution may be left partially
+// extended; callers use size()/truncate() to roll back.
+inline bool match_term(const Term& pattern, const Term& value, Subst& subst) {
+    switch (pattern.kind()) {
+        case Term::Kind::Variable: {
+            if (const Term* bound = subst.lookup(pattern.symbol())) return *bound == value;
+            subst.bind(pattern.symbol(), value);
+            return true;
+        }
+        case Term::Kind::Integer:
+            return value.is_integer() && value.int_value() == pattern.int_value();
+        case Term::Kind::Constant:
+            return value.is_constant() && value.symbol() == pattern.symbol();
+        case Term::Kind::Compound: {
+            if (!value.is_compound() || value.symbol() != pattern.symbol() ||
+                value.args().size() != pattern.args().size()) {
+                return false;
+            }
+            for (std::size_t i = 0; i < pattern.args().size(); ++i) {
+                if (!match_term(pattern.args()[i], value.args()[i], subst)) return false;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+inline bool match_atom(const Atom& pattern, const Atom& value, Subst& subst) {
+    if (pattern.predicate != value.predicate || pattern.annotation != value.annotation ||
+        pattern.args.size() != value.args.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < pattern.args.size(); ++i) {
+        if (!match_term(pattern.args[i], value.args[i], subst)) return false;
+    }
+    return true;
+}
+
+// Applies a substitution; unbound variables are left in place.
+inline Term apply_subst(const Term& term, const Subst& subst) {
+    switch (term.kind()) {
+        case Term::Kind::Variable: {
+            if (const Term* bound = subst.lookup(term.symbol())) return *bound;
+            return term;
+        }
+        case Term::Kind::Compound: {
+            TermList args;
+            args.reserve(term.args().size());
+            for (const auto& a : term.args()) args.push_back(apply_subst(a, subst));
+            return Term::compound(term.symbol(), std::move(args));
+        }
+        default:
+            return term;
+    }
+}
+
+inline Atom apply_subst(const Atom& atom, const Subst& subst) {
+    Atom out;
+    out.predicate = atom.predicate;
+    out.annotation = atom.annotation;
+    out.args.reserve(atom.args.size());
+    for (const auto& a : atom.args) out.args.push_back(apply_subst(a, subst));
+    return out;
+}
+
+}  // namespace agenp::asp

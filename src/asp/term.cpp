@@ -1,0 +1,138 @@
+#include "asp/term.hpp"
+
+namespace agenp::asp {
+
+Term Term::integer(std::int64_t value) {
+    Term t;
+    t.kind_ = Kind::Integer;
+    t.int_value_ = value;
+    return t;
+}
+
+Term Term::constant(Symbol name) {
+    Term t;
+    t.kind_ = Kind::Constant;
+    t.symbol_ = name;
+    return t;
+}
+
+Term Term::variable(Symbol name) {
+    Term t;
+    t.kind_ = Kind::Variable;
+    t.symbol_ = name;
+    return t;
+}
+
+Term Term::compound(Symbol functor, TermList args) {
+    Term t;
+    t.kind_ = Kind::Compound;
+    t.symbol_ = functor;
+    t.args_ = std::move(args);
+    return t;
+}
+
+bool Term::is_ground() const {
+    switch (kind_) {
+        case Kind::Integer:
+        case Kind::Constant:
+            return true;
+        case Kind::Variable:
+            return false;
+        case Kind::Compound:
+            for (const auto& a : args_) {
+                if (!a.is_ground()) return false;
+            }
+            return true;
+    }
+    return false;
+}
+
+void Term::collect_variables(std::vector<Symbol>& out) const {
+    switch (kind_) {
+        case Kind::Variable:
+            out.push_back(symbol_);
+            break;
+        case Kind::Compound:
+            for (const auto& a : args_) a.collect_variables(out);
+            break;
+        default:
+            break;
+    }
+}
+
+std::string Term::to_string() const {
+    switch (kind_) {
+        case Kind::Integer:
+            return std::to_string(int_value_);
+        case Kind::Constant:
+        case Kind::Variable:
+            return std::string(symbol_.str());
+        case Kind::Compound: {
+            // Binary arithmetic prints infix (and parenthesized) so that
+            // to_string output re-parses; everything else is functional.
+            auto f = symbol_.str();
+            if (args_.size() == 2 && (f == "+" || f == "-" || f == "*" || f == "/")) {
+                return "(" + args_[0].to_string() + " " + std::string(f) + " " +
+                       args_[1].to_string() + ")";
+            }
+            std::string out(symbol_.str());
+            out += '(';
+            for (std::size_t i = 0; i < args_.size(); ++i) {
+                if (i > 0) out += ',';
+                out += args_[i].to_string();
+            }
+            out += ')';
+            return out;
+        }
+    }
+    return "?";
+}
+
+bool operator==(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+        case Term::Kind::Integer:
+            return a.int_value_ == b.int_value_;
+        case Term::Kind::Constant:
+        case Term::Kind::Variable:
+            return a.symbol_ == b.symbol_;
+        case Term::Kind::Compound:
+            return a.symbol_ == b.symbol_ && a.args_ == b.args_;
+    }
+    return false;
+}
+
+bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return static_cast<int>(a.kind_) < static_cast<int>(b.kind_);
+    switch (a.kind_) {
+        case Term::Kind::Integer:
+            return a.int_value_ < b.int_value_;
+        case Term::Kind::Constant:
+        case Term::Kind::Variable:
+            return a.symbol_.str() < b.symbol_.str();
+        case Term::Kind::Compound:
+            if (a.symbol_ != b.symbol_) return a.symbol_.str() < b.symbol_.str();
+            return a.args_ < b.args_;
+    }
+    return false;
+}
+
+std::size_t Term::hash() const {
+    std::size_t h = static_cast<std::size_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+    switch (kind_) {
+        case Kind::Integer:
+            h ^= std::hash<std::int64_t>{}(int_value_) + 0x9e3779b9 + (h << 6);
+            break;
+        case Kind::Constant:
+        case Kind::Variable:
+            h ^= std::hash<Symbol>{}(symbol_) + 0x9e3779b9 + (h << 6);
+            break;
+        case Kind::Compound:
+            h ^= std::hash<Symbol>{}(symbol_) + 0x9e3779b9 + (h << 6);
+            for (const auto& a : args_) h ^= a.hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+            break;
+    }
+    return h;
+}
+
+}  // namespace agenp::asp

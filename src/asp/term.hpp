@@ -1,0 +1,72 @@
+// First-order terms for the ASP fragment used by AGENP.
+//
+// The paper (Section II.A) restricts itself to normal rules and constraints;
+// terms are integers, symbolic constants, variables, and compound terms
+// (needed to express traces such as a@[1,2] after ASG instantiation and
+// structured attribute values).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/symbol.hpp"
+
+namespace agenp::asp {
+
+using util::Symbol;
+
+class Term;
+using TermList = std::vector<Term>;
+
+class Term {
+public:
+    enum class Kind { Integer, Constant, Variable, Compound };
+
+    // Default-constructed term is the constant "".
+    Term() : kind_(Kind::Constant) {}
+
+    static Term integer(std::int64_t value);
+    static Term constant(Symbol name);
+    static Term constant(std::string_view name) { return constant(Symbol(name)); }
+    static Term variable(Symbol name);
+    static Term variable(std::string_view name) { return variable(Symbol(name)); }
+    static Term compound(Symbol functor, TermList args);
+
+    [[nodiscard]] Kind kind() const { return kind_; }
+    [[nodiscard]] bool is_integer() const { return kind_ == Kind::Integer; }
+    [[nodiscard]] bool is_constant() const { return kind_ == Kind::Constant; }
+    [[nodiscard]] bool is_variable() const { return kind_ == Kind::Variable; }
+    [[nodiscard]] bool is_compound() const { return kind_ == Kind::Compound; }
+
+    // Preconditions: matching kind().
+    [[nodiscard]] std::int64_t int_value() const { return int_value_; }
+    [[nodiscard]] Symbol symbol() const { return symbol_; }          // constant/variable name, compound functor
+    [[nodiscard]] const TermList& args() const { return args_; }     // compound only
+
+    [[nodiscard]] bool is_ground() const;
+    void collect_variables(std::vector<Symbol>& out) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Term& a, const Term& b);
+    friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+    // Total order: by kind, then value; used for canonical sorting.
+    friend bool operator<(const Term& a, const Term& b);
+
+    [[nodiscard]] std::size_t hash() const;
+
+private:
+    Kind kind_;
+    std::int64_t int_value_ = 0;
+    Symbol symbol_;
+    TermList args_;
+};
+
+}  // namespace agenp::asp
+
+template <>
+struct std::hash<agenp::asp::Term> {
+    std::size_t operator()(const agenp::asp::Term& t) const noexcept { return t.hash(); }
+};

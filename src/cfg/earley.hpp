@@ -1,0 +1,39 @@
+// Earley parser with parse-tree extraction.
+//
+// Handles arbitrary CFGs including ambiguity, empty productions (via the
+// Aycock-Horspool nullable-prediction fix) and recursion. Tree extraction
+// enumerates distinct parse trees up to a caller-supplied cap; cyclic unit
+// derivations (which would yield infinitely many trees) are cut.
+#pragma once
+
+#include "cfg/grammar.hpp"
+
+namespace agenp::cfg {
+
+struct ParseNode {
+    GSym sym;
+    int production = -1;  // index into Grammar::productions() for nonterminal nodes
+    std::vector<ParseNode> children;
+
+    [[nodiscard]] bool is_leaf() const { return sym.terminal; }
+
+    // The terminal yield of this subtree.
+    [[nodiscard]] TokenString yield() const;
+
+    // Bracketed rendering, e.g. (rule permit (subject admin)).
+    [[nodiscard]] std::string to_string() const;
+};
+
+struct ParseOptions {
+    std::size_t max_trees = 16;
+};
+
+// True iff `tokens` is in the language of the bare CFG.
+bool recognizes(const Grammar& grammar, const TokenString& tokens);
+
+// All parse trees for `tokens` (up to max_trees). Empty when the string is
+// not in the CFG's language.
+std::vector<ParseNode> parse_trees(const Grammar& grammar, const TokenString& tokens,
+                                   const ParseOptions& options = {});
+
+}  // namespace agenp::cfg

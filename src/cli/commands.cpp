@@ -1,0 +1,290 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "asg/generate.hpp"
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "util/strings.hpp"
+#include "xacml/evaluator.hpp"
+#include "xacml/text_format.hpp"
+
+namespace agenp::cli {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw CliError("cannot read file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+namespace {
+
+asp::Comparison::Op parse_op(const std::string& word) {
+    if (word == "lt") return asp::Comparison::Op::Lt;
+    if (word == "le") return asp::Comparison::Op::Le;
+    if (word == "gt") return asp::Comparison::Op::Gt;
+    if (word == "ge") return asp::Comparison::Op::Ge;
+    if (word == "eq") return asp::Comparison::Op::Eq;
+    if (word == "ne") return asp::Comparison::Op::Ne;
+    throw CliError("unknown comparison op '" + word + "' (use lt le gt ge eq ne)");
+}
+
+// `body pred var(t) const(p) term @2 neg` -> ModeAtom.
+ilp::ModeAtom parse_mode_atom(const std::vector<std::string>& words, std::size_t from) {
+    if (from >= words.size()) throw CliError("mode atom needs a predicate");
+    ilp::ModeAtom atom;
+    atom.predicate = asp::Symbol(words[from]);
+    for (std::size_t i = from + 1; i < words.size(); ++i) {
+        const std::string& w = words[i];
+        if (w == "neg") {
+            atom.allow_negated = true;
+        } else if (!w.empty() && w[0] == '@') {
+            atom.annotation = std::stoi(w.substr(1));
+        } else if (util::starts_with(w, "var(") && w.back() == ')') {
+            atom.args.push_back(ilp::ArgSpec::var(w.substr(4, w.size() - 5)));
+        } else if (util::starts_with(w, "const(") && w.back() == ')') {
+            atom.args.push_back(ilp::ArgSpec::constant(w.substr(6, w.size() - 7)));
+        } else {
+            atom.args.push_back(ilp::ArgSpec::fixed_term(asp::parse_term(w)));
+        }
+    }
+    return atom;
+}
+
+ilp::HypothesisSpace parse_bias(const std::vector<std::string>& lines,
+                                const std::vector<int>& targets) {
+    ilp::ModeBias bias;
+    for (const auto& line : lines) {
+        auto words = util::split_ws(line);
+        if (words.empty()) continue;
+        const std::string& kind = words[0];
+        if (kind == "body") {
+            bias.body.push_back(parse_mode_atom(words, 1));
+        } else if (kind == "head") {
+            bias.head.push_back(parse_mode_atom(words, 1));
+        } else if (kind == "no_constraints") {
+            bias.allow_constraints = false;
+        } else if (kind == "compare") {
+            if (words.size() < 3) throw CliError("compare needs: compare <type> <op>... [varvar] [varconst]");
+            ilp::ComparisonMode cm;
+            cm.type = asp::Symbol(words[1]);
+            cm.var_vs_const = false;
+            cm.var_vs_var = false;
+            for (std::size_t i = 2; i < words.size(); ++i) {
+                if (words[i] == "varvar") {
+                    cm.var_vs_var = true;
+                } else if (words[i] == "varconst") {
+                    cm.var_vs_const = true;
+                } else {
+                    cm.ops.push_back(parse_op(words[i]));
+                }
+            }
+            if (!cm.var_vs_var && !cm.var_vs_const) cm.var_vs_const = true;
+            bias.comparisons.push_back(std::move(cm));
+        } else if (kind == "const") {
+            if (words.size() < 3) throw CliError("const needs: const <pool> <term>...");
+            for (std::size_t i = 2; i < words.size(); ++i) {
+                bias.constants[asp::Symbol(words[1])].push_back(asp::parse_term(words[i]));
+            }
+        } else if (kind == "max_body") {
+            bias.max_body_atoms = std::stoi(words.at(1));
+        } else if (kind == "min_body") {
+            bias.min_body_atoms = std::stoi(words.at(1));
+        } else if (kind == "max_vars") {
+            bias.max_vars = std::stoi(words.at(1));
+        } else if (kind == "max_comparisons") {
+            bias.max_comparisons = std::stoi(words.at(1));
+        } else {
+            throw CliError("unknown bias directive '" + kind + "'");
+        }
+    }
+    return ilp::generate_space(bias, targets);
+}
+
+ilp::Example parse_example(const std::string& line) {
+    auto bar = line.find('|');
+    std::string tokens = bar == std::string::npos ? line : line.substr(0, bar);
+    std::string context = bar == std::string::npos ? "" : line.substr(bar + 1);
+    return {cfg::tokenize(tokens), asp::parse_program(context)};
+}
+
+}  // namespace
+
+ilp::LearningTask parse_task_file(std::string_view text) {
+    std::map<std::string, std::vector<std::string>> sections;
+    std::string current;
+    for (const auto& raw : util::split(text, '\n')) {
+        auto line = util::trim(raw);
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            current = std::string(util::trim(line.substr(1)));
+            continue;
+        }
+        if (current.empty()) throw CliError("content before the first #section header");
+        sections[current].emplace_back(line);
+    }
+    if (!sections.contains("grammar")) throw CliError("missing #grammar section");
+    if (!sections.contains("bias")) throw CliError("missing #bias section");
+
+    ilp::LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(util::join(sections["grammar"], "\n"));
+    // Targets: optional `#targets` section of production indices; default
+    // is the start production 0.
+    std::vector<int> targets = {0};
+    if (sections.contains("targets")) {
+        targets.clear();
+        for (const auto& line : sections["targets"]) {
+            for (const auto& w : util::split_ws(line)) targets.push_back(std::stoi(w));
+        }
+    }
+    task.space = parse_bias(sections["bias"], targets);
+    for (const auto& line : sections["positive"]) task.positive.push_back(parse_example(line));
+    for (const auto& line : sections["negative"]) task.negative.push_back(parse_example(line));
+    return task;
+}
+
+int cmd_solve(const std::string& program_path, std::size_t max_models, std::ostream& out) {
+    auto program = asp::parse_program(read_file(program_path));
+    auto gp = asp::ground(program);
+    auto result = asp::solve(gp, {.max_models = max_models});
+    if (result.models.empty()) {
+        out << "UNSATISFIABLE\n";
+        return 1;
+    }
+    for (std::size_t i = 0; i < result.models.size(); ++i) {
+        out << "answer set " << (i + 1) << ": ";
+        bool first = true;
+        for (const auto& atom : asp::model_to_strings(gp, result.models[i])) {
+            if (!first) out << " ";
+            out << atom;
+            first = false;
+        }
+        out << "\n";
+    }
+    return 0;
+}
+
+int cmd_membership(const std::string& grammar_path, const std::string& sentence,
+                   const std::string& context_path, std::ostream& out) {
+    auto grammar = asg::AnswerSetGrammar::parse(read_file(grammar_path));
+    asp::Program context;
+    if (!context_path.empty()) context = asp::parse_program(read_file(context_path));
+    bool accepted = asg::in_language(grammar, cfg::tokenize(sentence), context);
+    out << (accepted ? "ACCEPTED" : "REJECTED") << "\n";
+    return accepted ? 0 : 1;
+}
+
+int cmd_generate(const std::string& grammar_path, const std::string& context_path,
+                 std::size_t max_strings, std::ostream& out) {
+    auto grammar = asg::AnswerSetGrammar::parse(read_file(grammar_path));
+    asp::Program context;
+    if (!context_path.empty()) context = asp::parse_program(read_file(context_path));
+    asg::LanguageOptions options;
+    options.enumeration.max_strings = max_strings;
+    auto result = asg::language(grammar, context, options);
+    for (const auto& s : result.strings) out << cfg::detokenize(s) << "\n";
+    if (result.truncated) out << "(truncated)\n";
+    return 0;
+}
+
+int cmd_learn(const std::string& task_path, const std::string& out_path, std::ostream& out) {
+    auto task = parse_task_file(read_file(task_path));
+    auto result = ilp::learn(task);
+    if (!result.found) {
+        out << "NO HYPOTHESIS: " << result.failure_reason << "\n";
+        return 1;
+    }
+    out << "hypothesis (cost " << result.cost << "):\n" << result.hypothesis_to_string();
+    if (!out_path.empty()) {
+        auto learned = task.initial.with_rules(result.hypothesis);
+        std::ofstream file(out_path);
+        if (!file) throw CliError("cannot write: " + out_path);
+        file << learned.to_string();
+        out << "learned grammar written to " << out_path << "\n";
+    }
+    return 0;
+}
+
+int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
+                 const std::string& request_text, std::ostream& out) {
+    auto schema = xacml::parse_schema(read_file(schema_path));
+    auto policy = xacml::parse_policy(read_file(policy_path), schema);
+    auto request = xacml::parse_request(request_text, schema);
+    auto decision = xacml::evaluate(policy, request);
+    out << xacml::decision_name(decision) << "\n";
+    return decision == xacml::Decision::Permit ? 0 : 1;
+}
+
+namespace {
+
+// Pulls `--flag value` out of an argument list.
+std::string take_flag(std::vector<std::string>& args, const std::string& flag,
+                      const std::string& fallback) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == flag) {
+            std::string value = args[i + 1];
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                       args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+            return value;
+        }
+    }
+    return fallback;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
+    try {
+        if (argv.empty()) {
+            err << "usage: agenp <solve|membership|generate|learn> ...\n";
+            return 2;
+        }
+        std::vector<std::string> args(argv.begin() + 1, argv.end());
+        const std::string& command = argv[0];
+        if (command == "solve") {
+            auto models = std::stoull(take_flag(args, "--models", "1"));
+            if (args.size() != 1) throw CliError("usage: agenp solve <program.lp> [--models N]");
+            return cmd_solve(args[0], models, out);
+        }
+        if (command == "membership") {
+            auto sentence = take_flag(args, "--string", "");
+            auto context = take_flag(args, "--context", "");
+            if (args.size() != 1 || sentence.empty()) {
+                throw CliError("usage: agenp membership <grammar.asg> --string \"...\" [--context ctx.lp]");
+            }
+            return cmd_membership(args[0], sentence, context, out);
+        }
+        if (command == "generate") {
+            auto context = take_flag(args, "--context", "");
+            auto max_strings = std::stoull(take_flag(args, "--max", "1000"));
+            if (args.size() != 1) throw CliError("usage: agenp generate <grammar.asg> [--context ctx.lp] [--max N]");
+            return cmd_generate(args[0], context, max_strings, out);
+        }
+        if (command == "learn") {
+            auto out_path = take_flag(args, "--out", "");
+            if (args.size() != 1) throw CliError("usage: agenp learn <task.agenp> [--out learned.asg]");
+            return cmd_learn(args[0], out_path, out);
+        }
+        if (command == "evaluate") {
+            auto request = take_flag(args, "--request", "");
+            if (args.size() != 2 || request.empty()) {
+                throw CliError(
+                    "usage: agenp evaluate <schema.xs> <policy.xp> --request \"attr=value ...\"");
+            }
+            return cmd_evaluate(args[0], args[1], request, out);
+        }
+        err << "unknown command '" << command << "'\n";
+        return 2;
+    } catch (const std::exception& e) {
+        err << "error: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+}  // namespace agenp::cli

@@ -1,0 +1,66 @@
+// The `agenp` command-line tool, as testable library functions.
+//
+//   agenp solve <program.lp> [--models N]
+//   agenp membership <grammar.asg> --string "do patrol" [--context ctx.lp]
+//   agenp generate <grammar.asg> [--context ctx.lp] [--max N]
+//   agenp learn <task.agenp> [--out learned.asg]
+//
+// The learn-task file format is line-oriented with #section headers:
+//
+//   #grammar
+//   request -> "do" task
+//   task -> "patrol" { requires(2). }
+//   #bias
+//   body requires var(lvl) @2
+//   body maxloa var(lvl)
+//   compare lvl gt varvar
+//   max_body 2
+//   max_vars 2
+//   #positive
+//   do patrol | maxloa(3).
+//   #negative
+//   do strike | maxloa(3).
+//
+// Bias lines: `body <pred> <arg>... [@k] [neg]` with args `var(type)`,
+// `const(pool)` or a literal term; `head <pred> <arg>...` plus
+// `no_constraints`; `compare <type> <op>... [varvar] [varconst]` with ops
+// lt le gt ge eq ne; `const <pool> <term>...`; `max_body`, `min_body`,
+// `max_vars`, `max_comparisons`. Example lines: `tokens | inline context.`
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ilp/learner.hpp"
+
+namespace agenp::cli {
+
+struct CliError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+// Parses a learn-task file's text. Throws CliError on format errors.
+ilp::LearningTask parse_task_file(std::string_view text);
+
+// Individual commands; each writes human-readable output and returns the
+// process exit code.
+int cmd_solve(const std::string& program_path, std::size_t max_models, std::ostream& out);
+int cmd_membership(const std::string& grammar_path, const std::string& sentence,
+                   const std::string& context_path, std::ostream& out);
+int cmd_generate(const std::string& grammar_path, const std::string& context_path,
+                 std::size_t max_strings, std::ostream& out);
+int cmd_learn(const std::string& task_path, const std::string& out_path, std::ostream& out);
+
+//   agenp evaluate <schema.xs> <policy.xp> --request "role=doctor hour=3"
+// Exit code 0 = Permit, 1 = anything else.
+int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
+                 const std::string& request_text, std::ostream& out);
+
+// argv-level dispatcher (used by main and by tests).
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+// Reads a whole file; throws CliError when unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace agenp::cli

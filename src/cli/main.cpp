@@ -1,0 +1,11 @@
+// Entry point for the `agenp` command-line tool; all logic lives in
+// cli/commands.cpp so it can be unit-tested.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+    return agenp::cli::run(args, std::cout, std::cerr);
+}

@@ -1,0 +1,50 @@
+#include "explain/attribution.hpp"
+
+#include <algorithm>
+
+namespace agenp::explain {
+
+Attribution attribute_rejection(const asg::AnswerSetGrammar& initial,
+                                const ilp::Hypothesis& hypothesis,
+                                const cfg::TokenString& request, const asp::Program& context,
+                                const asg::MembershipOptions& options) {
+    Attribution out;
+    auto full = initial.with_rules(hypothesis);
+    if (asg::in_language(full, request, context, options)) return out;  // accepted: nothing to attribute
+
+    for (std::size_t i = 0; i < hypothesis.size(); ++i) {
+        // Leave-one-out grammar.
+        ilp::Hypothesis without;
+        for (std::size_t j = 0; j < hypothesis.size(); ++j) {
+            if (j != i) without.push_back(hypothesis[j]);
+        }
+        bool accepted_without = asg::in_language(initial.with_rules(without), request, context, options);
+        if (accepted_without) out.decisive.push_back(i);
+
+        // Contributing: the rule alone rejects the string.
+        bool alone_rejects =
+            !asg::in_language(initial.with_rules({hypothesis[i]}), request, context, options);
+        if (alone_rejects) out.contributing.push_back(i);
+    }
+    // A rejection with no single contributing rule (a conspiracy of rules)
+    // still needs a non-empty contributing set: fall back to all rules.
+    if (out.contributing.empty()) {
+        for (std::size_t i = 0; i < hypothesis.size(); ++i) out.contributing.push_back(i);
+    }
+    return out;
+}
+
+std::string render_attribution(const Attribution& attribution, const ilp::Hypothesis& hypothesis) {
+    if (!attribution.rejected()) return "accepted: no policy rule rejects this request\n";
+    std::string out = "rejected\n";
+    for (auto i : attribution.contributing) {
+        out += "  fired: " + hypothesis[i].first.to_string();
+        bool decisive = std::find(attribution.decisive.begin(), attribution.decisive.end(), i) !=
+                        attribution.decisive.end();
+        if (decisive) out += "   [decisive: removing this rule alone would permit]";
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace agenp::explain

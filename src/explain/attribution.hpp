@@ -1,0 +1,32 @@
+// Rule attribution (Section V.B, policy-enforcement level): which learned
+// rules were responsible for a decision.
+//
+// Attribution is counterfactual ("but-for"): a hypothesis rule is decisive
+// for a rejection when removing just that rule flips the string back into
+// the language. Rules are also reported as "contributing" when they fire on
+// the example even if another rule would still reject it.
+#pragma once
+
+#include "ilp/learner.hpp"
+
+namespace agenp::explain {
+
+struct Attribution {
+    // Indices into the hypothesis.
+    std::vector<std::size_t> decisive;      // removal alone flips the decision
+    std::vector<std::size_t> contributing;  // part of some minimal rejecting set
+
+    [[nodiscard]] bool rejected() const { return !contributing.empty(); }
+};
+
+// For a string rejected by initial:H under `context`, identifies the
+// responsible hypothesis rules. For an accepted string both lists are empty.
+Attribution attribute_rejection(const asg::AnswerSetGrammar& initial,
+                                const ilp::Hypothesis& hypothesis,
+                                const cfg::TokenString& request, const asp::Program& context,
+                                const asg::MembershipOptions& options = {});
+
+// Renders "rejected by rule(s): ..." / "accepted" text.
+std::string render_attribution(const Attribution& attribution, const ilp::Hypothesis& hypothesis);
+
+}  // namespace agenp::explain

@@ -1,0 +1,97 @@
+#include "explain/counterfactual.hpp"
+
+namespace agenp::explain {
+namespace {
+
+using xacml::AttributeValue;
+
+std::vector<AttributeValue> domain_values(const xacml::AttributeDef& def) {
+    std::vector<AttributeValue> out;
+    if (def.numeric) {
+        for (std::int64_t x = def.min; x <= def.max; ++x) out.push_back(AttributeValue::of(x));
+    } else {
+        for (const auto& v : def.values) out.push_back(AttributeValue::of(v));
+    }
+    return out;
+}
+
+// Enumerates all perturbations touching exactly the attributes in
+// `attrs[from..]`, recursing over candidate values.
+void enumerate_changes(const xacml::Schema& schema, const xacml::Request& original,
+                       const std::vector<std::size_t>& attrs, std::size_t from,
+                       xacml::Request& current, Counterfactual& changes,
+                       const std::function<bool(const xacml::Request&)>& decide, bool want,
+                       std::vector<Counterfactual>& out, std::size_t max_results) {
+    if (out.size() >= max_results) return;
+    if (from == attrs.size()) {
+        if (decide(current) == want) out.push_back(changes);
+        return;
+    }
+    std::size_t a = attrs[from];
+    for (const auto& v : domain_values(schema.attributes[a])) {
+        if (v == original.values[a]) continue;  // must actually change
+        current.values[a] = v;
+        changes.changes.emplace_back(a, v);
+        enumerate_changes(schema, original, attrs, from + 1, current, changes, decide, want, out,
+                          max_results);
+        changes.changes.pop_back();
+        current.values[a] = original.values[a];
+        if (out.size() >= max_results) return;
+    }
+}
+
+// All size-k attribute subsets.
+void subsets(std::size_t n, std::size_t k, std::size_t from, std::vector<std::size_t>& current,
+             std::vector<std::vector<std::size_t>>& out) {
+    if (current.size() == k) {
+        out.push_back(current);
+        return;
+    }
+    for (std::size_t i = from; i < n; ++i) {
+        current.push_back(i);
+        subsets(n, k, i + 1, current, out);
+        current.pop_back();
+    }
+}
+
+}  // namespace
+
+std::vector<Counterfactual> find_counterfactuals(
+    const xacml::Schema& schema, const xacml::Request& request,
+    const std::function<bool(const xacml::Request&)>& decide,
+    const CounterfactualOptions& options) {
+    bool original = decide(request);
+    bool want = !original;
+    for (std::size_t distance = 1; distance <= options.max_distance; ++distance) {
+        std::vector<std::vector<std::size_t>> attr_sets;
+        std::vector<std::size_t> scratch;
+        subsets(schema.size(), distance, 0, scratch, attr_sets);
+        std::vector<Counterfactual> found;
+        for (const auto& attrs : attr_sets) {
+            xacml::Request current = request;
+            Counterfactual changes;
+            enumerate_changes(schema, request, attrs, 0, current, changes, decide, want, found,
+                              options.max_results);
+            if (found.size() >= options.max_results) break;
+        }
+        if (!found.empty()) return found;  // minimal distance: stop here
+    }
+    return {};
+}
+
+std::string render_counterfactual(const xacml::Schema& schema, const xacml::Request& request,
+                                  const Counterfactual& counterfactual, bool original_permitted) {
+    std::string verb = original_permitted ? "permitted" : "denied";
+    std::string flipped = original_permitted ? "denied" : "permitted";
+    std::string out = "The request was " + verb + ". If ";
+    for (std::size_t i = 0; i < counterfactual.changes.size(); ++i) {
+        if (i > 0) out += " and ";
+        auto [attr, value] = counterfactual.changes[i];
+        out += schema.attributes[attr].name + " had been " + value.to_string() + " (instead of " +
+               request.values[attr].to_string() + ")";
+    }
+    out += ", it would have been " + flipped + ".";
+    return out;
+}
+
+}  // namespace agenp::explain

@@ -1,0 +1,42 @@
+// Counterfactual explanations (Section V.B): "you were denied because
+// hour=1; if hour had been 2, you would have been permitted" — the
+// Wachter-style explanation the paper borrows from the GDPR discussion.
+//
+// The search enumerates attribute perturbations of the denied request in
+// increasing Hamming distance and reports the minimal flips that change the
+// decision. Works over any predicate on xacml::Request, so it explains both
+// native XACML policies and learned ASG models.
+#pragma once
+
+#include <functional>
+
+#include "xacml/attributes.hpp"
+
+namespace agenp::explain {
+
+struct Counterfactual {
+    // (attribute index, new value) changes that flip the decision.
+    std::vector<std::pair<std::size_t, xacml::AttributeValue>> changes;
+
+    [[nodiscard]] std::size_t distance() const { return changes.size(); }
+};
+
+struct CounterfactualOptions {
+    std::size_t max_distance = 2;  // Hamming radius searched
+    std::size_t max_results = 3;   // closest counterfactuals reported
+};
+
+// Minimal-change counterfactuals for `request` under `decide` (true =
+// permit). Results are at the smallest distance where any flip exists;
+// empty when nothing within max_distance flips the decision.
+std::vector<Counterfactual> find_counterfactuals(
+    const xacml::Schema& schema, const xacml::Request& request,
+    const std::function<bool(const xacml::Request&)>& decide,
+    const CounterfactualOptions& options = {});
+
+// "You were denied because ...; if hour had been 2, you would have been
+// permitted."
+std::string render_counterfactual(const xacml::Schema& schema, const xacml::Request& request,
+                                  const Counterfactual& counterfactual, bool original_permitted);
+
+}  // namespace agenp::explain

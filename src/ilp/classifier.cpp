@@ -1,0 +1,24 @@
+#include "ilp/classifier.hpp"
+
+namespace agenp::ilp {
+
+bool SymbolicPolicyClassifier::fit(const std::vector<LabelledExample>& examples) {
+    LearningTask task;
+    task.initial = initial_;
+    task.space = space_;
+    for (const auto& ex : examples) {
+        (ex.accepted ? task.positive : task.negative).emplace_back(ex.request, ex.context);
+    }
+    result_ = learn(task, options_);
+    if (result_.found) {
+        learned_ = initial_.with_rules(result_.hypothesis);
+    }
+    return result_.found;
+}
+
+bool SymbolicPolicyClassifier::predict(const cfg::TokenString& request,
+                                       const asp::Program& context) const {
+    return asg::in_language(learned_, request, context, options_.membership);
+}
+
+}  // namespace agenp::ilp

@@ -1,0 +1,46 @@
+// SymbolicPolicyClassifier: the paper's GPM-as-classifier usage (Section
+// IV.A, [25]): an ASG whose language, in a given context, is the set of
+// requests the policy accepts. Learning from labelled (request, context)
+// pairs is a context-dependent ASG learning task; prediction is language
+// membership. This facade gives the symbolic learner the same
+// fit/predict surface as the statistical baselines in ml/, so learning
+// curves compare like for like.
+#pragma once
+
+#include "ilp/learner.hpp"
+
+namespace agenp::ilp {
+
+struct LabelledExample {
+    cfg::TokenString request;
+    asp::Program context;
+    bool accepted = false;
+};
+
+class SymbolicPolicyClassifier {
+public:
+    SymbolicPolicyClassifier(asg::AnswerSetGrammar initial, HypothesisSpace space,
+                             LearnOptions options = {})
+        : initial_(std::move(initial)), space_(std::move(space)), options_(std::move(options)) {}
+
+    // Learns a hypothesis from labelled examples. Returns false (leaving the
+    // previous model in place) when no consistent hypothesis exists within
+    // bounds — e.g. under label noise.
+    bool fit(const std::vector<LabelledExample>& examples);
+
+    // Membership of `request` in the learned (or initial, if fit never
+    // succeeded) GPM's language under `context`.
+    [[nodiscard]] bool predict(const cfg::TokenString& request, const asp::Program& context) const;
+
+    [[nodiscard]] const LearnResult& last_result() const { return result_; }
+    [[nodiscard]] const asg::AnswerSetGrammar& model() const { return learned_; }
+
+private:
+    asg::AnswerSetGrammar initial_;
+    HypothesisSpace space_;
+    LearnOptions options_;
+    asg::AnswerSetGrammar learned_ = initial_;
+    LearnResult result_;
+};
+
+}  // namespace agenp::ilp

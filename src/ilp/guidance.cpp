@@ -1,0 +1,83 @@
+#include "ilp/guidance.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace agenp::ilp {
+
+std::vector<ml::FeatureSpec> SearchGuidance::feature_schema() {
+    return {
+        ml::FeatureSpec::numeric_feature("cost"),
+        ml::FeatureSpec::numeric_feature("body_literals"),
+        ml::FeatureSpec::numeric_feature("negative_literals"),
+        ml::FeatureSpec::numeric_feature("comparisons"),
+        ml::FeatureSpec::numeric_feature("distinct_vars"),
+        ml::FeatureSpec::numeric_feature("constant_args"),
+        ml::FeatureSpec::numeric_feature("annotated_atoms"),
+        ml::FeatureSpec::numeric_feature("max_annotation"),
+    };
+}
+
+std::vector<double> SearchGuidance::features(const Candidate& candidate) {
+    const asp::Rule& rule = candidate.rule;
+    double negatives = 0, annotated = 0, constant_args = 0, max_annotation = 0;
+    for (const auto& l : rule.body) {
+        negatives += l.positive ? 0 : 1;
+        if (l.atom.annotation != asp::kUnannotated) {
+            annotated += 1;
+            max_annotation = std::max(max_annotation, static_cast<double>(l.atom.annotation));
+        }
+        for (const auto& arg : l.atom.args) constant_args += arg.is_ground() ? 1 : 0;
+    }
+    std::vector<asp::Symbol> vars;
+    rule.collect_variables(vars);
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    return {static_cast<double>(candidate.cost),
+            static_cast<double>(rule.body.size()),
+            negatives,
+            static_cast<double>(rule.builtins.size()),
+            static_cast<double>(vars.size()),
+            constant_args,
+            annotated,
+            max_annotation};
+}
+
+SearchGuidance::SearchGuidance() : data_(feature_schema()) {}
+
+void SearchGuidance::record(const LearningTask& task, const LearnResult& result) {
+    if (!result.found) return;
+    std::set<std::string> chosen;
+    for (const auto& [rule, production] : result.hypothesis) {
+        chosen.insert(rule.to_string() + "#" + std::to_string(production));
+    }
+    for (const auto& c : task.space.candidates) {
+        bool used = chosen.contains(c.rule.to_string() + "#" + std::to_string(c.production));
+        data_.add_row(features(c), used ? 1 : 0);
+    }
+}
+
+bool SearchGuidance::train() {
+    if (data_.size() == 0) return false;
+    model_.fit(data_);
+    trained_ = true;
+    return true;
+}
+
+double SearchGuidance::score(const Candidate& candidate) const {
+    if (!trained_) return 0.5;
+    return model_.predict_proba(features(candidate));
+}
+
+std::vector<std::size_t> SearchGuidance::ranking(const std::vector<Candidate>& candidates) const {
+    std::vector<std::size_t> order(candidates.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    if (!trained_) return order;
+    std::vector<double> scores(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) scores[i] = score(candidates[i]);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+    return order;
+}
+
+}  // namespace agenp::ilp

@@ -1,0 +1,47 @@
+// Statistical guidance of the hypothesis search (Section V.C).
+//
+// "One can learn strategies to best search the hypothesis space": a
+// statistical model — here the ml:: logistic regression — is trained on
+// previously solved tasks to predict which candidate rules end up in final
+// hypotheses, and the learner's branch-and-bound visits predicted-useful
+// candidates first. Ordering never affects correctness or minimality (the
+// search remains exact); it affects how quickly the bound tightens.
+#pragma once
+
+#include "ilp/learner.hpp"
+#include "ml/logistic_regression.hpp"
+
+namespace agenp::ilp {
+
+class SearchGuidance {
+public:
+    SearchGuidance();
+
+    // Accumulates training rows from a solved task: every candidate of the
+    // task's space, labelled by membership in the final hypothesis.
+    void record(const LearningTask& task, const LearnResult& result);
+
+    // Fits the scorer; returns false when there is nothing to train on.
+    bool train();
+
+    [[nodiscard]] bool trained() const { return trained_; }
+    [[nodiscard]] std::size_t observations() const { return data_.size(); }
+
+    // Probability that `candidate` belongs to a final hypothesis.
+    [[nodiscard]] double score(const Candidate& candidate) const;
+
+    // Indices of `candidates` ordered most-promising-first (stable: ties
+    // keep the original cost order).
+    [[nodiscard]] std::vector<std::size_t> ranking(const std::vector<Candidate>& candidates) const;
+
+    // Structural features of a candidate rule (exposed for tests).
+    static std::vector<double> features(const Candidate& candidate);
+    static std::vector<ml::FeatureSpec> feature_schema();
+
+private:
+    ml::Dataset data_;
+    ml::LogisticRegression model_;
+    bool trained_ = false;
+};
+
+}  // namespace agenp::ilp

@@ -1,0 +1,44 @@
+// Hypothesis-space generation: materializes S_M from a mode bias.
+//
+// Each candidate pairs a rule with the production whose annotation it may be
+// added to ("each rule in S_M also contains a set of identifiers specifying
+// which production rules it can be added to", Section II.B).
+#pragma once
+
+#include "asg/asg.hpp"
+#include "ilp/mode.hpp"
+
+namespace agenp::ilp {
+
+struct Candidate {
+    asp::Rule rule;
+    int production = 0;  // target production index in the initial ASG
+    int cost = 0;        // literal count; the learner minimizes total cost
+
+    [[nodiscard]] std::string to_string() const {
+        return rule.to_string() + " @prod" + std::to_string(production);
+    }
+};
+
+struct HypothesisSpace {
+    std::vector<Candidate> candidates;
+
+    [[nodiscard]] bool constraints_only() const {
+        for (const auto& c : candidates) {
+            if (!c.rule.is_constraint()) return false;
+        }
+        return true;
+    }
+};
+
+struct SpaceLimits {
+    std::size_t max_candidates = 200000;
+};
+
+// Enumerates all safe, canonical rules within `bias`, replicated over
+// `target_productions`. Throws std::runtime_error if the space exceeds
+// `limits.max_candidates` (a mis-set bias, not a recoverable condition).
+HypothesisSpace generate_space(const ModeBias& bias, const std::vector<int>& target_productions,
+                               const SpaceLimits& limits = {});
+
+}  // namespace agenp::ilp

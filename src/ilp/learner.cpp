@@ -1,0 +1,546 @@
+#include "ilp/learner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "asp/substitution.hpp"
+#include "ilp/guidance.hpp"
+
+namespace agenp::ilp {
+
+std::string LearnResult::hypothesis_to_string() const {
+    std::string out;
+    for (const auto& [rule, production] : hypothesis) {
+        out += rule.to_string() + "   % -> production " + std::to_string(production) + "\n";
+    }
+    return out;
+}
+
+namespace {
+
+using asg::Trace;
+
+// ---------------------------------------------------------------------------
+// Fast path: constraint-only hypothesis spaces.
+// ---------------------------------------------------------------------------
+
+// One answer set of the base program for one parse tree, indexed for joins.
+struct World {
+    std::size_t tree_index = 0;
+    std::unordered_set<asp::Atom> atoms;
+    std::unordered_map<util::Symbol, std::vector<asp::Atom>> by_pred;
+
+    void add(const asp::Atom& a) {
+        atoms.insert(a);
+        by_pred[a.predicate].push_back(a);
+    }
+};
+
+struct TreeInfo {
+    // production index -> traces of nodes using it
+    std::unordered_map<int, std::vector<Trace>> nodes;
+};
+
+struct ExampleWorlds {
+    std::vector<TreeInfo> trees;
+    std::vector<World> worlds;  // capped at 64 so masks fit a word
+    bool cap_hit = false;
+};
+
+using Mask = std::uint64_t;
+
+Mask all_worlds_mask(std::size_t n) { return n >= 64 ? ~Mask{0} : ((Mask{1} << n) - 1); }
+
+// Evaluates the body of a (renamed, possibly non-ground) constraint against
+// a fixed interpretation: true iff some grounding satisfies every positive
+// literal, every builtin, and no negative literal.
+class BodyMatcher {
+public:
+    BodyMatcher(const asp::Rule& rule, const World& world) : rule_(rule), world_(world) {}
+
+    bool exists_match() {
+        asp::Subst subst;
+        return match_positive(0, subst);
+    }
+
+private:
+    bool match_positive(std::size_t index, asp::Subst& subst) {
+        // Advance to the next positive literal.
+        while (index < rule_.body.size() && !rule_.body[index].positive) ++index;
+        if (index == rule_.body.size()) return finish(subst);
+        const asp::Atom& pattern = rule_.body[index].atom;
+        auto it = world_.by_pred.find(pattern.predicate);
+        if (it == world_.by_pred.end()) return false;
+        for (const auto& atom : it->second) {
+            std::size_t mark = subst.size();
+            if (asp::match_atom(pattern, atom, subst) && match_positive(index + 1, subst)) {
+                return true;
+            }
+            subst.truncate(mark);
+        }
+        return false;
+    }
+
+    bool finish(asp::Subst& subst) {
+        // Builtins, with `V = ground-expr` binders (multi-pass like the
+        // grounder).
+        std::size_t mark = subst.size();
+        std::vector<bool> done(rule_.builtins.size(), false);
+        std::size_t remaining = rule_.builtins.size();
+        bool progress = true;
+        while (progress && remaining > 0) {
+            progress = false;
+            for (std::size_t i = 0; i < rule_.builtins.size(); ++i) {
+                if (done[i]) continue;
+                asp::Term lhs = asp::apply_subst(rule_.builtins[i].lhs, subst);
+                asp::Term rhs = asp::apply_subst(rule_.builtins[i].rhs, subst);
+                if (rule_.builtins[i].op == asp::Comparison::Op::Eq && lhs.is_variable() &&
+                    rhs.is_ground()) {
+                    auto value = asp::evaluate_arithmetic(rhs);
+                    if (!value) {
+                        subst.truncate(mark);
+                        return false;
+                    }
+                    subst.bind(lhs.symbol(), *value);
+                } else if (lhs.is_ground() && rhs.is_ground()) {
+                    auto result = asp::Comparison(rule_.builtins[i].op, lhs, rhs).evaluate();
+                    if (!result || !*result) {
+                        subst.truncate(mark);
+                        return false;
+                    }
+                } else {
+                    continue;
+                }
+                done[i] = true;
+                --remaining;
+                progress = true;
+            }
+        }
+        if (remaining > 0) {  // unsafe leftovers; treat as no match
+            subst.truncate(mark);
+            return false;
+        }
+        // Negative literals must be absent from the interpretation.
+        for (const auto& l : rule_.body) {
+            if (l.positive) continue;
+            asp::Atom ground_atom = asp::apply_subst(l.atom, subst);
+            if (world_.atoms.contains(ground_atom)) {
+                subst.truncate(mark);
+                return false;
+            }
+        }
+        return true;
+    }
+
+    const asp::Rule& rule_;
+    const World& world_;
+};
+
+class FastPathLearner {
+public:
+    FastPathLearner(const LearningTask& task, const LearnOptions& options)
+        : task_(task), options_(options) {}
+
+    LearnResult run() {
+        LearnResult result;
+        result.stats.used_fast_path = true;
+        result.stats.candidates = task_.space.candidates.size();
+
+        noisy_ = options_.noise_penalty > 0;
+        if (!build_worlds(result)) return result;
+        build_violation_masks(result);
+
+        // In strict mode, candidates that kill every world of some positive
+        // example can never appear in a solution. In noisy mode a positive
+        // may be sacrificed, so every candidate stays usable.
+        std::vector<std::size_t> usable;
+        for (std::size_t c = 0; c < task_.space.candidates.size(); ++c) {
+            bool ok = true;
+            if (!noisy_) {
+                for (std::size_t e = 0; e < positive_.size() && ok; ++e) {
+                    Mask alive = all_worlds_mask(positive_[e].worlds.size()) & ~violates_pos_[c][e];
+                    if (alive == 0) ok = false;
+                }
+            }
+            if (ok) usable.push_back(c);
+        }
+
+        // Strict feasibility: every world of every negative example must be
+        // eliminable. (In noisy mode such a negative is abandonable.)
+        if (!noisy_) {
+            for (std::size_t e = 0; e < negative_.size(); ++e) {
+                Mask covered = 0;
+                for (auto c : usable) covered |= violates_neg_[c][e];
+                if ((covered & all_worlds_mask(negative_[e].worlds.size())) !=
+                    all_worlds_mask(negative_[e].worlds.size())) {
+                    result.failure_reason =
+                        "negative example " + std::to_string(e) +
+                        " has a world no candidate constraint can eliminate";
+                    return result;
+                }
+            }
+        }
+
+        // Exact branch-and-bound set cover (with optional per-example
+        // penalties).
+        pos_alive_.assign(positive_.size(), 0);
+        for (std::size_t e = 0; e < positive_.size(); ++e) {
+            pos_alive_[e] = all_worlds_mask(positive_[e].worlds.size());
+        }
+        neg_left_.assign(negative_.size(), 0);
+        for (std::size_t e = 0; e < negative_.size(); ++e) {
+            neg_left_[e] = all_worlds_mask(negative_[e].worlds.size());
+        }
+        sacrificed_pos_.assign(positive_.size(), 0);
+        abandoned_neg_.assign(negative_.size(), 0);
+        usable_ = std::move(usable);
+        // Statistical guidance: branch on predicted-useful candidates first
+        // (stable: equal scores keep generation order, which is cost order).
+        if (options_.guidance != nullptr && options_.guidance->trained()) {
+            std::vector<double> scores(task_.space.candidates.size());
+            for (auto c : usable_) scores[c] = options_.guidance->score(task_.space.candidates[c]);
+            std::stable_sort(usable_.begin(), usable_.end(),
+                             [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+        }
+        best_cost_ = options_.max_cost + 1;
+        best_violated_ = 0;
+        // Worldless positives are violated from the outset in noisy mode.
+        int base_penalty = 0;
+        for (const auto& p : positive_) {
+            if (p.worlds.empty()) base_penalty += options_.noise_penalty;
+        }
+        search(0, base_penalty, result.stats);
+
+        if (best_cost_ > options_.max_cost) {
+            if (result.failure_reason.empty()) {
+                result.failure_reason = "no hypothesis within cost bound " +
+                                        std::to_string(options_.max_cost);
+            }
+            return result;
+        }
+        result.found = true;
+        result.cost = best_cost_;
+        result.violated_examples = best_violated_;
+        for (auto c : best_choice_) {
+            const auto& cand = task_.space.candidates[c];
+            result.hypothesis.emplace_back(cand.rule, cand.production);
+        }
+        return result;
+    }
+
+private:
+    bool build_worlds(LearnResult& result) {
+        auto build = [&](const Example& ex, ExampleWorlds& out) {
+            auto trees = cfg::parse_trees(task_.initial.grammar(), ex.string,
+                                          options_.membership.parse);
+            std::size_t cap = std::min<std::size_t>(options_.max_worlds_per_example, 64);
+            for (const auto& tree : trees) {
+                TreeInfo info;
+                for (auto& [trace, production] : asg::production_nodes(tree)) {
+                    info.nodes[production].push_back(trace);
+                }
+                std::size_t tree_index = out.trees.size();
+                out.trees.push_back(std::move(info));
+                if (out.worlds.size() >= cap) {
+                    out.cap_hit = true;
+                    continue;
+                }
+                asp::Program program = asg::instantiate(task_.initial, tree, ex.context);
+                auto gp = asp::ground(program, options_.membership.grounding);
+                auto solve_options = options_.membership.solve;
+                solve_options.max_models = cap - out.worlds.size() + 1;
+                auto solved = asp::solve(gp, solve_options);
+                ++result.stats.coverage_checks;
+                for (const auto& model : solved.models) {
+                    if (out.worlds.size() >= cap) {
+                        out.cap_hit = true;
+                        break;
+                    }
+                    World w;
+                    w.tree_index = tree_index;
+                    for (auto id : model) w.add(gp.atom(id));
+                    out.worlds.push_back(std::move(w));
+                }
+            }
+            if (out.cap_hit) result.stats.world_cap_hit = true;
+        };
+
+        for (const auto& ex : task_.positive) {
+            ExampleWorlds w;
+            build(ex, w);
+            if (w.worlds.empty() && !noisy_) {
+                result.failure_reason = "positive example '" + cfg::detokenize(ex.string) +
+                                        "' is not accepted by the initial ASG under its context; "
+                                        "constraints cannot add strings";
+                return false;
+            }
+            // In noisy mode a worldless positive is unfixable and counts as
+            // violated from the start.
+            positive_.push_back(std::move(w));
+        }
+        for (const auto& ex : task_.negative) {
+            ExampleWorlds w;
+            build(ex, w);
+            // Negative examples with no worlds are already rejected.
+            if (!w.worlds.empty()) negative_.push_back(std::move(w));
+        }
+        return true;
+    }
+
+    void build_violation_masks(LearnResult& result) {
+        auto masks_for = [&](const ExampleWorlds& ew, const Candidate& cand) {
+            Mask mask = 0;
+            for (std::size_t w = 0; w < ew.worlds.size(); ++w) {
+                const World& world = ew.worlds[w];
+                const TreeInfo& info = ew.trees[world.tree_index];
+                auto it = info.nodes.find(cand.production);
+                if (it == info.nodes.end()) continue;
+                bool violated = false;
+                for (const auto& trace : it->second) {
+                    asp::Rule renamed = asg::rename_rule_at(cand.rule, trace);
+                    ++result.stats.coverage_checks;
+                    if (BodyMatcher(renamed, world).exists_match()) {
+                        violated = true;
+                        break;
+                    }
+                }
+                if (violated) mask |= Mask{1} << w;
+            }
+            return mask;
+        };
+
+        std::size_t n = task_.space.candidates.size();
+        violates_pos_.assign(n, {});
+        violates_neg_.assign(n, {});
+        for (std::size_t c = 0; c < n; ++c) {
+            const auto& cand = task_.space.candidates[c];
+            violates_pos_[c].resize(positive_.size());
+            for (std::size_t e = 0; e < positive_.size(); ++e) {
+                violates_pos_[c][e] = masks_for(positive_[e], cand);
+            }
+            violates_neg_[c].resize(negative_.size());
+            for (std::size_t e = 0; e < negative_.size(); ++e) {
+                violates_neg_[c][e] = masks_for(negative_[e], cand);
+            }
+        }
+    }
+
+    // Counts positives violated in the current state (sacrificed or, at
+    // entry, worldless in noisy mode).
+    std::size_t violated_now() const {
+        std::size_t n = 0;
+        for (std::size_t e = 0; e < positive_.size(); ++e) {
+            if (sacrificed_pos_[e] || positive_[e].worlds.empty()) ++n;
+        }
+        for (std::size_t e = 0; e < negative_.size(); ++e) n += abandoned_neg_[e] != 0;
+        return n;
+    }
+
+    void search(int current_cost, int penalty_cost, LearnStats& stats) {
+        if (++stats.search_nodes > options_.search_budget) return;
+        int total = current_cost + penalty_cost;
+        // Find an uncovered, unabandoned negative world.
+        std::size_t target_e = negative_.size();
+        int target_w = -1;
+        for (std::size_t e = 0; e < negative_.size(); ++e) {
+            if (neg_left_[e] != 0 && !abandoned_neg_[e]) {
+                target_e = e;
+                target_w = std::countr_zero(neg_left_[e]);
+                break;
+            }
+        }
+        if (target_e == negative_.size()) {
+            // Every negative is rejected or abandoned.
+            if (total < best_cost_) {
+                best_cost_ = total;
+                best_choice_ = chosen_;
+                best_violated_ = violated_now();
+            }
+            return;
+        }
+        Mask want = Mask{1} << target_w;
+        for (auto c : usable_) {
+            if ((violates_neg_[c][target_e] & want) == 0) continue;
+            int cost = task_.space.candidates[c].cost;
+            if (std::find(chosen_.begin(), chosen_.end(), c) != chosen_.end()) continue;
+            // Positives must keep a surviving world — or, in noisy mode, be
+            // sacrificed at a penalty.
+            std::vector<std::size_t> newly_sacrificed;
+            bool ok = true;
+            for (std::size_t e = 0; e < positive_.size(); ++e) {
+                if (sacrificed_pos_[e] || positive_[e].worlds.empty()) continue;
+                if ((pos_alive_[e] & ~violates_pos_[c][e]) == 0) {
+                    if (!noisy_) {
+                        ok = false;
+                        break;
+                    }
+                    newly_sacrificed.push_back(e);
+                }
+            }
+            if (!ok) continue;
+            int extra_penalty =
+                options_.noise_penalty * static_cast<int>(newly_sacrificed.size());
+            if (total + cost + extra_penalty >= best_cost_) continue;
+            // Apply.
+            std::vector<Mask> saved_pos = pos_alive_;
+            std::vector<Mask> saved_neg = neg_left_;
+            for (std::size_t e = 0; e < positive_.size(); ++e) pos_alive_[e] &= ~violates_pos_[c][e];
+            for (std::size_t e = 0; e < negative_.size(); ++e) neg_left_[e] &= ~violates_neg_[c][e];
+            for (auto e : newly_sacrificed) sacrificed_pos_[e] = 1;
+            chosen_.push_back(c);
+            search(current_cost + cost, penalty_cost + extra_penalty, stats);
+            chosen_.pop_back();
+            for (auto e : newly_sacrificed) sacrificed_pos_[e] = 0;
+            pos_alive_ = std::move(saved_pos);
+            neg_left_ = std::move(saved_neg);
+        }
+        // Noisy mode: abandon this negative example instead of covering it.
+        if (noisy_ && total + options_.noise_penalty < best_cost_) {
+            abandoned_neg_[target_e] = 1;
+            search(current_cost, penalty_cost + options_.noise_penalty, stats);
+            abandoned_neg_[target_e] = 0;
+        }
+    }
+
+    const LearningTask& task_;
+    const LearnOptions& options_;
+    std::vector<ExampleWorlds> positive_;
+    std::vector<ExampleWorlds> negative_;
+    std::vector<std::vector<Mask>> violates_pos_;  // [candidate][example]
+    std::vector<std::vector<Mask>> violates_neg_;
+    std::vector<std::size_t> usable_;
+    std::vector<Mask> pos_alive_;
+    std::vector<Mask> neg_left_;
+    std::vector<char> sacrificed_pos_;
+    std::vector<char> abandoned_neg_;
+    std::vector<std::size_t> chosen_;
+    std::vector<std::size_t> best_choice_;
+    int best_cost_ = 0;
+    std::size_t best_violated_ = 0;
+    bool noisy_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// General path: CEGIS + iterative-deepening subset search.
+// ---------------------------------------------------------------------------
+
+class GeneralLearner {
+public:
+    GeneralLearner(const LearningTask& task, const LearnOptions& options)
+        : task_(task), options_(options) {}
+
+    LearnResult run() {
+        LearnResult result;
+        result.stats.candidates = task_.space.candidates.size();
+
+        // (example index, is_positive) pairs driving the inner search.
+        std::vector<std::pair<std::size_t, bool>> relevant;
+
+        while (true) {
+            ++result.stats.cegis_iterations;
+            auto hypothesis = inner_search(relevant, result.stats);
+            if (!hypothesis) {
+                result.failure_reason = budget_exhausted_
+                                            ? "search budget exhausted"
+                                            : "no hypothesis within bounds covers the relevant examples";
+                return result;
+            }
+            auto violated = first_violated(*hypothesis, result.stats);
+            if (!violated) {
+                result.found = true;
+                for (auto c : *hypothesis) {
+                    const auto& cand = task_.space.candidates[c];
+                    result.hypothesis.emplace_back(cand.rule, cand.production);
+                    result.cost += cand.cost;
+                }
+                return result;
+            }
+            relevant.push_back(*violated);
+        }
+    }
+
+private:
+    bool covers(const std::vector<std::size_t>& subset, const Example& ex, bool want,
+                LearnStats& stats) {
+        Hypothesis h;
+        for (auto c : subset) {
+            h.emplace_back(task_.space.candidates[c].rule, task_.space.candidates[c].production);
+        }
+        auto grammar = task_.initial.with_rules(h);
+        ++stats.coverage_checks;
+        return asg::in_language(grammar, ex.string, ex.context, options_.membership) == want;
+    }
+
+    std::optional<std::pair<std::size_t, bool>> first_violated(const std::vector<std::size_t>& subset,
+                                                               LearnStats& stats) {
+        for (std::size_t e = 0; e < task_.positive.size(); ++e) {
+            if (!covers(subset, task_.positive[e], true, stats)) return std::make_pair(e, true);
+        }
+        for (std::size_t e = 0; e < task_.negative.size(); ++e) {
+            if (!covers(subset, task_.negative[e], false, stats)) return std::make_pair(e, false);
+        }
+        return std::nullopt;
+    }
+
+    bool consistent_with_relevant(const std::vector<std::size_t>& subset,
+                                  const std::vector<std::pair<std::size_t, bool>>& relevant,
+                                  LearnStats& stats) {
+        for (const auto& [index, positive] : relevant) {
+            const Example& ex = positive ? task_.positive[index] : task_.negative[index];
+            if (!covers(subset, ex, positive, stats)) return false;
+        }
+        return true;
+    }
+
+    // Minimal-cost subset consistent with the relevant examples, found by
+    // iterative deepening over exact total cost.
+    std::optional<std::vector<std::size_t>> inner_search(
+        const std::vector<std::pair<std::size_t, bool>>& relevant, LearnStats& stats) {
+        for (int bound = 0; bound <= options_.max_cost; ++bound) {
+            std::vector<std::size_t> subset;
+            if (auto found = dfs(0, bound, subset, relevant, stats)) return found;
+            if (budget_exhausted_) return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
+    std::optional<std::vector<std::size_t>> dfs(
+        std::size_t from, int remaining_cost, std::vector<std::size_t>& subset,
+        const std::vector<std::pair<std::size_t, bool>>& relevant, LearnStats& stats) {
+        if (++stats.search_nodes > options_.search_budget) {
+            budget_exhausted_ = true;
+            return std::nullopt;
+        }
+        if (remaining_cost == 0) {
+            if (consistent_with_relevant(subset, relevant, stats)) return subset;
+            return std::nullopt;
+        }
+        if (static_cast<int>(subset.size()) >= options_.max_rules) return std::nullopt;
+        for (std::size_t c = from; c < task_.space.candidates.size(); ++c) {
+            int cost = task_.space.candidates[c].cost;
+            if (cost > remaining_cost) continue;
+            subset.push_back(c);
+            if (auto found = dfs(c + 1, remaining_cost - cost, subset, relevant, stats)) return found;
+            subset.pop_back();
+            if (budget_exhausted_) return std::nullopt;
+        }
+        return std::nullopt;
+    }
+
+    const LearningTask& task_;
+    const LearnOptions& options_;
+    bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+LearnResult learn(const LearningTask& task, const LearnOptions& options) {
+    if (options.allow_fast_path && task.space.constraints_only()) {
+        return FastPathLearner(task, options).run();
+    }
+    return GeneralLearner(task, options).run();
+}
+
+}  // namespace agenp::ilp

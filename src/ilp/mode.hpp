@@ -1,0 +1,86 @@
+// Mode bias: the declarative description of the hypothesis space S_M
+// (Definition 3). Mirrors ILASP's mode declarations, restricted to the
+// normal-rule + constraint fragment the paper uses.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "asp/rule.hpp"
+
+namespace agenp::ilp {
+
+using asp::Symbol;
+
+// One argument slot of a mode atom.
+struct ArgSpec {
+    enum class Kind {
+        Var,    // a typed variable placeholder
+        Const,  // filled from the constant pool of `type`
+        Fixed,  // a literal term
+    };
+
+    Kind kind = Kind::Var;
+    Symbol type;      // variable type (Var) or pool name (Const)
+    asp::Term fixed;  // Fixed only
+
+    static ArgSpec var(std::string_view type) { return {Kind::Var, Symbol(type), {}}; }
+    static ArgSpec constant(std::string_view pool) { return {Kind::Const, Symbol(pool), {}}; }
+    static ArgSpec fixed_term(asp::Term t) { return {Kind::Fixed, Symbol(), std::move(t)}; }
+};
+
+// A schema for atoms allowed in hypothesis rules. `annotation` carries the
+// ASG child index the atom refers to (kUnannotated = the node itself).
+struct ModeAtom {
+    Symbol predicate;
+    int annotation = asp::kUnannotated;
+    std::vector<ArgSpec> args;
+    bool allow_negated = false;  // body only: may also appear under "not"
+
+    ModeAtom() = default;
+    ModeAtom(std::string_view pred, std::vector<ArgSpec> a, int ann = asp::kUnannotated,
+             bool neg = false)
+        : predicate(pred), annotation(ann), args(std::move(a)), allow_negated(neg) {}
+};
+
+// Comparisons allowed between hypothesis variables of `type` and/or pool
+// constants of the same type.
+struct ComparisonMode {
+    Symbol type;
+    std::vector<asp::Comparison::Op> ops;
+    bool var_vs_const = true;
+    bool var_vs_var = false;
+
+    ComparisonMode() = default;
+    ComparisonMode(std::string_view t, std::vector<asp::Comparison::Op> o, bool vc = true,
+                   bool vv = false)
+        : type(t), ops(std::move(o)), var_vs_const(vc), var_vs_var(vv) {}
+};
+
+struct ModeBias {
+    // Head schemas for normal rules; empty + allow_constraints=true yields a
+    // constraint-only space (the common case for ASG semantic conditions).
+    std::vector<ModeAtom> head;
+    bool allow_constraints = true;
+
+    std::vector<ModeAtom> body;
+    std::vector<ComparisonMode> comparisons;
+    std::map<Symbol, std::vector<asp::Term>> constants;  // pool name -> terms
+
+    int max_body_atoms = 2;    // body literals, excluding comparisons
+    int min_body_atoms = 1;    // at least this many (bare ":-." is never useful)
+    int max_comparisons = 1;
+    int max_vars = 2;  // distinct variables per rule (across all types)
+
+    void add_constant(std::string_view pool, asp::Term t) {
+        constants[Symbol(pool)].push_back(std::move(t));
+    }
+    void add_int_constants(std::string_view pool, std::initializer_list<std::int64_t> values) {
+        for (auto v : values) add_constant(pool, asp::Term::integer(v));
+    }
+    void add_symbol_constants(std::string_view pool, std::initializer_list<std::string_view> values) {
+        for (auto v : values) add_constant(pool, asp::Term::constant(v));
+    }
+};
+
+}  // namespace agenp::ilp

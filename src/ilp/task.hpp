@@ -1,0 +1,33 @@
+// Context-dependent ASG learning tasks (Definition 3).
+#pragma once
+
+#include "asg/asg.hpp"
+#include "ilp/hypothesis_space.hpp"
+
+namespace agenp::ilp {
+
+// ⟨s, C⟩: a policy string paired with the ASP context under which it is (or
+// is not) a valid policy.
+struct Example {
+    cfg::TokenString string;
+    asp::Program context;
+    std::string id;  // for reporting; empty is fine
+
+    Example() = default;
+    Example(cfg::TokenString s, asp::Program c, std::string name = "")
+        : string(std::move(s)), context(std::move(c)), id(std::move(name)) {}
+};
+
+// T = ⟨G, S_M, E+, E−⟩.
+struct LearningTask {
+    asg::AnswerSetGrammar initial;
+    HypothesisSpace space;
+    std::vector<Example> positive;
+    std::vector<Example> negative;
+};
+
+// A hypothesis H ⊆ S_M: rules paired with their target productions, ready
+// for AnswerSetGrammar::with_rules.
+using Hypothesis = std::vector<std::pair<asp::Rule, int>>;
+
+}  // namespace agenp::ilp

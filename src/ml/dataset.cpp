@@ -1,0 +1,39 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace agenp::ml {
+
+void Dataset::add_row(std::vector<double> values, int label) {
+    if (values.size() != features_.size()) {
+        throw std::invalid_argument("row arity does not match dataset schema");
+    }
+    rows_.push_back(std::move(values));
+    labels_.push_back(label);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+    Dataset out(features_);
+    for (auto i : indices) out.add_row(rows_[i], labels_[i]);
+    return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction, util::Rng& rng) const {
+    std::vector<std::size_t> indices(size());
+    std::iota(indices.begin(), indices.end(), 0);
+    rng.shuffle(indices);
+    auto cut = static_cast<std::size_t>(static_cast<double>(size()) * train_fraction);
+    std::vector<std::size_t> train(indices.begin(), indices.begin() + static_cast<std::ptrdiff_t>(cut));
+    std::vector<std::size_t> test(indices.begin() + static_cast<std::ptrdiff_t>(cut), indices.end());
+    return {subset(train), subset(test)};
+}
+
+Dataset Dataset::head(std::size_t n) const {
+    std::vector<std::size_t> indices(std::min(n, size()));
+    std::iota(indices.begin(), indices.end(), 0);
+    return subset(indices);
+}
+
+}  // namespace agenp::ml

@@ -1,0 +1,66 @@
+// Tabular datasets for the statistical baselines.
+//
+// The paper's CAV comparison ([25], Section IV.A) pits the symbolic learner
+// against "shallow ML"; these baselines consume the same scenario examples
+// flattened into feature vectors. Features are numeric or categorical;
+// labels are binary (accept/reject).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace agenp::ml {
+
+struct FeatureSpec {
+    std::string name;
+    bool numeric = true;
+    // Categorical only: category names; cell values are indices into this.
+    std::vector<std::string> categories;
+
+    static FeatureSpec numeric_feature(std::string n) { return {std::move(n), true, {}}; }
+    static FeatureSpec categorical(std::string n, std::vector<std::string> cats) {
+        return {std::move(n), false, std::move(cats)};
+    }
+};
+
+class Dataset {
+public:
+    Dataset() = default;
+    explicit Dataset(std::vector<FeatureSpec> features) : features_(std::move(features)) {}
+
+    void add_row(std::vector<double> values, int label);
+
+    [[nodiscard]] const std::vector<FeatureSpec>& features() const { return features_; }
+    [[nodiscard]] std::size_t size() const { return rows_.size(); }
+    [[nodiscard]] std::size_t feature_count() const { return features_.size(); }
+    [[nodiscard]] const std::vector<double>& row(std::size_t i) const { return rows_[i]; }
+    [[nodiscard]] int label(std::size_t i) const { return labels_[i]; }
+
+    // A dataset with the same schema and the selected rows.
+    [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+
+    // Deterministic shuffled split; first `train_fraction` of rows train.
+    [[nodiscard]] std::pair<Dataset, Dataset> split(double train_fraction, util::Rng& rng) const;
+
+    // The first n rows (for learning curves over a shuffled dataset).
+    [[nodiscard]] Dataset head(std::size_t n) const;
+
+private:
+    std::vector<FeatureSpec> features_;
+    std::vector<std::vector<double>> rows_;
+    std::vector<int> labels_;
+};
+
+// Interface shared by all baselines.
+class BinaryClassifier {
+public:
+    virtual ~BinaryClassifier() = default;
+    virtual void fit(const Dataset& train) = 0;
+    [[nodiscard]] virtual int predict(const std::vector<double>& row) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace agenp::ml

@@ -1,0 +1,163 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace agenp::ml {
+namespace {
+
+double gini(std::size_t pos, std::size_t total) {
+    if (total == 0) return 0;
+    double p = static_cast<double>(pos) / static_cast<double>(total);
+    return 2.0 * p * (1.0 - p);
+}
+
+int majority(const Dataset& data, const std::vector<std::size_t>& indices) {
+    if (indices.empty()) return 0;
+    std::size_t pos = 0;
+    for (auto i : indices) pos += static_cast<std::size_t>(data.label(i));
+    return pos * 2 >= indices.size() ? 1 : 0;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& train) {
+    features_ = train.features();
+    std::vector<std::size_t> indices(train.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    root_ = build(train, indices, 0);
+}
+
+std::unique_ptr<DecisionTree::Node> DecisionTree::build(const Dataset& data,
+                                                        const std::vector<std::size_t>& indices,
+                                                        int depth) {
+    auto node = std::make_unique<Node>();
+    node->label = majority(data, indices);
+
+    std::size_t pos = 0;
+    for (auto i : indices) pos += static_cast<std::size_t>(data.label(i));
+    bool pure = pos == 0 || pos == indices.size();
+    if (pure || depth >= options_.max_depth || indices.size() < options_.min_samples_split) {
+        return node;
+    }
+
+    double parent_impurity = gini(pos, indices.size());
+    double best_gain = 1e-12;
+    std::size_t best_feature = 0;
+    double best_threshold = 0;
+    bool best_categorical = false;
+
+    for (std::size_t f = 0; f < data.feature_count(); ++f) {
+        bool categorical = !data.features()[f].numeric;
+        // Candidate split points: midpoints of sorted distinct values
+        // (numeric) or each distinct category (categorical).
+        std::set<double> values;
+        for (auto i : indices) values.insert(data.row(i)[f]);
+        if (values.size() < 2 && !categorical) continue;
+        std::vector<double> candidates;
+        if (categorical) {
+            candidates.assign(values.begin(), values.end());
+        } else {
+            double prev = 0;
+            bool first = true;
+            for (double v : values) {
+                if (!first) candidates.push_back((prev + v) / 2);
+                prev = v;
+                first = false;
+            }
+        }
+        for (double threshold : candidates) {
+            std::size_t left_total = 0, left_pos = 0, right_total = 0, right_pos = 0;
+            for (auto i : indices) {
+                double v = data.row(i)[f];
+                bool left = categorical ? v == threshold : v <= threshold;
+                if (left) {
+                    ++left_total;
+                    left_pos += static_cast<std::size_t>(data.label(i));
+                } else {
+                    ++right_total;
+                    right_pos += static_cast<std::size_t>(data.label(i));
+                }
+            }
+            if (left_total == 0 || right_total == 0) continue;
+            double weighted = (static_cast<double>(left_total) * gini(left_pos, left_total) +
+                               static_cast<double>(right_total) * gini(right_pos, right_total)) /
+                              static_cast<double>(indices.size());
+            double gain = parent_impurity - weighted;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = threshold;
+                best_categorical = categorical;
+            }
+        }
+    }
+
+    if (best_gain <= 1e-12) return node;  // no useful split
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (auto i : indices) {
+        double v = data.row(i)[best_feature];
+        bool left = best_categorical ? v == best_threshold : v <= best_threshold;
+        (left ? left_idx : right_idx).push_back(i);
+    }
+    node->leaf = false;
+    node->feature = best_feature;
+    node->threshold = best_threshold;
+    node->categorical = best_categorical;
+    node->left = build(data, left_idx, depth + 1);
+    node->right = build(data, right_idx, depth + 1);
+    return node;
+}
+
+int DecisionTree::predict(const std::vector<double>& row) const {
+    const Node* n = root_.get();
+    if (!n) return 0;
+    while (!n->leaf) {
+        double v = row[n->feature];
+        bool left = n->categorical ? v == n->threshold : v <= n->threshold;
+        n = left ? n->left.get() : n->right.get();
+    }
+    return n->label;
+}
+
+int DecisionTree::node_count() const {
+    // Iterative walk to avoid exposing Node.
+    int count = 0;
+    std::vector<const Node*> stack;
+    if (root_) stack.push_back(root_.get());
+    while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        ++count;
+        if (!n->leaf) {
+            stack.push_back(n->left.get());
+            stack.push_back(n->right.get());
+        }
+    }
+    return count;
+}
+
+int DecisionTree::depth() const {
+    struct Item {
+        const Node* node;
+        int depth;
+    };
+    int best = 0;
+    std::vector<Item> stack;
+    if (root_) stack.push_back({root_.get(), 1});
+    while (!stack.empty()) {
+        auto [n, d] = stack.back();
+        stack.pop_back();
+        best = std::max(best, d);
+        if (!n->leaf) {
+            stack.push_back({n->left.get(), d + 1});
+            stack.push_back({n->right.get(), d + 1});
+        }
+    }
+    return best;
+}
+
+}  // namespace agenp::ml

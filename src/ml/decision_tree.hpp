@@ -1,0 +1,46 @@
+// CART-style decision tree (gini impurity, numeric thresholds and
+// categorical equality splits).
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.hpp"
+
+namespace agenp::ml {
+
+struct DecisionTreeOptions {
+    int max_depth = 8;
+    std::size_t min_samples_split = 2;
+};
+
+class DecisionTree final : public BinaryClassifier {
+public:
+    explicit DecisionTree(DecisionTreeOptions options = {}) : options_(options) {}
+
+    void fit(const Dataset& train) override;
+    [[nodiscard]] int predict(const std::vector<double>& row) const override;
+    [[nodiscard]] std::string name() const override { return "decision-tree"; }
+
+    [[nodiscard]] int node_count() const;
+    [[nodiscard]] int depth() const;
+
+private:
+    struct Node {
+        bool leaf = true;
+        int label = 0;
+        std::size_t feature = 0;
+        double threshold = 0;        // numeric: go left when value <= threshold
+        bool categorical = false;    // categorical: go left when value == threshold
+        std::unique_ptr<Node> left, right;
+    };
+
+    std::unique_ptr<Node> build(const Dataset& data, const std::vector<std::size_t>& indices,
+                                int depth);
+
+    DecisionTreeOptions options_;
+    std::unique_ptr<Node> root_;
+    const Dataset* schema_ = nullptr;  // feature specs of the training data
+    std::vector<FeatureSpec> features_;
+};
+
+}  // namespace agenp::ml

@@ -1,0 +1,50 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agenp::ml {
+
+void Knn::fit(const Dataset& train) {
+    train_ = train;
+    scale_.assign(train.feature_count(), 1.0);
+    for (std::size_t f = 0; f < train.feature_count(); ++f) {
+        if (!train.features()[f].numeric || train.size() == 0) continue;
+        double mean = 0;
+        for (std::size_t i = 0; i < train.size(); ++i) mean += train.row(i)[f];
+        mean /= static_cast<double>(train.size());
+        double var = 0;
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            double d = train.row(i)[f] - mean;
+            var += d * d;
+        }
+        double stdev = std::sqrt(var / static_cast<double>(train.size()));
+        scale_[f] = stdev > 1e-12 ? 1.0 / stdev : 1.0;
+    }
+}
+
+int Knn::predict(const std::vector<double>& row) const {
+    if (train_.size() == 0) return 0;
+    std::vector<std::pair<double, int>> distances;
+    distances.reserve(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+        double d = 0;
+        for (std::size_t f = 0; f < train_.feature_count(); ++f) {
+            if (train_.features()[f].numeric) {
+                double diff = (row[f] - train_.row(i)[f]) * scale_[f];
+                d += diff * diff;
+            } else {
+                d += row[f] == train_.row(i)[f] ? 0.0 : 1.0;
+            }
+        }
+        distances.emplace_back(d, train_.label(i));
+    }
+    auto k = std::min<std::size_t>(static_cast<std::size_t>(options_.k), distances.size());
+    std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                      distances.end());
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < k; ++i) pos += static_cast<std::size_t>(distances[i].second);
+    return pos * 2 >= k ? 1 : 0;
+}
+
+}  // namespace agenp::ml

@@ -1,0 +1,27 @@
+// k-nearest-neighbours over a mixed metric: squared standardized distance on
+// numeric features, Hamming on categorical ones.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace agenp::ml {
+
+struct KnnOptions {
+    int k = 5;
+};
+
+class Knn final : public BinaryClassifier {
+public:
+    explicit Knn(KnnOptions options = {}) : options_(options) {}
+
+    void fit(const Dataset& train) override;
+    [[nodiscard]] int predict(const std::vector<double>& row) const override;
+    [[nodiscard]] std::string name() const override { return "knn"; }
+
+private:
+    KnnOptions options_;
+    Dataset train_;
+    std::vector<double> scale_;  // 1/stdev per numeric feature
+};
+
+}  // namespace agenp::ml

@@ -1,0 +1,86 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace agenp::ml {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+std::vector<double> LogisticRegression::encode(const std::vector<double>& row) const {
+    std::vector<double> out;
+    out.reserve(encoded_dim_);
+    for (std::size_t f = 0; f < features_.size(); ++f) {
+        if (features_[f].numeric) {
+            double s = stdev_[f] > 1e-12 ? stdev_[f] : 1.0;
+            out.push_back((row[f] - mean_[f]) / s);
+        } else {
+            for (std::size_t c = 0; c < features_[f].categories.size(); ++c) {
+                out.push_back(row[f] == static_cast<double>(c) ? 1.0 : 0.0);
+            }
+        }
+    }
+    return out;
+}
+
+void LogisticRegression::fit(const Dataset& train) {
+    features_ = train.features();
+    mean_.assign(features_.size(), 0.0);
+    stdev_.assign(features_.size(), 0.0);
+    encoded_dim_ = 0;
+    for (std::size_t f = 0; f < features_.size(); ++f) {
+        encoded_dim_ += features_[f].numeric ? 1 : features_[f].categories.size();
+    }
+    if (train.size() > 0) {
+        for (std::size_t f = 0; f < features_.size(); ++f) {
+            if (!features_[f].numeric) continue;
+            double sum = 0;
+            for (std::size_t i = 0; i < train.size(); ++i) sum += train.row(i)[f];
+            mean_[f] = sum / static_cast<double>(train.size());
+            double var = 0;
+            for (std::size_t i = 0; i < train.size(); ++i) {
+                double d = train.row(i)[f] - mean_[f];
+                var += d * d;
+            }
+            stdev_[f] = std::sqrt(var / static_cast<double>(train.size()));
+        }
+    }
+
+    weights_.assign(encoded_dim_ + 1, 0.0);
+    if (train.size() == 0) return;
+
+    util::Rng rng(options_.seed);
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double lr = options_.learning_rate / (1.0 + 0.01 * epoch);
+        for (auto i : order) {
+            auto x = encode(train.row(i));
+            double z = weights_.back();
+            for (std::size_t d = 0; d < encoded_dim_; ++d) z += weights_[d] * x[d];
+            double err = sigmoid(z) - static_cast<double>(train.label(i));
+            for (std::size_t d = 0; d < encoded_dim_; ++d) {
+                weights_[d] -= lr * (err * x[d] + options_.l2 * weights_[d]);
+            }
+            weights_.back() -= lr * err;
+        }
+    }
+}
+
+double LogisticRegression::predict_proba(const std::vector<double>& row) const {
+    if (weights_.empty()) return 0.5;
+    auto x = encode(row);
+    double z = weights_.back();
+    for (std::size_t d = 0; d < encoded_dim_; ++d) z += weights_[d] * x[d];
+    return sigmoid(z);
+}
+
+int LogisticRegression::predict(const std::vector<double>& row) const {
+    return predict_proba(row) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace agenp::ml

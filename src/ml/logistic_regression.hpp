@@ -1,0 +1,36 @@
+// Logistic regression trained by mini-batch-free SGD with L2 regularization.
+// Categorical features are one-hot encoded internally; numeric features are
+// standardized from training statistics.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace agenp::ml {
+
+struct LogisticRegressionOptions {
+    int epochs = 200;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    std::uint64_t seed = 17;
+};
+
+class LogisticRegression final : public BinaryClassifier {
+public:
+    explicit LogisticRegression(LogisticRegressionOptions options = {}) : options_(options) {}
+
+    void fit(const Dataset& train) override;
+    [[nodiscard]] int predict(const std::vector<double>& row) const override;
+    [[nodiscard]] double predict_proba(const std::vector<double>& row) const;
+    [[nodiscard]] std::string name() const override { return "logistic-regression"; }
+
+private:
+    [[nodiscard]] std::vector<double> encode(const std::vector<double>& row) const;
+
+    LogisticRegressionOptions options_;
+    std::vector<FeatureSpec> features_;
+    std::vector<double> mean_, stdev_;  // per raw numeric feature
+    std::vector<double> weights_;       // encoded dimension + 1 (bias last)
+    std::size_t encoded_dim_ = 0;
+};
+
+}  // namespace agenp::ml

@@ -1,0 +1,26 @@
+#include "ml/metrics.hpp"
+
+#include <functional>
+
+namespace agenp::ml {
+
+Confusion evaluate_fn(const Dataset& test,
+                      const std::function<int(const std::vector<double>&)>& predict) {
+    Confusion c;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        int predicted = predict(test.row(i));
+        int actual = test.label(i);
+        if (actual == 1) {
+            predicted == 1 ? ++c.tp : ++c.fn;
+        } else {
+            predicted == 1 ? ++c.fp : ++c.tn;
+        }
+    }
+    return c;
+}
+
+Confusion evaluate(const BinaryClassifier& model, const Dataset& test) {
+    return evaluate_fn(test, [&](const std::vector<double>& row) { return model.predict(row); });
+}
+
+}  // namespace agenp::ml

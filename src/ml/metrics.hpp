@@ -1,0 +1,37 @@
+// Evaluation metrics shared by the learning-curve experiments.
+#pragma once
+
+#include <functional>
+
+#include "ml/dataset.hpp"
+
+namespace agenp::ml {
+
+struct Confusion {
+    std::size_t tp = 0, tn = 0, fp = 0, fn = 0;
+
+    [[nodiscard]] std::size_t total() const { return tp + tn + fp + fn; }
+    [[nodiscard]] double accuracy() const {
+        return total() == 0 ? 0 : static_cast<double>(tp + tn) / static_cast<double>(total());
+    }
+    [[nodiscard]] double precision() const {
+        return tp + fp == 0 ? 0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    }
+    [[nodiscard]] double recall() const {
+        return tp + fn == 0 ? 0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+    }
+    [[nodiscard]] double f1() const {
+        double p = precision(), r = recall();
+        return p + r == 0 ? 0 : 2 * p * r / (p + r);
+    }
+};
+
+// Evaluates a trained classifier on `test`.
+Confusion evaluate(const BinaryClassifier& model, const Dataset& test);
+
+// Evaluates an arbitrary predictor (used to score the symbolic learner with
+// the same machinery).
+Confusion evaluate_fn(const Dataset& test,
+                      const std::function<int(const std::vector<double>&)>& predict);
+
+}  // namespace agenp::ml

@@ -1,0 +1,82 @@
+#include "ml/naive_bayes.hpp"
+
+#include <cmath>
+
+namespace agenp::ml {
+
+void NaiveBayes::fit(const Dataset& train) {
+    features_ = train.features();
+    std::size_t counts[2] = {0, 0};
+    for (std::size_t i = 0; i < train.size(); ++i) ++counts[train.label(i)];
+    double total = static_cast<double>(train.size());
+    for (int y = 0; y < 2; ++y) {
+        // Laplace-smoothed prior keeps empty classes finite.
+        log_prior_[y] = std::log((static_cast<double>(counts[y]) + 1.0) / (total + 2.0));
+        cat_log_prob_[y].assign(features_.size(), {});
+        gauss_[y].assign(features_.size(), {});
+    }
+
+    for (std::size_t f = 0; f < features_.size(); ++f) {
+        if (!features_[f].numeric) {
+            std::size_t k = features_[f].categories.size();
+            for (int y = 0; y < 2; ++y) {
+                std::vector<double> freq(k, 1.0);  // Laplace
+                double denom = static_cast<double>(counts[y]) + static_cast<double>(k);
+                for (std::size_t i = 0; i < train.size(); ++i) {
+                    if (train.label(i) != y) continue;
+                    auto c = static_cast<std::size_t>(train.row(i)[f]);
+                    if (c < k) freq[c] += 1.0;
+                }
+                cat_log_prob_[y][f].resize(k);
+                for (std::size_t c = 0; c < k; ++c) {
+                    cat_log_prob_[y][f][c] = std::log(freq[c] / denom);
+                }
+            }
+        } else {
+            for (int y = 0; y < 2; ++y) {
+                double sum = 0;
+                std::size_t n = 0;
+                for (std::size_t i = 0; i < train.size(); ++i) {
+                    if (train.label(i) != y) continue;
+                    sum += train.row(i)[f];
+                    ++n;
+                }
+                GaussianStats s;
+                if (n > 0) {
+                    s.mean = sum / static_cast<double>(n);
+                    double var = 0;
+                    for (std::size_t i = 0; i < train.size(); ++i) {
+                        if (train.label(i) != y) continue;
+                        double d = train.row(i)[f] - s.mean;
+                        var += d * d;
+                    }
+                    s.var = var / static_cast<double>(n) + 1e-6;  // variance floor
+                }
+                gauss_[y][f] = s;
+            }
+        }
+    }
+}
+
+int NaiveBayes::predict(const std::vector<double>& row) const {
+    if (features_.empty()) return 0;
+    double score[2];
+    for (int y = 0; y < 2; ++y) {
+        double s = log_prior_[y];
+        for (std::size_t f = 0; f < features_.size(); ++f) {
+            if (!features_[f].numeric) {
+                auto c = static_cast<std::size_t>(row[f]);
+                const auto& probs = cat_log_prob_[y][f];
+                if (c < probs.size()) s += probs[c];
+            } else {
+                const auto& g = gauss_[y][f];
+                double d = row[f] - g.mean;
+                s += -0.5 * std::log(2 * M_PI * g.var) - d * d / (2 * g.var);
+            }
+        }
+        score[y] = s;
+    }
+    return score[1] > score[0] ? 1 : 0;
+}
+
+}  // namespace agenp::ml

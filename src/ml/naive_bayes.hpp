@@ -1,0 +1,29 @@
+// Naive Bayes: multinomial with Laplace smoothing over categorical features,
+// Gaussian over numeric features.
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace agenp::ml {
+
+class NaiveBayes final : public BinaryClassifier {
+public:
+    void fit(const Dataset& train) override;
+    [[nodiscard]] int predict(const std::vector<double>& row) const override;
+    [[nodiscard]] std::string name() const override { return "naive-bayes"; }
+
+private:
+    struct GaussianStats {
+        double mean = 0;
+        double var = 1;
+    };
+
+    std::vector<FeatureSpec> features_;
+    double log_prior_[2] = {0, 0};
+    // [label][feature][category] -> log probability (categorical)
+    std::vector<std::vector<double>> cat_log_prob_[2];
+    // [label][feature] -> gaussian stats (numeric)
+    std::vector<GaussianStats> gauss_[2];
+};
+
+}  // namespace agenp::ml

@@ -1,0 +1,33 @@
+#include "ml/one_vs_rest.hpp"
+
+#include <algorithm>
+
+namespace agenp::ml {
+
+void OneVsRest::fit(const Dataset& train) {
+    models_.clear();
+    for (int c = 0; c < classes_; ++c) {
+        Dataset binary(train.features());
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            binary.add_row(train.row(i), train.label(i) == c ? 1 : 0);
+        }
+        LogisticRegression model(options_);
+        model.fit(binary);
+        models_.push_back(std::move(model));
+    }
+}
+
+std::vector<double> OneVsRest::scores(const std::vector<double>& row) const {
+    std::vector<double> out;
+    out.reserve(models_.size());
+    for (const auto& m : models_) out.push_back(m.predict_proba(row));
+    return out;
+}
+
+int OneVsRest::predict(const std::vector<double>& row) const {
+    if (models_.empty()) return 0;
+    auto s = scores(row);
+    return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+}  // namespace agenp::ml

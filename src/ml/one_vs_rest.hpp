@@ -1,0 +1,32 @@
+// One-vs-rest multiclass classification on top of the binary baselines.
+//
+// Used by the neurosymbolic pipeline (Section V.C's closing vision:
+// "statistical machine learned functions are used to detect 'atomic'
+// concepts ... and a rule model ... identifies more complex concepts"):
+// a statistical model turns raw sensor vectors into symbolic context facts
+// that the generative policy then reasons over.
+#pragma once
+
+#include "ml/logistic_regression.hpp"
+
+namespace agenp::ml {
+
+class OneVsRest {
+public:
+    explicit OneVsRest(int classes, LogisticRegressionOptions options = {})
+        : classes_(classes), options_(options) {}
+
+    // `train` labels must lie in [0, classes).
+    void fit(const Dataset& train);
+
+    [[nodiscard]] int predict(const std::vector<double>& row) const;
+    [[nodiscard]] std::vector<double> scores(const std::vector<double>& row) const;
+    [[nodiscard]] int classes() const { return classes_; }
+
+private:
+    int classes_;
+    LogisticRegressionOptions options_;
+    std::vector<LogisticRegression> models_;
+};
+
+}  // namespace agenp::ml

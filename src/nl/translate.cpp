@@ -1,0 +1,134 @@
+#include "nl/translate.hpp"
+
+#include "util/strings.hpp"
+
+namespace agenp::nl {
+
+const NlAttribute* Vocabulary::find(std::string_view word) const {
+    for (const auto& a : attributes) {
+        if (a.word == word) return &a;
+    }
+    return nullptr;
+}
+
+Vocabulary vocabulary_from_schema(const xacml::Schema& schema) {
+    Vocabulary v;
+    for (std::size_t i = 0; i < schema.attributes.size(); ++i) {
+        const auto& def = schema.attributes[i];
+        v.attributes.push_back(
+            {def.name, asp::Symbol(def.name), static_cast<int>(i) + 1, def.numeric});
+    }
+    return v;
+}
+
+namespace {
+
+// Consumes words of one clause starting at `pos`; appends to the rule.
+// Returns the index after the clause.
+std::size_t parse_clause(const Vocabulary& vocabulary, const std::vector<std::string>& words,
+                         std::size_t pos, asp::Rule& rule, int& fresh_var) {
+    if (pos >= words.size()) throw TranslationError("expected a clause");
+    const NlAttribute* attr = vocabulary.find(words[pos]);
+    if (!attr) throw TranslationError("unknown attribute '" + words[pos] + "'");
+    ++pos;
+    if (pos >= words.size()) throw TranslationError("clause for '" + attr->word + "' is incomplete");
+
+    auto numeric_value = [&](const std::string& w) -> std::int64_t {
+        if (!util::is_integer(w)) {
+            throw TranslationError("expected a number after '" + attr->word + "', got '" + w + "'");
+        }
+        return std::stoll(w);
+    };
+    auto fresh = [&] {
+        return asp::Term::variable(asp::Symbol("N" + std::to_string(++fresh_var)));
+    };
+    auto add_numeric = [&](asp::Comparison::Op op, std::int64_t n) {
+        asp::Term var = fresh();
+        rule.body.push_back(asp::Literal::pos(
+            asp::Atom(attr->predicate, {var}, attr->annotation)));
+        rule.builtins.emplace_back(op, var, asp::Term::integer(n));
+    };
+
+    const std::string& op_word = words[pos];
+    if (op_word == "is") {
+        ++pos;
+        bool negated = pos < words.size() && words[pos] == "not";
+        if (negated) ++pos;
+        if (pos >= words.size()) throw TranslationError("expected a value after 'is'");
+        const std::string& value = words[pos];
+        asp::Term arg = util::is_integer(value) ? asp::Term::integer(std::stoll(value))
+                                                : asp::Term::constant(value);
+        rule.body.emplace_back(asp::Atom(attr->predicate, {arg}, attr->annotation), !negated);
+        return pos + 1;
+    }
+    auto require_word = [&](std::size_t index) -> const std::string& {
+        if (index >= words.size()) {
+            throw TranslationError("clause for '" + attr->word + "' is incomplete");
+        }
+        return words[index];
+    };
+    if (op_word == "below") {
+        add_numeric(asp::Comparison::Op::Lt, numeric_value(require_word(pos + 1)));
+        return pos + 2;
+    }
+    if (op_word == "above") {
+        add_numeric(asp::Comparison::Op::Gt, numeric_value(require_word(pos + 1)));
+        return pos + 2;
+    }
+    if (op_word == "at" && pos + 1 < words.size()) {
+        const std::string& bound = words[pos + 1];
+        if (bound == "most") {
+            add_numeric(asp::Comparison::Op::Le, numeric_value(require_word(pos + 2)));
+            return pos + 3;
+        }
+        if (bound == "least") {
+            add_numeric(asp::Comparison::Op::Ge, numeric_value(require_word(pos + 2)));
+            return pos + 3;
+        }
+    }
+    throw TranslationError("unknown clause operator '" + op_word + "' for '" + attr->word + "'");
+}
+
+}  // namespace
+
+Intent translate_statement(const Vocabulary& vocabulary, std::string_view sentence) {
+    auto words = util::split_ws(sentence);
+    std::size_t pos = 0;
+    if (words.size() >= 2 && words[0] == "deny" && words[1] == "when") {
+        pos = 2;
+    } else if (!words.empty() && words[0] == "forbid") {
+        pos = 1;
+    } else {
+        throw TranslationError("statements must start with 'deny when' or 'forbid': " +
+                               std::string(sentence));
+    }
+
+    Intent intent;
+    intent.production = vocabulary.target_production;
+    intent.source = std::string(util::trim(sentence));
+    int fresh_var = 0;
+    while (true) {
+        pos = parse_clause(vocabulary, words, pos, intent.rule, fresh_var);
+        if (pos >= words.size()) break;
+        if (words[pos] != "and") {
+            throw TranslationError("expected 'and' between clauses, got '" + words[pos] + "'");
+        }
+        ++pos;
+    }
+    if (pos > words.size()) throw TranslationError("truncated clause in: " + std::string(sentence));
+    if (intent.rule.body.empty()) throw TranslationError("statement has no clauses");
+    return intent;
+}
+
+ilp::Hypothesis translate_policy(const Vocabulary& vocabulary, std::string_view text) {
+    ilp::Hypothesis out;
+    for (const auto& raw : util::split(text, '\n')) {
+        auto line = util::trim(raw);
+        if (line.empty() || util::starts_with(line, "#")) continue;
+        auto intent = translate_statement(vocabulary, line);
+        out.emplace_back(std::move(intent.rule), intent.production);
+    }
+    return out;
+}
+
+}  // namespace agenp::nl

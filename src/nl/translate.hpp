@@ -1,0 +1,62 @@
+// Controlled-natural-language policy authoring (Section III.B: "From
+// natural language to grammar-based policies").
+//
+// End users state intents in a small controlled English; the translator
+// compiles them into ASG constraints against a vocabulary that maps words
+// to the grammar's annotated predicates:
+//
+//   deny when role is guest and resource is record
+//   deny when hour below 2 and action is delete
+//   deny when escort at most 1 and slot is night
+//
+// Clause forms: `<attr> is <value>`, `<attr> is not <value>`,
+// `<attr> below <n>`, `<attr> above <n>`, `<attr> at most <n>`,
+// `<attr> at least <n>`. Statements compose with `and`; one statement per
+// line; `forbid` is a synonym for `deny when`.
+#pragma once
+
+#include <stdexcept>
+
+#include "ilp/task.hpp"
+#include "xacml/attributes.hpp"
+
+namespace agenp::nl {
+
+struct TranslationError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+// One word the controlled language understands.
+struct NlAttribute {
+    std::string word;     // surface form in sentences
+    asp::Symbol predicate;  // ASG predicate it compiles to
+    int annotation = asp::kUnannotated;  // production child ( kUnannotated = context atom )
+    bool numeric = false;
+};
+
+struct Vocabulary {
+    std::vector<NlAttribute> attributes;
+    int target_production = 0;  // where the compiled constraints attach
+
+    [[nodiscard]] const NlAttribute* find(std::string_view word) const;
+};
+
+// Vocabulary for a schema-derived XACML bridge grammar (attribute i is
+// child i+1 of the root production).
+Vocabulary vocabulary_from_schema(const xacml::Schema& schema);
+
+struct Intent {
+    asp::Rule rule;
+    int production = 0;
+    std::string source;  // the original sentence
+};
+
+// Translates one statement. Throws TranslationError on words outside the
+// vocabulary or malformed clauses.
+Intent translate_statement(const Vocabulary& vocabulary, std::string_view sentence);
+
+// Translates a multi-line policy text (blank lines and '#' comments are
+// skipped) into a hypothesis ready for AnswerSetGrammar::with_rules.
+ilp::Hypothesis translate_policy(const Vocabulary& vocabulary, std::string_view text);
+
+}  // namespace agenp::nl

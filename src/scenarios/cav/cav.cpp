@@ -1,0 +1,197 @@
+#include "scenarios/cav/cav.hpp"
+
+#include "asp/parser.hpp"
+
+namespace agenp::scenarios::cav {
+
+const std::vector<TaskSpec>& tasks() {
+    static const std::vector<TaskSpec> kTasks = {
+        {"lane_keep", 1}, {"lane_change", 2}, {"overtake", 3}, {"self_park", 4}, {"full_auto", 5},
+    };
+    return kTasks;
+}
+
+const std::vector<std::string>& weathers() {
+    static const std::vector<std::string> kWeathers = {"clear", "rain", "fog"};
+    return kWeathers;
+}
+
+bool ground_truth(const Instance& instance) {
+    int required = tasks()[instance.task].required_loa;
+    if (required > instance.env.vehicle_loa) return false;
+    if (required > instance.env.region_limit) return false;
+    if (weathers()[static_cast<std::size_t>(instance.env.weather)] == "fog" && required >= 3) {
+        return false;
+    }
+    return true;
+}
+
+Instance sample_instance(util::Rng& rng) {
+    Instance x;
+    x.task = static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(tasks().size()) - 1));
+    x.env.vehicle_loa = static_cast<int>(rng.uniform(0, 5));
+    x.env.region_limit = static_cast<int>(rng.uniform(0, 5));
+    x.env.weather = static_cast<int>(rng.uniform(0, static_cast<std::int64_t>(weathers().size()) - 1));
+    x.accepted = ground_truth(x);
+    return x;
+}
+
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng) {
+    std::vector<Instance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_instance(rng));
+    return out;
+}
+
+asg::AnswerSetGrammar initial_asg() {
+    std::string text = "request -> \"perform\" task\n";
+    for (const auto& t : tasks()) {
+        text += "task -> \"" + t.name + "\" { requires(" + std::to_string(t.required_loa) + "). }\n";
+    }
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace hypothesis_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("loa")}, 2));
+    bias.body.push_back(ilp::ModeAtom("vehicle_loa", {ilp::ArgSpec::var("loa")}));
+    bias.body.push_back(ilp::ModeAtom("region_limit", {ilp::ArgSpec::var("loa")}));
+    bias.body.push_back(ilp::ModeAtom("weather", {ilp::ArgSpec::constant("weather")}));
+    for (const auto& w : weathers()) bias.add_constant("weather", asp::Term::constant(w));
+    for (int v = 0; v <= 5; ++v) bias.add_constant("loa", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "loa", {asp::Comparison::Op::Gt, asp::Comparison::Op::Ge},
+        /*var_vs_const=*/true, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString request_tokens(const Instance& instance) {
+    return {util::Symbol("perform"), util::Symbol(tasks()[instance.task].name)};
+}
+
+asp::Program context_program(const Environment& env) {
+    return asp::parse_program(
+        "vehicle_loa(" + std::to_string(env.vehicle_loa) + ").\n" +
+        "region_limit(" + std::to_string(env.region_limit) + ").\n" +
+        "weather(" + weathers()[static_cast<std::size_t>(env.weather)] + ").\n");
+}
+
+ilp::LabelledExample to_symbolic(const Instance& instance) {
+    return {request_tokens(instance), context_program(instance.env), instance.accepted};
+}
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances) {
+    std::vector<std::string> task_names;
+    for (const auto& t : tasks()) task_names.push_back(t.name);
+    ml::Dataset d({ml::FeatureSpec::categorical("task", task_names),
+                   ml::FeatureSpec::numeric_feature("vehicle_loa"),
+                   ml::FeatureSpec::numeric_feature("region_limit"),
+                   ml::FeatureSpec::categorical("weather", weathers())});
+    for (const auto& x : instances) {
+        d.add_row({static_cast<double>(x.task), static_cast<double>(x.env.vehicle_loa),
+                   static_cast<double>(x.env.region_limit), static_cast<double>(x.env.weather)},
+                  x.accepted ? 1 : 0);
+    }
+    return d;
+}
+
+asg::AnswerSetGrammar reference_model() {
+    return initial_asg().with_rules({
+        {asp::parse_rule(":- requires(L)@2, vehicle_loa(V), L > V."), 0},
+        {asp::parse_rule(":- requires(L)@2, region_limit(R), L > R."), 0},
+        {asp::parse_rule(":- requires(L)@2, weather(fog), L >= 3."), 0},
+    });
+}
+
+const std::vector<CapabilitySpec>& capabilities() {
+    static const std::vector<CapabilitySpec> kCapabilities = {
+        {"sensing", 1}, {"mapping", 2}, {"planning", 3}, {"piloting", 5},
+    };
+    return kCapabilities;
+}
+
+const std::vector<std::string>& windows() {
+    static const std::vector<std::string> kWindows = {"open", "closing"};
+    return kWindows;
+}
+
+bool sharing_ground_truth(const SharingInstance& instance) {
+    int needs = capabilities()[instance.capability].needs_loa;
+    if (instance.context.peer_loa < needs) return false;
+    if (instance.context.distance > 2) return false;
+    if (windows()[static_cast<std::size_t>(instance.context.window)] == "closing" && needs >= 3) {
+        return false;
+    }
+    return true;
+}
+
+SharingInstance sample_sharing_instance(util::Rng& rng) {
+    SharingInstance x;
+    x.capability = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(capabilities().size()) - 1));
+    x.context.peer_loa = static_cast<int>(rng.uniform(0, 5));
+    x.context.distance = static_cast<int>(rng.uniform(0, 4));
+    x.context.window = static_cast<int>(rng.uniform(0, 1));
+    x.allowed = sharing_ground_truth(x);
+    return x;
+}
+
+std::vector<SharingInstance> sample_sharing_instances(std::size_t n, util::Rng& rng) {
+    std::vector<SharingInstance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_sharing_instance(rng));
+    return out;
+}
+
+asg::AnswerSetGrammar sharing_asg() {
+    std::string text = "request -> \"borrow\" capability\n";
+    for (const auto& c : capabilities()) {
+        text += "capability -> \"" + c.name + "\" { needs(" + std::to_string(c.needs_loa) + "). }\n";
+    }
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace sharing_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("needs", {ilp::ArgSpec::var("loa")}, 2));
+    bias.body.push_back(ilp::ModeAtom("peer_loa", {ilp::ArgSpec::var("loa")}));
+    bias.body.push_back(ilp::ModeAtom("distance", {ilp::ArgSpec::var("loa")}));
+    bias.body.push_back(ilp::ModeAtom("window", {ilp::ArgSpec::constant("window")}));
+    for (const auto& w : windows()) bias.add_constant("window", asp::Term::constant(w));
+    for (int v = 0; v <= 5; ++v) bias.add_constant("loa", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "loa", {asp::Comparison::Op::Gt, asp::Comparison::Op::Ge},
+        /*var_vs_const=*/true, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString sharing_tokens(const SharingInstance& instance) {
+    return {util::Symbol("borrow"), util::Symbol(capabilities()[instance.capability].name)};
+}
+
+asp::Program sharing_context_program(const SharingContext& context) {
+    return asp::parse_program(
+        "peer_loa(" + std::to_string(context.peer_loa) + ").\n" +
+        "distance(" + std::to_string(context.distance) + ").\n" +
+        "window(" + windows()[static_cast<std::size_t>(context.window)] + ").\n");
+}
+
+ilp::LabelledExample to_symbolic(const SharingInstance& instance) {
+    return {sharing_tokens(instance), sharing_context_program(instance.context), instance.allowed};
+}
+
+asg::AnswerSetGrammar sharing_reference_model() {
+    return sharing_asg().with_rules({
+        {asp::parse_rule(":- needs(N)@2, peer_loa(P), N > P."), 0},
+        {asp::parse_rule(":- distance(D), D > 2."), 0},
+        {asp::parse_rule(":- needs(N)@2, window(closing), N >= 3."), 0},
+    });
+}
+
+}  // namespace agenp::scenarios::cav

@@ -1,0 +1,114 @@
+// Connected-and-Autonomous-Vehicle scenario (Section IV.A, following [25]).
+//
+// A CAV receives requests to execute driving tasks ("perform overtake").
+// Whether a request should be accepted depends on the current environment
+// (context): the vehicle's SAE level of autonomy, the transient LOA ceiling
+// imposed by the region, and the weather. The ground-truth policy is
+//
+//   accept task  iff  requires(task) <= vehicle_loa
+//                and  requires(task) <= region_limit
+//                and  not (weather = fog and requires(task) >= 3)
+//
+// which the symbolic learner must recover as three ASG constraints, and the
+// statistical baselines must approximate from flattened feature vectors —
+// the setting behind the paper's "fewer examples, greater accuracy" claim.
+#pragma once
+
+#include "ilp/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace agenp::scenarios::cav {
+
+struct TaskSpec {
+    std::string name;
+    int required_loa;  // SAE level the task needs
+};
+
+// The driving tasks and their required autonomy levels.
+const std::vector<TaskSpec>& tasks();
+
+// Environment (context) for one request.
+struct Environment {
+    int vehicle_loa = 0;   // 0..5
+    int region_limit = 0;  // 0..5
+    int weather = 0;       // index into weathers()
+};
+
+const std::vector<std::string>& weathers();
+
+struct Instance {
+    std::size_t task = 0;  // index into tasks()
+    Environment env;
+    bool accepted = false;  // ground-truth label
+};
+
+bool ground_truth(const Instance& instance);
+
+Instance sample_instance(util::Rng& rng);
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng);
+
+// --- symbolic representation ---
+
+// Initial GPM: syntax of task requests plus per-task requires(k) facts; no
+// semantic conditions (those are learned).
+asg::AnswerSetGrammar initial_asg();
+
+// Hypothesis space for the root production: requires@task, context atoms,
+// LOA comparisons.
+ilp::HypothesisSpace hypothesis_space();
+
+cfg::TokenString request_tokens(const Instance& instance);
+asp::Program context_program(const Environment& env);
+
+ilp::LabelledExample to_symbolic(const Instance& instance);
+
+// --- tabular representation for the ML baselines ---
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances);
+
+// The hand-written target ASG (for tests and sanity baselines).
+asg::AnswerSetGrammar reference_model();
+
+// --- capability sharing between CAVs (Section IV.A, second half) -----------
+//
+// "CAVs of lower LOA may be able to utilize capabilities or services from
+// nearby CAVs of higher LOA ... subject to temporal, spatial, and utility
+// constraints." A borrow request names a capability; validity depends on
+// the peer's LOA, its distance, and the time window:
+//
+//   borrow allowed iff  peer_loa >= needs(capability)
+//                  and  distance <= 2
+//                  and  not (window = closing and needs(capability) >= 3)
+
+struct CapabilitySpec {
+    std::string name;
+    int needs_loa;
+};
+
+const std::vector<CapabilitySpec>& capabilities();  // sensing, mapping, planning, piloting
+const std::vector<std::string>& windows();          // open, closing
+
+struct SharingContext {
+    int peer_loa = 0;   // 0..5
+    int distance = 0;   // hops, 0..4
+    int window = 0;     // index into windows()
+};
+
+struct SharingInstance {
+    std::size_t capability = 0;
+    SharingContext context;
+    bool allowed = false;
+};
+
+bool sharing_ground_truth(const SharingInstance& instance);
+SharingInstance sample_sharing_instance(util::Rng& rng);
+std::vector<SharingInstance> sample_sharing_instances(std::size_t n, util::Rng& rng);
+
+asg::AnswerSetGrammar sharing_asg();
+ilp::HypothesisSpace sharing_space();
+cfg::TokenString sharing_tokens(const SharingInstance& instance);
+asp::Program sharing_context_program(const SharingContext& context);
+ilp::LabelledExample to_symbolic(const SharingInstance& instance);
+asg::AnswerSetGrammar sharing_reference_model();
+
+}  // namespace agenp::scenarios::cav

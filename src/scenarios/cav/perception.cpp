@@ -1,0 +1,77 @@
+#include "scenarios/cav/perception.hpp"
+
+#include <cmath>
+
+#include "asp/parser.hpp"
+
+namespace agenp::scenarios::cav {
+namespace {
+
+// Box-Muller Gaussian from the deterministic stream.
+double gaussian(util::Rng& rng, double mean, double stddev) {
+    double u1 = rng.uniform01();
+    double u2 = rng.uniform01();
+    if (u1 < 1e-12) u1 = 1e-12;
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+struct SensorProfile {
+    double visibility, droplets, light;
+};
+
+// Class-conditional sensor means: clear, rain, fog.
+const SensorProfile kProfiles[] = {
+    {9.0, 0.5, 8.0},
+    {5.0, 7.0, 4.0},
+    {1.5, 2.0, 5.0},
+};
+
+}  // namespace
+
+SensorReading sample_reading(int weather, util::Rng& rng, double noise) {
+    const auto& p = kProfiles[static_cast<std::size_t>(weather)];
+    return {{gaussian(rng, p.visibility, 1.2 * noise), gaussian(rng, p.droplets, 1.2 * noise),
+             gaussian(rng, p.light, 1.2 * noise)}};
+}
+
+ml::Dataset perception_dataset(std::size_t per_class, util::Rng& rng, double noise) {
+    ml::Dataset d({ml::FeatureSpec::numeric_feature("visibility"),
+                   ml::FeatureSpec::numeric_feature("droplets"),
+                   ml::FeatureSpec::numeric_feature("light")});
+    for (int w = 0; w < static_cast<int>(weathers().size()); ++w) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+            d.add_row(sample_reading(w, rng, noise).values, w);
+        }
+    }
+    return d;
+}
+
+void WeatherPerception::fit(std::size_t per_class, util::Rng& rng, double noise) {
+    model_.fit(perception_dataset(per_class, rng, noise));
+}
+
+int WeatherPerception::classify(const SensorReading& reading) const {
+    return model_.predict(reading.values);
+}
+
+double WeatherPerception::holdout_accuracy(std::size_t per_class, util::Rng& rng,
+                                           double noise) const {
+    auto test = perception_dataset(per_class, rng, noise);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        correct += model_.predict(test.row(i)) == test.label(i);
+    }
+    return test.size() == 0 ? 0 : static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+asp::Program WeatherPerception::perceived_context(const Environment& env,
+                                                  const SensorReading& reading) const {
+    int perceived = classify(reading);
+    return asp::parse_program(
+        "vehicle_loa(" + std::to_string(env.vehicle_loa) + ").\n" +
+        "region_limit(" + std::to_string(env.region_limit) + ").\n" +
+        "weather(" + weathers()[static_cast<std::size_t>(perceived)] + ").\n");
+}
+
+}  // namespace agenp::scenarios::cav

@@ -1,0 +1,50 @@
+// Neurosymbolic perception for the CAV scenario (Section V.C's closing
+// vision: "statistical machine learned functions are used to detect
+// 'atomic' concepts ... and a rule model of causation can be used to
+// identify more complex concepts").
+//
+// A statistical one-vs-rest classifier turns raw sensor vectors
+// (visibility, droplet rate, ambient light) into the symbolic weather fact
+// the generative policy reasons over; the symbolic layer stays unchanged.
+#pragma once
+
+#include "ml/one_vs_rest.hpp"
+#include "scenarios/cav/cav.hpp"
+
+namespace agenp::scenarios::cav {
+
+// One raw sensor sample. Features (all noisy, class-dependent):
+// visibility (0-10), droplet rate (0-10), ambient light (0-10).
+struct SensorReading {
+    std::vector<double> values;
+};
+
+// Samples a reading for a true weather class; `noise` scales the spread
+// (1.0 = nominal sensors, larger = degraded sensors).
+SensorReading sample_reading(int weather, util::Rng& rng, double noise = 1.0);
+
+// Labelled readings for training/evaluating the perception model.
+ml::Dataset perception_dataset(std::size_t per_class, util::Rng& rng, double noise = 1.0);
+
+class WeatherPerception {
+public:
+    // Trains on synthetic labelled readings.
+    void fit(std::size_t per_class, util::Rng& rng, double noise = 1.0);
+
+    [[nodiscard]] int classify(const SensorReading& reading) const;
+
+    // Fraction of a held-out set classified correctly.
+    [[nodiscard]] double holdout_accuracy(std::size_t per_class, util::Rng& rng,
+                                          double noise = 1.0) const;
+
+    // The symbolic context for an environment whose weather is PERCEIVED
+    // from a sensor reading rather than given: LOA facts are exact, the
+    // weather fact comes from the classifier.
+    [[nodiscard]] asp::Program perceived_context(const Environment& env,
+                                                 const SensorReading& reading) const;
+
+private:
+    ml::OneVsRest model_{static_cast<int>(weathers().size())};
+};
+
+}  // namespace agenp::scenarios::cav

@@ -1,0 +1,163 @@
+#include "scenarios/datashare/datashare.hpp"
+
+#include "asp/parser.hpp"
+
+namespace agenp::scenarios::datashare {
+
+const std::vector<std::string>& kinds() {
+    static const std::vector<std::string> kKinds = {"image", "audio", "document"};
+    return kKinds;
+}
+
+const std::vector<std::string>& services() {
+    static const std::vector<std::string> kServices = {"vision_scorer", "audio_scorer",
+                                                       "text_scorer", "redactor"};
+    return kServices;
+}
+
+bool share_ground_truth(const Item& item, const PartnerContext& partner) {
+    if (partner.trust < item.value) return false;
+    if (item.quality < 2) return false;
+    if (kinds()[item.kind] == "audio" && partner.trust <= 1) return false;
+    return true;
+}
+
+ShareInstance sample_share_instance(util::Rng& rng) {
+    ShareInstance x;
+    x.item.kind = static_cast<std::size_t>(rng.uniform(0, 2));
+    x.item.quality = static_cast<int>(rng.uniform(0, 4));
+    x.item.value = static_cast<int>(rng.uniform(0, 4));
+    x.partner.trust = static_cast<int>(rng.uniform(0, 4));
+    x.share = share_ground_truth(x.item, x.partner);
+    return x;
+}
+
+std::vector<ShareInstance> sample_share_instances(std::size_t n, util::Rng& rng) {
+    std::vector<ShareInstance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_share_instance(rng));
+    return out;
+}
+
+bool service_ground_truth(std::size_t service, std::size_t kind, const PartnerContext& partner) {
+    const std::string& s = services()[service];
+    const std::string& k = kinds()[kind];
+    if (s == "redactor") return true;  // always applicable
+    if (partner.trust <= 1) return false;  // low trust must use the redactor
+    if (s == "vision_scorer") return k == "image";
+    if (s == "audio_scorer") return k == "audio";
+    if (s == "text_scorer") return k == "document";
+    return false;
+}
+
+asg::AnswerSetGrammar share_asg() {
+    std::string text = "request -> \"share\" kind quality value\n";
+    for (const auto& k : kinds()) text += "kind -> \"" + k + "\" { kind(" + k + "). }\n";
+    for (int q = 0; q <= 4; ++q) {
+        text += "quality -> \"q=" + std::to_string(q) + "\" { quality(" + std::to_string(q) + "). }\n";
+    }
+    for (int v = 0; v <= 4; ++v) {
+        text += "value -> \"v=" + std::to_string(v) + "\" { value(" + std::to_string(v) + "). }\n";
+    }
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace share_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("kind", {ilp::ArgSpec::constant("kind")}, 2));
+    bias.body.push_back(ilp::ModeAtom("quality", {ilp::ArgSpec::var("level")}, 3));
+    bias.body.push_back(ilp::ModeAtom("value", {ilp::ArgSpec::var("level")}, 4));
+    bias.body.push_back(ilp::ModeAtom("trust", {ilp::ArgSpec::var("level")}));
+    for (const auto& k : kinds()) bias.add_constant("kind", asp::Term::constant(k));
+    for (int v = 0; v <= 4; ++v) bias.add_constant("level", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "level", {asp::Comparison::Op::Lt, asp::Comparison::Op::Le, asp::Comparison::Op::Gt},
+        /*var_vs_const=*/true, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString share_tokens(const Item& item) {
+    return {util::Symbol("share"), util::Symbol(kinds()[item.kind]),
+            util::Symbol("q=" + std::to_string(item.quality)),
+            util::Symbol("v=" + std::to_string(item.value))};
+}
+
+asp::Program share_context(const PartnerContext& partner) {
+    return asp::parse_program("trust(" + std::to_string(partner.trust) + ").");
+}
+
+ilp::LabelledExample to_symbolic(const ShareInstance& instance) {
+    return {share_tokens(instance.item), share_context(instance.partner), instance.share};
+}
+
+asg::AnswerSetGrammar share_reference_model() {
+    return share_asg().with_rules({
+        {asp::parse_rule(":- value(V)@4, trust(T), T < V."), 0},
+        {asp::parse_rule(":- quality(Q)@3, Q < 2."), 0},
+        {asp::parse_rule(":- kind(audio)@2, trust(T), T <= 1."), 0},
+    });
+}
+
+ml::Dataset to_dataset(const std::vector<ShareInstance>& instances) {
+    ml::Dataset d({ml::FeatureSpec::categorical("kind", kinds()),
+                   ml::FeatureSpec::numeric_feature("quality"),
+                   ml::FeatureSpec::numeric_feature("value"),
+                   ml::FeatureSpec::numeric_feature("trust")});
+    for (const auto& x : instances) {
+        d.add_row({static_cast<double>(x.item.kind), static_cast<double>(x.item.quality),
+                   static_cast<double>(x.item.value), static_cast<double>(x.partner.trust)},
+                  x.share ? 1 : 0);
+    }
+    return d;
+}
+
+asg::AnswerSetGrammar service_asg() {
+    std::string text = "selection -> \"use\" service \"for\" kind\n";
+    for (const auto& s : services()) text += "service -> \"" + s + "\" { service(" + s + "). }\n";
+    for (const auto& k : kinds()) text += "kind -> \"" + k + "\" { kind(" + k + "). }\n";
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace service_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("service", {ilp::ArgSpec::constant("service")}, 2));
+    bias.body.push_back(ilp::ModeAtom("kind", {ilp::ArgSpec::constant("kind")}, 4));
+    bias.body.push_back(ilp::ModeAtom("trust", {ilp::ArgSpec::var("level")}));
+    for (const auto& s : services()) bias.add_constant("service", asp::Term::constant(s));
+    for (const auto& k : kinds()) bias.add_constant("kind", asp::Term::constant(k));
+    for (int v = 0; v <= 4; ++v) bias.add_constant("level", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode("level", {asp::Comparison::Op::Le}));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 1;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString service_tokens(std::size_t service, std::size_t kind) {
+    return {util::Symbol("use"), util::Symbol(services()[service]), util::Symbol("for"),
+            util::Symbol(kinds()[kind])};
+}
+
+std::vector<ServiceInstance> sample_service_instances(std::size_t n, util::Rng& rng) {
+    std::vector<ServiceInstance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ServiceInstance x;
+        x.service = static_cast<std::size_t>(rng.uniform(0, 3));
+        x.kind = static_cast<std::size_t>(rng.uniform(0, 2));
+        x.partner.trust = static_cast<int>(rng.uniform(0, 4));
+        x.valid = service_ground_truth(x.service, x.kind, x.partner);
+        out.push_back(x);
+    }
+    return out;
+}
+
+ilp::LabelledExample to_symbolic(const ServiceInstance& instance) {
+    return {service_tokens(instance.service, instance.kind), share_context(instance.partner),
+            instance.valid};
+}
+
+}  // namespace agenp::scenarios::datashare

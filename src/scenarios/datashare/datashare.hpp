@@ -1,0 +1,71 @@
+// Coalition data-sharing scenario (Section IV.D, following [33]).
+//
+// Two learned policies:
+//  1. The sharing policy: may a data item be released to a partner? Ground
+//     truth: share iff trust(partner) >= value(item) and quality(item) >= 2,
+//     and never share audio with untrusted (trust <= 1) partners.
+//  2. The helper-microservice selection policy ("which microservice to use
+//     for which context and data"): a scoring service applies to an item
+//     kind iff it can compute its features; low-trust transfers must route
+//     through the redactor.
+#pragma once
+
+#include "ilp/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace agenp::scenarios::datashare {
+
+const std::vector<std::string>& kinds();     // image, audio, document
+const std::vector<std::string>& services();  // vision_scorer, audio_scorer, text_scorer, redactor
+
+struct Item {
+    std::size_t kind = 0;
+    int quality = 0;  // 0..4
+    int value = 0;    // 0..4
+};
+
+struct PartnerContext {
+    int trust = 0;  // 0..4
+};
+
+struct ShareInstance {
+    Item item;
+    PartnerContext partner;
+    bool share = false;
+};
+
+bool share_ground_truth(const Item& item, const PartnerContext& partner);
+
+ShareInstance sample_share_instance(util::Rng& rng);
+std::vector<ShareInstance> sample_share_instances(std::size_t n, util::Rng& rng);
+
+// Which services are valid for (item kind, partner trust)?
+bool service_ground_truth(std::size_t service, std::size_t kind, const PartnerContext& partner);
+
+// --- symbolic representations ---
+
+asg::AnswerSetGrammar share_asg();
+ilp::HypothesisSpace share_space();
+cfg::TokenString share_tokens(const Item& item);
+asp::Program share_context(const PartnerContext& partner);
+ilp::LabelledExample to_symbolic(const ShareInstance& instance);
+asg::AnswerSetGrammar share_reference_model();
+
+ml::Dataset to_dataset(const std::vector<ShareInstance>& instances);
+
+// Service-selection task: strings "use <service> for <kind>".
+asg::AnswerSetGrammar service_asg();
+ilp::HypothesisSpace service_space();
+cfg::TokenString service_tokens(std::size_t service, std::size_t kind);
+
+struct ServiceInstance {
+    std::size_t service = 0;
+    std::size_t kind = 0;
+    PartnerContext partner;
+    bool valid = false;
+};
+
+std::vector<ServiceInstance> sample_service_instances(std::size_t n, util::Rng& rng);
+ilp::LabelledExample to_symbolic(const ServiceInstance& instance);
+
+}  // namespace agenp::scenarios::datashare

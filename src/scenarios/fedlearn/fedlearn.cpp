@@ -1,0 +1,110 @@
+#include "scenarios/fedlearn/fedlearn.hpp"
+
+#include "asg/membership.hpp"
+#include "asp/parser.hpp"
+
+namespace agenp::scenarios::fedlearn {
+
+const std::vector<std::string>& actions() {
+    static const std::vector<std::string> kActions = {"adopt", "combine", "retrain"};
+    return kActions;
+}
+
+bool ground_truth(std::size_t action, const Insight& insight) {
+    const std::string& a = actions()[action];
+    if (a == "adopt") {
+        return insight.trust >= 3 && insight.staleness <= 1 && insight.accuracy >= 7;
+    }
+    if (a == "combine") return insight.trust >= 2 && insight.accuracy >= 5;
+    return insight.trust >= 1;  // retrain
+}
+
+Instance sample_instance(util::Rng& rng) {
+    Instance x;
+    x.action = static_cast<std::size_t>(rng.uniform(0, 2));
+    x.insight.trust = static_cast<int>(rng.uniform(0, 4));
+    x.insight.accuracy = static_cast<int>(rng.uniform(0, 10));
+    x.insight.staleness = static_cast<int>(rng.uniform(0, 5));
+    x.allowed = ground_truth(x.action, x.insight);
+    return x;
+}
+
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng) {
+    std::vector<Instance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_instance(rng));
+    return out;
+}
+
+asg::AnswerSetGrammar initial_asg() {
+    std::string text = "handling -> \"handle\" action\n";
+    for (const auto& a : actions()) text += "action -> \"" + a + "\" { action(" + a + "). }\n";
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace hypothesis_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("action", {ilp::ArgSpec::constant("action")}, 2));
+    bias.body.push_back(ilp::ModeAtom("trust", {ilp::ArgSpec::var("scale")}));
+    bias.body.push_back(ilp::ModeAtom("accuracy", {ilp::ArgSpec::var("scale")}));
+    bias.body.push_back(ilp::ModeAtom("staleness", {ilp::ArgSpec::var("scale")}));
+    for (const auto& a : actions()) bias.add_constant("action", asp::Term::constant(a));
+    for (int v = 0; v <= 10; ++v) bias.add_constant("scale", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "scale", {asp::Comparison::Op::Lt, asp::Comparison::Op::Gt}));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 1;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString action_tokens(std::size_t action) {
+    return {util::Symbol("handle"), util::Symbol(actions()[action])};
+}
+
+asp::Program context_program(const Insight& insight) {
+    return asp::parse_program(
+        "trust(" + std::to_string(insight.trust) + ").\n" +
+        "accuracy(" + std::to_string(insight.accuracy) + ").\n" +
+        "staleness(" + std::to_string(insight.staleness) + ").\n");
+}
+
+ilp::LabelledExample to_symbolic(const Instance& instance) {
+    return {action_tokens(instance.action), context_program(instance.insight), instance.allowed};
+}
+
+asg::AnswerSetGrammar reference_model() {
+    return initial_asg().with_rules({
+        {asp::parse_rule(":- action(adopt)@2, trust(T), T < 3."), 0},
+        {asp::parse_rule(":- action(adopt)@2, staleness(S), S > 1."), 0},
+        {asp::parse_rule(":- action(adopt)@2, accuracy(A), A < 7."), 0},
+        {asp::parse_rule(":- action(combine)@2, trust(T), T < 2."), 0},
+        {asp::parse_rule(":- action(combine)@2, accuracy(A), A < 5."), 0},
+        {asp::parse_rule(":- action(retrain)@2, trust(T), T < 1."), 0},
+    });
+}
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances) {
+    ml::Dataset d({ml::FeatureSpec::categorical("action", actions()),
+                   ml::FeatureSpec::numeric_feature("trust"),
+                   ml::FeatureSpec::numeric_feature("accuracy"),
+                   ml::FeatureSpec::numeric_feature("staleness")});
+    for (const auto& x : instances) {
+        d.add_row({static_cast<double>(x.action), static_cast<double>(x.insight.trust),
+                   static_cast<double>(x.insight.accuracy),
+                   static_cast<double>(x.insight.staleness)},
+                  x.allowed ? 1 : 0);
+    }
+    return d;
+}
+
+std::vector<std::string> allowed_actions(const asg::AnswerSetGrammar& model, const Insight& insight) {
+    std::vector<std::string> out;
+    auto context = context_program(insight);
+    for (std::size_t a = 0; a < actions().size(); ++a) {
+        if (asg::in_language(model, action_tokens(a), context)) out.push_back(actions()[a]);
+    }
+    return out;
+}
+
+}  // namespace agenp::scenarios::fedlearn

@@ -1,0 +1,53 @@
+// Federated-learning governance scenario (Section IV.E).
+//
+// Coalition members exchange model "insights" instead of raw data. When an
+// insight arrives from a partner, the receiving party must decide how to
+// incorporate it: adopt it outright, combine (ensemble) it with the local
+// model, or retrain a fresh model from it. Ground truth for which handling
+// actions are permissible given (trust, reported accuracy, staleness):
+//
+//   adopt    allowed iff trust >= 3 and staleness <= 1 and accuracy >= 7
+//   combine  allowed iff trust >= 2 and accuracy >= 5
+//   retrain  allowed iff trust >= 1   (rebuilding verifies the insight)
+//
+// A policy here is the SET of allowed actions — language membership of
+// "handle <action>" strings under the insight's context.
+#pragma once
+
+#include "ilp/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace agenp::scenarios::fedlearn {
+
+const std::vector<std::string>& actions();  // adopt, combine, retrain
+
+struct Insight {
+    int trust = 0;      // 0..4 trust in the providing party
+    int accuracy = 0;   // 0..10 reported validation accuracy (deciles)
+    int staleness = 0;  // 0..5 rounds since trained
+};
+
+bool ground_truth(std::size_t action, const Insight& insight);
+
+struct Instance {
+    std::size_t action = 0;
+    Insight insight;
+    bool allowed = false;
+};
+
+Instance sample_instance(util::Rng& rng);
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng);
+
+asg::AnswerSetGrammar initial_asg();
+ilp::HypothesisSpace hypothesis_space();
+cfg::TokenString action_tokens(std::size_t action);
+asp::Program context_program(const Insight& insight);
+ilp::LabelledExample to_symbolic(const Instance& instance);
+asg::AnswerSetGrammar reference_model();
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances);
+
+// The permitted action set for an insight under a learned model.
+std::vector<std::string> allowed_actions(const asg::AnswerSetGrammar& model, const Insight& insight);
+
+}  // namespace agenp::scenarios::fedlearn

@@ -1,0 +1,181 @@
+#include "scenarios/resupply/resupply.hpp"
+
+#include "asp/parser.hpp"
+#include "ml/metrics.hpp"
+
+namespace agenp::scenarios::resupply {
+
+const std::vector<std::string>& routes() {
+    static const std::vector<std::string> kRoutes = {"valley", "ridge", "urban"};
+    return kRoutes;
+}
+
+const std::vector<std::string>& slots() {
+    static const std::vector<std::string> kSlots = {"day", "night"};
+    return kSlots;
+}
+
+const std::vector<std::string>& weathers() {
+    static const std::vector<std::string> kWeathers = {"clear", "rain", "storm"};
+    return kWeathers;
+}
+
+bool ground_truth(const Plan& plan, const MissionContext& context) {
+    if (context.threat > context.risk_appetite) return false;
+    if (routes()[plan.route] == "ridge" &&
+        weathers()[static_cast<std::size_t>(context.weather)] == "storm") {
+        return false;
+    }
+    if (slots()[plan.slot] == "night" && plan.escort < 2) return false;
+    // Planning-phase conservatism: speculative information means plans must
+    // budget a full escort regardless of slot (the paper's planning vs
+    // execution distinction).
+    if (context.phase == Phase::Planning && plan.escort < 2) return false;
+    return true;
+}
+
+Instance sample_instance(util::Rng& rng) {
+    Instance x;
+    x.plan.route = static_cast<std::size_t>(rng.uniform(0, 2));
+    x.plan.slot = static_cast<std::size_t>(rng.uniform(0, 1));
+    x.plan.escort = static_cast<int>(rng.uniform(1, 3));
+    x.context.threat = static_cast<int>(rng.uniform(0, 4));
+    x.context.risk_appetite = static_cast<int>(rng.uniform(0, 4));
+    x.context.weather = static_cast<int>(rng.uniform(0, 2));
+    x.context.phase = rng.bernoulli(0.5) ? Phase::Planning : Phase::Execution;
+    x.acceptable = ground_truth(x.plan, x.context);
+    return x;
+}
+
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng) {
+    std::vector<Instance> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_instance(rng));
+    return out;
+}
+
+asg::AnswerSetGrammar initial_asg() {
+    std::string text = "plan -> \"convoy\" route slot escort\n";
+    for (const auto& r : routes()) text += "route -> \"" + r + "\" { route(" + r + "). }\n";
+    for (const auto& s : slots()) text += "slot -> \"" + s + "\" { slot(" + s + "). }\n";
+    for (int e = 1; e <= 3; ++e) {
+        text += "escort -> \"escort=" + std::to_string(e) + "\" { escort(" + std::to_string(e) +
+                "). }\n";
+    }
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+ilp::HypothesisSpace hypothesis_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("route", {ilp::ArgSpec::constant("route")}, 2));
+    bias.body.push_back(ilp::ModeAtom("slot", {ilp::ArgSpec::constant("slot")}, 3));
+    bias.body.push_back(ilp::ModeAtom("escort", {ilp::ArgSpec::var("level")}, 4));
+    bias.body.push_back(ilp::ModeAtom("threat", {ilp::ArgSpec::var("level")}));
+    bias.body.push_back(ilp::ModeAtom("risk_appetite", {ilp::ArgSpec::var("level")}));
+    bias.body.push_back(ilp::ModeAtom("weather", {ilp::ArgSpec::constant("weather")}));
+    bias.body.push_back(ilp::ModeAtom("phase", {ilp::ArgSpec::constant("phase")}));
+    bias.add_symbol_constants("phase", {"planning", "execution"});
+    for (const auto& r : routes()) bias.add_constant("route", asp::Term::constant(r));
+    for (const auto& s : slots()) bias.add_constant("slot", asp::Term::constant(s));
+    for (const auto& w : weathers()) bias.add_constant("weather", asp::Term::constant(w));
+    for (int v = 0; v <= 4; ++v) bias.add_constant("level", asp::Term::integer(v));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "level", {asp::Comparison::Op::Gt, asp::Comparison::Op::Lt},
+        /*var_vs_const=*/true, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    bias.max_comparisons = 1;
+    return ilp::generate_space(bias, {0});
+}
+
+cfg::TokenString plan_tokens(const Plan& plan) {
+    return {util::Symbol("convoy"), util::Symbol(routes()[plan.route]),
+            util::Symbol(slots()[plan.slot]), util::Symbol("escort=" + std::to_string(plan.escort))};
+}
+
+asp::Program context_program(const MissionContext& context) {
+    return asp::parse_program(
+        "threat(" + std::to_string(context.threat) + ").\n" +
+        "risk_appetite(" + std::to_string(context.risk_appetite) + ").\n" +
+        "weather(" + weathers()[static_cast<std::size_t>(context.weather)] + ").\n" +
+        "phase(" + std::string(context.phase == Phase::Planning ? "planning" : "execution") +
+        ").\n");
+}
+
+ilp::LabelledExample to_symbolic(const Instance& instance) {
+    return {plan_tokens(instance.plan), context_program(instance.context), instance.acceptable};
+}
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances) {
+    ml::Dataset d({ml::FeatureSpec::categorical("route", routes()),
+                   ml::FeatureSpec::categorical("slot", slots()),
+                   ml::FeatureSpec::numeric_feature("escort"),
+                   ml::FeatureSpec::numeric_feature("threat"),
+                   ml::FeatureSpec::numeric_feature("risk_appetite"),
+                   ml::FeatureSpec::categorical("weather", weathers())});
+    for (const auto& x : instances) {
+        d.add_row({static_cast<double>(x.plan.route), static_cast<double>(x.plan.slot),
+                   static_cast<double>(x.plan.escort), static_cast<double>(x.context.threat),
+                   static_cast<double>(x.context.risk_appetite),
+                   static_cast<double>(x.context.weather)},
+                  x.acceptable ? 1 : 0);
+    }
+    return d;
+}
+
+asg::AnswerSetGrammar reference_model() {
+    return initial_asg().with_rules({
+        {asp::parse_rule(":- threat(T), risk_appetite(R), T > R."), 0},
+        {asp::parse_rule(":- route(ridge)@2, weather(storm)."), 0},
+        {asp::parse_rule(":- slot(night)@3, escort(E)@4, E < 2."), 0},
+        {asp::parse_rule(":- phase(planning), escort(E)@4, E < 2."), 0},
+    });
+}
+
+std::vector<MissionOutcome> run_campaign(const CampaignOptions& options) {
+    util::Rng rng(options.seed);
+    std::vector<ilp::LabelledExample> experience;
+    std::vector<MissionOutcome> outcomes;
+
+    ilp::SymbolicPolicyClassifier model(initial_asg(), hypothesis_space());
+
+    for (std::size_t m = 0; m < options.missions; ++m) {
+        // Each mission fixes one context; risk appetite shifts mid-campaign.
+        MissionContext ctx;
+        ctx.threat = static_cast<int>(rng.uniform(0, 4));
+        ctx.risk_appetite = m < options.risk_shift_at ? 1 : 3;
+        ctx.weather = static_cast<int>(rng.uniform(0, 2));
+        ctx.phase = Phase::Execution;
+
+        // Decisions taken during the mission become labelled experience.
+        for (std::size_t p = 0; p < options.plans_per_mission; ++p) {
+            Instance x;
+            x.plan.route = static_cast<std::size_t>(rng.uniform(0, 2));
+            x.plan.slot = static_cast<std::size_t>(rng.uniform(0, 1));
+            x.plan.escort = static_cast<int>(rng.uniform(1, 3));
+            x.context = ctx;
+            x.acceptable = ground_truth(x.plan, x.context);
+            experience.push_back(to_symbolic(x));
+        }
+
+        MissionOutcome outcome;
+        outcome.mission = m;
+        outcome.training_examples = experience.size();
+        outcome.model_found = model.fit(experience);
+
+        // Evaluate generalization: unseen plans under *random* contexts,
+        // not just the contexts already experienced.
+        util::Rng eval_rng(options.seed * 1000 + m);
+        std::size_t correct = 0;
+        for (std::size_t e = 0; e < options.eval_per_mission; ++e) {
+            Instance x = sample_instance(eval_rng);
+            bool predicted = model.predict(plan_tokens(x.plan), context_program(x.context));
+            if (x.acceptable == predicted) ++correct;
+        }
+        outcome.accuracy = static_cast<double>(correct) / static_cast<double>(options.eval_per_mission);
+        outcomes.push_back(outcome);
+    }
+    return outcomes;
+}
+
+}  // namespace agenp::scenarios::resupply

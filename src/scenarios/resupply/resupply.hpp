@@ -1,0 +1,90 @@
+// Logistical-resupply scenario (Section IV.B, DAIS-ITA [26]).
+//
+// A convoy plan names a route, a departure slot and an escort ratio; whether
+// a plan is acceptable depends on the mission context — threat level, risk
+// appetite, weather (predicted during planning, actual during execution).
+// Ground truth:
+//
+//   reject a plan  iff  threat > risk_appetite          (too hot for taste)
+//                   or  route = ridge and weather = storm (impassable)
+//                   or  slot = night and escort < 2       (night needs escort)
+//
+// Missions arrive over time; decisions made during early missions become
+// training examples for later ones — "the coalition is able to learn from
+// previous experience".
+#pragma once
+
+#include "ilp/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace agenp::scenarios::resupply {
+
+const std::vector<std::string>& routes();    // valley, ridge, urban
+const std::vector<std::string>& slots();     // day, night
+const std::vector<std::string>& weathers();  // clear, rain, storm
+
+enum class Phase { Planning, Execution };
+
+struct MissionContext {
+    int threat = 0;         // 0..4
+    int risk_appetite = 0;  // 0..4
+    int weather = 0;        // index into weathers(); predicted or actual per phase
+    Phase phase = Phase::Planning;
+};
+
+struct Plan {
+    std::size_t route = 0;
+    std::size_t slot = 0;
+    int escort = 1;  // 1..3 escort ratio
+};
+
+struct Instance {
+    Plan plan;
+    MissionContext context;
+    bool acceptable = false;
+};
+
+bool ground_truth(const Plan& plan, const MissionContext& context);
+
+Instance sample_instance(util::Rng& rng);
+std::vector<Instance> sample_instances(std::size_t n, util::Rng& rng);
+
+// --- symbolic representation ---
+
+asg::AnswerSetGrammar initial_asg();
+ilp::HypothesisSpace hypothesis_space();
+
+cfg::TokenString plan_tokens(const Plan& plan);
+asp::Program context_program(const MissionContext& context);
+ilp::LabelledExample to_symbolic(const Instance& instance);
+
+ml::Dataset to_dataset(const std::vector<Instance>& instances);
+
+asg::AnswerSetGrammar reference_model();
+
+// --- the mission stream (experiment E5) ---
+
+struct MissionOutcome {
+    std::size_t mission = 0;
+    std::size_t training_examples = 0;  // accumulated so far
+    bool model_found = false;
+    double accuracy = 0;  // on held-out plans for this mission's context
+};
+
+struct CampaignOptions {
+    std::size_t missions = 8;
+    std::size_t plans_per_mission = 12;  // decisions (=> examples) per mission
+    std::size_t eval_per_mission = 60;
+    // Mission index at which command shifts the risk appetite (context
+    // change); the symbolic model needs no relearning, only new context.
+    std::size_t risk_shift_at = 4;
+    std::uint64_t seed = 99;
+};
+
+// Runs the campaign: each mission adds labelled experience, the GPM is
+// relearned from everything so far, and accuracy is measured on unseen
+// plans. Reproduces the "easier and more accurate as more training samples
+// become available" claim.
+std::vector<MissionOutcome> run_campaign(const CampaignOptions& options);
+
+}  // namespace agenp::scenarios::resupply

@@ -1,0 +1,66 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace agenp::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(sep, start);
+        if (end == std::string_view::npos) end = text.size();
+        if (end > start) out.emplace_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+        std::size_t start = i;
+        while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+        if (i > start) out.emplace_back(text.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text) {
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) text.remove_prefix(1);
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) text.remove_suffix(1);
+    return text;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool is_variable_name(std::string_view text) {
+    if (text.empty()) return false;
+    char c = text.front();
+    return c == '_' || std::isupper(static_cast<unsigned char>(c));
+}
+
+bool is_integer(std::string_view text) {
+    if (text.empty()) return false;
+    std::size_t i = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+    if (i == text.size()) return false;
+    for (; i < text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+    }
+    return true;
+}
+
+}  // namespace agenp::util

@@ -1,0 +1,28 @@
+// Small string helpers shared across parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agenp::util {
+
+// Splits on `sep`, dropping empty pieces.
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Splits on runs of whitespace.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// True if `text` is a lexical ASP variable: leading uppercase or '_'.
+bool is_variable_name(std::string_view text);
+
+// True if `text` parses as a (possibly negative) decimal integer.
+bool is_integer(std::string_view text);
+
+}  // namespace agenp::util

@@ -1,0 +1,48 @@
+#include "util/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace agenp::util {
+namespace {
+
+// Process-wide intern table. Guarded by a mutex: interning happens during
+// parsing/setup, not in solver inner loops, so contention is irrelevant.
+struct InternTable {
+    std::mutex mu;
+    std::deque<std::string> storage;  // deque: stable addresses on growth
+    std::unordered_map<std::string_view, std::uint32_t> index;
+
+    InternTable() {
+        storage.emplace_back("");  // id 0 is the empty symbol
+        index.emplace(storage.back(), 0);
+    }
+
+    std::uint32_t intern(std::string_view text) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (auto it = index.find(text); it != index.end()) return it->second;
+        storage.emplace_back(text);
+        auto id = static_cast<std::uint32_t>(storage.size() - 1);
+        index.emplace(storage.back(), id);
+        return id;
+    }
+
+    std::string_view lookup(std::uint32_t id) {
+        std::lock_guard<std::mutex> lock(mu);
+        return storage[id];
+    }
+};
+
+InternTable& table() {
+    static InternTable t;
+    return t;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view text) : id_(table().intern(text)) {}
+
+std::string_view Symbol::str() const { return table().lookup(id_); }
+
+}  // namespace agenp::util

@@ -1,0 +1,47 @@
+// Interned symbols.
+//
+// Every identifier that flows through the ASP/CFG/ASG layers (predicate
+// names, constants, grammar symbols, attribute names) is interned once into
+// a process-wide table and afterwards handled as a 32-bit id. This makes
+// term comparison, hashing and substitution O(1) and keeps the grounder's
+// inner loops allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace agenp::util {
+
+// Opaque handle to an interned string. Two Symbols compare equal iff the
+// strings they intern are identical.
+class Symbol {
+public:
+    Symbol() = default;  // the empty symbol, interned as ""
+
+    // Interns `text` (idempotent) and returns its handle.
+    explicit Symbol(std::string_view text);
+
+    // The interned text. Valid for the lifetime of the process.
+    [[nodiscard]] std::string_view str() const;
+
+    [[nodiscard]] std::uint32_t id() const { return id_; }
+
+    friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+    friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+    // Orders by interning order, not lexicographically; use str() when a
+    // human-facing order matters.
+    friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+private:
+    std::uint32_t id_ = 0;
+};
+
+}  // namespace agenp::util
+
+template <>
+struct std::hash<agenp::util::Symbol> {
+    std::size_t operator()(agenp::util::Symbol s) const noexcept {
+        return std::hash<std::uint32_t>{}(s.id());
+    }
+};

@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+
+namespace agenp::util {
+
+std::string Table::cell_to_string(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+std::string Table::render() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (auto w : widths) rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out = rule + render_row(header_) + rule;
+    for (const auto& row : rows_) out += render_row(row);
+    out += rule;
+    return out;
+}
+
+}  // namespace agenp::util

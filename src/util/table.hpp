@@ -1,0 +1,41 @@
+// ASCII table rendering for benchmark reports.
+//
+// The benchmark binaries print the same rows/series the paper reports; this
+// helper keeps all of them visually consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agenp::util {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    // Convenience: formats each cell with to_string-ish conversion.
+    template <typename... Cells>
+    void add(const Cells&... cells) {
+        add_row({cell_to_string(cells)...});
+    }
+
+    [[nodiscard]] std::string render() const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    static std::string cell_to_string(const std::string& s) { return s; }
+    static std::string cell_to_string(const char* s) { return s; }
+    static std::string cell_to_string(double v);
+    template <typename T>
+    static std::string cell_to_string(const T& v) {
+        return std::to_string(v);
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace agenp::util

@@ -1,0 +1,82 @@
+#include "xacml/attributes.hpp"
+
+#include <stdexcept>
+
+namespace agenp::xacml {
+
+std::string category_name(Category c) {
+    switch (c) {
+        case Category::Subject: return "subject";
+        case Category::Resource: return "resource";
+        case Category::Action: return "action";
+        case Category::Environment: return "environment";
+    }
+    return "?";
+}
+
+int Schema::index_of(std::string_view name) const {
+    for (std::size_t i = 0; i < attributes.size(); ++i) {
+        if (attributes[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+}
+
+double Schema::request_space_size() const {
+    double total = 1;
+    for (const auto& a : attributes) total *= static_cast<double>(a.domain_size());
+    return total;
+}
+
+std::string Request::to_string(const Schema& schema) const {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += schema.attributes[i].name + "=" + values[i].to_string();
+    }
+    return out;
+}
+
+Request sample_request(const Schema& schema, util::Rng& rng) {
+    Request r;
+    r.values.reserve(schema.size());
+    for (const auto& a : schema.attributes) {
+        if (a.numeric) {
+            r.values.push_back(AttributeValue::of(rng.uniform(a.min, a.max)));
+        } else {
+            r.values.push_back(AttributeValue::of(a.values[static_cast<std::size_t>(
+                rng.uniform(0, static_cast<std::int64_t>(a.values.size()) - 1))]));
+        }
+    }
+    return r;
+}
+
+std::vector<Request> enumerate_requests(const Schema& schema, std::size_t limit) {
+    if (schema.request_space_size() > static_cast<double>(limit)) {
+        throw std::runtime_error("request space too large to enumerate");
+    }
+    std::vector<Request> out;
+    Request current;
+    current.values.resize(schema.size());
+
+    // Odometer over attribute domains.
+    std::vector<std::size_t> counter(schema.size(), 0);
+    while (true) {
+        for (std::size_t i = 0; i < schema.size(); ++i) {
+            const auto& a = schema.attributes[i];
+            current.values[i] = a.numeric
+                                    ? AttributeValue::of(a.min + static_cast<std::int64_t>(counter[i]))
+                                    : AttributeValue::of(a.values[counter[i]]);
+        }
+        out.push_back(current);
+        std::size_t pos = 0;
+        while (pos < schema.size()) {
+            if (++counter[pos] < schema.attributes[pos].domain_size()) break;
+            counter[pos] = 0;
+            ++pos;
+        }
+        if (pos == schema.size()) break;
+    }
+    return out;
+}
+
+}  // namespace agenp::xacml

@@ -1,0 +1,91 @@
+// Miniature XACML attribute model (Section IV.C).
+//
+// Requests carry attribute values across the four XACML categories; a
+// Schema fixes the attribute universe so synthetic policy/request
+// generators, the ASG learning bridge, and the explainability search all
+// agree on the space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace agenp::xacml {
+
+enum class Category { Subject, Resource, Action, Environment };
+
+std::string category_name(Category c);
+
+struct AttributeValue {
+    bool numeric = false;
+    std::int64_t number = 0;
+    std::string text;
+
+    static AttributeValue of(std::int64_t n) { return {true, n, {}}; }
+    static AttributeValue of(std::string s) { return {false, 0, std::move(s)}; }
+
+    [[nodiscard]] std::string to_string() const { return numeric ? std::to_string(number) : text; }
+
+    friend bool operator==(const AttributeValue& a, const AttributeValue& b) {
+        if (a.numeric != b.numeric) return false;
+        return a.numeric ? a.number == b.number : a.text == b.text;
+    }
+};
+
+struct AttributeDef {
+    std::string name;
+    Category category = Category::Subject;
+    bool numeric = false;
+    std::vector<std::string> values;  // categorical domain
+    std::int64_t min = 0, max = 0;    // numeric domain (inclusive)
+
+    static AttributeDef categorical(std::string n, Category c, std::vector<std::string> vals) {
+        AttributeDef d;
+        d.name = std::move(n);
+        d.category = c;
+        d.values = std::move(vals);
+        return d;
+    }
+    static AttributeDef numeric_range(std::string n, Category c, std::int64_t lo, std::int64_t hi) {
+        AttributeDef d;
+        d.name = std::move(n);
+        d.category = c;
+        d.numeric = true;
+        d.min = lo;
+        d.max = hi;
+        return d;
+    }
+
+    // Number of distinct values in the domain.
+    [[nodiscard]] std::size_t domain_size() const {
+        return numeric ? static_cast<std::size_t>(max - min + 1) : values.size();
+    }
+};
+
+struct Schema {
+    std::vector<AttributeDef> attributes;
+
+    [[nodiscard]] std::size_t size() const { return attributes.size(); }
+    [[nodiscard]] int index_of(std::string_view name) const;
+
+    // Total number of distinct requests.
+    [[nodiscard]] double request_space_size() const;
+};
+
+// A request: one value per schema attribute (parallel vectors).
+struct Request {
+    std::vector<AttributeValue> values;
+
+    [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+// Uniform random request.
+Request sample_request(const Schema& schema, util::Rng& rng);
+
+// Enumerates the full request space (use only when request_space_size() is
+// small; throws std::runtime_error beyond `limit`).
+std::vector<Request> enumerate_requests(const Schema& schema, std::size_t limit = 200000);
+
+}  // namespace agenp::xacml

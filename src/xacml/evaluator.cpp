@@ -1,0 +1,37 @@
+#include "xacml/evaluator.hpp"
+
+namespace agenp::xacml {
+
+Decision evaluate(const XacmlPolicy& policy, const Request& request) {
+    if (!policy.target.applies(request)) return Decision::NotApplicable;
+
+    bool saw_permit = false;
+    bool saw_deny = false;
+    for (const auto& rule : policy.rules) {
+        if (!rule.target.applies(request)) continue;
+        switch (policy.alg) {
+            case CombiningAlg::FirstApplicable:
+                return rule.effect == Effect::Permit ? Decision::Permit : Decision::Deny;
+            case CombiningAlg::DenyOverrides:
+                if (rule.effect == Effect::Deny) return Decision::Deny;
+                saw_permit = true;
+                break;
+            case CombiningAlg::PermitOverrides:
+                if (rule.effect == Effect::Permit) return Decision::Permit;
+                saw_deny = true;
+                break;
+        }
+    }
+    if (saw_permit) return Decision::Permit;
+    if (saw_deny) return Decision::Deny;
+    return Decision::NotApplicable;
+}
+
+std::vector<LogEntry> evaluate_batch(const XacmlPolicy& policy, const std::vector<Request>& requests) {
+    std::vector<LogEntry> log;
+    log.reserve(requests.size());
+    for (const auto& r : requests) log.push_back({r, evaluate(policy, r)});
+    return log;
+}
+
+}  // namespace agenp::xacml

@@ -1,0 +1,23 @@
+// The XACML PDP: evaluates requests against a policy under its combining
+// algorithm.
+#pragma once
+
+#include "xacml/policy.hpp"
+
+namespace agenp::xacml {
+
+// Single-policy evaluation. NotApplicable when the policy target or every
+// rule target misses.
+Decision evaluate(const XacmlPolicy& policy, const Request& request);
+
+// Decision log entry: the unit of the learning dataset ("logs of past
+// decisions", Section IV.C).
+struct LogEntry {
+    Request request;
+    Decision decision = Decision::NotApplicable;
+};
+
+// Evaluates a batch of requests.
+std::vector<LogEntry> evaluate_batch(const XacmlPolicy& policy, const std::vector<Request>& requests);
+
+}  // namespace agenp::xacml

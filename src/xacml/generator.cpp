@@ -1,0 +1,133 @@
+#include "xacml/generator.hpp"
+
+#include <set>
+
+namespace agenp::xacml {
+
+Schema healthcare_schema() {
+    Schema s;
+    s.attributes.push_back(
+        AttributeDef::categorical("role", Category::Subject, {"doctor", "nurse", "admin", "guest"}));
+    s.attributes.push_back(
+        AttributeDef::categorical("dept", Category::Subject, {"cardio", "radio", "er"}));
+    s.attributes.push_back(
+        AttributeDef::categorical("action", Category::Action, {"read", "write", "delete"}));
+    s.attributes.push_back(
+        AttributeDef::categorical("resource", Category::Resource, {"record", "report"}));
+    s.attributes.push_back(AttributeDef::numeric_range("hour", Category::Environment, 0, 5));
+    return s;
+}
+
+Schema coalition_schema() {
+    Schema s;
+    s.attributes.push_back(
+        AttributeDef::categorical("partner", Category::Subject, {"us", "uk", "local"}));
+    s.attributes.push_back(AttributeDef::numeric_range("trust", Category::Subject, 0, 4));
+    s.attributes.push_back(
+        AttributeDef::categorical("kind", Category::Resource, {"image", "audio", "document"}));
+    s.attributes.push_back(AttributeDef::numeric_range("quality", Category::Resource, 0, 4));
+    return s;
+}
+
+namespace {
+
+AttributeValue random_domain_value(const AttributeDef& def, util::Rng& rng) {
+    if (def.numeric) return AttributeValue::of(rng.uniform(def.min, def.max));
+    return AttributeValue::of(def.values[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(def.values.size()) - 1))]);
+}
+
+// A conjunctive target over distinct random attributes; numeric attributes
+// get threshold matches, categorical ones equality.
+Target random_target(const Schema& schema, int conjuncts, util::Rng& rng) {
+    Target t;
+    std::set<std::size_t> used;
+    int attempts = 0;
+    while (static_cast<int>(t.all_of.size()) < conjuncts && ++attempts < 100) {
+        auto a = static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(schema.size()) - 1));
+        if (!used.insert(a).second) continue;
+        const auto& def = schema.attributes[a];
+        Match m;
+        m.attribute = a;
+        if (def.numeric) {
+            m.op = rng.bernoulli(0.5) ? Match::Op::Le : Match::Op::Ge;
+            m.value = AttributeValue::of(rng.uniform(def.min + 1, def.max - 1));
+        } else {
+            m.op = Match::Op::Eq;
+            m.value = random_domain_value(def, rng);
+        }
+        t.all_of.push_back(m);
+    }
+    return t;
+}
+
+}  // namespace
+
+XacmlPolicy default_permit_family(const Schema& schema, const PolicyFamilyOptions& options) {
+    util::Rng rng(options.seed);
+    XacmlPolicy p;
+    p.id = "default-permit-" + std::to_string(options.seed);
+    p.alg = CombiningAlg::DenyOverrides;
+    for (int i = 0; i < options.deny_rules; ++i) {
+        XacmlRule r;
+        r.id = "deny" + std::to_string(i);
+        r.effect = Effect::Deny;
+        r.target = random_target(schema, options.matches_per_rule, rng);
+        p.rules.push_back(std::move(r));
+    }
+    if (options.catch_all_permit) {
+        XacmlRule r;
+        r.id = "permit-all";
+        r.effect = Effect::Permit;
+        p.rules.push_back(std::move(r));  // empty target: applies to everything
+    }
+    return p;
+}
+
+XacmlPolicy first_applicable_family(const Schema& schema, const PolicyFamilyOptions& options) {
+    util::Rng rng(options.seed);
+    XacmlPolicy p;
+    p.id = "first-applicable-" + std::to_string(options.seed);
+    p.alg = CombiningAlg::FirstApplicable;
+    for (int i = 0; i < options.deny_rules * 2; ++i) {
+        XacmlRule r;
+        r.id = "rule" + std::to_string(i);
+        r.effect = i % 2 == 0 ? Effect::Deny : Effect::Permit;
+        r.target = random_target(schema, options.matches_per_rule, rng);
+        p.rules.push_back(std::move(r));
+    }
+    if (options.catch_all_permit) {
+        XacmlRule r;
+        r.id = "permit-all";
+        r.effect = Effect::Permit;
+        p.rules.push_back(std::move(r));
+    }
+    return p;
+}
+
+std::vector<Request> sample_requests(const Schema& schema, std::size_t n, util::Rng& rng) {
+    std::vector<Request> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(sample_request(schema, rng));
+    return out;
+}
+
+void inject_noise(std::vector<LogEntry>& log, const NoiseOptions& options) {
+    util::Rng rng(options.seed);
+    for (auto& entry : log) {
+        if (options.not_applicable_prob > 0 && rng.bernoulli(options.not_applicable_prob)) {
+            entry.decision = Decision::NotApplicable;
+            continue;
+        }
+        if (options.flip_prob > 0 && rng.bernoulli(options.flip_prob)) {
+            if (entry.decision == Decision::Permit) {
+                entry.decision = Decision::Deny;
+            } else if (entry.decision == Decision::Deny) {
+                entry.decision = Decision::Permit;
+            }
+        }
+    }
+}
+
+}  // namespace agenp::xacml

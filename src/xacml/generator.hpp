@@ -1,0 +1,47 @@
+// Synthetic XACML workload generator.
+//
+// Substitutes for the AT&T conformance dataset the paper used (DESIGN.md
+// section 2): ground-truth policies drawn from structured families plus
+// request samplers produce the same kind of request/decision logs, including
+// the failure-mode variants of Fig 3b (sparse logs, underspecified targets,
+// NotApplicable noise).
+#pragma once
+
+#include "xacml/evaluator.hpp"
+
+namespace agenp::xacml {
+
+// A small healthcare-flavoured schema (role/department/action/resource/
+// hour) whose request space is fully enumerable, so learned policies can be
+// checked for semantic equivalence exactly.
+Schema healthcare_schema();
+
+// A coalition data-sharing schema (partner/trust/kind/quality).
+Schema coalition_schema();
+
+struct PolicyFamilyOptions {
+    int deny_rules = 3;            // number of deny rules
+    int matches_per_rule = 2;      // conjuncts per deny target
+    bool catch_all_permit = true;  // false leaves a NotApplicable region
+    std::uint64_t seed = 1;
+};
+
+// "Default permit + k conjunctive deny rules" (deny-overrides). The permit
+// set's complement is a union of boxes, which is exactly the shape a
+// constraint-only ASG hypothesis expresses — the Fig 3a setting.
+XacmlPolicy default_permit_family(const Schema& schema, const PolicyFamilyOptions& options);
+
+// First-applicable with interleaved permit/deny rules; harder shapes.
+XacmlPolicy first_applicable_family(const Schema& schema, const PolicyFamilyOptions& options);
+
+std::vector<Request> sample_requests(const Schema& schema, std::size_t n, util::Rng& rng);
+
+struct NoiseOptions {
+    double flip_prob = 0.0;            // Permit<->Deny flips
+    double not_applicable_prob = 0.0;  // decision replaced by NotApplicable
+    std::uint64_t seed = 7;
+};
+
+void inject_noise(std::vector<LogEntry>& log, const NoiseOptions& options);
+
+}  // namespace agenp::xacml

@@ -1,0 +1,274 @@
+#include "xacml/learning_bridge.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "asg/membership.hpp"
+
+namespace agenp::xacml {
+namespace {
+
+bool is_var_attribute(const BridgeOptions& options, const std::string& name) {
+    return std::find(options.var_attributes.begin(), options.var_attributes.end(), name) !=
+           options.var_attributes.end();
+}
+
+std::string attr_nonterminal(const AttributeDef& def) { return "attr_" + def.name; }
+
+}  // namespace
+
+Bridge make_bridge(const Schema& schema, const BridgeOptions& options) {
+    Bridge bridge;
+    bridge.schema = schema;
+    bridge.options = options;
+
+    // Root production: request -> attr_a1 ... attr_an.
+    cfg::Production root;
+    root.lhs = util::Symbol("request");
+    for (const auto& def : schema.attributes) {
+        root.rhs.push_back(cfg::GSym::nonterm(attr_nonterminal(def)));
+    }
+    bridge.grammar.set_start(root.lhs);
+    bridge.grammar.add_production(std::move(root));
+
+    // One production per attribute value, annotated with its fact.
+    for (const auto& def : schema.attributes) {
+        auto add_value = [&](const AttributeValue& v) {
+            cfg::Production p;
+            p.lhs = util::Symbol(attr_nonterminal(def));
+            p.rhs.push_back(cfg::GSym::term(def.name + "=" + v.to_string()));
+            asp::Program annotation;
+            asp::Term arg = v.numeric ? asp::Term::integer(v.number) : asp::Term::constant(v.text);
+            annotation.add_fact(asp::Atom(util::Symbol(def.name), {arg}));
+            bridge.grammar.add_production(std::move(p), std::move(annotation));
+        };
+        if (def.numeric) {
+            for (std::int64_t x = def.min; x <= def.max; ++x) add_value(AttributeValue::of(x));
+        } else {
+            for (const auto& v : def.values) add_value(AttributeValue::of(v));
+        }
+    }
+
+    // Mode bias over the root production.
+    ilp::ModeBias bias;
+    bias.max_body_atoms = options.max_body_atoms;
+    bias.max_comparisons = options.max_comparisons;
+    bias.max_vars = options.max_vars;
+    for (std::size_t i = 0; i < schema.attributes.size(); ++i) {
+        const auto& def = schema.attributes[i];
+        int annotation = static_cast<int>(i) + 1;
+        if (def.numeric) {
+            bias.body.push_back(
+                ilp::ModeAtom(def.name, {ilp::ArgSpec::var(def.name)}, annotation));
+            bias.comparisons.push_back(
+                ilp::ComparisonMode(def.name, {asp::Comparison::Op::Le, asp::Comparison::Op::Ge}));
+            for (std::int64_t x = def.min; x <= def.max; ++x) {
+                bias.add_constant(def.name, asp::Term::integer(x));
+            }
+        } else if (is_var_attribute(options, def.name)) {
+            bias.body.push_back(
+                ilp::ModeAtom(def.name, {ilp::ArgSpec::var(def.name)}, annotation));
+        } else {
+            bias.body.push_back(
+                ilp::ModeAtom(def.name, {ilp::ArgSpec::constant(def.name)}, annotation));
+            for (const auto& v : def.values) {
+                bias.add_constant(def.name, asp::Term::constant(v));
+            }
+        }
+    }
+    for (const auto& extra : options.extra_body_atoms) bias.body.push_back(extra);
+    for (const auto& extra : options.extra_comparisons) bias.comparisons.push_back(extra);
+    for (const auto& [pool, terms] : options.extra_constants) {
+        auto& dest = bias.constants[pool];
+        dest.insert(dest.end(), terms.begin(), terms.end());
+    }
+
+    bridge.space = ilp::generate_space(bias, {0});
+
+    // Target restriction: every kept candidate must mention each required
+    // attribute's predicate.
+    if (!options.required_attributes.empty()) {
+        auto mentions = [](const asp::Rule& rule, const std::string& pred) {
+            for (const auto& l : rule.body) {
+                if (l.atom.predicate.str() == pred) return true;
+            }
+            return false;
+        };
+        std::vector<ilp::Candidate> kept;
+        for (auto& c : bridge.space.candidates) {
+            bool ok = true;
+            for (const auto& attr : options.required_attributes) {
+                if (!mentions(c.rule, attr)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) kept.push_back(std::move(c));
+        }
+        bridge.space.candidates = std::move(kept);
+    }
+    return bridge;
+}
+
+cfg::TokenString request_tokens(const Schema& schema, const Request& request) {
+    cfg::TokenString tokens;
+    tokens.reserve(schema.size());
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+        tokens.emplace_back(schema.attributes[i].name + "=" + request.values[i].to_string());
+    }
+    return tokens;
+}
+
+ilp::LearningTask make_task(const Bridge& bridge, const std::vector<LogEntry>& log, NaHandling na) {
+    ilp::LearningTask task;
+    task.initial = bridge.grammar;
+    task.space = bridge.space;
+    std::set<std::pair<std::string, bool>> seen;
+    for (const auto& entry : log) {
+        bool positive;
+        switch (entry.decision) {
+            case Decision::Permit:
+                positive = true;
+                break;
+            case Decision::Deny:
+                positive = false;
+                break;
+            case Decision::NotApplicable:
+                if (na == NaHandling::Drop) continue;
+                positive = false;
+                break;
+            default:
+                continue;
+        }
+        auto tokens = request_tokens(bridge.schema, entry.request);
+        if (!seen.insert({cfg::detokenize(tokens), positive}).second) continue;
+        auto& bucket = positive ? task.positive : task.negative;
+        bucket.emplace_back(std::move(tokens), bridge.options.background);
+    }
+    return task;
+}
+
+ilp::LearnResult learn_policy(const Bridge& bridge, const std::vector<LogEntry>& log, NaHandling na,
+                              const ilp::LearnOptions& options) {
+    return ilp::learn(make_task(bridge, log, na), options);
+}
+
+namespace {
+
+// Human-readable condition for one constraint literal/comparison set.
+std::string render_constraint(const asp::Rule& rule) {
+    std::vector<std::string> parts;
+    // Variable -> attribute-name mapping from annotated literals.
+    std::map<std::string, std::string> var_attr;
+    for (const auto& l : rule.body) {
+        const auto& atom = l.atom;
+        std::string pred(atom.predicate.str());
+        if (atom.args.size() == 1 && atom.args[0].is_variable()) {
+            var_attr[std::string(atom.args[0].symbol().str())] = pred;
+            continue;  // condition comes from the comparison
+        }
+        if (atom.args.size() == 1) {
+            parts.push_back((l.positive ? "" : "not ") + pred + "=" + atom.args[0].to_string());
+            continue;
+        }
+        // Multi-arg (background) literals keep functional notation; a
+        // trailing variable that feeds a comparison keeps its name so the
+        // comparison reads through it.
+        asp::Atom shown = atom;
+        shown.annotation = asp::kUnannotated;
+        parts.push_back((l.positive ? "" : "not ") + shown.to_string());
+    }
+    for (const auto& c : rule.builtins) {
+        std::string lhs = c.lhs.is_variable() && var_attr.contains(std::string(c.lhs.symbol().str()))
+                              ? var_attr.at(std::string(c.lhs.symbol().str()))
+                              : c.lhs.to_string();
+        parts.push_back(lhs + " " + asp::Comparison::op_to_string(c.op) + " " + c.rhs.to_string());
+    }
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += parts[i];
+    }
+    return out.empty() ? "true" : out;
+}
+
+}  // namespace
+
+std::string render_learned_policy(const Bridge& bridge, const ilp::Hypothesis& hypothesis) {
+    (void)bridge;
+    std::string out;
+    int i = 0;
+    for (const auto& [rule, production] : hypothesis) {
+        (void)production;
+        out += "  rule d" + std::to_string(i++) + ": Deny if " + render_constraint(rule) + "\n";
+    }
+    out += "  rule permit-all: Permit otherwise\n";
+    return out;
+}
+
+XacmlPolicy to_xacml(const Bridge& bridge, const ilp::Hypothesis& hypothesis) {
+    XacmlPolicy policy;
+    policy.id = "learned";
+    policy.alg = CombiningAlg::DenyOverrides;
+    int i = 0;
+    for (const auto& [rule, production] : hypothesis) {
+        (void)production;
+        XacmlRule deny;
+        deny.id = "learned-deny" + std::to_string(i++);
+        deny.effect = Effect::Deny;
+        std::map<std::string, std::size_t> var_attr;  // variable name -> attribute index
+        for (const auto& l : rule.body) {
+            int attr = bridge.schema.index_of(l.atom.predicate.str());
+            if (attr < 0 || l.atom.args.size() != 1) continue;  // background literal: skip
+            const auto& arg = l.atom.args[0];
+            if (arg.is_variable()) {
+                var_attr[std::string(arg.symbol().str())] = static_cast<std::size_t>(attr);
+                continue;
+            }
+            Match m;
+            m.attribute = static_cast<std::size_t>(attr);
+            m.op = l.positive ? Match::Op::Eq : Match::Op::Ne;
+            m.value = arg.is_integer() ? AttributeValue::of(arg.int_value())
+                                       : AttributeValue::of(std::string(arg.symbol().str()));
+            deny.target.all_of.push_back(m);
+        }
+        for (const auto& c : rule.builtins) {
+            if (!c.lhs.is_variable() || !c.rhs.is_integer()) continue;
+            auto it = var_attr.find(std::string(c.lhs.symbol().str()));
+            if (it == var_attr.end()) continue;
+            Match m;
+            m.attribute = it->second;
+            switch (c.op) {
+                case asp::Comparison::Op::Le: m.op = Match::Op::Le; break;
+                case asp::Comparison::Op::Lt: m.op = Match::Op::Lt; break;
+                case asp::Comparison::Op::Ge: m.op = Match::Op::Ge; break;
+                case asp::Comparison::Op::Gt: m.op = Match::Op::Gt; break;
+                case asp::Comparison::Op::Eq: m.op = Match::Op::Eq; break;
+                case asp::Comparison::Op::Ne: m.op = Match::Op::Ne; break;
+            }
+            m.value = AttributeValue::of(c.rhs.int_value());
+            deny.target.all_of.push_back(m);
+        }
+        policy.rules.push_back(std::move(deny));
+    }
+    XacmlRule permit;
+    permit.id = "permit-all";
+    permit.effect = Effect::Permit;
+    policy.rules.push_back(std::move(permit));
+    return policy;
+}
+
+double agreement(const Bridge& bridge, const asg::AnswerSetGrammar& learned,
+                 const XacmlPolicy& truth, const std::vector<Request>& requests) {
+    if (requests.empty()) return 1.0;
+    std::size_t agree = 0;
+    for (const auto& r : requests) {
+        bool truth_permits = evaluate(truth, r) == Decision::Permit;
+        bool learned_permits = asg::in_language(learned, request_tokens(bridge.schema, r),
+                                                bridge.options.background);
+        if (truth_permits == learned_permits) ++agree;
+    }
+    return static_cast<double>(agree) / static_cast<double>(requests.size());
+}
+
+}  // namespace agenp::xacml

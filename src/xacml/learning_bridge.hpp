@@ -1,0 +1,76 @@
+// Bridge between the XACML world and the ASG learner (Section IV.C).
+//
+// Requests are rendered as token strings ("role=doctor dept=er ..."); a
+// schema-derived ASG parses them and annotates each attribute child with a
+// fact (role(doctor), hour(3), ...). Learning recovers root-production
+// constraints — each one a conjunctive deny region — from request/decision
+// logs; learned hypotheses translate back into XACML deny rules for
+// Fig 3-style reporting and PCP quality analysis.
+#pragma once
+
+#include "ilp/learner.hpp"
+#include "xacml/generator.hpp"
+
+namespace agenp::xacml {
+
+struct BridgeOptions {
+    int max_body_atoms = 2;
+    int max_comparisons = 1;
+    int max_vars = 2;
+    // Attributes exposed as typed variables (joinable with background
+    // predicates); categorical attributes default to constant slots.
+    std::vector<std::string> var_attributes;
+    // Background knowledge added to every example's context (the
+    // overfitting mitigation of Section IV.C).
+    asp::Program background;
+    // Extra hypothesis-space atoms, e.g. over background predicates.
+    std::vector<ilp::ModeAtom> extra_body_atoms;
+    std::vector<ilp::ComparisonMode> extra_comparisons;
+    // Extra constant pools (type name -> terms), merged into the bias.
+    std::map<asp::Symbol, std::vector<asp::Term>> extra_constants;
+    // Target restriction (Fig 3b Policy 2 mitigation): keep only candidates
+    // mentioning ALL of these attributes.
+    std::vector<std::string> required_attributes;
+};
+
+struct Bridge {
+    Schema schema;
+    BridgeOptions options;
+    asg::AnswerSetGrammar grammar;
+    ilp::HypothesisSpace space;
+};
+
+Bridge make_bridge(const Schema& schema, const BridgeOptions& options = {});
+
+// "role=doctor dept=er action=read resource=record hour=3"
+cfg::TokenString request_tokens(const Schema& schema, const Request& request);
+
+enum class NaHandling {
+    Drop,    // the paper's recommended filtering
+    AsDeny,  // the Fig 3b Policy 3 failure mode: irrelevant responses taken as decisions
+};
+
+// Builds the Definition-3 task from a decision log. Permit -> positive,
+// Deny -> negative. Duplicate (string, label) pairs are deduped.
+ilp::LearningTask make_task(const Bridge& bridge, const std::vector<LogEntry>& log,
+                            NaHandling na = NaHandling::Drop);
+
+// Runs the learner on a log.
+ilp::LearnResult learn_policy(const Bridge& bridge, const std::vector<LogEntry>& log,
+                              NaHandling na = NaHandling::Drop, const ilp::LearnOptions& options = {});
+
+// Fig 3-style rendering: one "Deny if ..." line per learned constraint plus
+// the default-permit closing line.
+std::string render_learned_policy(const Bridge& bridge, const ilp::Hypothesis& hypothesis);
+
+// Translates a learned hypothesis back into an executable XACML policy
+// (deny-overrides, catch-all permit). Constraints that use joins beyond
+// attribute literals + one comparison fall back to a best-effort box.
+XacmlPolicy to_xacml(const Bridge& bridge, const ilp::Hypothesis& hypothesis);
+
+// Fraction of `requests` where the learned grammar's accept/reject agrees
+// with `truth`'s Permit/non-Permit.
+double agreement(const Bridge& bridge, const asg::AnswerSetGrammar& learned,
+                 const XacmlPolicy& truth, const std::vector<Request>& requests);
+
+}  // namespace agenp::xacml

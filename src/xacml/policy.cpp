@@ -1,0 +1,96 @@
+#include "xacml/policy.hpp"
+
+namespace agenp::xacml {
+
+std::string effect_name(Effect e) { return e == Effect::Permit ? "Permit" : "Deny"; }
+
+std::string decision_name(Decision d) {
+    switch (d) {
+        case Decision::Permit: return "Permit";
+        case Decision::Deny: return "Deny";
+        case Decision::NotApplicable: return "NotApplicable";
+        case Decision::Indeterminate: return "Indeterminate";
+    }
+    return "?";
+}
+
+std::string combining_name(CombiningAlg a) {
+    switch (a) {
+        case CombiningAlg::DenyOverrides: return "deny-overrides";
+        case CombiningAlg::PermitOverrides: return "permit-overrides";
+        case CombiningAlg::FirstApplicable: return "first-applicable";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string op_text(Match::Op op) {
+    switch (op) {
+        case Match::Op::Eq: return "=";
+        case Match::Op::Ne: return "!=";
+        case Match::Op::Lt: return "<";
+        case Match::Op::Le: return "<=";
+        case Match::Op::Gt: return ">";
+        case Match::Op::Ge: return ">=";
+    }
+    return "?";
+}
+
+}  // namespace
+
+bool Match::matches(const Request& request) const {
+    const AttributeValue& v = request.values[attribute];
+    if (v.numeric != value.numeric) return false;
+    if (v.numeric) {
+        switch (op) {
+            case Op::Eq: return v.number == value.number;
+            case Op::Ne: return v.number != value.number;
+            case Op::Lt: return v.number < value.number;
+            case Op::Le: return v.number <= value.number;
+            case Op::Gt: return v.number > value.number;
+            case Op::Ge: return v.number >= value.number;
+        }
+        return false;
+    }
+    // Categorical attributes support only (in)equality.
+    switch (op) {
+        case Op::Eq: return v.text == value.text;
+        case Op::Ne: return v.text != value.text;
+        default: return false;
+    }
+}
+
+std::string Match::to_string(const Schema& schema) const {
+    return schema.attributes[attribute].name + op_text(op) + value.to_string();
+}
+
+bool Target::applies(const Request& request) const {
+    for (const auto& m : all_of) {
+        if (!m.matches(request)) return false;
+    }
+    return true;
+}
+
+std::string Target::to_string(const Schema& schema) const {
+    if (all_of.empty()) return "any";
+    std::string out;
+    for (std::size_t i = 0; i < all_of.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += all_of[i].to_string(schema);
+    }
+    return out;
+}
+
+std::string XacmlRule::to_string(const Schema& schema) const {
+    return "rule " + id + ": " + effect_name(effect) + " if " + target.to_string(schema);
+}
+
+std::string XacmlPolicy::to_string(const Schema& schema) const {
+    std::string out = "policy " + id + " (" + combining_name(alg) + ", target: " +
+                      target.to_string(schema) + ")\n";
+    for (const auto& r : rules) out += "  " + r.to_string(schema) + "\n";
+    return out;
+}
+
+}  // namespace agenp::xacml

@@ -1,0 +1,52 @@
+// Miniature XACML policies: targets, rules, combining algorithms.
+#pragma once
+
+#include "xacml/attributes.hpp"
+
+namespace agenp::xacml {
+
+enum class Effect { Permit, Deny };
+enum class Decision { Permit, Deny, NotApplicable, Indeterminate };
+
+std::string effect_name(Effect e);
+std::string decision_name(Decision d);
+
+struct Match {
+    std::size_t attribute = 0;  // index into the schema
+    enum class Op { Eq, Ne, Lt, Le, Gt, Ge } op = Op::Eq;
+    AttributeValue value;
+
+    [[nodiscard]] bool matches(const Request& request) const;
+    [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+// Conjunctive target; empty = applies to everything.
+struct Target {
+    std::vector<Match> all_of;
+
+    [[nodiscard]] bool applies(const Request& request) const;
+    [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+struct XacmlRule {
+    std::string id;
+    Target target;
+    Effect effect = Effect::Permit;
+
+    [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+enum class CombiningAlg { DenyOverrides, PermitOverrides, FirstApplicable };
+
+std::string combining_name(CombiningAlg a);
+
+struct XacmlPolicy {
+    std::string id;
+    Target target;
+    std::vector<XacmlRule> rules;
+    CombiningAlg alg = CombiningAlg::FirstApplicable;
+
+    [[nodiscard]] std::string to_string(const Schema& schema) const;
+};
+
+}  // namespace agenp::xacml

@@ -1,0 +1,49 @@
+#include "xacml/quality_filter.hpp"
+
+#include <map>
+
+namespace agenp::xacml {
+
+std::vector<LogEntry> filter_low_quality(const std::vector<LogEntry>& log, const Schema& schema,
+                                         FilterStats* stats) {
+    FilterStats local;
+
+    // Group by rendered request; count Permit/Deny votes.
+    struct Votes {
+        std::size_t permit = 0;
+        std::size_t deny = 0;
+        const LogEntry* first = nullptr;
+    };
+    std::map<std::string, Votes> groups;
+    for (const auto& entry : log) {
+        if (entry.decision != Decision::Permit && entry.decision != Decision::Deny) {
+            ++local.irrelevant_removed;
+            continue;
+        }
+        auto key = entry.request.to_string(schema);
+        auto& v = groups[key];
+        if (!v.first) v.first = &entry;
+        (entry.decision == Decision::Permit ? v.permit : v.deny) += 1;
+    }
+
+    std::vector<LogEntry> out;
+    for (const auto& [key, v] : groups) {
+        (void)key;
+        std::size_t total = v.permit + v.deny;
+        if (v.permit == v.deny) {
+            // Tie between conflicting responses: unrecoverable, drop all.
+            local.inconsistent_removed += total;
+            continue;
+        }
+        bool permit = v.permit > v.deny;
+        std::size_t majority = permit ? v.permit : v.deny;
+        local.inconsistent_removed += total - majority;  // losing votes
+        local.duplicates_removed += majority - 1;        // copies beyond the kept one
+        out.push_back({v.first->request, permit ? Decision::Permit : Decision::Deny});
+    }
+
+    if (stats) *stats = local;
+    return out;
+}
+
+}  // namespace agenp::xacml

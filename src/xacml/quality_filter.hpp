@@ -1,0 +1,30 @@
+// Low-quality example filtering (Section IV.C): the paper's mitigation for
+// noisy example datasets is to filter them in advance using formal
+// definitions of "low quality" adapted from policy-quality work [14], [31].
+//
+// Implemented definitions:
+//  - irrelevant response: NotApplicable/Indeterminate decisions (not proper
+//    decisions of a specified policy);
+//  - inconsistent responses: identical requests with conflicting
+//    Permit/Deny decisions — resolved by majority vote, dropped on ties;
+//  - redundancy: exact duplicate (request, decision) entries.
+#pragma once
+
+#include "xacml/evaluator.hpp"
+
+namespace agenp::xacml {
+
+struct FilterStats {
+    std::size_t irrelevant_removed = 0;
+    std::size_t inconsistent_removed = 0;
+    std::size_t duplicates_removed = 0;
+
+    [[nodiscard]] std::size_t total_removed() const {
+        return irrelevant_removed + inconsistent_removed + duplicates_removed;
+    }
+};
+
+std::vector<LogEntry> filter_low_quality(const std::vector<LogEntry>& log, const Schema& schema,
+                                         FilterStats* stats = nullptr);
+
+}  // namespace agenp::xacml

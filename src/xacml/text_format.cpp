@@ -1,0 +1,215 @@
+#include "xacml/text_format.hpp"
+
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace agenp::xacml {
+namespace {
+
+std::string category_keyword(Category c) { return category_name(c); }
+
+Category parse_category(const std::string& word) {
+    if (word == "subject") return Category::Subject;
+    if (word == "resource") return Category::Resource;
+    if (word == "action") return Category::Action;
+    if (word == "environment") return Category::Environment;
+    throw FormatError("unknown attribute category '" + word + "'");
+}
+
+std::string op_symbol(Match::Op op) {
+    switch (op) {
+        case Match::Op::Eq: return "=";
+        case Match::Op::Ne: return "!=";
+        case Match::Op::Lt: return "<";
+        case Match::Op::Le: return "<=";
+        case Match::Op::Gt: return ">";
+        case Match::Op::Ge: return ">=";
+    }
+    return "?";
+}
+
+// Parses "attr<op>value" with the longest operator first.
+Match parse_match(const std::string& token, const Schema& schema) {
+    static const std::pair<const char*, Match::Op> kOps[] = {
+        {"!=", Match::Op::Ne}, {"<=", Match::Op::Le}, {">=", Match::Op::Ge},
+        {"<", Match::Op::Lt},  {">", Match::Op::Gt},  {"=", Match::Op::Eq},
+    };
+    for (const auto& [symbol, op] : kOps) {
+        auto pos = token.find(symbol);
+        if (pos == std::string::npos) continue;
+        std::string attr = token.substr(0, pos);
+        std::string value = token.substr(pos + std::string(symbol).size());
+        int index = schema.index_of(attr);
+        if (index < 0) throw FormatError("unknown attribute '" + attr + "'");
+        Match m;
+        m.attribute = static_cast<std::size_t>(index);
+        m.op = op;
+        const auto& def = schema.attributes[m.attribute];
+        if (def.numeric) {
+            if (!util::is_integer(value)) {
+                throw FormatError("attribute '" + attr + "' is numeric, got '" + value + "'");
+            }
+            m.value = AttributeValue::of(std::stoll(value));
+        } else {
+            m.value = AttributeValue::of(value);
+        }
+        return m;
+    }
+    throw FormatError("expected attr<op>value, got '" + token + "'");
+}
+
+Target parse_target(const std::vector<std::string>& words, std::size_t from, const Schema& schema) {
+    Target t;
+    if (from < words.size() && words[from] == "any") return t;
+    for (std::size_t i = from; i < words.size(); ++i) t.all_of.push_back(parse_match(words[i], schema));
+    return t;
+}
+
+std::string target_to_text(const Target& t, const Schema& schema) {
+    if (t.all_of.empty()) return "any";
+    std::string out;
+    for (std::size_t i = 0; i < t.all_of.size(); ++i) {
+        if (i > 0) out += ' ';
+        const auto& m = t.all_of[i];
+        out += schema.attributes[m.attribute].name + op_symbol(m.op) + m.value.to_string();
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string schema_to_text(const Schema& schema, const std::string& name) {
+    std::string out = "schema " + name + "\n";
+    for (const auto& a : schema.attributes) {
+        out += "  attr " + a.name + " " + category_keyword(a.category);
+        if (a.numeric) {
+            out += " numeric " + std::to_string(a.min) + " " + std::to_string(a.max);
+        } else {
+            out += " categorical";
+            for (const auto& v : a.values) out += " " + v;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+Schema parse_schema(std::string_view text) {
+    Schema schema;
+    bool seen_header = false;
+    for (const auto& raw : util::split(text, '\n')) {
+        auto line = util::trim(raw);
+        if (line.empty() || util::starts_with(line, "#")) continue;
+        auto words = util::split_ws(line);
+        if (words[0] == "schema") {
+            seen_header = true;
+            continue;
+        }
+        if (words[0] != "attr") throw FormatError("expected 'attr', got '" + words[0] + "'");
+        if (words.size() < 4) throw FormatError("attr needs: attr <name> <category> <kind> ...");
+        if (words[3] == "numeric") {
+            if (words.size() != 6) throw FormatError("numeric attr needs min and max");
+            schema.attributes.push_back(AttributeDef::numeric_range(
+                words[1], parse_category(words[2]), std::stoll(words[4]), std::stoll(words[5])));
+        } else if (words[3] == "categorical") {
+            std::vector<std::string> values(words.begin() + 4, words.end());
+            if (values.empty()) throw FormatError("categorical attr needs at least one value");
+            schema.attributes.push_back(
+                AttributeDef::categorical(words[1], parse_category(words[2]), std::move(values)));
+        } else {
+            throw FormatError("attr kind must be numeric or categorical, got '" + words[3] + "'");
+        }
+    }
+    if (!seen_header || schema.attributes.empty()) throw FormatError("empty or headerless schema");
+    return schema;
+}
+
+std::string policy_to_text(const XacmlPolicy& policy, const Schema& schema) {
+    std::string out = "policy " + (policy.id.empty() ? "unnamed" : policy.id) + " " +
+                      combining_name(policy.alg) + "\n";
+    out += "  target " + target_to_text(policy.target, schema) + "\n";
+    for (const auto& r : policy.rules) {
+        out += "  rule " + (r.id.empty() ? "r" : r.id) + " " +
+               (r.effect == Effect::Permit ? "permit" : "deny") + " " +
+               target_to_text(r.target, schema) + "\n";
+    }
+    return out;
+}
+
+XacmlPolicy parse_policy(std::string_view text, const Schema& schema) {
+    XacmlPolicy policy;
+    bool seen_header = false;
+    for (const auto& raw : util::split(text, '\n')) {
+        auto line = util::trim(raw);
+        if (line.empty() || util::starts_with(line, "#")) continue;
+        auto words = util::split_ws(line);
+        if (words[0] == "policy") {
+            if (words.size() != 3) throw FormatError("policy needs: policy <id> <combining-alg>");
+            policy.id = words[1];
+            if (words[2] == "deny-overrides") {
+                policy.alg = CombiningAlg::DenyOverrides;
+            } else if (words[2] == "permit-overrides") {
+                policy.alg = CombiningAlg::PermitOverrides;
+            } else if (words[2] == "first-applicable") {
+                policy.alg = CombiningAlg::FirstApplicable;
+            } else {
+                throw FormatError("unknown combining algorithm '" + words[2] + "'");
+            }
+            seen_header = true;
+        } else if (words[0] == "target") {
+            policy.target = parse_target(words, 1, schema);
+        } else if (words[0] == "rule") {
+            if (words.size() < 3) throw FormatError("rule needs: rule <id> <permit|deny> <target>");
+            XacmlRule rule;
+            rule.id = words[1];
+            if (words[2] == "permit") {
+                rule.effect = Effect::Permit;
+            } else if (words[2] == "deny") {
+                rule.effect = Effect::Deny;
+            } else {
+                throw FormatError("rule effect must be permit or deny, got '" + words[2] + "'");
+            }
+            rule.target = parse_target(words, 3, schema);
+            policy.rules.push_back(std::move(rule));
+        } else {
+            throw FormatError("unexpected line in policy: " + std::string(line));
+        }
+    }
+    if (!seen_header) throw FormatError("missing 'policy' header");
+    return policy;
+}
+
+std::string request_to_text(const Request& request, const Schema& schema) {
+    return "request " + request.to_string(schema);
+}
+
+Request parse_request(std::string_view text, const Schema& schema) {
+    auto words = util::split_ws(text);
+    std::size_t from = !words.empty() && words[0] == "request" ? 1 : 0;
+    std::map<std::string, std::string> values;
+    for (std::size_t i = from; i < words.size(); ++i) {
+        auto eq = words[i].find('=');
+        if (eq == std::string::npos) throw FormatError("expected attr=value, got '" + words[i] + "'");
+        values[words[i].substr(0, eq)] = words[i].substr(eq + 1);
+    }
+    Request r;
+    for (const auto& def : schema.attributes) {
+        auto it = values.find(def.name);
+        if (it == values.end()) throw FormatError("request is missing attribute '" + def.name + "'");
+        if (def.numeric) {
+            if (!util::is_integer(it->second)) {
+                throw FormatError("attribute '" + def.name + "' is numeric, got '" + it->second + "'");
+            }
+            r.values.push_back(AttributeValue::of(std::stoll(it->second)));
+        } else {
+            r.values.push_back(AttributeValue::of(it->second));
+        }
+        values.erase(it);
+    }
+    if (!values.empty()) {
+        throw FormatError("request names unknown attribute '" + values.begin()->first + "'");
+    }
+    return r;
+}
+
+}  // namespace agenp::xacml

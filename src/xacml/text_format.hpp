@@ -1,0 +1,41 @@
+// Textual (de)serialization for mini-XACML policies, schemas and requests.
+//
+// A real deployment exchanges policies as documents; this compact format is
+// the library's stand-in for XACML/XML so policies can live in files, move
+// between AMSs, and be fed to the CLI. Round-trips with the evaluator's
+// structures.
+//
+//   schema healthcare
+//     attr role subject categorical doctor nurse admin guest
+//     attr hour environment numeric 0 5
+//
+//   policy default-permit deny-overrides
+//     target any
+//     rule deny0 deny role=guest resource=record
+//     rule deny1 deny action=delete hour<2
+//     rule permit-all permit any
+//
+//   request role=doctor dept=er action=read resource=record hour=3
+#pragma once
+
+#include <stdexcept>
+
+#include "xacml/policy.hpp"
+
+namespace agenp::xacml {
+
+struct FormatError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+std::string schema_to_text(const Schema& schema, const std::string& name = "schema");
+Schema parse_schema(std::string_view text);
+
+// Policies need the schema to resolve attribute names.
+std::string policy_to_text(const XacmlPolicy& policy, const Schema& schema);
+XacmlPolicy parse_policy(std::string_view text, const Schema& schema);
+
+std::string request_to_text(const Request& request, const Schema& schema);
+Request parse_request(std::string_view text, const Schema& schema);
+
+}  // namespace agenp::xacml

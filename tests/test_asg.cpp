@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asg/asg.hpp"
+#include "asg/generate.hpp"
+#include "asg/instantiate.hpp"
+#include "asg/membership.hpp"
+#include "asp/parser.hpp"
+
+namespace agenp::asg {
+namespace {
+
+using cfg::tokenize;
+
+// The a^n b^n grammar: sizes are computed recursively in the annotations and
+// compared at the root — the canonical example of a non-context-free
+// language carved out of a CFG by ASP conditions.
+const char* kAnBn = R"(
+    s -> as bs {
+        :- size(N)@1, size(M)@2, N != M.
+    }
+    as -> "a" as {
+        size(N) :- size(M)@2, N = M + 1.
+    }
+    as -> epsilon {
+        size(0).
+    }
+    bs -> "b" bs {
+        size(N) :- size(M)@2, N = M + 1.
+    }
+    bs -> epsilon {
+        size(0).
+    }
+)";
+
+// A coalition task-request ASG whose validity depends on a context-supplied
+// autonomy ceiling (the CAV pattern from Section IV.A).
+const char* kTaskAsg = R"(
+    request -> "do" task {
+        :- requires(L)@2, maxloa(M), L > M.
+    }
+    task -> "patrol" { requires(2). }
+    task -> "strike" { requires(4). }
+)";
+
+TEST(AsgParse, ParsesProductionsAndAnnotations) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    EXPECT_EQ(g.production_count(), 3u);
+    EXPECT_EQ(g.grammar().start().str(), "request");
+    EXPECT_EQ(g.annotation(0).size(), 1u);
+    EXPECT_TRUE(g.annotation(0).rules()[0].is_constraint());
+    EXPECT_EQ(g.annotation(1).rules()[0].head->to_string(), "requires(2)");
+}
+
+TEST(AsgParse, RejectsAnnotationBeyondArity) {
+    EXPECT_THROW(AnswerSetGrammar::parse(R"(
+        s -> "x" { :- p@2. }
+    )"), AsgError);
+}
+
+TEST(AsgParse, RejectsAlternativeBars) {
+    EXPECT_THROW(AnswerSetGrammar::parse("s -> \"x\" | \"y\""), AsgError);
+}
+
+TEST(AsgParse, RejectsUndefinedNonterminal) {
+    EXPECT_THROW(AnswerSetGrammar::parse("s -> t"), AsgError);
+}
+
+TEST(AsgParse, AllowsCommentsAndBlankLines) {
+    auto g = AnswerSetGrammar::parse(R"(
+        # top-level comment
+        s -> "x" {
+            % ASP comment
+            p.
+        }
+    )");
+    EXPECT_EQ(g.production_count(), 1u);
+    EXPECT_EQ(g.annotation(0).size(), 1u);
+}
+
+TEST(AsgParse, ToStringRoundTripsThroughParse) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto reparsed = AnswerSetGrammar::parse(g.to_string());
+    EXPECT_EQ(reparsed.production_count(), g.production_count());
+    EXPECT_EQ(reparsed.to_string(), g.to_string());
+}
+
+TEST(Mangle, TraceFoldsIntoPredicateName) {
+    EXPECT_EQ(mangle_predicate(util::Symbol("p"), {}).str(), "p@");
+    EXPECT_EQ(mangle_predicate(util::Symbol("p"), {1, 2}).str(), "p@1.2");
+}
+
+TEST(Instantiate, RenamesAnnotatedAndLocalAtoms) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto trees = cfg::parse_trees(g.grammar(), tokenize("do patrol"));
+    ASSERT_EQ(trees.size(), 1u);
+    auto program = instantiate(g, trees[0]);
+    auto text = program.to_string();
+    // Root constraint references child 2's namespace and its own (traces
+    // are folded into the predicate names).
+    EXPECT_NE(text.find(":- requires@2(L), maxloa@(M), L > M."), std::string::npos);
+    // The task node's fact lands in namespace @2.
+    EXPECT_NE(text.find("requires@2(2)."), std::string::npos);
+}
+
+TEST(Instantiate, ContextAddedAtEveryNode) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto trees = cfg::parse_trees(g.grammar(), tokenize("do patrol"));
+    auto program = instantiate(g, trees[0], asp::parse_program("maxloa(3)."));
+    auto text = program.to_string();
+    EXPECT_NE(text.find("maxloa@(3)."), std::string::npos);   // root namespace
+    EXPECT_NE(text.find("maxloa@2(3)."), std::string::npos);  // task-node namespace
+}
+
+TEST(Membership, ContextControlsAcceptance) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto ctx3 = asp::parse_program("maxloa(3).");
+    auto ctx5 = asp::parse_program("maxloa(5).");
+    EXPECT_TRUE(in_language(g, tokenize("do patrol"), ctx3));
+    EXPECT_FALSE(in_language(g, tokenize("do strike"), ctx3));
+    EXPECT_TRUE(in_language(g, tokenize("do strike"), ctx5));
+}
+
+TEST(Membership, NonCfgStringsAreRejectedOutright) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto result = check_membership(g, tokenize("do fly"), asp::parse_program("maxloa(9)."));
+    EXPECT_FALSE(result.in_language);
+    EXPECT_EQ(result.trees_checked, 0);
+}
+
+TEST(Membership, AnBnLanguage) {
+    auto g = AnswerSetGrammar::parse(kAnBn);
+    EXPECT_TRUE(in_language(g, tokenize("")));
+    EXPECT_TRUE(in_language(g, tokenize("a b")));
+    EXPECT_TRUE(in_language(g, tokenize("a a a b b b")));
+    EXPECT_FALSE(in_language(g, tokenize("a a b")));
+    EXPECT_FALSE(in_language(g, tokenize("a b b")));
+    EXPECT_FALSE(in_language(g, tokenize("b a")));
+}
+
+TEST(Membership, AnnotationChoiceNeedsOnlyOneAnswerSet) {
+    // The annotation has two answer sets; one suffices for membership.
+    auto g = AnswerSetGrammar::parse(R"(
+        s -> "x" {
+            p :- not q.
+            q :- not p.
+            :- q.
+        }
+    )");
+    EXPECT_TRUE(in_language(g, tokenize("x")));
+}
+
+TEST(Membership, UnsatisfiableAnnotationRejects) {
+    auto g = AnswerSetGrammar::parse(R"(
+        s -> "x" { p. :- p. }
+    )");
+    EXPECT_FALSE(in_language(g, tokenize("x")));
+}
+
+TEST(Membership, AmbiguityAcceptsIfAnyTreeConsistent) {
+    // Two parses of "x x x"; annotation kills only the left-heavy one
+    // (the one whose FIRST child is itself a composite s s).
+    auto g = AnswerSetGrammar::parse(R"(
+        s -> s s {
+            composite.
+            :- composite@1.
+        }
+        s -> "x"
+    )");
+    EXPECT_TRUE(in_language(g, tokenize("x x x")));
+}
+
+TEST(Membership, MaxTreesCapCanMissAcceptingTree) {
+    // Ambiguous grammar: the left-heavy tree is inconsistent, the
+    // right-heavy one fine. With max_trees = 1 only one tree is examined,
+    // so acceptance depends on the cap — documented approximation.
+    auto g = AnswerSetGrammar::parse(R"(
+        s -> s s {
+            composite.
+            :- composite@1.
+        }
+        s -> "x"
+    )");
+    MembershipOptions generous;
+    generous.parse.max_trees = 16;
+    EXPECT_TRUE(in_language(g, tokenize("x x x"), {}, generous));
+    MembershipOptions capped;
+    capped.parse.max_trees = 1;
+    auto result = check_membership(g, tokenize("x x x"), {}, capped);
+    EXPECT_EQ(result.trees_checked, 1);
+}
+
+TEST(WithRules, AddedConstraintNarrowsLanguage) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto ctx = asp::parse_program("maxloa(9).");
+    EXPECT_TRUE(in_language(g, tokenize("do strike"), ctx));
+    // Learn-time addition: forbid tasks requiring more than 3 outright.
+    auto g2 = g.with_rules({{asp::parse_rule(":- requires(L)@2, L > 3."), 0}});
+    EXPECT_FALSE(in_language(g2, tokenize("do strike"), ctx));
+    EXPECT_TRUE(in_language(g2, tokenize("do patrol"), ctx));
+}
+
+TEST(WithRules, RejectsBadProductionIndex) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    EXPECT_THROW(g.with_rules({{asp::parse_rule(":- p."), 7}}), AsgError);
+}
+
+TEST(Language, EnumeratesContextDependentPolicies) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto lang3 = language(g, asp::parse_program("maxloa(3)."));
+    ASSERT_EQ(lang3.strings.size(), 1u);
+    EXPECT_EQ(cfg::detokenize(lang3.strings[0]), "do patrol");
+    auto lang9 = language(g, asp::parse_program("maxloa(9)."));
+    EXPECT_EQ(lang9.strings.size(), 2u);
+}
+
+TEST(Language, AnBnEnumerationMatchesMembership) {
+    auto g = AnswerSetGrammar::parse(kAnBn);
+    LanguageOptions options;
+    options.enumeration.max_strings = 200;
+    options.enumeration.max_length = 8;
+    auto lang = language(g, {}, options);
+    std::set<std::string> sentences;
+    for (const auto& s : lang.strings) sentences.insert(cfg::detokenize(s));
+    EXPECT_TRUE(sentences.contains(""));
+    EXPECT_TRUE(sentences.contains("a b"));
+    EXPECT_TRUE(sentences.contains("a a b b"));
+    EXPECT_FALSE(sentences.contains("a"));
+    EXPECT_FALSE(sentences.contains("a a b"));
+}
+
+TEST(SolveTree, ExposesAnswerSetsForLearner) {
+    auto g = AnswerSetGrammar::parse(kTaskAsg);
+    auto trees = cfg::parse_trees(g.grammar(), tokenize("do patrol"));
+    ASSERT_EQ(trees.size(), 1u);
+    auto solved = solve_tree(g, trees[0], asp::parse_program("maxloa(3)."));
+    ASSERT_TRUE(solved.satisfiable());
+}
+
+// Nested bracket grammar whose per-level depth is checked against a
+// context-supplied ceiling — exercises deep traces (@1.2.2...), recursive
+// annotation rules, and context distribution to every node.
+const char* kBrackets = R"asg(
+    s -> "(" s ")" {
+        depth(N) :- depth(M)@2, N = M + 1.
+        :- depth(N), maxdepth(D), N > D.
+    }
+    s -> epsilon {
+        depth(0).
+    }
+)asg";
+
+TEST(Membership, NestingDepthGatedByContext) {
+    auto g = AnswerSetGrammar::parse(kBrackets);
+    auto ctx = [](int d) { return asp::parse_program("maxdepth(" + std::to_string(d) + ")."); };
+    EXPECT_TRUE(in_language(g, tokenize("( )"), ctx(1)));
+    EXPECT_FALSE(in_language(g, tokenize("( ( ) )"), ctx(1)));
+    EXPECT_TRUE(in_language(g, tokenize("( ( ) )"), ctx(2)));
+    EXPECT_TRUE(in_language(g, tokenize(""), ctx(0)));
+    EXPECT_FALSE(in_language(g, tokenize("( )"), ctx(0)));
+}
+
+TEST(Instantiate, DeepTracesAreNamespaced) {
+    auto g = AnswerSetGrammar::parse(kBrackets);
+    auto trees = cfg::parse_trees(g.grammar(), tokenize("( ( ) )"));
+    ASSERT_EQ(trees.size(), 1u);
+    auto program = instantiate(g, trees[0]);
+    auto text = program.to_string();
+    // The inner s sits at trace [2]; its child s at [2,2].
+    EXPECT_NE(text.find("depth@2(N) :- depth@2.2(M), N = (M + 1)."), std::string::npos);
+    EXPECT_NE(text.find("depth@2.2(0)."), std::string::npos);
+}
+
+TEST(Membership, DepthSweepMatchesClosedForm) {
+    auto g = AnswerSetGrammar::parse(kBrackets);
+    for (int depth = 0; depth <= 4; ++depth) {
+        cfg::TokenString s;
+        for (int i = 0; i < depth; ++i) s.emplace_back("(");
+        for (int i = 0; i < depth; ++i) s.emplace_back(")");
+        for (int ceiling = 0; ceiling <= 4; ++ceiling) {
+            auto ctx = asp::parse_program("maxdepth(" + std::to_string(ceiling) + ").");
+            EXPECT_EQ(in_language(g, s, ctx), depth <= ceiling)
+                << "depth=" << depth << " ceiling=" << ceiling;
+        }
+    }
+}
+
+// Property sweep over a^n b^m: accepted iff n == m.
+class AnBnSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AnBnSweep, AcceptIffBalanced) {
+    auto [n, m] = GetParam();
+    auto g = AnswerSetGrammar::parse(kAnBn);
+    cfg::TokenString s;
+    for (int i = 0; i < n; ++i) s.emplace_back("a");
+    for (int i = 0; i < m; ++i) s.emplace_back("b");
+    EXPECT_EQ(in_language(g, s), n == m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnBnSweep,
+                         ::testing::Values(std::pair{0, 0}, std::pair{1, 1}, std::pair{4, 4},
+                                           std::pair{2, 3}, std::pair{3, 2}, std::pair{5, 0},
+                                           std::pair{0, 5}));
+
+}  // namespace
+}  // namespace agenp::asg

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cfg/earley.hpp"
+#include "cfg/generate.hpp"
+#include "cfg/grammar.hpp"
+
+namespace agenp::cfg {
+namespace {
+
+const char* kPolicyGrammar = R"(
+    rule    -> action subject
+    action  -> "permit" | "deny"
+    subject -> "admin" | "user" | "guest"
+)";
+
+TEST(Grammar, ParsesProductionsAndStart) {
+    auto g = Grammar::parse(kPolicyGrammar);
+    EXPECT_EQ(g.start().str(), "rule");
+    EXPECT_EQ(g.productions().size(), 6u);
+    EXPECT_EQ(g.productions_for(Symbol("action")).size(), 2u);
+}
+
+TEST(Grammar, RejectsUndefinedNonterminal) {
+    EXPECT_THROW(Grammar::parse("a -> b"), GrammarError);
+}
+
+TEST(Grammar, RejectsMissingArrow) {
+    EXPECT_THROW(Grammar::parse("a \"x\""), GrammarError);
+}
+
+TEST(Grammar, ParsesEpsilonAlternative) {
+    auto g = Grammar::parse(R"(
+        s -> "x" tail
+        tail -> "y" tail | epsilon
+    )");
+    auto nullable = g.nullable_nonterminals();
+    ASSERT_EQ(nullable.size(), 1u);
+    EXPECT_EQ(nullable[0].str(), "tail");
+}
+
+TEST(Grammar, TerminalsMayContainSpaces) {
+    auto g = Grammar::parse("s -> \"hello world\"");
+    EXPECT_TRUE(recognizes(g, {Symbol("hello world")}));
+}
+
+TEST(Grammar, TokenizeRoundTrips) {
+    auto tokens = tokenize("permit  admin read");
+    EXPECT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(detokenize(tokens), "permit admin read");
+}
+
+TEST(Earley, RecognizesSimpleSentences) {
+    auto g = Grammar::parse(kPolicyGrammar);
+    EXPECT_TRUE(recognizes(g, tokenize("permit admin")));
+    EXPECT_TRUE(recognizes(g, tokenize("deny guest")));
+    EXPECT_FALSE(recognizes(g, tokenize("permit")));
+    EXPECT_FALSE(recognizes(g, tokenize("admin permit")));
+    EXPECT_FALSE(recognizes(g, tokenize("permit admin admin")));
+}
+
+TEST(Earley, RejectsUnknownTokens) {
+    auto g = Grammar::parse(kPolicyGrammar);
+    EXPECT_FALSE(recognizes(g, tokenize("permit root")));
+}
+
+TEST(Earley, EmptyStringOnlyWhenNullable) {
+    auto g = Grammar::parse("s -> \"x\" | epsilon");
+    EXPECT_TRUE(recognizes(g, {}));
+    auto g2 = Grammar::parse("s -> \"x\"");
+    EXPECT_FALSE(recognizes(g2, {}));
+}
+
+TEST(Earley, HandlesRecursion) {
+    auto g = Grammar::parse(R"(
+        list -> "item" list | "item"
+    )");
+    EXPECT_TRUE(recognizes(g, tokenize("item item item item")));
+    EXPECT_FALSE(recognizes(g, tokenize("")));
+}
+
+TEST(Earley, HandlesNestedNullables) {
+    auto g = Grammar::parse(R"(
+        s -> a b "end"
+        a -> "x" | epsilon
+        b -> a a
+    )");
+    EXPECT_TRUE(recognizes(g, tokenize("end")));
+    EXPECT_TRUE(recognizes(g, tokenize("x x x end")));
+    EXPECT_FALSE(recognizes(g, tokenize("x x x x end")));
+}
+
+TEST(Earley, ParseTreeStructure) {
+    auto g = Grammar::parse(kPolicyGrammar);
+    auto trees = parse_trees(g, tokenize("permit admin"));
+    ASSERT_EQ(trees.size(), 1u);
+    const auto& t = trees[0];
+    EXPECT_EQ(t.sym.name.str(), "rule");
+    ASSERT_EQ(t.children.size(), 2u);
+    EXPECT_EQ(t.children[0].sym.name.str(), "action");
+    EXPECT_EQ(t.children[0].children[0].sym.name.str(), "permit");
+    EXPECT_EQ(detokenize(t.yield()), "permit admin");
+}
+
+TEST(Earley, AmbiguousGrammarYieldsMultipleTrees) {
+    // Two ways to derive "x x x": left- or right-heavy split.
+    auto g = Grammar::parse(R"(
+        s -> s s | "x"
+    )");
+    auto trees = parse_trees(g, tokenize("x x x"));
+    EXPECT_EQ(trees.size(), 2u);
+    std::set<std::string> shapes;
+    for (const auto& t : trees) shapes.insert(t.to_string());
+    EXPECT_EQ(shapes.size(), 2u);  // distinct structures
+    for (const auto& t : trees) EXPECT_EQ(detokenize(t.yield()), "x x x");
+}
+
+TEST(Earley, MaxTreesCapsEnumeration) {
+    auto g = Grammar::parse("s -> s s | \"x\"");
+    auto trees = parse_trees(g, tokenize("x x x x x x"), {.max_trees = 3});
+    EXPECT_EQ(trees.size(), 3u);
+}
+
+TEST(Earley, DeepRecursionParses) {
+    auto g = Grammar::parse("list -> \"item\" list | \"item\"");
+    TokenString tokens(50, Symbol("item"));
+    auto trees = parse_trees(g, tokens, {.max_trees = 1});
+    ASSERT_EQ(trees.size(), 1u);
+    EXPECT_EQ(trees[0].yield().size(), 50u);
+}
+
+TEST(Generate, EnumeratesFiniteLanguageExactly) {
+    auto g = Grammar::parse(kPolicyGrammar);
+    auto result = generate_strings(g);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.strings.size(), 6u);
+    std::set<std::string> sentences;
+    for (const auto& s : result.strings) sentences.insert(detokenize(s));
+    EXPECT_TRUE(sentences.contains("permit admin"));
+    EXPECT_TRUE(sentences.contains("deny guest"));
+}
+
+TEST(Generate, TruncatesInfiniteLanguages) {
+    auto g = Grammar::parse("list -> \"item\" list | \"item\"");
+    auto result = generate_strings(g, {.max_strings = 10, .max_length = 64});
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.strings.size(), 10u);
+    // Shortest-first: the first sentence is the single item.
+    EXPECT_EQ(detokenize(result.strings[0]), "item");
+}
+
+TEST(Generate, RespectsMaxLength) {
+    auto g = Grammar::parse("list -> \"item\" list | \"item\"");
+    auto result = generate_strings(g, {.max_strings = 1000, .max_length = 5});
+    EXPECT_LE(result.strings.size(), 5u);
+    for (const auto& s : result.strings) EXPECT_LE(s.size(), 5u);
+}
+
+TEST(Generate, EveryGeneratedStringIsRecognized) {
+    auto g = Grammar::parse(R"(
+        s -> "a" s "b" | epsilon
+    )");
+    auto result = generate_strings(g, {.max_strings = 8, .max_length = 16});
+    for (const auto& s : result.strings) {
+        EXPECT_TRUE(recognizes(g, s)) << detokenize(s);
+    }
+}
+
+// Property: generation and recognition agree on a grammar family with
+// parameterized alphabet size.
+class GenerateRecognizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerateRecognizeSweep, Agreement) {
+    int k = GetParam();
+    std::string text = "s -> item item\nitem ->";
+    for (int i = 0; i < k; ++i) {
+        text += std::string(i ? " | " : " ") + "\"w" + std::to_string(i) + "\"";
+    }
+    auto g = Grammar::parse(text);
+    auto result = generate_strings(g);
+    EXPECT_EQ(result.strings.size(), static_cast<std::size_t>(k) * k);
+    for (const auto& s : result.strings) EXPECT_TRUE(recognizes(g, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GenerateRecognizeSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace agenp::cfg

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "asp/parser.hpp"
+#include "cli/commands.hpp"
+
+namespace agenp::cli {
+namespace {
+
+// Writes a temp file and returns its path (unique per test via counter).
+std::string temp_file(const std::string& name, const std::string& content) {
+    std::string path = std::string(::testing::TempDir()) + "/agenp_" + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+const char* kTaskText = R"task(
+#grammar
+request -> "do" task
+task -> "patrol" { requires(2). }
+task -> "strike" { requires(4). }
+task -> "observe" { requires(1). }
+#bias
+body requires var(lvl) @2
+body maxloa var(lvl)
+compare lvl gt varvar
+max_body 2
+max_vars 2
+#positive
+do patrol | maxloa(3).
+do strike | maxloa(5).
+do observe | maxloa(1).
+#negative
+do strike | maxloa(3).
+do patrol | maxloa(1).
+)task";
+
+TEST(TaskFile, ParsesSectionsAndExamples) {
+    auto task = parse_task_file(kTaskText);
+    EXPECT_EQ(task.initial.production_count(), 4u);
+    EXPECT_GT(task.space.candidates.size(), 0u);
+    EXPECT_EQ(task.positive.size(), 3u);
+    EXPECT_EQ(task.negative.size(), 2u);
+    EXPECT_EQ(cfg::detokenize(task.positive[0].string), "do patrol");
+    EXPECT_EQ(task.positive[0].context.size(), 1u);
+}
+
+TEST(TaskFile, LearnsFromParsedTask) {
+    auto task = parse_task_file(kTaskText);
+    auto result = ilp::learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    EXPECT_EQ(result.hypothesis.size(), 1u);
+}
+
+TEST(TaskFile, RejectsMissingSections) {
+    EXPECT_THROW(parse_task_file("#grammar\ns -> \"x\"\n"), CliError);
+    EXPECT_THROW(parse_task_file("stray line\n"), CliError);
+}
+
+TEST(TaskFile, RejectsBadBiasDirectives) {
+    EXPECT_THROW(parse_task_file(R"(
+#grammar
+s -> "x"
+#bias
+frobnicate everything
+)"), CliError);
+    EXPECT_THROW(parse_task_file(R"(
+#grammar
+s -> "x"
+#bias
+compare lvl frob
+)"), CliError);
+}
+
+TEST(TaskFile, HeadAndConstDirectives) {
+    auto task = parse_task_file(R"(
+#grammar
+s -> "x"
+#bias
+no_constraints
+head ok
+body weather const(w)
+const w sunny rainy
+max_body 1
+)");
+    EXPECT_FALSE(task.space.constraints_only());
+    EXPECT_EQ(task.space.candidates.size(), 2u);
+}
+
+TEST(CmdSolve, PrintsAnswerSets) {
+    auto path = temp_file("solve.lp", "a :- not b. b :- not a. :- b.");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_solve(path, 0, out), 0);
+    EXPECT_NE(out.str().find("answer set 1: a"), std::string::npos);
+}
+
+TEST(CmdSolve, UnsatisfiableExitsNonzero) {
+    auto path = temp_file("unsat.lp", "p. :- p.");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_solve(path, 1, out), 1);
+    EXPECT_NE(out.str().find("UNSATISFIABLE"), std::string::npos);
+}
+
+TEST(CmdMembership, AcceptsAndRejects) {
+    auto grammar = temp_file("g.asg", R"(
+request -> "do" task
+task -> "patrol" { requires(2). :- requires(L), maxloa(M), L > M. }
+task -> "strike" { requires(4). :- requires(L), maxloa(M), L > M. }
+)");
+    auto context = temp_file("ctx.lp", "maxloa(3).");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_membership(grammar, "do patrol", context, out), 0);
+    EXPECT_NE(out.str().find("ACCEPTED"), std::string::npos);
+    std::ostringstream out2;
+    EXPECT_EQ(cmd_membership(grammar, "do strike", context, out2), 1);
+    EXPECT_NE(out2.str().find("REJECTED"), std::string::npos);
+}
+
+TEST(CmdGenerate, ListsLanguage) {
+    auto grammar = temp_file("g2.asg", R"(
+request -> "do" task
+task -> "patrol" { requires(2). :- requires(L), maxloa(M), L > M. }
+task -> "strike" { requires(4). :- requires(L), maxloa(M), L > M. }
+)");
+    auto context = temp_file("ctx2.lp", "maxloa(3).");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_generate(grammar, context, 100, out), 0);
+    EXPECT_NE(out.str().find("do patrol"), std::string::npos);
+    EXPECT_EQ(out.str().find("do strike"), std::string::npos);
+}
+
+TEST(CmdLearn, LearnsAndWritesGrammar) {
+    auto task = temp_file("task.agenp", kTaskText);
+    std::string out_path = std::string(::testing::TempDir()) + "/agenp_learned.asg";
+    std::ostringstream out;
+    EXPECT_EQ(cmd_learn(task, out_path, out), 0);
+    EXPECT_NE(out.str().find("hypothesis (cost"), std::string::npos);
+    // The written grammar re-parses and enforces the learned policy.
+    auto learned = asg::AnswerSetGrammar::parse(read_file(out_path));
+    EXPECT_FALSE(asg::in_language(learned, cfg::tokenize("do strike"),
+                                  asp::parse_program("maxloa(3).")));
+    EXPECT_TRUE(asg::in_language(learned, cfg::tokenize("do patrol"),
+                                 asp::parse_program("maxloa(3).")));
+}
+
+TEST(CmdEvaluate, PermitAndDenyWithExitCodes) {
+    auto schema_path = temp_file("s.xs", R"(
+schema toy
+attr role subject categorical admin user
+attr hour environment numeric 0 5
+)");
+    auto policy_path = temp_file("p.xp", R"(
+policy toy deny-overrides
+target any
+rule d deny role=user hour<2
+rule ok permit any
+)");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_evaluate(schema_path, policy_path, "role=admin hour=1", out), 0);
+    EXPECT_NE(out.str().find("Permit"), std::string::npos);
+    std::ostringstream out2;
+    EXPECT_EQ(cmd_evaluate(schema_path, policy_path, "role=user hour=1", out2), 1);
+    EXPECT_NE(out2.str().find("Deny"), std::string::npos);
+}
+
+TEST(Run, DispatchesAndReportsUsage) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({}, out, err), 2);
+    EXPECT_NE(err.str().find("usage"), std::string::npos);
+    std::ostringstream out2, err2;
+    EXPECT_EQ(run({"frob"}, out2, err2), 2);
+    std::ostringstream out3, err3;
+    EXPECT_EQ(run({"solve"}, out3, err3), 2);  // missing file argument
+}
+
+TEST(Run, EndToEndSolve) {
+    auto path = temp_file("e2e.lp", "p. q :- p.");
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"solve", path, "--models", "1"}, out, err), 0);
+    EXPECT_NE(out.str().find("p q"), std::string::npos);
+}
+
+TEST(ReadFile, ThrowsOnMissing) {
+    EXPECT_THROW(read_file("/nonexistent/definitely_missing"), CliError);
+}
+
+}  // namespace
+}  // namespace agenp::cli

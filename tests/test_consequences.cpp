@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "asp/consequences.hpp"
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+
+namespace agenp::asp {
+namespace {
+
+std::vector<std::string> names(const GroundProgram& gp, const std::vector<AtomId>& ids) {
+    std::vector<std::string> out;
+    for (auto id : ids) out.push_back(gp.atom(id).to_string());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TEST(Consequences, DefiniteProgramBraveEqualsCautious) {
+    auto gp = ground(parse_program("p. q :- p."));
+    auto c = compute_consequences(gp);
+    ASSERT_TRUE(c.satisfiable);
+    EXPECT_TRUE(c.exact);
+    EXPECT_EQ(names(gp, c.brave), (std::vector<std::string>{"p", "q"}));
+    EXPECT_EQ(c.brave, c.cautious);
+}
+
+TEST(Consequences, EvenLoopSplitsBraveAndCautious) {
+    auto gp = ground(parse_program("a :- not b. b :- not a. c."));
+    auto c = compute_consequences(gp);
+    ASSERT_TRUE(c.satisfiable);
+    EXPECT_EQ(names(gp, c.brave), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(names(gp, c.cautious), (std::vector<std::string>{"c"}));
+}
+
+TEST(Consequences, UnsatisfiableProgramIsEmpty) {
+    auto gp = ground(parse_program("p. :- p."));
+    auto c = compute_consequences(gp);
+    EXPECT_FALSE(c.satisfiable);
+    EXPECT_TRUE(c.brave.empty());
+    EXPECT_TRUE(c.cautious.empty());
+}
+
+TEST(Consequences, BraveHoldsHelper) {
+    auto gp = ground(parse_program("a :- not b. b :- not a."));
+    EXPECT_TRUE(bravely_holds(gp, parse_atom("a")));
+    EXPECT_TRUE(bravely_holds(gp, parse_atom("b")));
+    EXPECT_FALSE(bravely_holds(gp, parse_atom("c")));  // unknown atom
+}
+
+TEST(Consequences, CautiousHoldsHelper) {
+    auto gp = ground(parse_program("a :- not b. b :- not a. c."));
+    EXPECT_TRUE(cautiously_holds(gp, parse_atom("c")));
+    EXPECT_FALSE(cautiously_holds(gp, parse_atom("a")));
+}
+
+TEST(Consequences, ConstraintsShapeTheSets) {
+    auto gp = ground(parse_program("a :- not b. b :- not a. :- b."));
+    auto c = compute_consequences(gp);
+    ASSERT_TRUE(c.satisfiable);
+    EXPECT_EQ(names(gp, c.brave), (std::vector<std::string>{"a"}));
+    EXPECT_EQ(names(gp, c.cautious), (std::vector<std::string>{"a"}));
+}
+
+TEST(Consequences, ModelCapMarksInexact) {
+    // 2^6 answer sets but a cap of 4 models.
+    std::string text;
+    for (int i = 0; i < 6; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+    }
+    auto gp = ground(parse_program(text));
+    auto c = compute_consequences(gp, {.max_models = 4});
+    EXPECT_TRUE(c.satisfiable);
+    EXPECT_FALSE(c.exact);
+}
+
+// Policy-analysis flavoured property: for every program in this family,
+// cautious ⊆ brave.
+class ConsequenceFamily : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConsequenceFamily, CautiousSubsetOfBrave) {
+    auto gp = ground(parse_program(GetParam()));
+    auto c = compute_consequences(gp);
+    for (auto id : c.cautious) {
+        EXPECT_TRUE(std::binary_search(c.brave.begin(), c.brave.end(), id));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsequenceFamily,
+                         ::testing::Values("p.", "a :- not b. b :- not a.",
+                                           "a :- not b. b :- not a. c :- a. c :- b.",
+                                           "x :- not y. y :- not x. :- x, y.",
+                                           "p(1). p(2). q(X) :- p(X), not r(X). r(1)."));
+
+}  // namespace
+}  // namespace agenp::asp

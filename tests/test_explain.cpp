@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "asp/parser.hpp"
+#include "explain/attribution.hpp"
+#include "explain/counterfactual.hpp"
+#include "xacml/learning_bridge.hpp"
+
+namespace agenp::explain {
+namespace {
+
+using cfg::tokenize;
+
+const char* kTaskInitial = R"(
+    request -> "do" task
+    task -> "patrol" { requires(2). }
+    task -> "strike" { requires(4). }
+)";
+
+ilp::Hypothesis loa_hypothesis() {
+    return {{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0},
+            {asp::parse_rule(":- requires(L)@2, curfew, L > 1."), 0}};
+}
+
+TEST(Attribution, AcceptedRequestHasNoAttribution) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    auto attribution = attribute_rejection(g, loa_hypothesis(), tokenize("do patrol"),
+                                           asp::parse_program("maxloa(3)."));
+    EXPECT_FALSE(attribution.rejected());
+    EXPECT_TRUE(attribution.decisive.empty());
+}
+
+TEST(Attribution, SingleRuleRejectionIsDecisive) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    // maxloa kills strike; no curfew, so rule 0 is solely responsible.
+    auto attribution = attribute_rejection(g, loa_hypothesis(), tokenize("do strike"),
+                                           asp::parse_program("maxloa(3)."));
+    ASSERT_TRUE(attribution.rejected());
+    EXPECT_EQ(attribution.decisive, (std::vector<std::size_t>{0}));
+    EXPECT_EQ(attribution.contributing, (std::vector<std::size_t>{0}));
+}
+
+TEST(Attribution, OverdeterminedRejectionHasNoDecisiveRule) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    // Both the LOA constraint and the curfew fire: removing either alone
+    // does not flip the decision.
+    auto attribution = attribute_rejection(g, loa_hypothesis(), tokenize("do strike"),
+                                           asp::parse_program("maxloa(3). curfew."));
+    ASSERT_TRUE(attribution.rejected());
+    EXPECT_TRUE(attribution.decisive.empty());
+    EXPECT_EQ(attribution.contributing.size(), 2u);
+}
+
+TEST(Attribution, RenderedTextNamesTheRules) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    auto h = loa_hypothesis();
+    auto attribution =
+        attribute_rejection(g, h, tokenize("do strike"), asp::parse_program("maxloa(3)."));
+    auto text = render_attribution(attribution, h);
+    EXPECT_NE(text.find("rejected"), std::string::npos);
+    EXPECT_NE(text.find("maxloa"), std::string::npos);
+    EXPECT_NE(text.find("decisive"), std::string::npos);
+}
+
+TEST(Attribution, CfgLevelRejectionAttributesNothingDecisive) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    auto h = loa_hypothesis();
+    auto attribution =
+        attribute_rejection(g, h, tokenize("do fly"), asp::parse_program("maxloa(9)."));
+    // Not in the CFG at all: rejection, but no rule is decisive.
+    EXPECT_TRUE(attribution.decisive.empty());
+    EXPECT_TRUE(attribution.rejected());
+}
+
+// --- counterfactuals over a hand-written XACML policy ---
+
+xacml::XacmlPolicy deny_early_deletes(const xacml::Schema& s) {
+    xacml::XacmlPolicy p;
+    p.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule deny;
+    deny.effect = xacml::Effect::Deny;
+    deny.target.all_of.push_back({static_cast<std::size_t>(s.index_of("action")),
+                                  xacml::Match::Op::Eq,
+                                  xacml::AttributeValue::of(std::string("delete"))});
+    deny.target.all_of.push_back({static_cast<std::size_t>(s.index_of("hour")),
+                                  xacml::Match::Op::Lt, xacml::AttributeValue::of(2)});
+    xacml::XacmlRule permit;
+    permit.effect = xacml::Effect::Permit;
+    p.rules = {deny, permit};
+    return p;
+}
+
+xacml::Request request_of(const xacml::Schema& s, std::vector<std::string> cats, std::int64_t hour) {
+    xacml::Request r;
+    std::size_t ci = 0;
+    for (const auto& def : s.attributes) {
+        if (def.numeric) {
+            r.values.push_back(xacml::AttributeValue::of(hour));
+        } else {
+            r.values.push_back(xacml::AttributeValue::of(cats[ci++]));
+        }
+    }
+    return r;
+}
+
+TEST(Counterfactual, FindsMinimalSingleAttributeFlip) {
+    auto s = xacml::healthcare_schema();
+    auto p = deny_early_deletes(s);
+    auto denied = request_of(s, {"doctor", "er", "delete", "record"}, 1);
+    auto decide = [&](const xacml::Request& r) { return evaluate(p, r) == xacml::Decision::Permit; };
+    ASSERT_FALSE(decide(denied));
+    auto cfs = find_counterfactuals(s, denied, decide);
+    ASSERT_FALSE(cfs.empty());
+    // Minimal distance is 1: change the hour or the action.
+    for (const auto& cf : cfs) EXPECT_EQ(cf.distance(), 1u);
+}
+
+TEST(Counterfactual, RespectsMaxDistance) {
+    auto s = xacml::healthcare_schema();
+    // Policy denying everything: no counterfactual exists at all.
+    xacml::XacmlPolicy p;
+    p.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule deny_all;
+    deny_all.effect = xacml::Effect::Deny;
+    p.rules = {deny_all};
+    auto denied = request_of(s, {"doctor", "er", "read", "record"}, 1);
+    auto decide = [&](const xacml::Request& r) { return evaluate(p, r) == xacml::Decision::Permit; };
+    EXPECT_TRUE(find_counterfactuals(s, denied, decide).empty());
+}
+
+TEST(Counterfactual, WorksInBothDirections) {
+    auto s = xacml::healthcare_schema();
+    auto p = deny_early_deletes(s);
+    auto permitted = request_of(s, {"doctor", "er", "delete", "record"}, 3);
+    auto decide = [&](const xacml::Request& r) { return evaluate(p, r) == xacml::Decision::Permit; };
+    ASSERT_TRUE(decide(permitted));
+    auto cfs = find_counterfactuals(s, permitted, decide);
+    ASSERT_FALSE(cfs.empty());
+    // Flipping hour to < 2 denies.
+    EXPECT_EQ(cfs[0].distance(), 1u);
+}
+
+TEST(Counterfactual, RenderedTextIsWachterStyle) {
+    auto s = xacml::healthcare_schema();
+    auto p = deny_early_deletes(s);
+    auto denied = request_of(s, {"doctor", "er", "delete", "record"}, 1);
+    auto decide = [&](const xacml::Request& r) { return evaluate(p, r) == xacml::Decision::Permit; };
+    auto cfs = find_counterfactuals(s, denied, decide);
+    ASSERT_FALSE(cfs.empty());
+    auto text = render_counterfactual(s, denied, cfs[0], false);
+    EXPECT_NE(text.find("The request was denied."), std::string::npos);
+    EXPECT_NE(text.find("would have been permitted"), std::string::npos);
+    EXPECT_NE(text.find("instead of"), std::string::npos);
+}
+
+TEST(Counterfactual, ExplainsLearnedModelsToo) {
+    // End-to-end: learn a policy, then explain one of its denials.
+    auto s = xacml::healthcare_schema();
+    auto truth = deny_early_deletes(s);
+    auto bridge = xacml::make_bridge(s);
+    util::Rng rng(31);
+    auto log = evaluate_batch(truth, xacml::sample_requests(s, 250, rng));
+    auto result = xacml::learn_policy(bridge, log);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned = bridge.grammar.with_rules(result.hypothesis);
+
+    auto denied = request_of(s, {"nurse", "er", "delete", "report"}, 0);
+    auto decide = [&](const xacml::Request& r) {
+        return asg::in_language(learned, xacml::request_tokens(s, r), {});
+    };
+    ASSERT_FALSE(decide(denied));
+    auto cfs = find_counterfactuals(s, denied, decide);
+    ASSERT_FALSE(cfs.empty());
+    EXPECT_EQ(cfs[0].distance(), 1u);
+}
+
+}  // namespace
+}  // namespace agenp::explain

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "agenp/pcp.hpp"
+#include "agenp/similarity.hpp"
+#include "asp/parser.hpp"
+#include "nl/translate.hpp"
+#include "xacml/learning_bridge.hpp"
+
+namespace agenp {
+namespace {
+
+using cfg::tokenize;
+
+const char* kTaskInitial = R"(
+    request -> "do" task
+    task -> "patrol" { requires(2). }
+    task -> "strike" { requires(4). }
+    task -> "observe" { requires(1). }
+)";
+
+ilp::HypothesisSpace task_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ilp::ModeAtom("maxloa", {ilp::ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "lvl", {asp::Comparison::Op::Gt}, false, true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    return ilp::generate_space(bias, {0});
+}
+
+// ---------------------------------------------------------------------------
+// Context / model similarity
+// ---------------------------------------------------------------------------
+
+TEST(Similarity, IdenticalContextsScoreOne) {
+    auto a = asp::parse_program("maxloa(3). weather(fog).");
+    EXPECT_DOUBLE_EQ(framework::context_similarity(a, a), 1.0);
+}
+
+TEST(Similarity, DisjointContextsScoreZero) {
+    auto a = asp::parse_program("maxloa(3).");
+    auto b = asp::parse_program("weather(fog).");
+    EXPECT_DOUBLE_EQ(framework::context_similarity(a, b), 0.0);
+}
+
+TEST(Similarity, PartialOverlapIsJaccard) {
+    auto a = asp::parse_program("maxloa(3). weather(fog).");
+    auto b = asp::parse_program("maxloa(3). weather(rain).");
+    EXPECT_NEAR(framework::context_similarity(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Similarity, EmptyContextsCountIdentical) {
+    EXPECT_DOUBLE_EQ(framework::context_similarity({}, {}), 1.0);
+}
+
+TEST(Similarity, ModelSimilarityTracksSharedRules) {
+    auto base = asg::AnswerSetGrammar::parse(kTaskInitial);
+    auto a = base.with_rules({{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}});
+    auto b = base.with_rules({{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0},
+                              {asp::parse_rule(":- requires(L)@2, L > 3."), 0}});
+    double ab = framework::model_similarity(a, b);
+    double aa = framework::model_similarity(a, a);
+    EXPECT_DOUBLE_EQ(aa, 1.0);
+    EXPECT_GT(ab, 0.5);
+    EXPECT_LT(ab, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptationCache
+// ---------------------------------------------------------------------------
+
+ilp::LearningTask loa_task(int boundary) {
+    // Valid tasks: those with requires <= boundary.
+    ilp::LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    task.space = task_space();
+    auto ctx = [](int m) { return asp::parse_program("maxloa(" + std::to_string(m) + ")."); };
+    for (const auto& [name, req] :
+         std::vector<std::pair<std::string, int>>{{"patrol", 2}, {"strike", 4}, {"observe", 1}}) {
+        auto& bucket = req <= boundary ? task.positive : task.negative;
+        bucket.emplace_back(tokenize("do " + name), ctx(boundary));
+    }
+    return task;
+}
+
+TEST(AdaptationCache, ReusesHypothesisAcrossSimilarContexts) {
+    framework::AdaptationCache cache(0.0);
+    // First context: learn.
+    auto first = cache.adapt(loa_task(2), asp::parse_program("maxloa(2). weather(clear)."));
+    EXPECT_FALSE(first.reused);
+    ASSERT_TRUE(first.result.found);
+    EXPECT_EQ(cache.learn_calls(), 1u);
+
+    // Different boundary, same LOA rule: the cached hypothesis still
+    // separates the examples, so no search happens.
+    auto second = cache.adapt(loa_task(3), asp::parse_program("maxloa(3). weather(clear)."));
+    EXPECT_TRUE(second.reused);
+    EXPECT_EQ(cache.learn_calls(), 1u);
+    EXPECT_EQ(cache.reuse_hits(), 1u);
+    EXPECT_EQ(second.hypothesis.size(), first.hypothesis.size());
+}
+
+TEST(AdaptationCache, FallsBackToLearningWhenCacheInconsistent) {
+    framework::AdaptationCache cache(0.0);
+    auto first = cache.adapt(loa_task(2), asp::parse_program("maxloa(2)."));
+    ASSERT_TRUE(first.result.found);
+    // A task the LOA rule cannot express: forbid observe but allow strike.
+    ilp::LearningTask odd;
+    odd.initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    odd.space = task_space();
+    odd.positive.emplace_back(tokenize("do strike"), asp::parse_program("maxloa(9)."));
+    odd.negative.emplace_back(tokenize("do observe"), asp::parse_program("maxloa(9)."));
+    auto second = cache.adapt(odd, asp::parse_program("maxloa(9)."));
+    EXPECT_FALSE(second.reused);
+    EXPECT_EQ(cache.learn_calls(), 2u);
+}
+
+TEST(AdaptationCache, MinSimilarityGatesReuse) {
+    framework::AdaptationCache cache(0.99);  // effectively exact-match only
+    auto first = cache.adapt(loa_task(2), asp::parse_program("maxloa(2)."));
+    ASSERT_TRUE(first.result.found);
+    auto second = cache.adapt(loa_task(3), asp::parse_program("maxloa(3)."));
+    EXPECT_FALSE(second.reused);  // similarity below the gate
+    EXPECT_EQ(cache.learn_calls(), 2u);
+}
+
+TEST(HypothesisConsistent, ChecksDefinitionThreeConditions) {
+    auto task = loa_task(2);
+    ilp::Hypothesis good = {{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}};
+    ilp::Hypothesis empty;
+    EXPECT_TRUE(framework::hypothesis_consistent(task, good));
+    EXPECT_FALSE(framework::hypothesis_consistent(task, empty));  // negatives accepted
+}
+
+// ---------------------------------------------------------------------------
+// GPM-level quality (PCP)
+// ---------------------------------------------------------------------------
+
+TEST(GpmQuality, DetectsRedundantHypothesisRule) {
+    auto initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    ilp::Hypothesis h = {
+        {asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0},
+        {asp::parse_rule(":- requires(L)@2, maxloa(M), L > M + 1."), 0},  // subsumed
+    };
+    std::vector<asp::Program> contexts = {asp::parse_program("maxloa(1)."),
+                                          asp::parse_program("maxloa(3).")};
+    auto report = framework::PolicyCheckingPoint::assess_gpm(initial, h, contexts);
+    EXPECT_FALSE(report.minimal());
+    EXPECT_EQ(report.redundant_rules, (std::vector<std::size_t>{1}));
+}
+
+TEST(GpmQuality, MinimalHypothesisPasses) {
+    auto initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    ilp::Hypothesis h = {{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}};
+    // maxloa(5) keeps the strike production alive; without it the
+    // production would be correctly flagged dead (see next test).
+    std::vector<asp::Program> contexts = {asp::parse_program("maxloa(1)."),
+                                          asp::parse_program("maxloa(5).")};
+    auto report = framework::PolicyCheckingPoint::assess_gpm(initial, h, contexts);
+    EXPECT_TRUE(report.minimal());
+    EXPECT_TRUE(report.relevant());
+    EXPECT_GT(report.language_size, 0u);
+}
+
+TEST(GpmQuality, DeadProductionsAreFlagged) {
+    auto initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    // Constraint that kills strike in every supplied context.
+    ilp::Hypothesis h = {{asp::parse_rule(":- requires(L)@2, L > 3."), 0}};
+    std::vector<asp::Program> contexts = {asp::parse_program("maxloa(5).")};
+    auto report = framework::PolicyCheckingPoint::assess_gpm(initial, h, contexts);
+    // Production 2 is "task -> strike": never used by an accepted string.
+    EXPECT_EQ(report.dead_productions, (std::vector<int>{2}));
+}
+
+// ---------------------------------------------------------------------------
+// Controlled-NL translation
+// ---------------------------------------------------------------------------
+
+nl::Vocabulary healthcare_vocabulary() {
+    return nl::vocabulary_from_schema(xacml::healthcare_schema());
+}
+
+TEST(NlTranslate, CategoricalEqualityClause) {
+    auto intent = nl::translate_statement(healthcare_vocabulary(),
+                                          "deny when role is guest and resource is record");
+    EXPECT_EQ(intent.rule.to_string(), ":- role(guest)@1, resource(record)@4.");
+    EXPECT_EQ(intent.production, 0);
+}
+
+TEST(NlTranslate, NumericComparisons) {
+    auto v = healthcare_vocabulary();
+    EXPECT_EQ(nl::translate_statement(v, "deny when hour below 2").rule.to_string(),
+              ":- hour(N1)@5, N1 < 2.");
+    EXPECT_EQ(nl::translate_statement(v, "deny when hour above 4").rule.to_string(),
+              ":- hour(N1)@5, N1 > 4.");
+    EXPECT_EQ(nl::translate_statement(v, "deny when hour at most 1").rule.to_string(),
+              ":- hour(N1)@5, N1 <= 1.");
+    EXPECT_EQ(nl::translate_statement(v, "deny when hour at least 5").rule.to_string(),
+              ":- hour(N1)@5, N1 >= 5.");
+}
+
+TEST(NlTranslate, NegatedClause) {
+    auto intent = nl::translate_statement(healthcare_vocabulary(),
+                                          "deny when role is not doctor and action is delete");
+    EXPECT_EQ(intent.rule.to_string(), ":- not role(doctor)@1, action(delete)@3.");
+}
+
+TEST(NlTranslate, ForbidSynonym) {
+    auto intent = nl::translate_statement(healthcare_vocabulary(), "forbid action is delete");
+    EXPECT_EQ(intent.rule.to_string(), ":- action(delete)@3.");
+}
+
+TEST(NlTranslate, RejectsUnknownWords) {
+    auto v = healthcare_vocabulary();
+    EXPECT_THROW(nl::translate_statement(v, "deny when rank is guest"), nl::TranslationError);
+    EXPECT_THROW(nl::translate_statement(v, "allow when role is guest"), nl::TranslationError);
+    EXPECT_THROW(nl::translate_statement(v, "deny when hour beyond 3"), nl::TranslationError);
+    EXPECT_THROW(nl::translate_statement(v, "deny when hour below"), nl::TranslationError);
+    EXPECT_THROW(nl::translate_statement(v, "deny when hour below many"), nl::TranslationError);
+    EXPECT_THROW(nl::translate_statement(v, "deny when"), nl::TranslationError);
+}
+
+TEST(NlTranslate, ContextAttributesCompileUnannotated) {
+    // A hand-built vocabulary mixing parse-tree attributes with a
+    // context-level one ("trust" has no child annotation).
+    nl::Vocabulary v;
+    v.attributes.push_back({"kind", asp::Symbol("kind"), 2, false});
+    v.attributes.push_back({"trust", asp::Symbol("trust"), asp::kUnannotated, true});
+    auto intent = nl::translate_statement(v, "deny when kind is audio and trust below 2");
+    EXPECT_EQ(intent.rule.to_string(), ":- kind(audio)@2, trust(N1), N1 < 2.");
+}
+
+TEST(NlTranslate, PolicyTextCompilesAndEnforces) {
+    auto schema = xacml::healthcare_schema();
+    auto bridge = xacml::make_bridge(schema);
+    auto v = nl::vocabulary_from_schema(schema);
+    auto hypothesis = nl::translate_policy(v, R"(
+        # authored by an operator, not learned
+        deny when role is guest and resource is record
+        deny when action is delete and hour below 2
+    )");
+    ASSERT_EQ(hypothesis.size(), 2u);
+    auto model = bridge.grammar.with_rules(hypothesis);
+
+    auto request = [&](std::vector<std::string> cats, std::int64_t hour) {
+        xacml::Request r;
+        std::size_t ci = 0;
+        for (const auto& def : schema.attributes) {
+            r.values.push_back(def.numeric ? xacml::AttributeValue::of(hour)
+                                           : xacml::AttributeValue::of(cats[ci++]));
+        }
+        return xacml::request_tokens(schema, r);
+    };
+    EXPECT_FALSE(asg::in_language(model, request({"guest", "er", "read", "record"}, 3), {}));
+    EXPECT_TRUE(asg::in_language(model, request({"guest", "er", "read", "report"}, 3), {}));
+    EXPECT_FALSE(asg::in_language(model, request({"doctor", "er", "delete", "report"}, 1), {}));
+    EXPECT_TRUE(asg::in_language(model, request({"doctor", "er", "delete", "report"}, 2), {}));
+}
+
+TEST(NlTranslate, RoundTripWithLearnedPolicy) {
+    // An authored policy and a policy learned from its own decisions agree.
+    auto schema = xacml::healthcare_schema();
+    auto bridge = xacml::make_bridge(schema);
+    auto v = nl::vocabulary_from_schema(schema);
+    auto authored = nl::translate_policy(v, "deny when role is guest and action is write");
+    auto authored_model = bridge.grammar.with_rules(authored);
+
+    // Log the authored model's decisions, learn from them.
+    util::Rng rng(99);
+    std::vector<xacml::LogEntry> log;
+    for (const auto& r : xacml::sample_requests(schema, 300, rng)) {
+        bool permitted = asg::in_language(authored_model, xacml::request_tokens(schema, r), {});
+        log.push_back({r, permitted ? xacml::Decision::Permit : xacml::Decision::Deny});
+    }
+    auto result = xacml::learn_policy(bridge, log);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned_model = bridge.grammar.with_rules(result.hypothesis);
+    for (const auto& r : xacml::enumerate_requests(schema)) {
+        auto tokens = xacml::request_tokens(schema, r);
+        EXPECT_EQ(asg::in_language(learned_model, tokens, {}),
+                  asg::in_language(authored_model, tokens, {}));
+    }
+}
+
+}  // namespace
+}  // namespace agenp

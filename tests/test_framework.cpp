@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include "agenp/coalition.hpp"
+#include "agenp/pbms.hpp"
+#include "asp/parser.hpp"
+#include "xacml/generator.hpp"
+
+namespace agenp::framework {
+namespace {
+
+using cfg::tokenize;
+
+const char* kTaskInitial = R"(
+    request -> "do" task
+    task -> "patrol" { requires(2). }
+    task -> "strike" { requires(4). }
+    task -> "observe" { requires(1). }
+)";
+
+ilp::HypothesisSpace task_space() {
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ilp::ModeAtom("maxloa", {ilp::ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "lvl", {asp::Comparison::Op::Gt}, /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    return ilp::generate_space(bias, {0});
+}
+
+std::vector<ilp::Example> loa_examples(bool positive) {
+    auto ctx = [](int m) { return asp::parse_program("maxloa(" + std::to_string(m) + ")."); };
+    std::vector<ilp::Example> out;
+    if (positive) {
+        out.emplace_back(tokenize("do patrol"), ctx(3));
+        out.emplace_back(tokenize("do strike"), ctx(5));
+        out.emplace_back(tokenize("do observe"), ctx(1));
+    } else {
+        out.emplace_back(tokenize("do strike"), ctx(3));
+        out.emplace_back(tokenize("do patrol"), ctx(1));
+    }
+    return out;
+}
+
+AutonomousManagedSystem make_ams(const std::string& name,
+                                 DecisionStrategy strategy = DecisionStrategy::Membership) {
+    AmsOptions options;
+    options.strategy = strategy;
+    return AutonomousManagedSystem(name, asg::AnswerSetGrammar::parse(kTaskInitial), task_space(),
+                                   options);
+}
+
+TEST(Pip, GathersFromAllSources) {
+    PolicyInformationPoint pip;
+    pip.add_source("weather", [] { return asp::parse_program("weather(rain)."); });
+    pip.add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    auto ctx = pip.gather();
+    EXPECT_EQ(ctx.size(), 2u);
+    pip.remove_source("weather");
+    EXPECT_EQ(pip.gather().size(), 1u);
+}
+
+TEST(ContextRepo, StoresAndFinds) {
+    ContextRepository repo;
+    repo.store("mission-a", asp::parse_program("phase(planning)."));
+    ASSERT_NE(repo.find("mission-a"), nullptr);
+    EXPECT_EQ(repo.find("mission-a")->size(), 1u);
+    EXPECT_EQ(repo.find("nope"), nullptr);
+}
+
+TEST(PolicyRepo, ReplaceAndDedupe) {
+    PolicyRepository repo;
+    repo.replace({tokenize("do patrol"), tokenize("do patrol"), tokenize("do observe")}, "prep", 1);
+    EXPECT_EQ(repo.size(), 2u);
+    EXPECT_TRUE(repo.contains(tokenize("do patrol")));
+    EXPECT_FALSE(repo.contains(tokenize("do strike")));
+    EXPECT_EQ(repo.version(), 1u);
+}
+
+TEST(RepresentationsRepo, VersionsAccumulate) {
+    RepresentationsRepository repo;
+    EXPECT_TRUE(repo.empty());
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    EXPECT_EQ(repo.store(g, "v1"), 1u);
+    EXPECT_EQ(repo.store(g, "v2"), 2u);
+    EXPECT_EQ(repo.latest_version(), 2u);
+    EXPECT_EQ(repo.note_for(2), "v2");
+    EXPECT_NE(repo.at_version(1), nullptr);
+    EXPECT_EQ(repo.at_version(3), nullptr);
+}
+
+TEST(Prep, MaterializesContextDependentLanguage) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial)
+                 .with_rules({{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}});
+    PolicyRepository repo;
+    PolicyRefinementPoint prep;
+    auto report = prep.refresh(g, asp::parse_program("maxloa(3)."), repo, 7);
+    EXPECT_EQ(report.generated, 2u);  // patrol + observe
+    EXPECT_TRUE(repo.contains(tokenize("do patrol")));
+    EXPECT_FALSE(repo.contains(tokenize("do strike")));
+    EXPECT_EQ(repo.version(), 7u);
+}
+
+TEST(Pdp, RepositoryStrategyConsultsStoredPolicies) {
+    PolicyRepository repo;
+    repo.replace({tokenize("do patrol")}, "prep", 1);
+    PolicyDecisionPoint pdp(DecisionStrategy::Repository);
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    EXPECT_TRUE(pdp.decide(tokenize("do patrol"), {}, g, repo));
+    EXPECT_FALSE(pdp.decide(tokenize("do strike"), {}, g, repo));
+}
+
+TEST(Monitor, AccuracyOverFeedback) {
+    DecisionMonitor monitor;
+    auto i0 = monitor.record({tokenize("a"), {}, true, 1, std::nullopt});
+    auto i1 = monitor.record({tokenize("b"), {}, false, 1, std::nullopt});
+    EXPECT_FALSE(monitor.observed_accuracy().has_value());
+    monitor.attach_feedback(i0, true);   // correct
+    monitor.attach_feedback(i1, true);   // wrong
+    ASSERT_TRUE(monitor.observed_accuracy().has_value());
+    EXPECT_DOUBLE_EQ(*monitor.observed_accuracy(), 0.5);
+    EXPECT_EQ(monitor.feedback_records().size(), 2u);
+}
+
+TEST(Pcp, DetectsConflictRedundancyIrrelevanceIncompleteness) {
+    auto s = xacml::healthcare_schema();
+    xacml::XacmlPolicy p;
+    p.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule deny_guest;
+    deny_guest.id = "deny-guest";
+    deny_guest.effect = xacml::Effect::Deny;
+    deny_guest.target.all_of.push_back(
+        {0, xacml::Match::Op::Eq, xacml::AttributeValue::of(std::string("guest"))});
+    xacml::XacmlRule permit_guest;  // conflicts with deny_guest
+    permit_guest.id = "permit-guest";
+    permit_guest.effect = xacml::Effect::Permit;
+    permit_guest.target.all_of.push_back(
+        {0, xacml::Match::Op::Eq, xacml::AttributeValue::of(std::string("guest"))});
+    xacml::XacmlRule deny_guest_again = deny_guest;  // redundant
+    deny_guest_again.id = "deny-guest-2";
+    xacml::XacmlRule impossible;  // irrelevant: hour > 99 never matches
+    impossible.id = "never";
+    impossible.effect = xacml::Effect::Deny;
+    impossible.target.all_of.push_back(
+        {static_cast<std::size_t>(s.index_of("hour")), xacml::Match::Op::Gt,
+         xacml::AttributeValue::of(99)});
+    p.rules = {deny_guest, permit_guest, deny_guest_again, impossible};
+    // No catch-all: non-guest requests are uncovered.
+
+    auto universe = xacml::enumerate_requests(s);
+    auto report = PolicyCheckingPoint::assess(p, universe);
+    EXPECT_FALSE(report.consistent());
+    EXPECT_FALSE(report.minimal());
+    EXPECT_FALSE(report.relevant());
+    EXPECT_FALSE(report.complete());
+    EXPECT_EQ(report.irrelevant_rules, (std::vector<std::size_t>{3}));
+    auto text = report.to_string();
+    EXPECT_NE(text.find("conflict"), std::string::npos);
+}
+
+TEST(Pcp, CleanPolicyPassesAllMetrics) {
+    auto s = xacml::healthcare_schema();
+    xacml::XacmlPolicy p;
+    p.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule deny_guest;
+    deny_guest.effect = xacml::Effect::Deny;
+    deny_guest.target.all_of.push_back(
+        {0, xacml::Match::Op::Eq, xacml::AttributeValue::of(std::string("guest"))});
+    xacml::XacmlRule permit_rest;
+    permit_rest.effect = xacml::Effect::Permit;
+    permit_rest.target.all_of.push_back(
+        {0, xacml::Match::Op::Ne, xacml::AttributeValue::of(std::string("guest"))});
+    p.rules = {deny_guest, permit_rest};
+    auto report = PolicyCheckingPoint::assess(p, xacml::enumerate_requests(s));
+    EXPECT_TRUE(report.consistent());
+    EXPECT_TRUE(report.relevant());
+    EXPECT_TRUE(report.minimal());
+    EXPECT_TRUE(report.complete());
+}
+
+TEST(Pcp, EnforceabilityFlagsUnobservableAttributes) {
+    auto s = xacml::healthcare_schema();
+    xacml::XacmlPolicy p;
+    xacml::XacmlRule r;
+    r.effect = xacml::Effect::Deny;
+    r.target.all_of.push_back({static_cast<std::size_t>(s.index_of("hour")), xacml::Match::Op::Lt,
+                               xacml::AttributeValue::of(2)});
+    p.rules = {r};
+    auto ok = PolicyCheckingPoint::assess_enforceability(p, {0, 1, 2, 3, 4});
+    EXPECT_TRUE(ok.enforceable());
+    auto missing_clock = PolicyCheckingPoint::assess_enforceability(p, {0, 1, 2, 3});
+    EXPECT_FALSE(missing_clock.enforceable());
+    EXPECT_EQ(missing_clock.unenforceable_rules, (std::vector<std::size_t>{0}));
+}
+
+TEST(Pcp, RiskTradesExposureAgainstBurden) {
+    auto s = xacml::healthcare_schema();
+    auto universe = xacml::enumerate_requests(s);
+
+    xacml::XacmlPolicy permit_all;
+    permit_all.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule p;
+    p.effect = xacml::Effect::Permit;
+    permit_all.rules = {p};
+
+    xacml::XacmlPolicy deny_all = permit_all;
+    deny_all.rules[0].effect = xacml::Effect::Deny;
+
+    auto open = framework::PolicyCheckingPoint::assess_risk(permit_all, universe);
+    auto closed = framework::PolicyCheckingPoint::assess_risk(deny_all, universe);
+    EXPECT_DOUBLE_EQ(open.exposure_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(open.burden_ratio(), 0.0);
+    EXPECT_DOUBLE_EQ(closed.exposure_ratio(), 0.0);
+    EXPECT_DOUBLE_EQ(closed.burden_ratio(), 1.0);
+}
+
+TEST(Pcp, RiskModelWeightsRequests) {
+    auto s = xacml::healthcare_schema();
+    auto universe = xacml::enumerate_requests(s);
+    // Deletes are 10x as dangerous to permit.
+    framework::PolicyCheckingPoint::RiskModel model;
+    auto action_index = static_cast<std::size_t>(s.index_of("action"));
+    model.exposure = [action_index](const xacml::Request& r) {
+        return r.values[action_index].text == "delete" ? 10.0 : 1.0;
+    };
+
+    // Policy A permits everything; policy B denies deletes.
+    xacml::XacmlPolicy permit_all;
+    permit_all.alg = xacml::CombiningAlg::DenyOverrides;
+    xacml::XacmlRule p;
+    p.effect = xacml::Effect::Permit;
+    permit_all.rules = {p};
+
+    xacml::XacmlPolicy no_deletes = permit_all;
+    xacml::XacmlRule deny;
+    deny.effect = xacml::Effect::Deny;
+    deny.target.all_of.push_back(
+        {action_index, xacml::Match::Op::Eq, xacml::AttributeValue::of(std::string("delete"))});
+    no_deletes.rules.insert(no_deletes.rules.begin(), deny);
+
+    auto risky = framework::PolicyCheckingPoint::assess_risk(permit_all, universe, model);
+    auto safer = framework::PolicyCheckingPoint::assess_risk(no_deletes, universe, model);
+    EXPECT_LT(safer.exposure_ratio(), risky.exposure_ratio());
+    EXPECT_GT(safer.burden_ratio(), risky.burden_ratio());
+    // Deletes are 1/3 of requests but 10/12 of the exposure mass.
+    EXPECT_LT(safer.exposure_ratio(), 0.2);
+}
+
+TEST(Pcp, ViolationDetectorFindsForbiddenAcceptance) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    std::vector<ilp::Example> forbidden;
+    forbidden.emplace_back(tokenize("do strike"), asp::parse_program("maxloa(1)."));
+    auto report = PolicyCheckingPoint::detect_violations(g, forbidden);
+    EXPECT_FALSE(report.valid());  // unconstrained grammar accepts everything
+
+    auto constrained =
+        g.with_rules({{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}});
+    EXPECT_TRUE(PolicyCheckingPoint::detect_violations(constrained, forbidden).valid());
+}
+
+TEST(Ams, BootstrapLearnsAndServesDecisions) {
+    auto ams = make_ams("alpha");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    auto outcome = ams.learn_model(loa_examples(true), loa_examples(false));
+    ASSERT_TRUE(outcome.adapted) << outcome.reason;
+    EXPECT_EQ(ams.model_version(), 1u);
+
+    auto [patrol_ok, i0] = ams.handle_request(tokenize("do patrol"));
+    auto [strike_ok, i1] = ams.handle_request(tokenize("do strike"));
+    (void)i0;
+    (void)i1;
+    EXPECT_TRUE(patrol_ok);
+    EXPECT_FALSE(strike_ok);
+    EXPECT_EQ(ams.monitor().history().size(), 2u);
+}
+
+TEST(Ams, RepositoryStrategyRefreshesOnAdoption) {
+    auto ams = make_ams("beta", DecisionStrategy::Repository);
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    ASSERT_TRUE(ams.learn_model(loa_examples(true), loa_examples(false)).adapted);
+    EXPECT_GT(ams.policies().size(), 0u);
+    auto [patrol_ok, a] = ams.handle_request(tokenize("do patrol"));
+    auto [strike_ok, b] = ams.handle_request(tokenize("do strike"));
+    (void)a;
+    (void)b;
+    EXPECT_TRUE(patrol_ok);
+    EXPECT_FALSE(strike_ok);
+}
+
+TEST(Ams, PepEffectorObservesEnforcement) {
+    auto ams = make_ams("gamma");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    std::vector<std::pair<std::string, bool>> actions;
+    ams.pep().set_effector([&](const cfg::TokenString& req, bool permitted) {
+        actions.emplace_back(cfg::detokenize(req), permitted);
+    });
+    ams.handle_request(tokenize("do patrol"));
+    ASSERT_EQ(actions.size(), 1u);
+    EXPECT_EQ(actions[0].first, "do patrol");
+}
+
+TEST(Ams, MonitorDrivenAdaptationFixesBadModel) {
+    auto ams = make_ams("delta");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    // No learned model yet: the initial (unconstrained) GPM permits strikes.
+    auto [strike_ok, idx] = ams.handle_request(tokenize("do strike"));
+    EXPECT_TRUE(strike_ok);
+    ams.give_feedback(idx, false);  // operator: that was wrong
+    // More feedback to cross min_feedback.
+    for (const auto& [request, should] :
+         std::vector<std::pair<std::string, bool>>{{"do patrol", true}, {"do observe", true},
+                                                   {"do strike", false}}) {
+        auto [ok, i] = ams.handle_request(tokenize(request));
+        (void)ok;
+        ams.give_feedback(i, should);
+    }
+    auto outcome = ams.adapt();
+    EXPECT_TRUE(outcome.triggered);
+    ASSERT_TRUE(outcome.adapted) << outcome.reason;
+    auto [strike_after, j] = ams.handle_request(tokenize("do strike"));
+    (void)j;
+    EXPECT_FALSE(strike_after);
+}
+
+TEST(Ams, AdaptationSkippedWhenAccurate) {
+    auto ams = make_ams("eps");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    ASSERT_TRUE(ams.learn_model(loa_examples(true), loa_examples(false)).adapted);
+    for (const auto& [request, should] :
+         std::vector<std::pair<std::string, bool>>{{"do patrol", true}, {"do strike", false},
+                                                   {"do observe", true}, {"do patrol", true}}) {
+        auto [ok, i] = ams.handle_request(tokenize(request));
+        EXPECT_EQ(ok, should);
+        ams.give_feedback(i, should);
+    }
+    auto outcome = ams.adapt();
+    EXPECT_FALSE(outcome.triggered);
+    EXPECT_FALSE(outcome.adapted);
+}
+
+TEST(Ams, ForbiddenStringsBlockAdoption) {
+    AmsOptions options;
+    options.adaptation.forbidden.emplace_back(tokenize("do strike"),
+                                              asp::parse_program("maxloa(9)."));
+    AutonomousManagedSystem ams("zeta", asg::AnswerSetGrammar::parse(kTaskInitial), task_space(),
+                                options);
+    // These examples teach nothing about strikes under maxloa(9), so the
+    // minimal hypothesis still accepts the forbidden string -> rejected.
+    std::vector<ilp::Example> pos, neg;
+    pos.emplace_back(tokenize("do patrol"), asp::parse_program("maxloa(3)."));
+    auto outcome = ams.learn_model(pos, neg);
+    EXPECT_FALSE(outcome.adapted);
+    EXPECT_NE(outcome.reason.find("forbidden"), std::string::npos);
+}
+
+TEST(Padap, SimilarityCacheSkipsRelearning) {
+    AdaptationOptions options;
+    options.use_similarity_cache = true;
+    PolicyAdaptationPoint padap(asg::AnswerSetGrammar::parse(kTaskInitial), task_space(), options);
+    RepresentationsRepository repo;
+
+    // Contexts share the weather fact, so the cache's Jaccard similarity
+    // clears the reuse gate even when the LOA ceiling differs.
+    auto ctx = [](int m) {
+        return asp::parse_program("maxloa(" + std::to_string(m) + "). weather(clear).");
+    };
+    std::vector<ilp::Example> pos1 = {{tokenize("do patrol"), ctx(3)},
+                                      {tokenize("do observe"), ctx(3)}};
+    std::vector<ilp::Example> neg1 = {{tokenize("do strike"), ctx(3)}};
+    auto first = padap.adapt_from_examples(pos1, neg1, repo, "ctx3");
+    ASSERT_TRUE(first.adapted) << first.reason;
+    EXPECT_FALSE(first.reused);
+
+    // A shifted ceiling: the same LOA rule separates the new examples, so
+    // the cached hypothesis is reused without an inductive search.
+    std::vector<ilp::Example> pos2 = {{tokenize("do patrol"), ctx(2)}};
+    std::vector<ilp::Example> neg2 = {{tokenize("do strike"), ctx(2)}};
+    auto second = padap.adapt_from_examples(pos2, neg2, repo, "ctx2");
+    ASSERT_TRUE(second.adapted) << second.reason;
+    EXPECT_TRUE(second.reused);
+    ASSERT_NE(padap.cache(), nullptr);
+    EXPECT_EQ(padap.cache()->reuse_hits(), 1u);
+    EXPECT_EQ(repo.latest_version(), 2u);
+}
+
+TEST(Monitor, AuditLogRendersHistory) {
+    DecisionMonitor monitor;
+    auto i0 = monitor.record({tokenize("do patrol"), {}, true, 1, std::nullopt});
+    monitor.record({tokenize("do strike"), {}, false, 2, std::nullopt});
+    monitor.attach_feedback(i0, false);  // that permit was wrong
+    auto text = monitor.render_audit();
+    EXPECT_NE(text.find("#0 do patrol -> Permit (model v1) [WRONG]"), std::string::npos);
+    EXPECT_NE(text.find("#1 do strike -> Deny (model v2)"), std::string::npos);
+    EXPECT_NE(text.find("decisions: 2, permitted: 1, feedback: 1"), std::string::npos);
+    EXPECT_NE(text.find("observed accuracy: 0.000"), std::string::npos);
+    EXPECT_NE(text.find("pre-v2 decisions: 1"), std::string::npos);
+}
+
+TEST(Monitor, AuditLogTailOnly) {
+    DecisionMonitor monitor;
+    for (int i = 0; i < 5; ++i) monitor.record({tokenize("r" + std::to_string(i)), {}, true, 1, std::nullopt});
+    auto text = monitor.render_audit(2);
+    EXPECT_EQ(text.find("#0 "), std::string::npos);
+    EXPECT_NE(text.find("#3 "), std::string::npos);
+    EXPECT_NE(text.find("#4 "), std::string::npos);
+}
+
+TEST(Pbms, CharacterizationBoundsTheAms) {
+    PolicyBasedManagementSystem pbms;
+    PolicyCharacterization c;
+    c.grammar_text = kTaskInitial;
+    c.root_constraints = asp::parse_program(":- requires(L)@2, L > 4.");  // hard ceiling
+    c.forbidden.emplace_back(tokenize("do strike"), asp::parse_program("maxloa(9)."));
+    c.space = task_space();
+    pbms.define("convoy-ops", std::move(c));
+    EXPECT_EQ(pbms.characterization_count(), 1u);
+    ASSERT_NE(pbms.find("convoy-ops"), nullptr);
+
+    auto ams = pbms.instantiate("alpha", "convoy-ops");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(9)."); });
+    // The root constraint is active before any learning... requires(4) <= 4,
+    // so strike is still syntactically permitted by the fixed part.
+    auto [strike_ok, i] = ams.handle_request(tokenize("do strike"));
+    (void)i;
+    EXPECT_TRUE(strike_ok);
+    // But the managing party's forbidden boundary blocks adopting any model
+    // that would keep accepting it.
+    std::vector<ilp::Example> pos = {{tokenize("do patrol"), asp::parse_program("maxloa(3).")}};
+    auto outcome = ams.learn_model(pos, {});
+    EXPECT_FALSE(outcome.adapted);
+    EXPECT_NE(outcome.reason.find("forbidden"), std::string::npos);
+}
+
+TEST(Pbms, RootConstraintsRestrictLanguage) {
+    PolicyBasedManagementSystem pbms;
+    PolicyCharacterization c;
+    c.grammar_text = kTaskInitial;
+    c.root_constraints = asp::parse_program(":- requires(L)@2, L > 2.");
+    c.space = task_space();
+    pbms.define("tight", std::move(c));
+    auto ams = pbms.instantiate("beta", "tight");
+    ams.pip().add_source("loa", [] { return asp::parse_program("maxloa(9)."); });
+    auto [strike_ok, a] = ams.handle_request(tokenize("do strike"));
+    auto [patrol_ok, b] = ams.handle_request(tokenize("do patrol"));
+    (void)a;
+    (void)b;
+    EXPECT_FALSE(strike_ok);  // blocked by the managing party's ceiling
+    EXPECT_TRUE(patrol_ok);
+}
+
+TEST(Pbms, UnknownCharacterizationThrows) {
+    PolicyBasedManagementSystem pbms;
+    EXPECT_THROW(pbms.instantiate("x", "nope"), std::out_of_range);
+}
+
+TEST(Coalition, SharingPropagatesLearnedModels) {
+    auto alpha = make_ams("alpha");
+    auto beta = make_ams("beta");
+    alpha.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    beta.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    ASSERT_TRUE(alpha.learn_model(loa_examples(true), loa_examples(false)).adapted);
+
+    Coalition coalition;
+    coalition.add_member(&alpha);
+    coalition.add_member(&beta);
+    coalition.publish(alpha);
+    EXPECT_EQ(coalition.distribute_latest(), 1u);
+
+    // Beta now enforces alpha's learned policy without having learned.
+    auto [strike_ok, i] = beta.handle_request(tokenize("do strike"));
+    (void)i;
+    EXPECT_FALSE(strike_ok);
+    EXPECT_EQ(beta.model_version(), 1u);
+}
+
+TEST(Coalition, ImportRejectedWhenItViolatesLocalConstraints) {
+    auto alpha = make_ams("alpha");
+    alpha.pip().add_source("loa", [] { return asp::parse_program("maxloa(3)."); });
+    // Alpha learns nothing restrictive (no negatives): permissive model.
+    ASSERT_TRUE(alpha.learn_model(loa_examples(true), {}).adapted);
+
+    AmsOptions strict;
+    strict.adaptation.forbidden.emplace_back(tokenize("do strike"),
+                                             asp::parse_program("maxloa(3)."));
+    AutonomousManagedSystem beta("beta", asg::AnswerSetGrammar::parse(kTaskInitial), task_space(),
+                                 strict);
+    Coalition coalition;
+    coalition.add_member(&alpha);
+    coalition.add_member(&beta);
+    coalition.publish(alpha);
+    EXPECT_EQ(coalition.distribute_latest(), 0u);  // beta refuses the permissive model
+    EXPECT_EQ(beta.model_version(), 0u);
+}
+
+}  // namespace
+}  // namespace agenp::framework

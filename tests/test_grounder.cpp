@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+
+namespace agenp::asp {
+namespace {
+
+// Renders the ground program and checks a line is present.
+bool has_line(const GroundProgram& gp, std::string_view line) {
+    auto text = gp.to_string();
+    std::string needle = std::string(line) + "\n";
+    return text.find(needle) != std::string::npos;
+}
+
+TEST(Grounder, GroundsFactsVerbatim) {
+    auto gp = ground(parse_program("p(a). p(b)."));
+    EXPECT_EQ(gp.rules().size(), 2u);
+    EXPECT_TRUE(has_line(gp, "p(a)."));
+    EXPECT_TRUE(has_line(gp, "p(b)."));
+}
+
+TEST(Grounder, InstantiatesVariablesOverDerivedAtoms) {
+    auto gp = ground(parse_program("p(a). p(b). q(X) :- p(X)."));
+    EXPECT_TRUE(has_line(gp, "q(a) :- p(a)."));
+    EXPECT_TRUE(has_line(gp, "q(b) :- p(b)."));
+}
+
+TEST(Grounder, JoinsSharedVariables) {
+    auto gp = ground(parse_program(R"(
+        e(1, 2). e(2, 3).
+        path(X, Z) :- e(X, Y), e(Y, Z).
+    )"));
+    EXPECT_TRUE(has_line(gp, "path(1,3) :- e(1,2), e(2,3)."));
+    // No join on mismatched middles:
+    EXPECT_FALSE(has_line(gp, "path(1,2) :- e(1,2), e(1,2)."));
+}
+
+TEST(Grounder, RecursiveRulesReachFixpoint) {
+    auto gp = ground(parse_program(R"(
+        e(1, 2). e(2, 3). e(3, 4).
+        r(X, Y) :- e(X, Y).
+        r(X, Z) :- r(X, Y), e(Y, Z).
+    )"));
+    EXPECT_TRUE(has_line(gp, "r(1,4) :- r(1,3), e(3,4)."));
+}
+
+TEST(Grounder, EvaluatesBuiltinsDuringInstantiation) {
+    auto gp = ground(parse_program("n(1). n(2). n(3). big(X) :- n(X), X >= 2."));
+    EXPECT_FALSE(has_line(gp, "big(1) :- n(1)."));
+    EXPECT_TRUE(has_line(gp, "big(2) :- n(2)."));
+    EXPECT_TRUE(has_line(gp, "big(3) :- n(3)."));
+}
+
+TEST(Grounder, EqualityBinderComputesValues) {
+    auto gp = ground(parse_program("n(2). m(Y) :- n(X), Y = X * 10."));
+    EXPECT_TRUE(has_line(gp, "m(20) :- n(2)."));
+}
+
+TEST(Grounder, BinderOnlyRuleFiresOnce) {
+    auto gp = ground(parse_program("p(X) :- X = 3 + 4."));
+    EXPECT_TRUE(has_line(gp, "p(7)."));
+}
+
+TEST(Grounder, DropsNegationOnUnderivableAtoms) {
+    // q can never be derived, so "not q" simplifies away.
+    auto gp = ground(parse_program("p :- not q."));
+    EXPECT_TRUE(has_line(gp, "p."));
+}
+
+TEST(Grounder, KeepsNegationOnDerivableAtoms) {
+    auto gp = ground(parse_program("q :- not p. p :- not q."));
+    EXPECT_TRUE(has_line(gp, "q :- not p."));
+    EXPECT_TRUE(has_line(gp, "p :- not q."));
+}
+
+TEST(Grounder, InstantiatesConstraints) {
+    auto gp = ground(parse_program("p(a). p(b). :- p(X)."));
+    EXPECT_TRUE(has_line(gp, ":- p(a)."));
+    EXPECT_TRUE(has_line(gp, ":- p(b)."));
+}
+
+TEST(Grounder, ConstraintWithComparisonFiltersInstances) {
+    auto gp = ground(parse_program("n(1). n(5). :- n(X), X > 3."));
+    EXPECT_FALSE(has_line(gp, ":- n(1)."));
+    EXPECT_TRUE(has_line(gp, ":- n(5)."));
+}
+
+TEST(Grounder, RejectsUnsafeRule) {
+    EXPECT_THROW(ground(parse_program("p(X) :- not q(X).")), GroundingError);
+}
+
+TEST(Grounder, RejectsUnsafeComparisonVariable) {
+    EXPECT_THROW(ground(parse_program("p :- X > 3.")), GroundingError);
+}
+
+TEST(Grounder, EnforcesAtomLimit) {
+    GroundingLimits limits;
+    limits.max_atoms = 10;
+    EXPECT_THROW(ground(parse_program(R"(
+        n(0).
+        n(Y) :- n(X), Y = X + 1, X < 100.
+    )"), limits), GroundingError);
+}
+
+TEST(Grounder, ArithmeticChainTerminatesWithGuard) {
+    auto gp = ground(parse_program(R"(
+        n(0).
+        n(Y) :- n(X), Y = X + 1, X < 5.
+    )"));
+    // n(0)..n(5) plus five derivation rules
+    EXPECT_TRUE(has_line(gp, "n(5) :- n(4)."));
+    EXPECT_FALSE(has_line(gp, "n(6) :- n(5)."));
+}
+
+TEST(Grounder, DuplicateGroundRulesAreMerged) {
+    auto gp = ground(parse_program("p(a). q :- p(a). q :- p(a)."));
+    auto text = gp.to_string();
+    auto first = text.find("q :- p(a).");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find("q :- p(a).", first + 1), std::string::npos);
+}
+
+TEST(Grounder, CompoundTermsFlowThroughJoins) {
+    auto gp = ground(parse_program(R"(
+        holds(pair(a, b)).
+        left(X) :- holds(pair(X, Y)).
+    )"));
+    EXPECT_TRUE(has_line(gp, "left(a) :- holds(pair(a,b))."));
+}
+
+TEST(Grounder, EmptyProgramGroundsToEmpty) {
+    auto gp = ground(Program{});
+    EXPECT_EQ(gp.rules().size(), 0u);
+    EXPECT_EQ(gp.atom_count(), 0u);
+}
+
+}  // namespace
+}  // namespace agenp::asp

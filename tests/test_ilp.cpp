@@ -1,0 +1,584 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asp/parser.hpp"
+#include "ilp/classifier.hpp"
+#include "ilp/guidance.hpp"
+#include "ilp/learner.hpp"
+
+namespace agenp::ilp {
+namespace {
+
+using cfg::tokenize;
+
+// ---------------------------------------------------------------------------
+// Hypothesis-space generation
+// ---------------------------------------------------------------------------
+
+TEST(Space, GeneratesConstraintsFromBodyModes) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {ArgSpec::var("t")}, 1));
+    bias.max_body_atoms = 1;
+    bias.max_vars = 1;
+    auto space = generate_space(bias, {0});
+    ASSERT_EQ(space.candidates.size(), 1u);
+    EXPECT_EQ(space.candidates[0].rule.to_string(), ":- p(V1)@1.");
+    EXPECT_TRUE(space.constraints_only());
+}
+
+TEST(Space, ReplicatesOverTargetProductions) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {}));
+    bias.max_body_atoms = 1;
+    auto space = generate_space(bias, {0, 2, 5});
+    ASSERT_EQ(space.candidates.size(), 3u);
+    std::set<int> prods;
+    for (const auto& c : space.candidates) prods.insert(c.production);
+    EXPECT_EQ(prods, (std::set<int>{0, 2, 5}));
+}
+
+TEST(Space, ConstantPoolsExpand) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("weather", {ArgSpec::constant("w")}));
+    bias.add_symbol_constants("w", {"sunny", "rainy", "fog"});
+    bias.max_body_atoms = 1;
+    auto space = generate_space(bias, {0});
+    EXPECT_EQ(space.candidates.size(), 3u);
+}
+
+TEST(Space, ComparisonsAgainstConstants) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("loa", {ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ComparisonMode("lvl", {asp::Comparison::Op::Lt}));
+    bias.add_int_constants("lvl", {2, 3});
+    bias.max_body_atoms = 1;
+    bias.max_vars = 1;
+    bias.max_comparisons = 1;
+    auto space = generate_space(bias, {0});
+    // Bare ":- loa(V1)." plus V1 < 2 and V1 < 3 variants.
+    EXPECT_EQ(space.candidates.size(), 3u);
+}
+
+TEST(Space, VarVsVarComparisons) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("a", {ArgSpec::var("n")}, 1));
+    bias.body.push_back(ModeAtom("b", {ArgSpec::var("n")}, 2));
+    bias.comparisons.push_back(ComparisonMode("n", {asp::Comparison::Op::Gt},
+                                              /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    auto space = generate_space(bias, {0});
+    bool found = false;
+    for (const auto& c : space.candidates) {
+        if (c.rule.to_string() == ":- a(V1)@1, b(V2)@2, V1 > V2.") found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Space, NegatedBodyLiteralsWhenAllowed) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {}));
+    bias.body.push_back(ModeAtom("q", {}, asp::kUnannotated, /*neg=*/true));
+    bias.max_body_atoms = 2;
+    auto space = generate_space(bias, {0});
+    bool found_neg = false;
+    for (const auto& c : space.candidates) {
+        if (c.rule.to_string() == ":- p, not q.") found_neg = true;
+        // A purely negative constraint body is unsafe only with variables;
+        // ground ":- not q." is fine and should also exist.
+        if (c.rule.to_string() == ":- not q.") found_neg = found_neg;
+    }
+    EXPECT_TRUE(found_neg);
+}
+
+TEST(Space, UnsafeRulesAreFiltered) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {ArgSpec::var("t")}, asp::kUnannotated, /*neg=*/true));
+    bias.max_body_atoms = 1;
+    bias.max_vars = 1;
+    auto space = generate_space(bias, {0});
+    // The positive variant ":- p(V1)." is safe and kept; the negated
+    // variant ":- not p(V1)." is unsafe and must be filtered.
+    ASSERT_EQ(space.candidates.size(), 1u);
+    EXPECT_EQ(space.candidates[0].rule.to_string(), ":- p(V1).");
+}
+
+TEST(Space, HeadModesProduceNormalRules) {
+    ModeBias bias;
+    bias.allow_constraints = false;
+    bias.head.push_back(ModeAtom("ok", {}));
+    bias.body.push_back(ModeAtom("weather", {ArgSpec::constant("w")}));
+    bias.add_symbol_constants("w", {"sunny", "rainy"});
+    bias.max_body_atoms = 1;
+    auto space = generate_space(bias, {0});
+    ASSERT_EQ(space.candidates.size(), 2u);
+    EXPECT_FALSE(space.constraints_only());
+    EXPECT_EQ(space.candidates[0].rule.head->predicate.str(), "ok");
+}
+
+TEST(Space, AlphaEquivalentRulesAreDeduped) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {ArgSpec::var("t")}, 1));
+    bias.max_body_atoms = 1;
+    bias.max_vars = 3;  // three var indices all collapse to V1
+    auto space = generate_space(bias, {0});
+    EXPECT_EQ(space.candidates.size(), 1u);
+}
+
+TEST(Space, ThrowsWhenSpaceExplodes) {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {ArgSpec::constant("c"), ArgSpec::constant("c"),
+                                       ArgSpec::constant("c")}));
+    for (int i = 0; i < 40; ++i) bias.add_int_constants("c", {i});
+    bias.max_body_atoms = 2;
+    SpaceLimits limits;
+    limits.max_candidates = 1000;
+    EXPECT_THROW(generate_space(bias, {0}, limits), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Learning (fast path: constraint-only spaces)
+// ---------------------------------------------------------------------------
+
+// Initial ASG: syntax only, no semantic conditions yet — the learner must
+// discover them (the Figure 1 workflow).
+const char* kTaskInitial = R"(
+    request -> "do" task
+    task -> "patrol" { requires(2). }
+    task -> "strike" { requires(4). }
+    task -> "observe" { requires(1). }
+)";
+
+ModeBias task_bias() {
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("requires", {ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ModeAtom("maxloa", {ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ComparisonMode("lvl", {asp::Comparison::Op::Gt, asp::Comparison::Op::Lt},
+                                              /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    bias.max_comparisons = 1;
+    return bias;
+}
+
+LearningTask make_task() {
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    task.space = generate_space(task_bias(), {0});
+    auto ctx = [](int m) { return asp::parse_program("maxloa(" + std::to_string(m) + ")."); };
+    task.positive.emplace_back(tokenize("do patrol"), ctx(3));
+    task.positive.emplace_back(tokenize("do strike"), ctx(5));
+    task.positive.emplace_back(tokenize("do observe"), ctx(1));
+    task.negative.emplace_back(tokenize("do strike"), ctx(3));
+    task.negative.emplace_back(tokenize("do patrol"), ctx(1));
+    return task;
+}
+
+TEST(Learner, RecoversLoaConstraint) {
+    auto task = make_task();
+    auto result = learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    EXPECT_TRUE(result.stats.used_fast_path);
+    ASSERT_EQ(result.hypothesis.size(), 1u);
+    // Either orientation of the same constraint is acceptable.
+    auto text = result.hypothesis[0].first.to_string();
+    EXPECT_TRUE(text == ":- requires(V1)@2, maxloa(V2), V1 > V2." ||
+                text == ":- maxloa(V1), requires(V2)@2, V2 > V1." ||
+                text == ":- maxloa(V1), requires(V2)@2, V1 < V2.")
+        << text;
+}
+
+TEST(Learner, LearnedGrammarGeneralizes) {
+    auto task = make_task();
+    auto result = learn(task);
+    ASSERT_TRUE(result.found);
+    auto learned = task.initial.with_rules(result.hypothesis);
+    // Held-out checks across contexts.
+    for (int m = 1; m <= 5; ++m) {
+        auto ctx = asp::parse_program("maxloa(" + std::to_string(m) + ").");
+        EXPECT_EQ(asg::in_language(learned, tokenize("do patrol"), ctx), m >= 2) << m;
+        EXPECT_EQ(asg::in_language(learned, tokenize("do strike"), ctx), m >= 4) << m;
+        EXPECT_EQ(asg::in_language(learned, tokenize("do observe"), ctx), m >= 1) << m;
+    }
+}
+
+TEST(Learner, EmptyHypothesisWhenNoNegatives) {
+    auto task = make_task();
+    task.negative.clear();
+    auto result = learn(task);
+    ASSERT_TRUE(result.found);
+    EXPECT_TRUE(result.hypothesis.empty());
+    EXPECT_EQ(result.cost, 0);
+}
+
+TEST(Learner, FailsWhenPositiveOutsideCfg) {
+    auto task = make_task();
+    task.positive.emplace_back(tokenize("do fly"), asp::Program{});
+    auto result = learn(task);
+    EXPECT_FALSE(result.found);
+    EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(Learner, FailsOnContradictoryExamples) {
+    auto task = make_task();
+    // Same string, same context, both positive and negative.
+    auto ctx = asp::parse_program("maxloa(3).");
+    task.positive.emplace_back(tokenize("do patrol"), ctx);
+    task.negative.emplace_back(tokenize("do patrol"), ctx);
+    auto result = learn(task);
+    EXPECT_FALSE(result.found);
+}
+
+TEST(Learner, PrefersMinimalCost) {
+    // Negative example rejectable by a 1-literal constraint; a 2-literal
+    // alternative also exists. Expect the cheap one.
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" { p. q. }
+        s -> "y" { q. }
+    )");
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {}));
+    bias.body.push_back(ModeAtom("q", {}));
+    bias.max_body_atoms = 2;
+    task.space = generate_space(bias, {0, 1});
+    task.positive.emplace_back(tokenize("y"), asp::Program{});
+    task.negative.emplace_back(tokenize("x"), asp::Program{});
+    auto result = learn(task);
+    ASSERT_TRUE(result.found);
+    ASSERT_EQ(result.hypothesis.size(), 1u);
+    EXPECT_EQ(result.hypothesis[0].first.to_string(), ":- p.");
+    EXPECT_EQ(result.cost, 1);
+}
+
+TEST(Learner, MultipleConstraintsWhenOneCannotCover) {
+    // Two negatives need two unrelated constraints.
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" { a. }
+        s -> "y" { b. }
+        s -> "z" { c. }
+    )");
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("a", {}));
+    bias.body.push_back(ModeAtom("b", {}));
+    bias.body.push_back(ModeAtom("c", {}));
+    bias.max_body_atoms = 1;
+    task.space = generate_space(bias, {0, 1, 2});
+    task.positive.emplace_back(tokenize("z"), asp::Program{});
+    task.negative.emplace_back(tokenize("x"), asp::Program{});
+    task.negative.emplace_back(tokenize("y"), asp::Program{});
+    auto result = learn(task);
+    ASSERT_TRUE(result.found);
+    EXPECT_EQ(result.hypothesis.size(), 2u);
+    std::set<std::string> rules;
+    for (const auto& [r, p] : result.hypothesis) rules.insert(r.to_string());
+    EXPECT_TRUE(rules.contains(":- a."));
+    EXPECT_TRUE(rules.contains(":- b."));
+}
+
+TEST(Learner, RespectsAnswerSetSemanticsOnNegatives) {
+    // The base annotation has two answer sets ({p} and {q}); rejecting the
+    // string requires killing BOTH, which single constraint ":- p." cannot.
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" {
+            p :- not q.
+            q :- not p.
+        }
+    )");
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("p", {}));
+    bias.body.push_back(ModeAtom("q", {}));
+    bias.max_body_atoms = 1;
+    task.space = generate_space(bias, {0});
+    task.negative.emplace_back(tokenize("x"), asp::Program{});
+    auto result = learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    // Needs both ":- p." and ":- q.".
+    EXPECT_EQ(result.hypothesis.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Noise-tolerant learning (penalty-based fast path)
+// ---------------------------------------------------------------------------
+
+TEST(NoisyLearner, CleanDataMatchesStrictMode) {
+    auto task = make_task();
+    auto strict = learn(task);
+    LearnOptions noisy;
+    noisy.noise_penalty = 10;
+    auto tolerant = learn(task, noisy);
+    ASSERT_TRUE(strict.found);
+    ASSERT_TRUE(tolerant.found);
+    EXPECT_EQ(tolerant.violated_examples, 0u);
+    EXPECT_EQ(tolerant.cost, strict.cost);
+}
+
+TEST(NoisyLearner, SurvivesContradictoryExamples) {
+    auto task = make_task();
+    auto ctx = asp::parse_program("maxloa(3).");
+    task.positive.emplace_back(tokenize("do patrol"), ctx);
+    task.negative.emplace_back(tokenize("do patrol"), ctx);  // contradiction
+    EXPECT_FALSE(learn(task).found);
+    LearnOptions noisy;
+    noisy.noise_penalty = 5;
+    auto tolerant = learn(task, noisy);
+    ASSERT_TRUE(tolerant.found) << tolerant.failure_reason;
+    EXPECT_EQ(tolerant.violated_examples, 1u);  // one side of the contradiction
+}
+
+TEST(NoisyLearner, SacrificesFlippedLabelAndRecoversPolicy) {
+    auto task = make_task();
+    // A single mislabelled positive: strike under maxloa(2) marked valid.
+    task.positive.emplace_back(tokenize("do strike"), asp::parse_program("maxloa(2)."));
+    EXPECT_FALSE(learn(task).found);
+    LearnOptions noisy;
+    noisy.noise_penalty = 6;  // cheaper to drop one example than to distort the policy
+    auto tolerant = learn(task, noisy);
+    ASSERT_TRUE(tolerant.found) << tolerant.failure_reason;
+    EXPECT_EQ(tolerant.violated_examples, 1u);
+    // The recovered model is the true LOA policy.
+    auto learned = task.initial.with_rules(tolerant.hypothesis);
+    EXPECT_FALSE(asg::in_language(learned, tokenize("do strike"), asp::parse_program("maxloa(2).")));
+    EXPECT_TRUE(asg::in_language(learned, tokenize("do patrol"), asp::parse_program("maxloa(3).")));
+}
+
+TEST(NoisyLearner, LowPenaltyPrefersDroppingOverComplexRules) {
+    // With a tiny penalty, abandoning all negatives beats learning rules.
+    auto task = make_task();
+    LearnOptions noisy;
+    noisy.noise_penalty = 1;
+    auto tolerant = learn(task, noisy);
+    ASSERT_TRUE(tolerant.found);
+    EXPECT_TRUE(tolerant.hypothesis.empty());
+    EXPECT_EQ(tolerant.violated_examples, 2u);  // both negatives abandoned
+}
+
+TEST(NoisyLearner, WorldlessPositiveIsCountedViolated) {
+    auto task = make_task();
+    task.positive.emplace_back(tokenize("do fly"), asp::Program{});  // not even in the CFG
+    EXPECT_FALSE(learn(task).found);
+    LearnOptions noisy;
+    noisy.noise_penalty = 8;
+    auto tolerant = learn(task, noisy);
+    ASSERT_TRUE(tolerant.found) << tolerant.failure_reason;
+    EXPECT_EQ(tolerant.violated_examples, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Learning (general path: normal rules in the space)
+// ---------------------------------------------------------------------------
+
+TEST(Learner, GeneralPathLearnsDefinition) {
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" { :- not ok. }
+    )");
+    ModeBias bias;
+    bias.allow_constraints = false;
+    bias.head.push_back(ModeAtom("ok", {}));
+    bias.body.push_back(ModeAtom("weather", {ArgSpec::constant("w")}));
+    bias.add_symbol_constants("w", {"sunny", "rainy", "fog"});
+    bias.max_body_atoms = 1;
+    task.space = generate_space(bias, {0});
+    task.positive.emplace_back(tokenize("x"), asp::parse_program("weather(sunny)."));
+    task.negative.emplace_back(tokenize("x"), asp::parse_program("weather(rainy)."));
+    task.negative.emplace_back(tokenize("x"), asp::parse_program("weather(fog)."));
+    auto result = learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    EXPECT_FALSE(result.stats.used_fast_path);
+    ASSERT_EQ(result.hypothesis.size(), 1u);
+    EXPECT_EQ(result.hypothesis[0].first.to_string(), "ok :- weather(sunny).");
+    EXPECT_GE(result.stats.cegis_iterations, 1u);
+}
+
+TEST(Learner, GeneralPathHonoursMaxRules) {
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" { :- not ok. }
+    )");
+    ModeBias bias;
+    bias.allow_constraints = false;
+    bias.head.push_back(ModeAtom("ok", {}));
+    bias.body.push_back(ModeAtom("w", {ArgSpec::constant("w")}));
+    bias.add_symbol_constants("w", {"a", "b", "c"});
+    bias.max_body_atoms = 1;
+    task.space = generate_space(bias, {0});
+    // Needs ok :- w(a) AND ok :- w(b): two rules.
+    task.positive.emplace_back(tokenize("x"), asp::parse_program("w(a)."));
+    task.positive.emplace_back(tokenize("x"), asp::parse_program("w(b)."));
+    task.negative.emplace_back(tokenize("x"), asp::parse_program("w(c)."));
+    LearnOptions options;
+    options.max_rules = 1;
+    auto restricted = learn(task, options);
+    EXPECT_FALSE(restricted.found);
+    options.max_rules = 2;
+    auto full = learn(task, options);
+    ASSERT_TRUE(full.found) << full.failure_reason;
+    EXPECT_EQ(full.hypothesis.size(), 2u);
+}
+
+TEST(Learner, HypothesisAttachesToNonRootProduction) {
+    // The constraint must live on the bracket production (production 0 of a
+    // RECURSIVE grammar): it then fires at every nesting level, which a
+    // root-only constraint could not express with local facts.
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"asg(
+        s -> "(" s ")" {
+            depth(N) :- depth(M)@2, N = M + 1.
+        }
+        s -> epsilon {
+            depth(0).
+        }
+    )asg");
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("depth", {ArgSpec::var("n")}));
+    bias.body.push_back(ModeAtom("maxdepth", {ArgSpec::var("n")}));
+    bias.comparisons.push_back(ComparisonMode("n", {asp::Comparison::Op::Gt},
+                                              /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+    task.space = generate_space(bias, {0});
+    auto ctx = [](int d) { return asp::parse_program("maxdepth(" + std::to_string(d) + ")."); };
+    task.positive.emplace_back(tokenize("( )"), ctx(1));
+    task.positive.emplace_back(tokenize("( ( ) )"), ctx(2));
+    task.negative.emplace_back(tokenize("( ( ) )"), ctx(1));
+    auto result = learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned = task.initial.with_rules(result.hypothesis);
+    // Generalizes to unseen depths.
+    EXPECT_FALSE(asg::in_language(learned, tokenize("( ( ( ) ) )"), ctx(2)));
+    EXPECT_TRUE(asg::in_language(learned, tokenize("( ( ( ) ) )"), ctx(3)));
+}
+
+TEST(Learner, ChoosesCorrectTargetProductionAmongSeveral) {
+    // The same constraint rule is offered on two productions; only the
+    // attachment to the "strike" production separates the examples.
+    LearningTask task;
+    task.initial = asg::AnswerSetGrammar::parse(R"(
+        request -> "do" task
+        task -> "patrol" { risky. }
+        task -> "strike" { risky. }
+    )");
+    ModeBias bias;
+    bias.body.push_back(ModeAtom("risky", {}));
+    bias.max_body_atoms = 1;
+    task.space = generate_space(bias, {1, 2});  // offered on both task productions
+    task.positive.emplace_back(tokenize("do patrol"), asp::Program{});
+    task.negative.emplace_back(tokenize("do strike"), asp::Program{});
+    auto result = learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    ASSERT_EQ(result.hypothesis.size(), 1u);
+    EXPECT_EQ(result.hypothesis[0].second, 2);  // attached to strike, not patrol
+}
+
+// ---------------------------------------------------------------------------
+// Statistical search guidance (Section V.C)
+// ---------------------------------------------------------------------------
+
+TEST(Guidance, UntrainedScorerIsNeutral) {
+    SearchGuidance guidance;
+    EXPECT_FALSE(guidance.trained());
+    Candidate c{asp::parse_rule(":- p."), 0, 1};
+    EXPECT_DOUBLE_EQ(guidance.score(c), 0.5);
+}
+
+TEST(Guidance, FeaturesCaptureRuleShape) {
+    Candidate c{asp::parse_rule(":- requires(L)@2, not maxloa(M), L > M."), 0, 3};
+    auto f = SearchGuidance::features(c);
+    ASSERT_EQ(f.size(), SearchGuidance::feature_schema().size());
+    EXPECT_EQ(f[0], 3);  // cost
+    EXPECT_EQ(f[1], 2);  // body literals
+    EXPECT_EQ(f[2], 1);  // negatives
+    EXPECT_EQ(f[3], 1);  // comparisons
+    EXPECT_EQ(f[4], 2);  // distinct vars
+    EXPECT_EQ(f[6], 1);  // annotated atoms
+    EXPECT_EQ(f[7], 2);  // max annotation
+}
+
+TEST(Guidance, LearnsToPreferUsefulShapes) {
+    // Train on several solved tasks; the scorer should rank the kind of
+    // rule that keeps winning (2 literals + var-var comparison) above a
+    // plain single-literal candidate.
+    SearchGuidance guidance;
+    for (int i = 0; i < 3; ++i) {
+        auto task = make_task();
+        auto result = learn(task);
+        ASSERT_TRUE(result.found);
+        guidance.record(task, result);
+    }
+    ASSERT_TRUE(guidance.train());
+    EXPECT_GT(guidance.observations(), 10u);
+
+    Candidate winner{asp::parse_rule(":- requires(V1)@2, maxloa(V2), V1 > V2."), 0, 3};
+    Candidate loser{asp::parse_rule(":- maxloa(V1)."), 0, 1};
+    EXPECT_GT(guidance.score(winner), guidance.score(loser));
+}
+
+TEST(Guidance, GuidedSearchFindsSameMinimalHypothesis) {
+    SearchGuidance guidance;
+    auto seed_task = make_task();
+    auto seed = learn(seed_task);
+    ASSERT_TRUE(seed.found);
+    guidance.record(seed_task, seed);
+    ASSERT_TRUE(guidance.train());
+
+    auto task = make_task();
+    LearnOptions guided;
+    guided.guidance = &guidance;
+    auto with = learn(task, guided);
+    auto without = learn(task);
+    ASSERT_TRUE(with.found);
+    ASSERT_TRUE(without.found);
+    EXPECT_EQ(with.cost, without.cost);  // exactness preserved
+}
+
+TEST(Guidance, RankingPutsHighScoresFirst) {
+    SearchGuidance guidance;
+    auto task = make_task();
+    auto result = learn(task);
+    ASSERT_TRUE(result.found);
+    guidance.record(task, result);
+    ASSERT_TRUE(guidance.train());
+    auto order = guidance.ranking(task.space.candidates);
+    ASSERT_EQ(order.size(), task.space.candidates.size());
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_GE(guidance.score(task.space.candidates[order[i - 1]]),
+                  guidance.score(task.space.candidates[order[i]]));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classifier facade
+// ---------------------------------------------------------------------------
+
+TEST(Classifier, FitPredictRoundTrip) {
+    auto initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    auto space = generate_space(task_bias(), {0});
+    SymbolicPolicyClassifier clf(initial, space);
+
+    std::vector<LabelledExample> train;
+    auto ctx = [](int m) { return asp::parse_program("maxloa(" + std::to_string(m) + ")."); };
+    train.push_back({tokenize("do patrol"), ctx(3), true});
+    train.push_back({tokenize("do strike"), ctx(3), false});
+    train.push_back({tokenize("do strike"), ctx(5), true});
+    train.push_back({tokenize("do observe"), ctx(1), true});
+    train.push_back({tokenize("do patrol"), ctx(1), false});
+    ASSERT_TRUE(clf.fit(train));
+
+    EXPECT_TRUE(clf.predict(tokenize("do patrol"), ctx(2)));
+    EXPECT_FALSE(clf.predict(tokenize("do strike"), ctx(2)));
+    EXPECT_TRUE(clf.predict(tokenize("do strike"), ctx(4)));
+}
+
+TEST(Classifier, UnfittedModelUsesInitialGrammar) {
+    auto initial = asg::AnswerSetGrammar::parse(kTaskInitial);
+    SymbolicPolicyClassifier clf(initial, {});
+    // No semantic conditions: everything syntactic is accepted.
+    EXPECT_TRUE(clf.predict(tokenize("do strike"), asp::parse_program("maxloa(0).")));
+}
+
+}  // namespace
+}  // namespace agenp::ilp

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/metrics.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/one_vs_rest.hpp"
+
+namespace agenp::ml {
+namespace {
+
+// Linearly separable numeric data: label = x0 + x1 > 1.
+Dataset linear_dataset(std::size_t n, util::Rng& rng) {
+    Dataset d({FeatureSpec::numeric_feature("x0"), FeatureSpec::numeric_feature("x1")});
+    for (std::size_t i = 0; i < n; ++i) {
+        double x0 = rng.uniform01() * 2;
+        double x1 = rng.uniform01() * 2;
+        d.add_row({x0, x1}, x0 + x1 > 1 ? 1 : 0);
+    }
+    return d;
+}
+
+// Mixed rule-structured data resembling the policy scenarios:
+// accept iff weather != fog AND loa >= 3.
+Dataset rule_dataset(std::size_t n, util::Rng& rng) {
+    Dataset d({FeatureSpec::categorical("weather", {"sunny", "rain", "fog"}),
+               FeatureSpec::numeric_feature("loa")});
+    for (std::size_t i = 0; i < n; ++i) {
+        double w = static_cast<double>(rng.uniform(0, 2));
+        double loa = static_cast<double>(rng.uniform(0, 5));
+        int label = (w != 2 && loa >= 3) ? 1 : 0;
+        d.add_row({w, loa}, label);
+    }
+    return d;
+}
+
+TEST(Dataset, AddRowValidatesArity) {
+    Dataset d({FeatureSpec::numeric_feature("x")});
+    EXPECT_THROW(d.add_row({1.0, 2.0}, 0), std::invalid_argument);
+    d.add_row({1.0}, 1);
+    EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Dataset, SplitPartitionsRows) {
+    util::Rng rng(1);
+    auto d = linear_dataset(100, rng);
+    auto [train, test] = d.split(0.7, rng);
+    EXPECT_EQ(train.size(), 70u);
+    EXPECT_EQ(test.size(), 30u);
+}
+
+TEST(Dataset, HeadTakesPrefix) {
+    util::Rng rng(1);
+    auto d = linear_dataset(10, rng);
+    auto h = d.head(3);
+    EXPECT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.row(0), d.row(0));
+    EXPECT_EQ(d.head(99).size(), 10u);
+}
+
+TEST(Confusion, MetricsFromCounts) {
+    Confusion c{.tp = 8, .tn = 6, .fp = 2, .fn = 4};
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.7);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+    EXPECT_NEAR(c.recall(), 8.0 / 12.0, 1e-12);
+    EXPECT_GT(c.f1(), 0.7);
+}
+
+TEST(Confusion, EmptyIsZero) {
+    Confusion c;
+    EXPECT_EQ(c.accuracy(), 0);
+    EXPECT_EQ(c.f1(), 0);
+}
+
+template <typename Model>
+double accuracy_on(Model&& model, const Dataset& train, const Dataset& test) {
+    model.fit(train);
+    return evaluate(model, test).accuracy();
+}
+
+TEST(DecisionTree, LearnsLinearBoundaryApproximately) {
+    util::Rng rng(2);
+    auto train = linear_dataset(400, rng);
+    auto test = linear_dataset(200, rng);
+    EXPECT_GT(accuracy_on(DecisionTree{}, train, test), 0.85);
+}
+
+TEST(DecisionTree, LearnsRuleStructuredDataWell) {
+    util::Rng rng(3);
+    auto train = rule_dataset(400, rng);
+    auto test = rule_dataset(200, rng);
+    EXPECT_GT(accuracy_on(DecisionTree{}, train, test), 0.95);
+}
+
+TEST(DecisionTree, PureLeafStopsSplitting) {
+    Dataset d({FeatureSpec::numeric_feature("x")});
+    for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 1);
+    DecisionTree t;
+    t.fit(d);
+    EXPECT_EQ(t.node_count(), 1);
+    EXPECT_EQ(t.predict({42.0}), 1);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+    util::Rng rng(4);
+    auto train = rule_dataset(300, rng);
+    DecisionTree shallow({.max_depth = 1});
+    shallow.fit(train);
+    EXPECT_LE(shallow.depth(), 2);
+}
+
+TEST(DecisionTree, EmptyTrainingPredictsZero) {
+    Dataset d({FeatureSpec::numeric_feature("x")});
+    DecisionTree t;
+    t.fit(d);
+    EXPECT_EQ(t.predict({1.0}), 0);
+}
+
+TEST(LogisticRegression, LearnsLinearBoundaryWell) {
+    util::Rng rng(5);
+    auto train = linear_dataset(400, rng);
+    auto test = linear_dataset(200, rng);
+    EXPECT_GT(accuracy_on(LogisticRegression{}, train, test), 0.93);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreCalibratedDirectionally) {
+    util::Rng rng(6);
+    auto train = linear_dataset(400, rng);
+    LogisticRegression m;
+    m.fit(train);
+    EXPECT_GT(m.predict_proba({2.0, 2.0}), 0.9);
+    EXPECT_LT(m.predict_proba({0.0, 0.0}), 0.1);
+}
+
+TEST(LogisticRegression, HandlesCategoricalOneHot) {
+    util::Rng rng(7);
+    auto train = rule_dataset(400, rng);
+    auto test = rule_dataset(200, rng);
+    EXPECT_GT(accuracy_on(LogisticRegression{}, train, test), 0.8);
+}
+
+TEST(NaiveBayes, LearnsCategoricalStructure) {
+    util::Rng rng(8);
+    auto train = rule_dataset(400, rng);
+    auto test = rule_dataset(200, rng);
+    EXPECT_GT(accuracy_on(NaiveBayes{}, train, test), 0.75);
+}
+
+TEST(NaiveBayes, GaussianNumericSeparation) {
+    util::Rng rng(9);
+    auto train = linear_dataset(400, rng);
+    auto test = linear_dataset(200, rng);
+    EXPECT_GT(accuracy_on(NaiveBayes{}, train, test), 0.85);
+}
+
+TEST(NaiveBayes, EmptyTrainingIsDeterministic) {
+    Dataset d({FeatureSpec::numeric_feature("x")});
+    NaiveBayes m;
+    m.fit(d);
+    EXPECT_EQ(m.predict({1.0}), m.predict({1.0}));
+}
+
+TEST(Knn, LearnsLinearBoundary) {
+    util::Rng rng(10);
+    auto train = linear_dataset(400, rng);
+    auto test = linear_dataset(200, rng);
+    EXPECT_GT(accuracy_on(Knn{}, train, test), 0.9);
+}
+
+TEST(Knn, MixedMetricHandlesCategoricals) {
+    util::Rng rng(11);
+    auto train = rule_dataset(400, rng);
+    auto test = rule_dataset(200, rng);
+    EXPECT_GT(accuracy_on(Knn{}, train, test), 0.85);
+}
+
+TEST(Knn, KOneMemorizesTrainingSet) {
+    util::Rng rng(12);
+    auto train = rule_dataset(100, rng);
+    Knn m({.k = 1});
+    m.fit(train);
+    auto c = evaluate(m, train);
+    EXPECT_EQ(c.accuracy(), 1.0);
+}
+
+TEST(OneVsRest, SeparatesThreeGaussianClasses) {
+    util::Rng rng(14);
+    Dataset d({FeatureSpec::numeric_feature("x"), FeatureSpec::numeric_feature("y")});
+    auto emit = [&](double cx, double cy, int label) {
+        for (int i = 0; i < 120; ++i) {
+            d.add_row({cx + rng.uniform01() * 2 - 1, cy + rng.uniform01() * 2 - 1}, label);
+        }
+    };
+    emit(0, 0, 0);
+    emit(6, 0, 1);
+    emit(0, 6, 2);
+    OneVsRest m(3);
+    m.fit(d);
+    EXPECT_EQ(m.predict({0, 0}), 0);
+    EXPECT_EQ(m.predict({6, 0}), 1);
+    EXPECT_EQ(m.predict({0, 6}), 2);
+}
+
+TEST(OneVsRest, ScoresSumToReasonableRange) {
+    util::Rng rng(15);
+    Dataset d({FeatureSpec::numeric_feature("x")});
+    for (int i = 0; i < 60; ++i) d.add_row({static_cast<double>(i % 3) * 5}, i % 3);
+    OneVsRest m(3);
+    m.fit(d);
+    auto s = m.scores({0});
+    ASSERT_EQ(s.size(), 3u);
+    for (double v : s) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(OneVsRest, EmptyModelPredictsZero) {
+    OneVsRest m(3);
+    EXPECT_EQ(m.predict({1.0}), 0);
+}
+
+// Learning-curve sanity: with rule-structured data, the decision tree
+// improves monotonically (within tolerance) as training grows.
+class CurveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CurveSweep, MoreDataDoesNotHurtMuch) {
+    util::Rng rng(13);
+    auto pool = rule_dataset(600, rng);
+    auto test = rule_dataset(300, rng);
+    auto small = pool.head(GetParam());
+    auto large = pool.head(GetParam() * 4);
+    DecisionTree a, b;
+    a.fit(small);
+    b.fit(large);
+    EXPECT_GE(evaluate(b, test).accuracy() + 0.05, evaluate(a, test).accuracy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CurveSweep, ::testing::Values(10, 25, 50, 100));
+
+}  // namespace
+}  // namespace agenp::ml

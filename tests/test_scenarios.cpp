@@ -1,0 +1,434 @@
+#include <gtest/gtest.h>
+
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "scenarios/cav/cav.hpp"
+#include "scenarios/cav/perception.hpp"
+#include "scenarios/datashare/datashare.hpp"
+#include "scenarios/fedlearn/fedlearn.hpp"
+#include "scenarios/resupply/resupply.hpp"
+
+namespace agenp::scenarios {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CAV
+// ---------------------------------------------------------------------------
+
+TEST(Cav, GroundTruthRespectsLoaCeilings) {
+    cav::Instance x;
+    x.task = 2;  // overtake, requires 3
+    x.env = {.vehicle_loa = 5, .region_limit = 5, .weather = 0};
+    EXPECT_TRUE(cav::ground_truth(x));
+    x.env.vehicle_loa = 2;
+    EXPECT_FALSE(cav::ground_truth(x));
+    x.env = {.vehicle_loa = 5, .region_limit = 2, .weather = 0};
+    EXPECT_FALSE(cav::ground_truth(x));
+}
+
+TEST(Cav, FogRestrictsHighAutonomyTasks) {
+    cav::Instance x;
+    x.task = 4;  // full_auto
+    x.env = {.vehicle_loa = 5, .region_limit = 5, .weather = 2 /*fog*/};
+    EXPECT_FALSE(cav::ground_truth(x));
+    x.task = 0;  // lane_keep
+    EXPECT_TRUE(cav::ground_truth(x));
+}
+
+TEST(Cav, ReferenceModelMatchesGroundTruthEverywhere) {
+    auto model = cav::reference_model();
+    util::Rng rng(41);
+    for (int i = 0; i < 150; ++i) {
+        auto x = cav::sample_instance(rng);
+        bool predicted = asg::in_language(model, cav::request_tokens(x),
+                                          cav::context_program(x.env));
+        EXPECT_EQ(predicted, x.accepted) << cfg::detokenize(cav::request_tokens(x));
+    }
+}
+
+TEST(Cav, SymbolicLearnerRecoversPolicyFromFewExamples) {
+    util::Rng rng(42);
+    auto train = cav::sample_instances(40, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(cav::to_symbolic(x));
+    ilp::SymbolicPolicyClassifier clf(cav::initial_asg(), cav::hypothesis_space());
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+
+    auto test = cav::sample_instances(200, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(cav::request_tokens(x), cav::context_program(x.env)) == x.accepted;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 200.0, 0.97);
+}
+
+TEST(Cav, DatasetMatchesInstances) {
+    util::Rng rng(43);
+    auto instances = cav::sample_instances(50, rng);
+    auto d = cav::to_dataset(instances);
+    ASSERT_EQ(d.size(), 50u);
+    EXPECT_EQ(d.feature_count(), 4u);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        EXPECT_EQ(d.label(i) == 1, instances[i].accepted);
+    }
+}
+
+TEST(Cav, BaselinesLearnTheTaskWithEnoughData) {
+    util::Rng rng(44);
+    auto train = cav::to_dataset(cav::sample_instances(400, rng));
+    auto test = cav::to_dataset(cav::sample_instances(200, rng));
+    ml::DecisionTree tree;
+    tree.fit(train);
+    EXPECT_GT(ml::evaluate(tree, test).accuracy(), 0.85);
+}
+
+// ---------------------------------------------------------------------------
+// CAV capability sharing
+// ---------------------------------------------------------------------------
+
+TEST(CavSharing, GroundTruthGates) {
+    cav::SharingInstance x;
+    x.capability = 2;  // planning, needs 3
+    x.context = {.peer_loa = 4, .distance = 1, .window = 0};
+    EXPECT_TRUE(cav::sharing_ground_truth(x));
+    x.context.peer_loa = 2;
+    EXPECT_FALSE(cav::sharing_ground_truth(x));  // peer too weak
+    x.context = {.peer_loa = 4, .distance = 3, .window = 0};
+    EXPECT_FALSE(cav::sharing_ground_truth(x));  // too far
+    x.context = {.peer_loa = 4, .distance = 1, .window = 1};
+    EXPECT_FALSE(cav::sharing_ground_truth(x));  // closing window, heavy capability
+    x.capability = 0;                            // sensing, needs 1
+    EXPECT_TRUE(cav::sharing_ground_truth(x));   // light capability still fine
+}
+
+TEST(CavSharing, ReferenceModelMatchesGroundTruth) {
+    auto model = cav::sharing_reference_model();
+    util::Rng rng(52);
+    for (int i = 0; i < 150; ++i) {
+        auto x = cav::sample_sharing_instance(rng);
+        bool predicted = asg::in_language(model, cav::sharing_tokens(x),
+                                          cav::sharing_context_program(x.context));
+        EXPECT_EQ(predicted, x.allowed);
+    }
+}
+
+TEST(CavSharing, LearnerRecoversSharingPolicy) {
+    util::Rng rng(53);
+    auto train = cav::sample_sharing_instances(90, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(cav::to_symbolic(x));
+    ilp::SymbolicPolicyClassifier clf(cav::sharing_asg(), cav::sharing_space());
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+    auto test = cav::sample_sharing_instances(200, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(cav::sharing_tokens(x), cav::sharing_context_program(x.context)) ==
+                   x.allowed;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 200.0, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// CAV neurosymbolic perception
+// ---------------------------------------------------------------------------
+
+TEST(Perception, ClassifiesNominalSensorsWell) {
+    util::Rng rng(61);
+    cav::WeatherPerception perception;
+    perception.fit(150, rng, 1.0);
+    EXPECT_GT(perception.holdout_accuracy(150, rng, 1.0), 0.9);
+}
+
+TEST(Perception, DegradesWithSensorNoise) {
+    util::Rng rng(62);
+    cav::WeatherPerception perception;
+    perception.fit(150, rng, 1.0);
+    double clean = perception.holdout_accuracy(150, rng, 0.5);
+    double noisy = perception.holdout_accuracy(150, rng, 4.0);
+    EXPECT_GT(clean, noisy);
+}
+
+TEST(Perception, PerceivedContextFeedsSymbolicPolicy) {
+    util::Rng rng(63);
+    cav::WeatherPerception perception;
+    perception.fit(200, rng, 0.5);  // near-perfect sensors
+    auto policy = cav::reference_model();
+    std::size_t agree = 0;
+    const int kTrials = 120;
+    for (int i = 0; i < kTrials; ++i) {
+        auto x = cav::sample_instance(rng);
+        auto reading = cav::sample_reading(x.env.weather, rng, 0.5);
+        bool perceived = asg::in_language(policy, cav::request_tokens(x),
+                                          perception.perceived_context(x.env, reading));
+        bool oracle = asg::in_language(policy, cav::request_tokens(x),
+                                       cav::context_program(x.env));
+        agree += perceived == oracle;
+    }
+    EXPECT_GT(static_cast<double>(agree) / kTrials, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Resupply
+// ---------------------------------------------------------------------------
+
+TEST(Resupply, GroundTruthRules) {
+    resupply::Plan plan{.route = 1 /*ridge*/, .slot = 0, .escort = 2};
+    resupply::MissionContext ctx{.threat = 2, .risk_appetite = 3, .weather = 2 /*storm*/};
+    EXPECT_FALSE(resupply::ground_truth(plan, ctx));  // ridge in storm
+    plan.route = 0;
+    EXPECT_TRUE(resupply::ground_truth(plan, ctx));
+    ctx.threat = 4;
+    EXPECT_FALSE(resupply::ground_truth(plan, ctx));  // too risky
+    ctx.threat = 2;
+    plan.slot = 1;
+    plan.escort = 1;
+    EXPECT_FALSE(resupply::ground_truth(plan, ctx));  // night without escort
+}
+
+TEST(Resupply, PlanningPhaseIsConservative) {
+    // Same plan, same conditions: acceptable in execution, rejected during
+    // planning (speculative weather demands a full escort).
+    resupply::Plan plan{.route = 0, .slot = 0, .escort = 1};
+    resupply::MissionContext ctx{.threat = 1, .risk_appetite = 3, .weather = 0,
+                                 .phase = resupply::Phase::Execution};
+    EXPECT_TRUE(resupply::ground_truth(plan, ctx));
+    ctx.phase = resupply::Phase::Planning;
+    EXPECT_FALSE(resupply::ground_truth(plan, ctx));
+}
+
+TEST(Resupply, ReferenceModelMatchesGroundTruth) {
+    auto model = resupply::reference_model();
+    util::Rng rng(45);
+    for (int i = 0; i < 150; ++i) {
+        auto x = resupply::sample_instance(rng);
+        bool predicted = asg::in_language(model, resupply::plan_tokens(x.plan),
+                                          resupply::context_program(x.context));
+        EXPECT_EQ(predicted, x.acceptable);
+    }
+}
+
+TEST(Resupply, CampaignAccuracyImprovesWithExperience) {
+    resupply::CampaignOptions options;
+    options.missions = 8;
+    options.plans_per_mission = 10;
+    options.eval_per_mission = 40;
+    options.risk_shift_at = 4;
+    auto outcomes = resupply::run_campaign(options);
+    ASSERT_EQ(outcomes.size(), 8u);
+    // Experience accumulates monotonically.
+    for (std::size_t m = 1; m < outcomes.size(); ++m) {
+        EXPECT_GT(outcomes[m].training_examples, outcomes[m - 1].training_examples);
+    }
+    // Accuracy improves with experience and ends near-perfect (evaluation
+    // is on random unseen contexts, so early missions generalize poorly).
+    EXPECT_GE(outcomes.back().accuracy, outcomes.front().accuracy);
+    EXPECT_GE(outcomes.back().accuracy, 0.9);
+    EXPECT_TRUE(outcomes.back().model_found);
+}
+
+TEST(Resupply, LearnerRecoversPolicy) {
+    util::Rng rng(46);
+    auto train = resupply::sample_instances(60, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(resupply::to_symbolic(x));
+    ilp::SymbolicPolicyClassifier clf(resupply::initial_asg(), resupply::hypothesis_space());
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+    auto test = resupply::sample_instances(150, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(resupply::plan_tokens(x.plan),
+                               resupply::context_program(x.context)) == x.acceptable;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 150.0, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Data sharing
+// ---------------------------------------------------------------------------
+
+TEST(Datashare, GroundTruthRules) {
+    datashare::Item item{.kind = 0, .quality = 3, .value = 2};
+    datashare::PartnerContext partner{.trust = 3};
+    EXPECT_TRUE(datashare::share_ground_truth(item, partner));
+    partner.trust = 1;
+    EXPECT_FALSE(datashare::share_ground_truth(item, partner));  // value above trust
+    partner.trust = 3;
+    item.quality = 1;
+    EXPECT_FALSE(datashare::share_ground_truth(item, partner));  // junk quality
+    item = {.kind = 1 /*audio*/, .quality = 4, .value = 0};
+    partner.trust = 1;
+    EXPECT_FALSE(datashare::share_ground_truth(item, partner));  // audio to low trust
+}
+
+TEST(Datashare, ReferenceModelMatchesGroundTruth) {
+    auto model = datashare::share_reference_model();
+    util::Rng rng(47);
+    for (int i = 0; i < 150; ++i) {
+        auto x = datashare::sample_share_instance(rng);
+        bool predicted = asg::in_language(model, datashare::share_tokens(x.item),
+                                          datashare::share_context(x.partner));
+        EXPECT_EQ(predicted, x.share);
+    }
+}
+
+TEST(Datashare, LearnerRecoversSharingPolicy) {
+    util::Rng rng(48);
+    auto train = datashare::sample_share_instances(60, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(datashare::to_symbolic(x));
+    ilp::SymbolicPolicyClassifier clf(datashare::share_asg(), datashare::share_space());
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+    auto test = datashare::sample_share_instances(150, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(datashare::share_tokens(x.item),
+                               datashare::share_context(x.partner)) == x.share;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 150.0, 0.95);
+}
+
+TEST(Datashare, ServiceSelectionGroundTruth) {
+    datashare::PartnerContext trusted{.trust = 3};
+    datashare::PartnerContext shady{.trust = 1};
+    // vision_scorer on image, trusted partner: fine.
+    EXPECT_TRUE(datashare::service_ground_truth(0, 0, trusted));
+    EXPECT_FALSE(datashare::service_ground_truth(0, 1, trusted));  // vision on audio
+    EXPECT_FALSE(datashare::service_ground_truth(0, 0, shady));    // low trust
+    EXPECT_TRUE(datashare::service_ground_truth(3, 0, shady));     // redactor always ok
+}
+
+TEST(Datashare, LearnerRecoversServiceSelection) {
+    util::Rng rng(49);
+    auto train = datashare::sample_service_instances(80, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(datashare::to_symbolic(x));
+    ilp::LearnOptions options;
+    options.max_cost = 30;
+    ilp::SymbolicPolicyClassifier clf(datashare::service_asg(), datashare::service_space(), options);
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+    auto test = datashare::sample_service_instances(150, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(datashare::service_tokens(x.service, x.kind),
+                               datashare::share_context(x.partner)) == x.valid;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 150.0, 0.93);
+}
+
+// ---------------------------------------------------------------------------
+// Federated learning
+// ---------------------------------------------------------------------------
+
+TEST(Fedlearn, GroundTruthActionGates) {
+    fedlearn::Insight good{.trust = 4, .accuracy = 9, .staleness = 0};
+    EXPECT_TRUE(fedlearn::ground_truth(0, good));   // adopt
+    EXPECT_TRUE(fedlearn::ground_truth(1, good));   // combine
+    EXPECT_TRUE(fedlearn::ground_truth(2, good));   // retrain
+    fedlearn::Insight stale{.trust = 4, .accuracy = 9, .staleness = 4};
+    EXPECT_FALSE(fedlearn::ground_truth(0, stale));
+    EXPECT_TRUE(fedlearn::ground_truth(1, stale));
+    fedlearn::Insight untrusted{.trust = 0, .accuracy = 9, .staleness = 0};
+    EXPECT_FALSE(fedlearn::ground_truth(2, untrusted));
+}
+
+TEST(Fedlearn, ReferenceModelAllowedActions) {
+    auto model = fedlearn::reference_model();
+    fedlearn::Insight good{.trust = 4, .accuracy = 9, .staleness = 0};
+    auto allowed = fedlearn::allowed_actions(model, good);
+    EXPECT_EQ(allowed, (std::vector<std::string>{"adopt", "combine", "retrain"}));
+    fedlearn::Insight meh{.trust = 2, .accuracy = 6, .staleness = 3};
+    EXPECT_EQ(fedlearn::allowed_actions(model, meh),
+              (std::vector<std::string>{"combine", "retrain"}));
+}
+
+TEST(Fedlearn, ReferenceModelMatchesGroundTruth) {
+    auto model = fedlearn::reference_model();
+    util::Rng rng(50);
+    for (int i = 0; i < 200; ++i) {
+        auto x = fedlearn::sample_instance(rng);
+        bool predicted = asg::in_language(model, fedlearn::action_tokens(x.action),
+                                          fedlearn::context_program(x.insight));
+        EXPECT_EQ(predicted, x.allowed);
+    }
+}
+
+TEST(Fedlearn, LearnerRecoversGovernancePolicy) {
+    util::Rng rng(51);
+    auto train = fedlearn::sample_instances(150, rng);
+    std::vector<ilp::LabelledExample> examples;
+    for (const auto& x : train) examples.push_back(fedlearn::to_symbolic(x));
+    ilp::LearnOptions options;
+    options.max_cost = 30;
+    ilp::SymbolicPolicyClassifier clf(fedlearn::initial_asg(), fedlearn::hypothesis_space(), options);
+    ASSERT_TRUE(clf.fit(examples)) << clf.last_result().failure_reason;
+    auto test = fedlearn::sample_instances(200, rng);
+    std::size_t correct = 0;
+    for (const auto& x : test) {
+        correct += clf.predict(fedlearn::action_tokens(x.action),
+                               fedlearn::context_program(x.insight)) == x.allowed;
+    }
+    EXPECT_GT(static_cast<double>(correct) / 200.0, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-scenario properties
+// ---------------------------------------------------------------------------
+
+// Definition-3 soundness: whatever hypothesis the learner returns must
+// classify every training example correctly (positives accepted, negatives
+// rejected) under full ASG membership.
+class LearnerSoundnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LearnerSoundnessSweep, HypothesisConsistentWithTrainingSet) {
+    util::Rng rng(GetParam());
+    auto train = cav::sample_instances(30, rng);
+    ilp::LearningTask task;
+    task.initial = cav::initial_asg();
+    task.space = cav::hypothesis_space();
+    for (const auto& x : train) {
+        auto ex = cav::to_symbolic(x);
+        auto& bucket = ex.accepted ? task.positive : task.negative;
+        bucket.emplace_back(ex.request, ex.context);
+    }
+    auto result = ilp::learn(task);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned = task.initial.with_rules(result.hypothesis);
+    for (const auto& ex : task.positive) {
+        EXPECT_TRUE(asg::in_language(learned, ex.string, ex.context))
+            << cfg::detokenize(ex.string);
+    }
+    for (const auto& ex : task.negative) {
+        EXPECT_FALSE(asg::in_language(learned, ex.string, ex.context))
+            << cfg::detokenize(ex.string);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnerSoundnessSweep,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// Reference-model agreement: each scenario's hand-written GPM and its
+// ground-truth function agree on every sampled instance (guards against
+// the two drifting apart as scenarios evolve).
+TEST(ScenarioConsistency, AllReferenceModelsTrackGroundTruth) {
+    util::Rng rng(909);
+    auto cav_model = cav::reference_model();
+    auto share_model = datashare::share_reference_model();
+    auto fed_model = fedlearn::reference_model();
+    for (int i = 0; i < 60; ++i) {
+        auto a = cav::sample_instance(rng);
+        EXPECT_EQ(asg::in_language(cav_model, cav::request_tokens(a),
+                                   cav::context_program(a.env)),
+                  a.accepted);
+        auto b = datashare::sample_share_instance(rng);
+        EXPECT_EQ(asg::in_language(share_model, datashare::share_tokens(b.item),
+                                   datashare::share_context(b.partner)),
+                  b.share);
+        auto c = fedlearn::sample_instance(rng);
+        EXPECT_EQ(asg::in_language(fed_model, fedlearn::action_tokens(c.action),
+                                   fedlearn::context_program(c.insight)),
+                  c.allowed);
+    }
+}
+
+}  // namespace
+}  // namespace agenp::scenarios

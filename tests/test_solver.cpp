@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "asp/stratify.hpp"
+
+namespace agenp::asp {
+namespace {
+
+// Answer sets of `text` as sets of atom strings, sorted for comparison.
+std::set<std::vector<std::string>> answer_sets(std::string_view text, std::size_t max_models = 0) {
+    auto gp = ground(parse_program(text));
+    auto result = solve(gp, {.max_models = max_models});
+    EXPECT_FALSE(result.exhausted);
+    std::set<std::vector<std::string>> out;
+    for (const auto& m : result.models) out.insert(model_to_strings(gp, m));
+    return out;
+}
+
+TEST(Solver, FactsYieldSingleModel) {
+    auto models = answer_sets("p. q(1).");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), (std::vector<std::string>{"p", "q(1)"}));
+}
+
+TEST(Solver, DefiniteRulesDeriveClosure) {
+    auto models = answer_sets("p. q :- p. r :- q.");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), (std::vector<std::string>{"p", "q", "r"}));
+}
+
+TEST(Solver, NegationAsFailure) {
+    auto models = answer_sets("q :- not p.");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), (std::vector<std::string>{"q"}));
+}
+
+TEST(Solver, EvenLoopGivesTwoAnswerSets) {
+    auto models = answer_sets("p :- not q. q :- not p.");
+    ASSERT_EQ(models.size(), 2u);
+    EXPECT_TRUE(models.contains({"p"}));
+    EXPECT_TRUE(models.contains({"q"}));
+}
+
+TEST(Solver, OddLoopIsUnsatisfiable) {
+    auto models = answer_sets("p :- not p.");
+    EXPECT_TRUE(models.empty());
+}
+
+TEST(Solver, PositiveLoopIsUnfounded) {
+    // p and q support each other positively: the empty set is the unique
+    // answer set; {p, q} is a supported model but not stable.
+    auto models = answer_sets("p :- q. q :- p.");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), std::vector<std::string>{});
+}
+
+TEST(Solver, PositiveLoopWithExternalSupport) {
+    auto models = answer_sets("p :- q. q :- p. q :- r. r.");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), (std::vector<std::string>{"p", "q", "r"}));
+}
+
+TEST(Solver, LoopThroughNegationChoice) {
+    // Choice between a and b via even loop, with a constraint killing b.
+    auto models = answer_sets(R"(
+        a :- not b.
+        b :- not a.
+        :- b.
+    )");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), std::vector<std::string>{"a"});
+}
+
+TEST(Solver, ConstraintEliminatesModels) {
+    auto models = answer_sets("p. :- p.");
+    EXPECT_TRUE(models.empty());
+}
+
+TEST(Solver, EmptyConstraintIsUnsat) {
+    Program p;
+    p.add(Rule::constraint({}));
+    auto gp = ground(p);
+    EXPECT_FALSE(satisfiable(gp));
+}
+
+TEST(Solver, EmptyProgramHasEmptyAnswerSet) {
+    auto models = answer_sets("");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_TRUE(models.begin()->empty());
+}
+
+TEST(Solver, NegativeConstraintForcesDerivation) {
+    // :- not p requires p, which is only derivable via choosing a.
+    auto models = answer_sets(R"(
+        a :- not b.
+        b :- not a.
+        p :- a.
+        :- not p.
+    )");
+    ASSERT_EQ(models.size(), 1u);
+    EXPECT_EQ(*models.begin(), (std::vector<std::string>{"a", "p"}));
+}
+
+TEST(Solver, ThreeWayChoiceEnumeration) {
+    // Pairwise exclusion over {a, b, c} gives exactly three answer sets.
+    auto models = answer_sets(R"(
+        a :- not b, not c.
+        b :- not a, not c.
+        c :- not a, not b.
+    )");
+    ASSERT_EQ(models.size(), 3u);
+    EXPECT_TRUE(models.contains({"a"}));
+    EXPECT_TRUE(models.contains({"b"}));
+    EXPECT_TRUE(models.contains({"c"}));
+}
+
+TEST(Solver, MaxModelsCapsEnumeration) {
+    auto gp = ground(parse_program("p :- not q. q :- not p."));
+    auto result = solve(gp, {.max_models = 1});
+    EXPECT_EQ(result.models.size(), 1u);
+}
+
+TEST(Solver, GroundedVariablesBehaveClassically) {
+    auto models = answer_sets(R"(
+        item(1). item(2). item(3).
+        cheap(X) :- item(X), X <= 2.
+        expensive(X) :- item(X), not cheap(X).
+    )");
+    ASSERT_EQ(models.size(), 1u);
+    auto& m = *models.begin();
+    EXPECT_TRUE(std::count(m.begin(), m.end(), "expensive(3)") == 1);
+    EXPECT_TRUE(std::count(m.begin(), m.end(), "cheap(1)") == 1);
+    EXPECT_TRUE(std::count(m.begin(), m.end(), "expensive(1)") == 0);
+}
+
+TEST(Solver, TransitiveClosureWithNegation) {
+    auto models = answer_sets(R"(
+        e(1,2). e(2,3). node(1). node(2). node(3).
+        r(X,Y) :- e(X,Y).
+        r(X,Z) :- r(X,Y), e(Y,Z).
+        unreachable(X) :- node(X), not r(1,X).
+    )");
+    ASSERT_EQ(models.size(), 1u);
+    auto& m = *models.begin();
+    EXPECT_EQ(std::count(m.begin(), m.end(), "unreachable(1)"), 1);
+    EXPECT_EQ(std::count(m.begin(), m.end(), "unreachable(2)"), 0);
+    EXPECT_EQ(std::count(m.begin(), m.end(), "r(1,3)"), 1);
+}
+
+TEST(Solver, DecisionBudgetSurfacesAsExhausted) {
+    // 2^12 assignments with a tiny decision budget: the search must give up
+    // and say so rather than claiming unsatisfiability.
+    std::string text;
+    for (int i = 0; i < 12; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+    }
+    auto gp = ground(parse_program(text));
+    auto result = solve(gp, {.max_models = 0, .max_decisions = 3});
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(Solver, SatisfiableHelper) {
+    EXPECT_TRUE(satisfiable(ground(parse_program("p."))));
+    EXPECT_FALSE(satisfiable(ground(parse_program("p. :- p."))));
+}
+
+TEST(Solver, ModelToStringsSorts) {
+    auto gp = ground(parse_program("zebra. apple."));
+    auto result = solve(gp, {.max_models = 1});
+    ASSERT_EQ(result.models.size(), 1u);
+    auto strs = model_to_strings(gp, result.models[0]);
+    EXPECT_EQ(strs, (std::vector<std::string>{"apple", "zebra"}));
+}
+
+// Property sweep: programs built from independent even loops have 2^k
+// answer sets.
+class EvenLoopSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvenLoopSweep, CountsArePowersOfTwo) {
+    int k = GetParam();
+    std::string text;
+    for (int i = 0; i < k; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+    }
+    auto models = answer_sets(text);
+    EXPECT_EQ(models.size(), static_cast<std::size_t>(1) << k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EvenLoopSweep, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Stratify, DefiniteProgramIsStratified) {
+    EXPECT_TRUE(is_stratified(parse_program("p. q :- p.")));
+}
+
+TEST(Stratify, NegationWithoutCycleIsStratified) {
+    EXPECT_TRUE(is_stratified(parse_program("q :- not p. r :- q, not s.")));
+}
+
+TEST(Stratify, EvenLoopIsNotStratified) {
+    EXPECT_FALSE(is_stratified(parse_program("p :- not q. q :- not p.")));
+}
+
+TEST(Stratify, PositiveCycleIsStratified) {
+    EXPECT_TRUE(is_stratified(parse_program("p :- q. q :- p.")));
+}
+
+TEST(Stratify, ConstraintsDoNotAffectStratification) {
+    EXPECT_TRUE(is_stratified(parse_program("p. :- p, not p.")));
+}
+
+TEST(Stratify, AnnotatedPredicatesAreDistinct) {
+    // p@1 and p are different predicates; no cycle here.
+    Program prog;
+    prog.add(parse_rule("p :- not q."));
+    prog.add(parse_rule("q :- r."));
+    EXPECT_TRUE(is_stratified(prog));
+}
+
+}  // namespace
+}  // namespace agenp::asp

@@ -1,0 +1,163 @@
+// Differential testing of the answer-set solver.
+//
+// A brute-force reference implementation enumerates every subset of atoms
+// and checks the stable-model definition directly (I is an answer set iff I
+// satisfies all constraints and I equals the least model of the reduct
+// P^I). The production solver must agree on every program of several
+// random families.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asp/grounder.hpp"
+#include "asp/parser.hpp"
+#include "asp/solver.hpp"
+#include "util/rng.hpp"
+
+namespace agenp::asp {
+namespace {
+
+// All answer sets by brute force. Only for tiny programs (2^n subsets).
+std::set<std::vector<AtomId>> reference_answer_sets(const GroundProgram& gp) {
+    std::size_t n = gp.atom_count();
+    EXPECT_LE(n, 16u) << "reference checker is exponential";
+    std::set<std::vector<AtomId>> result;
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+        auto in = [&](AtomId a) { return (bits >> a) & 1u; };
+
+        // Constraints: no satisfied body.
+        bool ok = true;
+        for (const auto& r : gp.rules()) {
+            if (!r.is_constraint()) continue;
+            bool body = true;
+            for (auto p : r.pos) body &= in(p) != 0;
+            for (auto q : r.neg) body &= in(q) == 0;
+            if (body) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) continue;
+
+        // Least model of the reduct.
+        std::vector<char> lm(n, 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto& r : gp.rules()) {
+                if (r.is_constraint()) continue;
+                bool blocked = false;
+                for (auto q : r.neg) blocked |= in(q) != 0;
+                if (blocked) continue;
+                bool body = true;
+                for (auto p : r.pos) body &= lm[static_cast<std::size_t>(p)] != 0;
+                if (body && !lm[static_cast<std::size_t>(r.head)]) {
+                    lm[static_cast<std::size_t>(r.head)] = 1;
+                    changed = true;
+                }
+            }
+        }
+        bool stable = true;
+        for (std::size_t a = 0; a < n; ++a) {
+            if ((lm[a] != 0) != (in(static_cast<AtomId>(a)) != 0)) {
+                stable = false;
+                break;
+            }
+        }
+        if (!stable) continue;
+
+        std::vector<AtomId> model;
+        for (std::size_t a = 0; a < n; ++a) {
+            if (in(static_cast<AtomId>(a))) model.push_back(static_cast<AtomId>(a));
+        }
+        result.insert(std::move(model));
+    }
+    return result;
+}
+
+void expect_agreement(const std::string& text) {
+    auto gp = ground(parse_program(text));
+    auto expected = reference_answer_sets(gp);
+    auto got = solve(gp, {.max_models = 0});
+    EXPECT_FALSE(got.exhausted);
+    std::set<std::vector<AtomId>> actual(got.models.begin(), got.models.end());
+    EXPECT_EQ(actual, expected) << "program:\n" << text << "ground:\n" << gp.to_string();
+}
+
+TEST(SolverReference, HandPickedPrograms) {
+    expect_agreement("p. q :- p. r :- q, not s.");
+    expect_agreement("a :- not b. b :- not a.");
+    expect_agreement("a :- not b. b :- not a. :- a.");
+    expect_agreement("p :- not p.");
+    expect_agreement("p :- q. q :- p.");
+    expect_agreement("p :- q. q :- p. q :- r. r :- not s.");
+    expect_agreement("x :- not y, not z. y :- not x, not z. z :- not x, not y.");
+    expect_agreement(":- not p. p :- not q. q :- not p.");
+    expect_agreement("a. b :- a, not c. c :- a, not b. :- b, c.");
+}
+
+// Random program family: n atoms, m rules with random heads, random bodies
+// of up to 3 literals with random signs, ~15% constraints.
+std::string random_program(util::Rng& rng, int atoms, int rules) {
+    auto atom = [&](int i) { return "a" + std::to_string(i); };
+    std::string text;
+    for (int r = 0; r < rules; ++r) {
+        std::string rule;
+        bool constraint = rng.bernoulli(0.15);
+        if (!constraint) rule += atom(static_cast<int>(rng.uniform(0, atoms - 1)));
+        auto body_len = rng.uniform(constraint ? 1 : 0, 3);
+        if (body_len > 0) rule += rule.empty() ? ":- " : " :- ";
+        for (int b = 0; b < body_len; ++b) {
+            if (b > 0) rule += ", ";
+            if (rng.bernoulli(0.4)) rule += "not ";
+            rule += atom(static_cast<int>(rng.uniform(0, atoms - 1)));
+        }
+        text += rule + ".\n";
+    }
+    return text;
+}
+
+class RandomProgramSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgramSweep, SolverMatchesReference) {
+    util::Rng rng(GetParam());
+    for (int trial = 0; trial < 40; ++trial) {
+        int atoms = static_cast<int>(rng.uniform(2, 8));
+        int rules = static_cast<int>(rng.uniform(1, 12));
+        auto text = random_program(rng, atoms, rules);
+        SCOPED_TRACE(text);
+        expect_agreement(text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// Random positive-loop-heavy family (stresses the stability check).
+class LoopProgramSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoopProgramSweep, SolverMatchesReference) {
+    util::Rng rng(GetParam() * 977);
+    for (int trial = 0; trial < 25; ++trial) {
+        int atoms = static_cast<int>(rng.uniform(3, 7));
+        std::string text;
+        // A ring of positive dependencies plus random negative escapes.
+        for (int i = 0; i < atoms; ++i) {
+            text += "a" + std::to_string(i) + " :- a" + std::to_string((i + 1) % atoms) + ".\n";
+        }
+        int extras = static_cast<int>(rng.uniform(1, 4));
+        for (int e = 0; e < extras; ++e) {
+            int from = static_cast<int>(rng.uniform(0, atoms - 1));
+            int to = static_cast<int>(rng.uniform(0, atoms - 1));
+            text += "a" + std::to_string(from) + " :- not a" + std::to_string(to) + ".\n";
+        }
+        SCOPED_TRACE(text);
+        expect_agreement(text);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopProgramSweep, ::testing::Values(11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace agenp::asp

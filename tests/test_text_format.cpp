@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "xacml/generator.hpp"
+#include "xacml/text_format.hpp"
+
+namespace agenp::xacml {
+namespace {
+
+TEST(SchemaText, RoundTrips) {
+    auto schema = healthcare_schema();
+    auto text = schema_to_text(schema, "healthcare");
+    auto reparsed = parse_schema(text);
+    ASSERT_EQ(reparsed.size(), schema.size());
+    for (std::size_t i = 0; i < schema.size(); ++i) {
+        EXPECT_EQ(reparsed.attributes[i].name, schema.attributes[i].name);
+        EXPECT_EQ(reparsed.attributes[i].numeric, schema.attributes[i].numeric);
+        EXPECT_EQ(reparsed.attributes[i].category, schema.attributes[i].category);
+        EXPECT_EQ(reparsed.attributes[i].values, schema.attributes[i].values);
+        EXPECT_EQ(reparsed.attributes[i].min, schema.attributes[i].min);
+        EXPECT_EQ(reparsed.attributes[i].max, schema.attributes[i].max);
+    }
+}
+
+TEST(SchemaText, RejectsMalformedInput) {
+    EXPECT_THROW(parse_schema(""), FormatError);
+    EXPECT_THROW(parse_schema("schema s\nattr x subject weird"), FormatError);
+    EXPECT_THROW(parse_schema("schema s\nattr x nowhere categorical a"), FormatError);
+    EXPECT_THROW(parse_schema("schema s\nattr x subject numeric 1"), FormatError);
+    EXPECT_THROW(parse_schema("schema s\nattr x subject categorical"), FormatError);
+}
+
+TEST(PolicyText, RoundTripPreservesSemantics) {
+    auto schema = healthcare_schema();
+    for (std::uint64_t seed : {3u, 14u, 77u}) {
+        auto policy = default_permit_family(schema, {.deny_rules = 3, .seed = seed});
+        auto text = policy_to_text(policy, schema);
+        auto reparsed = parse_policy(text, schema);
+        for (const auto& r : enumerate_requests(schema)) {
+            EXPECT_EQ(evaluate(policy, r), evaluate(reparsed, r)) << text;
+        }
+    }
+}
+
+TEST(PolicyText, ParsesOperatorsAndTargets) {
+    auto schema = healthcare_schema();
+    auto policy = parse_policy(R"(
+        policy p1 first-applicable
+        target dept=er
+        rule d1 deny hour<2 action=delete
+        rule d2 deny role!=doctor action=write
+        rule ok permit any
+    )", schema);
+    EXPECT_EQ(policy.alg, CombiningAlg::FirstApplicable);
+    ASSERT_EQ(policy.rules.size(), 3u);
+    EXPECT_EQ(policy.target.all_of.size(), 1u);
+    EXPECT_EQ(policy.rules[0].target.all_of[0].op, Match::Op::Lt);
+    EXPECT_EQ(policy.rules[1].target.all_of[0].op, Match::Op::Ne);
+    EXPECT_TRUE(policy.rules[2].target.all_of.empty());
+}
+
+TEST(PolicyText, RejectsBadPolicies) {
+    auto schema = healthcare_schema();
+    EXPECT_THROW(parse_policy("rule r permit any", schema), FormatError);  // no header
+    EXPECT_THROW(parse_policy("policy p frobnicate", schema), FormatError);
+    EXPECT_THROW(parse_policy("policy p deny-overrides\nrule r maybe any", schema), FormatError);
+    EXPECT_THROW(parse_policy("policy p deny-overrides\nrule r deny rank=x", schema), FormatError);
+    EXPECT_THROW(parse_policy("policy p deny-overrides\nrule r deny hour=abc", schema), FormatError);
+}
+
+TEST(RequestText, RoundTrips) {
+    auto schema = healthcare_schema();
+    util::Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        auto r = sample_request(schema, rng);
+        auto text = request_to_text(r, schema);
+        auto reparsed = parse_request(text, schema);
+        EXPECT_EQ(reparsed.to_string(schema), r.to_string(schema));
+    }
+}
+
+TEST(RequestText, ValidatesAttributes) {
+    auto schema = healthcare_schema();
+    EXPECT_THROW(parse_request("role=doctor", schema), FormatError);  // missing attrs
+    EXPECT_THROW(parse_request(
+        "role=doctor dept=er action=read resource=record hour=3 extra=1", schema), FormatError);
+    EXPECT_THROW(parse_request(
+        "role=doctor dept=er action=read resource=record hour=late", schema), FormatError);
+}
+
+}  // namespace
+}  // namespace agenp::xacml

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/symbol.hpp"
+#include "util/table.hpp"
+
+namespace agenp::util {
+namespace {
+
+TEST(Symbol, InterningIsIdempotent) {
+    Symbol a("hello");
+    Symbol b("hello");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(a.str(), "hello");
+}
+
+TEST(Symbol, DistinctStringsGetDistinctIds) {
+    Symbol a("alpha");
+    Symbol b("beta");
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.id(), b.id());
+}
+
+TEST(Symbol, DefaultIsEmptySymbol) {
+    Symbol s;
+    EXPECT_EQ(s.str(), "");
+    EXPECT_EQ(s, Symbol(""));
+}
+
+TEST(Symbol, HashMatchesEquality) {
+    std::hash<Symbol> h;
+    EXPECT_EQ(h(Symbol("x")), h(Symbol("x")));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next()) ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.uniform(-3, 9);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, Uniform01StaysInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformCoversAllValues) {
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(0, 4));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+    Rng rng(3);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    rng.shuffle(v);
+    std::multiset<int> ms(v.begin(), v.end());
+    EXPECT_EQ(ms, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+    auto parts = split("a,,b,c,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWhitespace) {
+    auto parts = split_ws("  foo \t bar\nbaz ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "bar");
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, VariableNameDetection) {
+    EXPECT_TRUE(is_variable_name("X"));
+    EXPECT_TRUE(is_variable_name("_foo"));
+    EXPECT_FALSE(is_variable_name("x"));
+    EXPECT_FALSE(is_variable_name(""));
+}
+
+TEST(Strings, IntegerDetection) {
+    EXPECT_TRUE(is_integer("42"));
+    EXPECT_TRUE(is_integer("-7"));
+    EXPECT_FALSE(is_integer("4x"));
+    EXPECT_FALSE(is_integer("-"));
+    EXPECT_FALSE(is_integer(""));
+}
+
+TEST(Table, RendersAlignedColumns) {
+    Table t({"name", "value"});
+    t.add("alpha", 3);
+    t.add("b", 12345);
+    auto s = t.render();
+    EXPECT_NE(s.find("| name  |"), std::string::npos);
+    EXPECT_NE(s.find("| alpha |"), std::string::npos);
+    EXPECT_NE(s.find("12345"), std::string::npos);
+}
+
+TEST(Table, FormatsDoublesWithThreeDecimals) {
+    Table t({"v"});
+    t.add(0.5);
+    EXPECT_NE(t.render().find("0.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agenp::util

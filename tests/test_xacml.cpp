@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "xacml/learning_bridge.hpp"
+#include "xacml/quality_filter.hpp"
+
+namespace agenp::xacml {
+namespace {
+
+Request make_request(const Schema& s, std::vector<std::string> cats, std::int64_t hour) {
+    Request r;
+    std::size_t ci = 0;
+    for (const auto& def : s.attributes) {
+        if (def.numeric) {
+            r.values.push_back(AttributeValue::of(hour));
+        } else {
+            r.values.push_back(AttributeValue::of(cats[ci++]));
+        }
+    }
+    return r;
+}
+
+// A hand-written ground truth: deny guests on records, deny deletes outside
+// hour >= 2, otherwise permit.
+XacmlPolicy handwritten(const Schema& s) {
+    XacmlPolicy p;
+    p.id = "hand";
+    p.alg = CombiningAlg::DenyOverrides;
+    XacmlRule d1;
+    d1.id = "no-guests-on-records";
+    d1.effect = Effect::Deny;
+    d1.target.all_of.push_back({static_cast<std::size_t>(s.index_of("role")), Match::Op::Eq,
+                                AttributeValue::of(std::string("guest"))});
+    d1.target.all_of.push_back({static_cast<std::size_t>(s.index_of("resource")), Match::Op::Eq,
+                                AttributeValue::of(std::string("record"))});
+    XacmlRule d2;
+    d2.id = "no-early-deletes";
+    d2.effect = Effect::Deny;
+    d2.target.all_of.push_back({static_cast<std::size_t>(s.index_of("action")), Match::Op::Eq,
+                                AttributeValue::of(std::string("delete"))});
+    d2.target.all_of.push_back({static_cast<std::size_t>(s.index_of("hour")), Match::Op::Lt,
+                                AttributeValue::of(2)});
+    XacmlRule permit;
+    permit.id = "permit-all";
+    permit.effect = Effect::Permit;
+    p.rules = {d1, d2, permit};
+    return p;
+}
+
+TEST(Schema, HealthcareShape) {
+    auto s = healthcare_schema();
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.index_of("role"), 0);
+    EXPECT_EQ(s.index_of("missing"), -1);
+    EXPECT_DOUBLE_EQ(s.request_space_size(), 4.0 * 3 * 3 * 2 * 6);
+}
+
+TEST(Schema, EnumerationCoversTheSpace) {
+    auto s = healthcare_schema();
+    auto all = enumerate_requests(s);
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(s.request_space_size()));
+}
+
+TEST(Schema, EnumerationRefusesHugeSpaces) {
+    auto s = healthcare_schema();
+    EXPECT_THROW(enumerate_requests(s, 10), std::runtime_error);
+}
+
+TEST(Evaluator, DenyOverridesSemantics) {
+    auto s = healthcare_schema();
+    auto p = handwritten(s);
+    EXPECT_EQ(evaluate(p, make_request(s, {"guest", "er", "read", "record"}, 3)), Decision::Deny);
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "read", "record"}, 3)), Decision::Permit);
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "delete", "report"}, 1)), Decision::Deny);
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "delete", "report"}, 2)), Decision::Permit);
+}
+
+TEST(Evaluator, PolicyTargetGatesEverything) {
+    auto s = healthcare_schema();
+    auto p = handwritten(s);
+    p.target.all_of.push_back({static_cast<std::size_t>(s.index_of("dept")), Match::Op::Eq,
+                               AttributeValue::of(std::string("cardio"))});
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "read", "record"}, 3)),
+              Decision::NotApplicable);
+}
+
+TEST(Evaluator, FirstApplicableStopsAtFirstHit) {
+    auto s = healthcare_schema();
+    XacmlPolicy p;
+    p.alg = CombiningAlg::FirstApplicable;
+    XacmlRule permit_doctors;
+    permit_doctors.effect = Effect::Permit;
+    permit_doctors.target.all_of.push_back({0, Match::Op::Eq, AttributeValue::of(std::string("doctor"))});
+    XacmlRule deny_all;
+    deny_all.effect = Effect::Deny;
+    p.rules = {permit_doctors, deny_all};
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "read", "record"}, 0)), Decision::Permit);
+    EXPECT_EQ(evaluate(p, make_request(s, {"nurse", "er", "read", "record"}, 0)), Decision::Deny);
+}
+
+TEST(Evaluator, PermitOverrides) {
+    auto s = healthcare_schema();
+    XacmlPolicy p;
+    p.alg = CombiningAlg::PermitOverrides;
+    XacmlRule deny_all;
+    deny_all.effect = Effect::Deny;
+    XacmlRule permit_doctors;
+    permit_doctors.effect = Effect::Permit;
+    permit_doctors.target.all_of.push_back({0, Match::Op::Eq, AttributeValue::of(std::string("doctor"))});
+    p.rules = {deny_all, permit_doctors};
+    EXPECT_EQ(evaluate(p, make_request(s, {"doctor", "er", "read", "record"}, 0)), Decision::Permit);
+    EXPECT_EQ(evaluate(p, make_request(s, {"guest", "er", "read", "record"}, 0)), Decision::Deny);
+}
+
+TEST(Evaluator, NoApplicableRuleIsNotApplicable) {
+    auto s = healthcare_schema();
+    auto p = default_permit_family(s, {.deny_rules = 1, .catch_all_permit = false, .seed = 3});
+    // Some request misses the lone deny rule; without catch-all it is NA.
+    auto all = enumerate_requests(s);
+    bool found_na = false;
+    for (const auto& r : all) {
+        if (evaluate(p, r) == Decision::NotApplicable) {
+            found_na = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_na);
+}
+
+TEST(Generator, DefaultPermitFamilyHasMixedDecisions) {
+    auto s = healthcare_schema();
+    auto p = default_permit_family(s, {.deny_rules = 3, .seed = 11});
+    auto all = enumerate_requests(s);
+    std::size_t permits = 0, denies = 0;
+    for (const auto& r : all) {
+        auto d = evaluate(p, r);
+        permits += d == Decision::Permit;
+        denies += d == Decision::Deny;
+    }
+    EXPECT_GT(permits, 0u);
+    EXPECT_GT(denies, 0u);
+    EXPECT_EQ(permits + denies, all.size());  // catch-all: no NA
+}
+
+TEST(Generator, SeedsAreDeterministic) {
+    auto s = healthcare_schema();
+    auto a = default_permit_family(s, {.seed = 5});
+    auto b = default_permit_family(s, {.seed = 5});
+    EXPECT_EQ(a.to_string(s), b.to_string(s));
+}
+
+TEST(Generator, NoiseInjectionRates) {
+    auto s = healthcare_schema();
+    auto p = default_permit_family(s, {.seed = 2});
+    util::Rng rng(9);
+    auto log = evaluate_batch(p, sample_requests(s, 500, rng));
+    auto noisy = log;
+    inject_noise(noisy, {.not_applicable_prob = 0.3, .seed = 4});
+    std::size_t na = 0;
+    for (const auto& e : noisy) na += e.decision == Decision::NotApplicable;
+    EXPECT_GT(na, 100u);
+    EXPECT_LT(na, 200u);
+}
+
+TEST(Bridge, RequestTokensRoundTripThroughGrammar) {
+    auto s = healthcare_schema();
+    auto bridge = make_bridge(s);
+    auto r = make_request(s, {"doctor", "er", "read", "record"}, 3);
+    auto tokens = request_tokens(s, r);
+    EXPECT_EQ(cfg::detokenize(tokens), "role=doctor dept=er action=read resource=record hour=3");
+    // Syntactically valid, and accepted by the unconstrained initial ASG.
+    EXPECT_TRUE(asg::in_language(bridge.grammar, tokens));
+}
+
+TEST(Bridge, SpaceMentionsEveryAttribute) {
+    auto s = healthcare_schema();
+    auto bridge = make_bridge(s);
+    std::set<std::string> preds;
+    for (const auto& c : bridge.space.candidates) {
+        for (const auto& l : c.rule.body) preds.insert(std::string(l.atom.predicate.str()));
+    }
+    for (const auto& def : s.attributes) EXPECT_TRUE(preds.contains(def.name)) << def.name;
+}
+
+TEST(Bridge, TargetRestrictionFiltersSpace) {
+    auto s = healthcare_schema();
+    BridgeOptions opts;
+    opts.required_attributes = {"resource"};
+    auto restricted = make_bridge(s, opts);
+    auto full = make_bridge(s);
+    EXPECT_LT(restricted.space.candidates.size(), full.space.candidates.size());
+    for (const auto& c : restricted.space.candidates) {
+        bool mentions = false;
+        for (const auto& l : c.rule.body) mentions |= l.atom.predicate.str() == "resource";
+        EXPECT_TRUE(mentions);
+    }
+}
+
+TEST(Learning, RecoversHandwrittenPolicyExactly) {
+    auto s = healthcare_schema();
+    auto truth = handwritten(s);
+    auto bridge = make_bridge(s);
+    util::Rng rng(21);
+    auto log = evaluate_batch(truth, sample_requests(s, 300, rng));
+    auto result = learn_policy(bridge, log);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned = bridge.grammar.with_rules(result.hypothesis);
+    // Exact semantic equivalence over the full request space.
+    EXPECT_DOUBLE_EQ(agreement(bridge, learned, truth, enumerate_requests(s)), 1.0);
+}
+
+TEST(Learning, LearnedPolicyTranslatesToXacml) {
+    auto s = healthcare_schema();
+    auto truth = handwritten(s);
+    auto bridge = make_bridge(s);
+    util::Rng rng(22);
+    auto log = evaluate_batch(truth, sample_requests(s, 300, rng));
+    auto result = learn_policy(bridge, log);
+    ASSERT_TRUE(result.found);
+    auto xacml = to_xacml(bridge, result.hypothesis);
+    // The translated policy agrees with the truth on every request.
+    for (const auto& r : enumerate_requests(s)) {
+        EXPECT_EQ(evaluate(xacml, r) == Decision::Permit, evaluate(truth, r) == Decision::Permit);
+    }
+}
+
+TEST(Learning, RenderedPolicyMentionsConditions) {
+    auto s = healthcare_schema();
+    auto truth = handwritten(s);
+    auto bridge = make_bridge(s);
+    util::Rng rng(23);
+    auto log = evaluate_batch(truth, sample_requests(s, 300, rng));
+    auto result = learn_policy(bridge, log);
+    ASSERT_TRUE(result.found);
+    auto text = render_learned_policy(bridge, result.hypothesis);
+    EXPECT_NE(text.find("Deny if"), std::string::npos);
+    EXPECT_NE(text.find("Permit otherwise"), std::string::npos);
+}
+
+TEST(Learning, NotApplicableAsDecisionDistortsPolicy) {
+    // Fig 3b Policy 3: treating NA as a decision makes the learned policy
+    // overly restrictive; dropping NA entries fixes it.
+    auto s = healthcare_schema();
+    auto truth = handwritten(s);
+    auto bridge = make_bridge(s);
+    util::Rng rng(24);
+    auto log = evaluate_batch(truth, sample_requests(s, 300, rng));
+    inject_noise(log, {.not_applicable_prob = 0.25, .seed = 5});
+
+    auto clean = learn_policy(bridge, log, NaHandling::Drop);
+    ASSERT_TRUE(clean.found) << clean.failure_reason;
+    auto learned_clean = bridge.grammar.with_rules(clean.hypothesis);
+    double acc_clean = agreement(bridge, learned_clean, truth, enumerate_requests(s));
+
+    auto dirty = learn_policy(bridge, log, NaHandling::AsDeny);
+    double acc_dirty = 0.0;
+    if (dirty.found) {
+        auto learned_dirty = bridge.grammar.with_rules(dirty.hypothesis);
+        acc_dirty = agreement(bridge, learned_dirty, truth, enumerate_requests(s));
+    }
+    EXPECT_DOUBLE_EQ(acc_clean, 1.0);
+    EXPECT_LT(acc_dirty, acc_clean);
+}
+
+TEST(Learning, FirstApplicableFamilyIsApproximable) {
+    // Interleaved permit/deny rules under first-applicable: the permit set
+    // is not a pure box complement, so exact recovery is not guaranteed —
+    // but with noise tolerance the learner still lands close.
+    auto s = healthcare_schema();
+    auto truth = first_applicable_family(s, {.deny_rules = 2, .matches_per_rule = 2, .seed = 42});
+    auto bridge = make_bridge(s);
+    util::Rng rng(26);
+    auto log = evaluate_batch(truth, sample_requests(s, 250, rng));
+    ilp::LearnOptions options;
+    options.noise_penalty = 2;
+    options.max_cost = 60;
+    auto result = learn_policy(bridge, log, NaHandling::Drop, options);
+    ASSERT_TRUE(result.found) << result.failure_reason;
+    auto learned = bridge.grammar.with_rules(result.hypothesis);
+    EXPECT_GT(agreement(bridge, learned, truth, enumerate_requests(s)), 0.85);
+}
+
+TEST(QualityFilter, DropsIrrelevantResponses) {
+    auto s = healthcare_schema();
+    auto r = make_request(s, {"doctor", "er", "read", "record"}, 1);
+    std::vector<LogEntry> log = {{r, Decision::NotApplicable}, {r, Decision::Permit}};
+    FilterStats stats;
+    auto filtered = filter_low_quality(log, s, &stats);
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].decision, Decision::Permit);
+    EXPECT_EQ(stats.irrelevant_removed, 1u);
+}
+
+TEST(QualityFilter, MajorityVoteResolvesConflicts) {
+    auto s = healthcare_schema();
+    auto r = make_request(s, {"nurse", "er", "read", "record"}, 1);
+    std::vector<LogEntry> log = {{r, Decision::Permit}, {r, Decision::Permit}, {r, Decision::Deny}};
+    FilterStats stats;
+    auto filtered = filter_low_quality(log, s, &stats);
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].decision, Decision::Permit);
+    EXPECT_EQ(stats.inconsistent_removed, 1u);
+    EXPECT_EQ(stats.duplicates_removed, 1u);
+}
+
+TEST(QualityFilter, TiesAreDropped) {
+    auto s = healthcare_schema();
+    auto r = make_request(s, {"nurse", "er", "read", "record"}, 1);
+    std::vector<LogEntry> log = {{r, Decision::Permit}, {r, Decision::Deny}};
+    FilterStats stats;
+    auto filtered = filter_low_quality(log, s, &stats);
+    EXPECT_TRUE(filtered.empty());
+    EXPECT_EQ(stats.inconsistent_removed, 2u);
+}
+
+TEST(QualityFilter, FilteringRepairsFlippedLabels) {
+    // Label-flip noise on duplicated requests is repaired by majority vote,
+    // letting the learner succeed where the raw log is contradictory.
+    auto s = healthcare_schema();
+    auto truth = handwritten(s);
+    auto bridge = make_bridge(s);
+    util::Rng rng(25);
+    auto base = sample_requests(s, 120, rng);
+    std::vector<Request> repeated;
+    for (const auto& r : base) {
+        for (int copy = 0; copy < 5; ++copy) repeated.push_back(r);
+    }
+    auto log = evaluate_batch(truth, repeated);
+    inject_noise(log, {.flip_prob = 0.04, .seed = 6});
+
+    auto raw = learn_policy(bridge, log);
+    EXPECT_FALSE(raw.found);  // contradictory duplicates sink Definition 3
+
+    auto filtered = filter_low_quality(log, s);
+    auto repaired = learn_policy(bridge, filtered);
+    ASSERT_TRUE(repaired.found) << repaired.failure_reason;
+    auto learned = bridge.grammar.with_rules(repaired.hypothesis);
+    EXPECT_GT(agreement(bridge, learned, truth, enumerate_requests(s)), 0.95);
+}
+
+}  // namespace
+}  // namespace agenp::xacml
