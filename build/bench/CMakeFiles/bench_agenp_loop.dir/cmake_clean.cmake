@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agenp_loop.dir/bench_agenp_loop.cpp.o"
+  "CMakeFiles/bench_agenp_loop.dir/bench_agenp_loop.cpp.o.d"
+  "bench_agenp_loop"
+  "bench_agenp_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agenp_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cav_curves.dir/bench_cav_curves.cpp.o"
+  "CMakeFiles/bench_cav_curves.dir/bench_cav_curves.cpp.o.d"
+  "bench_cav_curves"
+  "bench_cav_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cav_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

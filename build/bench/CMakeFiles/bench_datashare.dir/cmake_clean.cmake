@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datashare.dir/bench_datashare.cpp.o"
+  "CMakeFiles/bench_datashare.dir/bench_datashare.cpp.o.d"
+  "bench_datashare"
+  "bench_datashare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datashare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

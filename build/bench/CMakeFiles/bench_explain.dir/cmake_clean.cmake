@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explain.dir/bench_explain.cpp.o"
+  "CMakeFiles/bench_explain.dir/bench_explain.cpp.o.d"
+  "bench_explain"
+  "bench_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fedlearn.dir/bench_fedlearn.cpp.o"
+  "CMakeFiles/bench_fedlearn.dir/bench_fedlearn.cpp.o.d"
+  "bench_fedlearn"
+  "bench_fedlearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fedlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

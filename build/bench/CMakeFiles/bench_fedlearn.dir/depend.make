@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fedlearn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_neurosymbolic.dir/bench_neurosymbolic.cpp.o"
+  "CMakeFiles/bench_neurosymbolic.dir/bench_neurosymbolic.cpp.o.d"
+  "bench_neurosymbolic"
+  "bench_neurosymbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_neurosymbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

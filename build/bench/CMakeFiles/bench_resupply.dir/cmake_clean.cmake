@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resupply.dir/bench_resupply.cpp.o"
+  "CMakeFiles/bench_resupply.dir/bench_resupply.cpp.o.d"
+  "bench_resupply"
+  "bench_resupply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resupply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

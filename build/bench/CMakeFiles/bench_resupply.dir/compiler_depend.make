@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_resupply.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_control_mining.dir/access_control_mining.cpp.o"
+  "CMakeFiles/access_control_mining.dir/access_control_mining.cpp.o.d"
+  "access_control_mining"
+  "access_control_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_control_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

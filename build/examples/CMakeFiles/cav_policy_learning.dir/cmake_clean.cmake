@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cav_policy_learning.dir/cav_policy_learning.cpp.o"
+  "CMakeFiles/cav_policy_learning.dir/cav_policy_learning.cpp.o.d"
+  "cav_policy_learning"
+  "cav_policy_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cav_policy_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalition_resupply.dir/coalition_resupply.cpp.o"
+  "CMakeFiles/coalition_resupply.dir/coalition_resupply.cpp.o.d"
+  "coalition_resupply"
+  "coalition_resupply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalition_resupply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

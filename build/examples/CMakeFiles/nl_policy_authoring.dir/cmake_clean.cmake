@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_policy_authoring.dir/nl_policy_authoring.cpp.o"
+  "CMakeFiles/nl_policy_authoring.dir/nl_policy_authoring.cpp.o.d"
+  "nl_policy_authoring"
+  "nl_policy_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_policy_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

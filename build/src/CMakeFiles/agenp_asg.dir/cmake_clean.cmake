@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_asg.dir/asg/asg.cpp.o"
+  "CMakeFiles/agenp_asg.dir/asg/asg.cpp.o.d"
+  "CMakeFiles/agenp_asg.dir/asg/generate.cpp.o"
+  "CMakeFiles/agenp_asg.dir/asg/generate.cpp.o.d"
+  "CMakeFiles/agenp_asg.dir/asg/instantiate.cpp.o"
+  "CMakeFiles/agenp_asg.dir/asg/instantiate.cpp.o.d"
+  "CMakeFiles/agenp_asg.dir/asg/membership.cpp.o"
+  "CMakeFiles/agenp_asg.dir/asg/membership.cpp.o.d"
+  "libagenp_asg.a"
+  "libagenp_asg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_asg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

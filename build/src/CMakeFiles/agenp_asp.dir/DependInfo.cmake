@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asp/atom.cpp" "src/CMakeFiles/agenp_asp.dir/asp/atom.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/atom.cpp.o.d"
+  "/root/repo/src/asp/consequences.cpp" "src/CMakeFiles/agenp_asp.dir/asp/consequences.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/consequences.cpp.o.d"
+  "/root/repo/src/asp/ground_program.cpp" "src/CMakeFiles/agenp_asp.dir/asp/ground_program.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/ground_program.cpp.o.d"
+  "/root/repo/src/asp/grounder.cpp" "src/CMakeFiles/agenp_asp.dir/asp/grounder.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/grounder.cpp.o.d"
+  "/root/repo/src/asp/parser.cpp" "src/CMakeFiles/agenp_asp.dir/asp/parser.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/parser.cpp.o.d"
+  "/root/repo/src/asp/program.cpp" "src/CMakeFiles/agenp_asp.dir/asp/program.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/program.cpp.o.d"
+  "/root/repo/src/asp/rule.cpp" "src/CMakeFiles/agenp_asp.dir/asp/rule.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/rule.cpp.o.d"
+  "/root/repo/src/asp/solver.cpp" "src/CMakeFiles/agenp_asp.dir/asp/solver.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/solver.cpp.o.d"
+  "/root/repo/src/asp/stratify.cpp" "src/CMakeFiles/agenp_asp.dir/asp/stratify.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/stratify.cpp.o.d"
+  "/root/repo/src/asp/term.cpp" "src/CMakeFiles/agenp_asp.dir/asp/term.cpp.o" "gcc" "src/CMakeFiles/agenp_asp.dir/asp/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

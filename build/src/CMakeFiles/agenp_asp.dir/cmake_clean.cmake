@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_asp.dir/asp/atom.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/atom.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/consequences.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/consequences.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/ground_program.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/ground_program.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/grounder.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/grounder.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/parser.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/parser.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/program.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/program.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/rule.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/rule.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/solver.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/solver.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/stratify.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/stratify.cpp.o.d"
+  "CMakeFiles/agenp_asp.dir/asp/term.cpp.o"
+  "CMakeFiles/agenp_asp.dir/asp/term.cpp.o.d"
+  "libagenp_asp.a"
+  "libagenp_asp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_asp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

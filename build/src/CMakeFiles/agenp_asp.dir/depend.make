@@ -1,0 +1,2 @@
+# Empty dependencies file for agenp_asp.
+# This may be replaced when dependencies are built.

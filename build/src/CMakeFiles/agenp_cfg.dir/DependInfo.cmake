@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/earley.cpp" "src/CMakeFiles/agenp_cfg.dir/cfg/earley.cpp.o" "gcc" "src/CMakeFiles/agenp_cfg.dir/cfg/earley.cpp.o.d"
+  "/root/repo/src/cfg/generate.cpp" "src/CMakeFiles/agenp_cfg.dir/cfg/generate.cpp.o" "gcc" "src/CMakeFiles/agenp_cfg.dir/cfg/generate.cpp.o.d"
+  "/root/repo/src/cfg/grammar.cpp" "src/CMakeFiles/agenp_cfg.dir/cfg/grammar.cpp.o" "gcc" "src/CMakeFiles/agenp_cfg.dir/cfg/grammar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

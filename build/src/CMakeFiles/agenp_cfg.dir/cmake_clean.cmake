@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_cfg.dir/cfg/earley.cpp.o"
+  "CMakeFiles/agenp_cfg.dir/cfg/earley.cpp.o.d"
+  "CMakeFiles/agenp_cfg.dir/cfg/generate.cpp.o"
+  "CMakeFiles/agenp_cfg.dir/cfg/generate.cpp.o.d"
+  "CMakeFiles/agenp_cfg.dir/cfg/grammar.cpp.o"
+  "CMakeFiles/agenp_cfg.dir/cfg/grammar.cpp.o.d"
+  "libagenp_cfg.a"
+  "libagenp_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

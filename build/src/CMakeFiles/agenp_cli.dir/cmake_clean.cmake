@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_cli.dir/cli/commands.cpp.o"
+  "CMakeFiles/agenp_cli.dir/cli/commands.cpp.o.d"
+  "libagenp_cli.a"
+  "libagenp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_explain.dir/explain/attribution.cpp.o"
+  "CMakeFiles/agenp_explain.dir/explain/attribution.cpp.o.d"
+  "CMakeFiles/agenp_explain.dir/explain/counterfactual.cpp.o"
+  "CMakeFiles/agenp_explain.dir/explain/counterfactual.cpp.o.d"
+  "libagenp_explain.a"
+  "libagenp_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

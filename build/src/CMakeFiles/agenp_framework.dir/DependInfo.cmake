@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agenp/ams.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/ams.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/ams.cpp.o.d"
+  "/root/repo/src/agenp/coalition.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/coalition.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/coalition.cpp.o.d"
+  "/root/repo/src/agenp/padap.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/padap.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/padap.cpp.o.d"
+  "/root/repo/src/agenp/pbms.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/pbms.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/pbms.cpp.o.d"
+  "/root/repo/src/agenp/pcp.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/pcp.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/pcp.cpp.o.d"
+  "/root/repo/src/agenp/pdp.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/pdp.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/pdp.cpp.o.d"
+  "/root/repo/src/agenp/prep.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/prep.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/prep.cpp.o.d"
+  "/root/repo/src/agenp/repository.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/repository.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/repository.cpp.o.d"
+  "/root/repo/src/agenp/similarity.cpp" "src/CMakeFiles/agenp_framework.dir/agenp/similarity.cpp.o" "gcc" "src/CMakeFiles/agenp_framework.dir/agenp/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_xacml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

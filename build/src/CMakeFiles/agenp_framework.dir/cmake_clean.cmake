@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_framework.dir/agenp/ams.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/ams.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/coalition.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/coalition.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/padap.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/padap.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/pbms.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/pbms.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/pcp.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/pcp.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/pdp.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/pdp.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/prep.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/prep.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/repository.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/repository.cpp.o.d"
+  "CMakeFiles/agenp_framework.dir/agenp/similarity.cpp.o"
+  "CMakeFiles/agenp_framework.dir/agenp/similarity.cpp.o.d"
+  "libagenp_framework.a"
+  "libagenp_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

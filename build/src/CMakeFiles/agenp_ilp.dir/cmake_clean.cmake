@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_ilp.dir/ilp/classifier.cpp.o"
+  "CMakeFiles/agenp_ilp.dir/ilp/classifier.cpp.o.d"
+  "CMakeFiles/agenp_ilp.dir/ilp/guidance.cpp.o"
+  "CMakeFiles/agenp_ilp.dir/ilp/guidance.cpp.o.d"
+  "CMakeFiles/agenp_ilp.dir/ilp/hypothesis_space.cpp.o"
+  "CMakeFiles/agenp_ilp.dir/ilp/hypothesis_space.cpp.o.d"
+  "CMakeFiles/agenp_ilp.dir/ilp/learner.cpp.o"
+  "CMakeFiles/agenp_ilp.dir/ilp/learner.cpp.o.d"
+  "libagenp_ilp.a"
+  "libagenp_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for agenp_ilp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/agenp_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/agenp_ml.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/agenp_ml.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/CMakeFiles/agenp_ml.dir/ml/logistic_regression.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/agenp_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/CMakeFiles/agenp_ml.dir/ml/naive_bayes.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/one_vs_rest.cpp" "src/CMakeFiles/agenp_ml.dir/ml/one_vs_rest.cpp.o" "gcc" "src/CMakeFiles/agenp_ml.dir/ml/one_vs_rest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/knn.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/knn.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/logistic_regression.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/logistic_regression.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/naive_bayes.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/naive_bayes.cpp.o.d"
+  "CMakeFiles/agenp_ml.dir/ml/one_vs_rest.cpp.o"
+  "CMakeFiles/agenp_ml.dir/ml/one_vs_rest.cpp.o.d"
+  "libagenp_ml.a"
+  "libagenp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

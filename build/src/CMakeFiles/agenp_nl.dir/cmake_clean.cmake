@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_nl.dir/nl/translate.cpp.o"
+  "CMakeFiles/agenp_nl.dir/nl/translate.cpp.o.d"
+  "libagenp_nl.a"
+  "libagenp_nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

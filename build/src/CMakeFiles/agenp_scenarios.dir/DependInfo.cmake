@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/cav/cav.cpp" "src/CMakeFiles/agenp_scenarios.dir/scenarios/cav/cav.cpp.o" "gcc" "src/CMakeFiles/agenp_scenarios.dir/scenarios/cav/cav.cpp.o.d"
+  "/root/repo/src/scenarios/cav/perception.cpp" "src/CMakeFiles/agenp_scenarios.dir/scenarios/cav/perception.cpp.o" "gcc" "src/CMakeFiles/agenp_scenarios.dir/scenarios/cav/perception.cpp.o.d"
+  "/root/repo/src/scenarios/datashare/datashare.cpp" "src/CMakeFiles/agenp_scenarios.dir/scenarios/datashare/datashare.cpp.o" "gcc" "src/CMakeFiles/agenp_scenarios.dir/scenarios/datashare/datashare.cpp.o.d"
+  "/root/repo/src/scenarios/fedlearn/fedlearn.cpp" "src/CMakeFiles/agenp_scenarios.dir/scenarios/fedlearn/fedlearn.cpp.o" "gcc" "src/CMakeFiles/agenp_scenarios.dir/scenarios/fedlearn/fedlearn.cpp.o.d"
+  "/root/repo/src/scenarios/resupply/resupply.cpp" "src/CMakeFiles/agenp_scenarios.dir/scenarios/resupply/resupply.cpp.o" "gcc" "src/CMakeFiles/agenp_scenarios.dir/scenarios/resupply/resupply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_xacml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_scenarios.dir/scenarios/cav/cav.cpp.o"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/cav/cav.cpp.o.d"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/cav/perception.cpp.o"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/cav/perception.cpp.o.d"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/datashare/datashare.cpp.o"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/datashare/datashare.cpp.o.d"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/fedlearn/fedlearn.cpp.o"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/fedlearn/fedlearn.cpp.o.d"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/resupply/resupply.cpp.o"
+  "CMakeFiles/agenp_scenarios.dir/scenarios/resupply/resupply.cpp.o.d"
+  "libagenp_scenarios.a"
+  "libagenp_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

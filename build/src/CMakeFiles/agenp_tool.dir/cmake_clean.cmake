@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_tool.dir/cli/main.cpp.o"
+  "CMakeFiles/agenp_tool.dir/cli/main.cpp.o.d"
+  "agenp"
+  "agenp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_util.dir/util/strings.cpp.o"
+  "CMakeFiles/agenp_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/agenp_util.dir/util/symbol.cpp.o"
+  "CMakeFiles/agenp_util.dir/util/symbol.cpp.o.d"
+  "CMakeFiles/agenp_util.dir/util/table.cpp.o"
+  "CMakeFiles/agenp_util.dir/util/table.cpp.o.d"
+  "libagenp_util.a"
+  "libagenp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xacml/attributes.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/attributes.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/attributes.cpp.o.d"
+  "/root/repo/src/xacml/evaluator.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/evaluator.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/evaluator.cpp.o.d"
+  "/root/repo/src/xacml/generator.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/generator.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/generator.cpp.o.d"
+  "/root/repo/src/xacml/learning_bridge.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/learning_bridge.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/learning_bridge.cpp.o.d"
+  "/root/repo/src/xacml/policy.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/policy.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/policy.cpp.o.d"
+  "/root/repo/src/xacml/quality_filter.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/quality_filter.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/quality_filter.cpp.o.d"
+  "/root/repo/src/xacml/text_format.cpp" "src/CMakeFiles/agenp_xacml.dir/xacml/text_format.cpp.o" "gcc" "src/CMakeFiles/agenp_xacml.dir/xacml/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agenp_xacml.dir/xacml/attributes.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/attributes.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/evaluator.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/evaluator.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/generator.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/generator.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/learning_bridge.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/learning_bridge.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/policy.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/policy.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/quality_filter.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/quality_filter.cpp.o.d"
+  "CMakeFiles/agenp_xacml.dir/xacml/text_format.cpp.o"
+  "CMakeFiles/agenp_xacml.dir/xacml/text_format.cpp.o.d"
+  "libagenp_xacml.a"
+  "libagenp_xacml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agenp_xacml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

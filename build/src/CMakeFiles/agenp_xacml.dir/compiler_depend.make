@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agenp_xacml.
+# This may be replaced when dependencies are built.

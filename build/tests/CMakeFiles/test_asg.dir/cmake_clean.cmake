@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asg.dir/test_asg.cpp.o"
+  "CMakeFiles/test_asg.dir/test_asg.cpp.o.d"
+  "test_asg"
+  "test_asg.pdb"
+  "test_asg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asp_core.dir/test_asp_core.cpp.o"
+  "CMakeFiles/test_asp_core.dir/test_asp_core.cpp.o.d"
+  "test_asp_core"
+  "test_asp_core.pdb"
+  "test_asp_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

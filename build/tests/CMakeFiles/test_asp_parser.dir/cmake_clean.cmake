@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asp_parser.dir/test_asp_parser.cpp.o"
+  "CMakeFiles/test_asp_parser.dir/test_asp_parser.cpp.o.d"
+  "test_asp_parser"
+  "test_asp_parser.pdb"
+  "test_asp_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asp_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

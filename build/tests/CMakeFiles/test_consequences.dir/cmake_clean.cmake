@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consequences.dir/test_consequences.cpp.o"
+  "CMakeFiles/test_consequences.dir/test_consequences.cpp.o.d"
+  "test_consequences"
+  "test_consequences.pdb"
+  "test_consequences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

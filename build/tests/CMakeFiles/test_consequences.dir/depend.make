@@ -1,0 +1,2 @@
+# Empty dependencies file for test_consequences.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grounder.dir/test_grounder.cpp.o"
+  "CMakeFiles/test_grounder.dir/test_grounder.cpp.o.d"
+  "test_grounder"
+  "test_grounder.pdb"
+  "test_grounder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grounder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/test_scenarios.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/test_scenarios.dir/test_scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/agenp_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_xacml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_asp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/agenp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_reference.dir/test_solver_reference.cpp.o"
+  "CMakeFiles/test_solver_reference.dir/test_solver_reference.cpp.o.d"
+  "test_solver_reference"
+  "test_solver_reference.pdb"
+  "test_solver_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

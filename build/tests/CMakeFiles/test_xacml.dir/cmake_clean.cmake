@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xacml.dir/test_xacml.cpp.o"
+  "CMakeFiles/test_xacml.dir/test_xacml.cpp.o.d"
+  "test_xacml"
+  "test_xacml.pdb"
+  "test_xacml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xacml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
