@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "agenp/coalition.hpp"
+#include "obs/metrics.hpp"
 #include "scenarios/cav/cav.hpp"
 #include "util/table.hpp"
 
@@ -101,5 +102,8 @@ int main() {
     for (const auto& p : alpha.policies().all()) {
         std::printf("  %s\n", cfg::detokenize(p.policy).c_str());
     }
+
+    // Machine-readable telemetry for the whole closed-loop run.
+    std::printf("\nBENCH_AGENP_LOOP_JSON: %s\n", obs::metrics().render_json().c_str());
     return 0;
 }

@@ -9,10 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
 #include "asg/membership.hpp"
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/metrics.hpp"
 #include "scenarios/cav/cav.hpp"
 
 using namespace agenp;
@@ -174,4 +179,22 @@ BENCHMARK(BM_LearnCavPolicy)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the benchmark run, emit a
+// single machine-readable line with the wall time and the telemetry counters
+// accumulated across every iteration (grep for BENCH_PERF_JSON).
+int main(int argc, char** argv) {
+    // AGENP_METRICS=off measures the telemetry overhead (compare against a
+    // default run; the counters in the JSON line read zero when disabled).
+    if (const char* env = std::getenv("AGENP_METRICS"); env && std::string_view(env) == "off") {
+        obs::set_metrics_enabled(false);
+    }
+    auto start_ns = obs::monotonic_ns();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    double wall_s = static_cast<double>(obs::monotonic_ns() - start_ns) / 1e9;
+    std::printf("BENCH_PERF_JSON: {\"wall_s\":%.3f,\"metrics\":%s}\n", wall_s,
+                obs::metrics().render_json().c_str());
+    return 0;
+}

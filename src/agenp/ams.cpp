@@ -1,5 +1,8 @@
 #include "agenp/ams.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::framework {
 
 AutonomousManagedSystem::AutonomousManagedSystem(std::string name, asg::AnswerSetGrammar initial,
@@ -15,6 +18,14 @@ const asg::AnswerSetGrammar& AutonomousManagedSystem::model() const {
 }
 
 std::pair<bool, std::size_t> AutonomousManagedSystem::handle_request(const cfg::TokenString& request) {
+    obs::ScopedSpan span("agenp.ams.handle_request", "agenp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("agenp.ams.request_time_us");
+    obs::ScopedTimer timer(time_hist);
+    if (obs::metrics_enabled()) {
+        static obs::Counter& requests = obs::metrics().counter("agenp.ams.requests");
+        requests.add(1);
+    }
+
     asp::Program context = pip_.gather();
     bool permitted = pdp_.decide(request, context, model(), policy_repo_);
     pep_.enforce(request, permitted);

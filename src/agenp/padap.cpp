@@ -2,10 +2,37 @@
 
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::framework {
+
+namespace {
+
+// maybe_adapt delegates to adapt_from_examples, so each counter is bumped
+// at exactly one site: monitor checks and triggers here, learn attempts
+// and their outcomes in adapt_from_examples.
+void publish_outcome(const AdaptationOutcome& outcome) {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    static obs::Counter& attempts = m.counter("agenp.padap.attempts");
+    static obs::Counter& adapted = m.counter("agenp.padap.adapted");
+    static obs::Counter& reused = m.counter("agenp.padap.reused");
+    static obs::Counter& rejected = m.counter("agenp.padap.rejected");
+    attempts.add(1);
+    if (outcome.adapted) adapted.add(1);
+    if (outcome.reused) reused.add(1);
+    if (!outcome.adapted) rejected.add(1);
+}
+
+}  // namespace
 
 AdaptationOutcome PolicyAdaptationPoint::maybe_adapt(const DecisionMonitor& monitor,
                                                      RepresentationsRepository& representations) {
+    obs::ScopedSpan span("agenp.padap.maybe_adapt", "agenp");
+    static obs::Counter& checks = obs::metrics().counter("agenp.padap.monitor_checks");
+    if (obs::metrics_enabled()) checks.add(1);
+
     AdaptationOutcome outcome;
     auto records = monitor.feedback_records();
     if (records.size() < options_.min_feedback) {
@@ -18,6 +45,8 @@ AdaptationOutcome PolicyAdaptationPoint::maybe_adapt(const DecisionMonitor& moni
         return outcome;
     }
     outcome.triggered = true;
+    static obs::Counter& triggered = obs::metrics().counter("agenp.padap.triggered");
+    if (obs::metrics_enabled()) triggered.add(1);
 
     std::vector<ilp::Example> positive, negative;
     for (const auto* r : records) {
@@ -54,6 +83,10 @@ asp::Program context_signature(const std::vector<ilp::Example>& positive,
 AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
     const std::vector<ilp::Example>& positive, const std::vector<ilp::Example>& negative,
     RepresentationsRepository& representations, const std::string& note) {
+    obs::ScopedSpan span("agenp.padap.adapt", "agenp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("agenp.padap.time_us");
+    obs::ScopedTimer timer(time_hist);
+
     AdaptationOutcome outcome;
     ilp::LearningTask task;
     task.initial = initial_;
@@ -69,6 +102,7 @@ AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
             outcome.learn_result = cached.result;
             if (!outcome.learn_result.found) {
                 outcome.reason = "learning failed: " + outcome.learn_result.failure_reason;
+                publish_outcome(outcome);
                 return outcome;
             }
         }
@@ -77,6 +111,7 @@ AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
         outcome.learn_result = ilp::learn(task, options_.learn);
         if (!outcome.learn_result.found) {
             outcome.reason = "learning failed: " + outcome.learn_result.failure_reason;
+            publish_outcome(outcome);
             return outcome;
         }
         hypothesis = outcome.learn_result.hypothesis;
@@ -89,11 +124,13 @@ AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
     if (!violations.valid()) {
         outcome.reason = "candidate model accepts " + std::to_string(violations.violated.size()) +
                          " forbidden string(s); rejected";
+        publish_outcome(outcome);
         return outcome;
     }
     outcome.adapted = true;
     outcome.new_version = representations.store(std::move(candidate), note);
     outcome.reason = "adopted";
+    publish_outcome(outcome);
     return outcome;
 }
 

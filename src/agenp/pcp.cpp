@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::framework {
 
 std::string QualityReport::to_string() const {
@@ -167,11 +170,22 @@ PolicyCheckingPoint::GpmQualityReport PolicyCheckingPoint::assess_gpm(
 PolicyCheckingPoint::ViolationReport PolicyCheckingPoint::detect_violations(
     const asg::AnswerSetGrammar& model, const std::vector<ilp::Example>& forbidden,
     const asg::MembershipOptions& options) {
+    obs::ScopedSpan span("agenp.pcp.detect_violations", "agenp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("agenp.pcp.time_us");
+    obs::ScopedTimer timer(time_hist);
+
     ViolationReport report;
     for (std::size_t i = 0; i < forbidden.size(); ++i) {
         if (asg::in_language(model, forbidden[i].string, forbidden[i].context, options)) {
             report.violated.push_back(i);
         }
+    }
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& checks = m.counter("agenp.pcp.violation_checks");
+        static obs::Counter& violations = m.counter("agenp.pcp.violations_found");
+        checks.add(forbidden.size());
+        violations.add(report.violated.size());
     }
     return report;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::framework {
 
 std::optional<double> DecisionMonitor::observed_accuracy() const {
@@ -66,13 +69,27 @@ std::string DecisionMonitor::render_audit(std::size_t last_n) const {
 bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Program& context,
                                  const asg::AnswerSetGrammar& model,
                                  const PolicyRepository& repo) const {
+    obs::ScopedSpan span("agenp.pdp.decide", "agenp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("agenp.pdp.time_us");
+    obs::ScopedTimer timer(time_hist);
+
+    bool permitted = false;
     switch (strategy_) {
         case DecisionStrategy::Repository:
-            return repo.contains(request);
+            permitted = repo.contains(request);
+            break;
         case DecisionStrategy::Membership:
-            return asg::in_language(model, request, context, options_);
+            permitted = asg::in_language(model, request, context, options_);
+            break;
     }
-    return false;
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& decisions = m.counter("agenp.pdp.decisions");
+        static obs::Counter& permits = m.counter("agenp.pdp.permitted");
+        decisions.add(1);
+        if (permitted) permits.add(1);
+    }
+    return permitted;
 }
 
 }  // namespace agenp::framework

@@ -1,15 +1,32 @@
 #include "agenp/prep.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::framework {
 
 PrepReport PolicyRefinementPoint::refresh(const asg::AnswerSetGrammar& model,
                                           const asp::Program& context, PolicyRepository& repo,
                                           std::uint64_t version) {
+    obs::ScopedSpan span("agenp.prep.refresh", "agenp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("agenp.prep.time_us");
+    obs::ScopedTimer timer(time_hist);
+
     auto result = asg::language(model, context, options_.language);
     PrepReport report;
     report.generated = result.strings.size();
     report.truncated = result.truncated;
     repo.replace(std::move(result.strings), "prep", version);
+
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& refreshes = m.counter("agenp.prep.refreshes");
+        static obs::Counter& generated = m.counter("agenp.prep.policies_generated");
+        static obs::Counter& truncated = m.counter("agenp.prep.truncated");
+        refreshes.add(1);
+        generated.add(report.generated);
+        if (report.truncated) truncated.add(1);
+    }
     return report;
 }
 

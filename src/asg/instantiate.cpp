@@ -1,5 +1,7 @@
 #include "asg/instantiate.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace agenp::asg {
 
 util::Symbol mangle_predicate(util::Symbol predicate, const Trace& trace) {
@@ -73,6 +75,13 @@ asp::Program instantiate(const AnswerSetGrammar& grammar, const cfg::ParseNode& 
     asp::Program out;
     Trace trace;
     walk(grammar, tree, context, trace, out);
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& instantiations = m.counter("asg.instantiate.trees");
+        static obs::Counter& rules = m.counter("asg.instantiate.rules");
+        instantiations.add(1);
+        rules.add(out.rules().size());
+    }
     return out;
 }
 

@@ -1,22 +1,53 @@
 #include "asg/membership.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::asg {
+
+namespace {
+
+// Flushed once per membership query; the per-tree loop stays atomics-free.
+void publish(const MembershipResult& result, std::size_t asp_checks) {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    static obs::Counter& checks = m.counter("asg.membership.checks");
+    static obs::Counter& trees = m.counter("asg.membership.trees_checked");
+    static obs::Counter& solver_calls = m.counter("asg.membership.asp_checks");
+    static obs::Counter& accepted = m.counter("asg.membership.accepted");
+    static obs::Counter& limited = m.counter("asg.membership.resource_limited");
+    checks.add(1);
+    trees.add(static_cast<std::uint64_t>(result.trees_checked));
+    solver_calls.add(asp_checks);
+    if (result.in_language) accepted.add(1);
+    if (result.resource_limited) limited.add(1);
+}
+
+}  // namespace
 
 MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
                                   const asp::Program& context, const MembershipOptions& options) {
+    obs::ScopedSpan span("asg.membership", "asg");
+    static obs::Histogram& time_hist = obs::metrics().histogram("asg.membership.time_us");
+    obs::ScopedTimer timer(time_hist);
+
     MembershipResult result;
+    std::size_t asp_checks = 0;
     auto trees = cfg::parse_trees(grammar.grammar(), tokens, options.parse);
     for (const auto& tree : trees) {
         ++result.trees_checked;
         asp::Program program = instantiate(grammar, tree, context);
         auto gp = asp::ground(program, options.grounding);
         auto solved = asp::solve(gp, options.solve);
+        ++asp_checks;
         if (solved.satisfiable()) {
             result.in_language = true;
+            publish(result, asp_checks);
             return result;
         }
         if (solved.exhausted) result.resource_limited = true;
     }
+    publish(result, asp_checks);
     return result;
 }
 

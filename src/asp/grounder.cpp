@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "asp/substitution.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace agenp::asp {
 namespace {
@@ -109,6 +111,10 @@ public:
         : program_(program), limits_(limits) {}
 
     GroundProgram run() {
+        obs::ScopedSpan span("asp.ground", "asp");
+        static obs::Histogram& time_hist = obs::metrics().histogram("asp.grounder.time_us");
+        obs::ScopedTimer timer(time_hist);
+
         for (const auto& rule : program_.rules()) {
             if (!rule.is_safe()) {
                 throw GroundingError("unsafe rule: " + rule.to_string());
@@ -125,7 +131,9 @@ public:
 
         // Semi-naive rounds: each instantiation must use at least one delta
         // atom in its positive body (pivot position j).
+        std::size_t rounds = 0;
         while (derived_.advance_round()) {
+            ++rounds;
             for (const auto& rule : program_.rules()) {
                 int pcount = positive_count(rule);
                 for (int pivot = 0; pivot < pcount; ++pivot) {
@@ -136,6 +144,7 @@ public:
         }
         derived_.advance_round();  // flush atoms from the final round into "all"
 
+        publish(rounds);
         return finalize();
     }
 
@@ -265,6 +274,20 @@ private:
             gp.add_rule(std::move(rule));
         }
         return gp;
+    }
+
+    // One flush per grounding keeps the instantiation loops atomics-free.
+    void publish(std::size_t rounds) const {
+        if (!obs::metrics_enabled()) return;
+        auto& m = obs::metrics();
+        static obs::Counter& groundings = m.counter("asp.grounder.groundings");
+        static obs::Counter& rules = m.counter("asp.grounder.rules");
+        static obs::Counter& atoms = m.counter("asp.grounder.atoms");
+        static obs::Counter& round_counter = m.counter("asp.grounder.rounds");
+        groundings.add(1);
+        rules.add(pending_.size());
+        atoms.add(derived_.total());
+        round_counter.add(rounds);
     }
 
     const Program& program_;

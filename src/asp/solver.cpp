@@ -3,16 +3,52 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::asp {
 namespace {
 
 enum class Val : std::int8_t { Unknown, True, False };
+
+// Accumulated locally during the search (plain size_t, no atomics on the
+// hot path) and flushed once per solve() call.
+void publish_stats(const SolverStats& s) {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    static obs::Counter& solves = m.counter("asp.solver.solves");
+    static obs::Counter& decisions = m.counter("asp.solver.decisions");
+    static obs::Counter& conflicts = m.counter("asp.solver.conflicts");
+    static obs::Counter& propagations = m.counter("asp.solver.propagations");
+    static obs::Counter& backtracks = m.counter("asp.solver.backtracks");
+    static obs::Counter& stability = m.counter("asp.solver.stability_checks");
+    static obs::Counter& models = m.counter("asp.solver.models");
+    solves.add(1);
+    decisions.add(s.decisions);
+    conflicts.add(s.conflicts);
+    propagations.add(s.propagations);
+    backtracks.add(s.backtracks);
+    stability.add(s.stability_checks);
+    models.add(s.models);
+}
 
 class SolverImpl {
 public:
     explicit SolverImpl(const GroundProgram& gp) : gp_(gp) { build(); }
 
     SolveResult run(const SolveOptions& options) {
+        obs::ScopedSpan span("asp.solve", "asp");
+        static obs::Histogram& time_hist = obs::metrics().histogram("asp.solver.time_us");
+        obs::ScopedTimer timer(time_hist);
+        SolveResult result = search(options);
+        result.stats = stats_;
+        result.stats.models = result.models.size();
+        publish_stats(result.stats);
+        return result;
+    }
+
+private:
+    SolveResult search(const SolveOptions& options) {
         SolveResult result;
         if (!initial_propagate()) return result;  // conflict at root: unsatisfiable
 
@@ -27,10 +63,12 @@ public:
 
         while (true) {
             if (conflict_) {
+                ++stats_.conflicts;
                 // Backtrack to the deepest decision with an untried branch.
                 while (!decisions.empty() && decisions.back().tried_true) {
                     undo_to(decisions.back().trail_mark);
                     decisions.pop_back();
+                    ++stats_.backtracks;
                 }
                 if (decisions.empty()) return result;
                 auto& d = decisions.back();
@@ -44,6 +82,7 @@ public:
             }
 
             if (assigned_ == natoms_) {
+                ++stats_.stability_checks;
                 if (is_stable()) {
                     result.models.push_back(extract_model());
                     if (options.max_models != 0 && result.models.size() >= options.max_models) {
@@ -54,7 +93,7 @@ public:
                 continue;
             }
 
-            if (++decision_count_ > options.max_decisions) {
+            if (++stats_.decisions > options.max_decisions) {
                 result.exhausted = true;
                 return result;
             }
@@ -126,6 +165,7 @@ private:
     bool propagate() {
         while (qhead_ < queue_.size()) {
             AtomId a = queue_[qhead_++];
+            ++stats_.propagations;
             auto idx = static_cast<std::size_t>(a);
             if (val_[idx] == Val::True) {
                 for (int r : occ_pos_[idx]) {
@@ -318,7 +358,7 @@ private:
     std::vector<AtomId> queue_;
     std::size_t qhead_ = 0;
     std::size_t assigned_ = 0;
-    std::size_t decision_count_ = 0;
+    SolverStats stats_;
     bool conflict_ = false;
 };
 

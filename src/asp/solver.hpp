@@ -28,9 +28,21 @@ struct SolveOptions {
     std::size_t max_decisions = 50'000'000;
 };
 
+// Search effort expended by one solve() call. Also published to the
+// process-wide metrics registry under `asp.solver.*` (see obs/metrics.hpp).
+struct SolverStats {
+    std::size_t decisions = 0;         // branching choices made
+    std::size_t conflicts = 0;         // dead ends hit (incl. rejected totals)
+    std::size_t propagations = 0;      // literals processed by unit propagation
+    std::size_t backtracks = 0;        // decisions undone
+    std::size_t stability_checks = 0;  // total assignments tested for stability
+    std::size_t models = 0;            // answer sets found (== models.size())
+};
+
 struct SolveResult {
     std::vector<Model> models;
     bool exhausted = false;  // decision budget ran out before the search completed
+    SolverStats stats;
 
     [[nodiscard]] bool satisfiable() const { return !models.empty(); }
 };

@@ -4,6 +4,9 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace agenp::cfg {
 
 TokenString ParseNode::yield() const {
@@ -42,6 +45,7 @@ struct Chart {
 };
 
 Chart run_earley(const Grammar& g, const TokenString& tokens) {
+    obs::ScopedSpan span("cfg.parse", "cfg");
     auto nullable_list = g.nullable_nonterminals();
     std::set<Symbol> nullable(nullable_list.begin(), nullable_list.end());
 
@@ -49,9 +53,12 @@ Chart run_earley(const Grammar& g, const TokenString& tokens) {
     std::vector<std::vector<State>> chart(static_cast<std::size_t>(n) + 1);
     std::vector<std::set<State>> seen(static_cast<std::size_t>(n) + 1);
 
+    std::size_t chart_items = 0;
+    std::size_t completions = 0;
     auto add = [&](int position, State s) {
         if (seen[static_cast<std::size_t>(position)].insert(s).second) {
             chart[static_cast<std::size_t>(position)].push_back(s);
+            ++chart_items;
         }
     };
 
@@ -77,6 +84,7 @@ Chart run_earley(const Grammar& g, const TokenString& tokens) {
                 }
             } else {
                 // Complete.
+                ++completions;
                 result.completed[{s.prod, s.origin}].insert(i);
                 for (const State& t : chart[static_cast<std::size_t>(s.origin)]) {
                     const auto& tp = g.production(t.prod);
@@ -96,6 +104,18 @@ Chart run_earley(const Grammar& g, const TokenString& tokens) {
             result.accepted = true;
             break;
         }
+    }
+
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& parses = m.counter("cfg.earley.parses");
+        static obs::Counter& items = m.counter("cfg.earley.chart_items");
+        static obs::Counter& completed = m.counter("cfg.earley.completions");
+        static obs::Counter& accepted = m.counter("cfg.earley.accepted");
+        parses.add(1);
+        items.add(chart_items);
+        completed.add(completions);
+        if (result.accepted) accepted.add(1);
     }
     return result;
 }
@@ -201,7 +221,13 @@ std::vector<ParseNode> parse_trees(const Grammar& grammar, const TokenString& to
                                    const ParseOptions& options) {
     Chart chart = run_earley(grammar, tokens);
     if (!chart.accepted) return {};
-    return TreeBuilder(grammar, tokens, chart, options.max_trees).build_start();
+    obs::ScopedSpan span("cfg.extract_trees", "cfg");
+    auto trees = TreeBuilder(grammar, tokens, chart, options.max_trees).build_start();
+    if (obs::metrics_enabled()) {
+        static obs::Counter& extracted = obs::metrics().counter("cfg.earley.trees_extracted");
+        extracted.add(trees.size());
+    }
+    return trees;
 }
 
 }  // namespace agenp::cfg

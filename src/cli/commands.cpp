@@ -5,10 +5,13 @@
 #include <ostream>
 #include <sstream>
 
+#include "agenp/ams.hpp"
 #include "asg/generate.hpp"
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "xacml/evaluator.hpp"
 #include "xacml/text_format.hpp"
@@ -211,6 +214,75 @@ int cmd_learn(const std::string& task_path, const std::string& out_path, std::os
     return 0;
 }
 
+int cmd_quickstart(std::ostream& out) {
+    // Step 0: the ASP substrate on a program with real search (three even
+    // loops -> 8 answer sets), so solver decision/propagation counts are
+    // nonzero in --stats.
+    auto demo = asp::parse_program(R"(
+        p0 :- not q0.  q0 :- not p0.
+        p1 :- not q1.  q1 :- not p1.
+        p2 :- not q2.  q2 :- not p2.
+    )");
+    auto solved = asp::solve(asp::ground(demo), {.max_models = 0});
+    out << "ASP warm-up: " << solved.models.size() << " answer sets ("
+        << solved.stats.decisions << " decisions, " << solved.stats.propagations
+        << " propagations, " << solved.stats.backtracks << " backtracks)\n";
+
+    // The quickstart domain (examples/quickstart.cpp), driven through the
+    // full AGENP loop so every phase shows up in --stats/--trace-out.
+    auto initial = asg::AnswerSetGrammar::parse(R"(
+        request -> "do" task
+        task -> "patrol"  { requires(2). }
+        task -> "strike"  { requires(4). }
+        task -> "observe" { requires(1). }
+    )");
+    ilp::ModeBias bias;
+    bias.body.push_back(ilp::ModeAtom("requires", {ilp::ArgSpec::var("lvl")}, 2));
+    bias.body.push_back(ilp::ModeAtom("maxloa", {ilp::ArgSpec::var("lvl")}));
+    bias.comparisons.push_back(ilp::ComparisonMode(
+        "lvl", {asp::Comparison::Op::Gt}, /*var_vs_const=*/false, /*var_vs_var=*/true));
+    bias.max_body_atoms = 2;
+    bias.max_vars = 2;
+
+    framework::AutonomousManagedSystem ams("quickstart", initial, ilp::generate_space(bias, {0}));
+    auto ctx = [](int maxloa) {
+        return asp::parse_program("maxloa(" + std::to_string(maxloa) + ").");
+    };
+    ams.pip().add_source("env", [&ctx] { return ctx(3); });
+
+    std::vector<ilp::Example> positive;
+    positive.emplace_back(cfg::tokenize("do patrol"), ctx(3));
+    positive.emplace_back(cfg::tokenize("do strike"), ctx(5));
+    positive.emplace_back(cfg::tokenize("do observe"), ctx(1));
+    std::vector<ilp::Example> negative;
+    negative.emplace_back(cfg::tokenize("do strike"), ctx(3));
+    negative.emplace_back(cfg::tokenize("do patrol"), ctx(1));
+
+    auto outcome = ams.learn_model(positive, negative);
+    if (!outcome.adapted) {
+        out << "learning failed: " << outcome.reason << "\n";
+        return 1;
+    }
+    out << "PAdaP adopted GPM v" << outcome.new_version << " (cost "
+        << outcome.learn_result.cost << "):\n"
+        << outcome.learn_result.hypothesis_to_string();
+
+    auto report = ams.refresh_policies();
+    out << "PReP materialized " << report.generated << " polic"
+        << (report.generated == 1 ? "y" : "ies") << " under maxloa=3:\n";
+    for (const auto& p : ams.policies().all()) {
+        out << "  " << cfg::detokenize(p.policy) << "\n";
+    }
+
+    for (const char* request : {"do patrol", "do strike", "do observe"}) {
+        auto [permitted, index] = ams.handle_request(cfg::tokenize(request));
+        (void)index;
+        out << "PDP: " << request << " -> " << (permitted ? "Permit" : "Deny") << "\n";
+    }
+    out << ams.monitor().render_audit();
+    return 0;
+}
+
 int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
                  const std::string& request_text, std::ostream& out) {
     auto schema = xacml::parse_schema(read_file(schema_path));
@@ -237,16 +309,84 @@ std::string take_flag(std::vector<std::string>& args, const std::string& flag,
     return fallback;
 }
 
+// Pulls a boolean `--flag` out of an argument list.
+bool take_bool_flag(std::vector<std::string>& args, const std::string& flag) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == flag) {
+            args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+    }
+    return false;
+}
+
+// Splits `--flag=value` arguments into `--flag value` pairs so both
+// spellings work with take_flag.
+std::vector<std::string> normalize_flags(const std::vector<std::string>& argv) {
+    std::vector<std::string> out;
+    out.reserve(argv.size());
+    for (const auto& a : argv) {
+        auto eq = a.find('=');
+        if (util::starts_with(a, "--") && eq != std::string::npos) {
+            out.push_back(a.substr(0, eq));
+            out.push_back(a.substr(eq + 1));
+        } else {
+            out.push_back(a);
+        }
+    }
+    return out;
+}
+
+// Applies the telemetry flags around one command dispatch; writes the
+// trace file and stats dump after the command finishes.
+class TelemetryScope {
+public:
+    TelemetryScope(bool stats, std::string trace_path, std::ostream& out)
+        : stats_(stats), trace_path_(std::move(trace_path)), out_(out) {
+        if (!trace_path_.empty()) {
+            obs::tracer().clear();
+            obs::tracer().set_enabled(true);
+        }
+    }
+
+    ~TelemetryScope() {
+        if (!trace_path_.empty()) {
+            obs::tracer().set_enabled(false);
+            std::ofstream file(trace_path_);
+            if (file) {
+                file << obs::tracer().chrome_trace_json();
+                out_ << "trace written to " << trace_path_ << " (open in chrome://tracing)\n";
+                out_ << obs::tracer().flat_profile();
+            } else {
+                out_ << "cannot write trace file: " << trace_path_ << "\n";
+            }
+        }
+        if (stats_) {
+            out_ << "--- metrics ---\n" << obs::metrics().render_text();
+        }
+    }
+
+private:
+    bool stats_;
+    std::string trace_path_;
+    std::ostream& out_;
+};
+
 }  // namespace
 
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
     try {
         if (argv.empty()) {
-            err << "usage: agenp <solve|membership|generate|learn> ...\n";
+            err << "usage: agenp <solve|membership|generate|learn|evaluate|quickstart> "
+                   "[--stats] [--trace-out=FILE] ...\n";
             return 2;
         }
-        std::vector<std::string> args(argv.begin() + 1, argv.end());
-        const std::string& command = argv[0];
+        std::vector<std::string> normalized = normalize_flags(argv);
+        std::vector<std::string> args(normalized.begin() + 1, normalized.end());
+        const std::string command = normalized[0];
+        bool stats = take_bool_flag(args, "--stats");
+        std::string trace_out = take_flag(args, "--trace-out", "");
+        TelemetryScope telemetry(stats, trace_out, out);
         if (command == "solve") {
             auto models = std::stoull(take_flag(args, "--models", "1"));
             if (args.size() != 1) throw CliError("usage: agenp solve <program.lp> [--models N]");
@@ -270,6 +410,10 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             auto out_path = take_flag(args, "--out", "");
             if (args.size() != 1) throw CliError("usage: agenp learn <task.agenp> [--out learned.asg]");
             return cmd_learn(args[0], out_path, out);
+        }
+        if (command == "quickstart") {
+            if (!args.empty()) throw CliError("usage: agenp quickstart [--stats] [--trace-out=FILE]");
+            return cmd_quickstart(out);
         }
         if (command == "evaluate") {
             auto request = take_flag(args, "--request", "");

@@ -4,6 +4,12 @@
 //   agenp membership <grammar.asg> --string "do patrol" [--context ctx.lp]
 //   agenp generate <grammar.asg> [--context ctx.lp] [--max N]
 //   agenp learn <task.agenp> [--out learned.asg]
+//   agenp quickstart
+//
+// Global flags (any command):
+//   --stats            print the metrics-registry dump after the command
+//   --trace-out=FILE   record spans and write Chrome trace-event JSON
+//                      (open in chrome://tracing or ui.perfetto.dev)
 //
 // The learn-task file format is line-oriented with #section headers:
 //
@@ -56,6 +62,12 @@ int cmd_learn(const std::string& task_path, const std::string& out_path, std::os
 // Exit code 0 = Permit, 1 = anything else.
 int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
                  const std::string& request_text, std::ostream& out);
+
+// Runs the Figure-1 workflow end to end on a built-in example domain:
+// PAdaP learns a GPM from examples, PReP materializes policies, the
+// PDP/PEP serve requests. Pairs with --stats/--trace-out to show the
+// per-phase AGENP telemetry.
+int cmd_quickstart(std::ostream& out);
 
 // argv-level dispatcher (used by main and by tests).
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);

@@ -7,6 +7,8 @@
 
 #include "asp/substitution.hpp"
 #include "ilp/guidance.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace agenp::ilp {
 
@@ -382,7 +384,10 @@ private:
             if (!ok) continue;
             int extra_penalty =
                 options_.noise_penalty * static_cast<int>(newly_sacrificed.size());
-            if (total + cost + extra_penalty >= best_cost_) continue;
+            if (total + cost + extra_penalty >= best_cost_) {
+                ++stats.pruned_branches;
+                continue;
+            }
             // Apply.
             std::vector<Mask> saved_pos = pos_alive_;
             std::vector<Mask> saved_neg = neg_left_;
@@ -520,7 +525,10 @@ private:
         if (static_cast<int>(subset.size()) >= options_.max_rules) return std::nullopt;
         for (std::size_t c = from; c < task_.space.candidates.size(); ++c) {
             int cost = task_.space.candidates[c].cost;
-            if (cost > remaining_cost) continue;
+            if (cost > remaining_cost) {
+                ++stats.pruned_branches;
+                continue;
+            }
             subset.push_back(c);
             if (auto found = dfs(c + 1, remaining_cost - cost, subset, relevant, stats)) return found;
             subset.pop_back();
@@ -536,11 +544,38 @@ private:
 
 }  // namespace
 
+namespace {
+
+void publish_stats(const LearnResult& result) {
+    if (!obs::metrics_enabled()) return;
+    auto& m = obs::metrics();
+    static obs::Counter& runs = m.counter("ilp.learner.runs");
+    static obs::Counter& found = m.counter("ilp.learner.hypotheses_found");
+    static obs::Counter& candidates = m.counter("ilp.learner.candidates_scored");
+    static obs::Counter& coverage = m.counter("ilp.learner.coverage_checks");
+    static obs::Counter& nodes = m.counter("ilp.learner.search_nodes");
+    static obs::Counter& pruned = m.counter("ilp.learner.pruned_branches");
+    static obs::Counter& cegis = m.counter("ilp.learner.cegis_iterations");
+    runs.add(1);
+    if (result.found) found.add(1);
+    candidates.add(result.stats.candidates);
+    coverage.add(result.stats.coverage_checks);
+    nodes.add(result.stats.search_nodes);
+    pruned.add(result.stats.pruned_branches);
+    cegis.add(result.stats.cegis_iterations);
+}
+
+}  // namespace
+
 LearnResult learn(const LearningTask& task, const LearnOptions& options) {
-    if (options.allow_fast_path && task.space.constraints_only()) {
-        return FastPathLearner(task, options).run();
-    }
-    return GeneralLearner(task, options).run();
+    obs::ScopedSpan span("ilp.learn", "ilp");
+    static obs::Histogram& time_hist = obs::metrics().histogram("ilp.learner.time_us");
+    obs::ScopedTimer timer(time_hist);
+    LearnResult result = options.allow_fast_path && task.space.constraints_only()
+                             ? FastPathLearner(task, options).run()
+                             : GeneralLearner(task, options).run();
+    publish_stats(result);
+    return result;
 }
 
 }  // namespace agenp::ilp

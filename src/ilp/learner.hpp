@@ -43,6 +43,7 @@ struct LearnStats {
     std::size_t candidates = 0;
     std::size_t coverage_checks = 0;   // membership / world evaluations
     std::size_t search_nodes = 0;
+    std::size_t pruned_branches = 0;   // candidates skipped by the cost bound
     std::size_t cegis_iterations = 0;  // general path only
     bool used_fast_path = false;
     bool world_cap_hit = false;  // some example had more answer sets than enumerated

@@ -1,0 +1,151 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms (DESIGN.md section "Observability").
+//
+// Design goals, in order:
+//  1. Hot-path cost: incrementing a held Counter& is one relaxed atomic
+//     add; instrumented loops accumulate into plain locals and flush once
+//     per operation. When metrics are globally disabled the flush helpers
+//     return immediately.
+//  2. Thread safety: all mutation is lock-free (std::atomic); only
+//     registration (first lookup of a name) takes a mutex, and returned
+//     references stay valid for the life of the process.
+//  3. Exportability: the registry renders a snapshot as aligned text or a
+//     single-line JSON object, suitable for `agenp --stats` and for the
+//     BENCH_*_JSON lines the benchmarks emit.
+//
+// Conventions: metric names are dot-separated (`asp.solver.decisions`);
+// histograms that record durations carry a `_us` suffix and observe
+// microseconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agenp::obs {
+
+// Global kill switch. Defaults to enabled; disabling makes the flush
+// helpers and ScopedTimer no-ops (call sites that cache Counter& still pay
+// one relaxed add — near-zero either way).
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+class Counter {
+public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+public:
+    void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram over non-negative integers. Bucket i collects
+// values v with bit_width(v) == i, i.e. exponentially sized buckets
+// [2^(i-1), 2^i); quantiles interpolate linearly inside a bucket. 64
+// buckets cover the full uint64 range, so observe() never clips.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
+
+    void observe(std::uint64_t value);
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::vector<std::uint64_t> buckets;
+
+        [[nodiscard]] double mean() const {
+            return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+        }
+        // Approximate quantile, q in [0, 1].
+        [[nodiscard]] double quantile(double q) const;
+    };
+
+    [[nodiscard]] Snapshot snapshot() const;
+    void reset();
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+class MetricsRegistry {
+public:
+    // References are stable for the life of the registry; looking up the
+    // same name always returns the same instrument.
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    Histogram& histogram(std::string_view name);
+
+    [[nodiscard]] MetricsSnapshot snapshot() const;
+
+    // Human-readable dump, sorted by name, histograms with count/mean/p50/
+    // p90/p99/max.
+    [[nodiscard]] std::string render_text() const;
+    // Single-line JSON object:
+    //   {"counters":{...},"gauges":{...},"histograms":{"x":{"count":..}}}
+    [[nodiscard]] std::string render_json() const;
+
+    // Zeroes every registered instrument (names stay registered).
+    void reset();
+
+    ~MetricsRegistry();
+    MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+// The process-wide registry used by all instrumentation call sites.
+MetricsRegistry& metrics();
+
+// Times a scope and observes the elapsed microseconds into `h` (skipped
+// entirely when metrics are disabled at construction time).
+class ScopedTimer {
+public:
+    explicit ScopedTimer(Histogram& h);
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+    Histogram* histogram_;  // null when disabled
+    std::uint64_t start_ns_ = 0;
+};
+
+// Monotonic nanoseconds since an arbitrary process-local epoch (shared
+// with the tracer so span and timer clocks agree).
+std::uint64_t monotonic_ns();
+
+// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace agenp::obs

@@ -1,0 +1,75 @@
+// Scoped tracing: nested timed spans exported as Chrome trace-event JSON
+// (open in chrome://tracing or https://ui.perfetto.dev) plus a flat
+// profile aggregated by span name.
+//
+// Tracing is off by default: a ScopedSpan constructed while the recorder
+// is disabled touches no clock and allocates nothing. When enabled, each
+// span records one complete ("ph":"X") event at destruction; nesting is
+// reconstructed by the viewer from the timestamps and by the flat profile
+// from a per-thread span stack (so self-time excludes child spans).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agenp::obs {
+
+struct SpanEvent {
+    std::string name;
+    std::string category;
+    std::uint64_t start_us = 0;  // since the process-local trace epoch
+    std::uint64_t duration_us = 0;
+    std::uint64_t self_us = 0;  // duration minus time spent in child spans
+    std::uint32_t thread = 0;   // dense per-process thread index
+    std::uint32_t depth = 0;    // nesting level at record time
+};
+
+class TraceRecorder {
+public:
+    [[nodiscard]] bool enabled() const { return enabled_; }
+    void set_enabled(bool enabled);
+
+    void clear();
+
+    [[nodiscard]] std::vector<SpanEvent> events() const;
+
+    // Chrome trace-event JSON object: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+    // Flat profile: one line per span name with call count, total time,
+    // and self time, sorted by total descending.
+    [[nodiscard]] std::string flat_profile() const;
+
+    void record(SpanEvent event);
+
+    TraceRecorder();
+    ~TraceRecorder();
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+private:
+    struct Impl;
+    bool enabled_ = false;  // only flipped from the controlling thread
+    Impl* impl_;
+};
+
+// The process-wide recorder used by all ScopedSpan call sites.
+TraceRecorder& tracer();
+
+class ScopedSpan {
+public:
+    explicit ScopedSpan(std::string_view name, std::string_view category = "agenp");
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    bool active_;
+    std::uint64_t start_ns_ = 0;
+    std::string name_;
+    std::string category_;
+};
+
+}  // namespace agenp::obs

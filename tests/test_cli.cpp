@@ -184,6 +184,61 @@ TEST(Run, EndToEndSolve) {
     EXPECT_NE(out.str().find("p q"), std::string::npos);
 }
 
+TEST(Run, QuickstartRunsFullLoop) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"quickstart"}, out, err), 0);
+    EXPECT_NE(out.str().find("ASP warm-up: 8 answer sets"), std::string::npos);
+    EXPECT_NE(out.str().find("PAdaP adopted GPM v1"), std::string::npos);
+    EXPECT_NE(out.str().find("do patrol -> Permit"), std::string::npos);
+    EXPECT_NE(out.str().find("do strike -> Deny"), std::string::npos);
+    // Without --stats there is no metrics dump.
+    EXPECT_EQ(out.str().find("--- metrics ---"), std::string::npos);
+}
+
+TEST(Run, StatsFlagDumpsNonzeroTelemetry) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"quickstart", "--stats"}, out, err), 0);
+    const auto& text = out.str();
+    // The warm-up program branches, so solver decisions are nonzero.
+    EXPECT_EQ(text.find("(0 decisions"), std::string::npos);
+    EXPECT_NE(text.find("--- metrics ---"), std::string::npos);
+    for (const char* metric :
+         {"asp.solver.decisions", "asp.solver.propagations", "ilp.learner.runs",
+          "agenp.pdp.decisions", "agenp.prep.refreshes", "asg.membership.checks"}) {
+        EXPECT_NE(text.find(metric), std::string::npos) << metric;
+    }
+    // Per-phase AGENP latency histograms are present.
+    for (const char* hist : {"agenp.padap.time_us", "agenp.prep.time_us", "agenp.pdp.time_us"}) {
+        EXPECT_NE(text.find(hist), std::string::npos) << hist;
+    }
+}
+
+TEST(Run, TraceOutWritesChromeTraceJson) {
+    std::string path = std::string(::testing::TempDir()) + "/agenp_trace.json";
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"quickstart", "--trace-out=" + path}, out, err), 0);
+    EXPECT_NE(out.str().find("trace written to"), std::string::npos);
+    auto json = read_file(path);
+    // Structural spot-checks; full JSON validation lives in test_obs.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("asp.solve"), std::string::npos);
+    EXPECT_NE(json.find("agenp.padap.adapt"), std::string::npos);
+    // The flat profile accompanies the trace on stdout.
+    EXPECT_NE(out.str().find("agenp.pdp.decide"), std::string::npos);
+}
+
+TEST(Run, StatsFlagWorksOnSolveToo) {
+    auto path = temp_file("stats.lp", "a :- not b. b :- not a.");
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"solve", path, "--models", "0", "--stats"}, out, err), 0);
+    EXPECT_NE(out.str().find("--- metrics ---"), std::string::npos);
+    EXPECT_NE(out.str().find("asp.solver.solves"), std::string::npos);
+}
+
 TEST(ReadFile, ThrowsOnMissing) {
     EXPECT_THROW(read_file("/nonexistent/definitely_missing"), CliError);
 }

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace agenp::obs {
+namespace {
+
+// --- minimal JSON validator --------------------------------------------------
+// Recursive-descent syntax checker, enough to assert that render_json() and
+// chrome_trace_json() emit well-formed JSON without pulling in a library.
+
+class JsonChecker {
+public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool valid() {
+        skip_ws();
+        if (!value()) return false;
+        skip_ws();
+        return pos_ == text_.size();
+    }
+
+private:
+    bool value() {
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+            case '{': return object();
+            case '[': return array();
+            case '"': return string();
+            case 't': return literal("true");
+            case 'f': return literal("false");
+            case 'n': return literal("null");
+            default: return number();
+        }
+    }
+
+    bool object() {
+        ++pos_;  // '{'
+        skip_ws();
+        if (peek() == '}') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!string()) return false;
+            skip_ws();
+            if (peek() != ':') return false;
+            ++pos_;
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool array() {
+        ++pos_;  // '['
+        skip_ws();
+        if (peek() == ']') { ++pos_; return true; }
+        while (true) {
+            skip_ws();
+            if (!value()) return false;
+            skip_ws();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool string() {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') { ++pos_; return true; }
+            if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size()) return false;
+                char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= text_.size() || !std::isxdigit(
+                                static_cast<unsigned char>(text_[pos_]))) {
+                            return false;
+                        }
+                    }
+                } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;  // unterminated
+    }
+
+    bool number() {
+        std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-') ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+bool is_valid_json(std::string_view text) { return JsonChecker(text).valid(); }
+
+// Busy-wait so span durations are real elapsed time (sleep granularity on
+// loaded CI machines would make the self-time assertions flaky).
+void spin_for_us(std::uint64_t us) {
+    std::uint64_t end = monotonic_ns() + us * 1000;
+    while (monotonic_ns() < end) {
+    }
+}
+
+// --- instruments -------------------------------------------------------------
+
+TEST(Counter, AddAndReset) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddNegative) {
+    Gauge g;
+    g.set(10);
+    g.add(-25);
+    EXPECT_EQ(g.value(), -15);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, CountSumMinMax) {
+    Histogram h;
+    auto empty = h.snapshot();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.min, 0u);
+    EXPECT_EQ(empty.max, 0u);
+    EXPECT_EQ(empty.mean(), 0.0);
+
+    h.observe(3);
+    h.observe(900);
+    h.observe(17);
+    auto s = h.snapshot();
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_EQ(s.sum, 920u);
+    EXPECT_EQ(s.min, 3u);
+    EXPECT_EQ(s.max, 900u);
+    EXPECT_NEAR(s.mean(), 920.0 / 3.0, 1e-9);
+
+    h.reset();
+    EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Histogram, QuantilesOfConstantStream) {
+    Histogram h;
+    for (int i = 0; i < 10; ++i) h.observe(100);
+    auto s = h.snapshot();
+    // min == max == 100 clips the bucket interpolation to the exact value.
+    EXPECT_EQ(s.quantile(0.0), 100.0);
+    EXPECT_EQ(s.quantile(0.5), 100.0);
+    EXPECT_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, QuantilesAreOrderedAndBounded) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+    auto s = h.snapshot();
+    double p10 = s.quantile(0.10);
+    double p50 = s.quantile(0.50);
+    double p99 = s.quantile(0.99);
+    EXPECT_LE(p10, p50);
+    EXPECT_LE(p50, p99);
+    EXPECT_GE(p10, static_cast<double>(s.min));
+    EXPECT_LE(p99, static_cast<double>(s.max));
+    // Exponential buckets are coarse, but the median of 1..1000 should land
+    // within its bucket [256, 511].
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 512.0);
+}
+
+TEST(Histogram, ZeroAndHugeValuesDoNotClip) {
+    Histogram h;
+    h.observe(0);
+    h.observe(~std::uint64_t{0});
+    auto s = h.snapshot();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, ~std::uint64_t{0});
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+    MetricsRegistry r;
+    EXPECT_EQ(&r.counter("a"), &r.counter("a"));
+    EXPECT_NE(&r.counter("a"), &r.counter("b"));
+    // Counter / gauge / histogram namespaces are independent.
+    EXPECT_EQ(&r.gauge("a"), &r.gauge("a"));
+    EXPECT_EQ(&r.histogram("a"), &r.histogram("a"));
+}
+
+TEST(Registry, ReferencesSurviveLaterRegistrations) {
+    MetricsRegistry r;
+    Counter& first = r.counter("stable");
+    first.add(5);
+    // Register enough names to force rebalancing in a node-unstable container.
+    for (int i = 0; i < 200; ++i) r.counter("filler." + std::to_string(i));
+    EXPECT_EQ(&r.counter("stable"), &first);
+    EXPECT_EQ(first.value(), 5u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact) {
+    MetricsRegistry r;
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20'000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&r] {
+            // Lookup inside the loop exercises concurrent registration too.
+            for (std::uint64_t i = 0; i < kPerThread; ++i) r.counter("shared").add();
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(r.counter("shared").value(), kThreads * kPerThread);
+}
+
+TEST(Registry, ConcurrentHistogramObservations) {
+    MetricsRegistry r;
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 10'000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&r] {
+            Histogram& h = r.histogram("lat");
+            for (std::uint64_t i = 1; i <= kPerThread; ++i) h.observe(i);
+        });
+    }
+    for (auto& w : workers) w.join();
+    auto s = r.histogram("lat").snapshot();
+    EXPECT_EQ(s.count, kThreads * kPerThread);
+    EXPECT_EQ(s.sum, kThreads * (kPerThread * (kPerThread + 1) / 2));
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.max, kPerThread);
+}
+
+TEST(Registry, RenderTextListsInstruments) {
+    MetricsRegistry r;
+    r.counter("alpha.count").add(3);
+    r.gauge("beta.level").set(-2);
+    r.histogram("gamma.time_us").observe(10);
+    auto text = r.render_text();
+    EXPECT_NE(text.find("alpha.count"), std::string::npos);
+    EXPECT_NE(text.find("3"), std::string::npos);
+    EXPECT_NE(text.find("beta.level"), std::string::npos);
+    EXPECT_NE(text.find("-2"), std::string::npos);
+    EXPECT_NE(text.find("gamma.time_us"), std::string::npos);
+    EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(Registry, RenderJsonIsWellFormed) {
+    MetricsRegistry r;
+    EXPECT_TRUE(is_valid_json(r.render_json())) << r.render_json();
+    r.counter("c.one").add(1);
+    r.gauge("g.one").set(-7);
+    r.histogram("h.one").observe(42);
+    r.counter("weird \"name\"\\with\nescapes").add(9);
+    auto json = r.render_json();
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    EXPECT_NE(json.find("\"c.one\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"g.one\":-7"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsNames) {
+    MetricsRegistry r;
+    r.counter("keep").add(11);
+    r.histogram("keep_us").observe(5);
+    r.reset();
+    EXPECT_EQ(r.counter("keep").value(), 0u);
+    EXPECT_EQ(r.histogram("keep_us").snapshot().count, 0u);
+    auto s = r.snapshot();
+    ASSERT_EQ(s.counters.size(), 1u);
+    EXPECT_EQ(s.counters[0].first, "keep");
+}
+
+TEST(Registry, GlobalRegistryIsASingleton) {
+    EXPECT_EQ(&metrics(), &metrics());
+}
+
+TEST(Metrics, DisabledSkipsScopedTimer) {
+    Histogram h;
+    set_metrics_enabled(false);
+    { ScopedTimer t(h); }
+    set_metrics_enabled(true);
+    EXPECT_EQ(h.snapshot().count, 0u);
+    { ScopedTimer t(h); }
+    EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+// --- tracing -----------------------------------------------------------------
+
+TEST(Trace, DisabledRecorderCapturesNothing) {
+    tracer().set_enabled(false);
+    tracer().clear();
+    { ScopedSpan span("invisible"); }
+    EXPECT_TRUE(tracer().events().empty());
+}
+
+TEST(Trace, SpanNestingAndSelfTime) {
+    tracer().set_enabled(true);
+    tracer().clear();
+    {
+        ScopedSpan outer("outer", "test");
+        spin_for_us(2000);
+        {
+            ScopedSpan inner("inner", "test");
+            spin_for_us(2000);
+        }
+        spin_for_us(1000);
+    }
+    tracer().set_enabled(false);
+
+    auto events = tracer().events();
+    ASSERT_EQ(events.size(), 2u);
+    // Spans are recorded at destruction: inner first, outer second.
+    const auto& inner = events[0];
+    const auto& outer = events[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(inner.depth, 1u);
+    EXPECT_EQ(outer.depth, 0u);
+    EXPECT_EQ(inner.thread, outer.thread);
+
+    // The child lies inside the parent on the timeline.
+    EXPECT_GE(inner.start_us, outer.start_us);
+    EXPECT_LE(inner.start_us + inner.duration_us, outer.start_us + outer.duration_us);
+
+    // Self time excludes the child: ~3ms of the outer ~5ms.
+    EXPECT_LE(inner.self_us, inner.duration_us);
+    EXPECT_GE(outer.duration_us, inner.duration_us);
+    EXPECT_LE(outer.self_us, outer.duration_us - inner.duration_us + 100);
+    EXPECT_GE(outer.self_us + inner.duration_us + 100, outer.duration_us);
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormed) {
+    tracer().set_enabled(true);
+    tracer().clear();
+    {
+        ScopedSpan a("phase.a", "test");
+        ScopedSpan b("phase \"b\"\\nested", "test");
+        spin_for_us(100);
+    }
+    tracer().set_enabled(false);
+
+    auto json = tracer().chrome_trace_json();
+    EXPECT_TRUE(is_valid_json(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("phase.a"), std::string::npos);
+}
+
+TEST(Trace, FlatProfileAggregatesByName) {
+    tracer().set_enabled(true);
+    tracer().clear();
+    for (int i = 0; i < 3; ++i) {
+        ScopedSpan span("repeated", "test");
+        spin_for_us(200);
+    }
+    tracer().set_enabled(false);
+
+    auto profile = tracer().flat_profile();
+    EXPECT_NE(profile.find("repeated"), std::string::npos);
+    EXPECT_NE(profile.find("3"), std::string::npos);  // call count
+}
+
+TEST(Trace, ClearDropsEvents) {
+    tracer().set_enabled(true);
+    { ScopedSpan span("to-drop"); }
+    tracer().clear();
+    tracer().set_enabled(false);
+    EXPECT_TRUE(tracer().events().empty());
+}
+
+}  // namespace
+}  // namespace agenp::obs

@@ -165,6 +165,41 @@ TEST(Solver, DecisionBudgetSurfacesAsExhausted) {
     EXPECT_TRUE(result.exhausted);
 }
 
+TEST(Solver, StatsCountSearchEffort) {
+    // Three even loops, full enumeration: 8 models, real branching.
+    std::string text;
+    for (int i = 0; i < 3; ++i) {
+        text += "p" + std::to_string(i) + " :- not q" + std::to_string(i) + ".\n";
+        text += "q" + std::to_string(i) + " :- not p" + std::to_string(i) + ".\n";
+    }
+    auto result = solve(ground(parse_program(text)), {.max_models = 0});
+    EXPECT_EQ(result.models.size(), 8u);
+    EXPECT_EQ(result.stats.models, 8u);
+    EXPECT_GT(result.stats.decisions, 0u);
+    EXPECT_GT(result.stats.propagations, 0u);
+    EXPECT_GT(result.stats.backtracks, 0u);
+    // Every enumerated total assignment is tested for stability.
+    EXPECT_GE(result.stats.stability_checks, 8u);
+}
+
+TEST(Solver, StatsOnPropagationOnlyProgram) {
+    // A definite program is fully decided by unit propagation: no branching,
+    // no conflicts, but propagations and the stability check still happen.
+    auto result = solve(ground(parse_program("p. q :- p. r :- q.")), {.max_models = 0});
+    EXPECT_EQ(result.models.size(), 1u);
+    EXPECT_EQ(result.stats.decisions, 0u);
+    EXPECT_EQ(result.stats.backtracks, 0u);
+    EXPECT_GT(result.stats.propagations, 0u);
+    EXPECT_EQ(result.stats.models, 1u);
+}
+
+TEST(Solver, StatsCountConflictsOnUnsat) {
+    auto result = solve(ground(parse_program("p :- not q. q :- not p. :- p. :- q.")),
+                        {.max_models = 0});
+    EXPECT_TRUE(result.models.empty());
+    EXPECT_GT(result.stats.conflicts, 0u);
+}
+
 TEST(Solver, SatisfiableHelper) {
     EXPECT_TRUE(satisfiable(ground(parse_program("p."))));
     EXPECT_FALSE(satisfiable(ground(parse_program("p. :- p."))));
