@@ -72,7 +72,7 @@ int main() {
         alpha.pip().add_source("env", [env_i] { return cav::context_program(env_i); });
         auto [permitted, index] = alpha.handle_request(cav::request_tokens(x));
         (void)permitted;
-        alpha.give_feedback(index, x.accepted);
+        (void)alpha.give_feedback(index, x.accepted);
     }
     alpha.pip().remove_source("env");
     alpha.pip().add_source("env", context_source);

@@ -1,0 +1,105 @@
+// E14: serving-layer throughput and latency (DESIGN.md section 8).
+//
+// Closed-loop load generation against the decision service on the demo
+// serving domain, sweeping worker thread counts with the decision cache on
+// and off. Emits one machine-readable line:
+//
+//   BENCH_SERVE_JSON {"rows":[{"threads":..,"cache":..,"throughput_rps":..,
+//                              "p50_us":..,"p99_us":..,"hit_rate":..},...],
+//                     "cache_speedup":..,"smoke":..}
+//
+// `cache_speedup` compares cache on vs off at the same thread count on the
+// repeated-request workload; the CI smoke (`--smoke`) asserts the line
+// parses and the sweep ran.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "srv/loadgen.hpp"
+
+using namespace agenp;
+
+namespace {
+
+struct Row {
+    std::size_t threads = 0;
+    bool cache = false;
+    srv::LoadgenReport report;
+};
+
+Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
+               std::size_t distinct) {
+    auto ams = srv::make_demo_ams(distinct);
+    srv::ServiceOptions options;
+    options.threads = threads;
+    options.use_cache = cache;
+    srv::DecisionService service(ams, options);
+
+    srv::LoadgenOptions load;
+    load.clients = threads;  // closed loop: one client per worker
+    load.requests_per_client = requests_per_client;
+    Row row;
+    row.threads = threads;
+    row.cache = cache;
+    row.report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke") smoke = true;
+    }
+
+    const std::size_t distinct = 8;
+    const std::size_t requests_per_client = smoke ? 50 : 200;
+    std::vector<std::size_t> thread_counts = smoke ? std::vector<std::size_t>{2}
+                                                   : std::vector<std::size_t>{1, 2, 4, 8};
+
+    std::printf("serving benchmark: %zu distinct requests, %zu per client, closed loop\n",
+                distinct, requests_per_client);
+    std::printf("%8s %6s %14s %10s %10s %9s\n", "threads", "cache", "throughput", "p50_us",
+                "p99_us", "hit_rate");
+
+    std::vector<Row> rows;
+    for (bool cache : {false, true}) {
+        for (std::size_t threads : thread_counts) {
+            Row row = run_config(threads, cache, requests_per_client, distinct);
+            std::printf("%8zu %6s %12.1f/s %10.1f %10.1f %9.3f\n", row.threads,
+                        row.cache ? "on" : "off", row.report.throughput_rps, row.report.p50_us,
+                        row.report.p99_us, row.report.hit_rate);
+            rows.push_back(std::move(row));
+        }
+    }
+
+    // Cache speedup at the highest common thread count.
+    double on_rps = 0, off_rps = 0;
+    std::size_t top = thread_counts.back();
+    for (const auto& row : rows) {
+        if (row.threads != top) continue;
+        (row.cache ? on_rps : off_rps) = row.report.throughput_rps;
+    }
+    double speedup = off_rps > 0 ? on_rps / off_rps : 0;
+    std::printf("cache speedup at %zu threads: %.1fx\n", top, speedup);
+
+    std::string json = "{\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& row = rows[i];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"threads\":%zu,\"cache\":%s,\"throughput_rps\":%.1f,\"p50_us\":%.1f,"
+                      "\"p99_us\":%.1f,\"hit_rate\":%.3f}",
+                      i == 0 ? "" : ",", row.threads, row.cache ? "true" : "false",
+                      row.report.throughput_rps, row.report.p50_us, row.report.p99_us,
+                      row.report.hit_rate);
+        json += buf;
+    }
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), "],\"cache_speedup\":%.1f,\"smoke\":%s}", speedup,
+                  smoke ? "true" : "false");
+    json += tail;
+    std::printf("BENCH_SERVE_JSON %s\n", json.c_str());
+    return 0;
+}

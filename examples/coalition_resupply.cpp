@@ -34,7 +34,7 @@ int main() {
         x.context = ctx;
         x.acceptable = rs::ground_truth(x.plan, x.context);
         auto [permitted, index] = alpha.handle_request(rs::plan_tokens(x.plan));
-        alpha.give_feedback(index, x.acceptable);
+        (void)alpha.give_feedback(index, x.acceptable);
         if (permitted != x.acceptable) ++wrong;
     }
     auto accuracy = alpha.monitor().observed_accuracy();

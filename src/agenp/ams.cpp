@@ -11,6 +11,7 @@ AutonomousManagedSystem::AutonomousManagedSystem(std::string name, asg::AnswerSe
       options_(std::move(options)),
       prep_(options_.prep),
       pdp_(options_.strategy, options_.membership),
+      monitor_(options_.monitor_capacity),
       padap_(std::move(initial), std::move(space), options_.adaptation) {}
 
 const asg::AnswerSetGrammar& AutonomousManagedSystem::model() const {

@@ -16,6 +16,8 @@ struct AmsOptions {
     // Refresh the Policy Repository automatically whenever a new model is
     // adopted (needed by the Repository decision strategy).
     bool auto_refresh_policies = true;
+    // Ring-buffer bound on the decision history (see DecisionMonitor).
+    std::size_t monitor_capacity = DecisionMonitor::kDefaultCapacity;
 };
 
 // A model shared into the coalition (CASWiki-style, Section III.A.3).
@@ -48,12 +50,22 @@ public:
     // PEP. Returns (permitted, monitor index for later feedback).
     std::pair<bool, std::size_t> handle_request(const cfg::TokenString& request);
 
-    void give_feedback(std::size_t decision_index, bool should_permit) {
-        monitor_.attach_feedback(decision_index, should_permit);
+    // Pure decision under an explicit context snapshot: no PEP side effect,
+    // no monitor record. The serving layer (src/srv) uses this so it can
+    // cache the result and record history under its own locks.
+    [[nodiscard]] bool decide(const cfg::TokenString& request, const asp::Program& context) const {
+        return pdp_.decide(request, context, model(), policy_repo_);
+    }
+
+    // False when the index was evicted from (or never issued by) the
+    // bounded monitor.
+    [[nodiscard]] bool give_feedback(std::size_t decision_index, bool should_permit) {
+        return monitor_.attach_feedback(decision_index, should_permit);
     }
 
     PolicyEnforcementPoint& pep() { return pep_; }
     [[nodiscard]] const DecisionMonitor& monitor() const { return monitor_; }
+    DecisionMonitor& monitor() { return monitor_; }
     PolicyRepository& policies() { return policy_repo_; }
 
     // --- learn / adapt ---

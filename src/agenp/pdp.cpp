@@ -46,7 +46,7 @@ std::string DecisionMonitor::render_audit(std::size_t last_n) const {
     std::size_t start = last_n == 0 || last_n >= history_.size() ? 0 : history_.size() - last_n;
     for (std::size_t i = start; i < history_.size(); ++i) {
         const auto& r = history_[i];
-        out += "  #" + std::to_string(i) + " " + cfg::detokenize(r.request) + " -> " +
+        out += "  #" + std::to_string(first_ + i) + " " + cfg::detokenize(r.request) + " -> " +
                (r.permitted ? "Permit" : "Deny") + " (model v" +
                std::to_string(r.model_version) + ")";
         if (r.should_permit) {
@@ -77,6 +77,17 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
     switch (strategy_) {
         case DecisionStrategy::Repository:
             permitted = repo.contains(request);
+            // When the PReP could not materialize the full request space,
+            // absence from the repository is inconclusive: fall back to the
+            // authoritative membership check instead of silently denying.
+            if (!permitted && repo.truncated()) {
+                permitted = asg::in_language(model, request, context, options_);
+                if (obs::metrics_enabled()) {
+                    static obs::Counter& fallbacks =
+                        obs::metrics().counter("srv.repository_fallbacks");
+                    fallbacks.add(1);
+                }
+            }
             break;
         case DecisionStrategy::Membership:
             permitted = asg::in_language(model, request, context, options_);

@@ -9,6 +9,7 @@
 // out and the monitor records history for the PAdaP.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 
@@ -28,18 +29,42 @@ struct DecisionRecord {
 
 // History of PDP decisions and PEP actions ("the operations of the PDP and
 // PEP are monitored to produce a history").
+//
+// Bounded: the monitor keeps at most `capacity` records as a ring buffer,
+// evicting the oldest, so a long-running serving loop cannot grow it
+// without bound. Indices returned by record() are monotonically increasing
+// sequence numbers that stay valid across evictions; attach_feedback on an
+// evicted (or never-issued) index reports failure instead of touching
+// memory it doesn't own.
 class DecisionMonitor {
 public:
+    static constexpr std::size_t kDefaultCapacity = 65536;
+
+    explicit DecisionMonitor(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity == 0 ? 1 : capacity) {}
+
     std::size_t record(DecisionRecord record) {
+        if (history_.size() == capacity_) {
+            history_.pop_front();
+            ++first_;
+        }
         history_.push_back(std::move(record));
-        return history_.size() - 1;
+        return first_ + history_.size() - 1;
     }
 
-    void attach_feedback(std::size_t index, bool should_permit) {
-        history_[index].should_permit = should_permit;
+    // False when `index` was evicted or never issued.
+    [[nodiscard]] bool attach_feedback(std::size_t index, bool should_permit) {
+        if (index < first_ || index - first_ >= history_.size()) return false;
+        history_[index - first_].should_permit = should_permit;
+        return true;
     }
 
-    [[nodiscard]] const std::vector<DecisionRecord>& history() const { return history_; }
+    [[nodiscard]] const std::deque<DecisionRecord>& history() const { return history_; }
+    // Sequence number of history().front(); equals total_recorded() minus
+    // the retained count.
+    [[nodiscard]] std::size_t first_index() const { return first_; }
+    [[nodiscard]] std::size_t total_recorded() const { return first_ + history_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
     // Accuracy over records with feedback; nullopt when none.
     [[nodiscard]] std::optional<double> observed_accuracy() const;
@@ -53,10 +78,17 @@ public:
     // by superseded model versions.
     [[nodiscard]] std::string render_audit(std::size_t last_n = 0) const;
 
-    void clear() { history_.clear(); }
+    // Drops retained records; sequence numbers keep advancing so indices
+    // handed out before the clear stay invalid rather than aliasing.
+    void clear() {
+        first_ += history_.size();
+        history_.clear();
+    }
 
 private:
-    std::vector<DecisionRecord> history_;
+    std::size_t capacity_;
+    std::size_t first_ = 0;  // sequence number of history_.front()
+    std::deque<DecisionRecord> history_;
 };
 
 enum class DecisionStrategy {

@@ -17,6 +17,7 @@ PrepReport PolicyRefinementPoint::refresh(const asg::AnswerSetGrammar& model,
     report.generated = result.strings.size();
     report.truncated = result.truncated;
     repo.replace(std::move(result.strings), "prep", version);
+    repo.set_truncated(result.truncated);
 
     if (obs::metrics_enabled()) {
         auto& m = obs::metrics();

@@ -9,6 +9,7 @@ void PolicyRepository::replace(std::vector<cfg::TokenString> policies, const std
     policies_.clear();
     index_.clear();
     version_ = version;
+    truncated_ = false;
     for (auto& p : policies) add(std::move(p), source, version);
 }
 

@@ -35,10 +35,17 @@ public:
     [[nodiscard]] std::size_t size() const { return policies_.size(); }
     [[nodiscard]] std::uint64_t version() const { return version_; }
 
+    // True when the last refresh hit its enumeration budget, i.e. the
+    // stored set undercovers the request space and `!contains(r)` is not a
+    // reliable Deny. Cleared by replace(); the PReP re-stamps it.
+    [[nodiscard]] bool truncated() const { return truncated_; }
+    void set_truncated(bool truncated) { truncated_ = truncated; }
+
 private:
     std::vector<StoredPolicy> policies_;
     std::set<std::string> index_;  // detokenized strings for O(log n) lookup
     std::uint64_t version_ = 0;
+    bool truncated_ = false;
 };
 
 // Versioned store of learned GPMs ("the PAdaP can access the latest

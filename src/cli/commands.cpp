@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -12,6 +13,8 @@
 #include "asp/solver.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "srv/loadgen.hpp"
+#include "srv/service.hpp"
 #include "util/strings.hpp"
 #include "xacml/evaluator.hpp"
 #include "xacml/text_format.hpp"
@@ -283,6 +286,66 @@ int cmd_quickstart(std::ostream& out) {
     return 0;
 }
 
+int cmd_serve(const std::string& grammar_path, const std::string& context_path,
+              std::size_t threads, std::size_t cache_mb, bool use_cache, std::istream& in,
+              std::ostream& out) {
+    auto grammar = asg::AnswerSetGrammar::parse(read_file(grammar_path));
+    asp::Program context;
+    if (!context_path.empty()) context = asp::parse_program(read_file(context_path));
+
+    framework::AutonomousManagedSystem ams("serve", std::move(grammar), ilp::HypothesisSpace{});
+    ams.pip().add_source("file", [context] { return context; });
+
+    srv::ServiceOptions options;
+    options.threads = threads;
+    options.use_cache = use_cache;
+    if (cache_mb > 0) options.cache.capacity_bytes = cache_mb << 20;
+
+    srv::DecisionService service(ams, options);
+    auto start = std::chrono::steady_clock::now();
+    std::string line;
+    std::size_t served = 0;
+    while (std::getline(in, line)) {
+        auto trimmed = util::trim(line);
+        if (trimmed.empty()) continue;
+        srv::Decision decision = service.submit(cfg::tokenize(trimmed)).get();
+        out << srv::outcome_name(decision.outcome) << "\n";
+        ++served;
+    }
+    service.drain();
+    auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    auto stats = service.snapshot_stats();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.1f req/s, cache hit rate %.3f",
+                  seconds > 0 ? static_cast<double>(served) / seconds : 0.0,
+                  stats.cache.hit_rate());
+    out << "served " << served << " requests (" << stats.permitted << " permit, " << stats.denied
+        << " deny, " << stats.rejected_overload << " overloaded, " << stats.expired
+        << " expired): " << buf << "\n";
+    return 0;
+}
+
+int cmd_loadgen(std::size_t threads, std::size_t clients, std::size_t requests_per_client,
+                std::size_t distinct, std::size_t cache_mb, bool use_cache, std::ostream& out) {
+    auto ams = srv::make_demo_ams(distinct);
+    srv::ServiceOptions options;
+    options.threads = threads;
+    options.use_cache = use_cache;
+    if (cache_mb > 0) options.cache.capacity_bytes = cache_mb << 20;
+    srv::DecisionService service(ams, options);
+
+    srv::LoadgenOptions load;
+    load.clients = clients;
+    load.requests_per_client = requests_per_client;
+    auto report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
+    out << "loadgen: " << clients << " clients x " << requests_per_client << " requests, "
+        << distinct << " distinct, " << threads << " threads, cache "
+        << (use_cache ? "on" : "off") << "\n";
+    out << report.render_text();
+    out << "LOADGEN_JSON " << report.to_json() << "\n";
+    return 0;
+}
+
 int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
                  const std::string& request_text, std::ostream& out) {
     auto schema = xacml::parse_schema(read_file(schema_path));
@@ -377,8 +440,8 @@ private:
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
     try {
         if (argv.empty()) {
-            err << "usage: agenp <solve|membership|generate|learn|evaluate|quickstart> "
-                   "[--stats] [--trace-out=FILE] ...\n";
+            err << "usage: agenp <solve|membership|generate|learn|evaluate|quickstart|serve|"
+                   "loadgen> [--stats] [--trace-out=FILE] ...\n";
             return 2;
         }
         std::vector<std::string> normalized = normalize_flags(argv);
@@ -414,6 +477,32 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
         if (command == "quickstart") {
             if (!args.empty()) throw CliError("usage: agenp quickstart [--stats] [--trace-out=FILE]");
             return cmd_quickstart(out);
+        }
+        if (command == "serve") {
+            auto context = take_flag(args, "--context", "");
+            auto threads = std::stoull(take_flag(args, "--threads", "4"));
+            auto cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
+            bool no_cache = take_bool_flag(args, "--no-cache");
+            if (args.size() != 1) {
+                throw CliError(
+                    "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
+                    "[--cache-mb M] [--no-cache]");
+            }
+            return cmd_serve(args[0], context, threads, cache_mb, !no_cache, std::cin, out);
+        }
+        if (command == "loadgen") {
+            auto threads = std::stoull(take_flag(args, "--threads", "4"));
+            auto clients = std::stoull(take_flag(args, "--clients", "4"));
+            auto requests = std::stoull(take_flag(args, "--requests", "250"));
+            auto distinct = std::stoull(take_flag(args, "--distinct", "8"));
+            auto cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
+            bool no_cache = take_bool_flag(args, "--no-cache");
+            if (!args.empty()) {
+                throw CliError(
+                    "usage: agenp loadgen [--threads N] [--clients N] [--requests N] "
+                    "[--distinct K] [--cache-mb M] [--no-cache]");
+            }
+            return cmd_loadgen(threads, clients, requests, distinct, cache_mb, !no_cache, out);
         }
         if (command == "evaluate") {
             auto request = take_flag(args, "--request", "");

@@ -5,6 +5,9 @@
 //   agenp generate <grammar.asg> [--context ctx.lp] [--max N]
 //   agenp learn <task.agenp> [--out learned.asg]
 //   agenp quickstart
+//   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
+//   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
+//                 [--cache-mb M] [--no-cache]
 //
 // Global flags (any command):
 //   --stats            print the metrics-registry dump after the command
@@ -35,6 +38,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -68,6 +72,20 @@ int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
 // PDP/PEP serve requests. Pairs with --stats/--trace-out to show the
 // per-phase AGENP telemetry.
 int cmd_quickstart(std::ostream& out);
+
+// PDP-as-a-service over stdin: one request (token string) per line in,
+// one decision (Permit/Deny/Overloaded/Expired) per line out; a summary
+// with throughput and cache hit rate is printed at EOF. `cache_mb == 0`
+// with `use_cache` still enables a minimal cache; pass use_cache=false to
+// disable it.
+int cmd_serve(const std::string& grammar_path, const std::string& context_path,
+              std::size_t threads, std::size_t cache_mb, bool use_cache, std::istream& in,
+              std::ostream& out);
+
+// Closed-loop load generator against the built-in demo serving domain;
+// prints the human-readable report plus one `LOADGEN_JSON {...}` line.
+int cmd_loadgen(std::size_t threads, std::size_t clients, std::size_t requests_per_client,
+                std::size_t distinct, std::size_t cache_mb, bool use_cache, std::ostream& out);
 
 // argv-level dispatcher (used by main and by tests).
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);

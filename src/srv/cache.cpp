@@ -1,0 +1,114 @@
+#include "srv/cache.hpp"
+
+#include <bit>
+
+#include "obs/metrics.hpp"
+
+namespace agenp::srv {
+
+namespace {
+
+// FNV-1a, 64-bit.
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+DecisionCache::DecisionCache(CacheOptions options) {
+    std::size_t shards = std::bit_ceil(options.shards == 0 ? std::size_t{1} : options.shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+    shard_mask_ = shards - 1;
+    shard_capacity_bytes_ = options.capacity_bytes / shards;
+    if (shard_capacity_bytes_ == 0) shard_capacity_bytes_ = 1;
+}
+
+CacheKey DecisionCache::make_key(const cfg::TokenString& request, const asp::Program& context) {
+    CacheKey key;
+    key.text = cfg::detokenize(request);
+    key.text += '\x1f';
+    key.text += context.to_string();
+    key.hash = fnv1a(key.text);
+    return key;
+}
+
+std::uint64_t DecisionCache::entry_bytes(const Entry& entry) {
+    // Approximate footprint: key text plus list/map node overhead.
+    return entry.text.size() + 64;
+}
+
+void DecisionCache::erase_entry(Shard& shard, std::list<Entry>::iterator it) {
+    shard.bytes -= entry_bytes(*it);
+    shard.index.erase(it->text);
+    shard.lru.erase(it);
+}
+
+std::optional<bool> DecisionCache::lookup(const CacheKey& key, std::uint64_t model_version) {
+    Shard& shard = shard_for(key.hash);
+    std::lock_guard lock(shard.mu);
+    auto it = shard.index.find(key.text);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return std::nullopt;
+    }
+    if (it->second->version != model_version) {
+        erase_entry(shard, it->second);
+        ++shard.invalidations;
+        ++shard.misses;
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    return it->second->permitted;
+}
+
+void DecisionCache::insert(const CacheKey& key, std::uint64_t model_version, bool permitted) {
+    Shard& shard = shard_for(key.hash);
+    std::lock_guard lock(shard.mu);
+    if (auto it = shard.index.find(key.text); it != shard.index.end()) {
+        it->second->version = model_version;
+        it->second->permitted = permitted;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front({key.text, model_version, permitted});
+    shard.index.emplace(shard.lru.front().text, shard.lru.begin());
+    shard.bytes += entry_bytes(shard.lru.front());
+    ++shard.insertions;
+    while (shard.bytes > shard_capacity_bytes_ && shard.lru.size() > 1) {
+        erase_entry(shard, std::prev(shard.lru.end()));
+        ++shard.evictions;
+    }
+}
+
+void DecisionCache::clear() {
+    for (auto& shard : shards_) {
+        std::lock_guard lock(shard->mu);
+        shard->index.clear();
+        shard->lru.clear();
+        shard->bytes = 0;
+    }
+}
+
+CacheStats DecisionCache::stats() const {
+    CacheStats out;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mu);
+        out.hits += shard->hits;
+        out.misses += shard->misses;
+        out.insertions += shard->insertions;
+        out.evictions += shard->evictions;
+        out.invalidations += shard->invalidations;
+        out.entries += shard->lru.size();
+        out.bytes += shard->bytes;
+    }
+    return out;
+}
+
+}  // namespace agenp::srv

@@ -1,0 +1,164 @@
+#include "srv/loadgen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "asp/parser.hpp"
+#include "util/rng.hpp"
+
+namespace agenp::srv {
+
+namespace {
+
+double quantile_sorted(const std::vector<std::uint64_t>& sorted, double q) {
+    if (sorted.empty()) return 0;
+    auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+    return static_cast<double>(sorted[rank]);
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string LoadgenReport::to_json() const {
+    std::string out = "{";
+    out += "\"requests\":" + std::to_string(requests);
+    out += ",\"permitted\":" + std::to_string(permitted);
+    out += ",\"denied\":" + std::to_string(denied);
+    out += ",\"overloaded\":" + std::to_string(overloaded);
+    out += ",\"expired\":" + std::to_string(expired);
+    out += ",\"seconds\":" + format_double(seconds);
+    out += ",\"throughput_rps\":" + format_double(throughput_rps);
+    out += ",\"mean_us\":" + format_double(mean_us);
+    out += ",\"p50_us\":" + format_double(p50_us);
+    out += ",\"p99_us\":" + format_double(p99_us);
+    out += ",\"hit_rate\":" + format_double(hit_rate);
+    out += "}";
+    return out;
+}
+
+std::string LoadgenReport::render_text() const {
+    std::string out;
+    out += "requests: " + std::to_string(requests) + " (" + std::to_string(permitted) +
+           " permit, " + std::to_string(denied) + " deny, " + std::to_string(overloaded) +
+           " overloaded, " + std::to_string(expired) + " expired)\n";
+    out += "throughput: " + format_double(throughput_rps) + " req/s over " +
+           format_double(seconds) + " s\n";
+    out += "latency us: mean " + format_double(mean_us) + ", p50 " + format_double(p50_us) +
+           ", p99 " + format_double(p99_us) + "\n";
+    out += "cache hit rate: " + format_double(hit_rate) + "\n";
+    return out;
+}
+
+LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::TokenString>& workload,
+                          const LoadgenOptions& options) {
+    LoadgenReport report;
+    if (workload.empty() || options.clients == 0) return report;
+
+    CacheStats before = service.cache().stats();
+
+    struct ClientResult {
+        std::vector<std::uint64_t> latencies_us;
+        std::size_t permitted = 0, denied = 0, overloaded = 0, expired = 0;
+    };
+    std::vector<ClientResult> results(options.clients);
+
+    util::Rng seeder(options.seed);
+    std::vector<util::Rng> rngs;
+    rngs.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) rngs.push_back(seeder.split());
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) {
+        clients.emplace_back([&, c] {
+            ClientResult& r = results[c];
+            util::Rng& rng = rngs[c];
+            r.latencies_us.reserve(options.requests_per_client);
+            for (std::size_t i = 0; i < options.requests_per_client; ++i) {
+                const cfg::TokenString& request = rng.choice(workload);
+                Decision d = service.submit(request).get();
+                r.latencies_us.push_back(d.latency_us);
+                switch (d.outcome) {
+                    case Outcome::Permit: ++r.permitted; break;
+                    case Outcome::Deny: ++r.denied; break;
+                    case Outcome::Overloaded: ++r.overloaded; break;
+                    case Outcome::Expired: ++r.expired; break;
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+
+    std::vector<std::uint64_t> latencies;
+    for (auto& r : results) {
+        report.permitted += r.permitted;
+        report.denied += r.denied;
+        report.overloaded += r.overloaded;
+        report.expired += r.expired;
+        latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
+    }
+    report.requests = latencies.size();
+    report.seconds = elapsed.count();
+    report.throughput_rps =
+        report.seconds > 0 ? static_cast<double>(report.requests) / report.seconds : 0;
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+        std::uint64_t sum = 0;
+        for (auto v : latencies) sum += v;
+        report.mean_us = static_cast<double>(sum) / static_cast<double>(latencies.size());
+        report.p50_us = quantile_sorted(latencies, 0.5);
+        report.p99_us = quantile_sorted(latencies, 0.99);
+    }
+
+    CacheStats after = service.cache().stats();
+    std::uint64_t hits = after.hits - before.hits;
+    std::uint64_t misses = after.misses - before.misses;
+    report.hit_rate =
+        hits + misses == 0 ? 0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    return report;
+}
+
+asg::AnswerSetGrammar demo_grammar(std::size_t distinct_tasks, std::size_t context_weight) {
+    if (distinct_tasks == 0) distinct_tasks = 1;
+    std::string text = "request -> \"do\" task {\n  :- requires(L)@2, maxloa(M), L > M.\n";
+    if (context_weight > 0) text += "  stress(X, Y) :- load(X), load(Y).\n";
+    text += "}\n";
+    for (std::size_t i = 0; i < distinct_tasks; ++i) {
+        text += "task -> \"task_" + std::to_string(i) + "\" { requires(" +
+                std::to_string(i % 5 + 1) + "). }\n";
+    }
+    return asg::AnswerSetGrammar::parse(text);
+}
+
+framework::AutonomousManagedSystem make_demo_ams(std::size_t distinct_tasks,
+                                                 std::size_t context_weight) {
+    framework::AutonomousManagedSystem ams(
+        "serve-demo", demo_grammar(distinct_tasks, context_weight), ilp::HypothesisSpace{});
+    std::string context_text = "maxloa(3).\n";
+    for (std::size_t i = 1; i <= context_weight; ++i) {
+        context_text += "load(" + std::to_string(i) + ").\n";
+    }
+    asp::Program context = asp::parse_program(context_text);
+    ams.pip().add_source("env", [context] { return context; });
+    return ams;
+}
+
+std::vector<cfg::TokenString> demo_workload(std::size_t distinct_tasks) {
+    if (distinct_tasks == 0) distinct_tasks = 1;
+    std::vector<cfg::TokenString> out;
+    out.reserve(distinct_tasks);
+    for (std::size_t i = 0; i < distinct_tasks; ++i) {
+        out.push_back(cfg::tokenize("do task_" + std::to_string(i)));
+    }
+    return out;
+}
+
+}  // namespace agenp::srv

@@ -1,0 +1,219 @@
+#include "srv/service.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace agenp::srv {
+
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                          std::chrono::steady_clock::now() - since)
+                                          .count());
+}
+
+}  // namespace
+
+std::string_view outcome_name(Outcome outcome) {
+    switch (outcome) {
+        case Outcome::Permit: return "Permit";
+        case Outcome::Deny: return "Deny";
+        case Outcome::Overloaded: return "Overloaded";
+        case Outcome::Expired: return "Expired";
+    }
+    return "?";
+}
+
+DecisionService::DecisionService(framework::AutonomousManagedSystem& ams, ServiceOptions options)
+    : ams_(ams), options_(options), cache_(options.cache) {
+    if (options_.threads == 0) options_.threads = 1;
+    if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+    workers_.reserve(options_.threads);
+    for (std::size_t i = 0; i < options_.threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+DecisionService::~DecisionService() {
+    {
+        std::lock_guard lock(queue_mu_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+std::future<Decision> DecisionService::submit(cfg::TokenString request,
+                                              std::chrono::microseconds timeout) {
+    auto now = std::chrono::steady_clock::now();
+    Task task;
+    task.tokens = std::move(request);
+    task.enqueued = now;
+    if (timeout.count() <= 0) timeout = options_.default_timeout;
+    task.deadline = timeout.count() > 0 ? now + timeout
+                                        : std::chrono::steady_clock::time_point::max();
+    auto future = task.promise.get_future();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+        static obs::Counter& requests = obs::metrics().counter("srv.requests");
+        requests.add(1);
+    }
+
+    std::size_t depth;
+    {
+        std::lock_guard lock(queue_mu_);
+        if (stopping_ || queue_.size() >= options_.queue_capacity) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled()) {
+                static obs::Counter& overloaded = obs::metrics().counter("srv.overloaded");
+                overloaded.add(1);
+            }
+            Decision decision;
+            finish(decision, task, Outcome::Overloaded);
+            task.promise.set_value(decision);
+            return future;
+        }
+        queue_.push_back(std::move(task));
+        depth = queue_.size();
+    }
+    if (obs::metrics_enabled()) {
+        static obs::Gauge& queue_depth = obs::metrics().gauge("srv.queue_depth");
+        queue_depth.set(static_cast<std::int64_t>(depth));
+    }
+    queue_cv_.notify_one();
+    return future;
+}
+
+std::vector<std::future<Decision>> DecisionService::submit_batch(
+    std::vector<cfg::TokenString> requests) {
+    std::vector<std::future<Decision>> futures;
+    futures.reserve(requests.size());
+    for (auto& r : requests) futures.push_back(submit(std::move(r)));
+    return futures;
+}
+
+void DecisionService::drain() {
+    std::unique_lock lock(queue_mu_);
+    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+bool DecisionService::give_feedback(std::size_t monitor_index, bool should_permit) {
+    std::lock_guard lock(monitor_mu_);
+    return ams_.give_feedback(monitor_index, should_permit);
+}
+
+void DecisionService::update_model(const std::function<void()>& fn) {
+    std::unique_lock lock(state_mu_);
+    fn();
+}
+
+ServiceStats DecisionService::snapshot_stats() const {
+    ServiceStats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.completed = completed_.load(std::memory_order_relaxed);
+    out.permitted = permitted_.load(std::memory_order_relaxed);
+    out.denied = denied_.load(std::memory_order_relaxed);
+    out.rejected_overload = rejected_.load(std::memory_order_relaxed);
+    out.expired = expired_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard lock(queue_mu_);
+        out.queue_depth = queue_.size();
+    }
+    out.cache = cache_.stats();
+    return out;
+}
+
+void DecisionService::worker_loop() {
+    while (true) {
+        Task task;
+        {
+            std::unique_lock lock(queue_mu_);
+            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_) return;
+                continue;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+        }
+        Decision decision = process(task);
+        task.promise.set_value(decision);
+        {
+            std::lock_guard lock(queue_mu_);
+            --in_flight_;
+            if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+        }
+    }
+}
+
+void DecisionService::finish(Decision& decision, const Task& task, Outcome outcome) {
+    decision.outcome = outcome;
+    decision.latency_us = elapsed_us(task.enqueued);
+    if (obs::metrics_enabled()) {
+        static obs::Histogram& latency = obs::metrics().histogram("srv.latency_us");
+        latency.observe(decision.latency_us);
+    }
+}
+
+Decision DecisionService::process(Task& task) {
+    obs::ScopedSpan span("srv.decide", "srv");
+    Decision decision;
+
+    if (std::chrono::steady_clock::now() >= task.deadline) {
+        expired_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) {
+            static obs::Counter& expired = obs::metrics().counter("srv.expired");
+            expired.add(1);
+        }
+        finish(decision, task, Outcome::Expired);
+        return decision;
+    }
+
+    bool permitted = false;
+    {
+        std::shared_lock state(state_mu_);
+        asp::Program context = ams_.pip().gather();
+        decision.model_version = ams_.model_version();
+
+        if (options_.use_cache) {
+            CacheKey key = DecisionCache::make_key(task.tokens, context);
+            if (auto hit = cache_.lookup(key, decision.model_version)) {
+                permitted = *hit;
+                decision.cache_hit = true;
+            } else {
+                permitted = ams_.decide(task.tokens, context);
+                cache_.insert(key, decision.model_version, permitted);
+            }
+        } else {
+            permitted = ams_.decide(task.tokens, context);
+        }
+        ams_.pep().enforce(task.tokens, permitted);
+
+        framework::DecisionRecord record;
+        record.request = task.tokens;
+        record.context = std::move(context);
+        record.permitted = permitted;
+        record.model_version = decision.model_version;
+        {
+            std::lock_guard monitor(monitor_mu_);
+            decision.monitor_index = ams_.monitor().record(std::move(record));
+        }
+    }
+
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    (permitted ? permitted_ : denied_).fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& hits = m.counter("srv.cache_hits");
+        static obs::Counter& misses = m.counter("srv.cache_misses");
+        static obs::Counter& decisions = m.counter("srv.decisions");
+        decisions.add(1);
+        (decision.cache_hit ? hits : misses).add(1);
+    }
+    finish(decision, task, permitted ? Outcome::Permit : Outcome::Deny);
+    return decision;
+}
+
+}  // namespace agenp::srv

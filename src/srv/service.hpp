@@ -1,0 +1,160 @@
+// PDP-as-a-service (DESIGN.md section 8): a concurrent serving layer over
+// one AutonomousManagedSystem.
+//
+// Architecture:
+//
+//   submit() ──▶ bounded MPMC queue ──▶ fixed thread pool ──▶ Decision
+//                (reject Overloaded       │ cache lookup (srv/cache.hpp)
+//                 when full)              │ miss: PDP membership solve
+//                                         ▼
+//                                  DecisionMonitor (ring-bounded history,
+//                                  feeds the PAdaP feedback loop)
+//
+// Locking discipline:
+//  - `state_mu_` (shared_mutex): workers take it shared while reading the
+//    model/context/policy repository and running the PEP; update_model()
+//    takes it exclusive, so model adoption never races a decision. PIP
+//    sources and the PEP effector run under the shared lock from multiple
+//    workers concurrently and must themselves be thread-safe.
+//  - `monitor_mu_`: serializes DecisionMonitor record/feedback (short
+//    critical section; the expensive membership solve happens outside it).
+//  - `queue_mu_`: protects the request queue and the in-flight count.
+//
+// Backpressure: submit() never blocks. When the queue is at capacity the
+// request is rejected immediately with Outcome::Overloaded — the caller
+// learns it must shed load, rather than every caller slowing down.
+// Deadlines: a request whose deadline passes while queued is answered
+// Outcome::Expired without paying for a solve.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "agenp/ams.hpp"
+#include "srv/cache.hpp"
+
+namespace agenp::srv {
+
+struct ServiceOptions {
+    std::size_t threads = 4;
+    std::size_t queue_capacity = 1024;
+    bool use_cache = true;
+    CacheOptions cache;
+    // Deadline applied to requests submitted without their own; zero means
+    // no deadline.
+    std::chrono::microseconds default_timeout{0};
+};
+
+enum class Outcome {
+    Permit,
+    Deny,
+    Overloaded,  // rejected at submit: queue full or service stopping
+    Expired,     // deadline passed before a worker picked the request up
+};
+
+std::string_view outcome_name(Outcome outcome);
+
+struct Decision {
+    static constexpr std::size_t kNoIndex = ~std::size_t{0};
+
+    Outcome outcome = Outcome::Deny;
+    bool cache_hit = false;
+    std::uint64_t model_version = 0;
+    std::uint64_t latency_us = 0;  // submit -> completion, queue wait included
+    // Monitor sequence number for give_feedback(); kNoIndex when the
+    // request never reached the PDP (Overloaded / Expired).
+    std::size_t monitor_index = kNoIndex;
+
+    [[nodiscard]] bool permitted() const { return outcome == Outcome::Permit; }
+};
+
+struct ServiceStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;  // decided (Permit or Deny)
+    std::uint64_t permitted = 0;
+    std::uint64_t denied = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t expired = 0;
+    std::size_t queue_depth = 0;
+    CacheStats cache;
+};
+
+class DecisionService {
+public:
+    // `ams` must outlive the service. The service serializes all its own
+    // accesses to the AMS; other threads must not touch the AMS directly
+    // while the service runs except through update_model().
+    explicit DecisionService(framework::AutonomousManagedSystem& ams, ServiceOptions options = {});
+    ~DecisionService();
+
+    DecisionService(const DecisionService&) = delete;
+    DecisionService& operator=(const DecisionService&) = delete;
+
+    // Enqueues one request; the future resolves to its Decision. Never
+    // blocks: a full queue resolves the future immediately as Overloaded.
+    std::future<Decision> submit(cfg::TokenString request,
+                                 std::chrono::microseconds timeout = std::chrono::microseconds{0});
+
+    std::vector<std::future<Decision>> submit_batch(std::vector<cfg::TokenString> requests);
+
+    // Blocks until every accepted request has completed.
+    void drain();
+
+    // Forwards ground truth to the monitor (thread-safe); false when the
+    // index was evicted from the bounded history.
+    bool give_feedback(std::size_t monitor_index, bool should_permit);
+
+    // Runs `fn` with exclusive access to the AMS — no decision in flight,
+    // none starting. Use for adoption/import/refresh; decisions cached
+    // under the old model version invalidate lazily via version stamping.
+    void update_model(const std::function<void()>& fn);
+
+    [[nodiscard]] ServiceStats snapshot_stats() const;
+    [[nodiscard]] const DecisionCache& cache() const { return cache_; }
+    [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+private:
+    struct Task {
+        cfg::TokenString tokens;
+        std::promise<Decision> promise;
+        std::chrono::steady_clock::time_point enqueued;
+        std::chrono::steady_clock::time_point deadline;  // max() = none
+    };
+
+    void worker_loop();
+    Decision process(Task& task);
+    void finish(Decision& decision, const Task& task, Outcome outcome);
+
+    framework::AutonomousManagedSystem& ams_;
+    ServiceOptions options_;
+    DecisionCache cache_;
+
+    std::shared_mutex state_mu_;
+    std::mutex monitor_mu_;
+
+    mutable std::mutex queue_mu_;
+    std::condition_variable queue_cv_;  // workers: work available or stopping
+    std::condition_variable drain_cv_;  // drain(): queue empty and idle
+    std::deque<Task> queue_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> permitted_{0};
+    std::atomic<std::uint64_t> denied_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> expired_{0};
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace agenp::srv

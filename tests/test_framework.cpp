@@ -115,11 +115,90 @@ TEST(Monitor, AccuracyOverFeedback) {
     auto i0 = monitor.record({tokenize("a"), {}, true, 1, std::nullopt});
     auto i1 = monitor.record({tokenize("b"), {}, false, 1, std::nullopt});
     EXPECT_FALSE(monitor.observed_accuracy().has_value());
-    monitor.attach_feedback(i0, true);   // correct
-    monitor.attach_feedback(i1, true);   // wrong
+    EXPECT_TRUE(monitor.attach_feedback(i0, true));   // correct
+    EXPECT_TRUE(monitor.attach_feedback(i1, true));   // wrong
     ASSERT_TRUE(monitor.observed_accuracy().has_value());
     EXPECT_DOUBLE_EQ(*monitor.observed_accuracy(), 0.5);
     EXPECT_EQ(monitor.feedback_records().size(), 2u);
+}
+
+TEST(Monitor, RingBufferCapsHistoryAndKeepsSequenceNumbers) {
+    DecisionMonitor monitor(4);
+    std::vector<std::size_t> indices;
+    for (int i = 0; i < 10; ++i) {
+        indices.push_back(monitor.record({tokenize("r" + std::to_string(i)), {}, true, 1, std::nullopt}));
+    }
+    // Indices are monotone sequence numbers, not slot positions.
+    for (std::size_t i = 0; i < indices.size(); ++i) EXPECT_EQ(indices[i], i);
+    EXPECT_EQ(monitor.history().size(), 4u);
+    EXPECT_EQ(monitor.total_recorded(), 10u);
+    EXPECT_EQ(monitor.first_index(), 6u);
+    // Only the last four records survive.
+    EXPECT_EQ(cfg::detokenize(monitor.history().front().request), "r6");
+    EXPECT_EQ(cfg::detokenize(monitor.history().back().request), "r9");
+    // Audit labels use the surviving sequence numbers.
+    auto text = monitor.render_audit();
+    EXPECT_EQ(text.find("#5 "), std::string::npos);
+    EXPECT_NE(text.find("#6 r6 -> Permit"), std::string::npos);
+    EXPECT_NE(text.find("#9 r9 -> Permit"), std::string::npos);
+}
+
+TEST(Monitor, AttachFeedbackIsBoundsChecked) {
+    DecisionMonitor monitor(2);
+    auto i0 = monitor.record({tokenize("a"), {}, true, 1, std::nullopt});
+    auto i1 = monitor.record({tokenize("b"), {}, true, 1, std::nullopt});
+    auto i2 = monitor.record({tokenize("c"), {}, true, 1, std::nullopt});  // evicts i0
+    EXPECT_FALSE(monitor.attach_feedback(i0, true));   // evicted
+    EXPECT_FALSE(monitor.attach_feedback(99, true));   // never issued
+    EXPECT_TRUE(monitor.attach_feedback(i1, true));
+    EXPECT_TRUE(monitor.attach_feedback(i2, false));
+    EXPECT_EQ(monitor.feedback_records().size(), 2u);
+    monitor.clear();
+    // Cleared indices stay dead rather than aliasing new records.
+    EXPECT_FALSE(monitor.attach_feedback(i2, true));
+    auto i3 = monitor.record({tokenize("d"), {}, true, 1, std::nullopt});
+    EXPECT_GT(i3, i2);
+    EXPECT_TRUE(monitor.attach_feedback(i3, true));
+}
+
+TEST(Pdp, RepositoryStrategyFallsBackToMembershipWhenTruncated) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    PolicyRepository repo;
+    repo.replace({tokenize("do patrol")}, "prep", 1);
+    PolicyDecisionPoint pdp(DecisionStrategy::Repository);
+
+    // Complete repository: absence is an authoritative Deny, even for a
+    // string the grammar accepts.
+    EXPECT_FALSE(pdp.decide(tokenize("do observe"), {}, g, repo));
+
+    // Truncated repository: absence is inconclusive, so the PDP consults
+    // the model. "do observe" is in the language; "do fly" is not.
+    repo.set_truncated(true);
+    EXPECT_TRUE(pdp.decide(tokenize("do patrol"), {}, g, repo));   // still served from the repo
+    EXPECT_TRUE(pdp.decide(tokenize("do observe"), {}, g, repo));  // membership fallback
+    EXPECT_FALSE(pdp.decide(tokenize("do fly"), {}, g, repo));
+
+    // A full refresh clears the flag.
+    repo.replace({tokenize("do patrol")}, "prep", 2);
+    EXPECT_FALSE(repo.truncated());
+    EXPECT_FALSE(pdp.decide(tokenize("do observe"), {}, g, repo));
+}
+
+TEST(Prep, TruncatedRefreshMarksRepository) {
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    PolicyRepository repo;
+    PolicyRefinementPoint full_prep;
+    full_prep.refresh(g, {}, repo, 1);
+    EXPECT_FALSE(repo.truncated());
+    EXPECT_EQ(repo.size(), 3u);
+
+    PrepOptions tight;
+    tight.language.enumeration.max_strings = 1;
+    PolicyRefinementPoint tight_prep(tight);
+    auto report = tight_prep.refresh(g, {}, repo, 2);
+    EXPECT_TRUE(report.truncated);
+    EXPECT_TRUE(repo.truncated());
+    EXPECT_EQ(repo.size(), 1u);
 }
 
 TEST(Pcp, DetectsConflictRedundancyIrrelevanceIncompleteness) {
@@ -305,14 +384,14 @@ TEST(Ams, MonitorDrivenAdaptationFixesBadModel) {
     // No learned model yet: the initial (unconstrained) GPM permits strikes.
     auto [strike_ok, idx] = ams.handle_request(tokenize("do strike"));
     EXPECT_TRUE(strike_ok);
-    ams.give_feedback(idx, false);  // operator: that was wrong
+    EXPECT_TRUE(ams.give_feedback(idx, false));  // operator: that was wrong
     // More feedback to cross min_feedback.
     for (const auto& [request, should] :
          std::vector<std::pair<std::string, bool>>{{"do patrol", true}, {"do observe", true},
                                                    {"do strike", false}}) {
         auto [ok, i] = ams.handle_request(tokenize(request));
         (void)ok;
-        ams.give_feedback(i, should);
+        EXPECT_TRUE(ams.give_feedback(i, should));
     }
     auto outcome = ams.adapt();
     EXPECT_TRUE(outcome.triggered);
@@ -331,7 +410,7 @@ TEST(Ams, AdaptationSkippedWhenAccurate) {
                                                    {"do observe", true}, {"do patrol", true}}) {
         auto [ok, i] = ams.handle_request(tokenize(request));
         EXPECT_EQ(ok, should);
-        ams.give_feedback(i, should);
+        EXPECT_TRUE(ams.give_feedback(i, should));
     }
     auto outcome = ams.adapt();
     EXPECT_FALSE(outcome.triggered);
@@ -387,7 +466,7 @@ TEST(Monitor, AuditLogRendersHistory) {
     DecisionMonitor monitor;
     auto i0 = monitor.record({tokenize("do patrol"), {}, true, 1, std::nullopt});
     monitor.record({tokenize("do strike"), {}, false, 2, std::nullopt});
-    monitor.attach_feedback(i0, false);  // that permit was wrong
+    EXPECT_TRUE(monitor.attach_feedback(i0, false));  // that permit was wrong
     auto text = monitor.render_audit();
     EXPECT_NE(text.find("#0 do patrol -> Permit (model v1) [WRONG]"), std::string::npos);
     EXPECT_NE(text.find("#1 do strike -> Deny (model v2)"), std::string::npos);

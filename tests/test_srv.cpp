@@ -1,0 +1,342 @@
+// Serving layer: sharded versioned decision cache, concurrent decision
+// service, closed-loop load generator (DESIGN.md section 8).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "asp/parser.hpp"
+#include "srv/loadgen.hpp"
+#include "srv/service.hpp"
+#include "util/rng.hpp"
+
+namespace agenp::srv {
+namespace {
+
+using namespace std::chrono_literals;
+
+CacheKey key_for(const std::string& request, const std::string& context = "") {
+    return DecisionCache::make_key(cfg::tokenize(request), asp::parse_program(context));
+}
+
+ServiceOptions service_options(std::size_t threads, std::size_t queue_capacity = 1024,
+                               bool use_cache = true) {
+    ServiceOptions options;
+    options.threads = threads;
+    options.queue_capacity = queue_capacity;
+    options.use_cache = use_cache;
+    return options;
+}
+
+TEST(DecisionCache, KeySeparatesRequestAndContext) {
+    auto a = key_for("do patrol", "maxloa(3).");
+    auto b = key_for("do patrol", "maxloa(4).");
+    auto c = key_for("do strike", "maxloa(3).");
+    std::set<std::string> texts = {a.text, b.text, c.text};
+    EXPECT_EQ(texts.size(), 3u);
+    // Same inputs -> same key.
+    EXPECT_EQ(a.text, key_for("do patrol", "maxloa(3).").text);
+    EXPECT_EQ(a.hash, key_for("do patrol", "maxloa(3).").hash);
+}
+
+TEST(DecisionCache, MissInsertHit) {
+    DecisionCache cache;
+    auto key = key_for("do patrol");
+    EXPECT_FALSE(cache.lookup(key, 1).has_value());
+    cache.insert(key, 1, true);
+    auto hit = cache.lookup(key, 1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(*hit);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DecisionCache, VersionBumpInvalidatesWithoutFlush) {
+    DecisionCache cache;
+    auto stale = key_for("do patrol");
+    auto fresh = key_for("do observe");
+    cache.insert(stale, 1, true);
+    cache.insert(fresh, 2, false);
+    // Model moved to v2: v1 entry misses and is lazily evicted; the v2
+    // entry is untouched (no global flush).
+    EXPECT_FALSE(cache.lookup(stale, 2).has_value());
+    EXPECT_TRUE(cache.lookup(fresh, 2).has_value());
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.invalidations, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DecisionCache, LruEvictsOldestAtCapacity) {
+    CacheOptions options;
+    options.shards = 1;  // deterministic LRU order
+    options.capacity_bytes = 400;
+    DecisionCache cache(options);
+    // Each entry costs ~64 + key bytes, so ~5 entries fit.
+    for (int i = 0; i < 32; ++i) {
+        cache.insert(key_for("req " + std::to_string(i)), 1, true);
+    }
+    auto stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.entries, 32u);
+    EXPECT_LE(stats.bytes, 400u);
+    // The newest entry survived; the oldest was evicted.
+    EXPECT_TRUE(cache.lookup(key_for("req 31"), 1).has_value());
+    EXPECT_FALSE(cache.lookup(key_for("req 0"), 1).has_value());
+}
+
+TEST(DecisionCache, TouchedEntrySurvivesEviction) {
+    CacheOptions options;
+    options.shards = 1;
+    options.capacity_bytes = 400;
+    DecisionCache cache(options);
+    cache.insert(key_for("hot"), 1, true);
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(cache.lookup(key_for("hot"), 1).has_value()) << "evicted after " << i;
+        cache.insert(key_for("filler " + std::to_string(i)), 1, false);
+    }
+}
+
+TEST(DecisionCache, ConcurrentHammering) {
+    DecisionCache cache(CacheOptions{.capacity_bytes = 1 << 16, .shards = 8});
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 4000;
+    std::atomic<std::uint64_t> observed_hits{0}, observed_misses{0}, wrong{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                int id = static_cast<int>(rng.uniform(0, 63));
+                bool expected = id % 2 == 0;
+                auto key = key_for("req " + std::to_string(id));
+                if (auto hit = cache.lookup(key, 1)) {
+                    observed_hits.fetch_add(1);
+                    if (*hit != expected) wrong.fetch_add(1);
+                } else {
+                    observed_misses.fetch_add(1);
+                    cache.insert(key, 1, expected);
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wrong.load(), 0u);
+    EXPECT_EQ(observed_hits.load() + observed_misses.load(),
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, observed_hits.load());
+    EXPECT_EQ(stats.misses, observed_misses.load());
+    EXPECT_LE(stats.entries, 64u);
+}
+
+// --- service fixtures ---
+
+// Permits "do task_i" iff i % 5 + 1 <= 3 under the demo maxloa(3) context.
+bool demo_expected(std::size_t task) { return task % 5 + 1 <= 3; }
+
+TEST(DecisionService, DecidesCorrectlyAndCaches) {
+    auto ams = make_demo_ams(6, /*context_weight=*/0);
+    DecisionService service(ams, service_options(2));
+    for (int round = 0; round < 2; ++round) {
+        for (std::size_t i = 0; i < 6; ++i) {
+            Decision d = service.submit(cfg::tokenize("do task_" + std::to_string(i))).get();
+            EXPECT_EQ(d.permitted(), demo_expected(i)) << "task_" << i;
+            EXPECT_EQ(d.cache_hit, round == 1) << "task_" << i;
+            EXPECT_NE(d.monitor_index, Decision::kNoIndex);
+        }
+    }
+    auto stats = service.snapshot_stats();
+    EXPECT_EQ(stats.completed, 12u);
+    EXPECT_EQ(stats.cache.hits, 6u);
+    EXPECT_EQ(stats.cache.misses, 6u);
+    EXPECT_EQ(ams.monitor().history().size(), 12u);
+}
+
+TEST(DecisionService, SubmitBatchAndDrain) {
+    auto ams = make_demo_ams(4, /*context_weight=*/0);
+    DecisionService service(ams, service_options(4));
+    std::vector<cfg::TokenString> requests;
+    for (int i = 0; i < 40; ++i) {
+        requests.push_back(cfg::tokenize("do task_" + std::to_string(i % 4)));
+    }
+    auto futures = service.submit_batch(std::move(requests));
+    service.drain();
+    auto stats = service.snapshot_stats();
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.completed + stats.rejected_overload + stats.expired, 40u);
+    for (auto& f : futures) {
+        EXPECT_TRUE(f.wait_for(0s) == std::future_status::ready);
+        (void)f.get();
+    }
+}
+
+TEST(DecisionService, BackpressureRejectsWhenQueueFull) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    // One slow worker + a 2-deep queue: flooding must shed load.
+    ams.pep().set_effector([](const cfg::TokenString&, bool) { std::this_thread::sleep_for(2ms); });
+    DecisionService service(ams, service_options(1, /*queue_capacity=*/2));
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 64; ++i) futures.push_back(service.submit(cfg::tokenize("do task_0")));
+    std::size_t overloaded = 0, decided = 0;
+    for (auto& f : futures) {
+        Decision d = f.get();
+        if (d.outcome == Outcome::Overloaded) {
+            ++overloaded;
+            EXPECT_EQ(d.monitor_index, Decision::kNoIndex);
+        } else {
+            ++decided;
+        }
+    }
+    EXPECT_GT(overloaded, 0u);
+    EXPECT_GT(decided, 0u);
+    auto stats = service.snapshot_stats();
+    EXPECT_EQ(stats.rejected_overload, overloaded);
+    EXPECT_EQ(stats.completed, decided);
+}
+
+TEST(DecisionService, DeadlineExpiresWhileQueued) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    ams.pep().set_effector([](const cfg::TokenString&, bool) { std::this_thread::sleep_for(20ms); });
+    DecisionService service(ams, service_options(1));
+    // First request occupies the worker for 20ms; the second's 1ms deadline
+    // lapses in the queue.
+    auto blocker = service.submit(cfg::tokenize("do task_0"));
+    auto doomed = service.submit(cfg::tokenize("do task_1"), 1ms);
+    EXPECT_NE(blocker.get().outcome, Outcome::Expired);
+    Decision d = doomed.get();
+    EXPECT_EQ(d.outcome, Outcome::Expired);
+    EXPECT_EQ(d.monitor_index, Decision::kNoIndex);
+    EXPECT_EQ(service.snapshot_stats().expired, 1u);
+}
+
+TEST(DecisionService, ModelAdoptionInvalidatesByVersion) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    DecisionService service(ams, service_options(2));
+    Decision before = service.submit(cfg::tokenize("do task_0")).get();
+    EXPECT_TRUE(before.permitted());
+    EXPECT_TRUE(service.submit(cfg::tokenize("do task_0")).get().cache_hit);
+
+    // Adopt a stricter model (everything requires clearance 5) with the
+    // service running; version stamping must retire the old entries.
+    service.update_model([&] {
+        std::string text = "request -> \"do\" task { :- requires(L)@2, maxloa(M), L > M. }\n";
+        text += "task -> \"task_0\" { requires(5). }\n";
+        text += "task -> \"task_1\" { requires(5). }\n";
+        ams.representations().store(asg::AnswerSetGrammar::parse(text), "test-adoption");
+    });
+
+    Decision after = service.submit(cfg::tokenize("do task_0")).get();
+    EXPECT_FALSE(after.cache_hit);  // old entry is stale, not served
+    EXPECT_FALSE(after.permitted());
+    EXPECT_GT(after.model_version, before.model_version);
+    // And the new verdict is itself cached.
+    Decision again = service.submit(cfg::tokenize("do task_0")).get();
+    EXPECT_TRUE(again.cache_hit);
+    EXPECT_FALSE(again.permitted());
+    EXPECT_GE(service.cache().stats().invalidations, 1u);
+}
+
+TEST(DecisionService, CacheOffEquivalence) {
+    // The same randomized request stream must produce identical decisions
+    // with the cache enabled and disabled.
+    util::Rng rng(7);
+    std::vector<cfg::TokenString> stream;
+    for (int i = 0; i < 120; ++i) {
+        stream.push_back(cfg::tokenize("do task_" + std::to_string(rng.uniform(0, 9))));
+    }
+    std::vector<bool> with_cache, without_cache;
+    for (bool use_cache : {true, false}) {
+        auto ams = make_demo_ams(10, /*context_weight=*/0);
+        DecisionService service(ams, service_options(4, 1024, use_cache));
+        std::vector<std::future<Decision>> futures;
+        futures.reserve(stream.size());
+        for (const auto& r : stream) futures.push_back(service.submit(r));
+        for (auto& f : futures) {
+            (use_cache ? with_cache : without_cache).push_back(f.get().permitted());
+        }
+    }
+    EXPECT_EQ(with_cache, without_cache);
+}
+
+TEST(DecisionService, ConcurrentSubmittersAgainstOneCache) {
+    auto ams = make_demo_ams(8, /*context_weight=*/0);
+    DecisionService service(ams, service_options(4, 1 << 14));
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 150;
+    std::atomic<std::uint64_t> wrong{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            util::Rng rng(static_cast<std::uint64_t>(c) + 100);
+            for (int i = 0; i < kPerClient; ++i) {
+                auto task = static_cast<std::size_t>(rng.uniform(0, 7));
+                Decision d =
+                    service.submit(cfg::tokenize("do task_" + std::to_string(task))).get();
+                if (d.permitted() != demo_expected(task)) wrong.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(wrong.load(), 0u);
+    auto stats = service.snapshot_stats();
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients) * kPerClient);
+    EXPECT_GT(stats.cache.hits, 0u);
+}
+
+TEST(DecisionService, FeedbackFlowsToMonitorAndPAdaP) {
+    auto ams = make_demo_ams(4, /*context_weight=*/0);
+    DecisionService service(ams, service_options(2));
+    Decision d = service.submit(cfg::tokenize("do task_0")).get();
+    ASSERT_NE(d.monitor_index, Decision::kNoIndex);
+    EXPECT_TRUE(service.give_feedback(d.monitor_index, false));
+    EXPECT_FALSE(service.give_feedback(d.monitor_index + 1000, true));
+    ASSERT_TRUE(ams.monitor().observed_accuracy().has_value());
+    EXPECT_DOUBLE_EQ(*ams.monitor().observed_accuracy(), 0.0);
+}
+
+TEST(DecisionService, MonitorHistoryStaysBounded) {
+    framework::AmsOptions options;
+    options.monitor_capacity = 16;
+    framework::AutonomousManagedSystem ams("bounded", demo_grammar(2, 0),
+                                           ilp::HypothesisSpace{}, options);
+    ams.pip().add_source("env", [] { return asp::parse_program("maxloa(3)."); });
+    DecisionService service(ams, service_options(2));
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 200; ++i) {
+        futures.push_back(service.submit(cfg::tokenize("do task_" + std::to_string(i % 2))));
+    }
+    for (auto& f : futures) (void)f.get();
+    EXPECT_EQ(ams.monitor().history().size(), 16u);
+    EXPECT_EQ(ams.monitor().total_recorded(), 200u);
+}
+
+TEST(Loadgen, ReportIsConsistentAndJsonWellFormed) {
+    auto ams = make_demo_ams(6, /*context_weight=*/0);
+    DecisionService service(ams, service_options(2));
+    LoadgenOptions options;
+    options.clients = 3;
+    options.requests_per_client = 40;
+    auto report = run_loadgen(service, demo_workload(6), options);
+    EXPECT_EQ(report.requests, 120u);
+    EXPECT_EQ(report.permitted + report.denied + report.overloaded + report.expired, 120u);
+    EXPECT_GT(report.throughput_rps, 0.0);
+    EXPECT_GE(report.p99_us, report.p50_us);
+    EXPECT_GT(report.hit_rate, 0.0);
+    auto json = report.to_json();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    for (const char* field : {"\"requests\":", "\"throughput_rps\":", "\"p50_us\":",
+                              "\"p99_us\":", "\"hit_rate\":"}) {
+        EXPECT_NE(json.find(field), std::string::npos) << field;
+    }
+}
+
+}  // namespace
+}  // namespace agenp::srv
