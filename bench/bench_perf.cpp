@@ -17,6 +17,7 @@
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
 #include "scenarios/cav/cav.hpp"
 
@@ -185,8 +186,11 @@ BENCHMARK(BM_LearnCavPolicy)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
 int main(int argc, char** argv) {
     // AGENP_METRICS=off measures the telemetry overhead (compare against a
     // default run; the counters in the JSON line read zero when disabled).
+    // Lock profiling is switched off together with metrics so the off run
+    // is a true telemetry-free baseline.
     if (const char* env = std::getenv("AGENP_METRICS"); env && std::string_view(env) == "off") {
         obs::set_metrics_enabled(false);
+        obs::set_lock_profiling_enabled(false);
     }
     auto start_ns = obs::monotonic_ns();
     benchmark::Initialize(&argc, argv);

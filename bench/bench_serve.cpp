@@ -2,19 +2,24 @@
 //
 // Closed-loop load generation against the decision service on the demo
 // serving domain, sweeping worker thread counts with the decision cache on
-// and off. Emits one machine-readable line:
+// and off. The lock-contention profiler is reset before each configuration,
+// so every row carries per-lock wait statistics for the three serving-path
+// hot locks (symbol.intern, srv.cache_shard, srv.model). Emits one
+// machine-readable line:
 //
 //   BENCH_SERVE_JSON {"rows":[{"threads":..,"cache":..,"throughput_rps":..,
-//                              "p50_us":..,"p99_us":..,"hit_rate":..},...],
+//                              "p50_us":..,"p95_us":..,"p99_us":..,
+//                              "hit_rate":..,"locks":{...}},...],
 //                     "cache_speedup":..,"smoke":..}
 //
 // `cache_speedup` compares cache on vs off at the same thread count on the
 // repeated-request workload; the CI smoke (`--smoke`) asserts the line
-// parses and the sweep ran.
+// parses, the sweep ran, and the per-lock wait stats are present.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "obs/lockprof.hpp"
 #include "srv/loadgen.hpp"
 
 using namespace agenp;
@@ -25,6 +30,7 @@ struct Row {
     std::size_t threads = 0;
     bool cache = false;
     srv::LoadgenReport report;
+    std::vector<obs::LockStatsSnapshot> locks;
 };
 
 Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
@@ -41,8 +47,43 @@ Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
     Row row;
     row.threads = threads;
     row.cache = cache;
+    // Attribute contention to this configuration only: the run_loadgen call
+    // is the only window where the profiled locks see multi-threaded load.
+    obs::locks().reset();
     row.report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
+    row.locks = obs::locks().snapshot();
     return row;
+}
+
+// The serving-path hot locks the ISSUE asks bench_serve to report on.
+constexpr const char* kHotLocks[] = {"symbol.intern", "srv.cache_shard", "srv.model"};
+
+const obs::LockStatsSnapshot* find_lock(const Row& row, std::string_view name) {
+    for (const auto& snap : row.locks) {
+        if (snap.name == name) return &snap;
+    }
+    return nullptr;
+}
+
+std::string locks_json(const Row& row) {
+    std::string out = "{";
+    bool first = true;
+    for (const char* name : kHotLocks) {
+        const obs::LockStatsSnapshot* snap = find_lock(row, name);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"%s\":{\"acquisitions\":%llu,\"contentions\":%llu,"
+                      "\"wait_us_total\":%llu,\"wait_us_p99\":%.1f}",
+                      first ? "" : ",", name,
+                      static_cast<unsigned long long>(snap ? snap->acquisitions : 0),
+                      static_cast<unsigned long long>(snap ? snap->contentions : 0),
+                      static_cast<unsigned long long>(snap ? snap->wait_us.sum : 0),
+                      snap ? snap->wait_us.quantile(0.99) : 0.0);
+        out += buf;
+        first = false;
+    }
+    out += "}";
+    return out;
 }
 
 }  // namespace
@@ -74,6 +115,26 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Where do threads stall? Contention on the serving-path hot locks,
+    // per configuration (the cache-off rows are the interesting ones: with
+    // no decision cache every request interns symbols and hits the model
+    // lock, so these rows show which lock limits scaling).
+    std::printf("\nlock contention (per config):\n");
+    std::printf("%8s %6s  %-16s %12s %12s %12s %10s\n", "threads", "cache", "lock", "acquires",
+                "contended", "wait_us", "p99_us");
+    for (const auto& row : rows) {
+        for (const char* name : kHotLocks) {
+            const obs::LockStatsSnapshot* snap = find_lock(row, name);
+            if (!snap || snap->acquisitions == 0) continue;
+            std::printf("%8zu %6s  %-16s %12llu %12llu %12llu %10.1f\n", row.threads,
+                        row.cache ? "on" : "off", name,
+                        static_cast<unsigned long long>(snap->acquisitions),
+                        static_cast<unsigned long long>(snap->contentions),
+                        static_cast<unsigned long long>(snap->wait_us.sum),
+                        snap->wait_us.quantile(0.99));
+        }
+    }
+
     // Cache speedup at the highest common thread count.
     double on_rps = 0, off_rps = 0;
     std::size_t top = thread_counts.back();
@@ -87,14 +148,16 @@ int main(int argc, char** argv) {
     std::string json = "{\"rows\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
-        char buf[256];
+        char buf[320];
         std::snprintf(buf, sizeof(buf),
                       "%s{\"threads\":%zu,\"cache\":%s,\"throughput_rps\":%.1f,\"p50_us\":%.1f,"
-                      "\"p99_us\":%.1f,\"hit_rate\":%.3f}",
+                      "\"p95_us\":%.1f,\"p99_us\":%.1f,\"hit_rate\":%.3f,\"locks\":",
                       i == 0 ? "" : ",", row.threads, row.cache ? "true" : "false",
-                      row.report.throughput_rps, row.report.p50_us, row.report.p99_us,
-                      row.report.hit_rate);
+                      row.report.throughput_rps, row.report.p50_us, row.report.p95_us,
+                      row.report.p99_us, row.report.hit_rate);
         json += buf;
+        json += locks_json(row);
+        json += "}";
     }
     char tail[96];
     std::snprintf(tail, sizeof(tail), "],\"cache_speedup\":%.1f,\"smoke\":%s}", speedup,

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace agenp::framework {
@@ -70,6 +71,7 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
                                  const asg::AnswerSetGrammar& model,
                                  const PolicyRepository& repo) const {
     obs::ScopedSpan span("agenp.pdp.decide", "agenp");
+    obs::TracePhase request_phase(obs::current_trace(), "agenp.pdp.decide");
     static obs::Histogram& time_hist = obs::metrics().histogram("agenp.pdp.time_us");
     obs::ScopedTimer timer(time_hist);
 

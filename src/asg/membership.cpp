@@ -1,6 +1,7 @@
 #include "asg/membership.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
 
 namespace agenp::asg {
@@ -28,6 +29,7 @@ void publish(const MembershipResult& result, std::size_t asp_checks) {
 MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::TokenString& tokens,
                                   const asp::Program& context, const MembershipOptions& options) {
     obs::ScopedSpan span("asg.membership", "asg");
+    obs::TracePhase request_phase(obs::current_trace(), "asg.membership");
     static obs::Histogram& time_hist = obs::metrics().histogram("asg.membership.time_us");
     obs::ScopedTimer timer(time_hist);
 
@@ -37,8 +39,16 @@ MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::To
     for (const auto& tree : trees) {
         ++result.trees_checked;
         asp::Program program = instantiate(grammar, tree, context);
-        auto gp = asp::ground(program, options.grounding);
-        auto solved = asp::solve(gp, options.solve);
+        asp::GroundProgram gp;
+        {
+            obs::TracePhase ground_phase(obs::current_trace(), "asp.ground");
+            gp = asp::ground(program, options.grounding);
+        }
+        asp::SolveResult solved;
+        {
+            obs::TracePhase solve_phase(obs::current_trace(), "asp.solve");
+            solved = asp::solve(gp, options.solve);
+        }
         ++asp_checks;
         if (solved.satisfiable()) {
             result.in_language = true;

@@ -1,18 +1,25 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "agenp/ams.hpp"
 #include "asg/generate.hpp"
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "srv/flight.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/service.hpp"
 #include "util/strings.hpp"
@@ -286,33 +293,136 @@ int cmd_quickstart(std::ostream& out) {
     return 0;
 }
 
-int cmd_serve(const std::string& grammar_path, const std::string& context_path,
-              std::size_t threads, std::size_t cache_mb, bool use_cache, std::istream& in,
-              std::ostream& out) {
-    auto grammar = asg::AnswerSetGrammar::parse(read_file(grammar_path));
+namespace {
+
+// One-line JSON for `!stats` and the periodic reporter: service counters,
+// cache stats, and per-lock contention from the profiler registry.
+std::string serve_stats_json(const srv::DecisionService& service) {
+    srv::ServiceStats stats = service.snapshot_stats();
+    std::string out = "{";
+    out += "\"submitted\":" + std::to_string(stats.submitted);
+    out += ",\"completed\":" + std::to_string(stats.completed);
+    out += ",\"permitted\":" + std::to_string(stats.permitted);
+    out += ",\"denied\":" + std::to_string(stats.denied);
+    out += ",\"overloaded\":" + std::to_string(stats.rejected_overload);
+    out += ",\"expired\":" + std::to_string(stats.expired);
+    out += ",\"queue_depth\":" + std::to_string(stats.queue_depth);
+    out += ",\"traces_captured\":" + std::to_string(stats.traces_captured);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", stats.cache.hit_rate());
+    out += ",\"cache\":{\"hits\":" + std::to_string(stats.cache.hits) +
+           ",\"misses\":" + std::to_string(stats.cache.misses) + ",\"hit_rate\":" + buf +
+           ",\"entries\":" + std::to_string(stats.cache.entries) +
+           ",\"bytes\":" + std::to_string(stats.cache.bytes) +
+           ",\"evictions\":" + std::to_string(stats.cache.evictions) +
+           ",\"invalidations\":" + std::to_string(stats.cache.invalidations) + "}";
+    out += ",\"locks\":" + obs::locks().render_json();
+    out += "}";
+    return out;
+}
+
+// Handles one '!'-prefixed serve control line.
+void handle_control_line(const std::string& line, srv::DecisionService& service,
+                         std::ostream& out) {
+    auto words = util::split_ws(line);
+    const std::string& command = words[0];
+    if (command == "!stats") {
+        out << "SERVE_STATS_JSON " << serve_stats_json(service) << "\n";
+        return;
+    }
+    if (command == "!flight") {
+        std::string json = "[";
+        bool first = true;
+        for (const auto& record : service.flight().snapshot()) {
+            if (!first) json += ",";
+            json += srv::flight_record_json(record);
+            first = false;
+        }
+        json += "]";
+        out << "FLIGHT_JSON " << json << "\n";
+        return;
+    }
+    if (command == "!trace") {
+        if (words.size() < 2) {
+            out << "usage: !trace <file>\n";
+            return;
+        }
+        std::size_t captured = service.captured_traces().size();
+        std::ofstream file(words[1]);
+        if (!file) {
+            out << "cannot write trace file: " << words[1] << "\n";
+            return;
+        }
+        file << service.captured_traces_json();
+        out << "trace written to " << words[1] << " (" << captured << " captured request"
+            << (captured == 1 ? "" : "s") << ")\n";
+        return;
+    }
+    out << "unknown control line: " << command << " (try !stats, !flight, !trace <file>)\n";
+}
+
+}  // namespace
+
+int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
+    auto grammar = asg::AnswerSetGrammar::parse(read_file(cli.grammar_path));
     asp::Program context;
-    if (!context_path.empty()) context = asp::parse_program(read_file(context_path));
+    if (!cli.context_path.empty()) context = asp::parse_program(read_file(cli.context_path));
 
     framework::AutonomousManagedSystem ams("serve", std::move(grammar), ilp::HypothesisSpace{});
     ams.pip().add_source("file", [context] { return context; });
 
     srv::ServiceOptions options;
-    options.threads = threads;
-    options.use_cache = use_cache;
-    if (cache_mb > 0) options.cache.capacity_bytes = cache_mb << 20;
+    options.threads = cli.threads;
+    options.use_cache = cli.use_cache;
+    if (cli.cache_mb > 0) options.cache.capacity_bytes = cli.cache_mb << 20;
+    options.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
+    options.trace.sample_every = cli.trace_sample;
 
     srv::DecisionService service(ams, options);
+
+    // The reporter thread and the request loop share `out`.
+    std::mutex out_mu;
+    std::mutex reporter_mu;
+    std::condition_variable reporter_cv;
+    bool reporter_stop = false;
+    std::thread reporter;
+    if (cli.stats_every_s > 0) {
+        reporter = std::thread([&] {
+            std::unique_lock lock(reporter_mu);
+            while (!reporter_cv.wait_for(lock, std::chrono::seconds(cli.stats_every_s),
+                                         [&] { return reporter_stop; })) {
+                std::string json = serve_stats_json(service);
+                std::lock_guard out_lock(out_mu);
+                out << "SERVE_STATS_JSON " << json << "\n" << std::flush;
+            }
+        });
+    }
+
     auto start = std::chrono::steady_clock::now();
     std::string line;
     std::size_t served = 0;
     while (std::getline(in, line)) {
-        auto trimmed = util::trim(line);
+        auto trimmed = std::string(util::trim(line));
         if (trimmed.empty()) continue;
+        if (trimmed[0] == '!') {
+            std::lock_guard out_lock(out_mu);
+            handle_control_line(trimmed, service, out);
+            continue;
+        }
         srv::Decision decision = service.submit(cfg::tokenize(trimmed)).get();
+        std::lock_guard out_lock(out_mu);
         out << srv::outcome_name(decision.outcome) << "\n";
         ++served;
     }
     service.drain();
+    if (reporter.joinable()) {
+        {
+            std::lock_guard lock(reporter_mu);
+            reporter_stop = true;
+        }
+        reporter_cv.notify_all();
+        reporter.join();
+    }
     auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     auto stats = service.snapshot_stats();
     char buf[128];
@@ -479,16 +589,27 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             return cmd_quickstart(out);
         }
         if (command == "serve") {
-            auto context = take_flag(args, "--context", "");
-            auto threads = std::stoull(take_flag(args, "--threads", "4"));
-            auto cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
-            bool no_cache = take_bool_flag(args, "--no-cache");
+            ServeCliOptions serve;
+            serve.context_path = take_flag(args, "--context", "");
+            serve.threads = std::stoull(take_flag(args, "--threads", "4"));
+            serve.cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
+            serve.use_cache = !take_bool_flag(args, "--no-cache");
+            // Tail-capture knobs default from the environment; flags win.
+            const char* env_slow = std::getenv("AGENP_TRACE_SLOW_MS");
+            const char* env_sample = std::getenv("AGENP_TRACE_SAMPLE");
+            serve.trace_slow_ms =
+                std::stoull(take_flag(args, "--trace-slow-ms", env_slow ? env_slow : "0"));
+            serve.trace_sample =
+                std::stoull(take_flag(args, "--trace-sample", env_sample ? env_sample : "0"));
+            serve.stats_every_s = std::stoull(take_flag(args, "--stats-every", "0"));
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
-                    "[--cache-mb M] [--no-cache]");
+                    "[--cache-mb M] [--no-cache] [--trace-slow-ms MS] [--trace-sample N] "
+                    "[--stats-every SEC]");
             }
-            return cmd_serve(args[0], context, threads, cache_mb, !no_cache, std::cin, out);
+            serve.grammar_path = args[0];
+            return cmd_serve(serve, std::cin, out);
         }
         if (command == "loadgen") {
             auto threads = std::stoull(take_flag(args, "--threads", "4"));

@@ -6,6 +6,7 @@
 //   agenp learn <task.agenp> [--out learned.asg]
 //   agenp quickstart
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
+//               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
 //   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
 //                 [--cache-mb M] [--no-cache]
 //
@@ -13,6 +14,16 @@
 //   --stats            print the metrics-registry dump after the command
 //   --trace-out=FILE   record spans and write Chrome trace-event JSON
 //                      (open in chrome://tracing or ui.perfetto.dev)
+//
+// Serve-mode observability: request lines starting with '!' are control
+// lines — `!stats` prints a SERVE_STATS_JSON line (service + cache + lock
+// contention), `!flight` prints a FLIGHT_JSON line (the recent-request
+// ring), `!trace <file>` writes captured slow-request span trees as
+// Chrome trace JSON. The tail-capture knobs default from the environment:
+// AGENP_TRACE_SLOW_MS (capture trees for requests slower than this) and
+// AGENP_TRACE_SAMPLE (also capture every Nth request); --trace-slow-ms /
+// --trace-sample override. --stats-every SEC starts a reporter thread
+// that prints SERVE_STATS_JSON every SEC seconds.
 //
 // The learn-task file format is line-oriented with #section headers:
 //
@@ -73,14 +84,24 @@ int cmd_evaluate(const std::string& schema_path, const std::string& policy_path,
 // per-phase AGENP telemetry.
 int cmd_quickstart(std::ostream& out);
 
+struct ServeCliOptions {
+    std::string grammar_path;
+    std::string context_path;
+    std::size_t threads = 4;
+    std::size_t cache_mb = 64;
+    bool use_cache = true;
+    std::uint64_t trace_slow_ms = 0;  // tail-capture threshold (0 = off)
+    std::size_t trace_sample = 0;     // capture every Nth request (0 = off)
+    std::size_t stats_every_s = 0;    // periodic SERVE_STATS_JSON reporter (0 = off)
+};
+
 // PDP-as-a-service over stdin: one request (token string) per line in,
-// one decision (Permit/Deny/Overloaded/Expired) per line out; a summary
-// with throughput and cache hit rate is printed at EOF. `cache_mb == 0`
-// with `use_cache` still enables a minimal cache; pass use_cache=false to
-// disable it.
-int cmd_serve(const std::string& grammar_path, const std::string& context_path,
-              std::size_t threads, std::size_t cache_mb, bool use_cache, std::istream& in,
-              std::ostream& out);
+// one decision (Permit/Deny/Overloaded/Expired) per line out; '!'-prefixed
+// control lines query the running service (see the header comment). A
+// summary with throughput and cache hit rate is printed at EOF.
+// `cache_mb == 0` with `use_cache` still enables a minimal cache; pass
+// use_cache=false to disable it.
+int cmd_serve(const ServeCliOptions& options, std::istream& in, std::ostream& out);
 
 // Closed-loop load generator against the built-in demo serving domain;
 // prints the human-readable report plus one `LOADGEN_JSON {...}` line.

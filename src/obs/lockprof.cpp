@@ -1,0 +1,115 @@
+#include "obs/lockprof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+
+namespace agenp::obs {
+
+namespace {
+
+std::atomic<bool> g_lock_profiling_enabled{true};
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+}  // namespace
+
+bool lock_profiling_enabled() {
+    return g_lock_profiling_enabled.load(std::memory_order_relaxed);
+}
+
+void set_lock_profiling_enabled(bool enabled) {
+    g_lock_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+struct LockRegistry::Impl {
+    mutable std::mutex mutex;
+    // std::map keeps node (and thus reference) stability on insert.
+    std::map<std::string, LockStats, std::less<>> stats;
+};
+
+LockRegistry::LockRegistry() : impl_(new Impl) {}
+LockRegistry::~LockRegistry() { delete impl_; }
+
+LockStats& LockRegistry::get(std::string_view name) {
+    std::lock_guard lock(impl_->mutex);
+    auto it = impl_->stats.find(name);
+    if (it == impl_->stats.end()) {
+        it = impl_->stats.try_emplace(std::string(name)).first;
+    }
+    return it->second;
+}
+
+std::vector<LockStatsSnapshot> LockRegistry::snapshot() const {
+    std::lock_guard lock(impl_->mutex);
+    std::vector<LockStatsSnapshot> out;
+    out.reserve(impl_->stats.size());
+    for (const auto& [name, s] : impl_->stats) {
+        LockStatsSnapshot snap;
+        snap.name = name;
+        snap.acquisitions = s.acquisitions();
+        snap.contentions = s.contentions();
+        snap.wait_us = s.wait_us();
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
+std::string LockRegistry::render_json() const {
+    auto snaps = snapshot();
+    std::string out = "{";
+    bool first = true;
+    for (const auto& s : snaps) {
+        if (!first) out += ",";
+        out += "\"" + json_escape(s.name) + "\":{";
+        out += "\"acquisitions\":" + std::to_string(s.acquisitions);
+        out += ",\"contentions\":" + std::to_string(s.contentions);
+        out += ",\"wait_us_total\":" + std::to_string(s.wait_us.sum);
+        out += ",\"wait_us_p50\":" + format_double(s.wait_us.quantile(0.5));
+        out += ",\"wait_us_p99\":" + format_double(s.wait_us.quantile(0.99));
+        out += ",\"wait_us_max\":" + std::to_string(s.wait_us.max);
+        out += "}";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+std::string LockRegistry::render_text() const {
+    auto snaps = snapshot();
+    std::sort(snaps.begin(), snaps.end(), [](const LockStatsSnapshot& a, const LockStatsSnapshot& b) {
+        return a.wait_us.sum > b.wait_us.sum;
+    });
+    std::size_t width = 4;
+    for (const auto& s : snaps) width = std::max(width, s.name.size());
+    std::string out = "lock" + std::string(width - 4 + 2, ' ') +
+                      "    acquires    contended      wait_us  wait_p99_us\n";
+    for (const auto& s : snaps) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%12llu %12llu %12llu %12.1f\n",
+                      static_cast<unsigned long long>(s.acquisitions),
+                      static_cast<unsigned long long>(s.contentions),
+                      static_cast<unsigned long long>(s.wait_us.sum), s.wait_us.quantile(0.99));
+        out += s.name + std::string(width - s.name.size() + 2, ' ') + buf;
+    }
+    return out;
+}
+
+void LockRegistry::reset() {
+    std::lock_guard lock(impl_->mutex);
+    for (auto& [_, s] : impl_->stats) s.reset();
+}
+
+LockRegistry& locks() {
+    // Intentionally leaked: the symbol intern table locks through this
+    // registry and may run during static destruction.
+    static LockRegistry* registry = new LockRegistry;
+    return *registry;
+}
+
+}  // namespace agenp::obs

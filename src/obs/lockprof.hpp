@@ -1,0 +1,202 @@
+// Lock-contention profiling: drop-in mutex wrappers that attribute wait
+// time to named locks (DESIGN.md section "Observability").
+//
+// The serving layer's scaling questions ("where do the cache-off threads
+// stall?") cannot be answered by latency histograms alone — they need to
+// know which lock was waited on and for how long. ProfiledMutex and
+// ProfiledSharedMutex satisfy the standard Lockable / SharedLockable
+// requirements, so std::lock_guard / std::unique_lock / std::shared_lock
+// work unchanged, and record per-lock:
+//   - acquisitions: every successful lock (shared or exclusive),
+//   - contentions: acquisitions that lost the try_lock fast path,
+//   - wait_us:     histogram of slow-path wait time.
+//
+// Cost model: the uncontended path is one try_lock plus one relaxed
+// atomic add — near-zero. Only the contended path reads the clock. With
+// set_lock_profiling_enabled(false) even the counter bump is skipped and
+// the wrappers degenerate to a plain try_lock/lock pair.
+//
+// Stats objects are owned by a process-wide LockRegistry keyed by name;
+// several mutexes may share one name (the 16 decision-cache shard locks
+// all report as "srv.cache_shard"), aggregating naturally.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace agenp::obs {
+
+// Global kill switch, independent of metrics_enabled(): lock profiling
+// defaults to on because its fast path is one relaxed add.
+bool lock_profiling_enabled();
+void set_lock_profiling_enabled(bool enabled);
+
+// Per-named-lock instrument. All mutation is lock-free.
+class LockStats {
+public:
+    void record_uncontended() { acquisitions_.add(1); }
+    void record_contended(std::uint64_t wait_ns) {
+        acquisitions_.add(1);
+        contentions_.add(1);
+        wait_us_.observe(wait_ns / 1000);
+    }
+
+    [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_.value(); }
+    [[nodiscard]] std::uint64_t contentions() const { return contentions_.value(); }
+    [[nodiscard]] Histogram::Snapshot wait_us() const { return wait_us_.snapshot(); }
+
+    void reset() {
+        acquisitions_.reset();
+        contentions_.reset();
+        wait_us_.reset();
+    }
+
+private:
+    Counter acquisitions_;
+    Counter contentions_;
+    Histogram wait_us_;
+};
+
+struct LockStatsSnapshot {
+    std::string name;
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;
+    Histogram::Snapshot wait_us;
+
+    [[nodiscard]] double contention_rate() const {
+        return acquisitions == 0 ? 0.0
+                                 : static_cast<double>(contentions) / static_cast<double>(acquisitions);
+    }
+};
+
+class LockRegistry {
+public:
+    // Stable for the life of the process; same name -> same instrument.
+    LockStats& get(std::string_view name);
+
+    [[nodiscard]] std::vector<LockStatsSnapshot> snapshot() const;
+
+    // {"name":{"acquisitions":..,"contentions":..,"wait_us_total":..,
+    //          "wait_us_p50":..,"wait_us_p99":..,"wait_us_max":..},...}
+    [[nodiscard]] std::string render_json() const;
+    // Aligned table sorted by total wait descending.
+    [[nodiscard]] std::string render_text() const;
+
+    // Zeroes every instrument (names stay registered).
+    void reset();
+
+    LockRegistry();
+    ~LockRegistry();
+    LockRegistry(const LockRegistry&) = delete;
+    LockRegistry& operator=(const LockRegistry&) = delete;
+
+private:
+    struct Impl;
+    Impl* impl_;
+};
+
+// The process-wide registry. Never destroyed (the symbol intern table's
+// locks may be used during static teardown).
+LockRegistry& locks();
+
+// std::mutex with contention accounting. Satisfies Lockable.
+class ProfiledMutex {
+public:
+    explicit ProfiledMutex(std::string_view name) : stats_(&locks().get(name)) {}
+    ProfiledMutex(const ProfiledMutex&) = delete;
+    ProfiledMutex& operator=(const ProfiledMutex&) = delete;
+
+    void lock() {
+        if (mu_.try_lock()) {
+            if (lock_profiling_enabled()) stats_->record_uncontended();
+            return;
+        }
+        if (!lock_profiling_enabled()) {
+            mu_.lock();
+            return;
+        }
+        std::uint64_t start = monotonic_ns();
+        mu_.lock();
+        stats_->record_contended(monotonic_ns() - start);
+    }
+
+    bool try_lock() {
+        if (!mu_.try_lock()) return false;
+        if (lock_profiling_enabled()) stats_->record_uncontended();
+        return true;
+    }
+
+    void unlock() { mu_.unlock(); }
+
+    [[nodiscard]] const LockStats& stats() const { return *stats_; }
+
+private:
+    std::mutex mu_;
+    LockStats* stats_;
+};
+
+// std::shared_mutex with contention accounting on both the exclusive and
+// the shared path. Satisfies SharedLockable.
+class ProfiledSharedMutex {
+public:
+    explicit ProfiledSharedMutex(std::string_view name) : stats_(&locks().get(name)) {}
+    ProfiledSharedMutex(const ProfiledSharedMutex&) = delete;
+    ProfiledSharedMutex& operator=(const ProfiledSharedMutex&) = delete;
+
+    void lock() {
+        if (mu_.try_lock()) {
+            if (lock_profiling_enabled()) stats_->record_uncontended();
+            return;
+        }
+        if (!lock_profiling_enabled()) {
+            mu_.lock();
+            return;
+        }
+        std::uint64_t start = monotonic_ns();
+        mu_.lock();
+        stats_->record_contended(monotonic_ns() - start);
+    }
+
+    bool try_lock() {
+        if (!mu_.try_lock()) return false;
+        if (lock_profiling_enabled()) stats_->record_uncontended();
+        return true;
+    }
+
+    void unlock() { mu_.unlock(); }
+
+    void lock_shared() {
+        if (mu_.try_lock_shared()) {
+            if (lock_profiling_enabled()) stats_->record_uncontended();
+            return;
+        }
+        if (!lock_profiling_enabled()) {
+            mu_.lock_shared();
+            return;
+        }
+        std::uint64_t start = monotonic_ns();
+        mu_.lock_shared();
+        stats_->record_contended(monotonic_ns() - start);
+    }
+
+    bool try_lock_shared() {
+        if (!mu_.try_lock_shared()) return false;
+        if (lock_profiling_enabled()) stats_->record_uncontended();
+        return true;
+    }
+
+    void unlock_shared() { mu_.unlock_shared(); }
+
+    [[nodiscard]] const LockStats& stats() const { return *stats_; }
+
+private:
+    std::shared_mutex mu_;
+    LockStats* stats_;
+};
+
+}  // namespace agenp::obs

@@ -1,0 +1,110 @@
+// Request-scoped tracing: one span tree per decision request.
+//
+// The process-wide TraceRecorder (trace.hpp) answers "where does this
+// binary spend time"; it cannot answer "why was request #4812 slow",
+// because its spans carry no request identity. A TraceContext is a small
+// per-request span buffer created at submit time and carried with the
+// request through queue wait -> cache probe -> PDP -> ASG membership ->
+// solver. Every span stores a parent index, so the exported tree breaks a
+// request's latency into phases (queue wait vs. solve time) that a
+// latency histogram flattens away.
+//
+// Propagation: the request owns its TraceContext; deeper layers (PDP,
+// membership, solver call sites) reach it through a thread-local set by
+// TraceContextScope for the duration of the evaluation, so their
+// signatures stay trace-agnostic. A TraceContext is single-owner: at any
+// moment at most one thread appends spans (enforced by the serving
+// layer's queue handoff), so it needs no internal locking.
+//
+// Cost: when the serving layer decides not to trace a request it passes a
+// null context everywhere; TracePhase on a null context touches no clock
+// and allocates nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agenp::obs {
+
+struct RequestSpan {
+    std::string name;
+    std::uint64_t start_us = 0;     // since the process-local trace epoch
+    std::uint64_t duration_us = 0;  // 0 while the span is still open
+    std::int32_t parent = -1;       // index into TraceContext::spans(); -1 = root
+};
+
+class TraceContext {
+public:
+    explicit TraceContext(std::uint64_t trace_id) : id_(trace_id) {}
+
+    [[nodiscard]] std::uint64_t trace_id() const { return id_; }
+
+    // Opens a span nested under the innermost open span; returns its index.
+    std::size_t begin_span(std::string_view name);
+    void end_span(std::size_t index);
+
+    [[nodiscard]] const std::vector<RequestSpan>& spans() const { return spans_; }
+
+    // Index of the first span with this name, or npos.
+    [[nodiscard]] std::size_t find(std::string_view name) const;
+    static constexpr std::size_t npos = ~std::size_t{0};
+
+    // Duration of the root span (index 0), or 0 when empty.
+    [[nodiscard]] std::uint64_t total_us() const {
+        return spans_.empty() ? 0 : spans_.front().duration_us;
+    }
+
+    // Appends this request's spans as Chrome trace events ("ph":"X") onto
+    // `out`; every event carries tid = trace id (one lane per request) and
+    // args.trace_id / args.parent for scripted consumers.
+    void append_chrome_events(std::string& out, bool& first) const;
+
+    // Standalone Chrome trace-event JSON for this one request.
+    [[nodiscard]] std::string chrome_trace_json() const;
+
+private:
+    std::uint64_t id_ = 0;
+    std::vector<RequestSpan> spans_;
+    std::vector<std::size_t> open_;  // stack of open span indices
+};
+
+// The trace context installed on this thread, or null.
+TraceContext* current_trace();
+
+// Installs `ctx` (may be null) as the thread's current trace context for
+// the scope's lifetime; restores the previous one on exit.
+class TraceContextScope {
+public:
+    explicit TraceContextScope(TraceContext* ctx);
+    ~TraceContextScope();
+    TraceContextScope(const TraceContextScope&) = delete;
+    TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+private:
+    TraceContext* prev_;
+};
+
+// RAII phase span on a (possibly null) context.
+class TracePhase {
+public:
+    TracePhase(TraceContext* ctx, std::string_view name) : ctx_(ctx) {
+        if (ctx_ != nullptr) index_ = ctx_->begin_span(name);
+    }
+    ~TracePhase() {
+        if (ctx_ != nullptr) ctx_->end_span(index_);
+    }
+    TracePhase(const TracePhase&) = delete;
+    TracePhase& operator=(const TracePhase&) = delete;
+
+private:
+    TraceContext* ctx_;
+    std::size_t index_ = 0;
+};
+
+// Merges several requests' span trees into one Chrome trace-event JSON
+// document (one tid lane per request).
+std::string chrome_trace_json(const std::vector<const TraceContext*>& traces);
+
+}  // namespace agenp::obs

@@ -26,6 +26,7 @@
 
 #include "asp/program.hpp"
 #include "cfg/grammar.hpp"
+#include "obs/lockprof.hpp"
 
 namespace agenp::srv {
 
@@ -81,7 +82,8 @@ private:
         bool permitted = false;
     };
     struct Shard {
-        std::mutex mu;
+        // All shard locks report aggregate contention as "srv.cache_shard".
+        obs::ProfiledMutex mu{"srv.cache_shard"};
         std::list<Entry> lru;  // front = most recently used
         // Views into the stable list nodes' `text`.
         std::unordered_map<std::string_view, std::list<Entry>::iterator> index;

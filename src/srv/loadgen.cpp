@@ -1,21 +1,15 @@
 #include "srv/loadgen.hpp"
 
-#include <algorithm>
 #include <cstdio>
 #include <thread>
 
 #include "asp/parser.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace agenp::srv {
 
 namespace {
-
-double quantile_sorted(const std::vector<std::uint64_t>& sorted, double q) {
-    if (sorted.empty()) return 0;
-    auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
-    return static_cast<double>(sorted[rank]);
-}
 
 std::string format_double(double v) {
     char buf[64];
@@ -36,6 +30,7 @@ std::string LoadgenReport::to_json() const {
     out += ",\"throughput_rps\":" + format_double(throughput_rps);
     out += ",\"mean_us\":" + format_double(mean_us);
     out += ",\"p50_us\":" + format_double(p50_us);
+    out += ",\"p95_us\":" + format_double(p95_us);
     out += ",\"p99_us\":" + format_double(p99_us);
     out += ",\"hit_rate\":" + format_double(hit_rate);
     out += "}";
@@ -50,7 +45,7 @@ std::string LoadgenReport::render_text() const {
     out += "throughput: " + format_double(throughput_rps) + " req/s over " +
            format_double(seconds) + " s\n";
     out += "latency us: mean " + format_double(mean_us) + ", p50 " + format_double(p50_us) +
-           ", p99 " + format_double(p99_us) + "\n";
+           ", p95 " + format_double(p95_us) + ", p99 " + format_double(p99_us) + "\n";
     out += "cache hit rate: " + format_double(hit_rate) + "\n";
     return out;
 }
@@ -63,10 +58,12 @@ LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::Token
     CacheStats before = service.cache().stats();
 
     struct ClientResult {
-        std::vector<std::uint64_t> latencies_us;
+        std::size_t requests = 0;
         std::size_t permitted = 0, denied = 0, overloaded = 0, expired = 0;
     };
     std::vector<ClientResult> results(options.clients);
+    // Clients observe into one histogram concurrently (lock-free).
+    obs::Histogram latency_hist;
 
     util::Rng seeder(options.seed);
     std::vector<util::Rng> rngs;
@@ -80,11 +77,11 @@ LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::Token
         clients.emplace_back([&, c] {
             ClientResult& r = results[c];
             util::Rng& rng = rngs[c];
-            r.latencies_us.reserve(options.requests_per_client);
             for (std::size_t i = 0; i < options.requests_per_client; ++i) {
                 const cfg::TokenString& request = rng.choice(workload);
                 Decision d = service.submit(request).get();
-                r.latencies_us.push_back(d.latency_us);
+                ++r.requests;
+                latency_hist.observe(d.latency_us);
                 switch (d.outcome) {
                     case Outcome::Permit: ++r.permitted; break;
                     case Outcome::Deny: ++r.denied; break;
@@ -97,26 +94,21 @@ LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::Token
     for (auto& t : clients) t.join();
     auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
 
-    std::vector<std::uint64_t> latencies;
     for (auto& r : results) {
+        report.requests += r.requests;
         report.permitted += r.permitted;
         report.denied += r.denied;
         report.overloaded += r.overloaded;
         report.expired += r.expired;
-        latencies.insert(latencies.end(), r.latencies_us.begin(), r.latencies_us.end());
     }
-    report.requests = latencies.size();
     report.seconds = elapsed.count();
     report.throughput_rps =
         report.seconds > 0 ? static_cast<double>(report.requests) / report.seconds : 0;
-    std::sort(latencies.begin(), latencies.end());
-    if (!latencies.empty()) {
-        std::uint64_t sum = 0;
-        for (auto v : latencies) sum += v;
-        report.mean_us = static_cast<double>(sum) / static_cast<double>(latencies.size());
-        report.p50_us = quantile_sorted(latencies, 0.5);
-        report.p99_us = quantile_sorted(latencies, 0.99);
-    }
+    obs::Histogram::Snapshot latency = latency_hist.snapshot();
+    report.mean_us = latency.mean();
+    report.p50_us = latency.quantile(0.5);
+    report.p95_us = latency.quantile(0.95);
+    report.p99_us = latency.quantile(0.99);
 
     CacheStats after = service.cache().stats();
     std::uint64_t hits = after.hits - before.hits;

@@ -29,8 +29,12 @@ struct LoadgenReport {
     std::size_t expired = 0;
     double seconds = 0;
     double throughput_rps = 0;
+    // Latency quantiles come from an obs::Histogram the clients observe
+    // into concurrently (bit-width buckets, interpolated quantiles), so
+    // the collection path is lock-free and allocation-free.
     double mean_us = 0;
     double p50_us = 0;
+    double p95_us = 0;
     double p99_us = 0;
     double hit_rate = 0;  // over this run only (stats delta)
 

@@ -26,9 +26,10 @@ std::string_view outcome_name(Outcome outcome) {
 }
 
 DecisionService::DecisionService(framework::AutonomousManagedSystem& ams, ServiceOptions options)
-    : ams_(ams), options_(options), cache_(options.cache) {
+    : ams_(ams), options_(options), cache_(options.cache), flight_(options.flight_capacity) {
     if (options_.threads == 0) options_.threads = 1;
     if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+    if (options_.trace.max_captured == 0) options_.trace.max_captured = 1;
     workers_.reserve(options_.threads);
     for (std::size_t i = 0; i < options_.threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -53,8 +54,20 @@ std::future<Decision> DecisionService::submit(cfg::TokenString request,
     if (timeout.count() <= 0) timeout = options_.default_timeout;
     task.deadline = timeout.count() > 0 ? now + timeout
                                         : std::chrono::steady_clock::time_point::max();
+    task.trace_id = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.trace.active()) {
+        // Tail-based: record spans now, decide at completion whether the
+        // tree is worth keeping. When only sampling is on, skip the
+        // requests sampling will discard anyway.
+        bool sampled = options_.trace.sample_every > 0 &&
+                       task.trace_id % options_.trace.sample_every == 0;
+        if (options_.trace.slow_threshold_us > 0 || sampled) {
+            task.trace = std::make_unique<obs::TraceContext>(task.trace_id);
+            task.root_span = task.trace->begin_span("srv.request");
+            task.queue_span = task.trace->begin_span("srv.queue_wait");
+        }
+    }
     auto future = task.promise.get_future();
-    submitted_.fetch_add(1, std::memory_order_relaxed);
     if (obs::metrics_enabled()) {
         static obs::Counter& requests = obs::metrics().counter("srv.requests");
         requests.add(1);
@@ -116,12 +129,26 @@ ServiceStats DecisionService::snapshot_stats() const {
     out.denied = denied_.load(std::memory_order_relaxed);
     out.rejected_overload = rejected_.load(std::memory_order_relaxed);
     out.expired = expired_.load(std::memory_order_relaxed);
+    out.traces_captured = traces_captured_.load(std::memory_order_relaxed);
     {
         std::lock_guard lock(queue_mu_);
         out.queue_depth = queue_.size();
     }
     out.cache = cache_.stats();
     return out;
+}
+
+std::vector<CapturedTrace> DecisionService::captured_traces() const {
+    std::lock_guard lock(traces_mu_);
+    return {captured_.begin(), captured_.end()};
+}
+
+std::string DecisionService::captured_traces_json() const {
+    std::lock_guard lock(traces_mu_);
+    std::vector<const obs::TraceContext*> traces;
+    traces.reserve(captured_.size());
+    for (const auto& c : captured_) traces.push_back(&c.trace);
+    return obs::chrome_trace_json(traces);
 }
 
 void DecisionService::worker_loop() {
@@ -148,18 +175,56 @@ void DecisionService::worker_loop() {
     }
 }
 
-void DecisionService::finish(Decision& decision, const Task& task, Outcome outcome) {
+void DecisionService::maybe_capture(Task& task, std::uint64_t total_us) {
+    if (task.trace == nullptr) return;
+    task.trace->end_span(task.root_span);
+    const TraceOptions& opts = options_.trace;
+    const char* reason = nullptr;
+    if (opts.slow_threshold_us > 0 && total_us >= opts.slow_threshold_us) {
+        reason = "slow";
+    } else if (opts.sample_every > 0 && task.trace_id % opts.sample_every == 0) {
+        reason = "sample";
+    }
+    if (reason == nullptr) return;  // fast and unsampled: drop the tree
+    traces_captured_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+        static obs::Counter& captured = obs::metrics().counter("srv.traces_captured");
+        captured.add(1);
+    }
+    std::lock_guard lock(traces_mu_);
+    captured_.push_back(CapturedTrace{reason, std::move(*task.trace)});
+    while (captured_.size() > opts.max_captured) captured_.pop_front();
+}
+
+void DecisionService::finish(Decision& decision, Task& task, Outcome outcome) {
     decision.outcome = outcome;
     decision.latency_us = elapsed_us(task.enqueued);
+    decision.trace_id = task.trace_id;
     if (obs::metrics_enabled()) {
         static obs::Histogram& latency = obs::metrics().histogram("srv.latency_us");
         latency.observe(decision.latency_us);
     }
+    FlightRecord record;
+    record.id = task.trace_id;
+    record.model_version = decision.model_version;
+    record.queue_us = task.queue_us;
+    record.solve_us = task.solve_us;
+    record.total_us = decision.latency_us;
+    record.outcome = static_cast<std::uint8_t>(outcome);
+    record.cache_hit = decision.cache_hit;
+    flight_.record(record);
+    maybe_capture(task, decision.latency_us);
 }
 
 Decision DecisionService::process(Task& task) {
+    task.queue_us = elapsed_us(task.enqueued);
+    if (task.trace != nullptr) task.trace->end_span(task.queue_span);
+    // Deeper layers (PDP, membership, solver call sites) pick the context
+    // up through obs::current_trace() for the rest of the evaluation.
+    obs::TraceContextScope trace_scope(task.trace.get());
     obs::ScopedSpan span("srv.decide", "srv");
     Decision decision;
+    decision.trace_id = task.trace_id;
 
     if (std::chrono::steady_clock::now() >= task.deadline) {
         expired_.fetch_add(1, std::memory_order_relaxed);
@@ -174,20 +239,36 @@ Decision DecisionService::process(Task& task) {
     bool permitted = false;
     {
         std::shared_lock state(state_mu_);
-        asp::Program context = ams_.pip().gather();
+        asp::Program context;
+        {
+            obs::TracePhase phase(task.trace.get(), "srv.context");
+            context = ams_.pip().gather();
+        }
         decision.model_version = ams_.model_version();
 
+        auto solve = [&] {
+            obs::TracePhase phase(task.trace.get(), "srv.solve");
+            auto start = std::chrono::steady_clock::now();
+            bool verdict = ams_.decide(task.tokens, context);
+            task.solve_us = elapsed_us(start);
+            return verdict;
+        };
         if (options_.use_cache) {
             CacheKey key = DecisionCache::make_key(task.tokens, context);
-            if (auto hit = cache_.lookup(key, decision.model_version)) {
+            std::optional<bool> hit;
+            {
+                obs::TracePhase phase(task.trace.get(), "srv.cache_probe");
+                hit = cache_.lookup(key, decision.model_version);
+            }
+            if (hit) {
                 permitted = *hit;
                 decision.cache_hit = true;
             } else {
-                permitted = ams_.decide(task.tokens, context);
+                permitted = solve();
                 cache_.insert(key, decision.model_version, permitted);
             }
         } else {
-            permitted = ams_.decide(task.tokens, context);
+            permitted = solve();
         }
         ams_.pep().enforce(task.tokens, permitted);
 
@@ -197,6 +278,7 @@ Decision DecisionService::process(Task& task) {
         record.permitted = permitted;
         record.model_version = decision.model_version;
         {
+            obs::TracePhase phase(task.trace.get(), "srv.monitor");
             std::lock_guard monitor(monitor_mu_);
             decision.monitor_index = ams_.monitor().record(std::move(record));
         }

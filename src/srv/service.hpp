@@ -11,20 +11,32 @@
 //                                  feeds the PAdaP feedback loop)
 //
 // Locking discipline:
-//  - `state_mu_` (shared_mutex): workers take it shared while reading the
-//    model/context/policy repository and running the PEP; update_model()
-//    takes it exclusive, so model adoption never races a decision. PIP
-//    sources and the PEP effector run under the shared lock from multiple
-//    workers concurrently and must themselves be thread-safe.
-//  - `monitor_mu_`: serializes DecisionMonitor record/feedback (short
-//    critical section; the expensive membership solve happens outside it).
-//  - `queue_mu_`: protects the request queue and the in-flight count.
+//  - `state_mu_` (ProfiledSharedMutex "srv.model"): workers take it shared
+//    while reading the model/context/policy repository and running the
+//    PEP; update_model() takes it exclusive, so model adoption never races
+//    a decision. PIP sources and the PEP effector run under the shared
+//    lock from multiple workers concurrently and must themselves be
+//    thread-safe.
+//  - `monitor_mu_` (ProfiledMutex "srv.monitor"): serializes
+//    DecisionMonitor record/feedback (short critical section; the
+//    expensive membership solve happens outside it).
+//  - `queue_mu_`: protects the request queue and the in-flight count
+//    (plain std::mutex — it pairs with the workers' condition variable).
 //
 // Backpressure: submit() never blocks. When the queue is at capacity the
 // request is rejected immediately with Outcome::Overloaded — the caller
 // learns it must shed load, rather than every caller slowing down.
 // Deadlines: a request whose deadline passes while queued is answered
 // Outcome::Expired without paying for a solve.
+//
+// Observability (DESIGN.md section 7): every request gets a monotone id.
+// A summary of each request (outcome, queue/solve/total latency, cache
+// hit, model version) lands in a lock-free FlightRecorder ring. When
+// request tracing is configured (TraceOptions), each request carries a
+// TraceContext through queue wait -> cache probe -> PDP -> membership ->
+// solver; the full span tree is kept only for requests slower than the
+// tail threshold (plus optional 1-in-N samples) and is exportable as
+// Chrome trace-event JSON.
 #pragma once
 
 #include <atomic>
@@ -33,15 +45,32 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "agenp/ams.hpp"
+#include "obs/lockprof.hpp"
+#include "obs/reqtrace.hpp"
 #include "srv/cache.hpp"
+#include "srv/flight.hpp"
 
 namespace agenp::srv {
+
+// Tail-based request-trace capture policy. Tracing records spans for
+// every request while active (a handful of timestamps), but keeps the
+// tree only when it turns out to matter: the request was slower than the
+// threshold, or it was picked by deterministic 1-in-N sampling. With both
+// knobs at zero no TraceContext is ever allocated.
+struct TraceOptions {
+    std::uint64_t slow_threshold_us = 0;  // keep trees slower than this (0 = off)
+    std::size_t sample_every = 0;         // also keep every Nth request (0 = off)
+    std::size_t max_captured = 32;        // bounded store; oldest dropped
+
+    [[nodiscard]] bool active() const { return slow_threshold_us > 0 || sample_every > 0; }
+};
 
 struct ServiceOptions {
     std::size_t threads = 4;
@@ -51,6 +80,8 @@ struct ServiceOptions {
     // Deadline applied to requests submitted without their own; zero means
     // no deadline.
     std::chrono::microseconds default_timeout{0};
+    TraceOptions trace;
+    std::size_t flight_capacity = FlightRecorder::kDefaultCapacity;
 };
 
 enum class Outcome {
@@ -69,6 +100,9 @@ struct Decision {
     bool cache_hit = false;
     std::uint64_t model_version = 0;
     std::uint64_t latency_us = 0;  // submit -> completion, queue wait included
+    // Request id: monotone per service, correlates the decision with its
+    // flight record and any captured trace.
+    std::uint64_t trace_id = 0;
     // Monitor sequence number for give_feedback(); kNoIndex when the
     // request never reached the PDP (Overloaded / Expired).
     std::size_t monitor_index = kNoIndex;
@@ -83,8 +117,17 @@ struct ServiceStats {
     std::uint64_t denied = 0;
     std::uint64_t rejected_overload = 0;
     std::uint64_t expired = 0;
+    std::uint64_t traces_captured = 0;
     std::size_t queue_depth = 0;
     CacheStats cache;
+};
+
+// A span tree the tail sampler decided to keep.
+struct CapturedTrace {
+    std::string reason;  // "slow" or "sample"
+    obs::TraceContext trace;
+
+    [[nodiscard]] std::uint64_t trace_id() const { return trace.trace_id(); }
 };
 
 class DecisionService {
@@ -121,24 +164,41 @@ public:
     [[nodiscard]] const DecisionCache& cache() const { return cache_; }
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
+    // Recent-request ring (always on; see srv/flight.hpp).
+    [[nodiscard]] const FlightRecorder& flight() const { return flight_; }
+
+    // Span trees retained by the tail sampler, oldest first.
+    [[nodiscard]] std::vector<CapturedTrace> captured_traces() const;
+    // All captured trees merged into one Chrome trace-event JSON document
+    // (one tid lane per request).
+    [[nodiscard]] std::string captured_traces_json() const;
+
 private:
     struct Task {
         cfg::TokenString tokens;
         std::promise<Decision> promise;
         std::chrono::steady_clock::time_point enqueued;
         std::chrono::steady_clock::time_point deadline;  // max() = none
+        std::uint64_t trace_id = 0;
+        std::unique_ptr<obs::TraceContext> trace;  // null unless tracing this request
+        std::size_t root_span = 0;
+        std::size_t queue_span = 0;
+        std::uint64_t queue_us = 0;  // submit -> worker dequeue
+        std::uint64_t solve_us = 0;  // cache-miss membership solve
     };
 
     void worker_loop();
     Decision process(Task& task);
-    void finish(Decision& decision, const Task& task, Outcome outcome);
+    void finish(Decision& decision, Task& task, Outcome outcome);
+    void maybe_capture(Task& task, std::uint64_t total_us);
 
     framework::AutonomousManagedSystem& ams_;
     ServiceOptions options_;
     DecisionCache cache_;
+    FlightRecorder flight_;
 
-    std::shared_mutex state_mu_;
-    std::mutex monitor_mu_;
+    obs::ProfiledSharedMutex state_mu_{"srv.model"};
+    obs::ProfiledMutex monitor_mu_{"srv.monitor"};
 
     mutable std::mutex queue_mu_;
     std::condition_variable queue_cv_;  // workers: work available or stopping
@@ -147,12 +207,16 @@ private:
     std::size_t in_flight_ = 0;
     bool stopping_ = false;
 
+    mutable std::mutex traces_mu_;
+    std::deque<CapturedTrace> captured_;
+
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> permitted_{0};
     std::atomic<std::uint64_t> denied_{0};
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> traces_captured_{0};
 
     std::vector<std::thread> workers_;
 };

@@ -1,42 +1,111 @@
 #include "util/symbol.hpp"
 
-#include <deque>
-#include <mutex>
+#include <array>
+#include <atomic>
+#include <functional>
+#include <stdexcept>
 #include <unordered_map>
+
+#include "obs/lockprof.hpp"
 
 namespace agenp::util {
 namespace {
 
-// Process-wide intern table. Guarded by a mutex: interning happens during
-// parsing/setup, not in solver inner loops, so contention is irrelevant.
-struct InternTable {
-    std::mutex mu;
-    std::deque<std::string> storage;  // deque: stable addresses on growth
+// Process-wide intern table, sharded 16 ways by string hash so concurrent
+// interning (the serving layer re-tokenizes and re-parses context text on
+// every cache miss, from every worker thread) stripes across 16 mutexes
+// instead of serializing on one. The profiler names all shard locks
+// "symbol.intern", so obs::locks() reports their aggregate contention.
+//
+// Id layout: a Symbol id is (local_index << kShardBits) | shard, which
+// keeps ids unique across shards and makes lookup() a pure index
+// computation. Shard 0's slot 0 is pre-seeded with "" so the default
+// Symbol (id 0) stays the empty symbol.
+//
+// Storage: each shard appends strings into fixed-size chunks whose
+// addresses never move, published through atomic chunk pointers plus a
+// release-stored count — so lookup() (the solver-side hot path) reads the
+// text without taking the shard mutex at all.
+constexpr std::size_t kShardBits = 4;
+constexpr std::size_t kShards = 1 << kShardBits;            // 16
+constexpr std::uint32_t kShardMask = kShards - 1;
+constexpr std::size_t kChunkBits = 13;
+constexpr std::size_t kChunkSize = 1 << kChunkBits;         // 8192 symbols
+constexpr std::size_t kMaxChunks = 1 << 12;                 // 33M symbols/shard
+
+struct Shard {
+    obs::ProfiledMutex mu{"symbol.intern"};
+    // Keys view into the chunk slots below (stable addresses).
     std::unordered_map<std::string_view, std::uint32_t> index;
+    std::uint32_t count = 0;                  // slots filled; guarded by mu
+    std::atomic<std::uint32_t> published{0};  // release-stored copy of count
+    std::array<std::atomic<std::string*>, kMaxChunks> chunks{};
+
+    std::string& slot(std::uint32_t local) {
+        std::size_t chunk_index = local >> kChunkBits;
+        std::string* chunk = chunks[chunk_index].load(std::memory_order_acquire);
+        if (chunk == nullptr) {
+            chunk = new std::string[kChunkSize];
+            chunks[chunk_index].store(chunk, std::memory_order_release);
+        }
+        return chunk[local & (kChunkSize - 1)];
+    }
+};
+
+struct InternTable {
+    Shard shards[kShards];
 
     InternTable() {
-        storage.emplace_back("");  // id 0 is the empty symbol
-        index.emplace(storage.back(), 0);
+        // Pre-seed id 0 = "" in shard 0 (intern() special-cases "" so it
+        // never lands in another shard under a different id).
+        Shard& s = shards[0];
+        s.slot(0) = "";
+        s.index.emplace(std::string_view(s.slot(0)), 0);
+        s.count = 1;
+        s.published.store(1, std::memory_order_release);
     }
 
     std::uint32_t intern(std::string_view text) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (auto it = index.find(text); it != index.end()) return it->second;
-        storage.emplace_back(text);
-        auto id = static_cast<std::uint32_t>(storage.size() - 1);
-        index.emplace(storage.back(), id);
-        return id;
+        if (text.empty()) return 0;
+        auto shard_id = static_cast<std::uint32_t>(std::hash<std::string_view>{}(text)) & kShardMask;
+        Shard& s = shards[shard_id];
+        std::lock_guard<obs::ProfiledMutex> lock(s.mu);
+        if (auto it = s.index.find(text); it != s.index.end()) {
+            return (it->second << kShardBits) | shard_id;
+        }
+        std::uint32_t local = s.count;
+        if (local >= kMaxChunks * kChunkSize) {
+            throw std::length_error("symbol intern shard full");
+        }
+        std::string& stored = s.slot(local);
+        stored = std::string(text);
+        s.index.emplace(std::string_view(stored), local);
+        s.count = local + 1;
+        s.published.store(s.count, std::memory_order_release);
+        return (local << kShardBits) | shard_id;
     }
 
     std::string_view lookup(std::uint32_t id) {
-        std::lock_guard<std::mutex> lock(mu);
-        return storage[id];
+        Shard& s = shards[id & kShardMask];
+        std::uint32_t local = id >> kShardBits;
+        // Acquire on `published` synchronizes with the release in intern(),
+        // so every slot below it is fully constructed; no mutex needed.
+        if (local >= s.published.load(std::memory_order_acquire)) return {};
+        std::string* chunk = s.chunks[local >> kChunkBits].load(std::memory_order_acquire);
+        return chunk[local & (kChunkSize - 1)];
+    }
+
+    std::size_t size() const {
+        std::size_t total = 0;
+        for (const Shard& s : shards) total += s.published.load(std::memory_order_acquire);
+        return total;
     }
 };
 
 InternTable& table() {
-    static InternTable t;
-    return t;
+    // Intentionally leaked: symbols are looked up from static destructors.
+    static InternTable* t = new InternTable;
+    return *t;
 }
 
 }  // namespace
@@ -44,5 +113,7 @@ InternTable& table() {
 Symbol::Symbol(std::string_view text) : id_(table().intern(text)) {}
 
 std::string_view Symbol::str() const { return table().lookup(id_); }
+
+std::size_t interned_symbol_count() { return table().size(); }
 
 }  // namespace agenp::util

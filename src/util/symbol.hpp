@@ -29,13 +29,17 @@ public:
 
     friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
     friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
-    // Orders by interning order, not lexicographically; use str() when a
-    // human-facing order matters.
+    // Orders by id — stable within a process but arbitrary (ids interleave
+    // across intern shards); use str() when a human-facing order matters.
     friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
 
 private:
     std::uint32_t id_ = 0;
 };
+
+// Total symbols interned so far across all shards (the intern table is
+// sharded 16 ways by string hash; see symbol.cpp).
+std::size_t interned_symbol_count();
 
 }  // namespace agenp::util
 

@@ -243,5 +243,70 @@ TEST(ReadFile, ThrowsOnMissing) {
     EXPECT_THROW(read_file("/nonexistent/definitely_missing"), CliError);
 }
 
+// --- serve-mode control lines ---
+
+const char* kServeGrammar = R"asg(
+request -> "do" task {
+  :- requires(L)@2, maxloa(M), L > M.
+}
+task -> "patrol" { requires(2). }
+task -> "strike" { requires(5). }
+)asg";
+
+TEST(CmdServe, ControlLinesReportStatsFlightAndTraces) {
+    ServeCliOptions options;
+    options.grammar_path = temp_file("serve_ctl.asg", kServeGrammar);
+    options.context_path = temp_file("serve_ctl.lp", "maxloa(3).\n");
+    options.threads = 2;
+    options.trace_sample = 1;  // capture every request's span tree
+    std::string trace_path = std::string(::testing::TempDir()) + "/agenp_serve_ctl_trace.json";
+
+    std::istringstream in("do patrol\ndo strike\n!stats\n!flight\n!trace " + trace_path +
+                          "\n!bogus\n");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_serve(options, in, out), 0);
+    std::string text = out.str();
+
+    // Decisions, in request order.
+    EXPECT_NE(text.find("Permit"), std::string::npos);
+    EXPECT_NE(text.find("Deny"), std::string::npos);
+
+    // !stats: one-line JSON with service, cache and per-lock sections.
+    auto stats_pos = text.find("SERVE_STATS_JSON {");
+    ASSERT_NE(stats_pos, std::string::npos);
+    std::string stats_line = text.substr(stats_pos, text.find('\n', stats_pos) - stats_pos);
+    for (const char* field : {"\"submitted\":2", "\"permitted\":1", "\"denied\":1",
+                              "\"cache\":", "\"locks\":", "\"srv.model\":"}) {
+        EXPECT_NE(stats_line.find(field), std::string::npos) << field;
+    }
+
+    // !flight: both requests in the ring, monotone ids.
+    auto flight_pos = text.find("FLIGHT_JSON [");
+    ASSERT_NE(flight_pos, std::string::npos);
+    std::string flight_line = text.substr(flight_pos, text.find('\n', flight_pos) - flight_pos);
+    EXPECT_NE(flight_line.find("\"id\":1"), std::string::npos);
+    EXPECT_NE(flight_line.find("\"id\":2"), std::string::npos);
+    EXPECT_NE(flight_line.find("\"total_us\":"), std::string::npos);
+
+    // !trace: Chrome trace JSON with queue-wait and solve spans on disk.
+    EXPECT_NE(text.find("trace written to " + trace_path), std::string::npos);
+    std::string trace_json = read_file(trace_path);
+    EXPECT_NE(trace_json.find("srv.queue_wait"), std::string::npos);
+    EXPECT_NE(trace_json.find("srv.solve"), std::string::npos);
+    EXPECT_NE(trace_json.find("\"ph\":\"X\""), std::string::npos);
+
+    // Unknown control lines get a hint instead of being sent to the PDP.
+    EXPECT_NE(text.find("unknown control line: !bogus"), std::string::npos);
+}
+
+TEST(CmdServe, UsageMentionsObservabilityFlags) {
+    std::ostringstream out, err;
+    int code = run({"serve"}, out, err);
+    EXPECT_NE(code, 0);
+    for (const char* flag : {"--trace-slow-ms", "--trace-sample", "--stats-every"}) {
+        EXPECT_NE(err.str().find(flag), std::string::npos) << flag;
+    }
+}
+
 }  // namespace
 }  // namespace agenp::cli

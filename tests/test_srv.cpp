@@ -338,5 +338,207 @@ TEST(Loadgen, ReportIsConsistentAndJsonWellFormed) {
     }
 }
 
+// --- flight recorder ---
+
+TEST(FlightRecorder, WraparoundKeepsNewestWithMonotoneIds) {
+    FlightRecorder ring(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+        FlightRecord r;
+        r.id = i;
+        r.total_us = i * 10;
+        ring.record(r);
+    }
+    EXPECT_EQ(ring.total_recorded(), 20u);
+    auto records = ring.snapshot();
+    ASSERT_EQ(records.size(), 8u);
+    // The ring retains exactly the newest 8, oldest first.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].id, 13 + i);
+        EXPECT_EQ(records[i].total_us, (13 + i) * 10);
+        if (i > 0) {
+            EXPECT_GT(records[i].id, records[i - 1].id);
+        }
+    }
+}
+
+TEST(FlightRecorder, SnapshotNeverMixesFieldsOfTwoRecords) {
+    FlightRecorder ring(16);
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 2000;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    std::atomic<bool> stop{false};
+    // Writers emit records whose fields are all derived from one value, so
+    // any torn read surfaces as an internally inconsistent record.
+    for (int t = 0; t < kThreads; ++t) {
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                std::uint64_t v = static_cast<std::uint64_t>(t) * kOpsPerThread + i + 1;
+                FlightRecord r;
+                r.id = v;
+                r.queue_us = v * 2;
+                r.solve_us = v * 3;
+                r.total_us = v * 5;
+                ring.record(r);
+            }
+        });
+    }
+    std::size_t snapshots_taken = 0;
+    while (!stop.load()) {
+        for (const auto& r : ring.snapshot()) {
+            EXPECT_EQ(r.queue_us, r.id * 2);
+            EXPECT_EQ(r.solve_us, r.id * 3);
+            EXPECT_EQ(r.total_us, r.id * 5);
+        }
+        ++snapshots_taken;
+        if (ring.total_recorded() >= static_cast<std::uint64_t>(kThreads) * kOpsPerThread) {
+            stop.store(true);
+        }
+    }
+    for (auto& w : writers) w.join();
+    EXPECT_GT(snapshots_taken, 0u);
+    EXPECT_EQ(ring.total_recorded(), static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(FlightRecorder, JsonLinesRenderOnePerRecord) {
+    FlightRecorder ring(4);
+    FlightRecord r;
+    r.id = 9;
+    r.outcome = 1;
+    r.cache_hit = true;
+    ring.record(r);
+    std::string lines = ring.render_json_lines();
+    EXPECT_NE(lines.find("\"id\":9"), std::string::npos);
+    EXPECT_NE(lines.find("\"cache_hit\":true"), std::string::npos);
+}
+
+TEST(DecisionService, FlightRingSeesEveryRequest) {
+    auto ams = make_demo_ams(4, /*context_weight=*/0);
+    ServiceOptions options = service_options(2);
+    options.flight_capacity = 64;
+    DecisionService service(ams, options);
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 20; ++i) {
+        futures.push_back(service.submit(cfg::tokenize("do task_" + std::to_string(i % 4))));
+    }
+    std::set<std::uint64_t> decision_ids;
+    for (auto& f : futures) decision_ids.insert(f.get().trace_id);
+    service.drain();
+    EXPECT_EQ(service.flight().total_recorded(), 20u);
+    std::set<std::uint64_t> recorded_ids;
+    for (const auto& r : service.flight().snapshot()) recorded_ids.insert(r.id);
+    // Every decision's trace id has a flight record.
+    for (auto id : decision_ids) EXPECT_TRUE(recorded_ids.count(id)) << id;
+}
+
+// --- tail-based trace capture ---
+
+TEST(DecisionService, SampledCaptureProducesSpanTree) {
+    auto ams = make_demo_ams(4, /*context_weight=*/0);
+    ServiceOptions options = service_options(2, 1024, /*use_cache=*/false);
+    options.trace.sample_every = 1;  // capture everything
+    options.trace.max_captured = 64;
+    DecisionService service(ams, options);
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(service.submit(cfg::tokenize("do task_" + std::to_string(i % 4))));
+    }
+    std::set<std::uint64_t> decision_ids;
+    for (auto& f : futures) decision_ids.insert(f.get().trace_id);
+    service.drain();
+
+    auto captured = service.captured_traces();
+    ASSERT_EQ(captured.size(), 8u);
+    for (const auto& c : captured) {
+        EXPECT_EQ(c.reason, "sample");
+        EXPECT_TRUE(decision_ids.count(c.trace_id())) << c.trace_id();
+        // The acceptance shape: a queue-wait span and a solve span in the
+        // same trace, parented under the root request span.
+        const auto& spans = c.trace.spans();
+        auto root = c.trace.find("srv.request");
+        auto queue = c.trace.find("srv.queue_wait");
+        auto solve = c.trace.find("srv.solve");
+        ASSERT_NE(root, obs::TraceContext::npos);
+        ASSERT_NE(queue, obs::TraceContext::npos);
+        ASSERT_NE(solve, obs::TraceContext::npos);
+        EXPECT_EQ(spans[root].parent, -1);
+        EXPECT_EQ(spans[queue].parent, static_cast<std::int32_t>(root));
+        EXPECT_EQ(spans[solve].parent, static_cast<std::int32_t>(root));
+        // Cache off: the solve path reaches membership and the solver.
+        EXPECT_NE(c.trace.find("asg.membership"), obs::TraceContext::npos);
+        EXPECT_NE(c.trace.find("asp.solve"), obs::TraceContext::npos);
+        EXPECT_GT(c.trace.total_us(), 0u);
+    }
+    EXPECT_EQ(service.snapshot_stats().traces_captured, 8u);
+
+    std::string json = service.captured_traces_json();
+    EXPECT_NE(json.find("srv.queue_wait"), std::string::npos);
+    EXPECT_NE(json.find("srv.solve"), std::string::npos);
+}
+
+TEST(DecisionService, SlowThresholdKeepsOnlySlowRequests) {
+    auto ams = make_demo_ams(4, /*context_weight=*/0);
+    // Threshold far above anything the demo domain can take: tracing runs,
+    // nothing is kept.
+    ServiceOptions options = service_options(2);
+    options.trace.slow_threshold_us = 60'000'000;
+    DecisionService service(ams, options);
+    for (int i = 0; i < 8; ++i) {
+        service.submit(cfg::tokenize("do task_" + std::to_string(i % 4)));
+    }
+    service.drain();
+    EXPECT_EQ(service.captured_traces().size(), 0u);
+    EXPECT_EQ(service.snapshot_stats().traces_captured, 0u);
+
+    // Threshold of 1us: every request is "slow".
+    ServiceOptions eager = service_options(2);
+    eager.trace.slow_threshold_us = 1;
+    eager.trace.max_captured = 16;
+    DecisionService eager_service(ams, eager);
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(eager_service.submit(cfg::tokenize("do task_" + std::to_string(i % 4))));
+    }
+    for (auto& f : futures) f.get();
+    eager_service.drain();
+    auto captured = eager_service.captured_traces();
+    ASSERT_GT(captured.size(), 0u);
+    for (const auto& c : captured) EXPECT_EQ(c.reason, "slow");
+}
+
+TEST(DecisionService, CapturedStoreStaysBounded) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    ServiceOptions options = service_options(2);
+    options.trace.sample_every = 1;
+    options.trace.max_captured = 4;
+    DecisionService service(ams, options);
+    for (int i = 0; i < 32; ++i) {
+        service.submit(cfg::tokenize("do task_" + std::to_string(i % 2)));
+    }
+    service.drain();
+    auto captured = service.captured_traces();
+    EXPECT_EQ(captured.size(), 4u);
+    // Captures are stored in completion order (not id order — workers
+    // finish out of order); the bounded store keeps distinct requests.
+    std::set<std::uint64_t> ids;
+    for (const auto& c : captured) {
+        EXPECT_GE(c.trace_id(), 1u);
+        EXPECT_LE(c.trace_id(), 32u);
+        ids.insert(c.trace_id());
+    }
+    EXPECT_EQ(ids.size(), 4u);
+    EXPECT_EQ(service.snapshot_stats().traces_captured, 32u);
+}
+
+TEST(DecisionService, TracingOffAllocatesNoContexts) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    DecisionService service(ams, service_options(2));  // trace knobs at zero
+    auto decision = service.submit(cfg::tokenize("do task_0")).get();
+    service.drain();
+    EXPECT_GT(decision.trace_id, 0u);  // ids are assigned regardless
+    EXPECT_EQ(service.captured_traces().size(), 0u);
+}
+
 }  // namespace
 }  // namespace agenp::srv

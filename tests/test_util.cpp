@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -136,6 +141,79 @@ TEST(Table, FormatsDoublesWithThreeDecimals) {
     Table t({"v"});
     t.add(0.5);
     EXPECT_NE(t.render().find("0.500"), std::string::npos);
+}
+
+// --- sharded intern table ---
+
+TEST(Symbol, EmptySymbolIsAlwaysIdZero) {
+    EXPECT_EQ(Symbol().id(), 0u);
+    EXPECT_EQ(Symbol("").id(), 0u);
+    EXPECT_EQ(Symbol("").str(), "");
+}
+
+TEST(Symbol, ConcurrentInterningAgreesAcrossThreads) {
+    constexpr int kThreads = 8;
+    constexpr int kStrings = 1000;
+    // All threads intern the same strings in different orders; interning
+    // must hand back one id per string no matter which thread won the race.
+    std::vector<std::vector<std::uint32_t>> ids(kThreads,
+                                                std::vector<std::uint32_t>(kStrings));
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kStrings; ++i) {
+                int k = (i * 7 + t * 131) % kStrings;  // per-thread order
+                ids[t][static_cast<std::size_t>(k)] =
+                    Symbol("concurrent_intern_" + std::to_string(k)).id();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+    std::set<std::uint32_t> distinct;
+    for (int i = 0; i < kStrings; ++i) {
+        for (int t = 1; t < kThreads; ++t) {
+            ASSERT_EQ(ids[t][static_cast<std::size_t>(i)], ids[0][static_cast<std::size_t>(i)])
+                << "thread " << t << " got a different id for string " << i;
+        }
+        distinct.insert(ids[0][static_cast<std::size_t>(i)]);
+        EXPECT_EQ(Symbol("concurrent_intern_" + std::to_string(i)).id(),
+                  ids[0][static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kStrings));
+}
+
+TEST(Symbol, LookupSurvivesChunkGrowth) {
+    // Interning enough strings to overflow intern-table chunks (8192 slots
+    // per shard chunk) must not invalidate earlier handles: chunk storage
+    // is append-only and previously returned string_views stay pinned.
+    std::size_t before = interned_symbol_count();
+    Symbol first("chunk_growth_sentinel");
+    std::string_view pinned = first.str();
+    std::vector<Symbol> batch;
+    constexpr int kCount = 150'000;  // > 16 shards x 8192 first-chunk slots
+    batch.reserve(kCount);
+    for (int i = 0; i < kCount; ++i) {
+        batch.push_back(Symbol("chunk_growth_" + std::to_string(i)));
+    }
+    EXPECT_GE(interned_symbol_count(), before + kCount);
+    EXPECT_EQ(pinned, "chunk_growth_sentinel");
+    EXPECT_EQ(Symbol("chunk_growth_sentinel"), first);
+    // Spot-check roundtrips across the whole range.
+    for (int i : {0, 1, 8191, 8192, 100'000, kCount - 1}) {
+        EXPECT_EQ(batch[static_cast<std::size_t>(i)].str(),
+                  "chunk_growth_" + std::to_string(i));
+    }
+}
+
+TEST(Symbol, InternedCountGrowsMonotonically) {
+    std::size_t before = interned_symbol_count();
+    Symbol a("count_probe_a");
+    Symbol b("count_probe_b");
+    Symbol again("count_probe_a");  // idempotent: no new entry
+    EXPECT_EQ(a, again);
+    EXPECT_NE(a, b);
+    EXPECT_GE(interned_symbol_count(), before + 2);
 }
 
 }  // namespace
