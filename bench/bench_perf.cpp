@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "analysis/lint.hpp"
 #include "asg/membership.hpp"
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
@@ -178,6 +179,38 @@ void BM_LearnCavPolicy(benchmark::State& state) {
 }
 BENCHMARK(BM_LearnCavPolicy)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
 
+// --- static analysis (agenp lint) -------------------------------------------
+
+// Lint cost vs program size: the fact sweep scales the def/use table and
+// the grounding estimator's universe.
+void BM_LintProgram(benchmark::State& state) {
+    auto n = state.range(0);
+    std::string text;
+    for (std::int64_t i = 0; i + 1 < n; ++i) {
+        text += "e(" + std::to_string(i) + "," + std::to_string(i + 1) + ").\n";
+    }
+    text += "r(X,Y) :- e(X,Y).\nr(X,Z) :- r(X,Y), e(Y,Z).\nreach :- r(X,Y).\n:- not reach.\n";
+    auto program = asp::parse_program(text);
+    for (auto _ : state) {
+        auto sink = analysis::lint_program(program);
+        benchmark::DoNotOptimize(sink.size());
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_LintProgram)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+// Whole-grammar lint of the CAV reference model: namespace resolution,
+// per-production rule passes, and grammar-shape analysis. This is the
+// per-hypothesis cost PAdaP pays when the static-lint gate is on.
+void BM_LintAsg(benchmark::State& state) {
+    auto model = scenarios::cav::reference_model();
+    for (auto _ : state) {
+        auto sink = analysis::lint_asg(model);
+        benchmark::DoNotOptimize(sink.size());
+    }
+}
+BENCHMARK(BM_LintAsg);
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): after the benchmark run, emit a
@@ -200,5 +233,19 @@ int main(int argc, char** argv) {
     double wall_s = static_cast<double>(obs::monotonic_ns() - start_ns) / 1e9;
     std::printf("BENCH_PERF_JSON: {\"wall_s\":%.3f,\"metrics\":%s}\n", wall_s,
                 obs::metrics().render_json().c_str());
+    // One-shot lint of the CAV reference model: the latency a single
+    // PAdaP static-lint gate adds, plus the finding counts (grep for
+    // BENCH_LINT_JSON).
+    {
+        auto model = agenp::scenarios::cav::reference_model();
+        auto lint_start_ns = agenp::obs::monotonic_ns();
+        auto sink = agenp::analysis::lint_asg(model);
+        double lint_us = static_cast<double>(agenp::obs::monotonic_ns() - lint_start_ns) / 1e3;
+        std::printf(
+            "BENCH_LINT_JSON: {\"model\":\"cav_reference\",\"lint_us\":%.1f,"
+            "\"diagnostics\":%zu,\"errors\":%zu,\"warnings\":%zu}\n",
+            lint_us, sink.size(), sink.count(agenp::analysis::Severity::Error),
+            sink.count(agenp::analysis::Severity::Warning));
+    }
     return 0;
 }

@@ -118,6 +118,30 @@ AdaptationOutcome PolicyAdaptationPoint::adapt_from_examples(
     }
     auto candidate = initial_.with_rules(hypothesis);
 
+    // Static lint gate: cheap structural rejection before membership checks.
+    if (options_.static_lint) {
+        auto lint_options = options_.lint;
+        for (const auto* bucket : {&positive, &negative}) {
+            for (const auto& ex : *bucket) {
+                for (const auto& rule : ex.context.rules()) {
+                    if (rule.head) lint_options.external_predicates.push_back(rule.head->predicate);
+                }
+            }
+        }
+        auto lint = PolicyCheckingPoint::lint_model(candidate, lint_options);
+        if (lint.has_errors()) {
+            static obs::Counter& lint_rejected =
+                obs::metrics().counter("agenp.padap.lint_rejected");
+            if (obs::metrics_enabled()) lint_rejected.add(1);
+            const auto* first = lint.find_severity(analysis::Severity::Error);
+            outcome.reason = "candidate model failed static lint (" +
+                             std::to_string(lint.count(analysis::Severity::Error)) +
+                             " error(s)): " + (first ? first->to_string() : "");
+            publish_outcome(outcome);
+            return outcome;
+        }
+    }
+
     // ASG Solver / PCP validation before adoption.
     auto violations = PolicyCheckingPoint::detect_violations(candidate, options_.forbidden,
                                                              options_.learn.membership);

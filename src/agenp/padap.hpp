@@ -9,6 +9,7 @@
 #include "agenp/pdp.hpp"
 #include "agenp/repository.hpp"
 #include "agenp/similarity.hpp"
+#include "analysis/lint.hpp"
 #include "ilp/learner.hpp"
 
 namespace agenp::framework {
@@ -24,6 +25,14 @@ struct AdaptationOptions {
     // similar contexts before running the inductive search.
     bool use_similarity_cache = false;
     double min_similarity = 0.25;
+    // Static lint gate (DESIGN.md §9): reject candidate models carrying
+    // Error-severity diagnostics (unsafe rules, arity clashes, trivially
+    // unsatisfiable constraints, an empty policy language) before the more
+    // expensive violation detector runs. Head predicates of the examples'
+    // contexts are treated as externally supplied automatically; extra
+    // externals can be listed in lint.external_predicates.
+    bool static_lint = true;
+    analysis::LintOptions lint;
 };
 
 struct AdaptationOutcome {

@@ -167,6 +167,20 @@ PolicyCheckingPoint::GpmQualityReport PolicyCheckingPoint::assess_gpm(
     return report;
 }
 
+analysis::DiagnosticSink PolicyCheckingPoint::lint_model(const asg::AnswerSetGrammar& model,
+                                                         const analysis::LintOptions& options) {
+    obs::ScopedSpan span("agenp.pcp.lint_model", "agenp");
+    auto sink = analysis::lint_asg(model, options);
+    if (obs::metrics_enabled()) {
+        auto& m = obs::metrics();
+        static obs::Counter& checks = m.counter("agenp.pcp.lint_checks");
+        static obs::Counter& errors = m.counter("agenp.pcp.lint_errors");
+        checks.add(1);
+        errors.add(sink.count(analysis::Severity::Error));
+    }
+    return sink;
+}
+
 PolicyCheckingPoint::ViolationReport PolicyCheckingPoint::detect_violations(
     const asg::AnswerSetGrammar& model, const std::vector<ilp::Example>& forbidden,
     const asg::MembershipOptions& options) {

@@ -15,6 +15,7 @@
 
 #include <functional>
 
+#include "analysis/lint.hpp"
 #include "asg/generate.hpp"
 #include "asg/membership.hpp"
 #include "ilp/task.hpp"
@@ -92,6 +93,16 @@ public:
                                                 const std::vector<xacml::Request>& universe) {
         return assess_risk(policy, universe, RiskModel{});
     }
+
+    // --- static pre-adoption check (DESIGN.md §9) --------------------------
+    // Lints the generative model itself: unsafe rules, undefined/unused
+    // predicates, arity clashes, non-stratified negation, trivially
+    // unsatisfiable constraints, unreachable/nonproductive productions.
+    // Unlike detect_violations this needs no forbidden strings and runs in
+    // milliseconds, so it is the cheap first gate before adoption;
+    // Error-severity findings should block the model.
+    [[nodiscard]] static analysis::DiagnosticSink lint_model(
+        const asg::AnswerSetGrammar& model, const analysis::LintOptions& options = {});
 
     // Violation detector: forbidden strings the model must NOT accept.
     struct ViolationReport {

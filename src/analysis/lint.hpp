@@ -1,0 +1,59 @@
+// Static lint passes over ASP programs and Answer Set Grammars
+// (DESIGN.md §9). Law et al.'s annotated-grammar formulation makes most
+// ill-formedness statically decidable from the program/grammar text alone;
+// these passes catch the defect classes a learned hypothesis (PAdaP) or an
+// externally shared model can introduce silently, before the dynamic
+// checks (enumerate, solve, compare) ever run.
+//
+// Program passes (also applied per annotation for ASGs):
+//   ASP001 error    unsafe variable (reported per variable, with the rule)
+//   ASP002 warning  undefined predicate (body predicate with no definition)
+//   ASP003 info     unused predicate (derived but never consumed)
+//   ASP004 error    arity mismatch (one predicate, several arities)
+//   ASP005 warning  non-stratified negation cycle (asp/stratify)
+//   ASP006 error    trivially unsatisfiable constraint
+//   ASP007 warning  grounding-size estimate exceeds the configured limit
+//   ASP008 info     vacuous rule (can never fire)
+//
+// Grammar passes:
+//   ASG001 warning  production unreachable from the start symbol
+//   ASG002 warning  nonproductive production (can never finish a derivation)
+//   ASG003 error    the start symbol derives no string (empty language)
+//   ASG004 warning  annotation `p@k` addresses a terminal child
+//
+// ASG annotation scoping: an unannotated atom lives in its production's
+// namespace; `p@k` lives in the namespace of the k-th right-hand-side
+// child. Definitions and uses are resolved per nonterminal namespace
+// (union over its productions plus parent contributions via `@k`), which
+// over-approximates the per-parse-tree instantiation semantics of
+// asg/instantiate.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "asg/asg.hpp"
+#include "asp/program.hpp"
+
+namespace agenp::analysis {
+
+struct LintOptions {
+    // Predicates supplied externally at solve time (e.g. by the operating
+    // context the PIP injects): suppresses ASP002/ASP003 for them. Matched
+    // by name; arity consistency (ASP004) still applies.
+    std::vector<util::Symbol> external_predicates;
+    // ASP007 fires when the static per-rule instantiation estimate
+    // |universe|^|vars| exceeds this bound.
+    std::size_t grounding_estimate_limit = 1000000;
+    bool check_unused = true;     // ASP003
+    bool check_grounding = true;  // ASP007
+};
+
+// Lints a standalone ASP program.
+[[nodiscard]] DiagnosticSink lint_program(const asp::Program& program,
+                                          const LintOptions& options = {});
+
+// Lints an Answer Set Grammar: grammar-structure passes plus the program
+// passes over every production annotation (namespace-aware).
+[[nodiscard]] DiagnosticSink lint_asg(const asg::AnswerSetGrammar& grammar,
+                                      const LintOptions& options = {});
+
+}  // namespace agenp::analysis

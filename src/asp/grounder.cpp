@@ -115,11 +115,7 @@ public:
         static obs::Histogram& time_hist = obs::metrics().histogram("asp.grounder.time_us");
         obs::ScopedTimer timer(time_hist);
 
-        for (const auto& rule : program_.rules()) {
-            if (!rule.is_safe()) {
-                throw GroundingError("unsafe rule: " + rule.to_string());
-            }
-        }
+        check_safety();
 
         // Round 0: rules with no positive body literals fire exactly once.
         for (const auto& rule : program_.rules()) {
@@ -149,6 +145,35 @@ public:
     }
 
 private:
+    // Rejects unsafe rules with one ASP001 diagnostic per unbound variable
+    // (rule index + variable name + rule text), gathered across the whole
+    // program before throwing so callers see every offender at once.
+    void check_safety() const {
+        std::vector<analysis::Diagnostic> diags;
+        for (std::size_t i = 0; i < program_.rules().size(); ++i) {
+            const Rule& rule = program_.rules()[i];
+            for (Symbol v : rule.unsafe_variables()) {
+                analysis::Diagnostic d;
+                d.code = analysis::codes::kUnsafeVariable;
+                d.severity = analysis::Severity::Error;
+                d.message = "unsafe variable " + std::string(v.str()) +
+                            " is not bound by any positive body literal";
+                d.hint = "add a positive body literal (or a V = ground-expr binder) covering " +
+                         std::string(v.str());
+                d.location.rule = static_cast<int>(i);
+                d.location.context = rule.to_string();
+                diags.push_back(std::move(d));
+            }
+        }
+        if (diags.empty()) return;
+        std::string message = "unsafe program: ";
+        for (std::size_t i = 0; i < diags.size(); ++i) {
+            if (i > 0) message += "; ";
+            message += diags[i].to_string();
+        }
+        throw GroundingError(message, std::move(diags));
+    }
+
     static int positive_count(const Rule& rule) {
         int n = 0;
         for (const auto& l : rule.body) {

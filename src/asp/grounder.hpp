@@ -8,7 +8,10 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
+#include "analysis/diagnostic.hpp"
 #include "asp/ground_program.hpp"
 #include "asp/program.hpp"
 
@@ -16,6 +19,15 @@ namespace agenp::asp {
 
 struct GroundingError : std::runtime_error {
     using std::runtime_error::runtime_error;
+
+    GroundingError(const std::string& what, std::vector<analysis::Diagnostic> diags)
+        : std::runtime_error(what), diagnostics(std::move(diags)) {}
+
+    // Structured findings behind the message: unsafe rules carry one ASP001
+    // diagnostic per offending variable, with the rule index and text, so
+    // callers can report rule + variable + location instead of a blind
+    // string.
+    std::vector<analysis::Diagnostic> diagnostics;
 };
 
 struct GroundingLimits {

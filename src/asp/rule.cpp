@@ -24,19 +24,22 @@ void Rule::collect_variables(std::vector<Symbol>& out) const {
     }
 }
 
-bool Rule::is_safe() const {
+namespace {
+
+// Variables bound by a positive body literal or a `V = ground-expr` binder.
+std::vector<Symbol> bound_variables(const Rule& rule) {
     std::vector<Symbol> bound;
-    for (const auto& l : body) {
+    for (const auto& l : rule.body) {
         if (l.positive) l.atom.collect_variables(bound);
     }
     // `V = expr` binds V when every variable of expr is already bound by a
-    // positive literal. One pass suffices for the common "V = constant" and
-    // "V = F(bound...)" binders; chained binders are re-checked below.
+    // positive literal. Chained binders are resolved by iterating to a
+    // fixpoint.
     auto is_bound = [&](Symbol v) { return std::find(bound.begin(), bound.end(), v) != bound.end(); };
     bool changed = true;
     while (changed) {
         changed = false;
-        for (const auto& c : builtins) {
+        for (const auto& c : rule.builtins) {
             if (c.op != Comparison::Op::Eq) continue;
             if (c.lhs.is_variable() && !is_bound(c.lhs.symbol())) {
                 std::vector<Symbol> rhs_vars;
@@ -48,17 +51,43 @@ bool Rule::is_safe() const {
             }
         }
     }
+    return bound;
+}
 
+// Variables that must be bound for the rule to be safe: head variables,
+// negative-literal variables, and builtin variables.
+std::vector<Symbol> needed_variables(const Rule& rule) {
     std::vector<Symbol> need;
-    if (head) head->collect_variables(need);
-    for (const auto& l : body) {
+    if (rule.head) rule.head->collect_variables(need);
+    for (const auto& l : rule.body) {
         if (!l.positive) l.atom.collect_variables(need);
     }
-    for (const auto& c : builtins) {
+    for (const auto& c : rule.builtins) {
         c.lhs.collect_variables(need);
         c.rhs.collect_variables(need);
     }
-    return std::all_of(need.begin(), need.end(), is_bound);
+    return need;
+}
+
+}  // namespace
+
+bool Rule::is_safe() const {
+    auto bound = bound_variables(*this);
+    auto need = needed_variables(*this);
+    return std::all_of(need.begin(), need.end(), [&](Symbol v) {
+        return std::find(bound.begin(), bound.end(), v) != bound.end();
+    });
+}
+
+std::vector<Symbol> Rule::unsafe_variables() const {
+    auto bound = bound_variables(*this);
+    std::vector<Symbol> out;
+    for (Symbol v : needed_variables(*this)) {
+        if (std::find(bound.begin(), bound.end(), v) != bound.end()) continue;
+        if (std::find(out.begin(), out.end(), v) != out.end()) continue;
+        out.push_back(v);
+    }
+    return out;
 }
 
 std::string Rule::to_string() const {

@@ -48,6 +48,11 @@ struct Rule {
     // variable bound by `V = ground-expr` also counts as safe).
     [[nodiscard]] bool is_safe() const;
 
+    // The variables violating safety, deduplicated in order of first
+    // occurrence; empty iff is_safe(). Feeds the ASP001 diagnostics of the
+    // grounder and the static analyzer.
+    [[nodiscard]] std::vector<Symbol> unsafe_variables() const;
+
     // Number of literals counting the head; used as the hypothesis cost in
     // the ILP learner.
     [[nodiscard]] int size() const {

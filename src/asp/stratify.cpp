@@ -1,5 +1,6 @@
 #include "asp/stratify.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -36,6 +37,13 @@ Graph build_graph(const Program& program) {
 
 }  // namespace
 
+int StratificationInfo::stratum_of(Symbol predicate) const {
+    for (const auto& [sym, s] : strata) {
+        if (sym == predicate) return s;
+    }
+    return -1;
+}
+
 StratificationInfo analyze_stratification(const Program& program) {
     Graph g = build_graph(program);
     StratificationInfo info;
@@ -51,17 +59,27 @@ StratificationInfo analyze_stratification(const Program& program) {
     std::size_t iterations = 0;
     while (changed) {
         changed = false;
-        if (++iterations > n + 1) {
-            info.stratified = false;
-            return info;
-        }
+        std::set<PredKey> bumped;
+        bool overran = ++iterations > n + 1;
         for (const auto& [edge, negative] : g.edges) {
             const auto& [dep, head] = edge;
             int need = stratum[dep] + (negative ? 1 : 0);
             if (stratum[head] < need) {
                 stratum[head] = need;
+                bumped.insert(head);
                 changed = true;
             }
+        }
+        if (overran) {
+            // Any node still climbing after |nodes|+1 sweeps sits on a
+            // negation cycle or downstream of one.
+            info.stratified = false;
+            std::set<Symbol> cycle;  // by-name dedup, sorted by symbol
+            for (const auto& key : bumped) cycle.insert(key.first);
+            info.negative_cycle.assign(cycle.begin(), cycle.end());
+            std::sort(info.negative_cycle.begin(), info.negative_cycle.end(),
+                      [](Symbol a, Symbol b) { return a.str() < b.str(); });
+            return info;
         }
     }
     info.stratified = true;

@@ -17,6 +17,15 @@ struct StratificationInfo {
     // Stratum per predicate symbol id (only meaningful when stratified).
     // Predicates not mentioned get stratum 0.
     std::vector<std::pair<Symbol, int>> strata;
+    // When !stratified: predicates whose stratum failed to stabilize —
+    // those on a negation cycle plus everything downstream of one.
+    // Deduplicated, ordered by predicate name for reporting stability.
+    std::vector<Symbol> negative_cycle;
+
+    // Stratum of `predicate`, or -1 when the predicate does not occur in
+    // the analyzed program. Lookup is by symbol, so results are identical
+    // however the intern table assigned ids.
+    [[nodiscard]] int stratum_of(Symbol predicate) const;
 };
 
 StratificationInfo analyze_stratification(const Program& program);

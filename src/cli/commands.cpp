@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "agenp/ams.hpp"
+#include "analysis/lint.hpp"
 #include "asg/generate.hpp"
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
@@ -222,6 +223,27 @@ int cmd_learn(const std::string& task_path, const std::string& out_path, std::os
         out << "learned grammar written to " << out_path << "\n";
     }
     return 0;
+}
+
+int cmd_lint(const std::string& path, const std::string& context_path, bool json, bool strict,
+             std::ostream& out) {
+    analysis::LintOptions options;
+    if (!context_path.empty()) {
+        auto context = asp::parse_program(read_file(context_path));
+        for (const auto& rule : context.rules()) {
+            if (rule.head) options.external_predicates.push_back(rule.head->predicate);
+        }
+    }
+    std::string text = read_file(path);
+    analysis::DiagnosticSink sink = path.ends_with(".lp")
+                                        ? analysis::lint_program(asp::parse_program(text), options)
+                                        : analysis::lint_asg(asg::AnswerSetGrammar::parse(text), options);
+    if (json) {
+        out << sink.render_json() << "\n";
+    } else {
+        out << sink.render_text();
+    }
+    return sink.fails(strict) ? 1 : 0;
 }
 
 int cmd_quickstart(std::ostream& out) {
@@ -550,7 +572,7 @@ private:
 int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& err) {
     try {
         if (argv.empty()) {
-            err << "usage: agenp <solve|membership|generate|learn|evaluate|quickstart|serve|"
+            err << "usage: agenp <solve|membership|generate|learn|lint|evaluate|quickstart|serve|"
                    "loadgen> [--stats] [--trace-out=FILE] ...\n";
             return 2;
         }
@@ -583,6 +605,16 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             auto out_path = take_flag(args, "--out", "");
             if (args.size() != 1) throw CliError("usage: agenp learn <task.agenp> [--out learned.asg]");
             return cmd_learn(args[0], out_path, out);
+        }
+        if (command == "lint") {
+            auto context = take_flag(args, "--context", "");
+            bool json = take_bool_flag(args, "--json");
+            bool strict = take_bool_flag(args, "--strict");
+            if (args.size() != 1) {
+                throw CliError(
+                    "usage: agenp lint <file.asg|file.lp> [--context ctx.lp] [--json] [--strict]");
+            }
+            return cmd_lint(args[0], context, json, strict, out);
         }
         if (command == "quickstart") {
             if (!args.empty()) throw CliError("usage: agenp quickstart [--stats] [--trace-out=FILE]");

@@ -4,6 +4,7 @@
 //   agenp membership <grammar.asg> --string "do patrol" [--context ctx.lp]
 //   agenp generate <grammar.asg> [--context ctx.lp] [--max N]
 //   agenp learn <task.agenp> [--out learned.asg]
+//   agenp lint <file.asg|file.lp> [--context ctx.lp] [--json] [--strict]
 //   agenp quickstart
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
 //               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
@@ -72,6 +73,16 @@ int cmd_membership(const std::string& grammar_path, const std::string& sentence,
 int cmd_generate(const std::string& grammar_path, const std::string& context_path,
                  std::size_t max_strings, std::ostream& out);
 int cmd_learn(const std::string& task_path, const std::string& out_path, std::ostream& out);
+
+// Static analysis (DESIGN.md §9) over a policy file: `.lp` files get the
+// ASP program passes, everything else parses as an ASG and gets the full
+// grammar + annotation analysis. `--context ctx.lp` declares the context's
+// head predicates as externally supplied (suppresses ASP002/ASP003 for
+// them); `--json` renders the machine-readable report; `--strict` also
+// fails on warnings. Exit 0 = clean, 1 = findings at the gating severity,
+// 2 = unreadable/unparseable input.
+int cmd_lint(const std::string& path, const std::string& context_path, bool json, bool strict,
+             std::ostream& out);
 
 //   agenp evaluate <schema.xs> <policy.xp> --request "role=doctor hour=3"
 // Exit code 0 = Permit, 1 = anything else.

@@ -308,5 +308,107 @@ TEST(CmdServe, UsageMentionsObservabilityFlags) {
     }
 }
 
+// --- lint ------------------------------------------------------------------
+
+const char* kDefectiveProgram = R"(
+q(1).
+t(1, 2).
+t(1).
+r(Y) :- q(Y), not s(Z).
+:- q(1).
+u :- not u.
+)";
+
+TEST(CmdLint, FlagsSeededDefectCorpusAndExitsNonzero) {
+    auto path = temp_file("bad.lp", kDefectiveProgram);
+    std::ostringstream out, err;
+    int code = run({"lint", path}, out, err);
+    EXPECT_EQ(code, 1);
+    for (const char* needle :
+         {"ASP001", "ASP002", "ASP004", "ASP005", "ASP006", "unsafe variable Z",
+          "different arities", "negation cycle through {u}"}) {
+        EXPECT_NE(out.str().find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(CmdLint, JsonOutputIsMachineReadable) {
+    auto path = temp_file("bad_json.lp", kDefectiveProgram);
+    std::ostringstream out, err;
+    int code = run({"lint", path, "--json"}, out, err);
+    EXPECT_EQ(code, 1);
+    const std::string& text = out.str();
+    EXPECT_EQ(text.rfind("{\"errors\":3", 0), 0u) << text;
+    EXPECT_NE(text.find("\"code\":\"ASP001\""), std::string::npos);
+    EXPECT_NE(text.find("\"severity\":\"error\""), std::string::npos);
+    EXPECT_NE(text.find("\"rule\":4"), std::string::npos);
+}
+
+TEST(CmdLint, GrammarWithContextPassesCleanStrictPromotesWarnings) {
+    auto grammar = temp_file("loa.asg", R"(
+request -> "do" task {
+    :- requires(L)@2, maxloa(M), L > M.
+}
+task -> "patrol" { requires(2). }
+)");
+    auto context = temp_file("loa_ctx.lp", "maxloa(3).\n");
+
+    std::ostringstream clean_out, err;
+    EXPECT_EQ(run({"lint", grammar, "--context", context}, clean_out, err), 0);
+    EXPECT_NE(clean_out.str().find("0 error(s), 0 warning(s)"), std::string::npos);
+
+    // Without the context, maxloa is an undefined-predicate warning: still
+    // exit 0 by default, nonzero under --strict.
+    std::ostringstream warn_out;
+    EXPECT_EQ(run({"lint", grammar}, warn_out, err), 0);
+    EXPECT_NE(warn_out.str().find("ASP002"), std::string::npos);
+    std::ostringstream strict_out;
+    EXPECT_EQ(run({"lint", grammar, "--strict"}, strict_out, err), 1);
+}
+
+TEST(CmdLint, FlagsGrammarShapeDefects) {
+    auto grammar = temp_file("shape.asg", R"(
+s -> "go" loop
+loop -> "again" loop
+orphan -> "x"
+)");
+    std::ostringstream out, err;
+    int code = run({"lint", grammar}, out, err);
+    EXPECT_EQ(code, 1);  // the empty start language is an error
+    for (const char* needle : {"ASG001", "ASG002", "ASG003", "orphan"}) {
+        EXPECT_NE(out.str().find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(CmdLint, UsageAndMissingFileAreExitTwo) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"lint"}, out, err), 2);
+    EXPECT_NE(err.str().find("usage: agenp lint"), std::string::npos);
+    EXPECT_EQ(run({"lint", "/nonexistent/x.lp"}, out, err), 2);
+}
+
+// The shipped corpus under examples/policies/ must stay error-free: the CI
+// lint gate runs the same check over the tree.
+TEST(CmdLint, ShippedExamplePoliciesLintWithoutErrors) {
+    std::string dir = std::string(AGENP_SOURCE_DIR) + "/examples/policies";
+    std::vector<std::string> checked;
+    for (const char* name :
+         {"quickstart.asg", "serve_demo.asg", "anbn.asg", "transitive_closure.lp", "choice.lp"}) {
+        std::string path = dir + "/" + name;
+        std::string file(name);
+        std::vector<std::string> args = {"lint", path};
+        if (file.ends_with(".asg")) {
+            std::string ctx = dir + "/" + file.substr(0, file.size() - 4) + "_ctx.lp";
+            if (std::ifstream(ctx).good()) {
+                args.push_back("--context");
+                args.push_back(ctx);
+            }
+        }
+        std::ostringstream out, err;
+        EXPECT_EQ(run(args, out, err), 0) << path << "\n" << out.str() << err.str();
+        checked.push_back(path);
+    }
+    EXPECT_EQ(checked.size(), 5u);
+}
+
 }  // namespace
 }  // namespace agenp::cli

@@ -462,6 +462,84 @@ TEST(Padap, SimilarityCacheSkipsRelearning) {
     EXPECT_EQ(repo.latest_version(), 2u);
 }
 
+TEST(Pcp, LintModelFlagsStructuralDefects) {
+    // An arity clash inside an annotation is an error-severity finding.
+    auto broken = asg::AnswerSetGrammar::parse(R"(
+        s -> "x" { p(1). p(2, 3). q :- p(1). }
+    )");
+    auto sink = PolicyCheckingPoint::lint_model(broken);
+    EXPECT_TRUE(sink.has_errors());
+    EXPECT_NE(sink.find(analysis::codes::kArityMismatch), nullptr);
+
+    // The task grammar is structurally sound; context predicates surface
+    // as warnings at worst.
+    auto clean = PolicyCheckingPoint::lint_model(asg::AnswerSetGrammar::parse(kTaskInitial));
+    EXPECT_FALSE(clean.has_errors()) << clean.render_text();
+}
+
+// A single-candidate space whose only hypothesis is functional (it rejects
+// the negative examples at solve time) but structurally broken: it uses
+// maxloa at two arities, which the static lint flags as ASP004.
+ilp::HypothesisSpace defective_space() {
+    ilp::HypothesisSpace space;
+    ilp::Candidate c;
+    c.rule = asp::parse_rule(":- requires(L)@2, maxloa(M), maxloa(M, M), L > M.");
+    c.production = 0;
+    c.cost = 4;
+    space.candidates.push_back(std::move(c));
+    return space;
+}
+
+std::vector<ilp::Example> mixed_arity_examples(bool positive) {
+    auto ctx = [](int m) {
+        return asp::parse_program("maxloa(" + std::to_string(m) + "). maxloa(" +
+                                  std::to_string(m) + ", " + std::to_string(m) + ").");
+    };
+    std::vector<ilp::Example> out;
+    if (positive) {
+        out.emplace_back(tokenize("do patrol"), ctx(3));
+        out.emplace_back(tokenize("do observe"), ctx(3));
+    } else {
+        out.emplace_back(tokenize("do strike"), ctx(3));
+    }
+    return out;
+}
+
+TEST(Padap, StaticLintRejectsDefectiveHypothesis) {
+    PolicyAdaptationPoint padap(asg::AnswerSetGrammar::parse(kTaskInitial), defective_space());
+    RepresentationsRepository repo;
+    auto outcome = padap.adapt_from_examples(mixed_arity_examples(true),
+                                             mixed_arity_examples(false), repo, "lint-gate");
+    // Learning succeeds (the candidate separates the examples), but the
+    // lint gate blocks adoption.
+    ASSERT_TRUE(outcome.learn_result.found) << outcome.learn_result.failure_reason;
+    EXPECT_FALSE(outcome.adapted);
+    EXPECT_NE(outcome.reason.find("static lint"), std::string::npos) << outcome.reason;
+    EXPECT_NE(outcome.reason.find("ASP004"), std::string::npos) << outcome.reason;
+    EXPECT_TRUE(repo.empty());
+}
+
+TEST(Padap, StaticLintGateCanBeDisabled) {
+    AdaptationOptions options;
+    options.static_lint = false;
+    PolicyAdaptationPoint padap(asg::AnswerSetGrammar::parse(kTaskInitial), defective_space(),
+                                options);
+    RepresentationsRepository repo;
+    auto outcome = padap.adapt_from_examples(mixed_arity_examples(true),
+                                             mixed_arity_examples(false), repo, "no-gate");
+    ASSERT_TRUE(outcome.adapted) << outcome.reason;
+    EXPECT_EQ(repo.latest_version(), 1u);
+}
+
+TEST(Padap, StaticLintAcceptsCleanHypothesis) {
+    // The standard LOA task: the learned constraint lints clean, so the
+    // gate stays out of the way.
+    PolicyAdaptationPoint padap(asg::AnswerSetGrammar::parse(kTaskInitial), task_space());
+    RepresentationsRepository repo;
+    auto outcome = padap.adapt_from_examples(loa_examples(true), loa_examples(false), repo, "ok");
+    ASSERT_TRUE(outcome.adapted) << outcome.reason;
+}
+
 TEST(Monitor, AuditLogRendersHistory) {
     DecisionMonitor monitor;
     auto i0 = monitor.record({tokenize("do patrol"), {}, true, 1, std::nullopt});

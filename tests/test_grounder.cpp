@@ -96,6 +96,47 @@ TEST(Grounder, RejectsUnsafeComparisonVariable) {
     EXPECT_THROW(ground(parse_program("p :- X > 3.")), GroundingError);
 }
 
+TEST(Grounder, UnsafeRuleCarriesStructuredDiagnostics) {
+    try {
+        ground(parse_program("q(1). p(X) :- not q(X)."));
+        FAIL() << "expected GroundingError";
+    } catch (const GroundingError& e) {
+        ASSERT_EQ(e.diagnostics.size(), 1u);
+        const auto& d = e.diagnostics[0];
+        EXPECT_EQ(d.code, analysis::codes::kUnsafeVariable);
+        EXPECT_EQ(d.severity, analysis::Severity::Error);
+        EXPECT_EQ(d.location.rule, 1);
+        EXPECT_NE(d.message.find("X"), std::string::npos);
+        EXPECT_NE(d.location.context.find("p(X)"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("unsafe variable X"), std::string::npos);
+    }
+}
+
+TEST(Grounder, ReportsEveryUnsafeVariableAcrossRules) {
+    try {
+        ground(parse_program("a(X) :- not b(X). c :- Y > 0, Z > 1."));
+        FAIL() << "expected GroundingError";
+    } catch (const GroundingError& e) {
+        ASSERT_EQ(e.diagnostics.size(), 3u);  // X in rule 0, Y and Z in rule 1
+        EXPECT_EQ(e.diagnostics[0].location.rule, 0);
+        EXPECT_EQ(e.diagnostics[1].location.rule, 1);
+        EXPECT_EQ(e.diagnostics[2].location.rule, 1);
+        EXPECT_NE(e.diagnostics[1].message.find("Y"), std::string::npos);
+        EXPECT_NE(e.diagnostics[2].message.find("Z"), std::string::npos);
+    }
+}
+
+TEST(Grounder, LimitErrorsCarryNoDiagnostics) {
+    GroundingLimits limits;
+    limits.max_atoms = 5;
+    try {
+        ground(parse_program("n(0). n(Y) :- n(X), Y = X + 1, X < 100."), limits);
+        FAIL() << "expected GroundingError";
+    } catch (const GroundingError& e) {
+        EXPECT_TRUE(e.diagnostics.empty());
+    }
+}
+
 TEST(Grounder, EnforcesAtomLimit) {
     GroundingLimits limits;
     limits.max_atoms = 10;

@@ -258,5 +258,60 @@ TEST(Stratify, AnnotatedPredicatesAreDistinct) {
     EXPECT_TRUE(is_stratified(prog));
 }
 
+TEST(Stratify, SelfNegationIsNotStratified) {
+    auto info = analyze_stratification(parse_program("p :- not p."));
+    EXPECT_FALSE(info.stratified);
+    ASSERT_EQ(info.negative_cycle.size(), 1u);
+    EXPECT_EQ(info.negative_cycle[0].str(), "p");
+}
+
+TEST(Stratify, EmptyProgramIsStratified) {
+    auto info = analyze_stratification(Program{});
+    EXPECT_TRUE(info.stratified);
+    EXPECT_TRUE(info.strata.empty());
+    EXPECT_TRUE(info.negative_cycle.empty());
+    EXPECT_EQ(info.stratum_of(Symbol("absent")), -1);
+}
+
+TEST(Stratify, BodyOnlyPredicatesParticipateAtStratumZero) {
+    // q and s are never derived; they still anchor the dependency graph.
+    auto info = analyze_stratification(parse_program("p :- q, not s."));
+    ASSERT_TRUE(info.stratified);
+    EXPECT_EQ(info.stratum_of(Symbol("q")), 0);
+    EXPECT_EQ(info.stratum_of(Symbol("s")), 0);
+    EXPECT_EQ(info.stratum_of(Symbol("p")), 1);
+}
+
+TEST(Stratify, StrataIndependentOfInternShardOrder) {
+    // Symbol ids are hash-sharded (id = local<<4 | shard), so id order is
+    // unrelated to intern order or name order. The strata must come out
+    // the same for a renamed copy of the same negation chain, whatever
+    // shards the names land on.
+    auto a = analyze_stratification(parse_program("base. mid :- not base. top :- not mid."));
+    ASSERT_TRUE(a.stratified);
+    EXPECT_EQ(a.stratum_of(Symbol("base")), 0);
+    EXPECT_EQ(a.stratum_of(Symbol("mid")), 1);
+    EXPECT_EQ(a.stratum_of(Symbol("top")), 2);
+
+    auto b = analyze_stratification(parse_program(
+        "alpha_zz. beta_qq :- not alpha_zz. gamma_kk :- not beta_qq."));
+    ASSERT_TRUE(b.stratified);
+    EXPECT_EQ(b.stratum_of(Symbol("alpha_zz")), 0);
+    EXPECT_EQ(b.stratum_of(Symbol("beta_qq")), 1);
+    EXPECT_EQ(b.stratum_of(Symbol("gamma_kk")), 2);
+}
+
+TEST(Stratify, NegativeCycleIsDedupedAndNameOrdered) {
+    auto info = analyze_stratification(parse_program(R"(
+        stable.
+        zeta :- not alpha.
+        alpha :- not zeta.
+    )"));
+    ASSERT_FALSE(info.stratified);
+    ASSERT_EQ(info.negative_cycle.size(), 2u);
+    EXPECT_EQ(info.negative_cycle[0].str(), "alpha");
+    EXPECT_EQ(info.negative_cycle[1].str(), "zeta");
+}
+
 }  // namespace
 }  // namespace agenp::asp
