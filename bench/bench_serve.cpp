@@ -2,31 +2,40 @@
 //
 // Closed-loop load generation against the decision service on the demo
 // serving domain, sweeping worker thread counts with the decision cache on
-// and off. The lock-contention profiler is reset before each configuration,
-// so every row carries per-lock wait statistics for the three serving-path
-// hot locks (symbol.intern, srv.cache_shard, srv.model). Emits one
-// machine-readable line:
+// and off — in-process (`"transport":"inproc"`) and over a loopback TCP
+// connection to an AmsRouter behind a TcpServer (`"transport":"tcp"`), so
+// the wire + event-loop overhead of `agenp serve --listen` is measured
+// against the same workload. The lock-contention profiler is reset before
+// each configuration, so every row carries per-lock wait statistics for
+// the three serving-path hot locks (symbol.intern, srv.cache_shard,
+// srv.model). Emits one machine-readable line:
 //
-//   BENCH_SERVE_JSON {"rows":[{"threads":..,"cache":..,"throughput_rps":..,
-//                              "p50_us":..,"p95_us":..,"p99_us":..,
-//                              "hit_rate":..,"locks":{...}},...],
+//   BENCH_SERVE_JSON {"rows":[{"transport":..,"threads":..,"cache":..,
+//                              "throughput_rps":..,"p50_us":..,"p95_us":..,
+//                              "p99_us":..,"hit_rate":..,"locks":{...}},...],
 //                     "cache_speedup":..,"smoke":..}
 //
 // `cache_speedup` compares cache on vs off at the same thread count on the
-// repeated-request workload; the CI smoke (`--smoke`) asserts the line
-// parses, the sweep ran, and the per-lock wait stats are present.
+// repeated-request in-process workload; the CI smoke (`--smoke`) asserts
+// the line parses, the sweep ran, both transports are present, and the
+// per-lock wait stats are present.
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/lockprof.hpp"
 #include "srv/loadgen.hpp"
+#include "srv/router.hpp"
+#include "srv/transport.hpp"
 
 using namespace agenp;
 
 namespace {
 
 struct Row {
+    const char* transport = "inproc";
     std::size_t threads = 0;
     bool cache = false;
     srv::LoadgenReport report;
@@ -52,6 +61,38 @@ Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
     obs::locks().reset();
     row.report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
     row.locks = obs::locks().snapshot();
+    return row;
+}
+
+// Same workload through the full serving stack: loopback TCP into a
+// TcpServer fronting a 1-replica AmsRouter. The latency rows include the
+// wire round trip and the event loop's read/dispatch/write path.
+Row run_config_tcp(std::size_t threads, bool cache, std::size_t requests_per_client,
+                   std::size_t distinct) {
+    srv::RouterOptions options;
+    options.replicas = 1;
+    options.service.threads = threads;
+    options.service.use_cache = cache;
+    srv::AmsRouter router(
+        [distinct] {
+            return std::make_unique<framework::AutonomousManagedSystem>(
+                srv::make_demo_ams(distinct));
+        },
+        options);
+    srv::TcpServer server(router, srv::TransportOptions{});
+
+    srv::LoadgenOptions load;
+    load.clients = threads;
+    load.requests_per_client = requests_per_client;
+    Row row;
+    row.transport = "tcp";
+    row.threads = threads;
+    row.cache = cache;
+    obs::locks().reset();
+    row.report = srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct),
+                                      load);
+    row.locks = obs::locks().snapshot();
+    server.shutdown();
     return row;
 }
 
@@ -101,16 +142,30 @@ int main(int argc, char** argv) {
 
     std::printf("serving benchmark: %zu distinct requests, %zu per client, closed loop\n",
                 distinct, requests_per_client);
-    std::printf("%8s %6s %14s %10s %10s %9s\n", "threads", "cache", "throughput", "p50_us",
-                "p99_us", "hit_rate");
+    std::printf("%8s %8s %6s %14s %10s %10s %9s\n", "transp", "threads", "cache", "throughput",
+                "p50_us", "p99_us", "hit_rate");
+
+    auto print_row = [](const Row& row) {
+        std::printf("%8s %8zu %6s %12.1f/s %10.1f %10.1f %9.3f\n", row.transport, row.threads,
+                    row.cache ? "on" : "off", row.report.throughput_rps, row.report.p50_us,
+                    row.report.p99_us, row.report.hit_rate);
+    };
 
     std::vector<Row> rows;
     for (bool cache : {false, true}) {
         for (std::size_t threads : thread_counts) {
             Row row = run_config(threads, cache, requests_per_client, distinct);
-            std::printf("%8zu %6s %12.1f/s %10.1f %10.1f %9.3f\n", row.threads,
-                        row.cache ? "on" : "off", row.report.throughput_rps, row.report.p50_us,
-                        row.report.p99_us, row.report.hit_rate);
+            print_row(row);
+            rows.push_back(std::move(row));
+        }
+    }
+    // Loopback-TCP rows: same sweep through the wire + event loop. One
+    // cache-on and one cache-off row per thread count is enough to place
+    // the transport overhead against the in-process rows above.
+    for (bool cache : {false, true}) {
+        for (std::size_t threads : thread_counts) {
+            Row row = run_config_tcp(threads, cache, requests_per_client, distinct);
+            print_row(row);
             rows.push_back(std::move(row));
         }
     }
@@ -120,14 +175,14 @@ int main(int argc, char** argv) {
     // no decision cache every request interns symbols and hits the model
     // lock, so these rows show which lock limits scaling).
     std::printf("\nlock contention (per config):\n");
-    std::printf("%8s %6s  %-16s %12s %12s %12s %10s\n", "threads", "cache", "lock", "acquires",
-                "contended", "wait_us", "p99_us");
+    std::printf("%8s %8s %6s  %-16s %12s %12s %12s %10s\n", "transp", "threads", "cache", "lock",
+                "acquires", "contended", "wait_us", "p99_us");
     for (const auto& row : rows) {
         for (const char* name : kHotLocks) {
             const obs::LockStatsSnapshot* snap = find_lock(row, name);
             if (!snap || snap->acquisitions == 0) continue;
-            std::printf("%8zu %6s  %-16s %12llu %12llu %12llu %10.1f\n", row.threads,
-                        row.cache ? "on" : "off", name,
+            std::printf("%8s %8zu %6s  %-16s %12llu %12llu %12llu %10.1f\n", row.transport,
+                        row.threads, row.cache ? "on" : "off", name,
                         static_cast<unsigned long long>(snap->acquisitions),
                         static_cast<unsigned long long>(snap->contentions),
                         static_cast<unsigned long long>(snap->wait_us.sum),
@@ -135,11 +190,12 @@ int main(int argc, char** argv) {
         }
     }
 
-    // Cache speedup at the highest common thread count.
+    // Cache speedup at the highest common thread count (in-process rows,
+    // so the figure isolates the cache rather than the wire).
     double on_rps = 0, off_rps = 0;
     std::size_t top = thread_counts.back();
     for (const auto& row : rows) {
-        if (row.threads != top) continue;
+        if (row.threads != top || std::string_view(row.transport) != "inproc") continue;
         (row.cache ? on_rps : off_rps) = row.report.throughput_rps;
     }
     double speedup = off_rps > 0 ? on_rps / off_rps : 0;
@@ -148,11 +204,12 @@ int main(int argc, char** argv) {
     std::string json = "{\"rows\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
-        char buf[320];
+        char buf[384];
         std::snprintf(buf, sizeof(buf),
-                      "%s{\"threads\":%zu,\"cache\":%s,\"throughput_rps\":%.1f,\"p50_us\":%.1f,"
+                      "%s{\"transport\":\"%s\",\"threads\":%zu,\"cache\":%s,"
+                      "\"throughput_rps\":%.1f,\"p50_us\":%.1f,"
                       "\"p95_us\":%.1f,\"p99_us\":%.1f,\"hit_rate\":%.3f,\"locks\":",
-                      i == 0 ? "" : ",", row.threads, row.cache ? "true" : "false",
+                      i == 0 ? "" : ",", row.transport, row.threads, row.cache ? "true" : "false",
                       row.report.throughput_rps, row.report.p50_us, row.report.p95_us,
                       row.report.p99_us, row.report.hit_rate);
         json += buf;

@@ -1,9 +1,16 @@
 #include "cli/commands.hpp"
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -22,7 +29,9 @@
 #include "obs/trace.hpp"
 #include "srv/flight.hpp"
 #include "srv/loadgen.hpp"
+#include "srv/router.hpp"
 #include "srv/service.hpp"
+#include "srv/transport.hpp"
 #include "util/strings.hpp"
 #include "xacml/evaluator.hpp"
 #include "xacml/text_format.hpp"
@@ -317,10 +326,14 @@ int cmd_quickstart(std::ostream& out) {
 
 namespace {
 
-// One-line JSON for `!stats` and the periodic reporter: service counters,
-// cache stats, and per-lock contention from the profiler registry.
-std::string serve_stats_json(const srv::DecisionService& service) {
-    srv::ServiceStats stats = service.snapshot_stats();
+// One-line JSON for `!stats` and the periodic reporter. The top-level
+// keys are the same as in the single-service days (now summed over
+// replicas) so existing consumers keep parsing; router routing detail,
+// per-replica rows, and — when serving TCP — transport counters ride
+// along under new keys.
+std::string serve_stats_json(const srv::AmsRouter& router, const srv::TcpServer* server) {
+    srv::RouterStats rs = router.snapshot_stats();
+    const srv::ServiceStats& stats = rs.total;
     std::string out = "{";
     out += "\"submitted\":" + std::to_string(stats.submitted);
     out += ",\"completed\":" + std::to_string(stats.completed);
@@ -339,68 +352,103 @@ std::string serve_stats_json(const srv::DecisionService& service) {
            ",\"evictions\":" + std::to_string(stats.cache.evictions) +
            ",\"invalidations\":" + std::to_string(stats.cache.invalidations) + "}";
     out += ",\"locks\":" + obs::locks().render_json();
+    out += ",\"model_version\":" + std::to_string(rs.model_version);
+    out += rs.versions_agree ? ",\"versions_agree\":true" : ",\"versions_agree\":false";
+    out += ",\"routed\":{\"affinity\":" + std::to_string(rs.routed_affinity) +
+           ",\"fallback\":" + std::to_string(rs.routed_fallback) + "}";
+    out += ",\"replicas\":[";
+    for (std::size_t i = 0; i < rs.replicas.size(); ++i) {
+        const srv::ReplicaStats& replica = rs.replicas[i];
+        if (i > 0) out += ",";
+        out += "{\"queue_depth\":" + std::to_string(replica.queue_depth) +
+               ",\"model_version\":" + std::to_string(replica.model_version) +
+               ",\"submitted\":" + std::to_string(replica.service.submitted) +
+               ",\"completed\":" + std::to_string(replica.service.completed) + "}";
+    }
+    out += "]";
+    if (server != nullptr) out += ",\"conn\":" + srv::transport_stats_json(server->stats());
     out += "}";
     return out;
 }
 
-// Handles one '!'-prefixed serve control line.
-void handle_control_line(const std::string& line, srv::DecisionService& service,
-                         std::ostream& out) {
-    auto words = util::split_ws(line);
+// Handles one '!'-prefixed serve control line (stdin or TCP); returns the
+// reply, possibly multi-line, without a trailing newline.
+std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
+                                const srv::TcpServer* server) {
+    auto words = util::split_ws(std::string(line));
     const std::string& command = words[0];
     if (command == "!stats") {
-        out << "SERVE_STATS_JSON " << serve_stats_json(service) << "\n";
-        return;
+        return "SERVE_STATS_JSON " + serve_stats_json(router, server);
     }
     if (command == "!flight") {
         std::string json = "[";
         bool first = true;
-        for (const auto& record : service.flight().snapshot()) {
+        for (const auto& record : router.flight_snapshot()) {
             if (!first) json += ",";
             json += srv::flight_record_json(record);
             first = false;
         }
         json += "]";
-        out << "FLIGHT_JSON " << json << "\n";
-        return;
+        return "FLIGHT_JSON " + json;
     }
     if (command == "!trace") {
-        if (words.size() < 2) {
-            out << "usage: !trace <file>\n";
-            return;
-        }
-        std::size_t captured = service.captured_traces().size();
+        if (words.size() < 2) return "usage: !trace <file>";
+        std::size_t captured = router.captured_traces().size();
         std::ofstream file(words[1]);
-        if (!file) {
-            out << "cannot write trace file: " << words[1] << "\n";
-            return;
-        }
-        file << service.captured_traces_json();
-        out << "trace written to " << words[1] << " (" << captured << " captured request"
-            << (captured == 1 ? "" : "s") << ")\n";
-        return;
+        if (!file) return "cannot write trace file: " + words[1];
+        file << router.captured_traces_json();
+        return "trace written to " + words[1] + " (" + std::to_string(captured) +
+               " captured request" + (captured == 1 ? "" : "s") + ")";
     }
-    out << "unknown control line: " << command << " (try !stats, !flight, !trace <file>)\n";
+    return "unknown control line: " + command + " (try !stats, !flight, !trace <file>)";
+}
+
+// Listen-mode SIGTERM/SIGINT handling: the handler may only do
+// async-signal-safe work, so it writes one byte to a pipe the serve loop
+// polls.
+std::atomic<int> g_shutdown_pipe_w{-1};
+
+void on_serve_signal(int) {
+    int fd = g_shutdown_pipe_w.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(fd, &b, 1);
+    }
 }
 
 }  // namespace
 
 int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
-    auto grammar = asg::AnswerSetGrammar::parse(read_file(cli.grammar_path));
+    std::string grammar_text = read_file(cli.grammar_path);
     asp::Program context;
     if (!cli.context_path.empty()) context = asp::parse_program(read_file(cli.context_path));
+    // Surface grammar syntax errors once, before any replica spins up.
+    (void)asg::AnswerSetGrammar::parse(grammar_text);
 
-    framework::AutonomousManagedSystem ams("serve", std::move(grammar), ilp::HypothesisSpace{});
-    ams.pip().add_source("file", [context] { return context; });
+    srv::RouterOptions router_options;
+    router_options.replicas = cli.replicas;
+    router_options.service.threads = cli.threads;
+    router_options.service.use_cache = cli.use_cache;
+    if (cli.cache_mb > 0) router_options.service.cache.capacity_bytes = cli.cache_mb << 20;
+    router_options.service.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
+    router_options.service.trace.sample_every = cli.trace_sample;
 
-    srv::ServiceOptions options;
-    options.threads = cli.threads;
-    options.use_cache = cli.use_cache;
-    if (cli.cache_mb > 0) options.cache.capacity_bytes = cli.cache_mb << 20;
-    options.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
-    options.trace.sample_every = cli.trace_sample;
+    // Every replica parses its own AMS from the same text: replicas share
+    // no mutable state, so they only stay version-aligned through the
+    // router's broadcast update path.
+    srv::AmsRouter router(
+        [&grammar_text, &context] {
+            auto ams = std::make_unique<framework::AutonomousManagedSystem>(
+                "serve", asg::AnswerSetGrammar::parse(grammar_text), ilp::HypothesisSpace{});
+            ams->pip().add_source("file", [context] { return context; });
+            return ams;
+        },
+        router_options);
 
-    srv::DecisionService service(ams, options);
+    const srv::TcpServer* server_ptr = nullptr;
+    auto control = [&router, &server_ptr](std::string_view line) {
+        return handle_control_line(line, router, server_ptr);
+    };
 
     // The reporter thread and the request loop share `out`.
     std::mutex out_mu;
@@ -413,66 +461,133 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             std::unique_lock lock(reporter_mu);
             while (!reporter_cv.wait_for(lock, std::chrono::seconds(cli.stats_every_s),
                                          [&] { return reporter_stop; })) {
-                std::string json = serve_stats_json(service);
+                std::string json = serve_stats_json(router, server_ptr);
                 std::lock_guard out_lock(out_mu);
                 out << "SERVE_STATS_JSON " << json << "\n" << std::flush;
             }
         });
     }
+    auto stop_reporter = [&] {
+        if (reporter.joinable()) {
+            {
+                std::lock_guard lock(reporter_mu);
+                reporter_stop = true;
+            }
+            reporter_cv.notify_all();
+            reporter.join();
+        }
+    };
 
     auto start = std::chrono::steady_clock::now();
-    std::string line;
     std::size_t served = 0;
+    auto print_summary = [&](std::size_t count) {
+        auto seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        srv::RouterStats rs = router.snapshot_stats();
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%.1f req/s, cache hit rate %.3f",
+                      seconds > 0 ? static_cast<double>(count) / seconds : 0.0,
+                      rs.total.cache.hit_rate());
+        out << "served " << count << " requests (" << rs.total.permitted << " permit, "
+            << rs.total.denied << " deny, " << rs.total.rejected_overload << " overloaded, "
+            << rs.total.expired << " expired): " << buf << "\n";
+    };
+
+    if (cli.listen) {
+        srv::TransportOptions transport;
+        transport.port = cli.listen_port;
+        srv::TcpServer server(router, transport, control);
+        server_ptr = &server;
+        if (cli.announce_port != nullptr) cli.announce_port->store(server.port());
+        {
+            std::lock_guard out_lock(out_mu);
+            out << "AGENP_LISTENING port=" << server.port() << "\n" << std::flush;
+        }
+        // Block until a shutdown byte or EOF on the hook fd, or a
+        // SIGTERM/SIGINT delivered through the signal pipe.
+        int wait_fd = cli.shutdown_fd;
+        int pipe_fds[2] = {-1, -1};
+        if (wait_fd < 0 && ::pipe(pipe_fds) == 0) {
+            wait_fd = pipe_fds[0];
+            g_shutdown_pipe_w.store(pipe_fds[1], std::memory_order_relaxed);
+            std::signal(SIGTERM, on_serve_signal);
+            std::signal(SIGINT, on_serve_signal);
+        }
+        if (wait_fd >= 0) {
+            pollfd pfd{wait_fd, POLLIN, 0};
+            while (true) {
+                int rc = ::poll(&pfd, 1, -1);
+                if (rc > 0 || (rc < 0 && errno != EINTR)) break;
+            }
+        }
+        if (pipe_fds[0] >= 0) {
+            std::signal(SIGTERM, SIG_DFL);
+            std::signal(SIGINT, SIG_DFL);
+            g_shutdown_pipe_w.store(-1, std::memory_order_relaxed);
+            ::close(pipe_fds[0]);
+            ::close(pipe_fds[1]);
+        }
+        server.shutdown();
+        stop_reporter();
+        srv::RouterStats rs = router.snapshot_stats();
+        served = rs.total.completed + rs.total.rejected_overload + rs.total.expired;
+        std::lock_guard out_lock(out_mu);
+        out << "SERVE_STATS_JSON " << serve_stats_json(router, &server) << "\n";
+        print_summary(served);
+        return 0;
+    }
+
+    std::string line;
     while (std::getline(in, line)) {
         auto trimmed = std::string(util::trim(line));
         if (trimmed.empty()) continue;
-        if (trimmed[0] == '!') {
+        // One shared dispatch path with the TCP transport; stdin stays
+        // lockstep by waiting on each deferred reply before reading on.
+        std::promise<std::string> reply_promise;
+        std::future<std::string> reply_future = reply_promise.get_future();
+        srv::DispatchResult result = srv::dispatch_line(
+            router, trimmed, srv::LineMode::Text, 0, control,
+            [&reply_promise](std::string reply) { reply_promise.set_value(std::move(reply)); });
+        std::string reply = result.deferred ? reply_future.get() : result.immediate;
+        if (result.deferred) ++served;
+        if (!reply.empty()) {
             std::lock_guard out_lock(out_mu);
-            handle_control_line(trimmed, service, out);
-            continue;
+            out << reply << "\n";
         }
-        srv::Decision decision = service.submit(cfg::tokenize(trimmed)).get();
-        std::lock_guard out_lock(out_mu);
-        out << srv::outcome_name(decision.outcome) << "\n";
-        ++served;
     }
-    service.drain();
-    if (reporter.joinable()) {
-        {
-            std::lock_guard lock(reporter_mu);
-            reporter_stop = true;
-        }
-        reporter_cv.notify_all();
-        reporter.join();
-    }
-    auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    auto stats = service.snapshot_stats();
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "%.1f req/s, cache hit rate %.3f",
-                  seconds > 0 ? static_cast<double>(served) / seconds : 0.0,
-                  stats.cache.hit_rate());
-    out << "served " << served << " requests (" << stats.permitted << " permit, " << stats.denied
-        << " deny, " << stats.rejected_overload << " overloaded, " << stats.expired
-        << " expired): " << buf << "\n";
+    router.drain();
+    stop_reporter();
+    print_summary(served);
     return 0;
 }
 
-int cmd_loadgen(std::size_t threads, std::size_t clients, std::size_t requests_per_client,
-                std::size_t distinct, std::size_t cache_mb, bool use_cache, std::ostream& out) {
-    auto ams = srv::make_demo_ams(distinct);
+int cmd_loadgen(const LoadgenCliOptions& cli, std::ostream& out) {
+    srv::LoadgenOptions load;
+    load.clients = cli.clients;
+    load.requests_per_client = cli.requests_per_client;
+
+    if (!cli.connect_host.empty()) {
+        auto report = srv::run_loadgen_tcp(cli.connect_host, cli.connect_port,
+                                           srv::demo_workload(cli.distinct), load);
+        out << "loadgen: " << cli.clients << " clients x " << cli.requests_per_client
+            << " requests, " << cli.distinct << " distinct, tcp " << cli.connect_host << ":"
+            << cli.connect_port << "\n";
+        out << report.render_text();
+        out << "LOADGEN_JSON " << report.to_json() << "\n";
+        return report.dropped == 0 ? 0 : 1;
+    }
+
+    auto ams = srv::make_demo_ams(cli.distinct);
     srv::ServiceOptions options;
-    options.threads = threads;
-    options.use_cache = use_cache;
-    if (cache_mb > 0) options.cache.capacity_bytes = cache_mb << 20;
+    options.threads = cli.threads;
+    options.use_cache = cli.use_cache;
+    if (cli.cache_mb > 0) options.cache.capacity_bytes = cli.cache_mb << 20;
     srv::DecisionService service(ams, options);
 
-    srv::LoadgenOptions load;
-    load.clients = clients;
-    load.requests_per_client = requests_per_client;
-    auto report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
-    out << "loadgen: " << clients << " clients x " << requests_per_client << " requests, "
-        << distinct << " distinct, " << threads << " threads, cache "
-        << (use_cache ? "on" : "off") << "\n";
+    auto report = srv::run_loadgen(service, srv::demo_workload(cli.distinct), load);
+    out << "loadgen: " << cli.clients << " clients x " << cli.requests_per_client << " requests, "
+        << cli.distinct << " distinct, " << cli.threads << " threads, cache "
+        << (cli.use_cache ? "on" : "off") << "\n";
     out << report.render_text();
     out << "LOADGEN_JSON " << report.to_json() << "\n";
     return 0;
@@ -634,28 +749,45 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             serve.trace_sample =
                 std::stoull(take_flag(args, "--trace-sample", env_sample ? env_sample : "0"));
             serve.stats_every_s = std::stoull(take_flag(args, "--stats-every", "0"));
+            auto listen_port = take_flag(args, "--listen", "");
+            if (!listen_port.empty()) {
+                serve.listen = true;
+                serve.listen_port = static_cast<std::uint16_t>(std::stoul(listen_port));
+            }
+            serve.replicas = std::stoull(take_flag(args, "--replicas", "1"));
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
                     "[--cache-mb M] [--no-cache] [--trace-slow-ms MS] [--trace-sample N] "
-                    "[--stats-every SEC]");
+                    "[--stats-every SEC] [--listen PORT] [--replicas N]");
             }
             serve.grammar_path = args[0];
             return cmd_serve(serve, std::cin, out);
         }
         if (command == "loadgen") {
-            auto threads = std::stoull(take_flag(args, "--threads", "4"));
-            auto clients = std::stoull(take_flag(args, "--clients", "4"));
-            auto requests = std::stoull(take_flag(args, "--requests", "250"));
-            auto distinct = std::stoull(take_flag(args, "--distinct", "8"));
-            auto cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
-            bool no_cache = take_bool_flag(args, "--no-cache");
+            LoadgenCliOptions load;
+            load.threads = std::stoull(take_flag(args, "--threads", "4"));
+            load.clients = std::stoull(take_flag(args, "--clients", "4"));
+            load.requests_per_client = std::stoull(take_flag(args, "--requests", "250"));
+            load.distinct = std::stoull(take_flag(args, "--distinct", "8"));
+            load.cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
+            load.use_cache = !take_bool_flag(args, "--no-cache");
+            auto connect = take_flag(args, "--connect", "");
+            if (!connect.empty()) {
+                auto colon = connect.rfind(':');
+                if (colon == std::string::npos || colon == 0 || colon + 1 == connect.size()) {
+                    throw CliError("--connect expects HOST:PORT");
+                }
+                load.connect_host = connect.substr(0, colon);
+                load.connect_port =
+                    static_cast<std::uint16_t>(std::stoul(connect.substr(colon + 1)));
+            }
             if (!args.empty()) {
                 throw CliError(
                     "usage: agenp loadgen [--threads N] [--clients N] [--requests N] "
-                    "[--distinct K] [--cache-mb M] [--no-cache]");
+                    "[--distinct K] [--cache-mb M] [--no-cache] [--connect HOST:PORT]");
             }
-            return cmd_loadgen(threads, clients, requests, distinct, cache_mb, !no_cache, out);
+            return cmd_loadgen(load, out);
         }
         if (command == "evaluate") {
             auto request = take_flag(args, "--request", "");

@@ -8,8 +8,9 @@
 //   agenp quickstart
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
 //               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
+//               [--listen PORT] [--replicas N]
 //   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
-//                 [--cache-mb M] [--no-cache]
+//                 [--cache-mb M] [--no-cache] [--connect HOST:PORT]
 //
 // Global flags (any command):
 //   --stats            print the metrics-registry dump after the command
@@ -49,6 +50,8 @@
 // `max_vars`, `max_comparisons`. Example lines: `tokens | inline context.`
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <istream>
 #include <string>
@@ -104,20 +107,49 @@ struct ServeCliOptions {
     std::uint64_t trace_slow_ms = 0;  // tail-capture threshold (0 = off)
     std::size_t trace_sample = 0;     // capture every Nth request (0 = off)
     std::size_t stats_every_s = 0;    // periodic SERVE_STATS_JSON reporter (0 = off)
+    // TCP mode (--listen): accept wire-protocol connections instead of
+    // reading stdin. Port 0 binds an ephemeral port, printed on the
+    // `AGENP_LISTENING port=N` line.
+    bool listen = false;
+    std::uint16_t listen_port = 0;
+    std::size_t replicas = 1;  // AMS replicas behind the AmsRouter
+    // Test hooks. `shutdown_fd`: in listen mode, poll this descriptor
+    // instead of installing SIGTERM/SIGINT handlers — one readable byte
+    // (or EOF) triggers the graceful drain. `announce_port`: when set,
+    // the bound port is also published here.
+    int shutdown_fd = -1;
+    std::atomic<std::uint16_t>* announce_port = nullptr;
 };
 
-// PDP-as-a-service over stdin: one request (token string) per line in,
-// one decision (Permit/Deny/Overloaded/Expired) per line out; '!'-prefixed
-// control lines query the running service (see the header comment). A
-// summary with throughput and cache hit rate is printed at EOF.
+// PDP-as-a-service. Stdin mode (default): one request per line in, one
+// decision per line out — a plain token-string line is answered with the
+// outcome name, a `{...}` wire-protocol line (docs/PROTOCOL.md) with the
+// JSON reply, and '!'-prefixed control lines query the running service
+// (see the header comment). A summary with throughput and cache hit rate
+// is printed at EOF. Listen mode (--listen): serves the same line
+// protocol over TCP until SIGTERM/SIGINT, then drains gracefully.
 // `cache_mb == 0` with `use_cache` still enables a minimal cache; pass
 // use_cache=false to disable it.
 int cmd_serve(const ServeCliOptions& options, std::istream& in, std::ostream& out);
 
-// Closed-loop load generator against the built-in demo serving domain;
-// prints the human-readable report plus one `LOADGEN_JSON {...}` line.
-int cmd_loadgen(std::size_t threads, std::size_t clients, std::size_t requests_per_client,
-                std::size_t distinct, std::size_t cache_mb, bool use_cache, std::ostream& out);
+struct LoadgenCliOptions {
+    std::size_t threads = 4;  // in-process service workers (ignored with --connect)
+    std::size_t clients = 4;
+    std::size_t requests_per_client = 250;
+    std::size_t distinct = 8;
+    std::size_t cache_mb = 64;
+    bool use_cache = true;
+    // Non-empty host: drive a remote `agenp serve --listen` server over
+    // TCP instead of an in-process service.
+    std::string connect_host;
+    std::uint16_t connect_port = 0;
+};
+
+// Closed-loop load generator against the built-in demo serving domain
+// (in-process by default, over TCP with --connect); prints the
+// human-readable report plus one `LOADGEN_JSON {...}` line. Exit code 1
+// when any response was dropped.
+int cmd_loadgen(const LoadgenCliOptions& options, std::ostream& out);
 
 // argv-level dispatcher (used by main and by tests).
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);

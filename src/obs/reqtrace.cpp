@@ -51,7 +51,9 @@ void TraceContext::append_chrome_events(std::string& out, bool& first) const {
         out += ",\"dur\":" + std::to_string(span.duration_us);
         out += ",\"pid\":1,\"tid\":" + std::to_string(id_);
         out += ",\"args\":{\"trace_id\":" + std::to_string(id_) +
-               ",\"parent\":" + std::to_string(span.parent) + "}}";
+               ",\"parent\":" + std::to_string(span.parent);
+        if (client_ != 0) out += ",\"client\":" + std::to_string(client_);
+        out += "}}";
         first = false;
     }
 }

@@ -41,6 +41,11 @@ public:
 
     [[nodiscard]] std::uint64_t trace_id() const { return id_; }
 
+    // Transport connection id the request arrived on; 0 = not
+    // connection-bound. Emitted into every exported event's args.
+    void set_client(std::uint64_t client) { client_ = client; }
+    [[nodiscard]] std::uint64_t client() const { return client_; }
+
     // Opens a span nested under the innermost open span; returns its index.
     std::size_t begin_span(std::string_view name);
     void end_span(std::size_t index);
@@ -66,6 +71,7 @@ public:
 
 private:
     std::uint64_t id_ = 0;
+    std::uint64_t client_ = 0;
     std::vector<RequestSpan> spans_;
     std::vector<std::size_t> open_;  // stack of open span indices
 };

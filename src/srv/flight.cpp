@@ -17,6 +17,7 @@ void FlightRecorder::record(const FlightRecord& record) {
     // never confuse two generations of the same slot.
     slot.seq.store(2 * seq + 1, std::memory_order_release);
     slot.id.store(record.id, std::memory_order_relaxed);
+    slot.client.store(record.client, std::memory_order_relaxed);
     slot.model_version.store(record.model_version, std::memory_order_relaxed);
     slot.queue_us.store(record.queue_us, std::memory_order_relaxed);
     slot.solve_us.store(record.solve_us, std::memory_order_relaxed);
@@ -34,6 +35,7 @@ std::vector<FlightRecord> FlightRecorder::snapshot() const {
         if (before == 0 || before % 2 == 1) continue;  // empty or mid-write
         FlightRecord r;
         r.id = slot.id.load(std::memory_order_relaxed);
+        r.client = slot.client.load(std::memory_order_relaxed);
         r.model_version = slot.model_version.load(std::memory_order_relaxed);
         r.queue_us = slot.queue_us.load(std::memory_order_relaxed);
         r.solve_us = slot.solve_us.load(std::memory_order_relaxed);
@@ -51,6 +53,7 @@ std::vector<FlightRecord> FlightRecorder::snapshot() const {
 std::string flight_record_json(const FlightRecord& record) {
     std::string out = "{";
     out += "\"id\":" + std::to_string(record.id);
+    out += ",\"client\":" + std::to_string(record.client);
     out += ",\"outcome\":" + std::to_string(record.outcome);
     out += ",\"cache_hit\":" + std::string(record.cache_hit ? "true" : "false");
     out += ",\"model_version\":" + std::to_string(record.model_version);

@@ -26,7 +26,8 @@
 namespace agenp::srv {
 
 struct FlightRecord {
-    std::uint64_t id = 0;  // request id; monotone in record order
+    std::uint64_t id = 0;      // request id; monotone in record order
+    std::uint64_t client = 0;  // transport connection id; 0 = in-process
     std::uint64_t model_version = 0;
     std::uint64_t queue_us = 0;  // submit -> worker dequeue
     std::uint64_t solve_us = 0;  // cache-miss membership solve; 0 on hit
@@ -60,6 +61,7 @@ private:
     struct Slot {
         std::atomic<std::uint64_t> seq{0};  // 0 = never written; odd = writing
         std::atomic<std::uint64_t> id{0};
+        std::atomic<std::uint64_t> client{0};
         std::atomic<std::uint64_t> model_version{0};
         std::atomic<std::uint64_t> queue_us{0};
         std::atomic<std::uint64_t> solve_us{0};

@@ -37,6 +37,9 @@ struct LoadgenReport {
     double p95_us = 0;
     double p99_us = 0;
     double hit_rate = 0;  // over this run only (stats delta)
+    // Requests sent without a usable reply (TCP mode only: timeouts,
+    // unparseable replies, dropped connections). Always 0 in-process.
+    std::size_t dropped = 0;
 
     // One-line JSON object with every field above.
     [[nodiscard]] std::string to_json() const;
@@ -47,6 +50,15 @@ struct LoadgenReport {
 // at random from `workload`.
 LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::TokenString>& workload,
                           const LoadgenOptions& options = {});
+
+// Same closed loop over TCP (`agenp loadgen --connect`): each client
+// thread opens one connection to an `agenp serve --listen` server and
+// sends `{"id":N,"decide":...}` lines in lockstep, so latency is honest
+// client-observed round-trip time. Outcomes and cache hits are read from
+// the replies; replies that never arrive count as `dropped`.
+LoadgenReport run_loadgen_tcp(const std::string& host, std::uint16_t port,
+                              const std::vector<cfg::TokenString>& workload,
+                              const LoadgenOptions& options = {});
 
 // The demo serving domain: `request -> "do" task_i` for i in
 // [0, distinct_tasks), where task_i requires clearance (i % 5) + 1 and the

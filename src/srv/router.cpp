@@ -1,0 +1,157 @@
+#include "srv/router.hpp"
+
+#include <algorithm>
+
+namespace agenp::srv {
+
+namespace {
+
+// FNV-1a, 64-bit — same placement hash family as the decision cache, so
+// equal request texts always map to the same replica.
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+}  // namespace
+
+AmsRouter::AmsRouter(const AmsFactory& factory, RouterOptions options) {
+    std::size_t n = std::max<std::size_t>(options.replicas, 1);
+    ams_.reserve(n);
+    services_.reserve(n);
+    versions_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ams_.push_back(factory());
+        ServiceOptions service_options = options.service;
+        service_options.id_offset = i;
+        service_options.id_stride = n;
+        services_.push_back(std::make_unique<DecisionService>(*ams_[i], service_options));
+        versions_.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(ams_[i]->model_version()));
+    }
+    if (obs::metrics_enabled()) {
+        depth_gauges_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            depth_gauges_.push_back(
+                &obs::metrics().gauge("srv.router.queue_depth." + std::to_string(i)));
+        }
+    }
+}
+
+std::size_t AmsRouter::replica_for(const cfg::TokenString& request) const {
+    return fnv1a(cfg::detokenize(request)) % services_.size();
+}
+
+std::future<Decision> AmsRouter::submit(cfg::TokenString request,
+                                        DecisionService::SubmitOptions submit_options) {
+    std::size_t primary = replica_for(request);
+    std::size_t pick = primary;
+    if (services_.size() > 1 &&
+        services_[primary]->queue_depth() >= services_[primary]->options().queue_capacity) {
+        // Primary saturated: spill to the first replica with queue room,
+        // scanning from a rotating start so spill load spreads. If every
+        // replica is full, stay on the primary — it rejects Overloaded.
+        std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t k = 0; k < services_.size(); ++k) {
+            std::size_t i = (start + k) % services_.size();
+            if (i == primary) continue;
+            if (services_[i]->queue_depth() < services_[i]->options().queue_capacity) {
+                pick = i;
+                break;
+            }
+        }
+    }
+    (pick == primary ? routed_affinity_ : routed_fallback_)
+        .fetch_add(1, std::memory_order_relaxed);
+    auto future = services_[pick]->submit(std::move(request), std::move(submit_options));
+    if (!depth_gauges_.empty()) {
+        depth_gauges_[pick]->set(static_cast<std::int64_t>(services_[pick]->queue_depth()));
+    }
+    return future;
+}
+
+std::uint64_t AmsRouter::update_model(
+    const std::function<void(framework::AutonomousManagedSystem&)>& fn) {
+    for (std::size_t i = 0; i < services_.size(); ++i) {
+        services_[i]->update_model([&] { fn(*ams_[i]); });
+        // Safe to read outside the lock: this thread is the only model
+        // writer, and it just finished writing.
+        versions_[i]->store(ams_[i]->model_version(), std::memory_order_relaxed);
+    }
+    return versions_[0]->load(std::memory_order_relaxed);
+}
+
+void AmsRouter::drain() {
+    for (auto& service : services_) service->drain();
+}
+
+RouterStats AmsRouter::snapshot_stats() const {
+    RouterStats out;
+    out.replicas.reserve(services_.size());
+    for (std::size_t i = 0; i < services_.size(); ++i) {
+        ReplicaStats replica;
+        replica.service = services_[i]->snapshot_stats();
+        replica.queue_depth = replica.service.queue_depth;
+        replica.model_version = versions_[i]->load(std::memory_order_relaxed);
+
+        out.total.submitted += replica.service.submitted;
+        out.total.completed += replica.service.completed;
+        out.total.permitted += replica.service.permitted;
+        out.total.denied += replica.service.denied;
+        out.total.rejected_overload += replica.service.rejected_overload;
+        out.total.expired += replica.service.expired;
+        out.total.traces_captured += replica.service.traces_captured;
+        out.total.queue_depth += replica.service.queue_depth;
+        out.total.cache.hits += replica.service.cache.hits;
+        out.total.cache.misses += replica.service.cache.misses;
+        out.total.cache.insertions += replica.service.cache.insertions;
+        out.total.cache.evictions += replica.service.cache.evictions;
+        out.total.cache.invalidations += replica.service.cache.invalidations;
+        out.total.cache.entries += replica.service.cache.entries;
+        out.total.cache.bytes += replica.service.cache.bytes;
+
+        out.replicas.push_back(std::move(replica));
+    }
+    out.model_version = versions_[0]->load(std::memory_order_relaxed);
+    out.versions_agree = true;
+    for (const auto& replica : out.replicas) {
+        if (replica.model_version != out.model_version) out.versions_agree = false;
+    }
+    out.routed_affinity = routed_affinity_.load(std::memory_order_relaxed);
+    out.routed_fallback = routed_fallback_.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::vector<FlightRecord> AmsRouter::flight_snapshot() const {
+    std::vector<FlightRecord> out;
+    for (const auto& service : services_) {
+        auto records = service->flight().snapshot();
+        out.insert(out.end(), records.begin(), records.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecord& a, const FlightRecord& b) { return a.id < b.id; });
+    return out;
+}
+
+std::vector<CapturedTrace> AmsRouter::captured_traces() const {
+    std::vector<CapturedTrace> out;
+    for (const auto& service : services_) {
+        auto captured = service->captured_traces();
+        for (auto& c : captured) out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::string AmsRouter::captured_traces_json() const {
+    std::vector<CapturedTrace> captured = captured_traces();
+    std::vector<const obs::TraceContext*> traces;
+    traces.reserve(captured.size());
+    for (const auto& c : captured) traces.push_back(&c.trace);
+    return obs::chrome_trace_json(traces);
+}
+
+}  // namespace agenp::srv

@@ -30,6 +30,7 @@ DecisionService::DecisionService(framework::AutonomousManagedSystem& ams, Servic
     if (options_.threads == 0) options_.threads = 1;
     if (options_.queue_capacity == 0) options_.queue_capacity = 1;
     if (options_.trace.max_captured == 0) options_.trace.max_captured = 1;
+    if (options_.id_stride == 0) options_.id_stride = 1;
     workers_.reserve(options_.threads);
     for (std::size_t i = 0; i < options_.threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -47,14 +48,25 @@ DecisionService::~DecisionService() {
 
 std::future<Decision> DecisionService::submit(cfg::TokenString request,
                                               std::chrono::microseconds timeout) {
+    SubmitOptions submit_options;
+    submit_options.timeout = timeout;
+    return submit(std::move(request), std::move(submit_options));
+}
+
+std::future<Decision> DecisionService::submit(cfg::TokenString request,
+                                              SubmitOptions submit_options) {
     auto now = std::chrono::steady_clock::now();
     Task task;
     task.tokens = std::move(request);
     task.enqueued = now;
+    std::chrono::microseconds timeout = submit_options.timeout;
     if (timeout.count() <= 0) timeout = options_.default_timeout;
     task.deadline = timeout.count() > 0 ? now + timeout
                                         : std::chrono::steady_clock::time_point::max();
-    task.trace_id = submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    task.trace_id = options_.id_offset +
+                    (submitted_.fetch_add(1, std::memory_order_relaxed) + 1) * options_.id_stride;
+    task.client_id = submit_options.client_id;
+    task.on_complete = std::move(submit_options.on_complete);
     if (options_.trace.active()) {
         // Tail-based: record spans now, decide at completion whether the
         // tree is worth keeping. When only sampling is on, skip the
@@ -63,6 +75,7 @@ std::future<Decision> DecisionService::submit(cfg::TokenString request,
                        task.trace_id % options_.trace.sample_every == 0;
         if (options_.trace.slow_threshold_us > 0 || sampled) {
             task.trace = std::make_unique<obs::TraceContext>(task.trace_id);
+            task.trace->set_client(task.client_id);
             task.root_span = task.trace->begin_span("srv.request");
             task.queue_span = task.trace->begin_span("srv.queue_wait");
         }
@@ -73,22 +86,28 @@ std::future<Decision> DecisionService::submit(cfg::TokenString request,
         requests.add(1);
     }
 
-    std::size_t depth;
+    std::size_t depth = 0;
+    bool rejected = false;
     {
         std::lock_guard lock(queue_mu_);
         if (stopping_ || queue_.size() >= options_.queue_capacity) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            if (obs::metrics_enabled()) {
-                static obs::Counter& overloaded = obs::metrics().counter("srv.overloaded");
-                overloaded.add(1);
-            }
-            Decision decision;
-            finish(decision, task, Outcome::Overloaded);
-            task.promise.set_value(decision);
-            return future;
+            rejected = true;
+        } else {
+            queue_.push_back(std::move(task));
+            depth = queue_.size();
         }
-        queue_.push_back(std::move(task));
-        depth = queue_.size();
+    }
+    if (rejected) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled()) {
+            static obs::Counter& overloaded = obs::metrics().counter("srv.overloaded");
+            overloaded.add(1);
+        }
+        Decision decision;
+        finish(decision, task, Outcome::Overloaded);
+        task.promise.set_value(decision);
+        if (task.on_complete) task.on_complete(decision);
+        return future;
     }
     if (obs::metrics_enabled()) {
         static obs::Gauge& queue_depth = obs::metrics().gauge("srv.queue_depth");
@@ -119,6 +138,11 @@ bool DecisionService::give_feedback(std::size_t monitor_index, bool should_permi
 void DecisionService::update_model(const std::function<void()>& fn) {
     std::unique_lock lock(state_mu_);
     fn();
+}
+
+std::size_t DecisionService::queue_depth() const {
+    std::lock_guard lock(queue_mu_);
+    return queue_.size();
 }
 
 ServiceStats DecisionService::snapshot_stats() const {
@@ -167,6 +191,7 @@ void DecisionService::worker_loop() {
         }
         Decision decision = process(task);
         task.promise.set_value(decision);
+        if (task.on_complete) task.on_complete(decision);
         {
             std::lock_guard lock(queue_mu_);
             --in_flight_;
@@ -206,6 +231,7 @@ void DecisionService::finish(Decision& decision, Task& task, Outcome outcome) {
     }
     FlightRecord record;
     record.id = task.trace_id;
+    record.client = task.client_id;
     record.model_version = decision.model_version;
     record.queue_us = task.queue_us;
     record.solve_us = task.solve_us;

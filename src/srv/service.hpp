@@ -82,6 +82,11 @@ struct ServiceOptions {
     std::chrono::microseconds default_timeout{0};
     TraceOptions trace;
     std::size_t flight_capacity = FlightRecorder::kDefaultCapacity;
+    // Request-id sequencing: ids are id_offset + k * id_stride for
+    // k = 1, 2, ... The defaults yield 1, 2, 3, ...; the AmsRouter gives
+    // replica i offset=i, stride=N so ids stay unique across replicas.
+    std::uint64_t id_offset = 0;
+    std::uint64_t id_stride = 1;
 };
 
 enum class Outcome {
@@ -141,10 +146,23 @@ public:
     DecisionService(const DecisionService&) = delete;
     DecisionService& operator=(const DecisionService&) = delete;
 
+    // Per-submit options for callers that need more than a deadline (the
+    // TCP transport and the router). `on_complete` is invoked exactly once
+    // — from the completing worker thread, or inline in submit() for an
+    // immediate Overloaded rejection — after the future has been resolved.
+    // `client_id` tags the request's flight record and trace with the
+    // transport connection it arrived on (0 = not connection-bound).
+    struct SubmitOptions {
+        std::chrono::microseconds timeout{0};
+        std::uint64_t client_id = 0;
+        std::function<void(const Decision&)> on_complete;
+    };
+
     // Enqueues one request; the future resolves to its Decision. Never
     // blocks: a full queue resolves the future immediately as Overloaded.
     std::future<Decision> submit(cfg::TokenString request,
                                  std::chrono::microseconds timeout = std::chrono::microseconds{0});
+    std::future<Decision> submit(cfg::TokenString request, SubmitOptions submit_options);
 
     std::vector<std::future<Decision>> submit_batch(std::vector<cfg::TokenString> requests);
 
@@ -161,6 +179,9 @@ public:
     void update_model(const std::function<void()>& fn);
 
     [[nodiscard]] ServiceStats snapshot_stats() const;
+    // Current queue depth only — cheaper than snapshot_stats() for the
+    // router's per-submit replica choice.
+    [[nodiscard]] std::size_t queue_depth() const;
     [[nodiscard]] const DecisionCache& cache() const { return cache_; }
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
@@ -180,6 +201,8 @@ private:
         std::chrono::steady_clock::time_point enqueued;
         std::chrono::steady_clock::time_point deadline;  // max() = none
         std::uint64_t trace_id = 0;
+        std::uint64_t client_id = 0;  // transport connection id; 0 = none
+        std::function<void(const Decision&)> on_complete;
         std::unique_ptr<obs::TraceContext> trace;  // null unless tracing this request
         std::size_t root_span = 0;
         std::size_t queue_span = 0;

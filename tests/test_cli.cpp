@@ -303,9 +303,63 @@ TEST(CmdServe, UsageMentionsObservabilityFlags) {
     std::ostringstream out, err;
     int code = run({"serve"}, out, err);
     EXPECT_NE(code, 0);
-    for (const char* flag : {"--trace-slow-ms", "--trace-sample", "--stats-every"}) {
+    for (const char* flag : {"--trace-slow-ms", "--trace-sample", "--stats-every", "--listen",
+                             "--replicas"}) {
         EXPECT_NE(err.str().find(flag), std::string::npos) << flag;
     }
+}
+
+TEST(CmdServe, StdinModeRoutesAcrossReplicasAndSpeaksJson) {
+    ServeCliOptions options;
+    options.grammar_path = temp_file("serve_repl.asg", kServeGrammar);
+    options.context_path = temp_file("serve_repl.lp", "maxloa(3).\n");
+    options.threads = 2;
+    options.replicas = 2;  // stdin front door over a 2-replica router
+
+    // Plain token lines and wire-protocol JSON lines share one dispatch
+    // path; both kinds work interleaved on stdin.
+    std::istringstream in("do patrol\n{\"id\":7,\"decide\":\"do strike\"}\n!stats\n");
+    std::ostringstream out;
+    EXPECT_EQ(cmd_serve(options, in, out), 0);
+    std::string text = out.str();
+
+    EXPECT_NE(text.find("Permit"), std::string::npos);
+    // The JSON line gets a JSON reply with the echoed id.
+    EXPECT_NE(text.find("\"id\":7,\"outcome\":\"deny\""), std::string::npos);
+
+    auto stats_pos = text.find("SERVE_STATS_JSON {");
+    ASSERT_NE(stats_pos, std::string::npos);
+    std::string stats_line = text.substr(stats_pos, text.find('\n', stats_pos) - stats_pos);
+    for (const char* field :
+         {"\"submitted\":2", "\"replicas\":[", "\"model_version\":0", "\"versions_agree\":true",
+          "\"routed\":{\"affinity\":2,\"fallback\":0}"}) {
+        EXPECT_NE(stats_line.find(field), std::string::npos) << field << "\n" << stats_line;
+    }
+}
+
+TEST(CmdLoadgen, UsageAndConnectValidation) {
+    std::ostringstream out, err;
+    int code = run({"loadgen", "--connect"}, out, err);
+    EXPECT_NE(code, 0);
+    EXPECT_NE(err.str().find("--connect"), std::string::npos);
+    // HOST:PORT shape is validated before any socket work.
+    for (const char* bad : {"localhost", ":9000", "localhost:"}) {
+        std::ostringstream out2, err2;
+        EXPECT_NE(run({"loadgen", "--connect", bad}, out2, err2), 0) << bad;
+        EXPECT_NE(err2.str().find("HOST:PORT"), std::string::npos) << bad;
+    }
+}
+
+TEST(CmdLoadgen, InProcessReportCarriesDroppedCount) {
+    LoadgenCliOptions options;
+    options.threads = 2;
+    options.clients = 2;
+    options.requests_per_client = 20;
+    std::ostringstream out;
+    EXPECT_EQ(cmd_loadgen(options, out), 0);
+    EXPECT_NE(out.str().find("0 dropped"), std::string::npos);
+    EXPECT_NE(out.str().find("LOADGEN_JSON {"), std::string::npos);
+    EXPECT_NE(out.str().find("\"dropped\":0"), std::string::npos);
 }
 
 // --- lint ------------------------------------------------------------------

@@ -1,0 +1,268 @@
+// docs/PROTOCOL.md conformance: every example exchange in the protocol
+// document is replayed verbatim against a live `agenp serve --listen`
+// server (real cmd_serve, real TCP socket). If the shipped behavior
+// drifts from the spec, this test fails — and names the drifting line.
+//
+// Transcript conventions (defined in the document itself):
+//   C:  a line the client sends
+//   S:  the server's reply, compared structurally; the fields the
+//       document declares volatile (latency_us, trace_id) need only be
+//       present, every other field must match exactly
+//   S~  asserts only a prefix of the raw reply line
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "srv/transport.hpp"
+#include "srv/wire.hpp"
+
+namespace agenp::cli {
+namespace {
+
+std::string temp_file(const std::string& name, const std::string& content) {
+    std::string path = std::string(::testing::TempDir()) + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+std::string read_whole_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// One step of a transcript: a client send, an exact reply, or a prefix
+// assertion, tagged with the PROTOCOL.md line it came from.
+struct Step {
+    enum class Kind { Send, Expect, ExpectPrefix };
+    Kind kind;
+    std::string text;
+    std::size_t doc_line;
+};
+
+// Pulls every fenced block with the given language tag out of the
+// markdown, in document order.
+std::vector<std::string> fenced_blocks(const std::string& doc, const std::string& lang) {
+    std::vector<std::string> blocks;
+    std::istringstream in(doc);
+    std::string line;
+    bool inside = false;
+    std::string current;
+    while (std::getline(in, line)) {
+        if (!inside && line == "```" + lang) {
+            inside = true;
+            current.clear();
+        } else if (inside && line == "```") {
+            inside = false;
+            blocks.push_back(current);
+        } else if (inside) {
+            current += line;
+            current += '\n';
+        }
+    }
+    return blocks;
+}
+
+// Parses every ```jsonl transcript into one flat step list (the examples
+// share a single server and a single connection, in document order).
+std::vector<Step> transcript_steps(const std::string& doc) {
+    std::vector<Step> steps;
+    std::istringstream in(doc);
+    std::string line;
+    std::size_t doc_line = 0;
+    bool inside = false;
+    while (std::getline(in, line)) {
+        ++doc_line;
+        if (!inside && line == "```jsonl") {
+            inside = true;
+        } else if (inside && line == "```") {
+            inside = false;
+        } else if (inside) {
+            if (line.rfind("C: ", 0) == 0) {
+                steps.push_back({Step::Kind::Send, line.substr(3), doc_line});
+            } else if (line.rfind("S: ", 0) == 0) {
+                steps.push_back({Step::Kind::Expect, line.substr(3), doc_line});
+            } else if (line.rfind("S~ ", 0) == 0) {
+                steps.push_back({Step::Kind::ExpectPrefix, line.substr(3), doc_line});
+            } else {
+                ADD_FAILURE() << "PROTOCOL.md line " << doc_line
+                              << ": transcript line without C:/S:/S~ marker: " << line;
+            }
+        }
+    }
+    return steps;
+}
+
+// The document declares these reply fields volatile: present, value ignored.
+bool is_volatile_key(const std::string& key) {
+    return key == "latency_us" || key == "trace_id";
+}
+
+bool json_equal(const srv::JsonValue& a, const srv::JsonValue& b);
+
+bool json_equal(const srv::JsonValue& a, const srv::JsonValue& b) {
+    if (a.type != b.type) return false;
+    switch (a.type) {
+        case srv::JsonValue::Type::Null: return true;
+        case srv::JsonValue::Type::Bool: return a.boolean == b.boolean;
+        case srv::JsonValue::Type::Number: return a.number == b.number;
+        case srv::JsonValue::Type::String: return a.string == b.string;
+        case srv::JsonValue::Type::Array: {
+            if (a.array.size() != b.array.size()) return false;
+            for (std::size_t i = 0; i < a.array.size(); ++i) {
+                if (!json_equal(a.array[i], b.array[i])) return false;
+            }
+            return true;
+        }
+        case srv::JsonValue::Type::Object: {
+            if (a.object.size() != b.object.size()) return false;
+            for (const auto& [key, value] : a.object) {
+                const srv::JsonValue* other = b.find(key);
+                if (other == nullptr || !json_equal(value, *other)) return false;
+            }
+            return true;
+        }
+    }
+    return false;
+}
+
+// Structural reply comparison: identical key sets, identical values,
+// except that volatile keys only need to exist on the actual reply.
+void expect_reply_matches(const std::string& expected_text, const std::string& actual_text,
+                          std::size_t doc_line) {
+    auto expected = srv::parse_json(expected_text);
+    ASSERT_TRUE(expected.has_value())
+        << "PROTOCOL.md line " << doc_line << " is not valid JSON: " << expected_text;
+    auto actual = srv::parse_json(actual_text);
+    ASSERT_TRUE(actual.has_value())
+        << "server reply for PROTOCOL.md line " << doc_line << " is not valid JSON: "
+        << actual_text;
+    ASSERT_TRUE(expected->is_object() && actual->is_object())
+        << "PROTOCOL.md line " << doc_line << ": both sides must be objects";
+
+    std::set<std::string> expected_keys;
+    for (const auto& [key, value] : expected->object) expected_keys.insert(key);
+    std::set<std::string> actual_keys;
+    for (const auto& [key, value] : actual->object) actual_keys.insert(key);
+    EXPECT_EQ(expected_keys, actual_keys)
+        << "PROTOCOL.md line " << doc_line << "\n  spec:   " << expected_text
+        << "\n  server: " << actual_text;
+
+    for (const auto& [key, value] : expected->object) {
+        const srv::JsonValue* got = actual->find(key);
+        ASSERT_NE(got, nullptr) << "PROTOCOL.md line " << doc_line << ": reply lacks field '"
+                                << key << "'\n  server: " << actual_text;
+        if (is_volatile_key(key)) continue;  // presence is the contract
+        EXPECT_TRUE(json_equal(value, *got))
+            << "PROTOCOL.md line " << doc_line << ": field '" << key << "' differs"
+            << "\n  spec:   " << expected_text << "\n  server: " << actual_text;
+    }
+}
+
+TEST(Protocol, ShippedExamplesRoundTripAgainstLiveServer) {
+    const std::string doc = read_whole_file(std::string(AGENP_SOURCE_DIR) + "/docs/PROTOCOL.md");
+
+    // The example session declares its grammar and context in the first
+    // ```asg / ```lp blocks; the server is launched with exactly those.
+    auto grammars = fenced_blocks(doc, "asg");
+    auto contexts = fenced_blocks(doc, "lp");
+    ASSERT_FALSE(grammars.empty()) << "PROTOCOL.md lost its ```asg example grammar";
+    ASSERT_FALSE(contexts.empty()) << "PROTOCOL.md lost its ```lp example context";
+    auto steps = transcript_steps(doc);
+    ASSERT_FALSE(steps.empty()) << "PROTOCOL.md lost its ```jsonl transcripts";
+
+    ServeCliOptions options;
+    options.grammar_path = temp_file("protocol_grammar.asg", grammars.front());
+    options.context_path = temp_file("protocol_context.lp", contexts.front());
+    options.threads = 2;
+    options.replicas = 1;  // the document pins "replicas":1 in ping replies
+    options.listen = true;
+    options.listen_port = 0;
+    int shutdown_pipe[2];
+    ASSERT_EQ(::pipe(shutdown_pipe), 0);
+    options.shutdown_fd = shutdown_pipe[0];
+    std::atomic<std::uint16_t> port{0};
+    options.announce_port = &port;
+
+    std::istringstream unused_in;
+    std::ostringstream serve_out;
+    int exit_code = -1;
+    std::thread server([&] { exit_code = cmd_serve(options, unused_in, serve_out); });
+    while (port.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds{1});
+
+    {
+        srv::TcpClient client("127.0.0.1", port.load());
+        for (const auto& step : steps) {
+            switch (step.kind) {
+                case Step::Kind::Send: client.send_line(step.text); break;
+                case Step::Kind::Expect: {
+                    auto reply = client.recv_line();
+                    ASSERT_TRUE(reply.has_value())
+                        << "no reply for PROTOCOL.md line " << step.doc_line;
+                    expect_reply_matches(step.text, *reply, step.doc_line);
+                    break;
+                }
+                case Step::Kind::ExpectPrefix: {
+                    auto reply = client.recv_line();
+                    ASSERT_TRUE(reply.has_value())
+                        << "no reply for PROTOCOL.md line " << step.doc_line;
+                    EXPECT_EQ(reply->rfind(step.text, 0), 0u)
+                        << "PROTOCOL.md line " << step.doc_line << ": expected prefix '"
+                        << step.text << "', got: " << *reply;
+                    break;
+                }
+            }
+        }
+    }
+
+    // One byte on the shutdown descriptor triggers the graceful drain.
+    ASSERT_EQ(::write(shutdown_pipe[1], "x", 1), 1);
+    server.join();
+    ::close(shutdown_pipe[0]);
+    ::close(shutdown_pipe[1]);
+    EXPECT_EQ(exit_code, 0) << serve_out.str();
+    EXPECT_NE(serve_out.str().find("AGENP_LISTENING port="), std::string::npos);
+    EXPECT_NE(serve_out.str().find("SERVE_STATS_JSON "), std::string::npos);
+}
+
+// The catalogue at the bottom of the document must stay in lockstep with
+// the parser: every listed message must be producible, and the parser
+// must not produce messages the catalogue misses (spot-checked via the
+// transcript above; here we pin the full list against parse_wire_request).
+TEST(Protocol, BadRequestCatalogueMatchesParser) {
+    const std::pair<const char*, const char*> cases[] = {
+        {"[1,2,3]", "line is not a JSON object"},
+        {R"({"id":"seven","decide":"do patrol"})", "field 'id' must be a non-negative integer"},
+        {R"({"decide":"do patrol","op":"ping"})", "request cannot carry both 'decide' and 'op'"},
+        {R"({"decide":42})", "field 'decide' must be a string"},
+        {R"({"decide":""})", "field 'decide' must not be empty"},
+        {R"({"op":"reboot"})", "unknown op (supported: ping)"},
+        {"{}", "request needs a 'decide' or 'op' field"},
+        {R"({"decide":"x","timeout_ms":-1})", "field 'timeout_ms' must be a non-negative integer"},
+    };
+    const std::string doc = read_whole_file(std::string(AGENP_SOURCE_DIR) + "/docs/PROTOCOL.md");
+    for (const auto& [line, message] : cases) {
+        std::string error;
+        EXPECT_FALSE(srv::parse_wire_request(line, &error).has_value()) << line;
+        EXPECT_EQ(error, message) << line;
+        EXPECT_NE(doc.find(std::string("`") + message + "`"), std::string::npos)
+            << "catalogue in PROTOCOL.md is missing: " << message;
+    }
+}
+
+}  // namespace
+}  // namespace agenp::cli

@@ -4,12 +4,19 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
 #include <set>
 #include <thread>
+#include <utility>
 
 #include "asp/parser.hpp"
 #include "srv/loadgen.hpp"
+#include "srv/router.hpp"
 #include "srv/service.hpp"
+#include "srv/transport.hpp"
+#include "srv/wire.hpp"
 #include "util/rng.hpp"
 
 namespace agenp::srv {
@@ -538,6 +545,426 @@ TEST(DecisionService, TracingOffAllocatesNoContexts) {
     service.drain();
     EXPECT_GT(decision.trace_id, 0u);  // ids are assigned regardless
     EXPECT_EQ(service.captured_traces().size(), 0u);
+}
+
+// --- wire protocol ----------------------------------------------------------
+
+TEST(Wire, ParsesDecideOpIdAndTimeout) {
+    std::string error;
+    auto r = parse_wire_request(R"({"id":7,"decide":"do patrol","timeout_ms":250})", &error);
+    ASSERT_TRUE(r.has_value()) << error;
+    EXPECT_EQ(r->decide, "do patrol");
+    EXPECT_TRUE(r->has_id);
+    EXPECT_EQ(r->id, 7u);
+    EXPECT_EQ(r->timeout_ms, 250u);
+
+    auto ping = parse_wire_request(R"({"op":"ping"})", &error);
+    ASSERT_TRUE(ping.has_value()) << error;
+    EXPECT_EQ(ping->op, "ping");
+    EXPECT_FALSE(ping->has_id);
+
+    // Unknown fields are ignored (forward compatibility).
+    auto fwd = parse_wire_request(R"({"decide":"do patrol","future_field":[1,2]})", &error);
+    EXPECT_TRUE(fwd.has_value()) << error;
+}
+
+TEST(Wire, RejectsMalformedRequestsWithStableMessages) {
+    const std::pair<const char*, const char*> cases[] = {
+        {"[1,2,3]", "line is not a JSON object"},
+        {R"({"id":5,"decide":42})", "field 'decide' must be a string"},
+        {R"({"decide":"do patrol","op":"ping"})", "request cannot carry both 'decide' and 'op'"},
+        {R"({"op":"reboot"})", "unknown op (supported: ping)"},
+        {"{}", "request needs a 'decide' or 'op' field"},
+        {R"({"id":"seven","decide":"do patrol"})", "field 'id' must be a non-negative integer"},
+        {R"({"decide":""})", "field 'decide' must not be empty"},
+        {R"({"decide":"x","timeout_ms":-1})", "field 'timeout_ms' must be a non-negative integer"},
+    };
+    for (const auto& [line, want] : cases) {
+        std::string error;
+        std::optional<std::uint64_t> id;
+        EXPECT_FALSE(parse_wire_request(line, &error, &id).has_value()) << line;
+        EXPECT_EQ(error, want) << line;
+    }
+    // A readable id still correlates the error reply.
+    std::string error;
+    std::optional<std::uint64_t> id;
+    EXPECT_FALSE(parse_wire_request(R"({"id":5,"decide":42})", &error, &id).has_value());
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(*id, 5u);
+}
+
+TEST(Wire, ValidatesUtf8) {
+    EXPECT_TRUE(valid_utf8("plain ascii"));
+    EXPECT_TRUE(valid_utf8("caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x9a\x80"));
+    EXPECT_FALSE(valid_utf8("\xff\xfe"));
+    EXPECT_FALSE(valid_utf8("\xc0\xaf"));          // overlong '/'
+    EXPECT_FALSE(valid_utf8("\xed\xa0\x80"));      // surrogate
+    EXPECT_FALSE(valid_utf8("truncated \xe2\x82"));
+}
+
+// --- AmsRouter --------------------------------------------------------------
+
+// Factory handing each replica its own demo AMS; `solve_delay` attaches a
+// PIP source that sleeps, making every cache miss measurably slow.
+AmsRouter::AmsFactory demo_factory(std::size_t distinct = 6,
+                                   std::chrono::milliseconds solve_delay = 0ms) {
+    return [distinct, solve_delay] {
+        auto ams = std::make_unique<framework::AutonomousManagedSystem>(
+            make_demo_ams(distinct, /*context_weight=*/0));
+        if (solve_delay.count() > 0) {
+            ams->pip().add_source("slow", [solve_delay] {
+                std::this_thread::sleep_for(solve_delay);
+                return asp::Program{};
+            });
+        }
+        return ams;
+    };
+}
+
+RouterOptions router_options(std::size_t replicas, std::size_t threads,
+                             std::size_t queue_capacity = 1024) {
+    RouterOptions options;
+    options.replicas = replicas;
+    options.service = service_options(threads, queue_capacity);
+    return options;
+}
+
+TEST(AmsRouter, AffinityIsDeterministicAndCorrect) {
+    AmsRouter router(demo_factory(), router_options(3, 1));
+    ASSERT_EQ(router.replicas(), 3u);
+    auto tokens = cfg::tokenize("do task_0");
+    std::size_t target = router.replica_for(tokens);
+    EXPECT_LT(target, 3u);
+    EXPECT_EQ(router.replica_for(cfg::tokenize("do task_0")), target);
+
+    for (int i = 0; i < 8; ++i) EXPECT_TRUE(router.submit(tokens).get().permitted());
+    router.drain();
+    RouterStats stats = router.snapshot_stats();
+    EXPECT_EQ(stats.routed_affinity, 8u);
+    EXPECT_EQ(stats.routed_fallback, 0u);
+    ASSERT_EQ(stats.replicas.size(), 3u);
+    EXPECT_EQ(stats.replicas[target].service.completed, 8u);
+    EXPECT_EQ(stats.total.completed, 8u);
+    // Repeat hits stay in the affinity replica's cache.
+    EXPECT_EQ(stats.total.cache.misses, 1u);
+    EXPECT_EQ(stats.total.cache.hits, 7u);
+}
+
+TEST(AmsRouter, OutcomesMatchSingleServiceAcrossReplicas) {
+    AmsRouter router(demo_factory(), router_options(3, 2));
+    for (int round = 0; round < 2; ++round) {
+        for (std::size_t i = 0; i < 6; ++i) {
+            Decision d = router.submit(cfg::tokenize("do task_" + std::to_string(i))).get();
+            EXPECT_EQ(d.permitted(), demo_expected(i)) << "task_" << i;
+        }
+    }
+    router.drain();
+    EXPECT_EQ(router.snapshot_stats().total.completed, 12u);
+}
+
+TEST(AmsRouter, FallbackSpillsWhenPrimarySaturated) {
+    // One worker per replica, queue room for one waiter, and a solve slow
+    // enough that repeats of one request pile up on their affinity replica.
+    AmsRouter router(demo_factory(2, 30ms), router_options(2, 1, 1));
+    auto tokens = cfg::tokenize("do task_0");
+    std::vector<std::future<Decision>> futures;
+    for (int i = 0; i < 8; ++i) futures.push_back(router.submit(tokens));
+    for (auto& f : futures) (void)f.get();
+    router.drain();
+    RouterStats stats = router.snapshot_stats();
+    EXPECT_GT(stats.routed_fallback, 0u);
+    EXPECT_EQ(stats.routed_affinity + stats.routed_fallback, 8u);
+    // Both replicas saw work: the spill really crossed the shard boundary.
+    EXPECT_GT(stats.replicas[0].service.submitted, 0u);
+    EXPECT_GT(stats.replicas[1].service.submitted, 0u);
+}
+
+TEST(AmsRouter, UpdateModelBroadcastsAndVersionsAgree) {
+    AmsRouter router(demo_factory(), router_options(3, 1));
+    EXPECT_EQ(router.model_version(), 0u);
+    EXPECT_TRUE(router.snapshot_stats().versions_agree);
+
+    std::uint64_t version = router.update_model([](framework::AutonomousManagedSystem& ams) {
+        ams.representations().store(ams.model(), "router broadcast test");
+    });
+    EXPECT_EQ(version, 1u);
+    EXPECT_EQ(router.model_version(), 1u);
+    RouterStats stats = router.snapshot_stats();
+    EXPECT_TRUE(stats.versions_agree);
+    EXPECT_EQ(stats.model_version, 1u);
+    for (const auto& replica : stats.replicas) EXPECT_EQ(replica.model_version, 1u);
+    // Decisions after the update carry the new version.
+    Decision d = router.submit(cfg::tokenize("do task_0")).get();
+    EXPECT_EQ(d.model_version, 1u);
+}
+
+TEST(AmsRouter, RequestIdsStayUniqueAcrossReplicas) {
+    AmsRouter router(demo_factory(), router_options(3, 2));
+    std::vector<std::future<Decision>> futures;
+    for (std::size_t i = 0; i < 30; ++i) {
+        futures.push_back(router.submit(cfg::tokenize("do task_" + std::to_string(i % 6))));
+    }
+    for (auto& f : futures) (void)f.get();
+    router.drain();
+    auto records = router.flight_snapshot();
+    ASSERT_EQ(records.size(), 30u);
+    std::set<std::uint64_t> ids;
+    for (const auto& r : records) ids.insert(r.id);
+    EXPECT_EQ(ids.size(), 30u);  // offset/stride makes ids globally unique
+    // flight_snapshot merges sorted by id.
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_LT(records[i - 1].id, records[i].id);
+    }
+}
+
+// --- TCP transport ----------------------------------------------------------
+
+TEST(Transport, RoundTripMatchesInProcessDecisions) {
+    AmsRouter router(demo_factory(), router_options(1, 2));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+    for (int round = 0; round < 2; ++round) {
+        for (std::size_t i = 0; i < 6; ++i) {
+            client.send_line("{\"id\":" + std::to_string(i) + ",\"decide\":\"do task_" +
+                             std::to_string(i) + "\"}");
+            auto reply = client.recv_line();
+            ASSERT_TRUE(reply.has_value()) << "task_" << i;
+            auto json = parse_json(*reply);
+            ASSERT_TRUE(json.has_value() && json->is_object()) << *reply;
+            EXPECT_EQ(json->find("id")->as_uint(), i);
+            EXPECT_EQ(json->find("outcome")->string, demo_expected(i) ? "permit" : "deny");
+            EXPECT_EQ(json->find("cache_hit")->boolean, round == 1);
+            EXPECT_NE(json->find("latency_us"), nullptr);
+            EXPECT_NE(json->find("trace_id"), nullptr);
+        }
+    }
+    server.shutdown();
+    TransportStats stats = server.stats();
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.lines_in, 12u);
+    EXPECT_EQ(stats.bad_requests, 0u);
+    EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(Transport, PipelinedRepliesCorrelateById) {
+    AmsRouter router(demo_factory(), router_options(2, 2));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+    const std::size_t n = 24;
+    for (std::size_t i = 0; i < n; ++i) {
+        client.send_line("{\"id\":" + std::to_string(i) + ",\"decide\":\"do task_" +
+                         std::to_string(i % 6) + "\"}");
+    }
+    // Replies may arrive in any order; every id must come back exactly once.
+    std::set<std::uint64_t> ids;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto reply = client.recv_line();
+        ASSERT_TRUE(reply.has_value()) << "reply " << i;
+        auto json = parse_json(*reply);
+        ASSERT_TRUE(json.has_value()) << *reply;
+        const JsonValue* id = json->find("id");
+        ASSERT_NE(id, nullptr) << *reply;
+        EXPECT_TRUE(ids.insert(id->as_uint()).second) << "duplicate id " << id->as_uint();
+    }
+    EXPECT_EQ(ids.size(), n);
+}
+
+TEST(Transport, MalformedLinesGetStructuredErrorsAndConnectionSurvives) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+
+    const std::pair<const char*, const char*> cases[] = {
+        {"[1,2,3]", "line is not a JSON object"},
+        {"{\"op\":\"reboot\"}", "unknown op (supported: ping)"},
+        {"{}", "request needs a 'decide' or 'op' field"},
+        {"not json at all", "line is not a JSON object"},
+        {"\xff\xfe\x01", "line is not valid UTF-8"},
+    };
+    for (const auto& [line, message] : cases) {
+        client.send_line(line);
+        auto reply = client.recv_line();
+        ASSERT_TRUE(reply.has_value()) << line;
+        auto json = parse_json(*reply);
+        ASSERT_TRUE(json.has_value()) << *reply;
+        EXPECT_EQ(json->find("error")->string, "bad_request") << *reply;
+        EXPECT_EQ(json->find("message")->string, message) << *reply;
+    }
+    // The connection is still usable after every bad request.
+    client.send_line("{\"op\":\"ping\",\"id\":99}");
+    auto reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("\"ok\":true"), std::string::npos);
+
+    server.shutdown();
+    TransportStats stats = server.stats();
+    EXPECT_EQ(stats.bad_requests, 5u);
+    EXPECT_EQ(stats.slow_client_disconnects, 0u);
+    EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(Transport, OversizedLineRepliesThenDisconnects) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    TransportOptions options;
+    options.max_line_bytes = 128;
+    TcpServer server(router, options);
+    TcpClient client("127.0.0.1", server.port());
+    client.send_line("{\"decide\":\"" + std::string(500, 'x') + "\"}");
+    auto reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("line exceeds maximum length"), std::string::npos);
+    // After the reply flushes the server closes: next read is EOF.
+    EXPECT_FALSE(client.recv_line(std::chrono::milliseconds{5000}).has_value());
+    server.shutdown();
+    TransportStats stats = server.stats();
+    EXPECT_EQ(stats.oversized_disconnects, 1u);
+    EXPECT_EQ(stats.closed, stats.accepted);
+    EXPECT_EQ(stats.active, 0u);  // no leaked connection slots
+}
+
+TEST(Transport, HalfCloseStillDeliversEveryReply) {
+    AmsRouter router(demo_factory(), router_options(1, 2));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+    const std::size_t n = 10;
+    for (std::size_t i = 0; i < n; ++i) {
+        client.send_line("{\"id\":" + std::to_string(i) + ",\"decide\":\"do task_" +
+                         std::to_string(i % 6) + "\"}");
+    }
+    client.shutdown_write();  // half-close: no more requests
+    std::size_t replies = 0;
+    while (auto reply = client.recv_line()) {
+        EXPECT_NE(reply->find("\"outcome\":"), std::string::npos) << *reply;
+        ++replies;
+    }
+    EXPECT_EQ(replies, n);  // all delivered, then EOF
+    server.shutdown();
+    EXPECT_EQ(server.stats().active, 0u);
+}
+
+TEST(Transport, SlowClientHittingWriteBufferCapIsDisconnected) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    TransportOptions options;
+    options.max_write_buffer_bytes = 1;  // any reply exceeds the backlog cap
+    TcpServer server(router, options);
+    TcpClient client("127.0.0.1", server.port());
+    client.send_line("{\"id\":1,\"decide\":\"do task_0\"}");
+    // The reply cannot be buffered within the cap: the client is dropped.
+    EXPECT_FALSE(client.recv_line(std::chrono::milliseconds{5000}).has_value());
+    server.shutdown();
+    TransportStats stats = server.stats();
+    EXPECT_EQ(stats.slow_client_disconnects, 1u);
+    EXPECT_EQ(stats.closed, stats.accepted);
+    EXPECT_EQ(stats.active, 0u);  // the slot was reclaimed
+}
+
+TEST(Transport, ConnectionCapAnswersOverloadedInBand) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    TransportOptions options;
+    options.max_connections = 1;
+    TcpServer server(router, options);
+    TcpClient first("127.0.0.1", server.port());
+    first.send_line("{\"op\":\"ping\"}");
+    ASSERT_TRUE(first.recv_line().has_value());  // slot genuinely taken
+
+    TcpClient second("127.0.0.1", server.port());
+    auto reply = second.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("\"error\":\"overloaded\""), std::string::npos);
+    EXPECT_NE(reply->find("too many connections"), std::string::npos);
+    EXPECT_FALSE(second.recv_line(std::chrono::milliseconds{5000}).has_value());  // then EOF
+    server.shutdown();
+}
+
+TEST(Transport, IdleConnectionsAreReaped) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    TransportOptions options;
+    options.idle_timeout = std::chrono::milliseconds{50};
+    TcpServer server(router, options);
+    TcpClient client("127.0.0.1", server.port());
+    // Send nothing: the server should close us on its own.
+    EXPECT_FALSE(client.recv_line(std::chrono::milliseconds{10000}).has_value());
+    server.shutdown();
+    TransportStats stats = server.stats();
+    EXPECT_EQ(stats.idle_disconnects, 1u);
+    EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(Transport, PingReportsReplicasAndModelVersion) {
+    AmsRouter router(demo_factory(), router_options(3, 1));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+    client.send_line("{\"op\":\"ping\",\"id\":1}");
+    auto reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    auto json = parse_json(*reply);
+    ASSERT_TRUE(json.has_value());
+    EXPECT_EQ(json->find("proto")->as_uint(), static_cast<std::uint64_t>(kProtocolVersion));
+    EXPECT_EQ(json->find("replicas")->as_uint(), 3u);
+    EXPECT_EQ(json->find("model_version")->as_uint(), 0u);
+
+    router.update_model([](framework::AutonomousManagedSystem& ams) {
+        ams.representations().store(ams.model(), "bump");
+    });
+    client.send_line("{\"op\":\"ping\"}");
+    reply = client.recv_line();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_NE(reply->find("\"model_version\":1"), std::string::npos);
+    server.shutdown();
+}
+
+TEST(Transport, GracefulShutdownDrainsInFlightReplies) {
+    // Slow solves so requests are genuinely in flight when shutdown lands.
+    AmsRouter router(demo_factory(2, 50ms), router_options(1, 1, 64));
+    TcpServer server(router, TransportOptions{});
+    TcpClient client("127.0.0.1", server.port());
+    const std::size_t n = 3;
+    for (std::size_t i = 0; i < n; ++i) {
+        client.send_line("{\"id\":" + std::to_string(i) + ",\"decide\":\"do task_0\"}");
+    }
+    // Give the loop time to read and dispatch all three lines, then stop
+    // the server while the worker is still solving.
+    std::this_thread::sleep_for(30ms);
+    std::thread stopper([&server] { server.shutdown(); });
+    std::size_t replies = 0;
+    while (auto reply = client.recv_line()) {
+        EXPECT_NE(reply->find("\"id\":"), std::string::npos);
+        ++replies;
+    }
+    stopper.join();
+    EXPECT_EQ(replies, n);  // drain delivered every accepted decision
+    EXPECT_EQ(server.stats().active, 0u);
+}
+
+TEST(Transport, DispatchLineSharesStdinAndTcpSemantics) {
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    // Text mode: plain token line -> deferred outcome-name reply.
+    std::promise<std::string> text_reply;
+    DispatchResult r = dispatch_line(router, "do task_0", LineMode::Text, 0, {},
+                                     [&](std::string reply) { text_reply.set_value(reply); });
+    EXPECT_TRUE(r.deferred);
+    EXPECT_EQ(text_reply.get_future().get(), "Permit");
+    // Text mode still answers JSON lines with JSON (shared front door).
+    std::promise<std::string> json_reply;
+    r = dispatch_line(router, R"({"id":4,"decide":"do task_1"})", LineMode::Text, 0, {},
+                      [&](std::string reply) { json_reply.set_value(reply); });
+    EXPECT_TRUE(r.deferred);
+    EXPECT_NE(json_reply.get_future().get().find("\"id\":4"), std::string::npos);
+    // Json mode: a bare token line is a bad request, not a decision.
+    r = dispatch_line(router, "do task_0", LineMode::Json, 0, {}, [](std::string) {});
+    EXPECT_FALSE(r.deferred);
+    EXPECT_TRUE(r.bad_request);
+    // Control lines without a handler are rejected, not crashed.
+    r = dispatch_line(router, "!stats", LineMode::Json, 0, {}, [](std::string) {});
+    EXPECT_TRUE(r.bad_request);
+    EXPECT_NE(r.immediate.find("control lines are not enabled"), std::string::npos);
+    // Control lines with a handler get its reply verbatim.
+    r = dispatch_line(
+        router, "!stats", LineMode::Json, 0, [](std::string_view) { return "STATS"; },
+        [](std::string) {});
+    EXPECT_EQ(r.immediate, "STATS");
+    EXPECT_FALSE(r.bad_request);
+    router.drain();
 }
 
 }  // namespace
