@@ -13,19 +13,30 @@
 //   BENCH_SERVE_JSON {"rows":[{"transport":..,"threads":..,"cache":..,
 //                              "throughput_rps":..,"p50_us":..,"p95_us":..,
 //                              "p99_us":..,"hit_rate":..,"locks":{...}},...],
+//                     "exporter":{"baseline_rps":..,"scraped_rps":..,
+//                                 "overhead_pct":..,"scrapes":..},
 //                     "cache_speedup":..,"smoke":..}
 //
 // `cache_speedup` compares cache on vs off at the same thread count on the
 // repeated-request in-process workload; the CI smoke (`--smoke`) asserts
 // the line parses, the sweep ran, both transports are present, and the
-// per-lock wait stats are present.
+// per-lock wait stats are present. The `exporter` row replays the top
+// cache-on TCP configuration with a /metrics listener being scraped
+// concurrently; the exposition path budget is <3% throughput overhead
+// at a 1 s scrape interval (CI checks the row exists and scrapes ran —
+// the numeric bound is advisory, shared-runner noise exceeds it).
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "obs/export/http.hpp"
 #include "obs/lockprof.hpp"
+#include "srv/export.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/router.hpp"
 #include "srv/transport.hpp"
@@ -92,6 +103,79 @@ Row run_config_tcp(std::size_t threads, bool cache, std::size_t requests_per_cli
     row.report = srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct),
                                       load);
     row.locks = obs::locks().snapshot();
+    server.shutdown();
+    return row;
+}
+
+// Exporter overhead: the same loopback-TCP workload with a /metrics HTTP
+// listener attached to the router and a scraper pulling the full
+// Prometheus exposition every `scrape_interval`. Compared against an
+// unscraped baseline at the same configuration.
+struct ExporterRow {
+    double baseline_rps = 0;
+    double scraped_rps = 0;
+    double overhead_pct = 0;
+    std::size_t scrapes = 0;
+};
+
+ExporterRow run_exporter_overhead(std::size_t threads, std::size_t requests_per_client,
+                                  std::size_t distinct,
+                                  std::chrono::milliseconds scrape_interval) {
+    srv::RouterOptions options;
+    options.replicas = 1;
+    options.service.threads = threads;
+    options.service.use_cache = true;
+    srv::AmsRouter router(
+        [distinct] {
+            return std::make_unique<framework::AutonomousManagedSystem>(
+                srv::make_demo_ams(distinct));
+        },
+        options);
+    srv::TcpServer server(router, srv::TransportOptions{});
+
+    obs::HttpServerOptions http_options;
+    http_options.port = 0;
+    obs::HttpServer metrics_http(http_options, [&router](const obs::HttpRequest&) {
+        obs::HttpResponse response;
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = srv::serve_exposition_prometheus(router, false);
+        return response;
+    });
+
+    srv::LoadgenOptions load;
+    load.clients = threads;
+    load.requests_per_client = requests_per_client;
+
+    ExporterRow row;
+    // Warm the decision cache first so the baseline and scraped runs see
+    // the same hit rate — otherwise the comparison measures cache warm-up,
+    // not exporter cost.
+    srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load);
+    // Baseline: listener bound but never scraped.
+    row.baseline_rps =
+        srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load)
+            .throughput_rps;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> scrapes{0};
+    std::thread scraper([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            if (obs::http_get("127.0.0.1", metrics_http.port(), "/metrics").has_value()) {
+                scrapes.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::this_thread::sleep_for(scrape_interval);
+        }
+    });
+    row.scraped_rps =
+        srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load)
+            .throughput_rps;
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+    row.scrapes = scrapes.load();
+    row.overhead_pct = row.baseline_rps > 0
+                           ? (row.baseline_rps - row.scraped_rps) / row.baseline_rps * 100.0
+                           : 0;
+    metrics_http.shutdown();
     server.shutdown();
     return row;
 }
@@ -201,6 +285,17 @@ int main(int argc, char** argv) {
     double speedup = off_rps > 0 ? on_rps / off_rps : 0;
     std::printf("cache speedup at %zu threads: %.1fx\n", top, speedup);
 
+    // Exporter overhead at the top thread count, cache on. Smoke runs are
+    // far shorter than the production 1 s scrape interval, so scrape more
+    // often there to make sure the path is actually exercised.
+    ExporterRow exporter = run_exporter_overhead(
+        top, requests_per_client, distinct,
+        smoke ? std::chrono::milliseconds(10) : std::chrono::milliseconds(1000));
+    std::printf("exporter overhead at %zu threads: %.1f/s -> %.1f/s (%.1f%%, %zu scrapes,"
+                " budget <3%% at 1s interval)\n",
+                top, exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
+                exporter.scrapes);
+
     std::string json = "{\"rows\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
@@ -216,9 +311,13 @@ int main(int argc, char** argv) {
         json += locks_json(row);
         json += "}";
     }
-    char tail[96];
-    std::snprintf(tail, sizeof(tail), "],\"cache_speedup\":%.1f,\"smoke\":%s}", speedup,
-                  smoke ? "true" : "false");
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  "],\"exporter\":{\"baseline_rps\":%.1f,\"scraped_rps\":%.1f,"
+                  "\"overhead_pct\":%.1f,\"scrapes\":%zu},"
+                  "\"cache_speedup\":%.1f,\"smoke\":%s}",
+                  exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
+                  exporter.scrapes, speedup, smoke ? "true" : "false");
     json += tail;
     std::printf("BENCH_SERVE_JSON %s\n", json.c_str());
     return 0;

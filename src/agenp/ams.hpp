@@ -63,6 +63,9 @@ public:
         return monitor_.attach_feedback(decision_index, should_permit);
     }
 
+    // The PDP strategy this AMS decides with (fixed at construction).
+    [[nodiscard]] DecisionStrategy strategy() const { return pdp_.strategy(); }
+
     PolicyEnforcementPoint& pep() { return pep_; }
     [[nodiscard]] const DecisionMonitor& monitor() const { return monitor_; }
     DecisionMonitor& monitor() { return monitor_; }

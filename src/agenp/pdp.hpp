@@ -96,6 +96,11 @@ enum class DecisionStrategy {
     Membership,  // permitted iff the request is in L(model(context))
 };
 
+// Stable lowercase name, as reported in audit-log entries and stats.
+constexpr const char* strategy_name(DecisionStrategy s) {
+    return s == DecisionStrategy::Repository ? "repository" : "membership";
+}
+
 class PolicyDecisionPoint {
 public:
     PolicyDecisionPoint(DecisionStrategy strategy, asg::MembershipOptions options = {})

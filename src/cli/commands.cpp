@@ -24,9 +24,13 @@
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/export/http.hpp"
+#include "obs/export/push.hpp"
 #include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "srv/audit.hpp"
+#include "srv/export.hpp"
 #include "srv/flight.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/router.hpp"
@@ -326,51 +330,6 @@ int cmd_quickstart(std::ostream& out) {
 
 namespace {
 
-// One-line JSON for `!stats` and the periodic reporter. The top-level
-// keys are the same as in the single-service days (now summed over
-// replicas) so existing consumers keep parsing; router routing detail,
-// per-replica rows, and — when serving TCP — transport counters ride
-// along under new keys.
-std::string serve_stats_json(const srv::AmsRouter& router, const srv::TcpServer* server) {
-    srv::RouterStats rs = router.snapshot_stats();
-    const srv::ServiceStats& stats = rs.total;
-    std::string out = "{";
-    out += "\"submitted\":" + std::to_string(stats.submitted);
-    out += ",\"completed\":" + std::to_string(stats.completed);
-    out += ",\"permitted\":" + std::to_string(stats.permitted);
-    out += ",\"denied\":" + std::to_string(stats.denied);
-    out += ",\"overloaded\":" + std::to_string(stats.rejected_overload);
-    out += ",\"expired\":" + std::to_string(stats.expired);
-    out += ",\"queue_depth\":" + std::to_string(stats.queue_depth);
-    out += ",\"traces_captured\":" + std::to_string(stats.traces_captured);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.3f", stats.cache.hit_rate());
-    out += ",\"cache\":{\"hits\":" + std::to_string(stats.cache.hits) +
-           ",\"misses\":" + std::to_string(stats.cache.misses) + ",\"hit_rate\":" + buf +
-           ",\"entries\":" + std::to_string(stats.cache.entries) +
-           ",\"bytes\":" + std::to_string(stats.cache.bytes) +
-           ",\"evictions\":" + std::to_string(stats.cache.evictions) +
-           ",\"invalidations\":" + std::to_string(stats.cache.invalidations) + "}";
-    out += ",\"locks\":" + obs::locks().render_json();
-    out += ",\"model_version\":" + std::to_string(rs.model_version);
-    out += rs.versions_agree ? ",\"versions_agree\":true" : ",\"versions_agree\":false";
-    out += ",\"routed\":{\"affinity\":" + std::to_string(rs.routed_affinity) +
-           ",\"fallback\":" + std::to_string(rs.routed_fallback) + "}";
-    out += ",\"replicas\":[";
-    for (std::size_t i = 0; i < rs.replicas.size(); ++i) {
-        const srv::ReplicaStats& replica = rs.replicas[i];
-        if (i > 0) out += ",";
-        out += "{\"queue_depth\":" + std::to_string(replica.queue_depth) +
-               ",\"model_version\":" + std::to_string(replica.model_version) +
-               ",\"submitted\":" + std::to_string(replica.service.submitted) +
-               ",\"completed\":" + std::to_string(replica.service.completed) + "}";
-    }
-    out += "]";
-    if (server != nullptr) out += ",\"conn\":" + srv::transport_stats_json(server->stats());
-    out += "}";
-    return out;
-}
-
 // Handles one '!'-prefixed serve control line (stdin or TCP); returns the
 // reply, possibly multi-line, without a trailing newline.
 std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
@@ -378,7 +337,7 @@ std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
     auto words = util::split_ws(std::string(line));
     const std::string& command = words[0];
     if (command == "!stats") {
-        return "SERVE_STATS_JSON " + serve_stats_json(router, server);
+        return "SERVE_STATS_JSON " + srv::serve_stats_json(router, server);
     }
     if (command == "!flight") {
         std::string json = "[";
@@ -425,6 +384,17 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     // Surface grammar syntax errors once, before any replica spins up.
     (void)asg::AnswerSetGrammar::parse(grammar_text);
 
+    // The audit log outlives the router: every replica's service holds a
+    // pointer to it and records through finish() until the router stops.
+    std::unique_ptr<srv::AuditLog> audit;
+    if (!cli.audit_path.empty()) {
+        srv::AuditOptions audit_options;
+        audit_options.path = cli.audit_path;
+        if (cli.audit_max_mb > 0) audit_options.max_bytes = std::uint64_t{cli.audit_max_mb} << 20;
+        audit_options.sample_every = cli.audit_sample;
+        audit = std::make_unique<srv::AuditLog>(audit_options);
+    }
+
     srv::RouterOptions router_options;
     router_options.replicas = cli.replicas;
     router_options.service.threads = cli.threads;
@@ -432,6 +402,7 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     if (cli.cache_mb > 0) router_options.service.cache.capacity_bytes = cli.cache_mb << 20;
     router_options.service.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
     router_options.service.trace.sample_every = cli.trace_sample;
+    router_options.service.audit = audit.get();
 
     // Every replica parses its own AMS from the same text: replicas share
     // no mutable state, so they only stay version-aligned through the
@@ -445,9 +416,13 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         },
         router_options);
 
-    const srv::TcpServer* server_ptr = nullptr;
+    // Written by the listen branch once the TCP server exists; read by the
+    // control handler, the reporter, and the metrics HTTP handler — all of
+    // which may run on other threads.
+    std::atomic<const srv::TcpServer*> server_ptr{nullptr};
+    std::atomic<bool> draining{false};
     auto control = [&router, &server_ptr](std::string_view line) {
-        return handle_control_line(line, router, server_ptr);
+        return handle_control_line(line, router, server_ptr.load(std::memory_order_acquire));
     };
 
     // The reporter thread and the request loop share `out`.
@@ -461,11 +436,65 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             std::unique_lock lock(reporter_mu);
             while (!reporter_cv.wait_for(lock, std::chrono::seconds(cli.stats_every_s),
                                          [&] { return reporter_stop; })) {
-                std::string json = serve_stats_json(router, server_ptr);
+                std::string json = srv::serve_stats_json(
+                    router, server_ptr.load(std::memory_order_acquire));
                 std::lock_guard out_lock(out_mu);
                 out << "SERVE_STATS_JSON " << json << "\n" << std::flush;
             }
         });
+    }
+
+    // HTTP telemetry surface (--metrics-listen): /metrics (Prometheus),
+    // /healthz (503 while draining), /statz (SERVE_STATS_JSON body). Stays
+    // up through the NDJSON drain so scrapers see the drain happen.
+    std::unique_ptr<obs::HttpServer> metrics_http;
+    if (cli.metrics_listen) {
+        obs::HttpServerOptions http_options;
+        http_options.port = cli.metrics_listen_port;
+        metrics_http = std::make_unique<obs::HttpServer>(
+            http_options, [&router, &server_ptr, &draining](const obs::HttpRequest& request) {
+                obs::HttpResponse response;
+                if (request.path == "/metrics") {
+                    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                    response.body = srv::serve_exposition_prometheus(
+                        router, draining.load(std::memory_order_acquire));
+                } else if (request.path == "/healthz") {
+                    bool is_draining = draining.load(std::memory_order_acquire);
+                    response.status = is_draining ? 503 : 200;
+                    response.content_type = "application/json";
+                    response.body = srv::healthz_json(router, is_draining) + "\n";
+                } else if (request.path == "/statz") {
+                    response.content_type = "application/json";
+                    response.body =
+                        srv::serve_stats_json(router,
+                                              server_ptr.load(std::memory_order_acquire)) +
+                        "\n";
+                } else {
+                    response.status = 404;
+                    response.body = "not found (try /metrics, /healthz, /statz)\n";
+                }
+                return response;
+            });
+        if (cli.metrics_announce_port != nullptr) {
+            cli.metrics_announce_port->store(metrics_http->port());
+        }
+        std::lock_guard out_lock(out_mu);
+        out << "AGENP_METRICS_LISTENING port=" << metrics_http->port() << "\n" << std::flush;
+    }
+
+    // Graphite push (--metrics-push HOST:PORT --metrics-every S): same
+    // enumerator as /metrics, rendered as plaintext lines.
+    std::unique_ptr<obs::GraphitePusher> pusher;
+    if (!cli.metrics_push_host.empty()) {
+        obs::PushOptions push_options;
+        push_options.host = cli.metrics_push_host;
+        push_options.port = cli.metrics_push_port;
+        push_options.interval = std::chrono::seconds(cli.metrics_every_s);
+        pusher = std::make_unique<obs::GraphitePusher>(
+            push_options, [&router, &draining](std::time_t now) {
+                return srv::serve_exposition_graphite(
+                    router, draining.load(std::memory_order_acquire), "agenp", now);
+            });
     }
     auto stop_reporter = [&] {
         if (reporter.joinable()) {
@@ -497,7 +526,7 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         srv::TransportOptions transport;
         transport.port = cli.listen_port;
         srv::TcpServer server(router, transport, control);
-        server_ptr = &server;
+        server_ptr.store(&server, std::memory_order_release);
         if (cli.announce_port != nullptr) cli.announce_port->store(server.port());
         {
             std::lock_guard out_lock(out_mu);
@@ -527,13 +556,23 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             ::close(pipe_fds[0]);
             ::close(pipe_fds[1]);
         }
+        // Mark draining first so /healthz flips to 503 and the last
+        // scrapes see srv.draining=1 while the NDJSON listener drains.
+        draining.store(true, std::memory_order_release);
         server.shutdown();
         stop_reporter();
         srv::RouterStats rs = router.snapshot_stats();
         served = rs.total.completed + rs.total.rejected_overload + rs.total.expired;
-        std::lock_guard out_lock(out_mu);
-        out << "SERVE_STATS_JSON " << serve_stats_json(router, &server) << "\n";
-        print_summary(served);
+        {
+            std::lock_guard out_lock(out_mu);
+            out << "SERVE_STATS_JSON " << srv::serve_stats_json(router, &server) << "\n";
+            print_summary(served);
+        }
+        // Stop the exporters before `server` leaves scope: the /statz
+        // handler reads server_ptr, so it must be quiesced first.
+        pusher.reset();
+        metrics_http.reset();
+        server_ptr.store(nullptr, std::memory_order_release);
         return 0;
     }
 
@@ -555,8 +594,11 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             out << reply << "\n";
         }
     }
+    draining.store(true, std::memory_order_release);
     router.drain();
     stop_reporter();
+    pusher.reset();
+    metrics_http.reset();
     print_summary(served);
     return 0;
 }
@@ -755,11 +797,32 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
                 serve.listen_port = static_cast<std::uint16_t>(std::stoul(listen_port));
             }
             serve.replicas = std::stoull(take_flag(args, "--replicas", "1"));
+            auto metrics_port = take_flag(args, "--metrics-listen", "");
+            if (!metrics_port.empty()) {
+                serve.metrics_listen = true;
+                serve.metrics_listen_port = static_cast<std::uint16_t>(std::stoul(metrics_port));
+            }
+            auto push = take_flag(args, "--metrics-push", "");
+            if (!push.empty()) {
+                auto colon = push.rfind(':');
+                if (colon == std::string::npos || colon == 0 || colon + 1 == push.size()) {
+                    throw CliError("--metrics-push expects HOST:PORT");
+                }
+                serve.metrics_push_host = push.substr(0, colon);
+                serve.metrics_push_port =
+                    static_cast<std::uint16_t>(std::stoul(push.substr(colon + 1)));
+            }
+            serve.metrics_every_s = std::stoull(take_flag(args, "--metrics-every", "10"));
+            serve.audit_path = take_flag(args, "--audit-log", "");
+            serve.audit_max_mb = std::stoull(take_flag(args, "--audit-max-mb", "64"));
+            serve.audit_sample = std::stoull(take_flag(args, "--audit-sample", "1"));
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
                     "[--cache-mb M] [--no-cache] [--trace-slow-ms MS] [--trace-sample N] "
-                    "[--stats-every SEC] [--listen PORT] [--replicas N]");
+                    "[--stats-every SEC] [--listen PORT] [--replicas N] "
+                    "[--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC] "
+                    "[--audit-log FILE] [--audit-max-mb M] [--audit-sample N]");
             }
             serve.grammar_path = args[0];
             return cmd_serve(serve, std::cin, out);

@@ -9,6 +9,8 @@
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
 //               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
 //               [--listen PORT] [--replicas N]
+//               [--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC]
+//               [--audit-log FILE] [--audit-max-mb M] [--audit-sample N]
 //   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
 //                 [--cache-mb M] [--no-cache] [--connect HOST:PORT]
 //
@@ -113,12 +115,33 @@ struct ServeCliOptions {
     bool listen = false;
     std::uint16_t listen_port = 0;
     std::size_t replicas = 1;  // AMS replicas behind the AmsRouter
+    // HTTP telemetry surface (--metrics-listen): GET /metrics serves the
+    // Prometheus text exposition, /healthz liveness + drain state (503
+    // while draining), /statz the SERVE_STATS_JSON body. Port 0 binds an
+    // ephemeral port, printed on the `AGENP_METRICS_LISTENING port=N`
+    // line. Works in both stdin and listen mode.
+    bool metrics_listen = false;
+    std::uint16_t metrics_listen_port = 0;
+    // Graphite push mode (--metrics-push HOST:PORT): renders the same
+    // exposition as plaintext `path value timestamp` lines every
+    // `metrics_every_s` seconds.
+    std::string metrics_push_host;
+    std::uint16_t metrics_push_port = 0;
+    std::size_t metrics_every_s = 10;
+    // Decision audit log (--audit-log FILE): NDJSON, one line per finished
+    // request, rotated to FILE.1 when audit_max_mb is crossed;
+    // audit_sample = N keeps every Nth entry.
+    std::string audit_path;
+    std::size_t audit_max_mb = 64;
+    std::size_t audit_sample = 1;
     // Test hooks. `shutdown_fd`: in listen mode, poll this descriptor
     // instead of installing SIGTERM/SIGINT handlers — one readable byte
     // (or EOF) triggers the graceful drain. `announce_port`: when set,
-    // the bound port is also published here.
+    // the bound port is also published here; `metrics_announce_port`
+    // likewise for the metrics HTTP port.
     int shutdown_fd = -1;
     std::atomic<std::uint16_t>* announce_port = nullptr;
+    std::atomic<std::uint16_t>* metrics_announce_port = nullptr;
 };
 
 // PDP-as-a-service. Stdin mode (default): one request per line in, one

@@ -1,0 +1,447 @@
+#include "obs/export/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace agenp::obs {
+
+namespace {
+
+void set_nonblocking(int fd) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+const char* status_text(int status) {
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 503: return "Service Unavailable";
+        default: return "Status";
+    }
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string_view trim_sp(std::string_view s) {
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+        s.remove_suffix(1);
+    }
+    return s;
+}
+
+std::string render_response(const HttpResponse& response, bool keep_alive) {
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      status_text(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+    out += "\r\n";
+    out += response.body;
+    return out;
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+    HttpServerOptions options;
+    HttpHandler handler;
+
+    int listen_fd = -1;
+    int wake_r = -1;
+    int wake_w = -1;
+    std::uint16_t port = 0;
+    std::thread loop;
+    std::atomic<bool> stopping{false};
+    std::mutex shutdown_mu;
+    bool shut_down = false;
+
+    struct Connection {
+        int fd = -1;
+        std::string read_buf;
+        std::string write_buf;
+        std::chrono::steady_clock::time_point last_activity;
+        bool close_after_flush = false;
+    };
+    std::vector<Connection> conns;  // loop thread only
+
+    Impl(HttpServerOptions options_in, HttpHandler handler_in)
+        : options(std::move(options_in)), handler(std::move(handler_in)) {
+        if (options.max_connections == 0) options.max_connections = 1;
+        if (options.max_header_bytes == 0) options.max_header_bytes = 1024;
+    }
+
+    ~Impl() {
+        if (listen_fd >= 0) ::close(listen_fd);
+        if (wake_r >= 0) ::close(wake_r);
+        if (wake_w >= 0) ::close(wake_w);
+    }
+
+    void open_listener() {
+        listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd < 0) throw std::runtime_error("socket: " + std::string(strerror(errno)));
+        int one = 1;
+        ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(options.port);
+        if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+            throw std::runtime_error("bad metrics bind address: " + options.bind_address);
+        }
+        if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            throw std::runtime_error("bind " + options.bind_address + ":" +
+                                     std::to_string(options.port) + ": " + strerror(errno));
+        }
+        if (::listen(listen_fd, 16) != 0) {
+            throw std::runtime_error("listen: " + std::string(strerror(errno)));
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof bound;
+        ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+        port = ntohs(bound.sin_port);
+        set_nonblocking(listen_fd);
+
+        int pipefd[2];
+        if (::pipe(pipefd) != 0) throw std::runtime_error("pipe: " + std::string(strerror(errno)));
+        wake_r = pipefd[0];
+        wake_w = pipefd[1];
+        set_nonblocking(wake_r);
+        set_nonblocking(wake_w);
+    }
+
+    void wake() {
+        char b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_w, &b, 1);
+    }
+
+    void close_conn(Connection& conn) {
+        if (conn.fd < 0) return;
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+
+    void reap() {
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const Connection& c) { return c.fd < 0; }),
+                    conns.end());
+    }
+
+    void respond(Connection& conn, const HttpResponse& response, bool keep_alive) {
+        conn.write_buf += render_response(response, keep_alive);
+        if (!keep_alive) conn.close_after_flush = true;
+    }
+
+    // Parses and answers every complete request in the read buffer.
+    // Returns false when the connection should stop reading (error).
+    void process_requests(Connection& conn) {
+        while (conn.fd >= 0 && !conn.close_after_flush) {
+            std::size_t end = conn.read_buf.find("\r\n\r\n");
+            std::size_t skip = 4;
+            if (end == std::string::npos) {
+                end = conn.read_buf.find("\n\n");
+                skip = 2;
+            }
+            if (end == std::string::npos) {
+                if (conn.read_buf.size() > options.max_header_bytes) {
+                    respond(conn, {400, "text/plain; charset=utf-8", "header too large\n"},
+                            false);
+                }
+                return;
+            }
+            std::string head = conn.read_buf.substr(0, end);
+            conn.read_buf.erase(0, end + skip);
+
+            // Request line: METHOD SP TARGET SP HTTP/1.x
+            std::size_t line_end = head.find('\n');
+            std::string_view request_line(head);
+            if (line_end != std::string::npos) request_line = request_line.substr(0, line_end);
+            request_line = trim_sp(request_line);
+            std::size_t sp1 = request_line.find(' ');
+            std::size_t sp2 = sp1 == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : request_line.find(' ', sp1 + 1);
+            if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+                respond(conn, {400, "text/plain; charset=utf-8", "malformed request line\n"},
+                        false);
+                return;
+            }
+            HttpRequest request;
+            request.method = std::string(request_line.substr(0, sp1));
+            std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+            std::string_view version = trim_sp(request_line.substr(sp2 + 1));
+            if (std::size_t q = target.find('?'); q != std::string_view::npos) {
+                target = target.substr(0, q);
+            }
+            request.path = std::string(target);
+
+            // HTTP/1.1 defaults to keep-alive; 1.0 and `Connection: close`
+            // close after the response.
+            bool keep_alive = version == "HTTP/1.1";
+            std::string_view rest(head);
+            if (line_end != std::string::npos) rest = rest.substr(line_end + 1);
+            while (!rest.empty()) {
+                std::size_t nl = rest.find('\n');
+                std::string_view line = nl == std::string_view::npos ? rest : rest.substr(0, nl);
+                rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+                std::size_t colon = line.find(':');
+                if (colon == std::string_view::npos) continue;
+                std::string_view key = trim_sp(line.substr(0, colon));
+                std::string_view value = trim_sp(line.substr(colon + 1));
+                if (iequals(key, "connection")) {
+                    if (iequals(value, "close")) keep_alive = false;
+                    if (iequals(value, "keep-alive")) keep_alive = true;
+                }
+            }
+
+            if (request.method != "GET") {
+                respond(conn, {405, "text/plain; charset=utf-8", "only GET is supported\n"},
+                        keep_alive);
+                continue;
+            }
+            respond(conn, handler(request), keep_alive);
+        }
+    }
+
+    void read_from(Connection& conn) {
+        char buf[4096];
+        while (conn.fd >= 0) {
+            ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+            if (n > 0) {
+                conn.last_activity = std::chrono::steady_clock::now();
+                conn.read_buf.append(buf, static_cast<std::size_t>(n));
+                process_requests(conn);
+                if (static_cast<std::size_t>(n) < sizeof buf) return;
+                continue;
+            }
+            if (n == 0) {  // client closed; flush whatever is queued, then close
+                conn.close_after_flush = true;
+                return;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            close_conn(conn);
+            return;
+        }
+    }
+
+    void flush(Connection& conn) {
+        while (conn.fd >= 0 && !conn.write_buf.empty()) {
+            ssize_t n = ::send(conn.fd, conn.write_buf.data(), conn.write_buf.size(),
+                               MSG_NOSIGNAL);
+            if (n > 0) {
+                conn.write_buf.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (errno == EINTR) continue;
+            close_conn(conn);
+            return;
+        }
+        if (conn.fd >= 0 && conn.close_after_flush && conn.write_buf.empty()) close_conn(conn);
+    }
+
+    void accept_new() {
+        while (true) {
+            int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR) continue;
+                return;
+            }
+            if (conns.size() >= options.max_connections) {
+                ::close(fd);
+                continue;
+            }
+            set_nonblocking(fd);
+            Connection conn;
+            conn.fd = fd;
+            conn.last_activity = std::chrono::steady_clock::now();
+            conns.push_back(std::move(conn));
+        }
+    }
+
+    void check_idle() {
+        if (options.idle_timeout.count() <= 0) return;
+        auto now = std::chrono::steady_clock::now();
+        for (Connection& conn : conns) {
+            if (conn.fd < 0 || !conn.write_buf.empty()) continue;
+            if (now - conn.last_activity >= options.idle_timeout) close_conn(conn);
+        }
+    }
+
+    void run() {
+        std::vector<pollfd> pfds;
+        std::vector<std::size_t> polled;
+        while (!stopping.load(std::memory_order_acquire)) {
+            pfds.clear();
+            polled.clear();
+            pfds.push_back({wake_r, POLLIN, 0});
+            pfds.push_back({listen_fd, POLLIN, 0});
+            for (std::size_t i = 0; i < conns.size(); ++i) {
+                if (conns[i].fd < 0) continue;
+                short events = POLLIN;
+                if (!conns[i].write_buf.empty()) events |= POLLOUT;
+                pfds.push_back({conns[i].fd, events, 0});
+                polled.push_back(i);
+            }
+            int timeout = options.idle_timeout.count() > 0 ? 1000 : -1;
+            int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout);
+            if (rc < 0 && errno != EINTR) break;
+            if (pfds[0].revents != 0) {
+                char buf[64];
+                while (::read(wake_r, buf, sizeof buf) > 0) {
+                }
+            }
+            if (pfds[1].revents != 0) accept_new();
+            for (std::size_t i = 2; i < pfds.size(); ++i) {
+                Connection& conn = conns[polled[i - 2]];
+                if (conn.fd < 0) continue;
+                if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_from(conn);
+                if (conn.fd >= 0) flush(conn);
+            }
+            check_idle();
+            reap();
+        }
+        for (Connection& conn : conns) close_conn(conn);
+        reap();
+    }
+};
+
+HttpServer::HttpServer(HttpServerOptions options, HttpHandler handler)
+    : impl_(std::make_unique<Impl>(std::move(options), std::move(handler))) {
+    impl_->open_listener();
+    port_ = impl_->port;
+    impl_->loop = std::thread([impl = impl_.get()] { impl->run(); });
+}
+
+HttpServer::~HttpServer() { shutdown(); }
+
+void HttpServer::shutdown() {
+    if (impl_ == nullptr) return;
+    std::lock_guard lock(impl_->shutdown_mu);
+    if (impl_->shut_down) return;
+    impl_->shut_down = true;
+    impl_->stopping.store(true, std::memory_order_release);
+    impl_->wake();
+    if (impl_->loop.joinable()) impl_->loop.join();
+}
+
+std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
+                                   const std::string& path, std::chrono::milliseconds timeout) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    std::string service = std::to_string(port);
+    if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0) return std::nullopt;
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) return std::nullopt;
+
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    std::string raw;
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (true) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+        pollfd pfd{fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(remaining, 60000)));
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (rc == 0) break;
+        char buf[4096];
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n > 0) {
+            raw.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        break;  // EOF or error: the response is complete (Connection: close)
+    }
+    ::close(fd);
+
+    std::size_t head_end = raw.find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (head_end == std::string::npos) {
+        head_end = raw.find("\n\n");
+        skip = 2;
+    }
+    if (head_end == std::string::npos) return std::nullopt;
+    std::string head = raw.substr(0, head_end);
+
+    HttpResult result;
+    // Status line: HTTP/1.1 NNN Reason
+    std::size_t sp = head.find(' ');
+    if (sp == std::string::npos || sp + 4 > head.size()) return std::nullopt;
+    result.status = std::atoi(head.c_str() + sp + 1);
+    if (result.status < 100 || result.status > 599) return std::nullopt;
+    std::size_t line_start = head.find('\n');
+    while (line_start != std::string::npos && line_start + 1 < head.size()) {
+        std::size_t line_end = head.find('\n', line_start + 1);
+        std::string_view line(head.data() + line_start + 1,
+                              (line_end == std::string::npos ? head.size() : line_end) -
+                                  line_start - 1);
+        std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+            std::string_view key = trim_sp(line.substr(0, colon));
+            if (iequals(key, "content-type")) {
+                result.content_type = std::string(trim_sp(line.substr(colon + 1)));
+            }
+        }
+        line_start = line_end;
+    }
+    result.body = raw.substr(head_end + skip);
+    return result;
+}
+
+}  // namespace agenp::obs

@@ -1,0 +1,84 @@
+#include "obs/export/push.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace agenp::obs {
+
+GraphitePusher::GraphitePusher(PushOptions options,
+                               std::function<std::string(std::time_t)> render)
+    : options_(std::move(options)), render_(std::move(render)) {
+    if (options_.interval.count() <= 0) options_.interval = std::chrono::seconds{1};
+    thread_ = std::thread([this] { run(); });
+}
+
+GraphitePusher::~GraphitePusher() { stop(); }
+
+void GraphitePusher::stop() {
+    {
+        std::lock_guard lock(mutex_);
+        if (stopping_) return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+}
+
+void GraphitePusher::run() {
+    // Push immediately on startup (metrics appear without waiting out the
+    // first interval), then once per interval until stopped.
+    std::unique_lock lock(mutex_);
+    while (!stopping_) {
+        lock.unlock();
+        if (push_once()) {
+            pushes_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+        lock.lock();
+        if (cv_.wait_for(lock, options_.interval, [this] { return stopping_; })) break;
+    }
+}
+
+bool GraphitePusher::push_once() {
+    std::string payload = render_(std::time(nullptr));
+    if (payload.empty()) return true;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    std::string service = std::to_string(options_.port);
+    if (::getaddrinfo(options_.host.c_str(), service.c_str(), &hints, &res) != 0) return false;
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) return false;
+
+    bool ok = true;
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        ok = false;
+        break;
+    }
+    ::close(fd);
+    return ok;
+}
+
+}  // namespace agenp::obs

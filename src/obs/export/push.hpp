@@ -1,0 +1,65 @@
+// Graphite-style push exporter: a background thread that renders the
+// current exposition every interval and writes it to `host:port` over a
+// short-lived TCP connection (graphite plaintext protocol — one
+// `path value timestamp` line per sample). The pull (`/metrics`) and push
+// paths share the same Exposition enumerator, so both report identical
+// samples; push exists for fleets whose collectors cannot scrape.
+//
+// Failures are counted, never fatal: an unreachable collector costs one
+// connect attempt per interval and the serve loop never notices.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <ctime>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace agenp::obs {
+
+struct PushOptions {
+    std::string host;
+    std::uint16_t port = 0;
+    std::chrono::seconds interval{10};
+};
+
+class GraphitePusher {
+public:
+    // `render(now)` returns the full plaintext payload for one push
+    // (typically Exposition::graphite with the same enumeration the
+    // /metrics handler uses). Called on the pusher thread.
+    GraphitePusher(PushOptions options, std::function<std::string(std::time_t)> render);
+    ~GraphitePusher();  // implies stop()
+
+    GraphitePusher(const GraphitePusher&) = delete;
+    GraphitePusher& operator=(const GraphitePusher&) = delete;
+
+    // Stops the thread after at most one in-flight push. Idempotent.
+    void stop();
+
+    [[nodiscard]] std::uint64_t pushes() const {
+        return pushes_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t failures() const {
+        return failures_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void run();
+    bool push_once();
+
+    PushOptions options_;
+    std::function<std::string(std::time_t)> render_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::atomic<std::uint64_t> pushes_{0};
+    std::atomic<std::uint64_t> failures_{0};
+    std::thread thread_;
+};
+
+}  // namespace agenp::obs

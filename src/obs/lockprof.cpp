@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdio>
 #include <map>
+
+#include "obs/metrics.hpp"
 
 namespace agenp::obs {
 
@@ -37,6 +40,9 @@ LockRegistry::LockRegistry() : impl_(new Impl) {}
 LockRegistry::~LockRegistry() { delete impl_; }
 
 LockStats& LockRegistry::get(std::string_view name) {
+    // Lock names surface as `lock` label values in the metrics exposition;
+    // keep them to the registry naming grammar so exporters never escape.
+    assert(valid_metric_name(name));
     std::lock_guard lock(impl_->mutex);
     auto it = impl_->stats.find(name);
     if (it == impl_->stats.end()) {

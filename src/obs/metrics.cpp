@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <map>
@@ -123,6 +124,109 @@ double Histogram::Snapshot::quantile(double q) const {
     return static_cast<double>(max);
 }
 
+// --- metric naming ----------------------------------------------------------
+
+namespace {
+
+bool is_name_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_name_char(char c) { return is_name_start(c) || (c >= '0' && c <= '9'); }
+
+}  // namespace
+
+bool valid_metric_name(std::string_view name) {
+    if (name.empty()) return false;
+    bool segment_start = true;
+    for (char c : name) {
+        if (c == '.') {
+            if (segment_start) return false;  // empty segment ("..", leading dot)
+            segment_start = true;
+            continue;
+        }
+        if (segment_start ? !is_name_start(c) : !is_name_char(c)) return false;
+        segment_start = false;
+    }
+    return !segment_start;  // no trailing dot
+}
+
+bool valid_label_key(std::string_view key) {
+    if (key.empty() || !is_name_start(key.front())) return false;
+    for (char c : key.substr(1)) {
+        if (!is_name_char(c)) return false;
+    }
+    return true;
+}
+
+std::string metric_key(std::string_view name, const MetricLabels& labels) {
+    assert(valid_metric_name(name));
+    std::string out(name);
+    if (labels.empty()) return out;
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        assert(valid_label_key(key));
+        if (!first) out += ',';
+        out += key;
+        out += "=\"";
+        out += json_escape(value);
+        out += '"';
+        first = false;
+    }
+    out += '}';
+    return out;
+}
+
+bool parse_metric_key(std::string_view key, std::string* name, MetricLabels* labels) {
+    if (name != nullptr) name->clear();
+    if (labels != nullptr) labels->clear();
+    std::size_t brace = key.find('{');
+    std::string_view base = key.substr(0, brace);
+    if (!valid_metric_name(base)) return false;
+    if (name != nullptr) name->assign(base);
+    if (brace == std::string_view::npos) return true;
+    if (key.back() != '}') return false;
+    std::string_view body = key.substr(brace + 1, key.size() - brace - 2);
+    while (!body.empty()) {
+        std::size_t eq = body.find("=\"");
+        if (eq == std::string_view::npos) return false;
+        std::string_view label_key = body.substr(0, eq);
+        if (!valid_label_key(label_key)) return false;
+        body.remove_prefix(eq + 2);
+        std::string value;
+        bool closed = false;
+        while (!body.empty()) {
+            char c = body.front();
+            body.remove_prefix(1);
+            if (c == '"') {
+                closed = true;
+                break;
+            }
+            if (c == '\\' && !body.empty()) {
+                char esc = body.front();
+                body.remove_prefix(1);
+                switch (esc) {
+                    case 'n': value += '\n'; break;
+                    case 'r': value += '\r'; break;
+                    case 't': value += '\t'; break;
+                    default: value += esc; break;  // \" and \\ (and passthrough)
+                }
+                continue;
+            }
+            value += c;
+        }
+        if (!closed) return false;
+        if (labels != nullptr) labels->emplace_back(std::string(label_key), std::move(value));
+        if (!body.empty()) {
+            if (body.front() != ',') return false;
+            body.remove_prefix(1);
+            if (body.empty()) return false;  // trailing comma
+        }
+    }
+    return true;
+}
+
 // --- MetricsRegistry --------------------------------------------------------
 
 struct MetricsRegistry::Impl {
@@ -137,6 +241,7 @@ MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
 MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+    assert(valid_metric_name(name));
     std::lock_guard lock(impl_->mutex);
     auto it = impl_->counters.find(name);
     if (it == impl_->counters.end()) {
@@ -146,6 +251,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+    assert(valid_metric_name(name));
     std::lock_guard lock(impl_->mutex);
     auto it = impl_->gauges.find(name);
     if (it == impl_->gauges.end()) {
@@ -155,11 +261,36 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
+    assert(valid_metric_name(name));
     std::lock_guard lock(impl_->mutex);
     auto it = impl_->histograms.find(name);
     if (it == impl_->histograms.end()) {
         it = impl_->histograms.try_emplace(std::string(name)).first;
     }
+    return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const MetricLabels& labels) {
+    std::string key = metric_key(name, labels);
+    std::lock_guard lock(impl_->mutex);
+    auto it = impl_->counters.find(key);
+    if (it == impl_->counters.end()) it = impl_->counters.try_emplace(std::move(key)).first;
+    return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const MetricLabels& labels) {
+    std::string key = metric_key(name, labels);
+    std::lock_guard lock(impl_->mutex);
+    auto it = impl_->gauges.find(key);
+    if (it == impl_->gauges.end()) it = impl_->gauges.try_emplace(std::move(key)).first;
+    return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, const MetricLabels& labels) {
+    std::string key = metric_key(name, labels);
+    std::lock_guard lock(impl_->mutex);
+    auto it = impl_->histograms.find(key);
+    if (it == impl_->histograms.end()) it = impl_->histograms.try_emplace(std::move(key)).first;
     return it->second;
 }
 

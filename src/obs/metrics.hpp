@@ -15,13 +15,16 @@
 //
 // Conventions: metric names are dot-separated (`asp.solver.decisions`);
 // histograms that record durations carry a `_us` suffix and observe
-// microseconds.
+// microseconds. Per-instance dimensions (replica, shard, lock) are labels,
+// not name segments, so exporters can aggregate across them — see
+// metric_key() and the labeled registry overloads.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace agenp::obs {
@@ -88,7 +91,34 @@ private:
     std::atomic<std::uint64_t> buckets_[kBuckets]{};
 };
 
+// --- metric naming ----------------------------------------------------------
+//
+// A registry base name is dot-separated lowercase segments:
+//   name     = segment *("." segment)
+//   segment  = [a-zA-Z_][a-zA-Z0-9_]*
+// Mapping dots to underscores therefore always yields a name valid under
+// Prometheus rules ([a-zA-Z_:][a-zA-Z0-9_:]*). Registration asserts this
+// in debug builds; exporters rely on it.
+bool valid_metric_name(std::string_view name);
+
+// Label keys follow the Prometheus label grammar [a-zA-Z_][a-zA-Z0-9_]*.
+bool valid_label_key(std::string_view key);
+
+// One metric dimension, e.g. {"replica", "0"} or {"lock", "srv.model"}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Canonical registry key for a (name, labels) pair:
+//   srv.router.queue_depth{replica="0"}
+// Unlabeled metrics use the bare name. Label values are escaped like JSON
+// strings (\" \\ \n), so the encoding round-trips.
+std::string metric_key(std::string_view name, const MetricLabels& labels);
+
+// Splits a registry key back into base name and labels (the exporter's
+// enumeration path). Returns false when `key` is not a valid encoding.
+bool parse_metric_key(std::string_view key, std::string* name, MetricLabels* labels);
+
 struct MetricsSnapshot {
+    // Keys are metric_key() encodings: base name plus optional {labels}.
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, std::int64_t>> gauges;
     std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
@@ -97,10 +127,17 @@ struct MetricsSnapshot {
 class MetricsRegistry {
 public:
     // References are stable for the life of the registry; looking up the
-    // same name always returns the same instrument.
+    // same name always returns the same instrument. Debug builds assert
+    // valid_metric_name(name) / valid_label_key(key) on first registration.
     Counter& counter(std::string_view name);
     Gauge& gauge(std::string_view name);
     Histogram& histogram(std::string_view name);
+
+    // Labeled variants: one instrument per distinct (name, labels) pair,
+    // enumerable by exporters as a single family with per-label samples.
+    Counter& counter(std::string_view name, const MetricLabels& labels);
+    Gauge& gauge(std::string_view name, const MetricLabels& labels);
+    Histogram& histogram(std::string_view name, const MetricLabels& labels);
 
     [[nodiscard]] MetricsSnapshot snapshot() const;
 

@@ -3,22 +3,9 @@
 #include <bit>
 
 #include "obs/metrics.hpp"
+#include "util/strings.hpp"
 
 namespace agenp::srv {
-
-namespace {
-
-// FNV-1a, 64-bit.
-std::uint64_t fnv1a(std::string_view s) {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-}  // namespace
 
 DecisionCache::DecisionCache(CacheOptions options) {
     std::size_t shards = std::bit_ceil(options.shards == 0 ? std::size_t{1} : options.shards);
@@ -34,7 +21,7 @@ CacheKey DecisionCache::make_key(const cfg::TokenString& request, const asp::Pro
     key.text = cfg::detokenize(request);
     key.text += '\x1f';
     key.text += context.to_string();
-    key.hash = fnv1a(key.text);
+    key.hash = util::fnv1a_hash(key.text);
     return key;
 }
 

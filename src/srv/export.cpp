@@ -1,0 +1,108 @@
+#include "srv/export.hpp"
+
+#include <cstdio>
+
+#include "obs/lockprof.hpp"
+#include "obs/metrics.hpp"
+
+namespace agenp::srv {
+
+std::string serve_stats_json(const AmsRouter& router, const TcpServer* server) {
+    RouterStats rs = router.snapshot_stats();
+    const ServiceStats& stats = rs.total;
+    std::string out = "{";
+    out += "\"submitted\":" + std::to_string(stats.submitted);
+    out += ",\"completed\":" + std::to_string(stats.completed);
+    out += ",\"permitted\":" + std::to_string(stats.permitted);
+    out += ",\"denied\":" + std::to_string(stats.denied);
+    out += ",\"overloaded\":" + std::to_string(stats.rejected_overload);
+    out += ",\"expired\":" + std::to_string(stats.expired);
+    out += ",\"queue_depth\":" + std::to_string(stats.queue_depth);
+    out += ",\"traces_captured\":" + std::to_string(stats.traces_captured);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", stats.cache.hit_rate());
+    out += ",\"cache\":{\"hits\":" + std::to_string(stats.cache.hits) +
+           ",\"misses\":" + std::to_string(stats.cache.misses) + ",\"hit_rate\":" + buf +
+           ",\"entries\":" + std::to_string(stats.cache.entries) +
+           ",\"bytes\":" + std::to_string(stats.cache.bytes) +
+           ",\"evictions\":" + std::to_string(stats.cache.evictions) +
+           ",\"invalidations\":" + std::to_string(stats.cache.invalidations) + "}";
+    out += ",\"locks\":" + obs::locks().render_json();
+    out += ",\"model_version\":" + std::to_string(rs.model_version);
+    out += rs.versions_agree ? ",\"versions_agree\":true" : ",\"versions_agree\":false";
+    out += ",\"routed\":{\"affinity\":" + std::to_string(rs.routed_affinity) +
+           ",\"fallback\":" + std::to_string(rs.routed_fallback) + "}";
+    out += ",\"replicas\":[";
+    for (std::size_t i = 0; i < rs.replicas.size(); ++i) {
+        const ReplicaStats& replica = rs.replicas[i];
+        if (i > 0) out += ",";
+        out += "{\"queue_depth\":" + std::to_string(replica.queue_depth) +
+               ",\"model_version\":" + std::to_string(replica.model_version) +
+               ",\"submitted\":" + std::to_string(replica.service.submitted) +
+               ",\"completed\":" + std::to_string(replica.service.completed) + "}";
+    }
+    out += "]";
+    if (server != nullptr) out += ",\"conn\":" + transport_stats_json(server->stats());
+    out += "}";
+    return out;
+}
+
+std::string healthz_json(const AmsRouter& router, bool draining) {
+    RouterStats rs = router.snapshot_stats();
+    std::string out = "{";
+    out += std::string("\"status\":\"") + (draining ? "draining" : "ok") + "\"";
+    out += ",\"replicas\":" + std::to_string(rs.replicas.size());
+    out += ",\"model_version\":" + std::to_string(rs.model_version);
+    out += rs.versions_agree ? ",\"versions_agree\":true" : ",\"versions_agree\":false";
+    out += ",\"queue_depth\":" + std::to_string(rs.total.queue_depth);
+    out += "}";
+    return out;
+}
+
+obs::Exposition serve_exposition(const AmsRouter& router, bool draining) {
+    obs::Exposition exposition;
+    exposition.append_registry(obs::metrics());
+    exposition.append_locks(obs::locks());
+
+    RouterStats rs = router.snapshot_stats();
+    exposition.add_gauge("srv.up", {}, 1, "1 while the serve process is alive");
+    exposition.add_gauge("srv.draining", {}, draining ? 1 : 0,
+                         "1 once graceful shutdown has started");
+    exposition.add_gauge("srv.router.model_version", {},
+                         static_cast<std::int64_t>(rs.model_version),
+                         "Model version on replica 0");
+    exposition.add_gauge("srv.router.versions_agree", {}, rs.versions_agree ? 1 : 0,
+                         "1 when every replica serves the same model version");
+    exposition.add_counter("srv.router.routed_affinity", {}, rs.routed_affinity,
+                           "Requests routed to their hash-affinity replica");
+    exposition.add_counter("srv.router.routed_fallback", {}, rs.routed_fallback,
+                           "Requests spilled to a fallback replica");
+    exposition.add_gauge("srv.cache.entries", {}, static_cast<std::int64_t>(rs.total.cache.entries),
+                         "Decision-cache entries across replicas");
+    exposition.add_gauge("srv.cache.bytes", {}, static_cast<std::int64_t>(rs.total.cache.bytes),
+                         "Decision-cache footprint in bytes across replicas");
+    exposition.add_counter("srv.cache.evictions", {}, rs.total.cache.evictions,
+                           "Decision-cache capacity evictions across replicas");
+    exposition.add_counter("srv.cache.invalidations", {}, rs.total.cache.invalidations,
+                           "Decision-cache version invalidations across replicas");
+    for (std::size_t i = 0; i < rs.replicas.size(); ++i) {
+        exposition.add_gauge("srv.replica.model_version", {{"replica", std::to_string(i)}},
+                             static_cast<std::int64_t>(rs.replicas[i].model_version),
+                             "Model version by replica");
+        exposition.add_gauge("srv.replica.queue_depth", {{"replica", std::to_string(i)}},
+                             static_cast<std::int64_t>(rs.replicas[i].queue_depth),
+                             "Instantaneous queue depth by replica");
+    }
+    return exposition;
+}
+
+std::string serve_exposition_prometheus(const AmsRouter& router, bool draining) {
+    return serve_exposition(router, draining).prometheus();
+}
+
+std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
+                                      std::string_view prefix, std::time_t timestamp) {
+    return serve_exposition(router, draining).graphite(prefix, timestamp);
+}
+
+}  // namespace agenp::srv

@@ -1,0 +1,48 @@
+// Serving-layer telemetry surfaces, shared by every consumer:
+//
+//   !stats / /statz / periodic reporter  -> serve_stats_json (one-line JSON)
+//   GET /healthz                         -> healthz_json (liveness + drain)
+//   GET /metrics  (Prometheus pull)      -> serve_exposition(...).prometheus()
+//   --metrics-push (graphite push)       -> serve_exposition(...).graphite()
+//
+// The exposition enumerates one obs::Exposition from three sources — the
+// process metrics registry, the lock-contention registry, and a
+// RouterStats snapshot (model version, divergence, routing, aggregated
+// cache) — so the pull and push exporters can never disagree about what a
+// metric is called or how it is valued. serve_stats_json keeps its
+// original key set: it is the compatibility surface for `!stats` JSON
+// consumers and is not derived from the exposition.
+#pragma once
+
+#include <ctime>
+#include <string>
+#include <string_view>
+
+#include "obs/export/exposition.hpp"
+#include "srv/router.hpp"
+#include "srv/transport.hpp"
+
+namespace agenp::srv {
+
+// One-line JSON for `!stats`, `/statz`, and the periodic reporter: summed
+// service counters, cache, locks, router routing detail, per-replica rows,
+// and transport counters when serving TCP (`server` may be null).
+std::string serve_stats_json(const AmsRouter& router, const TcpServer* server);
+
+// `/healthz` body: status ("ok" while serving, "draining" once shutdown
+// starts), replica count, model version agreement, total queue depth.
+std::string healthz_json(const AmsRouter& router, bool draining);
+
+// The one shared enumerator: process registry + lock profiles + router
+// snapshot (srv.up, srv.draining, srv.router.model_version,
+// srv.router.versions_agree, srv.router.routed_*, srv.cache.*).
+obs::Exposition serve_exposition(const AmsRouter& router, bool draining);
+
+// Renders serve_exposition as Prometheus text exposition format 0.0.4.
+std::string serve_exposition_prometheus(const AmsRouter& router, bool draining);
+
+// Renders serve_exposition as graphite plaintext under `prefix`.
+std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
+                                      std::string_view prefix, std::time_t timestamp);
+
+}  // namespace agenp::srv

@@ -21,6 +21,13 @@ std::string format_double(double v) {
 
 }  // namespace
 
+void LoadgenReport::fill_latency(const obs::Histogram::Snapshot& latency) {
+    mean_us = latency.mean();
+    p50_us = latency.quantile(0.5);
+    p95_us = latency.quantile(0.95);
+    p99_us = latency.quantile(0.99);
+}
+
 std::string LoadgenReport::to_json() const {
     std::string out = "{";
     out += "\"requests\":" + std::to_string(requests);
@@ -108,11 +115,7 @@ LoadgenReport run_loadgen(DecisionService& service, const std::vector<cfg::Token
     report.seconds = elapsed.count();
     report.throughput_rps =
         report.seconds > 0 ? static_cast<double>(report.requests) / report.seconds : 0;
-    obs::Histogram::Snapshot latency = latency_hist.snapshot();
-    report.mean_us = latency.mean();
-    report.p50_us = latency.quantile(0.5);
-    report.p95_us = latency.quantile(0.95);
-    report.p99_us = latency.quantile(0.99);
+    report.fill_latency(latency_hist.snapshot());
 
     CacheStats after = service.cache().stats();
     std::uint64_t hits = after.hits - before.hits;
@@ -221,11 +224,7 @@ LoadgenReport run_loadgen_tcp(const std::string& host, std::uint16_t port,
     report.seconds = elapsed.count();
     report.throughput_rps =
         report.seconds > 0 ? static_cast<double>(report.requests) / report.seconds : 0;
-    obs::Histogram::Snapshot latency = latency_hist.snapshot();
-    report.mean_us = latency.mean();
-    report.p50_us = latency.quantile(0.5);
-    report.p95_us = latency.quantile(0.95);
-    report.p99_us = latency.quantile(0.99);
+    report.fill_latency(latency_hist.snapshot());
     report.hit_rate = lookups == 0 ? 0 : static_cast<double>(hits) / static_cast<double>(lookups);
     return report;
 }

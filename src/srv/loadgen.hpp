@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "srv/service.hpp"
 
 namespace agenp::srv {
@@ -40,6 +41,12 @@ struct LoadgenReport {
     // Requests sent without a usable reply (TCP mode only: timeouts,
     // unparseable replies, dropped connections). Always 0 in-process.
     std::size_t dropped = 0;
+
+    // Fills mean/p50/p95/p99 from a latency histogram snapshot — the one
+    // quantile path shared by the in-process and TCP loops, and the same
+    // estimator the server-side summaries use (Histogram::Snapshot::
+    // quantile), so client- and server-reported percentiles agree.
+    void fill_latency(const obs::Histogram::Snapshot& latency);
 
     // One-line JSON object with every field above.
     [[nodiscard]] std::string to_json() const;

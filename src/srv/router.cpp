@@ -2,22 +2,9 @@
 
 #include <algorithm>
 
+#include "util/strings.hpp"
+
 namespace agenp::srv {
-
-namespace {
-
-// FNV-1a, 64-bit — same placement hash family as the decision cache, so
-// equal request texts always map to the same replica.
-std::uint64_t fnv1a(std::string_view s) {
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-}  // namespace
 
 AmsRouter::AmsRouter(const AmsFactory& factory, RouterOptions options) {
     std::size_t n = std::max<std::size_t>(options.replicas, 1);
@@ -36,14 +23,16 @@ AmsRouter::AmsRouter(const AmsFactory& factory, RouterOptions options) {
     if (obs::metrics_enabled()) {
         depth_gauges_.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            depth_gauges_.push_back(
-                &obs::metrics().gauge("srv.router.queue_depth." + std::to_string(i)));
+            depth_gauges_.push_back(&obs::metrics().gauge(
+                "srv.router.queue_depth", {{"replica", std::to_string(i)}}));
         }
     }
 }
 
 std::size_t AmsRouter::replica_for(const cfg::TokenString& request) const {
-    return fnv1a(cfg::detokenize(request)) % services_.size();
+    // Same placement hash family as the decision cache, so equal request
+    // texts always map to the same replica.
+    return util::fnv1a_hash(cfg::detokenize(request)) % services_.size();
 }
 
 std::future<Decision> AmsRouter::submit(cfg::TokenString request,

@@ -2,6 +2,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "srv/audit.hpp"
+#include "util/strings.hpp"
 
 namespace agenp::srv {
 
@@ -239,6 +241,27 @@ void DecisionService::finish(Decision& decision, Task& task, Outcome outcome) {
     record.outcome = static_cast<std::uint8_t>(outcome);
     record.cache_hit = decision.cache_hit;
     flight_.record(record);
+    if (options_.audit != nullptr) {
+        AuditEntry entry;
+        entry.trace_id = task.trace_id;
+        entry.client_id = task.client_id;
+        entry.request_hash = util::fnv1a_hash(cfg::detokenize(task.tokens));
+        entry.outcome = std::string(outcome_name(outcome));
+        if (outcome == Outcome::Permit || outcome == Outcome::Deny) {
+            entry.strategy = decision.cache_hit
+                                 ? "cache"
+                                 : framework::strategy_name(ams_.strategy());
+        } else {
+            entry.strategy = "none";  // rejected before reaching the PDP
+        }
+        entry.cache_hit = decision.cache_hit;
+        entry.model_version = decision.model_version;
+        entry.replica = options_.id_offset;
+        entry.latency_us = decision.latency_us;
+        entry.queue_us = task.queue_us;
+        entry.solve_us = task.solve_us;
+        options_.audit->record(std::move(entry));
+    }
     maybe_capture(task, decision.latency_us);
 }
 

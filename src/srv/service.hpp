@@ -59,6 +59,8 @@
 
 namespace agenp::srv {
 
+class AuditLog;
+
 // Tail-based request-trace capture policy. Tracing records spans for
 // every request while active (a handful of timestamps), but keeps the
 // tree only when it turns out to matter: the request was slower than the
@@ -87,6 +89,11 @@ struct ServiceOptions {
     // replica i offset=i, stride=N so ids stay unique across replicas.
     std::uint64_t id_offset = 0;
     std::uint64_t id_stride = 1;
+    // Optional decision audit sink (srv/audit.hpp). Not owned; must
+    // outlive the service. Every finished request — including Overloaded
+    // and Expired rejections — is offered to it, so the audit line count
+    // equals the submitted count when sampling is off.
+    AuditLog* audit = nullptr;
 };
 
 enum class Outcome {

@@ -63,4 +63,13 @@ bool is_integer(std::string_view text) {
     return true;
 }
 
+std::uint64_t fnv1a_hash(std::string_view text) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 }  // namespace agenp::util

@@ -1,6 +1,7 @@
 // Small string helpers shared across parsers and report printers.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,10 @@ bool is_variable_name(std::string_view text);
 
 // True if `text` parses as a (possibly negative) decimal integer.
 bool is_integer(std::string_view text);
+
+// FNV-1a, 64-bit. One hash family shared by the decision cache, the
+// router's replica placement, and the audit log's request_hash field, so
+// equal request texts carry the same identity everywhere.
+std::uint64_t fnv1a_hash(std::string_view text);
 
 }  // namespace agenp::util

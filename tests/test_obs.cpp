@@ -237,6 +237,103 @@ TEST(Histogram, ZeroAndHugeValuesDoNotClip) {
     EXPECT_EQ(s.max, ~std::uint64_t{0});
 }
 
+// Pins the quantile estimator shared by the loadgen report and the
+// server-side latency summaries (LoadgenReport::fill_latency): both must
+// keep quoting the same numbers for the same stream. If the estimator
+// changes intentionally, update these values in one place here.
+TEST(Histogram, QuantilePinning) {
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v) h.observe(v);
+    auto s = h.snapshot();
+    // Linear interpolation inside the bit-width bucket that holds the
+    // requested rank (uniform 1..1000: within ~1% of the exact ranks).
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 499.544921875);
+    EXPECT_DOUBLE_EQ(s.quantile(0.95), 949.15419222903881);
+    EXPECT_DOUBLE_EQ(s.quantile(0.99), 989.0324744376278);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 999.00204498977507);
+    EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+}
+
+// --- metric naming -----------------------------------------------------------
+
+TEST(Naming, ValidMetricNames) {
+    EXPECT_TRUE(valid_metric_name("srv.requests"));
+    EXPECT_TRUE(valid_metric_name("asp.solver.decisions"));
+    EXPECT_TRUE(valid_metric_name("x"));
+    EXPECT_TRUE(valid_metric_name("a_b.c_d9"));
+    EXPECT_TRUE(valid_metric_name("_private.ok"));
+    EXPECT_FALSE(valid_metric_name(""));
+    EXPECT_FALSE(valid_metric_name("."));
+    EXPECT_FALSE(valid_metric_name("srv."));
+    EXPECT_FALSE(valid_metric_name(".srv"));
+    EXPECT_FALSE(valid_metric_name("srv..requests"));
+    EXPECT_FALSE(valid_metric_name("srv.9starts_with_digit"));
+    EXPECT_FALSE(valid_metric_name("srv.queue-depth"));  // '-' breaks Prometheus names
+    EXPECT_FALSE(valid_metric_name("srv.queue depth"));
+    EXPECT_FALSE(valid_metric_name("srv.queue[0]"));
+}
+
+TEST(Naming, ValidLabelKeys) {
+    EXPECT_TRUE(valid_label_key("replica"));
+    EXPECT_TRUE(valid_label_key("shard_id"));
+    EXPECT_TRUE(valid_label_key("_le"));
+    EXPECT_FALSE(valid_label_key(""));
+    EXPECT_FALSE(valid_label_key("9replica"));
+    EXPECT_FALSE(valid_label_key("lock.name"));  // dots are for metric names only
+    EXPECT_FALSE(valid_label_key("a-b"));
+}
+
+TEST(Naming, MetricKeyRoundTrips) {
+    std::string name;
+    MetricLabels labels;
+
+    // Bare name.
+    ASSERT_TRUE(parse_metric_key("srv.requests", &name, &labels));
+    EXPECT_EQ(name, "srv.requests");
+    EXPECT_TRUE(labels.empty());
+
+    // Labeled, including a value that needs escaping.
+    MetricLabels in{{"replica", "0"}, {"lock", "srv.model \"x\""}};
+    std::string key = metric_key("srv.router.queue_depth", in);
+    ASSERT_TRUE(parse_metric_key(key, &name, &labels));
+    EXPECT_EQ(name, "srv.router.queue_depth");
+    EXPECT_EQ(labels, in);
+
+    // Malformed encodings are rejected, not half-parsed.
+    EXPECT_FALSE(parse_metric_key("srv.x{", &name, &labels));
+    EXPECT_FALSE(parse_metric_key("srv.x{replica=0}", &name, &labels));
+    EXPECT_FALSE(parse_metric_key("srv.x{replica=\"0\"", &name, &labels));
+    EXPECT_FALSE(parse_metric_key("{replica=\"0\"}", &name, &labels));
+}
+
+TEST(Naming, LabeledRegistrationIsPerLabelSet) {
+    MetricsRegistry r;
+    Counter& a = r.counter("srv.test.labeled", {{"replica", "0"}});
+    Counter& b = r.counter("srv.test.labeled", {{"replica", "1"}});
+    Counter& bare = r.counter("srv.test.labeled");
+    EXPECT_NE(&a, &b);
+    EXPECT_NE(&a, &bare);
+    EXPECT_EQ(&a, &r.counter("srv.test.labeled", {{"replica", "0"}}));
+    a.add(5);
+    b.add(7);
+
+    // The snapshot keys are metric_key() encodings that exporters can
+    // split back into (name, labels).
+    auto snap = r.snapshot();
+    std::size_t found = 0;
+    for (const auto& [key, value] : snap.counters) {
+        std::string name;
+        MetricLabels labels;
+        ASSERT_TRUE(parse_metric_key(key, &name, &labels)) << key;
+        if (name != "srv.test.labeled" || labels.empty()) continue;
+        ++found;
+        if (labels == MetricLabels{{"replica", "0"}}) EXPECT_EQ(value, 5u);
+        if (labels == MetricLabels{{"replica", "1"}}) EXPECT_EQ(value, 7u);
+    }
+    EXPECT_EQ(found, 2u);
+}
+
 // --- registry ----------------------------------------------------------------
 
 TEST(Registry, SameNameReturnsSameInstrument) {
