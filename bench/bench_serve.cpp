@@ -15,6 +15,8 @@
 //                              "p99_us":..,"hit_rate":..,"locks":{...}},...],
 //                     "exporter":{"baseline_rps":..,"scraped_rps":..,
 //                                 "overhead_pct":..,"scrapes":..},
+//                     "restart":{"cold":{...},"warm":{...},
+//                                "entries_restored":..,"warm_ge_10x_cold":..},
 //                     "cache_speedup":..,"smoke":..}
 //
 // `cache_speedup` compares cache on vs off at the same thread count on the
@@ -25,9 +27,13 @@
 // concurrently; the exposition path budget is <3% throughput overhead
 // at a 1 s scrape interval (CI checks the row exists and scrapes ran —
 // the numeric bound is advisory, shared-runner noise exceeds it).
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -40,6 +46,7 @@
 #include "srv/loadgen.hpp"
 #include "srv/router.hpp"
 #include "srv/transport.hpp"
+#include "store/store.hpp"
 
 using namespace agenp;
 
@@ -180,6 +187,118 @@ ExporterRow run_exporter_overhead(std::size_t threads, std::size_t requests_per_
     return row;
 }
 
+// Cold vs warm restart: how much of the first post-restart traffic window
+// is served from a decision cache restored via `--state-dir` (src/store).
+// The "first-minute window" is made deterministic — one sequential pass
+// over every distinct demo request, the worst case for a cold cache (all
+// misses, each paying a full membership solve) and the best case for a
+// restored one — so the hit-rate comparison is exact rather than a race
+// against the wall clock. A steady-state run follows; its p95 is the
+// latency floor both sides converge to, and time_to_steady_ms measures
+// how long each side took to get there from its first request.
+struct RestartSide {
+    double window_ms = 0;          // duration of the first-pass window
+    double window_hit_rate = 0;    // cache hit rate inside that window
+    double steady_p95_us = 0;      // p95 once the cache is warm
+    double time_to_steady_ms = 0;  // first request -> end of steady run
+};
+
+struct RestartRow {
+    RestartSide cold;
+    RestartSide warm;
+    std::size_t entries_restored = 0;
+    bool warm_ge_10x_cold = false;
+};
+
+RestartSide measure_restart_side(srv::AmsRouter& router,
+                                 const std::vector<cfg::TokenString>& workload,
+                                 std::size_t steady_passes) {
+    RestartSide side;
+    auto ms_between = [](auto from, auto to) {
+        return std::chrono::duration<double, std::milli>(to - from).count();
+    };
+    auto start = std::chrono::steady_clock::now();
+    std::size_t hits = 0;
+    for (const auto& request : workload) {
+        if (router.submit(request, {}).get().cache_hit) ++hits;
+    }
+    side.window_ms = ms_between(start, std::chrono::steady_clock::now());
+    side.window_hit_rate =
+        workload.empty() ? 0 : static_cast<double>(hits) / static_cast<double>(workload.size());
+
+    std::vector<double> latencies;
+    latencies.reserve(steady_passes * workload.size());
+    for (std::size_t pass = 0; pass < steady_passes; ++pass) {
+        for (const auto& request : workload) {
+            latencies.push_back(
+                static_cast<double>(router.submit(request, {}).get().latency_us));
+        }
+    }
+    side.time_to_steady_ms = ms_between(start, std::chrono::steady_clock::now());
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        side.steady_p95_us =
+            latencies[std::min(latencies.size() - 1, latencies.size() * 95 / 100)];
+    }
+    return side;
+}
+
+RestartRow run_restart(std::size_t distinct, std::size_t steady_passes) {
+    RestartRow row;
+    char dir_template[] = "/tmp/agenp_bench_store.XXXXXX";
+    char* dir = ::mkdtemp(dir_template);
+    if (dir == nullptr) {
+        std::fprintf(stderr, "restart bench: mkdtemp failed, skipping\n");
+        return row;
+    }
+    const std::string state_dir = dir;
+
+    auto factory = [distinct] {
+        return std::make_unique<framework::AutonomousManagedSystem>(
+            srv::make_demo_ams(distinct));
+    };
+    srv::RouterOptions options;
+    options.replicas = 1;
+    options.service.threads = 2;
+    options.service.use_cache = true;
+    const auto workload = srv::demo_workload(distinct);
+
+    {
+        // First life of the process: take traffic until the cache holds
+        // every distinct request, snapshot, and tear everything down —
+        // the bench stand-in for `agenp serve --state-dir` draining.
+        srv::AmsRouter router(factory, options);
+        for (const auto& request : workload) router.submit(request, {}).get();
+        store::StateStore store({state_dir});
+        std::string error;
+        if (!store.save_snapshot(router.export_state(), &error)) {
+            std::fprintf(stderr, "restart bench: snapshot failed: %s\n", error.c_str());
+        }
+    }
+    {
+        // Cold restart: same binary, no persisted state.
+        srv::AmsRouter router(factory, options);
+        row.cold = measure_restart_side(router, workload, steady_passes);
+    }
+    {
+        // Warm restart: restore the snapshot before the first request.
+        srv::AmsRouter router(factory, options);
+        store::StateStore store({state_dir});
+        store::RestoreResult restored = store.restore();
+        if (restored.snapshot_loaded) {
+            row.entries_restored = router.restore_state(restored.data).entries_restored;
+        }
+        row.warm = measure_restart_side(router, workload, steady_passes);
+    }
+
+    row.warm_ge_10x_cold = row.warm.window_hit_rate > 0 &&
+                           row.warm.window_hit_rate >= 10.0 * row.cold.window_hit_rate;
+    std::remove((state_dir + "/snapshot.agenp").c_str());
+    std::remove((state_dir + "/wal.agenp").c_str());
+    ::rmdir(state_dir.c_str());
+    return row;
+}
+
 // The serving-path hot locks the ISSUE asks bench_serve to report on.
 constexpr const char* kHotLocks[] = {"symbol.intern", "srv.cache_shard", "srv.model"};
 
@@ -296,6 +415,22 @@ int main(int argc, char** argv) {
                 top, exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
                 exporter.scrapes);
 
+    // Warm-restart value: first-window hit rate cold vs restored from a
+    // `--state-dir` snapshot (src/store). The acceptance bound is warm >=
+    // 10x cold — trivially met on the deterministic window, where cold is
+    // exactly 0 and warm should be 1.0 when every entry restored.
+    RestartRow restart = run_restart(distinct, smoke ? 3 : 10);
+    std::printf("restart: cold first-window hit_rate %.3f (%.1f ms), warm %.3f (%.1f ms),"
+                " %zu entries restored\n",
+                restart.cold.window_hit_rate, restart.cold.window_ms,
+                restart.warm.window_hit_rate, restart.warm.window_ms,
+                restart.entries_restored);
+    std::printf("restart: time-to-steady %.1f ms cold vs %.1f ms warm, steady p95 %.1f/%.1f us,"
+                " warm>=10x cold: %s\n",
+                restart.cold.time_to_steady_ms, restart.warm.time_to_steady_ms,
+                restart.cold.steady_p95_us, restart.warm.steady_p95_us,
+                restart.warm_ge_10x_cold ? "yes" : "NO");
+
     std::string json = "{\"rows\":[";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& row = rows[i];
@@ -311,13 +446,27 @@ int main(int argc, char** argv) {
         json += locks_json(row);
         json += "}";
     }
-    char tail[256];
+    auto restart_side_json = [](const RestartSide& side) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "{\"window_ms\":%.1f,\"hit_rate\":%.3f,\"steady_p95_us\":%.1f,"
+                      "\"time_to_steady_ms\":%.1f}",
+                      side.window_ms, side.window_hit_rate, side.steady_p95_us,
+                      side.time_to_steady_ms);
+        return std::string(buf);
+    };
+    char tail[512];
     std::snprintf(tail, sizeof(tail),
                   "],\"exporter\":{\"baseline_rps\":%.1f,\"scraped_rps\":%.1f,"
                   "\"overhead_pct\":%.1f,\"scrapes\":%zu},"
+                  "\"restart\":{\"cold\":%s,\"warm\":%s,\"entries_restored\":%zu,"
+                  "\"warm_ge_10x_cold\":%s},"
                   "\"cache_speedup\":%.1f,\"smoke\":%s}",
                   exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
-                  exporter.scrapes, speedup, smoke ? "true" : "false");
+                  exporter.scrapes, restart_side_json(restart.cold).c_str(),
+                  restart_side_json(restart.warm).c_str(), restart.entries_restored,
+                  restart.warm_ge_10x_cold ? "true" : "false", speedup,
+                  smoke ? "true" : "false");
     json += tail;
     std::printf("BENCH_SERVE_JSON %s\n", json.c_str());
     return 0;

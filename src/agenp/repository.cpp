@@ -24,9 +24,29 @@ bool PolicyRepository::contains(const cfg::TokenString& policy) const {
     return index_.contains(cfg::detokenize(policy));
 }
 
+void PolicyRepository::restore(std::vector<StoredPolicy> policies, std::uint64_t version,
+                               bool truncated) {
+    policies_.clear();
+    index_.clear();
+    for (auto& p : policies) {
+        if (!index_.insert(cfg::detokenize(p.policy)).second) continue;
+        policies_.push_back(std::move(p));
+    }
+    version_ = version;
+    truncated_ = truncated;
+}
+
 std::uint64_t RepresentationsRepository::store(asg::AnswerSetGrammar model, std::string note) {
     history_.push_back({std::move(model), std::move(note)});
-    return history_.size();
+    return latest_version();
+}
+
+void RepresentationsRepository::restore(asg::AnswerSetGrammar model, std::uint64_t version,
+                                        std::string note) {
+    if (version == 0) throw std::logic_error("cannot restore a model at version 0");
+    history_.clear();
+    history_.push_back({std::move(model), std::move(note)});
+    base_version_ = version - 1;
 }
 
 const asg::AnswerSetGrammar& RepresentationsRepository::latest() const {
@@ -35,14 +55,14 @@ const asg::AnswerSetGrammar& RepresentationsRepository::latest() const {
 }
 
 const asg::AnswerSetGrammar* RepresentationsRepository::at_version(std::uint64_t version) const {
-    if (version == 0 || version > history_.size()) return nullptr;
-    return &history_[version - 1].model;
+    if (version <= base_version_ || version > latest_version()) return nullptr;
+    return &history_[version - base_version_ - 1].model;
 }
 
 const std::string& RepresentationsRepository::note_for(std::uint64_t version) const {
     static const std::string kEmpty;
-    if (version == 0 || version > history_.size()) return kEmpty;
-    return history_[version - 1].note;
+    if (version <= base_version_ || version > latest_version()) return kEmpty;
+    return history_[version - base_version_ - 1].note;
 }
 
 }  // namespace agenp::framework

@@ -41,6 +41,12 @@ public:
     [[nodiscard]] bool truncated() const { return truncated_; }
     void set_truncated(bool truncated) { truncated_ = truncated; }
 
+    // Reloads a persisted set verbatim (src/store warm restart): policies
+    // keep their original per-policy provenance and version stamps, and
+    // the repository-level version/truncated flags are restored as
+    // recorded rather than re-stamped.
+    void restore(std::vector<StoredPolicy> policies, std::uint64_t version, bool truncated);
+
 private:
     std::vector<StoredPolicy> policies_;
     std::set<std::string> index_;  // detokenized strings for O(log n) lookup
@@ -55,8 +61,15 @@ public:
     // Returns the new version number.
     std::uint64_t store(asg::AnswerSetGrammar model, std::string note);
 
+    // Re-seeds the repository from a persisted snapshot (src/store warm
+    // restart): the history restarts at exactly `version` (>= 1) holding
+    // only the given model, so latest_version() reports the persisted
+    // number without replaying the intermediate learning steps — versions
+    // below it were not persisted and resolve to nullptr.
+    void restore(asg::AnswerSetGrammar model, std::uint64_t version, std::string note);
+
     [[nodiscard]] const asg::AnswerSetGrammar& latest() const;
-    [[nodiscard]] std::uint64_t latest_version() const { return history_.size(); }
+    [[nodiscard]] std::uint64_t latest_version() const { return base_version_ + history_.size(); }
     [[nodiscard]] const asg::AnswerSetGrammar* at_version(std::uint64_t version) const;
     [[nodiscard]] const std::string& note_for(std::uint64_t version) const;
     [[nodiscard]] bool empty() const { return history_.empty(); }
@@ -67,6 +80,7 @@ private:
         std::string note;
     };
     std::vector<Entry> history_;
+    std::uint64_t base_version_ = 0;  // versions 1..base_ predate a restore
 };
 
 }  // namespace agenp::framework

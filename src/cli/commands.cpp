@@ -36,6 +36,7 @@
 #include "srv/router.hpp"
 #include "srv/service.hpp"
 #include "srv/transport.hpp"
+#include "store/store.hpp"
 #include "util/strings.hpp"
 #include "xacml/evaluator.hpp"
 #include "xacml/text_format.hpp"
@@ -330,14 +331,35 @@ int cmd_quickstart(std::ostream& out) {
 
 namespace {
 
+// Writes a full snapshot of the router through `state` and reports the
+// result as the one-line reply/log format shared by `!snapshot`, the
+// periodic snapshotter, and the on-drain snapshot.
+std::string take_snapshot(srv::AmsRouter& router, store::StateStore& state) {
+    store::SnapshotData data = router.export_state();
+    std::size_t entries = data.entries.size();
+    std::size_t policies = data.policies.size();
+    std::string error;
+    if (!state.save_snapshot(std::move(data), &error)) return "snapshot failed: " + error;
+    store::StoreStatus status = state.status();
+    return "SNAPSHOT_JSON {\"entries\":" + std::to_string(entries) +
+           ",\"policies\":" + std::to_string(policies) +
+           ",\"bytes\":" + std::to_string(status.snapshot_bytes) +
+           ",\"model_version\":" + std::to_string(router.model_version()) + "}";
+}
+
 // Handles one '!'-prefixed serve control line (stdin or TCP); returns the
-// reply, possibly multi-line, without a trailing newline.
+// reply, possibly multi-line, without a trailing newline. `state` is null
+// unless the server runs with --state-dir.
 std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
-                                const srv::TcpServer* server) {
+                                const srv::TcpServer* server, store::StateStore* state) {
     auto words = util::split_ws(std::string(line));
     const std::string& command = words[0];
     if (command == "!stats") {
-        return "SERVE_STATS_JSON " + srv::serve_stats_json(router, server);
+        return "SERVE_STATS_JSON " + srv::serve_stats_json(router, server, state);
+    }
+    if (command == "!snapshot") {
+        if (state == nullptr) return "snapshot unavailable: serve started without --state-dir";
+        return take_snapshot(router, *state);
     }
     if (command == "!flight") {
         std::string json = "[";
@@ -359,7 +381,8 @@ std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
         return "trace written to " + words[1] + " (" + std::to_string(captured) +
                " captured request" + (captured == 1 ? "" : "s") + ")";
     }
-    return "unknown control line: " + command + " (try !stats, !flight, !trace <file>)";
+    return "unknown control line: " + command +
+           " (try !stats, !flight, !trace <file>, !snapshot)";
 }
 
 // Listen-mode SIGTERM/SIGINT handling: the handler may only do
@@ -395,14 +418,27 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         audit = std::make_unique<srv::AuditLog>(audit_options);
     }
 
+    // The state store also outlives the router: the cache's on_insert hook
+    // appends to its WAL from every worker thread.
+    std::unique_ptr<store::StateStore> state;
+    if (!cli.state_dir.empty()) {
+        state = std::make_unique<store::StateStore>(store::StoreOptions{cli.state_dir});
+    }
+
     srv::RouterOptions router_options;
     router_options.replicas = cli.replicas;
     router_options.service.threads = cli.threads;
     router_options.service.use_cache = cli.use_cache;
     if (cli.cache_mb > 0) router_options.service.cache.capacity_bytes = cli.cache_mb << 20;
+    if (cli.cache_shards > 0) router_options.service.cache.shards = cli.cache_shards;
     router_options.service.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
     router_options.service.trace.sample_every = cli.trace_sample;
     router_options.service.audit = audit.get();
+    if (state != nullptr) {
+        router_options.service.cache.on_insert = [s = state.get()](const srv::CacheEntry& e) {
+            s->append_wal({e.text, e.model_version, e.permitted});
+        };
+    }
 
     // Every replica parses its own AMS from the same text: replicas share
     // no mutable state, so they only stay version-aligned through the
@@ -416,13 +452,35 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         },
         router_options);
 
+    // Warm restart: replay the last snapshot + WAL into the fresh router
+    // before any traffic. No worker threads have requests yet, so the one
+    // greppable AGENP_STATE_RESTORED line can print without out_mu.
+    if (state != nullptr) {
+        store::RestoreResult restored = state->restore();
+        srv::StateRestoreReport report = router.restore_state(restored.data);
+        out << "AGENP_STATE_RESTORED entries=" << report.entries_restored
+            << " skipped=" << report.entries_skipped << " policies=" << report.policies_restored
+            << " model_version=" << report.model_version
+            << " wal_replayed=" << restored.wal_replayed
+            << " wal_discarded_bytes=" << restored.wal_discarded_bytes << "\n"
+            << std::flush;
+        if (report.entries_skipped > 0) {
+            out << "state restore truncated: snapshot exceeds the configured cache budget "
+                << "(--cache-mb " << cli.cache_mb << "); restored " << report.entries_restored
+                << " entries, dropped " << report.entries_skipped << "\n";
+        }
+        if (!restored.warning.empty()) out << "state restore warning: " << restored.warning << "\n";
+        if (!report.warning.empty()) out << "state restore warning: " << report.warning << "\n";
+    }
+
     // Written by the listen branch once the TCP server exists; read by the
     // control handler, the reporter, and the metrics HTTP handler — all of
     // which may run on other threads.
     std::atomic<const srv::TcpServer*> server_ptr{nullptr};
     std::atomic<bool> draining{false};
-    auto control = [&router, &server_ptr](std::string_view line) {
-        return handle_control_line(line, router, server_ptr.load(std::memory_order_acquire));
+    auto control = [&router, &server_ptr, state_ptr = state.get()](std::string_view line) {
+        return handle_control_line(line, router, server_ptr.load(std::memory_order_acquire),
+                                   state_ptr);
     };
 
     // The reporter thread and the request loop share `out`.
@@ -437,7 +495,7 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             while (!reporter_cv.wait_for(lock, std::chrono::seconds(cli.stats_every_s),
                                          [&] { return reporter_stop; })) {
                 std::string json = srv::serve_stats_json(
-                    router, server_ptr.load(std::memory_order_acquire));
+                    router, server_ptr.load(std::memory_order_acquire), state.get());
                 std::lock_guard out_lock(out_mu);
                 out << "SERVE_STATS_JSON " << json << "\n" << std::flush;
             }
@@ -452,12 +510,13 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         obs::HttpServerOptions http_options;
         http_options.port = cli.metrics_listen_port;
         metrics_http = std::make_unique<obs::HttpServer>(
-            http_options, [&router, &server_ptr, &draining](const obs::HttpRequest& request) {
+            http_options, [&router, &server_ptr, &draining,
+                           state_ptr = state.get()](const obs::HttpRequest& request) {
                 obs::HttpResponse response;
                 if (request.path == "/metrics") {
                     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
                     response.body = srv::serve_exposition_prometheus(
-                        router, draining.load(std::memory_order_acquire));
+                        router, draining.load(std::memory_order_acquire), state_ptr);
                 } else if (request.path == "/healthz") {
                     bool is_draining = draining.load(std::memory_order_acquire);
                     response.status = is_draining ? 503 : 200;
@@ -466,8 +525,8 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
                 } else if (request.path == "/statz") {
                     response.content_type = "application/json";
                     response.body =
-                        srv::serve_stats_json(router,
-                                              server_ptr.load(std::memory_order_acquire)) +
+                        srv::serve_stats_json(router, server_ptr.load(std::memory_order_acquire),
+                                              state_ptr) +
                         "\n";
                 } else {
                     response.status = 404;
@@ -491,9 +550,9 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         push_options.port = cli.metrics_push_port;
         push_options.interval = std::chrono::seconds(cli.metrics_every_s);
         pusher = std::make_unique<obs::GraphitePusher>(
-            push_options, [&router, &draining](std::time_t now) {
+            push_options, [&router, &draining, state_ptr = state.get()](std::time_t now) {
                 return srv::serve_exposition_graphite(
-                    router, draining.load(std::memory_order_acquire), "agenp", now);
+                    router, draining.load(std::memory_order_acquire), "agenp", now, state_ptr);
             });
     }
     auto stop_reporter = [&] {
@@ -505,6 +564,44 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
             reporter_cv.notify_all();
             reporter.join();
         }
+    };
+
+    // Periodic snapshotter (--snapshot-every S, needs --state-dir): the
+    // same full snapshot `!snapshot` takes, on a timer. Failures are
+    // logged and retried next interval; serving never stops for them.
+    std::mutex snapshot_mu;
+    std::condition_variable snapshot_cv;
+    bool snapshot_stop = false;
+    std::thread snapshotter;
+    if (state != nullptr && cli.snapshot_every_s > 0) {
+        snapshotter = std::thread([&] {
+            std::unique_lock lock(snapshot_mu);
+            while (!snapshot_cv.wait_for(lock, std::chrono::seconds(cli.snapshot_every_s),
+                                         [&] { return snapshot_stop; })) {
+                std::string result = take_snapshot(router, *state);
+                if (!util::starts_with(result, "SNAPSHOT_JSON")) {
+                    std::lock_guard out_lock(out_mu);
+                    out << result << "\n" << std::flush;
+                }
+            }
+        });
+    }
+    auto stop_snapshotter = [&] {
+        if (snapshotter.joinable()) {
+            {
+                std::lock_guard lock(snapshot_mu);
+                snapshot_stop = true;
+            }
+            snapshot_cv.notify_all();
+            snapshotter.join();
+        }
+    };
+    // On-drain snapshot: both exit paths persist the final state so a
+    // clean restart starts exactly where this process stopped.
+    auto drain_snapshot = [&] {
+        if (state == nullptr) return;
+        std::lock_guard out_lock(out_mu);
+        out << take_snapshot(router, *state) << "\n" << std::flush;
     };
 
     auto start = std::chrono::steady_clock::now();
@@ -561,11 +658,14 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         draining.store(true, std::memory_order_release);
         server.shutdown();
         stop_reporter();
+        stop_snapshotter();
+        drain_snapshot();
         srv::RouterStats rs = router.snapshot_stats();
         served = rs.total.completed + rs.total.rejected_overload + rs.total.expired;
         {
             std::lock_guard out_lock(out_mu);
-            out << "SERVE_STATS_JSON " << srv::serve_stats_json(router, &server) << "\n";
+            out << "SERVE_STATS_JSON " << srv::serve_stats_json(router, &server, state.get())
+                << "\n";
             print_summary(served);
         }
         // Stop the exporters before `server` leaves scope: the /statz
@@ -597,6 +697,8 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     draining.store(true, std::memory_order_release);
     router.drain();
     stop_reporter();
+    stop_snapshotter();
+    drain_snapshot();
     pusher.reset();
     metrics_http.reset();
     print_summary(served);
@@ -624,6 +726,7 @@ int cmd_loadgen(const LoadgenCliOptions& cli, std::ostream& out) {
     options.threads = cli.threads;
     options.use_cache = cli.use_cache;
     if (cli.cache_mb > 0) options.cache.capacity_bytes = cli.cache_mb << 20;
+    if (cli.cache_shards > 0) options.cache.shards = cli.cache_shards;
     srv::DecisionService service(ams, options);
 
     auto report = srv::run_loadgen(service, srv::demo_workload(cli.distinct), load);
@@ -816,13 +919,17 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             serve.audit_path = take_flag(args, "--audit-log", "");
             serve.audit_max_mb = std::stoull(take_flag(args, "--audit-max-mb", "64"));
             serve.audit_sample = std::stoull(take_flag(args, "--audit-sample", "1"));
+            serve.state_dir = take_flag(args, "--state-dir", "");
+            serve.snapshot_every_s = std::stoull(take_flag(args, "--snapshot-every", "0"));
+            serve.cache_shards = std::stoull(take_flag(args, "--cache-shards", "0"));
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
-                    "[--cache-mb M] [--no-cache] [--trace-slow-ms MS] [--trace-sample N] "
-                    "[--stats-every SEC] [--listen PORT] [--replicas N] "
+                    "[--cache-mb M] [--no-cache] [--cache-shards N] [--trace-slow-ms MS] "
+                    "[--trace-sample N] [--stats-every SEC] [--listen PORT] [--replicas N] "
                     "[--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC] "
-                    "[--audit-log FILE] [--audit-max-mb M] [--audit-sample N]");
+                    "[--audit-log FILE] [--audit-max-mb M] [--audit-sample N] "
+                    "[--state-dir DIR] [--snapshot-every SEC]");
             }
             serve.grammar_path = args[0];
             return cmd_serve(serve, std::cin, out);
@@ -835,6 +942,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             load.distinct = std::stoull(take_flag(args, "--distinct", "8"));
             load.cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
             load.use_cache = !take_bool_flag(args, "--no-cache");
+            load.cache_shards = std::stoull(take_flag(args, "--cache-shards", "0"));
             auto connect = take_flag(args, "--connect", "");
             if (!connect.empty()) {
                 auto colon = connect.rfind(':');
@@ -848,7 +956,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             if (!args.empty()) {
                 throw CliError(
                     "usage: agenp loadgen [--threads N] [--clients N] [--requests N] "
-                    "[--distinct K] [--cache-mb M] [--no-cache] [--connect HOST:PORT]");
+                    "[--distinct K] [--cache-mb M] [--no-cache] [--cache-shards N] "
+                    "[--connect HOST:PORT]");
             }
             return cmd_loadgen(load, out);
         }

@@ -7,12 +7,13 @@
 //   agenp lint <file.asg|file.lp> [--context ctx.lp] [--json] [--strict]
 //   agenp quickstart
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
-//               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
+//               [--cache-shards N] [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
 //               [--listen PORT] [--replicas N]
 //               [--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC]
 //               [--audit-log FILE] [--audit-max-mb M] [--audit-sample N]
+//               [--state-dir DIR] [--snapshot-every SEC]
 //   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
-//                 [--cache-mb M] [--no-cache] [--connect HOST:PORT]
+//                 [--cache-mb M] [--no-cache] [--cache-shards N] [--connect HOST:PORT]
 //
 // Global flags (any command):
 //   --stats            print the metrics-registry dump after the command
@@ -23,7 +24,8 @@
 // lines — `!stats` prints a SERVE_STATS_JSON line (service + cache + lock
 // contention), `!flight` prints a FLIGHT_JSON line (the recent-request
 // ring), `!trace <file>` writes captured slow-request span trees as
-// Chrome trace JSON. The tail-capture knobs default from the environment:
+// Chrome trace JSON, `!snapshot` persists the serving state to the
+// `--state-dir` (SNAPSHOT_JSON reply). The tail-capture knobs default from the environment:
 // AGENP_TRACE_SLOW_MS (capture trees for requests slower than this) and
 // AGENP_TRACE_SAMPLE (also capture every Nth request); --trace-slow-ms /
 // --trace-sample override. --stats-every SEC starts a reporter thread
@@ -134,6 +136,16 @@ struct ServeCliOptions {
     std::string audit_path;
     std::size_t audit_max_mb = 64;
     std::size_t audit_sample = 1;
+    // Warm restarts (--state-dir DIR): restore the decision cache, policy
+    // repository, and model version from DIR on startup, append cache
+    // inserts to a WAL, and write a crash-safe snapshot every
+    // `snapshot_every_s` seconds (0 = only on drain and `!snapshot`).
+    // The directory is created 0700 — snapshots hold full request text.
+    std::string state_dir;
+    std::size_t snapshot_every_s = 0;
+    // Decision-cache shard count (0 = the CacheOptions default of 16;
+    // rounded up to a power of two).
+    std::size_t cache_shards = 0;
     // Test hooks. `shutdown_fd`: in listen mode, poll this descriptor
     // instead of installing SIGTERM/SIGINT handlers — one readable byte
     // (or EOF) triggers the graceful drain. `announce_port`: when set,
@@ -162,6 +174,7 @@ struct LoadgenCliOptions {
     std::size_t distinct = 8;
     std::size_t cache_mb = 64;
     bool use_cache = true;
+    std::size_t cache_shards = 0;  // 0 = the CacheOptions default of 16
     // Non-empty host: drive a remote `agenp serve --listen` server over
     // TCP instead of an in-process service.
     std::string connect_host;

@@ -7,7 +7,7 @@
 
 namespace agenp::srv {
 
-DecisionCache::DecisionCache(CacheOptions options) {
+DecisionCache::DecisionCache(CacheOptions options) : on_insert_(std::move(options.on_insert)) {
     std::size_t shards = std::bit_ceil(options.shards == 0 ? std::size_t{1} : options.shards);
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
@@ -56,22 +56,71 @@ std::optional<bool> DecisionCache::lookup(const CacheKey& key, std::uint64_t mod
 }
 
 void DecisionCache::insert(const CacheKey& key, std::uint64_t model_version, bool permitted) {
-    Shard& shard = shard_for(key.hash);
-    std::lock_guard lock(shard.mu);
-    if (auto it = shard.index.find(key.text); it != shard.index.end()) {
-        it->second->version = model_version;
-        it->second->permitted = permitted;
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        return;
+    {
+        Shard& shard = shard_for(key.hash);
+        std::lock_guard lock(shard.mu);
+        if (auto it = shard.index.find(key.text); it != shard.index.end()) {
+            it->second->version = model_version;
+            it->second->permitted = permitted;
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        } else {
+            shard.lru.push_front({key.text, model_version, permitted});
+            shard.index.emplace(shard.lru.front().text, shard.lru.begin());
+            shard.bytes += entry_bytes(shard.lru.front());
+            ++shard.insertions;
+            while (shard.bytes > shard_capacity_bytes_ && shard.lru.size() > 1) {
+                erase_entry(shard, std::prev(shard.lru.end()));
+                ++shard.evictions;
+            }
+        }
     }
-    shard.lru.push_front({key.text, model_version, permitted});
-    shard.index.emplace(shard.lru.front().text, shard.lru.begin());
-    shard.bytes += entry_bytes(shard.lru.front());
-    ++shard.insertions;
-    while (shard.bytes > shard_capacity_bytes_ && shard.lru.size() > 1) {
-        erase_entry(shard, std::prev(shard.lru.end()));
-        ++shard.evictions;
+    // Outside the shard lock: the WAL hook does file I/O.
+    if (on_insert_) on_insert_({key.text, model_version, permitted});
+}
+
+std::vector<CacheEntry> DecisionCache::export_entries() const {
+    std::vector<CacheEntry> out;
+    for (const auto& shard : shards_) {
+        std::lock_guard lock(shard->mu);
+        for (const auto& entry : shard->lru) {
+            out.push_back({entry.text, entry.version, entry.permitted});
+        }
     }
+    return out;
+}
+
+DecisionCache::RestoreCounts DecisionCache::restore_entries(const std::vector<CacheEntry>& entries) {
+    RestoreCounts counts;
+    for (const auto& entry : entries) {
+        std::uint64_t hash = util::fnv1a_hash(entry.text);
+        Shard& shard = shard_for(hash);
+        std::lock_guard lock(shard.mu);
+        if (auto it = shard.index.find(entry.text); it != shard.index.end()) {
+            // Duplicate key: a WAL record replayed over its snapshot
+            // entry. The later record wins; it counts as the same entry.
+            it->second->version = entry.model_version;
+            it->second->permitted = entry.permitted;
+            continue;
+        }
+        // Append at the cold end so hottest-first input keeps its LRU
+        // order; skip (never evict) once the shard's budget is spent —
+        // the caller reports the truncation.
+        std::uint64_t bytes = entry.text.size() + 64;
+        if (shard.bytes + bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+            ++counts.skipped;
+            continue;
+        }
+        shard.lru.push_back({entry.text, entry.model_version, entry.permitted});
+        shard.index.emplace(shard.lru.back().text, std::prev(shard.lru.end()));
+        shard.bytes += entry_bytes(shard.lru.back());
+        ++counts.restored;
+    }
+    return counts;
+}
+
+std::string_view DecisionCache::request_text_of_key(std::string_view key_text) {
+    auto sep = key_text.find('\x1f');
+    return sep == std::string_view::npos ? key_text : key_text.substr(0, sep);
 }
 
 void DecisionCache::clear() {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -30,9 +31,21 @@
 
 namespace agenp::srv {
 
+// One cache entry as a plain value: the unit of export_entries /
+// restore_entries and of the persistence WAL (src/store).
+struct CacheEntry {
+    std::string text;  // request tokens + '\x1f' + context program
+    std::uint64_t model_version = 0;
+    bool permitted = false;
+};
+
 struct CacheOptions {
     std::size_t capacity_bytes = 64ull << 20;  // total across shards
     std::size_t shards = 16;                   // rounded up to a power of two
+    // Called after every insert(), outside the shard lock — the
+    // persistence WAL hook. Restores do NOT fire it (they would echo the
+    // snapshot straight back into the WAL).
+    std::function<void(const CacheEntry&)> on_insert;
 };
 
 struct CacheStats {
@@ -72,6 +85,31 @@ public:
 
     void clear();
 
+    // --- persistence (src/store warm restarts) ---
+
+    // Every live entry, most-recently-used first within each shard, with
+    // its model-version stamp intact.
+    [[nodiscard]] std::vector<CacheEntry> export_entries() const;
+
+    struct RestoreCounts {
+        std::size_t restored = 0;
+        std::size_t skipped = 0;  // dropped: shard already at capacity
+    };
+
+    // Loads exported entries back, preserving version stamps (stale ones
+    // invalidate lazily on lookup, exactly like after update_model). Call
+    // `entries` hottest-first: once a shard's byte budget fills, further
+    // entries for it are skipped rather than evicting what was already
+    // restored. A duplicate key overwrites (WAL entries replayed over a
+    // snapshot are newer). Does not fire on_insert.
+    RestoreCounts restore_entries(const std::vector<CacheEntry>& entries);
+
+    // The request-text prefix of a key's text (everything before the
+    // '\x1f' separator) — what the router hashes for replica placement,
+    // so restored entries can be re-partitioned under a different
+    // replica count.
+    [[nodiscard]] static std::string_view request_text_of_key(std::string_view key_text);
+
     [[nodiscard]] CacheStats stats() const;
     [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
@@ -102,6 +140,7 @@ private:
     std::vector<std::unique_ptr<Shard>> shards_;
     std::uint64_t shard_mask_ = 0;
     std::size_t shard_capacity_bytes_ = 0;
+    std::function<void(const CacheEntry&)> on_insert_;
 };
 
 }  // namespace agenp::srv

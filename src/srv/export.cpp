@@ -1,5 +1,6 @@
 #include "srv/export.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "obs/lockprof.hpp"
@@ -7,7 +8,41 @@
 
 namespace agenp::srv {
 
-std::string serve_stats_json(const AmsRouter& router, const TcpServer* server) {
+namespace {
+
+// Seconds since the store last wrote a snapshot; -1 before the first one.
+std::int64_t snapshot_age_s(const store::StoreStatus& status) {
+    if (status.last_snapshot_unix_ms == 0) return -1;
+    auto now_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    if (now_ms < status.last_snapshot_unix_ms) return 0;
+    return static_cast<std::int64_t>((now_ms - status.last_snapshot_unix_ms) / 1000);
+}
+
+std::string store_status_json(const store::StoreStatus& status) {
+    std::string out = "{";
+    out += "\"snapshots\":" + std::to_string(status.snapshots_written);
+    out += ",\"snapshot_failures\":" + std::to_string(status.snapshot_failures);
+    out += ",\"snapshot_age_s\":" + std::to_string(snapshot_age_s(status));
+    out += ",\"snapshot_bytes\":" + std::to_string(status.snapshot_bytes);
+    out += ",\"snapshot_entries\":" + std::to_string(status.snapshot_entries);
+    out += ",\"snapshot_policies\":" + std::to_string(status.snapshot_policies);
+    out += ",\"wal_appends\":" + std::to_string(status.wal_appends);
+    out += ",\"wal_bytes\":" + std::to_string(status.wal_bytes);
+    out += std::string(",\"restored\":") + (status.restored ? "true" : "false");
+    out += ",\"restored_entries\":" + std::to_string(status.restored_entries);
+    out += ",\"wal_replayed\":" + std::to_string(status.wal_replayed);
+    out += ",\"wal_discarded_bytes\":" + std::to_string(status.wal_discarded_bytes);
+    out += "}";
+    return out;
+}
+
+}  // namespace
+
+std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
+                             const store::StateStore* state) {
     RouterStats rs = router.snapshot_stats();
     const ServiceStats& stats = rs.total;
     std::string out = "{";
@@ -43,6 +78,7 @@ std::string serve_stats_json(const AmsRouter& router, const TcpServer* server) {
     }
     out += "]";
     if (server != nullptr) out += ",\"conn\":" + transport_stats_json(server->stats());
+    if (state != nullptr) out += ",\"store\":" + store_status_json(state->status());
     out += "}";
     return out;
 }
@@ -59,7 +95,8 @@ std::string healthz_json(const AmsRouter& router, bool draining) {
     return out;
 }
 
-obs::Exposition serve_exposition(const AmsRouter& router, bool draining) {
+obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
+                                 const store::StateStore* state) {
     obs::Exposition exposition;
     exposition.append_registry(obs::metrics());
     exposition.append_locks(obs::locks());
@@ -93,16 +130,31 @@ obs::Exposition serve_exposition(const AmsRouter& router, bool draining) {
                              static_cast<std::int64_t>(rs.replicas[i].queue_depth),
                              "Instantaneous queue depth by replica");
     }
+    if (state != nullptr) {
+        store::StoreStatus status = state->status();
+        exposition.add_gauge("store.snapshot_age_seconds", {}, snapshot_age_s(status),
+                             "Seconds since the last state snapshot (-1 before the first)");
+        exposition.add_gauge("store.snapshot_size_bytes", {},
+                             static_cast<std::int64_t>(status.snapshot_bytes),
+                             "Size of the last written or loaded snapshot");
+        exposition.add_gauge("store.snapshot_cache_entries", {},
+                             static_cast<std::int64_t>(status.snapshot_entries),
+                             "Cache entries in the last snapshot");
+        exposition.add_gauge("store.restored", {}, status.restored ? 1 : 0,
+                             "1 when this process warm-restarted from persisted state");
+    }
     return exposition;
 }
 
-std::string serve_exposition_prometheus(const AmsRouter& router, bool draining) {
-    return serve_exposition(router, draining).prometheus();
+std::string serve_exposition_prometheus(const AmsRouter& router, bool draining,
+                                        const store::StateStore* state) {
+    return serve_exposition(router, draining, state).prometheus();
 }
 
 std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
-                                      std::string_view prefix, std::time_t timestamp) {
-    return serve_exposition(router, draining).graphite(prefix, timestamp);
+                                      std::string_view prefix, std::time_t timestamp,
+                                      const store::StateStore* state) {
+    return serve_exposition(router, draining, state).graphite(prefix, timestamp);
 }
 
 }  // namespace agenp::srv

@@ -21,13 +21,17 @@
 #include "obs/export/exposition.hpp"
 #include "srv/router.hpp"
 #include "srv/transport.hpp"
+#include "store/store.hpp"
 
 namespace agenp::srv {
 
 // One-line JSON for `!stats`, `/statz`, and the periodic reporter: summed
 // service counters, cache, locks, router routing detail, per-replica rows,
-// and transport counters when serving TCP (`server` may be null).
-std::string serve_stats_json(const AmsRouter& router, const TcpServer* server);
+// and transport counters when serving TCP (`server` may be null). With a
+// StateStore attached (`--state-dir`) a "store" object rides along:
+// snapshot count/age/bytes/entries, WAL growth, and what restore() found.
+std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
+                             const store::StateStore* state = nullptr);
 
 // `/healthz` body: status ("ok" while serving, "draining" once shutdown
 // starts), replica count, model version agreement, total queue depth.
@@ -35,14 +39,20 @@ std::string healthz_json(const AmsRouter& router, bool draining);
 
 // The one shared enumerator: process registry + lock profiles + router
 // snapshot (srv.up, srv.draining, srv.router.model_version,
-// srv.router.versions_agree, srv.router.routed_*, srv.cache.*).
-obs::Exposition serve_exposition(const AmsRouter& router, bool draining);
+// srv.router.versions_agree, srv.router.routed_*, srv.cache.*), plus the
+// point-in-time store.* gauges (snapshot age/bytes/entries, wal bytes)
+// when a StateStore is attached — the store's own counters are already in
+// the process registry as agenp_store_*.
+obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
+                                 const store::StateStore* state = nullptr);
 
 // Renders serve_exposition as Prometheus text exposition format 0.0.4.
-std::string serve_exposition_prometheus(const AmsRouter& router, bool draining);
+std::string serve_exposition_prometheus(const AmsRouter& router, bool draining,
+                                        const store::StateStore* state = nullptr);
 
 // Renders serve_exposition as graphite plaintext under `prefix`.
 std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
-                                      std::string_view prefix, std::time_t timestamp);
+                                      std::string_view prefix, std::time_t timestamp,
+                                      const store::StateStore* state = nullptr);
 
 }  // namespace agenp::srv

@@ -78,6 +78,81 @@ void AmsRouter::drain() {
     for (auto& service : services_) service->drain();
 }
 
+store::SnapshotData AmsRouter::export_state() {
+    store::SnapshotData data;
+    // Replica 0 is authoritative for model + repository: replicas agree
+    // whenever updates went through update_model (versions_agree).
+    services_[0]->update_model([&] {
+        auto& ams = *ams_[0];
+        data.model_version = ams.model_version();
+        data.repo_version = ams.policies().version();
+        data.repo_truncated = ams.policies().truncated();
+        if (data.model_version > 0) {
+            data.model_text = ams.model().to_string();
+            data.model_note = ams.representations().note_for(data.model_version);
+        }
+        for (const auto& stored : ams.policies().all()) {
+            data.policies.push_back(
+                {cfg::detokenize(stored.policy), stored.source, stored.version});
+        }
+    });
+    for (auto& service : services_) {
+        for (auto& entry : service->cache().export_entries()) {
+            data.entries.push_back({std::move(entry.text), entry.model_version, entry.permitted});
+        }
+    }
+    return data;
+}
+
+StateRestoreReport AmsRouter::restore_state(const store::SnapshotData& data) {
+    StateRestoreReport report;
+
+    std::unique_ptr<asg::AnswerSetGrammar> model;
+    if (data.model_version > 0 && !data.model_text.empty()) {
+        try {
+            model = std::make_unique<asg::AnswerSetGrammar>(
+                asg::AnswerSetGrammar::parse(data.model_text));
+        } catch (const std::exception& e) {
+            report.warning = std::string("persisted model unparseable, serving initial: ") +
+                             e.what();
+        }
+    }
+    std::vector<framework::StoredPolicy> stored;
+    stored.reserve(data.policies.size());
+    for (const auto& policy : data.policies) {
+        stored.push_back({cfg::tokenize(policy.text), policy.source, policy.version});
+    }
+    if (model || !stored.empty() || data.repo_version > 0) {
+        update_model([&](framework::AutonomousManagedSystem& ams) {
+            if (model) {
+                ams.representations().restore(*model, data.model_version, data.model_note);
+            }
+            ams.policies().restore(stored, data.repo_version, data.repo_truncated);
+        });
+        report.model_restored = model != nullptr;
+        report.policies_restored = stored.size();
+    }
+    report.model_version = model_version();
+
+    if (!data.entries.empty() && services_[0]->options().use_cache) {
+        // Re-partition by the same request-hash the submit path routes
+        // with, over the replica count in force *now* — entries follow
+        // their requests even when --replicas changed across the restart.
+        std::vector<std::vector<CacheEntry>> parts(services_.size());
+        for (const auto& entry : data.entries) {
+            auto request = DecisionCache::request_text_of_key(entry.text);
+            std::size_t i = util::fnv1a_hash(request) % services_.size();
+            parts[i].push_back({entry.text, entry.model_version, entry.permitted});
+        }
+        for (std::size_t i = 0; i < services_.size(); ++i) {
+            auto counts = services_[i]->cache().restore_entries(parts[i]);
+            report.entries_restored += counts.restored;
+            report.entries_skipped += counts.skipped;
+        }
+    }
+    return report;
+}
+
 RouterStats AmsRouter::snapshot_stats() const {
     RouterStats out;
     out.replicas.reserve(services_.size());

@@ -190,6 +190,9 @@ public:
     // router's per-submit replica choice.
     [[nodiscard]] std::size_t queue_depth() const;
     [[nodiscard]] const DecisionCache& cache() const { return cache_; }
+    // Mutable access exists for state restore (AmsRouter::restore_state)
+    // only; everything in-band goes through lookup/insert on the workers.
+    [[nodiscard]] DecisionCache& cache() { return cache_; }
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
     // Recent-request ring (always on; see srv/flight.hpp).

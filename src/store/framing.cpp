@@ -1,0 +1,197 @@
+#include "store/framing.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace agenp::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+std::string errno_message(const char* what, const std::string& path) {
+    return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+// Directory of `path` for the post-rename fsync ("." when bare filename).
+std::string parent_dir(const std::string& path) {
+    auto slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (unsigned char byte : data) c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+void put_string(std::string& out, std::string_view s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+bool get_u8(Cursor& c, std::uint8_t* v) {
+    if (c.pos + 1 > c.data.size()) return false;
+    *v = static_cast<std::uint8_t>(c.data[c.pos++]);
+    return true;
+}
+
+bool get_u32(Cursor& c, std::uint32_t* v) {
+    if (c.pos + 4 > c.data.size()) return false;
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+        out |= static_cast<std::uint32_t>(static_cast<unsigned char>(c.data[c.pos + i])) << (8 * i);
+    }
+    c.pos += 4;
+    *v = out;
+    return true;
+}
+
+bool get_u64(Cursor& c, std::uint64_t* v) {
+    if (c.pos + 8 > c.data.size()) return false;
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+        out |= static_cast<std::uint64_t>(static_cast<unsigned char>(c.data[c.pos + i])) << (8 * i);
+    }
+    c.pos += 8;
+    *v = out;
+    return true;
+}
+
+bool get_string(Cursor& c, std::string* s) {
+    std::uint32_t len = 0;
+    if (!get_u32(c, &len)) return false;
+    if (len > kMaxRecordPayload || c.pos + len > c.data.size()) return false;
+    s->assign(c.data.substr(c.pos, len));
+    c.pos += len;
+    return true;
+}
+
+void append_record(std::string& out, std::string_view payload) {
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    put_u32(out, crc32(payload));
+    out.append(payload);
+}
+
+std::size_t read_records(std::string_view data, std::vector<std::string>* payloads) {
+    Cursor c{data};
+    std::size_t valid = 0;
+    while (!c.done()) {
+        std::uint32_t len = 0;
+        std::uint32_t sum = 0;
+        if (!get_u32(c, &len) || !get_u32(c, &sum)) break;
+        if (len > kMaxRecordPayload || c.pos + len > data.size()) break;
+        std::string_view payload = data.substr(c.pos, len);
+        if (crc32(payload) != sum) break;
+        c.pos += len;
+        payloads->emplace_back(payload);
+        valid = c.pos;
+    }
+    return valid;
+}
+
+bool read_file(const std::string& path, std::string* contents, std::string* error) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (error) *error = errno_message("open", path);
+        return false;
+    }
+    contents->clear();
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (error) *error = errno_message("read", path);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0) break;
+        contents->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+namespace {
+
+bool write_all(int fd, std::string_view data, const std::string& path, std::string* error) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            if (error) *error = errno_message("write", path);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, std::string_view contents, std::string* error) {
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+    if (fd < 0) {
+        if (error) *error = errno_message("open", tmp);
+        return false;
+    }
+    if (!write_all(fd, contents, tmp, error)) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        if (error) *error = errno_message("fsync", tmp);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (error) *error = errno_message("rename", tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Make the rename itself durable: fsync the containing directory. A
+    // failure here is logged by the caller but the data is already safely
+    // in place for the common (no power loss) case.
+    int dir_fd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+    return true;
+}
+
+}  // namespace agenp::store

@@ -1,0 +1,70 @@
+// Snapshot payload format: the full serving state of one AmsRouter as a
+// flat record stream (DESIGN.md §11).
+//
+//   Header  (tag 1)  magic "AGNPSNAP", format version, model version,
+//                    model text (serialized ASG, empty = no learned
+//                    model), model note, repository version + truncated
+//                    flag, creation wall-clock seconds
+//   Policy  (tag 2)  one stored policy: text, source, stamping version
+//   Entry   (tag 3)  one decision-cache entry: key text, model version,
+//                    verdict — the exact triple DecisionCache keeps in
+//                    memory, so restored entries invalidate lazily on
+//                    version mismatch exactly like live ones
+//   Footer  (tag 4)  policy + entry counts
+//
+// A snapshot is valid only when the header parses, the format version is
+// one we know, and the footer's counts match what was read — a file that
+// ends without its footer (torn writer, truncated copy) is rejected as a
+// whole rather than half-loaded, because atomic_write_file means a good
+// snapshot is always all-or-nothing on disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agenp::store {
+
+inline constexpr std::string_view kSnapshotMagic = "AGNPSNAP";
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+// One decision-cache entry, exactly as DecisionCache stores it.
+struct CacheEntryRecord {
+    std::string text;  // request tokens + '\x1f' + context program
+    std::uint64_t model_version = 0;
+    bool permitted = false;
+};
+
+// One policy-repository entry (tokens re-tokenized from text on restore).
+struct PolicyRecord {
+    std::string text;
+    std::string source;
+    std::uint64_t version = 0;
+};
+
+struct SnapshotData {
+    std::uint64_t model_version = 0;
+    std::string model_text;  // asg::AnswerSetGrammar::to_string(); "" = none
+    std::string model_note;
+    std::uint64_t repo_version = 0;
+    bool repo_truncated = false;
+    std::uint64_t created_unix_s = 0;
+    std::vector<PolicyRecord> policies;
+    std::vector<CacheEntryRecord> entries;
+};
+
+// Serializes `data` as a framed record stream ready for atomic_write_file.
+std::string encode_snapshot(const SnapshotData& data);
+
+// Parses a snapshot file's bytes. On failure returns false with a
+// one-line reason in *error ("snapshot format version 9 is newer than
+// supported 1", "snapshot footer missing", ...); *data is unspecified.
+bool decode_snapshot(std::string_view bytes, SnapshotData* data, std::string* error);
+
+// The tagged cache-entry payload is shared with the WAL: a WAL record is
+// exactly one snapshot Entry record, so replay reuses this pair.
+std::string encode_cache_entry(const CacheEntryRecord& entry);
+bool decode_cache_entry(std::string_view payload, CacheEntryRecord* entry);
+
+}  // namespace agenp::store

@@ -1,0 +1,144 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/framing.hpp"
+
+namespace agenp::store {
+
+namespace {
+
+std::string encode_wal_header() {
+    std::string p;
+    p.append(kWalMagic);
+    put_u32(p, kWalFormatVersion);
+    return p;
+}
+
+}  // namespace
+
+WalReplay replay_wal(const std::string& path) {
+    WalReplay out;
+    std::string bytes;
+    if (!read_file(path, &bytes, nullptr)) return out;  // missing: clean empty
+    out.present = true;
+
+    std::vector<std::string> payloads;
+    out.valid_bytes = read_records(bytes, &payloads);
+    out.discarded_bytes = bytes.size() - out.valid_bytes;
+
+    if (payloads.empty()) {
+        // Nothing CRC-valid at all — treat the whole file as a torn tail.
+        out.valid_bytes = 0;
+        out.discarded_bytes = bytes.size();
+        if (!bytes.empty()) out.warning = "wal has no valid header; discarding whole file";
+        return out;
+    }
+
+    // Header record: magic + format version.
+    {
+        Cursor c{payloads.front()};
+        bool magic_ok = c.data.size() >= kWalMagic.size() &&
+                        c.data.substr(0, kWalMagic.size()) == kWalMagic;
+        std::uint32_t format = 0;
+        if (magic_ok) {
+            c.pos = kWalMagic.size();
+            magic_ok = get_u32(c, &format);
+        }
+        if (!magic_ok || format > kWalFormatVersion) {
+            out.valid_bytes = 0;
+            out.discarded_bytes = bytes.size();
+            out.warning = magic_ok ? "wal format version " + std::to_string(format) +
+                                         " is newer than supported " +
+                                         std::to_string(kWalFormatVersion)
+                                   : "wal header magic mismatch; discarding whole file";
+            return out;
+        }
+    }
+
+    for (std::size_t i = 1; i < payloads.size(); ++i) {
+        CacheEntryRecord entry;
+        if (!decode_cache_entry(payloads[i], &entry)) {
+            // CRC-valid but undecodable: a writer bug, not disk damage.
+            // Keep what decoded so far, flag the rest.
+            out.warning = "wal record " + std::to_string(i) + " undecodable; later records kept";
+            continue;
+        }
+        out.entries.push_back(std::move(entry));
+    }
+    if (out.discarded_bytes > 0 && out.warning.empty()) {
+        out.warning =
+            "wal torn tail: discarded " + std::to_string(out.discarded_bytes) + " trailing bytes";
+    }
+    return out;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::close() {
+    std::lock_guard lock(mu_);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+}
+
+bool WalWriter::open(const std::string& path, std::string* error) {
+    std::lock_guard lock(mu_);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0600);
+    if (fd_ < 0) {
+        if (error) *error = "open " + path + ": " + std::strerror(errno);
+        return false;
+    }
+    path_ = path;
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size == 0) {
+        std::string framed;
+        append_record(framed, encode_wal_header());
+        if (::write(fd_, framed.data(), framed.size()) != static_cast<ssize_t>(framed.size())) {
+            if (error) *error = "write " + path + ": " + std::strerror(errno);
+            ::close(fd_);
+            fd_ = -1;
+            return false;
+        }
+        ::fsync(fd_);
+    }
+    return true;
+}
+
+std::size_t WalWriter::append(const CacheEntryRecord& entry) {
+    std::string framed;
+    append_record(framed, encode_cache_entry(entry));
+    std::lock_guard lock(mu_);
+    if (fd_ < 0) return 0;
+    // One write(2) on an O_APPEND fd: the record lands contiguously, so a
+    // crash can tear at most the record being written right now.
+    ssize_t n = ::write(fd_, framed.data(), framed.size());
+    return n == static_cast<ssize_t>(framed.size()) ? framed.size() : 0;
+}
+
+bool WalWriter::truncate_to(std::size_t bytes) {
+    std::lock_guard lock(mu_);
+    if (fd_ < 0) return false;
+    if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) return false;
+    // O_APPEND repositions on each write; nothing else to fix up.
+    return true;
+}
+
+bool WalWriter::reset() {
+    std::lock_guard lock(mu_);
+    if (fd_ < 0) return false;
+    if (::ftruncate(fd_, 0) != 0) return false;
+    std::string framed;
+    append_record(framed, encode_wal_header());
+    if (::write(fd_, framed.data(), framed.size()) != static_cast<ssize_t>(framed.size())) {
+        return false;
+    }
+    ::fsync(fd_);
+    return true;
+}
+
+}  // namespace agenp::store

@@ -1,0 +1,74 @@
+// Append-only write-ahead log for decision-cache inserts between
+// snapshots (DESIGN.md §11).
+//
+// File shape: one header record (magic "AGNPWAL.", format version), then
+// one framed cache-entry record per insert. Appends go through a single
+// O_APPEND write(2) per record — the kernel appends atomically, so a
+// kill -9 leaves at most one torn record at the tail, which replay
+// detects by CRC and discards. Appends are NOT fsynced per record: the
+// WAL bounds how much cache warmth a crash loses, it is not a
+// transaction log, and a cache entry is always safe to lose (the next
+// miss recomputes it).
+//
+// Replay walks the CRC-valid prefix and reports how many trailing bytes
+// were discarded; the caller truncates the file back to the valid prefix
+// before appending again, so one torn tail can never hide later records.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.hpp"
+
+namespace agenp::store {
+
+inline constexpr std::string_view kWalMagic = "AGNPWAL.";
+inline constexpr std::uint32_t kWalFormatVersion = 1;
+
+struct WalReplay {
+    bool present = false;  // the file existed
+    std::vector<CacheEntryRecord> entries;
+    std::size_t valid_bytes = 0;      // header + CRC-valid records
+    std::size_t discarded_bytes = 0;  // torn/corrupt tail dropped
+    std::string warning;              // non-empty when something was dropped
+};
+
+// Reads and validates the WAL at `path`. A missing file is a clean empty
+// replay (present=false). A file whose header is unreadable or from a
+// newer format replays as empty with the whole body discarded.
+WalReplay replay_wal(const std::string& path);
+
+// Appender. open() creates the file (mode 0600) with its header when
+// missing or empty; truncate_to()/reset() keep the on-disk prefix
+// CRC-clean across restarts and snapshots. Thread-safe: append() may be
+// called concurrently from every worker thread.
+class WalWriter {
+public:
+    ~WalWriter();
+
+    // Opens (creating if needed) the WAL for appending. Returns false
+    // with an errno message in *error.
+    bool open(const std::string& path, std::string* error);
+
+    // Appends one framed entry record; one write(2), no fsync.
+    // Returns the framed size in bytes, or 0 on write failure.
+    std::size_t append(const CacheEntryRecord& entry);
+
+    // Truncates the file to `bytes` (drop a torn tail found by replay).
+    bool truncate_to(std::size_t bytes);
+
+    // Empties the log back to just its header (after a snapshot).
+    bool reset();
+
+    void close();
+    [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+private:
+    std::mutex mu_;
+    int fd_ = -1;
+    std::string path_;
+};
+
+}  // namespace agenp::store

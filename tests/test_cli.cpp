@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -304,9 +306,76 @@ TEST(CmdServe, UsageMentionsObservabilityFlags) {
     int code = run({"serve"}, out, err);
     EXPECT_NE(code, 0);
     for (const char* flag : {"--trace-slow-ms", "--trace-sample", "--stats-every", "--listen",
-                             "--replicas"}) {
+                             "--replicas", "--state-dir", "--snapshot-every", "--cache-shards"}) {
         EXPECT_NE(err.str().find(flag), std::string::npos) << flag;
     }
+}
+
+TEST(CmdServe, WarmRestartRoundTripThroughStateDir) {
+    ServeCliOptions options;
+    options.grammar_path = temp_file("serve_state.asg", kServeGrammar);
+    options.context_path = temp_file("serve_state.lp", "maxloa(3).\n");
+    options.threads = 2;
+    options.state_dir = std::string(::testing::TempDir()) + "/agenp_cli_state";
+
+    // First life: cold start (nothing to restore), two decisions, and a
+    // drain-time snapshot covering both.
+    {
+        std::istringstream in("do patrol\ndo strike\n");
+        std::ostringstream out;
+        EXPECT_EQ(cmd_serve(options, in, out), 0);
+        EXPECT_NE(out.str().find("AGENP_STATE_RESTORED entries=0"), std::string::npos)
+            << out.str();
+        EXPECT_NE(out.str().find("SNAPSHOT_JSON {\"entries\":2"), std::string::npos) << out.str();
+    }
+    // Second life on the same --state-dir: both requests hit the restored
+    // cache and the store section reports the warm start.
+    {
+        std::istringstream in("do patrol\ndo strike\n!stats\n");
+        std::ostringstream out;
+        EXPECT_EQ(cmd_serve(options, in, out), 0);
+        std::string text = out.str();
+        EXPECT_NE(text.find("AGENP_STATE_RESTORED entries=2"), std::string::npos) << text;
+        auto stats_pos = text.find("SERVE_STATS_JSON {");
+        ASSERT_NE(stats_pos, std::string::npos);
+        std::string stats_line = text.substr(stats_pos, text.find('\n', stats_pos) - stats_pos);
+        for (const char* field :
+             {"\"hits\":2", "\"misses\":0", "\"store\":{", "\"restored\":true",
+              "\"restored_entries\":2"}) {
+            EXPECT_NE(stats_line.find(field), std::string::npos) << field << "\n" << stats_line;
+        }
+    }
+    std::remove((options.state_dir + "/snapshot.agenp").c_str());
+    std::remove((options.state_dir + "/wal.agenp").c_str());
+    ::rmdir(options.state_dir.c_str());
+}
+
+TEST(CmdServe, SnapshotControlLineNeedsStateDir) {
+    ServeCliOptions options;
+    options.grammar_path = temp_file("serve_snap.asg", kServeGrammar);
+    options.context_path = temp_file("serve_snap.lp", "maxloa(3).\n");
+    options.threads = 1;
+
+    // Without --state-dir the control line explains itself.
+    {
+        std::istringstream in("!snapshot\n");
+        std::ostringstream out;
+        EXPECT_EQ(cmd_serve(options, in, out), 0);
+        EXPECT_NE(out.str().find("snapshot unavailable: serve started without --state-dir"),
+                  std::string::npos)
+            << out.str();
+    }
+    // With one, it persists on demand and replies with the summary line.
+    options.state_dir = std::string(::testing::TempDir()) + "/agenp_cli_snap";
+    {
+        std::istringstream in("do patrol\n!snapshot\n");
+        std::ostringstream out;
+        EXPECT_EQ(cmd_serve(options, in, out), 0);
+        EXPECT_NE(out.str().find("SNAPSHOT_JSON {\"entries\":1"), std::string::npos) << out.str();
+    }
+    std::remove((options.state_dir + "/snapshot.agenp").c_str());
+    std::remove((options.state_dir + "/wal.agenp").c_str());
+    ::rmdir(options.state_dir.c_str());
 }
 
 TEST(CmdServe, StdinModeRoutesAcrossReplicasAndSpeaksJson) {
@@ -348,6 +417,15 @@ TEST(CmdLoadgen, UsageAndConnectValidation) {
         EXPECT_NE(run({"loadgen", "--connect", bad}, out2, err2), 0) << bad;
         EXPECT_NE(err2.str().find("HOST:PORT"), std::string::npos) << bad;
     }
+}
+
+TEST(CmdLoadgen, CacheShardsFlagParses) {
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"loadgen", "--clients", "2", "--requests", "10", "--cache-shards", "4"}, out,
+                  err),
+              0)
+        << err.str();
+    EXPECT_NE(out.str().find("LOADGEN_JSON {"), std::string::npos);
 }
 
 TEST(CmdLoadgen, InProcessReportCarriesDroppedCount) {

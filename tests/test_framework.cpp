@@ -89,6 +89,43 @@ TEST(RepresentationsRepo, VersionsAccumulate) {
     EXPECT_EQ(repo.at_version(3), nullptr);
 }
 
+TEST(PolicyRepo, RestoreReloadsPersistedSetVerbatim) {
+    PolicyRepository repo;
+    repo.replace({tokenize("do observe")}, "prep", 9);
+    // A warm restart hands back the recorded set: per-policy provenance
+    // and version stamps survive, and the repository-level version and
+    // truncated flag come back as recorded, not re-stamped.
+    repo.restore({{tokenize("do patrol"), "prep", 3}, {tokenize("do survey"), "shared:ams2", 2}},
+                 3, true);
+    EXPECT_EQ(repo.size(), 2u);
+    EXPECT_EQ(repo.version(), 3u);
+    EXPECT_TRUE(repo.truncated());
+    EXPECT_TRUE(repo.contains(tokenize("do patrol")));
+    EXPECT_FALSE(repo.contains(tokenize("do observe")));  // pre-restore set gone
+    EXPECT_EQ(repo.all()[1].source, "shared:ams2");
+    EXPECT_EQ(repo.all()[1].version, 2u);
+}
+
+TEST(RepresentationsRepo, RestoreReseedsHistoryAtPersistedVersion) {
+    RepresentationsRepository repo;
+    auto g = asg::AnswerSetGrammar::parse(kTaskInitial);
+    // Only the latest model was persisted; the history restarts at exactly
+    // the recorded version and earlier versions resolve to nothing.
+    repo.restore(g, 5, "restored note");
+    EXPECT_FALSE(repo.empty());
+    EXPECT_EQ(repo.latest_version(), 5u);
+    EXPECT_EQ(repo.note_for(5), "restored note");
+    EXPECT_NE(repo.at_version(5), nullptr);
+    EXPECT_EQ(repo.at_version(4), nullptr);
+    EXPECT_EQ(repo.at_version(6), nullptr);
+    // Learning continues from the persisted number.
+    EXPECT_EQ(repo.store(g, "post-restart"), 6u);
+    EXPECT_EQ(repo.note_for(6), "post-restart");
+    EXPECT_NE(repo.at_version(6), nullptr);
+    // Version 0 is not a valid restore point.
+    EXPECT_THROW(repo.restore(g, 0, "bad"), std::logic_error);
+}
+
 TEST(Prep, MaterializesContextDependentLanguage) {
     auto g = asg::AnswerSetGrammar::parse(kTaskInitial)
                  .with_rules({{asp::parse_rule(":- requires(L)@2, maxloa(M), L > M."), 0}});

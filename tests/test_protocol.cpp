@@ -190,6 +190,8 @@ TEST(Protocol, ShippedExamplesRoundTripAgainstLiveServer) {
     options.context_path = temp_file("protocol_context.lp", contexts.front());
     options.threads = 2;
     options.replicas = 1;  // the document pins "replicas":1 in ping replies
+    // The `!snapshot` example needs somewhere to persist to.
+    options.state_dir = std::string(::testing::TempDir()) + "protocol_state";
     options.listen = true;
     options.listen_port = 0;
     int shutdown_pipe[2];
@@ -237,6 +239,9 @@ TEST(Protocol, ShippedExamplesRoundTripAgainstLiveServer) {
     EXPECT_EQ(exit_code, 0) << serve_out.str();
     EXPECT_NE(serve_out.str().find("AGENP_LISTENING port="), std::string::npos);
     EXPECT_NE(serve_out.str().find("SERVE_STATS_JSON "), std::string::npos);
+    std::remove((options.state_dir + "/snapshot.agenp").c_str());
+    std::remove((options.state_dir + "/wal.agenp").c_str());
+    ::rmdir(options.state_dir.c_str());
 }
 
 // The catalogue at the bottom of the document must stay in lockstep with

@@ -717,6 +717,192 @@ TEST(AmsRouter, RequestIdsStayUniqueAcrossReplicas) {
     }
 }
 
+// --- persistence (src/store warm restarts) ----------------------------------
+
+TEST(DecisionCache, ExportRestoreRoundTripPreservesVersionStamps) {
+    DecisionCache source;
+    source.insert(key_for("do patrol", "maxloa(3)."), 1, true);
+    source.insert(key_for("do strike", "maxloa(3)."), 2, false);
+    auto exported = source.export_entries();
+    ASSERT_EQ(exported.size(), 2u);
+
+    DecisionCache target;
+    auto counts = target.restore_entries(exported);
+    EXPECT_EQ(counts.restored, 2u);
+    EXPECT_EQ(counts.skipped, 0u);
+    auto patrol = target.lookup(key_for("do patrol", "maxloa(3)."), 1);
+    ASSERT_TRUE(patrol.has_value());
+    EXPECT_TRUE(*patrol);
+    auto strike = target.lookup(key_for("do strike", "maxloa(3)."), 2);
+    ASSERT_TRUE(strike.has_value());
+    EXPECT_FALSE(*strike);
+    EXPECT_EQ(target.stats().entries, 2u);
+}
+
+TEST(DecisionCache, RestoredStaleEntriesInvalidateLazily) {
+    DecisionCache source;
+    source.insert(key_for("do patrol"), 1, true);
+    DecisionCache target;
+    target.restore_entries(source.export_entries());
+    // The model moved on while the process was down: the restored entry
+    // must miss and retire, exactly like a live entry after update_model.
+    EXPECT_FALSE(target.lookup(key_for("do patrol"), 2).has_value());
+    EXPECT_EQ(target.stats().invalidations, 1u);
+    EXPECT_EQ(target.stats().entries, 0u);
+}
+
+TEST(DecisionCache, RestoreDuplicateKeyKeepsLaterEntry) {
+    // WAL entries are replayed after the snapshot's: on a duplicate key
+    // the later (newer) verdict must win.
+    auto key = key_for("do patrol");
+    DecisionCache target;
+    auto counts = target.restore_entries({{key.text, 1, true}, {key.text, 2, false}});
+    // The overwrite counts as the same entry, not a second restore.
+    EXPECT_EQ(counts.restored, 1u);
+    EXPECT_EQ(counts.skipped, 0u);
+    EXPECT_EQ(target.stats().entries, 1u);
+    auto hit = target.lookup(key, 2);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(*hit);
+}
+
+TEST(DecisionCache, RestoreSkipsNotEvictsWhenOverBudget) {
+    CacheOptions small;
+    small.shards = 1;
+    small.capacity_bytes = 1;  // room for exactly one entry (never zero)
+    DecisionCache target(small);
+    std::vector<CacheEntry> entries = {{key_for("do task_0").text, 0, true},
+                                       {key_for("do task_1").text, 0, true},
+                                       {key_for("do task_2").text, 0, false}};
+    auto counts = target.restore_entries(entries);
+    // Hottest-first input: the first entry lands, the rest are skipped
+    // rather than evicting what was already restored.
+    EXPECT_EQ(counts.restored, 1u);
+    EXPECT_EQ(counts.skipped, 2u);
+    EXPECT_TRUE(target.lookup(key_for("do task_0"), 0).has_value());
+    EXPECT_FALSE(target.lookup(key_for("do task_1"), 0).has_value());
+}
+
+TEST(DecisionCache, OnInsertHookFiresOnInsertNotOnRestore) {
+    std::vector<CacheEntry> seen;
+    CacheOptions options;
+    options.on_insert = [&seen](const CacheEntry& entry) { seen.push_back(entry); };
+    DecisionCache cache(options);
+    auto key = key_for("do patrol", "maxloa(3).");
+    cache.insert(key, 3, true);
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0].text, key.text);
+    EXPECT_EQ(seen[0].model_version, 3u);
+    EXPECT_TRUE(seen[0].permitted);
+    // Restores must not echo back into the hook — that would write the
+    // snapshot straight into the WAL it was just read from.
+    cache.restore_entries(seen);
+    EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(DecisionCache, ShardCountRoundsUpToPowerOfTwo) {
+    CacheOptions options;
+    options.shards = 5;
+    EXPECT_EQ(DecisionCache(options).shard_count(), 8u);
+    options.shards = 1;
+    EXPECT_EQ(DecisionCache(options).shard_count(), 1u);
+}
+
+TEST(DecisionCache, RequestTextOfKeySplitsAtSeparator) {
+    auto key = key_for("do patrol", "maxloa(3).");
+    EXPECT_EQ(DecisionCache::request_text_of_key(key.text), "do patrol");
+    // No separator (not a well-formed key): the whole text is the request.
+    EXPECT_EQ(DecisionCache::request_text_of_key("plain"), "plain");
+}
+
+TEST(AmsRouter, ExportRestoreWarmsCacheAcrossReplicaCounts) {
+    // Persist from a 1-replica router, restore into a 3-replica one: the
+    // entries must follow their requests to the new affinity replicas.
+    store::SnapshotData data;
+    {
+        AmsRouter source(demo_factory(), router_options(1, 2));
+        for (std::size_t i = 0; i < 6; ++i) {
+            (void)source.submit(cfg::tokenize("do task_" + std::to_string(i))).get();
+        }
+        source.drain();
+        data = source.export_state();
+    }
+    EXPECT_EQ(data.entries.size(), 6u);
+
+    AmsRouter target(demo_factory(), router_options(3, 2));
+    StateRestoreReport report = target.restore_state(data);
+    EXPECT_EQ(report.entries_restored, 6u);
+    EXPECT_EQ(report.entries_skipped, 0u);
+    EXPECT_TRUE(report.warning.empty());
+
+    for (std::size_t i = 0; i < 6; ++i) {
+        Decision d = target.submit(cfg::tokenize("do task_" + std::to_string(i))).get();
+        EXPECT_TRUE(d.cache_hit) << "task_" << i;
+        EXPECT_EQ(d.permitted(), demo_expected(i)) << "task_" << i;
+    }
+    target.drain();
+    RouterStats stats = target.snapshot_stats();
+    EXPECT_EQ(stats.total.cache.hits, 6u);
+    EXPECT_EQ(stats.total.cache.misses, 0u);
+
+    // Restore must not disturb the id_offset/id_stride flight-id
+    // partitioning: every post-restore request still gets a unique id.
+    auto records = target.flight_snapshot();
+    ASSERT_EQ(records.size(), 6u);
+    std::set<std::uint64_t> ids;
+    for (const auto& r : records) ids.insert(r.id);
+    EXPECT_EQ(ids.size(), 6u);
+}
+
+TEST(AmsRouter, RestoreStateRebuildsModelAndPoliciesOnEveryReplica) {
+    store::SnapshotData data;
+    {
+        AmsRouter source(demo_factory(), router_options(2, 1));
+        source.update_model([](framework::AutonomousManagedSystem& ams) {
+            ams.representations().store(ams.model(), "adopted before crash");
+            ams.policies().replace({cfg::tokenize("do task_0")}, "prep", 1);
+        });
+        data = source.export_state();
+    }
+    EXPECT_EQ(data.model_version, 1u);
+    EXPECT_FALSE(data.model_text.empty());
+    EXPECT_EQ(data.model_note, "adopted before crash");
+    ASSERT_EQ(data.policies.size(), 1u);
+
+    AmsRouter target(demo_factory(), router_options(2, 1));
+    StateRestoreReport report = target.restore_state(data);
+    EXPECT_TRUE(report.model_restored);
+    EXPECT_EQ(report.model_version, 1u);
+    EXPECT_EQ(report.policies_restored, 1u);
+    EXPECT_TRUE(report.warning.empty()) << report.warning;
+
+    RouterStats stats = target.snapshot_stats();
+    EXPECT_EQ(stats.model_version, 1u);
+    EXPECT_TRUE(stats.versions_agree);
+    Decision d = target.submit(cfg::tokenize("do task_0")).get();
+    EXPECT_EQ(d.model_version, 1u);
+    EXPECT_TRUE(d.permitted());
+
+    // A second export reproduces the persisted provenance verbatim.
+    store::SnapshotData round2 = target.export_state();
+    EXPECT_EQ(round2.model_note, "adopted before crash");
+    EXPECT_EQ(round2.repo_version, 1u);
+    ASSERT_EQ(round2.policies.size(), 1u);
+    EXPECT_EQ(round2.policies[0].source, "prep");
+}
+
+TEST(AmsRouter, RestoreStateWithUnparseableModelWarnsAndServesInitial) {
+    store::SnapshotData data;
+    data.model_version = 2;
+    data.model_text = "this is -> not ->-> a grammar {{{";
+    AmsRouter router(demo_factory(), router_options(1, 1));
+    StateRestoreReport report = router.restore_state(data);
+    EXPECT_FALSE(report.model_restored);
+    EXPECT_NE(report.warning.find("unparseable"), std::string::npos) << report.warning;
+    // The initial demo model still decides correctly.
+    EXPECT_TRUE(router.submit(cfg::tokenize("do task_0")).get().permitted());
+}
+
 // --- TCP transport ----------------------------------------------------------
 
 TEST(Transport, RoundTripMatchesInProcessDecisions) {

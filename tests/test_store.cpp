@@ -1,0 +1,499 @@
+// Persistence subsystem (DESIGN.md §11): record framing + CRC, snapshot
+// encode/decode, WAL append/replay, and the StateStore lifecycle —
+// including the corruption shapes a kill -9 leaves behind (torn tails,
+// half-written frames) and the refusal paths (newer format, missing
+// footer).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/framing.hpp"
+#include "store/snapshot.hpp"
+#include "store/store.hpp"
+#include "store/wal.hpp"
+
+namespace agenp::store {
+namespace {
+
+// A fresh private directory per test, removed (with its known files) on
+// teardown.
+class TempDir {
+public:
+    TempDir() {
+        char tmpl[] = "/tmp/agenp_test_store.XXXXXX";
+        char* made = ::mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        if (made != nullptr) path_ = made;
+    }
+    ~TempDir() {
+        if (path_.empty()) return;
+        for (const char* name : {"snapshot.agenp", "snapshot.agenp.tmp", "wal.agenp", "file"}) {
+            std::remove((path_ + "/" + name).c_str());
+        }
+        ::rmdir(path_.c_str());
+    }
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+private:
+    std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+    std::string contents;
+    EXPECT_TRUE(read_file(path, &contents, nullptr)) << path;
+    return contents;
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+SnapshotData sample_snapshot() {
+    SnapshotData data;
+    data.model_version = 3;
+    data.model_text = "request -> \"do\" task\ntask -> \"patrol\"\n";
+    data.model_note = "learned from 12 examples";
+    data.repo_version = 3;
+    data.repo_truncated = true;
+    data.created_unix_s = 1754600000;
+    data.policies.push_back({"do patrol", "prep", 3});
+    data.policies.push_back({"do survey", "operator", 2});
+    data.entries.push_back({std::string("do patrol\x1f") + "maxloa(3).", 3, true});
+    data.entries.push_back({std::string("do strike\x1f") + "maxloa(3).", 3, false});
+    return data;
+}
+
+// --- framing ----------------------------------------------------------------
+
+TEST(Framing, Crc32MatchesKnownVector) {
+    // The IEEE check value every CRC-32 implementation must reproduce.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(Framing, RecordsRoundTrip) {
+    std::string buffer;
+    append_record(buffer, "first");
+    append_record(buffer, "");
+    append_record(buffer, std::string(1000, 'x'));
+
+    std::vector<std::string> payloads;
+    std::size_t valid = read_records(buffer, &payloads);
+    EXPECT_EQ(valid, buffer.size());
+    ASSERT_EQ(payloads.size(), 3u);
+    EXPECT_EQ(payloads[0], "first");
+    EXPECT_EQ(payloads[1], "");
+    EXPECT_EQ(payloads[2], std::string(1000, 'x'));
+}
+
+TEST(Framing, TornTailKeepsValidPrefix) {
+    std::string buffer;
+    append_record(buffer, "alpha");
+    append_record(buffer, "beta");
+    std::size_t two_records = buffer.size();
+    append_record(buffer, "gamma");
+    // A writer killed mid-append leaves part of the last frame.
+    buffer.resize(two_records + 5);
+
+    std::vector<std::string> payloads;
+    std::size_t valid = read_records(buffer, &payloads);
+    EXPECT_EQ(valid, two_records);
+    ASSERT_EQ(payloads.size(), 2u);
+    EXPECT_EQ(payloads[1], "beta");
+}
+
+TEST(Framing, CorruptCrcDiscardsRecordAndSuffix) {
+    std::string buffer;
+    append_record(buffer, "alpha");
+    std::size_t one_record = buffer.size();
+    append_record(buffer, "beta");
+    append_record(buffer, "gamma");
+    // Flip one payload byte inside "beta": its CRC no longer matches, and
+    // the reader must not resynchronize onto "gamma" behind it.
+    buffer[one_record + 8] ^= 0x01;
+
+    std::vector<std::string> payloads;
+    std::size_t valid = read_records(buffer, &payloads);
+    EXPECT_EQ(valid, one_record);
+    ASSERT_EQ(payloads.size(), 1u);
+    EXPECT_EQ(payloads[0], "alpha");
+}
+
+TEST(Framing, OversizedLengthFieldIsInvalidNotAllocated) {
+    std::string buffer;
+    put_u32(buffer, kMaxRecordPayload + 1);
+    put_u32(buffer, 0);
+    buffer += "junk";
+    std::vector<std::string> payloads;
+    EXPECT_EQ(read_records(buffer, &payloads), 0u);
+    EXPECT_TRUE(payloads.empty());
+}
+
+TEST(Framing, CursorPrimitivesRejectTruncation) {
+    std::string buffer;
+    put_u8(buffer, 7);
+    put_u32(buffer, 0xDEADBEEF);
+    put_u64(buffer, 1ull << 40);
+    put_string(buffer, "hello");
+
+    Cursor cursor{buffer};
+    std::uint8_t u8 = 0;
+    std::uint32_t u32 = 0;
+    std::uint64_t u64 = 0;
+    std::string s;
+    EXPECT_TRUE(get_u8(cursor, &u8));
+    EXPECT_TRUE(get_u32(cursor, &u32));
+    EXPECT_TRUE(get_u64(cursor, &u64));
+    EXPECT_TRUE(get_string(cursor, &s));
+    EXPECT_EQ(u8, 7u);
+    EXPECT_EQ(u32, 0xDEADBEEFu);
+    EXPECT_EQ(u64, 1ull << 40);
+    EXPECT_EQ(s, "hello");
+    EXPECT_TRUE(cursor.done());
+
+    Cursor truncated{std::string_view(buffer).substr(0, buffer.size() - 3)};
+    EXPECT_TRUE(get_u8(truncated, &u8));
+    EXPECT_TRUE(get_u32(truncated, &u32));
+    EXPECT_TRUE(get_u64(truncated, &u64));
+    EXPECT_FALSE(get_string(truncated, &s));
+    EXPECT_EQ(s, "hello");  // outputs untouched on failure
+}
+
+TEST(Framing, AtomicWriteFileReplacesWholeFile) {
+    TempDir dir;
+    std::string path = dir.file("file");
+    std::string error;
+    ASSERT_TRUE(atomic_write_file(path, "one", &error)) << error;
+    EXPECT_EQ(slurp(path), "one");
+    ASSERT_TRUE(atomic_write_file(path, "two two", &error)) << error;
+    EXPECT_EQ(slurp(path), "two two");
+    // The transient .tmp never survives a successful write.
+    std::string ignored;
+    EXPECT_FALSE(read_file(path + ".tmp", &ignored, nullptr));
+}
+
+// --- snapshot ---------------------------------------------------------------
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+    SnapshotData data = sample_snapshot();
+    std::string bytes = encode_snapshot(data);
+
+    SnapshotData out;
+    std::string error;
+    ASSERT_TRUE(decode_snapshot(bytes, &out, &error)) << error;
+    EXPECT_EQ(out.model_version, data.model_version);
+    EXPECT_EQ(out.model_text, data.model_text);
+    EXPECT_EQ(out.model_note, data.model_note);
+    EXPECT_EQ(out.repo_version, data.repo_version);
+    EXPECT_EQ(out.repo_truncated, data.repo_truncated);
+    EXPECT_EQ(out.created_unix_s, data.created_unix_s);
+    ASSERT_EQ(out.policies.size(), 2u);
+    EXPECT_EQ(out.policies[0].text, "do patrol");
+    EXPECT_EQ(out.policies[1].source, "operator");
+    ASSERT_EQ(out.entries.size(), 2u);
+    EXPECT_EQ(out.entries[0].text, data.entries[0].text);
+    EXPECT_EQ(out.entries[0].model_version, 3u);
+    EXPECT_TRUE(out.entries[0].permitted);
+    EXPECT_FALSE(out.entries[1].permitted);
+}
+
+TEST(Snapshot, NewerFormatVersionIsRefused) {
+    // Forge a header one format version ahead: an older binary must refuse
+    // the whole file rather than misread it.
+    std::string payload;
+    put_u8(payload, 1);  // header tag
+    payload.append(kSnapshotMagic);
+    put_u32(payload, kSnapshotFormatVersion + 1);
+    std::string bytes;
+    append_record(bytes, payload);
+
+    SnapshotData out;
+    std::string error;
+    EXPECT_FALSE(decode_snapshot(bytes, &out, &error));
+    EXPECT_NE(error.find("newer"), std::string::npos) << error;
+}
+
+TEST(Snapshot, WrongMagicIsRefused) {
+    SnapshotData out;
+    std::string error;
+    std::string bytes;
+    append_record(bytes, "\x01not a snapshot");
+    EXPECT_FALSE(decode_snapshot(bytes, &out, &error));
+    EXPECT_FALSE(decode_snapshot("", &out, &error));
+}
+
+TEST(Snapshot, MissingFooterRejectsWholeFile) {
+    std::string bytes = encode_snapshot(sample_snapshot());
+    // Drop the footer record: walk the frames and keep all but the last.
+    std::vector<std::string> payloads;
+    ASSERT_EQ(read_records(bytes, &payloads), bytes.size());
+    ASSERT_GE(payloads.size(), 2u);
+    std::string truncated;
+    for (std::size_t i = 0; i + 1 < payloads.size(); ++i) append_record(truncated, payloads[i]);
+
+    SnapshotData out;
+    std::string error;
+    EXPECT_FALSE(decode_snapshot(truncated, &out, &error));
+    EXPECT_NE(error.find("footer"), std::string::npos) << error;
+}
+
+TEST(Snapshot, FooterCountMismatchIsRefused) {
+    SnapshotData data = sample_snapshot();
+    std::string bytes = encode_snapshot(data);
+    std::vector<std::string> payloads;
+    ASSERT_EQ(read_records(bytes, &payloads), bytes.size());
+    // Drop one entry record but keep the footer: counts no longer match.
+    std::string tampered;
+    bool dropped = false;
+    for (const auto& payload : payloads) {
+        if (!dropped && !payload.empty() && payload[0] == 3) {
+            dropped = true;
+            continue;
+        }
+        append_record(tampered, payload);
+    }
+    ASSERT_TRUE(dropped);
+    SnapshotData out;
+    std::string error;
+    EXPECT_FALSE(decode_snapshot(tampered, &out, &error));
+}
+
+TEST(Snapshot, CacheEntryPayloadSharedWithWal) {
+    CacheEntryRecord entry{std::string("do patrol\x1f") + "maxloa(3).", 7, true};
+    CacheEntryRecord out;
+    ASSERT_TRUE(decode_cache_entry(encode_cache_entry(entry), &out));
+    EXPECT_EQ(out.text, entry.text);
+    EXPECT_EQ(out.model_version, 7u);
+    EXPECT_TRUE(out.permitted);
+    EXPECT_FALSE(decode_cache_entry("\x02junk", &out));  // wrong tag
+}
+
+// --- WAL --------------------------------------------------------------------
+
+TEST(Wal, AppendThenReplay) {
+    TempDir dir;
+    std::string path = dir.file("wal.agenp");
+    WalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path, &error)) << error;
+    EXPECT_GT(writer.append({"a\x1f", 1, true}), 0u);
+    EXPECT_GT(writer.append({"b\x1f", 1, false}), 0u);
+    writer.close();
+
+    WalReplay replay = replay_wal(path);
+    EXPECT_TRUE(replay.present);
+    EXPECT_EQ(replay.discarded_bytes, 0u);
+    EXPECT_TRUE(replay.warning.empty());
+    ASSERT_EQ(replay.entries.size(), 2u);
+    EXPECT_EQ(replay.entries[0].text, "a\x1f");
+    EXPECT_TRUE(replay.entries[0].permitted);
+    EXPECT_FALSE(replay.entries[1].permitted);
+}
+
+TEST(Wal, MissingFileIsCleanEmptyReplay) {
+    WalReplay replay = replay_wal("/nonexistent/path/wal.agenp");
+    EXPECT_FALSE(replay.present);
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_TRUE(replay.warning.empty());
+}
+
+TEST(Wal, TornTailIsDiscardedAndTruncationRestoresCleanAppends) {
+    TempDir dir;
+    std::string path = dir.file("wal.agenp");
+    WalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path, &error)) << error;
+    writer.append({"a\x1f", 1, true});
+    writer.append({"b\x1f", 1, true});
+    writer.close();
+
+    // kill -9 mid-append: chop the file inside the last record.
+    std::string bytes = slurp(path);
+    dump(path, bytes.substr(0, bytes.size() - 3));
+
+    WalReplay replay = replay_wal(path);
+    EXPECT_TRUE(replay.present);
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.entries[0].text, "a\x1f");
+    EXPECT_GT(replay.discarded_bytes, 0u);
+    EXPECT_FALSE(replay.warning.empty());
+
+    // Truncate back to the valid prefix (what StateStore::restore does),
+    // then append again: the new record lands on a clean prefix.
+    ASSERT_TRUE(writer.open(path, &error)) << error;
+    ASSERT_TRUE(writer.truncate_to(replay.valid_bytes));
+    EXPECT_GT(writer.append({"c\x1f", 2, false}), 0u);
+    writer.close();
+
+    WalReplay again = replay_wal(path);
+    ASSERT_EQ(again.entries.size(), 2u);
+    EXPECT_EQ(again.entries[1].text, "c\x1f");
+    EXPECT_EQ(again.discarded_bytes, 0u);
+}
+
+TEST(Wal, NewerFormatReplaysEmptyWithWarning) {
+    TempDir dir;
+    std::string path = dir.file("wal.agenp");
+    std::string header;
+    header.append(kWalMagic);
+    put_u32(header, kWalFormatVersion + 1);
+    std::string bytes;
+    append_record(bytes, header);
+    dump(path, bytes);
+
+    WalReplay replay = replay_wal(path);
+    EXPECT_TRUE(replay.present);
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_FALSE(replay.warning.empty());
+}
+
+TEST(Wal, ResetEmptiesBackToHeader) {
+    TempDir dir;
+    std::string path = dir.file("wal.agenp");
+    WalWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path, &error)) << error;
+    writer.append({"a\x1f", 1, true});
+    ASSERT_TRUE(writer.reset());
+    writer.append({"b\x1f", 2, true});
+    writer.close();
+
+    WalReplay replay = replay_wal(path);
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.entries[0].text, "b\x1f");
+}
+
+// --- StateStore -------------------------------------------------------------
+
+TEST(StateStoreTest, CreatesPrivateDirectoryAndFiles) {
+    TempDir dir;
+    std::string state_dir = dir.file("state");
+    {
+        StateStore store({state_dir});
+        store.append_wal({"a\x1f", 1, true});
+    }
+    struct stat st {};
+    ASSERT_EQ(::stat(state_dir.c_str(), &st), 0);
+    EXPECT_EQ(st.st_mode & 0777, 0700u) << "state dir must be private: full request text";
+    ASSERT_EQ(::stat((state_dir + "/wal.agenp").c_str(), &st), 0);
+    EXPECT_EQ(st.st_mode & 0777, 0600u);
+    std::remove((state_dir + "/wal.agenp").c_str());
+    std::remove((state_dir + "/snapshot.agenp").c_str());
+    ::rmdir(state_dir.c_str());
+}
+
+TEST(StateStoreTest, SnapshotThenWalRestoreMergesWithWalWinning) {
+    TempDir dir;
+    {
+        StateStore store({dir.path()});
+        SnapshotData data = sample_snapshot();
+        std::string error;
+        ASSERT_TRUE(store.save_snapshot(data, &error)) << error;
+        // Post-snapshot inserts: one fresh entry, one re-deciding an entry
+        // the snapshot already has (newer verdict must win on restore).
+        store.append_wal({std::string("do survey\x1f") + "maxloa(3).", 3, true});
+        store.append_wal({sample_snapshot().entries[0].text, 4, false});
+    }
+    StateStore store(StoreOptions{dir.path()});
+    RestoreResult result = store.restore();
+    EXPECT_TRUE(result.snapshot_loaded);
+    EXPECT_EQ(result.wal_replayed, 2u);
+    EXPECT_EQ(result.wal_discarded_bytes, 0u);
+    EXPECT_EQ(result.data.model_version, 3u);
+    EXPECT_EQ(result.data.policies.size(), 2u);
+    // Snapshot entries first, WAL entries after — the cache's
+    // restore_entries overwrites duplicates in input order, so WAL wins.
+    ASSERT_EQ(result.data.entries.size(), 4u);
+    EXPECT_EQ(result.data.entries[3].text, sample_snapshot().entries[0].text);
+    EXPECT_EQ(result.data.entries[3].model_version, 4u);
+
+    StoreStatus status = store.status();
+    EXPECT_TRUE(status.restored);
+    EXPECT_EQ(status.restored_entries, 4u);
+    EXPECT_EQ(status.wal_replayed, 2u);
+}
+
+TEST(StateStoreTest, SaveSnapshotResetsWal) {
+    TempDir dir;
+    StateStore store(StoreOptions{dir.path()});
+    store.append_wal({"a\x1f", 1, true});
+    std::string error;
+    ASSERT_TRUE(store.save_snapshot(SnapshotData{}, &error)) << error;
+    EXPECT_EQ(store.status().wal_bytes, 0u);
+    WalReplay replay = replay_wal(dir.file("wal.agenp"));
+    EXPECT_TRUE(replay.entries.empty());
+}
+
+TEST(StateStoreTest, RestoreTruncatesTornWalTailOnDisk) {
+    TempDir dir;
+    {
+        StateStore store(StoreOptions{dir.path()});
+        store.append_wal({"a\x1f", 1, true});
+        store.append_wal({"b\x1f", 1, true});
+    }
+    std::string wal_path = dir.file("wal.agenp");
+    std::string bytes = slurp(wal_path);
+    dump(wal_path, bytes.substr(0, bytes.size() - 2));
+
+    StateStore store(StoreOptions{dir.path()});
+    RestoreResult result = store.restore();
+    EXPECT_FALSE(result.snapshot_loaded);
+    EXPECT_EQ(result.wal_replayed, 1u);
+    EXPECT_GT(result.wal_discarded_bytes, 0u);
+    EXPECT_FALSE(result.warning.empty());
+
+    // The torn tail is gone from disk: new appends extend a clean prefix.
+    store.append_wal({"c\x1f", 2, true});
+    WalReplay replay = replay_wal(wal_path);
+    ASSERT_EQ(replay.entries.size(), 2u);
+    EXPECT_EQ(replay.entries[1].text, "c\x1f");
+    EXPECT_EQ(replay.discarded_bytes, 0u);
+}
+
+TEST(StateStoreTest, CorruptSnapshotFallsBackToWalOnly) {
+    TempDir dir;
+    {
+        StateStore store(StoreOptions{dir.path()});
+        std::string error;
+        ASSERT_TRUE(store.save_snapshot(sample_snapshot(), &error)) << error;
+        store.append_wal({"fresh\x1f", 3, true});
+    }
+    // Corrupt the snapshot body: restore must refuse it but still replay
+    // the WAL, so a damaged snapshot degrades warmth, not correctness.
+    std::string snapshot_path = dir.file("snapshot.agenp");
+    std::string bytes = slurp(snapshot_path);
+    bytes[bytes.size() / 2] ^= 0x01;
+    dump(snapshot_path, bytes);
+
+    StateStore store(StoreOptions{dir.path()});
+    RestoreResult result = store.restore();
+    EXPECT_FALSE(result.snapshot_loaded);
+    EXPECT_FALSE(result.warning.empty());
+    ASSERT_EQ(result.data.entries.size(), 1u);
+    EXPECT_EQ(result.data.entries[0].text, "fresh\x1f");
+    EXPECT_EQ(result.data.model_version, 0u);
+}
+
+TEST(StateStoreTest, EmptyDirRestoreIsCleanColdStart) {
+    TempDir dir;
+    StateStore store(StoreOptions{dir.path()});
+    RestoreResult result = store.restore();
+    EXPECT_FALSE(result.snapshot_loaded);
+    EXPECT_EQ(result.data.entries.size(), 0u);
+    EXPECT_TRUE(result.warning.empty());
+    EXPECT_FALSE(store.status().restored);
+}
+
+}  // namespace
+}  // namespace agenp::store
