@@ -15,9 +15,16 @@
 //                              "p99_us":..,"hit_rate":..,"locks":{...}},...],
 //                     "exporter":{"baseline_rps":..,"scraped_rps":..,
 //                                 "overhead_pct":..,"scrapes":..},
+//                     "profiler":{"hz":..,"baseline_rps":..,"profiled_rps":..,
+//                                 "overhead_pct":..,"samples":..,"dropped":..,
+//                                 "stacks_nonempty":..},
 //                     "restart":{"cold":{...},"warm":{...},
 //                                "entries_restored":..,"warm_ge_10x_cold":..},
 //                     "cache_speedup":..,"smoke":..}
+//
+// The full line is also written to bench/results/BENCH_SERVE.json (repo
+// root relative; `--out PATH` overrides, `--no-out` suppresses) so runs
+// leave a comparable artifact behind.
 //
 // `cache_speedup` compares cache on vs off at the same thread count on the
 // repeated-request in-process workload; the CI smoke (`--smoke`) asserts
@@ -34,6 +41,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -42,6 +50,7 @@
 
 #include "obs/export/http.hpp"
 #include "obs/lockprof.hpp"
+#include "obs/prof.hpp"
 #include "srv/export.hpp"
 #include "srv/loadgen.hpp"
 #include "srv/router.hpp"
@@ -183,6 +192,66 @@ ExporterRow run_exporter_overhead(std::size_t threads, std::size_t requests_per_
                            ? (row.baseline_rps - row.scraped_rps) / row.baseline_rps * 100.0
                            : 0;
     metrics_http.shutdown();
+    server.shutdown();
+    return row;
+}
+
+// Sampling-profiler overhead: the same warm-cache loopback-TCP workload
+// with the SIGPROF profiler armed at `hz`, against an unprofiled baseline.
+// The budget is <5% throughput cost at 99 Hz; like the exporter budget it
+// is advisory in CI (shared-runner noise exceeds it), but the row proves
+// the profiler samples real serving work without stalling it.
+struct ProfilerRow {
+    std::size_t hz = 0;
+    double baseline_rps = 0;
+    double profiled_rps = 0;
+    double overhead_pct = 0;
+    std::size_t samples = 0;
+    std::size_t dropped = 0;
+    bool stacks_nonempty = false;
+};
+
+ProfilerRow run_profiler_overhead(std::size_t threads, std::size_t requests_per_client,
+                                  std::size_t distinct, std::size_t hz) {
+    srv::RouterOptions options;
+    options.replicas = 1;
+    options.service.threads = threads;
+    options.service.use_cache = true;
+    srv::AmsRouter router(
+        [distinct] {
+            return std::make_unique<framework::AutonomousManagedSystem>(
+                srv::make_demo_ams(distinct));
+        },
+        options);
+    srv::TcpServer server(router, srv::TransportOptions{});
+
+    srv::LoadgenOptions load;
+    load.clients = threads;
+    load.requests_per_client = requests_per_client;
+
+    ProfilerRow row;
+    row.hz = hz;
+    // Warm the cache so both runs measure steady-state serving, not solves.
+    srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load);
+    row.baseline_rps =
+        srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load)
+            .throughput_rps;
+
+    obs::ProfilerOptions prof_options;
+    prof_options.hz = hz;
+    auto& profiler = obs::CpuProfiler::instance();
+    if (profiler.start(prof_options)) {
+        row.profiled_rps =
+            srv::run_loadgen_tcp("127.0.0.1", server.port(), srv::demo_workload(distinct), load)
+                .throughput_rps;
+        obs::ProfileReport report = profiler.stop();
+        row.samples = report.samples;
+        row.dropped = report.dropped;
+        row.stacks_nonempty = !report.stacks.empty();
+    }
+    row.overhead_pct = row.baseline_rps > 0
+                           ? (row.baseline_rps - row.profiled_rps) / row.baseline_rps * 100.0
+                           : 0;
     server.shutdown();
     return row;
 }
@@ -334,8 +403,16 @@ std::string locks_json(const Row& row) {
 
 int main(int argc, char** argv) {
     bool smoke = false;
+#ifdef AGENP_SOURCE_DIR
+    std::string out_path = AGENP_SOURCE_DIR "/bench/results/BENCH_SERVE.json";
+#else
+    std::string out_path;
+#endif
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke") smoke = true;
+        std::string arg = argv[i];
+        if (arg == "--smoke") smoke = true;
+        if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+        if (arg == "--no-out") out_path.clear();
     }
 
     const std::size_t distinct = 8;
@@ -415,6 +492,14 @@ int main(int argc, char** argv) {
                 top, exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
                 exporter.scrapes);
 
+    // Sampling-profiler overhead at the top thread count, cache on, 99 Hz
+    // (the conventional always-on rate; advisory budget <5%).
+    ProfilerRow profiler = run_profiler_overhead(top, requests_per_client, distinct, 99);
+    std::printf("profiler overhead at %zu threads, %zu Hz: %.1f/s -> %.1f/s (%.1f%%,"
+                " %zu samples, %zu dropped, budget <5%%)\n",
+                top, profiler.hz, profiler.baseline_rps, profiler.profiled_rps,
+                profiler.overhead_pct, profiler.samples, profiler.dropped);
+
     // Warm-restart value: first-window hit rate cold vs restored from a
     // `--state-dir` snapshot (src/store). The acceptance bound is warm >=
     // 10x cold — trivially met on the deterministic window, where cold is
@@ -455,19 +540,38 @@ int main(int argc, char** argv) {
                       side.time_to_steady_ms);
         return std::string(buf);
     };
-    char tail[512];
+    char tail[768];
     std::snprintf(tail, sizeof(tail),
                   "],\"exporter\":{\"baseline_rps\":%.1f,\"scraped_rps\":%.1f,"
                   "\"overhead_pct\":%.1f,\"scrapes\":%zu},"
+                  "\"profiler\":{\"hz\":%zu,\"baseline_rps\":%.1f,\"profiled_rps\":%.1f,"
+                  "\"overhead_pct\":%.1f,\"samples\":%zu,\"dropped\":%zu,"
+                  "\"stacks_nonempty\":%s},"
                   "\"restart\":{\"cold\":%s,\"warm\":%s,\"entries_restored\":%zu,"
                   "\"warm_ge_10x_cold\":%s},"
                   "\"cache_speedup\":%.1f,\"smoke\":%s}",
                   exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
-                  exporter.scrapes, restart_side_json(restart.cold).c_str(),
+                  exporter.scrapes, profiler.hz, profiler.baseline_rps, profiler.profiled_rps,
+                  profiler.overhead_pct, profiler.samples, profiler.dropped,
+                  profiler.stacks_nonempty ? "true" : "false",
+                  restart_side_json(restart.cold).c_str(),
                   restart_side_json(restart.warm).c_str(), restart.entries_restored,
                   restart.warm_ge_10x_cold ? "true" : "false", speedup,
                   smoke ? "true" : "false");
     json += tail;
     std::printf("BENCH_SERVE_JSON %s\n", json.c_str());
+
+    // Persist the full result line for trend tracking (bench/results/ in
+    // the repo, uploaded as a CI artifact). `--out PATH` overrides,
+    // `--no-out` suppresses.
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (out) {
+            out << json << "\n";
+            std::printf("results written to %s\n", out_path.c_str());
+        } else {
+            std::fprintf(stderr, "could not write %s (skipping)\n", out_path.c_str());
+        }
+    }
     return 0;
 }

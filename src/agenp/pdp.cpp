@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/costtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
@@ -77,7 +78,9 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
 
     bool permitted = false;
     switch (strategy_) {
-        case DecisionStrategy::Repository:
+        case DecisionStrategy::Repository: {
+            static obs::CostCell& repo_cost = obs::costs().cell("pdp.repository");
+            obs::ScopedCost cost(repo_cost);
             permitted = repo.contains(request);
             // When the PReP could not materialize the full request space,
             // absence from the repository is inconclusive: fall back to the
@@ -91,9 +94,13 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
                 }
             }
             break;
-        case DecisionStrategy::Membership:
+        }
+        case DecisionStrategy::Membership: {
+            static obs::CostCell& membership_cost = obs::costs().cell("pdp.membership");
+            obs::ScopedCost cost(membership_cost);
             permitted = asg::in_language(model, request, context, options_);
             break;
+        }
     }
     if (obs::metrics_enabled()) {
         auto& m = obs::metrics();

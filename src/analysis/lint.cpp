@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "asp/stratify.hpp"
+#include "obs/costtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -310,6 +311,8 @@ DiagnosticSink lint_program(const Program& program, const LintOptions& options) 
     obs::ScopedSpan span("analysis.lint_program", "analysis");
     static obs::Histogram& time_hist = obs::metrics().histogram("analysis.lint.time_us");
     obs::ScopedTimer timer(time_hist);
+    static obs::CostCell& lint_cost = obs::costs().cell("lint.program");
+    obs::ScopedCost cost(lint_cost);
 
     DiagnosticSink sink;
     std::set<std::string> universe;
@@ -484,6 +487,8 @@ DiagnosticSink lint_asg(const asg::AnswerSetGrammar& grammar, const LintOptions&
     obs::ScopedSpan span("analysis.lint_asg", "analysis");
     static obs::Histogram& time_hist = obs::metrics().histogram("analysis.lint.time_us");
     obs::ScopedTimer timer(time_hist);
+    static obs::CostCell& lint_cost = obs::costs().cell("lint.asg");
+    obs::ScopedCost cost(lint_cost);
 
     DiagnosticSink sink;
     check_grammar_shape(grammar, sink);

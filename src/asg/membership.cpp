@@ -1,5 +1,6 @@
 #include "asg/membership.hpp"
 
+#include "obs/costtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/reqtrace.hpp"
 #include "obs/trace.hpp"
@@ -42,11 +43,15 @@ MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::To
         asp::GroundProgram gp;
         {
             obs::TracePhase ground_phase(obs::current_trace(), "asp.ground");
+            static obs::CostCell& ground_cost = obs::costs().cell("asp.ground");
+            obs::ScopedCost cost(ground_cost);
             gp = asp::ground(program, options.grounding);
         }
         asp::SolveResult solved;
         {
             obs::TracePhase solve_phase(obs::current_trace(), "asp.solve");
+            static obs::CostCell& solve_cost = obs::costs().cell("asp.solve");
+            obs::ScopedCost cost(solve_cost);
             solved = asp::solve(gp, options.solve);
         }
         ++asp_checks;

@@ -24,11 +24,15 @@
 #include "asp/grounder.hpp"
 #include "asp/parser.hpp"
 #include "asp/solver.hpp"
+#include "obs/build.hpp"
+#include "obs/costtable.hpp"
 #include "obs/export/http.hpp"
 #include "obs/export/push.hpp"
 #include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
+#include "obs/window.hpp"
 #include "srv/audit.hpp"
 #include "srv/export.hpp"
 #include "srv/flight.hpp"
@@ -36,6 +40,7 @@
 #include "srv/router.hpp"
 #include "srv/service.hpp"
 #include "srv/transport.hpp"
+#include "srv/wire.hpp"
 #include "store/store.hpp"
 #include "util/strings.hpp"
 #include "xacml/evaluator.hpp"
@@ -347,15 +352,49 @@ std::string take_snapshot(srv::AmsRouter& router, store::StateStore& state) {
            ",\"model_version\":" + std::to_string(router.model_version()) + "}";
 }
 
+// Two-phase runtime profiling control. Control lines run on the transport
+// event loop, so `!prof` never blocks to collect: `start` arms the
+// sampler, traffic runs, `stop` disarms it and returns the folded report
+// as one PROF_JSON line. Blocking collection lives on `/profz`, where it
+// only stalls the single-threaded metrics HTTP loop.
+std::string handle_prof_line(const std::vector<std::string>& words) {
+    auto& profiler = obs::CpuProfiler::instance();
+    const std::string& verb = words.size() > 1 ? words[1] : "status";
+    if (verb == "start") {
+        obs::ProfilerOptions options;
+        if (words.size() > 2) options.hz = std::atoi(words[2].c_str());
+        if (options.hz < 1 || options.hz > 1000) return "usage: !prof start [hz 1..1000]";
+        if (!profiler.start(options)) {
+            return "profiler already running at " + std::to_string(profiler.hz()) + " Hz";
+        }
+        return "profiler started at " + std::to_string(profiler.hz()) + " Hz";
+    }
+    if (verb == "stop") {
+        if (!profiler.running()) return "profiler not running";
+        return "PROF_JSON " + profiler.stop().to_json();
+    }
+    if (verb == "status") {
+        return std::string("PROF_JSON {\"running\":") +
+               (profiler.running() ? "true" : "false") +
+               ",\"hz\":" + std::to_string(profiler.hz()) + "}";
+    }
+    return "unknown !prof verb: " + verb + " (try start [hz], stop, status)";
+}
+
 // Handles one '!'-prefixed serve control line (stdin or TCP); returns the
 // reply, possibly multi-line, without a trailing newline. `state` is null
-// unless the server runs with --state-dir.
+// unless the server runs with --state-dir; `window` is the serve-lifetime
+// rolling window behind the stats surfaces.
 std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
-                                const srv::TcpServer* server, store::StateStore* state) {
+                                const srv::TcpServer* server, store::StateStore* state,
+                                const obs::RollingWindow* window) {
     auto words = util::split_ws(std::string(line));
     const std::string& command = words[0];
     if (command == "!stats") {
-        return "SERVE_STATS_JSON " + srv::serve_stats_json(router, server, state);
+        return "SERVE_STATS_JSON " + srv::serve_stats_json(router, server, state, window);
+    }
+    if (command == "!prof") {
+        return handle_prof_line(words);
     }
     if (command == "!snapshot") {
         if (state == nullptr) return "snapshot unavailable: serve started without --state-dir";
@@ -382,7 +421,7 @@ std::string handle_control_line(std::string_view line, srv::AmsRouter& router,
                " captured request" + (captured == 1 ? "" : "s") + ")";
     }
     return "unknown control line: " + command +
-           " (try !stats, !flight, !trace <file>, !snapshot)";
+           " (try !stats, !flight, !trace <file>, !snapshot, !prof)";
 }
 
 // Listen-mode SIGTERM/SIGINT handling: the handler may only do
@@ -473,14 +512,32 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         if (!report.warning.empty()) out << "state restore warning: " << report.warning << "\n";
     }
 
+    // Windowed telemetry: one bucket per second over the process registry,
+    // shared by /statz, the exposition, and the reporter. The ticker also
+    // advances the cost table's frequency EWMA.
+    obs::RollingWindow window(obs::metrics());
+    obs::WindowTicker window_ticker(window, [] { obs::costs().tick(); });
+
+    // Continuous profiling (--prof-hz): sample for the life of the serve
+    // process; /profz and !prof stop share the same session.
+    if (cli.prof_hz > 0) {
+        obs::ProfilerOptions prof_options;
+        prof_options.hz = static_cast<int>(cli.prof_hz);
+        if (obs::CpuProfiler::instance().start(prof_options)) {
+            out << "AGENP_PROFILING hz=" << obs::CpuProfiler::instance().hz() << "\n"
+                << std::flush;
+        }
+    }
+
     // Written by the listen branch once the TCP server exists; read by the
     // control handler, the reporter, and the metrics HTTP handler — all of
     // which may run on other threads.
     std::atomic<const srv::TcpServer*> server_ptr{nullptr};
     std::atomic<bool> draining{false};
-    auto control = [&router, &server_ptr, state_ptr = state.get()](std::string_view line) {
+    auto control = [&router, &server_ptr, state_ptr = state.get(),
+                    &window](std::string_view line) {
         return handle_control_line(line, router, server_ptr.load(std::memory_order_acquire),
-                                   state_ptr);
+                                   state_ptr, &window);
     };
 
     // The reporter thread and the request loop share `out`.
@@ -490,14 +547,23 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     bool reporter_stop = false;
     std::thread reporter;
     if (cli.stats_every_s > 0) {
+        // The periodic line reports what happened over the last interval —
+        // req/s, hit rate, latency quantiles from the rolling window — not
+        // lifetime cumulative counters, which stop moving visibly on a
+        // long-running server. Full cumulative state stays available via
+        // `!stats` and /statz.
         reporter = std::thread([&] {
             std::unique_lock lock(reporter_mu);
             while (!reporter_cv.wait_for(lock, std::chrono::seconds(cli.stats_every_s),
                                          [&] { return reporter_stop; })) {
-                std::string json = srv::serve_stats_json(
-                    router, server_ptr.load(std::memory_order_acquire), state.get());
+                srv::WindowedServeStats ws = srv::windowed_serve_stats(
+                    window, std::chrono::seconds(cli.stats_every_s));
+                srv::RouterStats rs = router.snapshot_stats();
+                std::string json = srv::windowed_serve_stats_json(ws);
+                json.back() = ',';  // reopen to append instantaneous depth
+                json += "\"queue_depth\":" + std::to_string(rs.total.queue_depth) + "}";
                 std::lock_guard out_lock(out_mu);
-                out << "SERVE_STATS_JSON " << json << "\n" << std::flush;
+                out << "SERVE_WINDOW_JSON " << json << "\n" << std::flush;
             }
         });
     }
@@ -510,13 +576,13 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         obs::HttpServerOptions http_options;
         http_options.port = cli.metrics_listen_port;
         metrics_http = std::make_unique<obs::HttpServer>(
-            http_options, [&router, &server_ptr, &draining,
-                           state_ptr = state.get()](const obs::HttpRequest& request) {
+            http_options, [&router, &server_ptr, &draining, state_ptr = state.get(), &window,
+                           replicas = cli.replicas](const obs::HttpRequest& request) {
                 obs::HttpResponse response;
                 if (request.path == "/metrics") {
                     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
                     response.body = srv::serve_exposition_prometheus(
-                        router, draining.load(std::memory_order_acquire), state_ptr);
+                        router, draining.load(std::memory_order_acquire), state_ptr, &window);
                 } else if (request.path == "/healthz") {
                     bool is_draining = draining.load(std::memory_order_acquire);
                     response.status = is_draining ? 503 : 200;
@@ -526,11 +592,45 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
                     response.content_type = "application/json";
                     response.body =
                         srv::serve_stats_json(router, server_ptr.load(std::memory_order_acquire),
-                                              state_ptr) +
+                                              state_ptr, &window) +
                         "\n";
+                } else if (request.path == "/buildz") {
+                    response.content_type = "application/json";
+                    response.body =
+                        obs::build_info_json(
+                            {{"protocol_version", std::to_string(srv::kProtocolVersion)},
+                             {"replicas", std::to_string(replicas)}}) +
+                        "\n";
+                } else if (request.path == "/profz") {
+                    // Blocking one-shot profile. This stalls only the
+                    // single-threaded metrics loop — serving traffic is
+                    // unaffected (beyond the sampling itself).
+                    double seconds = 2.0;
+                    int hz = 99;
+                    if (std::string v = obs::http_query_param(request.query, "seconds");
+                        !v.empty()) {
+                        seconds = std::atof(v.c_str());
+                    }
+                    if (std::string v = obs::http_query_param(request.query, "hz"); !v.empty()) {
+                        hz = std::atoi(v.c_str());
+                    }
+                    if (seconds <= 0.0 || seconds > 60.0 || hz < 1 || hz > 1000) {
+                        response.status = 400;
+                        response.body = "profz expects seconds in (0,60] and hz in [1,1000]\n";
+                        return response;
+                    }
+                    obs::ProfileReport report =
+                        obs::CpuProfiler::instance().collect(seconds, hz);
+                    if (obs::http_query_param(request.query, "format") == "json") {
+                        response.content_type = "application/json";
+                        response.body = report.to_json() + "\n";
+                    } else {
+                        response.body = report.folded();
+                    }
                 } else {
                     response.status = 404;
-                    response.body = "not found (try /metrics, /healthz, /statz)\n";
+                    response.body =
+                        "not found (try /metrics, /healthz, /statz, /buildz, /profz)\n";
                 }
                 return response;
             });
@@ -550,9 +650,10 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         push_options.port = cli.metrics_push_port;
         push_options.interval = std::chrono::seconds(cli.metrics_every_s);
         pusher = std::make_unique<obs::GraphitePusher>(
-            push_options, [&router, &draining, state_ptr = state.get()](std::time_t now) {
-                return srv::serve_exposition_graphite(
-                    router, draining.load(std::memory_order_acquire), "agenp", now, state_ptr);
+            push_options, [&router, &draining, state_ptr = state.get(), &window](std::time_t now) {
+                return srv::serve_exposition_graphite(router,
+                                                      draining.load(std::memory_order_acquire),
+                                                      "agenp", now, state_ptr, &window);
             });
     }
     auto stop_reporter = [&] {
@@ -664,8 +765,8 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         served = rs.total.completed + rs.total.rejected_overload + rs.total.expired;
         {
             std::lock_guard out_lock(out_mu);
-            out << "SERVE_STATS_JSON " << srv::serve_stats_json(router, &server, state.get())
-                << "\n";
+            out << "SERVE_STATS_JSON "
+                << srv::serve_stats_json(router, &server, state.get(), &window) << "\n";
             print_summary(served);
         }
         // Stop the exporters before `server` leaves scope: the /statz
@@ -673,6 +774,8 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
         pusher.reset();
         metrics_http.reset();
         server_ptr.store(nullptr, std::memory_order_release);
+        // Idempotent; also ends a session started via !prof.
+        (void)obs::CpuProfiler::instance().stop();
         return 0;
     }
 
@@ -701,6 +804,7 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     drain_snapshot();
     pusher.reset();
     metrics_http.reset();
+    (void)obs::CpuProfiler::instance().stop();
     print_summary(served);
     return 0;
 }
@@ -922,6 +1026,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             serve.state_dir = take_flag(args, "--state-dir", "");
             serve.snapshot_every_s = std::stoull(take_flag(args, "--snapshot-every", "0"));
             serve.cache_shards = std::stoull(take_flag(args, "--cache-shards", "0"));
+            serve.prof_hz = std::stoull(take_flag(args, "--prof-hz", "0"));
+            if (serve.prof_hz > 1000) throw CliError("--prof-hz expects 0..1000");
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
@@ -929,7 +1035,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
                     "[--trace-sample N] [--stats-every SEC] [--listen PORT] [--replicas N] "
                     "[--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC] "
                     "[--audit-log FILE] [--audit-max-mb M] [--audit-sample N] "
-                    "[--state-dir DIR] [--snapshot-every SEC]");
+                    "[--state-dir DIR] [--snapshot-every SEC] [--prof-hz HZ]");
             }
             serve.grammar_path = args[0];
             return cmd_serve(serve, std::cin, out);

@@ -146,6 +146,12 @@ struct ServeCliOptions {
     // Decision-cache shard count (0 = the CacheOptions default of 16;
     // rounded up to a power of two).
     std::size_t cache_shards = 0;
+    // Continuous CPU profiling (--prof-hz HZ, 0 = off): start the SIGPROF
+    // sampler at HZ for the life of the process. Independently of this
+    // flag, `!prof start|stop|status` toggles profiling at runtime and
+    // `GET /profz?seconds=N&hz=H` takes a one-shot profile over the
+    // metrics listener.
+    std::size_t prof_hz = 0;
     // Test hooks. `shutdown_fd`: in listen mode, poll this descriptor
     // instead of installing SIGTERM/SIGINT handlers — one readable byte
     // (or EOF) triggers the graceful drain. `announce_port`: when set,

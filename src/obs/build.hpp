@@ -1,0 +1,19 @@
+// Build identity for the /buildz endpoint: enough to tell *which* binary
+// is serving traffic from nothing but the metrics port.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agenp::obs {
+
+// Single-line JSON object with git describe output (configure-time),
+// compiler version, build type, C++ standard, and compiled-in feature
+// flags (sanitizers, assertions). `extra` entries are appended as
+// key -> raw JSON value pairs (the caller quotes string values), letting
+// higher layers add fields obs cannot know (protocol version, replicas).
+std::string build_info_json(
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+}  // namespace agenp::obs

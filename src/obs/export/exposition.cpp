@@ -134,6 +134,15 @@ void Exposition::add_gauge(std::string_view name, const MetricLabels& labels, st
     family(name, 'g', help).samples.push_back(std::move(s));
 }
 
+void Exposition::add_gauge_d(std::string_view name, const MetricLabels& labels, double value,
+                             std::string_view help) {
+    Sample s;
+    s.labels = labels;
+    s.dvalue = value;
+    s.is_double = true;
+    family(name, 'g', help).samples.push_back(std::move(s));
+}
+
 void Exposition::add_histogram(std::string_view name, const MetricLabels& labels,
                                const Histogram::Snapshot& snapshot, std::string_view help) {
     Sample s;
@@ -198,7 +207,8 @@ std::string Exposition::prometheus() const {
             } else if (f->type == 'g') {
                 out += series;
                 append_labels(out, s.labels);
-                out += " " + std::to_string(s.ivalue) + "\n";
+                out += " " + (s.is_double ? format_double(s.dvalue) : std::to_string(s.ivalue)) +
+                       "\n";
             } else {
                 // Cumulative buckets up to the highest non-empty one, then
                 // the mandatory le="+Inf" terminal bucket.
@@ -243,7 +253,8 @@ std::string Exposition::graphite(std::string_view prefix, std::time_t timestamp)
             if (f.type == 'c') {
                 line(path, s.labels, std::to_string(s.uvalue));
             } else if (f.type == 'g') {
-                line(path, s.labels, std::to_string(s.ivalue));
+                line(path, s.labels,
+                     s.is_double ? format_double(s.dvalue) : std::to_string(s.ivalue));
             } else {
                 line(path + ".count", s.labels, std::to_string(s.hist.count));
                 line(path + ".sum", s.labels, std::to_string(s.hist.sum));

@@ -41,6 +41,10 @@ public:
                      std::string_view help = {});
     void add_gauge(std::string_view name, const MetricLabels& labels, std::int64_t value,
                    std::string_view help = {});
+    // Floating-point gauge (windowed rates, EWMA costs). Distinctly named
+    // rather than overloaded so integral arguments never become ambiguous.
+    void add_gauge_d(std::string_view name, const MetricLabels& labels, double value,
+                     std::string_view help = {});
     void add_histogram(std::string_view name, const MetricLabels& labels,
                        const Histogram::Snapshot& snapshot, std::string_view help = {});
 
@@ -71,6 +75,8 @@ private:
         MetricLabels labels;
         std::uint64_t uvalue = 0;
         std::int64_t ivalue = 0;
+        double dvalue = 0.0;
+        bool is_double = false;
         Histogram::Snapshot hist;
     };
     struct Family {

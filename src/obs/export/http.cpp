@@ -198,6 +198,7 @@ struct HttpServer::Impl {
             std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
             std::string_view version = trim_sp(request_line.substr(sp2 + 1));
             if (std::size_t q = target.find('?'); q != std::string_view::npos) {
+                request.query = std::string(target.substr(q + 1));
                 target = target.substr(0, q);
             }
             request.path = std::string(target);
@@ -442,6 +443,21 @@ std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
     }
     result.body = raw.substr(head_end + skip);
     return result;
+}
+
+std::string http_query_param(std::string_view query, std::string_view key) {
+    while (!query.empty()) {
+        std::size_t amp = query.find('&');
+        std::string_view pair = amp == std::string_view::npos ? query : query.substr(0, amp);
+        query = amp == std::string_view::npos ? std::string_view{} : query.substr(amp + 1);
+        std::size_t eq = pair.find('=');
+        std::string_view k = eq == std::string_view::npos ? pair : pair.substr(0, eq);
+        if (k == key) {
+            return eq == std::string_view::npos ? std::string{}
+                                                : std::string(pair.substr(eq + 1));
+        }
+    }
+    return {};
 }
 
 }  // namespace agenp::obs

@@ -23,6 +23,7 @@ namespace agenp::obs {
 struct HttpRequest {
     std::string method;  // uppercase, e.g. "GET"
     std::string path;    // as sent, query string stripped
+    std::string query;   // raw query string, without the leading '?'
 };
 
 struct HttpResponse {
@@ -76,5 +77,10 @@ std::optional<HttpResult> http_get(const std::string& host, std::uint16_t port,
                                    const std::string& path,
                                    std::chrono::milliseconds timeout = std::chrono::milliseconds{
                                        10000});
+
+// Value of `key` in an `a=1&b=2` query string; empty string when absent
+// or valueless. No percent-decoding — the telemetry endpoints only take
+// numeric parameters.
+std::string http_query_param(std::string_view query, std::string_view key);
 
 }  // namespace agenp::obs

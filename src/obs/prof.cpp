@@ -1,0 +1,373 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include <cerrno>
+#include <csignal>
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <sys/time.h>
+
+#include "obs/metrics.hpp"
+
+namespace agenp::obs {
+namespace {
+
+constexpr std::size_t kProfMaxFrames = 48;
+
+// One ring slot. `seq` is the Vyukov sequence: slot i starts at seq == i
+// (free); a producer that claims position p writes frames and publishes
+// seq = p + 1; the consumer reads when seq == p + 1 and releases with
+// seq = p + capacity.
+struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::uint32_t depth = 0;
+    void* frames[kProfMaxFrames];
+};
+
+struct Ring {
+    explicit Ring(std::size_t capacity_pow2, std::size_t max_frames)
+        : slots(new Slot[capacity_pow2]),
+          capacity(capacity_pow2),
+          max_frames(std::min(max_frames, kProfMaxFrames)) {
+        for (std::size_t i = 0; i < capacity; ++i) {
+            slots[i].seq.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    std::unique_ptr<Slot[]> slots;
+    std::size_t capacity;
+    std::size_t max_frames;
+    std::atomic<std::uint64_t> enqueue_pos{0};
+    std::atomic<std::uint64_t> dequeue_pos{0};
+    std::atomic<std::uint64_t> captured{0};
+    std::atomic<std::uint64_t> dropped{0};
+};
+
+// Handler-visible state. `g_ring` is null whenever the profiler is not
+// running; `g_handlers_active` lets stop() wait out handlers that loaded
+// the ring pointer just before it was cleared.
+std::atomic<Ring*> g_ring{nullptr};
+std::atomic<int> g_handlers_active{0};
+
+extern "C" void agenp_prof_signal_handler(int /*signo*/, siginfo_t* /*info*/, void* /*ucontext*/) {
+    int saved_errno = errno;  // backtrace() may clobber errno
+    g_handlers_active.fetch_add(1, std::memory_order_acq_rel);
+    if (Ring* ring = g_ring.load(std::memory_order_acquire); ring != nullptr) {
+        std::uint64_t pos = ring->enqueue_pos.load(std::memory_order_relaxed);
+        Slot* claimed = nullptr;
+        for (;;) {
+            Slot& slot = ring->slots[pos & (ring->capacity - 1)];
+            std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+            auto diff = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+            if (diff == 0) {
+                if (ring->enqueue_pos.compare_exchange_weak(pos, pos + 1,
+                                                            std::memory_order_relaxed)) {
+                    claimed = &slot;
+                    break;
+                }
+                // CAS lost: `pos` was reloaded, retry.
+            } else if (diff < 0) {
+                ring->dropped.fetch_add(1, std::memory_order_relaxed);
+                break;  // ring full — drop rather than block in a handler
+            } else {
+                pos = ring->enqueue_pos.load(std::memory_order_relaxed);
+            }
+        }
+        if (claimed != nullptr) {
+            int depth = ::backtrace(claimed->frames, static_cast<int>(ring->max_frames));
+            claimed->depth = depth > 0 ? static_cast<std::uint32_t>(depth) : 0;
+            ring->captured.fetch_add(1, std::memory_order_relaxed);
+            // Publish even on backtrace failure so the slot is not leaked.
+            claimed->seq.store(pos + 1, std::memory_order_release);
+        }
+    }
+    g_handlers_active.fetch_sub(1, std::memory_order_acq_rel);
+    errno = saved_errno;
+}
+
+// Single-consumer dequeue; caller holds the profiler mutex.
+bool dequeue(Ring& ring, std::vector<void*>* out) {
+    std::uint64_t pos = ring.dequeue_pos.load(std::memory_order_relaxed);
+    Slot& slot = ring.slots[pos & (ring.capacity - 1)];
+    std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) < 0) {
+        return false;  // producer has not published this slot yet
+    }
+    out->assign(slot.frames, slot.frames + slot.depth);
+    slot.seq.store(pos + ring.capacity, std::memory_order_release);
+    ring.dequeue_pos.store(pos + 1, std::memory_order_relaxed);
+    return true;
+}
+
+std::string hex_frame(const void* addr) {
+    char buf[2 + 2 * sizeof(void*) + 1];
+    std::snprintf(buf, sizeof(buf), "0x%" PRIxPTR, reinterpret_cast<std::uintptr_t>(addr));
+    return buf;
+}
+
+// Resolves one return address to a human-readable frame name: demangled
+// symbol with the parameter list stripped, shared-object basename when the
+// symbol is unknown, raw hex as the last resort.
+std::string symbolize_frame(void* addr) {
+    Dl_info info{};
+    if (::dladdr(addr, &info) == 0) return hex_frame(addr);
+    if (info.dli_sname == nullptr) {
+        if (info.dli_fname != nullptr) {
+            std::string_view file = info.dli_fname;
+            if (std::size_t slash = file.rfind('/'); slash != std::string_view::npos) {
+                file.remove_prefix(slash + 1);
+            }
+            return "[" + std::string(file) + "]";
+        }
+        return hex_frame(addr);
+    }
+    std::string name = info.dli_sname;
+    int status = 0;
+    if (char* demangled = abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+        demangled != nullptr) {
+        if (status == 0) name = demangled;
+        std::free(demangled);  // NOLINT(cppcoreguidelines-no-malloc)
+    }
+    // Drop the parameter list — flamegraph frames want `ns::func`, not the
+    // full signature. Guard the leading '(' of "(anonymous namespace)".
+    if (std::size_t paren = name.find('('); paren != std::string::npos && paren > 0) {
+        name.resize(paren);
+    }
+    // ';' is the folded-stack separator and ' ' the count separator.
+    for (char& c : name) {
+        if (c == ';' || c == ' ' || c == '\n') c = '_';
+    }
+    return name;
+}
+
+double wall_seconds_since(std::uint64_t start_ns) {
+    return static_cast<double>(monotonic_ns() - start_ns) / 1e9;
+}
+
+}  // namespace
+
+struct CpuProfiler::Impl {
+    std::mutex mu;
+    std::unique_ptr<Ring> ring;
+    struct sigaction old_action {};
+    std::atomic<bool> running{false};
+    std::atomic<int> hz{0};
+    std::uint64_t window_start_ns = 0;
+    // Address -> frame name cache; symbols never move, so entries live for
+    // the process.
+    std::unordered_map<void*, std::string> symbols;
+
+    const std::string& frame_name(void* addr) {
+        auto it = symbols.find(addr);
+        if (it == symbols.end()) it = symbols.emplace(addr, symbolize_frame(addr)).first;
+        return it->second;
+    }
+
+    // Drains the ring into an aggregated report; caller holds `mu`.
+    ProfileReport drain_locked() {
+        ProfileReport report;
+        report.hz = hz.load(std::memory_order_relaxed);
+        report.seconds = window_start_ns != 0 ? wall_seconds_since(window_start_ns) : 0.0;
+        window_start_ns = monotonic_ns();
+        if (!ring) return report;
+        report.dropped = ring->dropped.exchange(0, std::memory_order_relaxed);
+
+        // Aggregate identical address stacks first (cheap pointer compare),
+        // then symbolize each distinct stack once.
+        std::map<std::vector<void*>, std::uint64_t> by_addr;
+        std::vector<void*> frames;
+        while (dequeue(*ring, &frames)) {
+            ++report.samples;
+            if (frames.size() > 2) {
+                // frames[0] is this handler, frames[1] the signal
+                // trampoline (__restore_rt); the interrupted PC starts at 2.
+                frames.erase(frames.begin(), frames.begin() + 2);
+            }
+            if (frames.empty()) continue;
+            by_addr[frames] += 1;
+        }
+
+        std::map<std::string, std::uint64_t> by_name;
+        std::string folded;
+        for (const auto& [stack, count] : by_addr) {
+            folded.clear();
+            // backtrace() is leaf-first; folded output is root-first.
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (!folded.empty()) folded += ';';
+                folded += frame_name(*it);
+            }
+            by_name[folded] += count;
+        }
+        report.stacks.reserve(by_name.size());
+        for (auto& [key, count] : by_name) report.stacks.push_back({key, count});
+        std::sort(report.stacks.begin(), report.stacks.end(),
+                  [](const ProfileStack& a, const ProfileStack& b) {
+                      return a.count != b.count ? a.count > b.count : a.frames < b.frames;
+                  });
+        return report;
+    }
+};
+
+CpuProfiler::CpuProfiler() : impl_(new Impl) {}
+CpuProfiler::~CpuProfiler() { delete impl_; }
+
+CpuProfiler& CpuProfiler::instance() {
+    static CpuProfiler profiler;
+    return profiler;
+}
+
+bool CpuProfiler::start(const ProfilerOptions& options) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->running.load(std::memory_order_relaxed)) return false;
+
+    int hz = std::clamp(options.hz, 1, 1000);
+    std::size_t capacity = 1;
+    while (capacity < std::max<std::size_t>(options.ring_capacity, 64)) capacity <<= 1;
+    std::size_t max_frames = std::clamp<std::size_t>(options.max_frames, 4, kProfMaxFrames);
+    if (!impl_->ring || impl_->ring->capacity < capacity ||
+        impl_->ring->max_frames != max_frames) {
+        impl_->ring = std::make_unique<Ring>(capacity, max_frames);
+    }
+
+    // Prime backtrace()'s lazy libgcc initialization outside signal context.
+    void* prime[4];
+    (void)::backtrace(prime, 4);
+
+    struct sigaction action {};
+    action.sa_sigaction = agenp_prof_signal_handler;
+    action.sa_flags = SA_SIGINFO | SA_RESTART;
+    sigemptyset(&action.sa_mask);
+    if (::sigaction(SIGPROF, &action, &impl_->old_action) != 0) return false;
+
+    impl_->window_start_ns = monotonic_ns();
+    impl_->hz.store(hz, std::memory_order_relaxed);
+    g_ring.store(impl_->ring.get(), std::memory_order_release);
+
+    itimerval timer{};
+    timer.it_interval.tv_sec = hz == 1 ? 1 : 0;
+    timer.it_interval.tv_usec = hz == 1 ? 0 : static_cast<suseconds_t>(1000000 / hz);
+    timer.it_value = timer.it_interval;
+    if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+        g_ring.store(nullptr, std::memory_order_release);
+        ::sigaction(SIGPROF, &impl_->old_action, nullptr);
+        return false;
+    }
+    impl_->running.store(true, std::memory_order_release);
+    return true;
+}
+
+ProfileReport CpuProfiler::drain() {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    return impl_->drain_locked();
+}
+
+ProfileReport CpuProfiler::stop() {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->running.load(std::memory_order_relaxed)) return {};
+
+    itimerval off{};
+    ::setitimer(ITIMER_PROF, &off, nullptr);
+    g_ring.store(nullptr, std::memory_order_release);
+    // A handler may have loaded the ring pointer just before we cleared it;
+    // wait until every in-flight handler has returned before draining.
+    while (g_handlers_active.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+    ::sigaction(SIGPROF, &impl_->old_action, nullptr);
+
+    ProfileReport report = impl_->drain_locked();
+    impl_->running.store(false, std::memory_order_release);
+    impl_->hz.store(0, std::memory_order_relaxed);
+    return report;
+}
+
+bool CpuProfiler::running() const { return impl_->running.load(std::memory_order_acquire); }
+
+int CpuProfiler::hz() const { return impl_->hz.load(std::memory_order_relaxed); }
+
+ProfileReport CpuProfiler::collect(double seconds, int hz) {
+    seconds = std::clamp(seconds, 0.0, 60.0);
+    auto sleep_for = std::chrono::duration<double>(seconds);
+    if (running()) {
+        (void)drain();  // reset the window to "now"
+        std::this_thread::sleep_for(sleep_for);
+        return drain();
+    }
+    if (!start(ProfilerOptions{.hz = hz})) return {};
+    std::this_thread::sleep_for(sleep_for);
+    return stop();
+}
+
+std::string ProfileReport::folded() const {
+    std::string out;
+    for (const auto& stack : stacks) {
+        out += stack.frames;
+        out += ' ';
+        out += std::to_string(stack.count);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string ProfileReport::top(std::size_t n) const {
+    // Self time: samples whose *leaf* landed in the frame.
+    std::map<std::string, std::uint64_t> self;
+    for (const auto& stack : stacks) {
+        std::string_view frames = stack.frames;
+        std::size_t semi = frames.rfind(';');
+        std::string_view leaf =
+            semi == std::string_view::npos ? frames : frames.substr(semi + 1);
+        self[std::string(leaf)] += stack.count;
+    }
+    std::vector<std::pair<std::string, std::uint64_t>> sorted(self.begin(), self.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+        return a.second != b.second ? a.second > b.second : a.first < b.first;
+    });
+    if (sorted.size() > n) sorted.resize(n);
+
+    std::string out;
+    char line[160];
+    for (const auto& [name, count] : sorted) {
+        double pct = samples == 0 ? 0.0
+                                  : 100.0 * static_cast<double>(count) /
+                                        static_cast<double>(samples);
+        std::snprintf(line, sizeof(line), "%8" PRIu64 "  %5.1f%%  ", count, pct);
+        out += line;
+        out += name;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string ProfileReport::to_json() const {
+    char buf[96];
+    std::string out = "{\"hz\":" + std::to_string(hz);
+    std::snprintf(buf, sizeof(buf), ",\"seconds\":%.3f", seconds);
+    out += buf;
+    out += ",\"samples\":" + std::to_string(samples);
+    out += ",\"dropped\":" + std::to_string(dropped);
+    out += ",\"stacks\":[";
+    bool first = true;
+    for (const auto& stack : stacks) {
+        if (!first) out += ',';
+        first = false;
+        out += "{\"stack\":\"" + json_escape(stack.frames) +
+               "\",\"count\":" + std::to_string(stack.count) + "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace agenp::obs

@@ -1,0 +1,104 @@
+// In-process sampling CPU profiler (DESIGN.md section 7.5).
+//
+// A dependency-free SIGPROF sampler in the gperftools tradition:
+// setitimer(ITIMER_PROF) fires every 1/hz of process CPU time, the kernel
+// delivers SIGPROF to a currently-running thread, and the handler captures
+// a backtrace() into a preallocated lock-free ring. Everything expensive —
+// symbolization (dladdr + demangling), aggregation, rendering — happens
+// off-signal in drain()/stop(), so the steady-state cost is one backtrace
+// per sample and the profiler is strictly zero-cost while stopped (no
+// handler installed, no timer armed).
+//
+// Output is flamegraph.pl-compatible collapsed stacks ("a;b;c 42" lines,
+// root first) plus a top-N flat profile by leaf self-time. `/profz` and the
+// `!prof` control line on `agenp serve` are thin wrappers over collect()
+// and start()/stop().
+//
+// Signal-safety notes (the load-bearing part):
+//  - backtrace() lazily dlopen()s libgcc on first use, which is not
+//    async-signal-safe; start() makes a priming call before arming the
+//    timer so handler-context calls never take that path.
+//  - The sample ring is a Vyukov-style bounded MPMC queue: concurrent
+//    SIGPROF deliveries on different threads claim slots by CAS, publish
+//    with a release store on the slot sequence, and a full ring drops the
+//    sample (counted) instead of blocking. The handler touches nothing
+//    else — no locks, no allocation, no stdio.
+//  - Return addresses point one instruction past each call site; dladdr
+//    still attributes them to the right function in practice, so we skip
+//    the usual addr-1 adjustment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace agenp::obs {
+
+struct ProfilerOptions {
+    int hz = 99;                      // samples per second of process CPU time, clamped to [1, 1000]
+    std::size_t max_frames = 48;      // frames captured per sample (hard cap kProfMaxFrames)
+    std::size_t ring_capacity = 8192; // sample slots, rounded up to a power of two
+};
+
+// One aggregated call stack: frames joined root-first with ';' (the
+// flamegraph.pl collapsed format), plus how many samples landed in it.
+struct ProfileStack {
+    std::string frames;
+    std::uint64_t count = 0;
+};
+
+struct ProfileReport {
+    int hz = 0;
+    double seconds = 0.0;      // wall time the report covers
+    std::uint64_t samples = 0; // samples aggregated into `stacks`
+    std::uint64_t dropped = 0; // samples lost to a full ring
+    std::vector<ProfileStack> stacks;  // sorted by count, descending
+
+    // flamegraph.pl input: one "frame;frame;leaf count" line per stack.
+    [[nodiscard]] std::string folded() const;
+    // Flat profile: top `n` leaf frames by self-sample count.
+    [[nodiscard]] std::string top(std::size_t n = 20) const;
+    // {"hz":..,"seconds":..,"samples":..,"dropped":..,"stacks":[...]}
+    [[nodiscard]] std::string to_json() const;
+};
+
+class CpuProfiler {
+public:
+    // The process-wide profiler. SIGPROF and ITIMER_PROF are per-process
+    // resources, so there is exactly one.
+    static CpuProfiler& instance();
+
+    // Arms the timer and installs the SIGPROF handler. Returns false if
+    // already running (the running session keeps its rate).
+    bool start(const ProfilerOptions& options = {});
+
+    // Aggregates and clears everything sampled since start()/the previous
+    // drain(); profiling continues. Safe to call while stopped (empty
+    // report).
+    ProfileReport drain();
+
+    // Disarms the timer, restores the previous SIGPROF disposition, waits
+    // for in-flight handlers, and returns the final drain.
+    ProfileReport stop();
+
+    [[nodiscard]] bool running() const;
+    [[nodiscard]] int hz() const;  // 0 when stopped
+
+    // Blocking one-shot: profile for `seconds`, return the report. If a
+    // continuous session is already running it is windowed (drain, sleep,
+    // drain) at its existing rate; otherwise start/sleep/stop at `hz`.
+    ProfileReport collect(double seconds, int hz = 99);
+
+    CpuProfiler(const CpuProfiler&) = delete;
+    CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+private:
+    CpuProfiler();
+    ~CpuProfiler();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace agenp::obs

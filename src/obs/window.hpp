@@ -1,0 +1,110 @@
+// Rolling time-window aggregation over the cumulative metrics registry
+// (DESIGN.md section 7.5).
+//
+// Every instrument in MetricsRegistry is cumulative-since-process-start,
+// which is the right exposition shape for Prometheus but useless for "what
+// is the p95 over the last minute" on a server that has been up for a
+// week. RollingWindow fixes that without touching the instruments: a
+// ticker captures a full registry snapshot once per bucket interval into a
+// fixed ring, and window(span) subtracts the bucket nearest `now - span`
+// from a fresh snapshot. Counter deltas become windowed rates; histogram
+// bucket-count deltas are themselves valid Histogram::Snapshots, so the
+// existing quantile() math yields windowed p50/p95/p99 for free.
+//
+// The cumulative MetricsSnapshot shape is unchanged — windows are a read
+// layer on top, not a new instrument kind.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace agenp::obs {
+
+struct WindowOptions {
+    std::chrono::milliseconds bucket{1000};
+    // 301 one-second buckets cover the 5m window plus the partial bucket.
+    std::size_t buckets = 301;
+};
+
+// The difference between a fresh registry snapshot and a historical
+// bucket. Missing-in-base keys (instruments registered mid-window) count
+// from zero; an instrument reset mid-window clamps to the live value
+// instead of going negative.
+struct WindowDelta {
+    double seconds = 0.0;   // wall time actually covered by the delta
+    bool complete = false;  // false while the ring lacks `span` of history
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    [[nodiscard]] std::uint64_t counter(std::string_view key) const;
+    // Null when the histogram saw no observations in the window.
+    [[nodiscard]] const Histogram::Snapshot* histogram(std::string_view key) const;
+    // counter delta / covered seconds; 0 when the window is empty.
+    [[nodiscard]] double rate(std::string_view key) const;
+};
+
+class RollingWindow {
+public:
+    explicit RollingWindow(const MetricsRegistry& registry, WindowOptions options = {});
+
+    // Captures one bucket stamped with the monotonic clock. Call at the
+    // bucket interval (WindowTicker does); extra calls just reduce bucket
+    // granularity error.
+    void tick();
+    // Test hook: capture a bucket at an explicit fake timestamp.
+    void tick_at(std::uint64_t now_ms);
+
+    // Delta between a fresh snapshot taken now and the newest bucket at
+    // least `span` old (or the oldest available, with complete=false).
+    [[nodiscard]] WindowDelta window(std::chrono::seconds span) const;
+    // Test hook: same, against a fake "now" timestamp.
+    [[nodiscard]] WindowDelta window_at(std::chrono::seconds span, std::uint64_t now_ms) const;
+
+    [[nodiscard]] std::size_t bucket_count() const;  // valid buckets currently held
+
+private:
+    struct Bucket {
+        std::uint64_t at_ms = 0;
+        MetricsSnapshot snapshot;
+        bool valid = false;
+    };
+
+    [[nodiscard]] WindowDelta window_locked(std::chrono::seconds span,
+                                            std::uint64_t now_ms) const;
+
+    const MetricsRegistry& registry_;
+    WindowOptions options_;
+    mutable std::mutex mu_;
+    std::vector<Bucket> ring_;
+    std::size_t head_ = 0;  // next slot to write
+};
+
+// Background thread that ticks a RollingWindow once per bucket interval
+// and runs an optional extra callback (serve uses it to advance the cost
+// table's frequency EWMA). Joined on destruction.
+class WindowTicker {
+public:
+    explicit WindowTicker(RollingWindow& window, std::function<void()> on_tick = {});
+    ~WindowTicker();
+    WindowTicker(const WindowTicker&) = delete;
+    WindowTicker& operator=(const WindowTicker&) = delete;
+
+private:
+    RollingWindow& window_;
+    std::function<void()> on_tick_;
+    std::chrono::milliseconds interval_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+}  // namespace agenp::obs

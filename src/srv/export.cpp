@@ -3,12 +3,27 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/costtable.hpp"
 #include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
 
 namespace agenp::srv {
 
 namespace {
+
+// The three spans every windowed surface reports.
+constexpr std::chrono::seconds kWindowSpans[] = {std::chrono::seconds(10),
+                                                 std::chrono::seconds(60),
+                                                 std::chrono::seconds(300)};
+
+const char* span_name(std::chrono::seconds span) {
+    switch (span.count()) {
+        case 10: return "10s";
+        case 60: return "60s";
+        case 300: return "300s";
+        default: return "?";
+    }
+}
 
 // Seconds since the store last wrote a snapshot; -1 before the first one.
 std::int64_t snapshot_age_s(const store::StoreStatus& status) {
@@ -41,8 +56,39 @@ std::string store_status_json(const store::StoreStatus& status) {
 
 }  // namespace
 
+WindowedServeStats windowed_serve_stats(const obs::RollingWindow& window,
+                                        std::chrono::seconds span) {
+    obs::WindowDelta delta = window.window(span);
+    WindowedServeStats stats;
+    stats.seconds = delta.seconds;
+    stats.complete = delta.complete;
+    stats.requests_per_s = delta.rate("srv.requests");
+    std::uint64_t hits = delta.counter("srv.cache_hits");
+    std::uint64_t misses = delta.counter("srv.cache_misses");
+    if (hits + misses > 0) {
+        stats.hit_rate = static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+    if (const obs::Histogram::Snapshot* latency = delta.histogram("srv.latency_us");
+        latency != nullptr) {
+        stats.p50_us = latency->quantile(0.5);
+        stats.p95_us = latency->quantile(0.95);
+        stats.p99_us = latency->quantile(0.99);
+    }
+    return stats;
+}
+
+std::string windowed_serve_stats_json(const WindowedServeStats& stats) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"seconds\":%.1f,\"complete\":%s,\"req_s\":%.2f,\"hit_rate\":%.3f,"
+                  "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}",
+                  stats.seconds, stats.complete ? "true" : "false", stats.requests_per_s,
+                  stats.hit_rate, stats.p50_us, stats.p95_us, stats.p99_us);
+    return buf;
+}
+
 std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
-                             const store::StateStore* state) {
+                             const store::StateStore* state, const obs::RollingWindow* window) {
     RouterStats rs = router.snapshot_stats();
     const ServiceStats& stats = rs.total;
     std::string out = "{";
@@ -79,6 +125,18 @@ std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
     out += "]";
     if (server != nullptr) out += ",\"conn\":" + transport_stats_json(server->stats());
     if (state != nullptr) out += ",\"store\":" + store_status_json(state->status());
+    if (window != nullptr) {
+        out += ",\"window\":{";
+        bool first = true;
+        for (std::chrono::seconds span : kWindowSpans) {
+            if (!first) out += ",";
+            first = false;
+            out += std::string("\"") + span_name(span) +
+                   "\":" + windowed_serve_stats_json(windowed_serve_stats(*window, span));
+        }
+        out += "}";
+        out += ",\"costs\":" + obs::costs().render_json();
+    }
     out += "}";
     return out;
 }
@@ -96,7 +154,8 @@ std::string healthz_json(const AmsRouter& router, bool draining) {
 }
 
 obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
-                                 const store::StateStore* state) {
+                                 const store::StateStore* state,
+                                 const obs::RollingWindow* window) {
     obs::Exposition exposition;
     exposition.append_registry(obs::metrics());
     exposition.append_locks(obs::locks());
@@ -143,18 +202,47 @@ obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
         exposition.add_gauge("store.restored", {}, status.restored ? 1 : 0,
                              "1 when this process warm-restarted from persisted state");
     }
+    if (window != nullptr) {
+        for (std::chrono::seconds span : kWindowSpans) {
+            WindowedServeStats ws = windowed_serve_stats(*window, span);
+            obs::MetricLabels labels{{"span", span_name(span)}};
+            exposition.add_gauge_d("window.requests_per_s", labels, ws.requests_per_s,
+                                   "Windowed request rate by span");
+            exposition.add_gauge_d("window.cache_hit_rate", labels, ws.hit_rate,
+                                   "Windowed decision-cache hit rate by span");
+            exposition.add_gauge_d("window.latency_p50_us", labels, ws.p50_us,
+                                   "Windowed p50 request latency by span");
+            exposition.add_gauge_d("window.latency_p95_us", labels, ws.p95_us,
+                                   "Windowed p95 request latency by span");
+            exposition.add_gauge_d("window.latency_p99_us", labels, ws.p99_us,
+                                   "Windowed p99 request latency by span");
+        }
+        for (const obs::CostEntry& entry : obs::costs().snapshot()) {
+            obs::MetricLabels labels{{"check", entry.check}};
+            exposition.add_counter("cost.calls", labels, entry.calls,
+                                   "Observed calls by named check");
+            exposition.add_gauge_d("cost.ewma_us", labels, entry.ewma_us,
+                                   "EWMA per-call cost in microseconds by named check");
+            exposition.add_gauge_d("cost.frequency_hz", labels, entry.frequency_hz,
+                                   "EWMA call frequency by named check");
+            exposition.add_gauge_d("cost.us_per_s", labels, entry.us_per_s,
+                                   "Expected wall-time share (ewma_us x hz) by named check");
+        }
+    }
     return exposition;
 }
 
 std::string serve_exposition_prometheus(const AmsRouter& router, bool draining,
-                                        const store::StateStore* state) {
-    return serve_exposition(router, draining, state).prometheus();
+                                        const store::StateStore* state,
+                                        const obs::RollingWindow* window) {
+    return serve_exposition(router, draining, state, window).prometheus();
 }
 
 std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
                                       std::string_view prefix, std::time_t timestamp,
-                                      const store::StateStore* state) {
-    return serve_exposition(router, draining, state).graphite(prefix, timestamp);
+                                      const store::StateStore* state,
+                                      const obs::RollingWindow* window) {
+    return serve_exposition(router, draining, state, window).graphite(prefix, timestamp);
 }
 
 }  // namespace agenp::srv

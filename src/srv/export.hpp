@@ -14,24 +14,47 @@
 // consumers and is not derived from the exposition.
 #pragma once
 
+#include <chrono>
 #include <ctime>
 #include <string>
 #include <string_view>
 
 #include "obs/export/exposition.hpp"
+#include "obs/window.hpp"
 #include "srv/router.hpp"
 #include "srv/transport.hpp"
 #include "store/store.hpp"
 
 namespace agenp::srv {
 
+// Windowed SLO stats for one span, derived from the rolling window's
+// srv.requests / srv.cache_hits / srv.cache_misses deltas and the
+// srv.latency_us histogram delta.
+struct WindowedServeStats {
+    double seconds = 0.0;
+    bool complete = false;  // false while the window is still warming up
+    double requests_per_s = 0.0;
+    double hit_rate = 0.0;  // 0 when the window saw no cache traffic
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+};
+WindowedServeStats windowed_serve_stats(const obs::RollingWindow& window,
+                                        std::chrono::seconds span);
+// {"seconds":..,"complete":..,"req_s":..,"hit_rate":..,"p50_us":..,...}
+std::string windowed_serve_stats_json(const WindowedServeStats& stats);
+
 // One-line JSON for `!stats`, `/statz`, and the periodic reporter: summed
 // service counters, cache, locks, router routing detail, per-replica rows,
 // and transport counters when serving TCP (`server` may be null). With a
 // StateStore attached (`--state-dir`) a "store" object rides along:
 // snapshot count/age/bytes/entries, WAL growth, and what restore() found.
+// With a rolling window attached, a "window" object with 10s/60s/300s
+// spans and a "costs" array (the per-check cost table) ride along too —
+// all additions are new keys; the original key set is unchanged.
 std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
-                             const store::StateStore* state = nullptr);
+                             const store::StateStore* state = nullptr,
+                             const obs::RollingWindow* window = nullptr);
 
 // `/healthz` body: status ("ok" while serving, "draining" once shutdown
 // starts), replica count, model version agreement, total queue depth.
@@ -43,16 +66,23 @@ std::string healthz_json(const AmsRouter& router, bool draining);
 // point-in-time store.* gauges (snapshot age/bytes/entries, wal bytes)
 // when a StateStore is attached — the store's own counters are already in
 // the process registry as agenp_store_*.
+// With a rolling window attached, the exposition additionally carries the
+// agenp_window_* families (requests_per_s, cache_hit_rate, latency
+// quantiles, labeled by span) and the agenp_cost_* families (per-check
+// calls, EWMA cost, frequency, us/s share from obs::costs()).
 obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
-                                 const store::StateStore* state = nullptr);
+                                 const store::StateStore* state = nullptr,
+                                 const obs::RollingWindow* window = nullptr);
 
 // Renders serve_exposition as Prometheus text exposition format 0.0.4.
 std::string serve_exposition_prometheus(const AmsRouter& router, bool draining,
-                                        const store::StateStore* state = nullptr);
+                                        const store::StateStore* state = nullptr,
+                                        const obs::RollingWindow* window = nullptr);
 
 // Renders serve_exposition as graphite plaintext under `prefix`.
 std::string serve_exposition_graphite(const AmsRouter& router, bool draining,
                                       std::string_view prefix, std::time_t timestamp,
-                                      const store::StateStore* state = nullptr);
+                                      const store::StateStore* state = nullptr,
+                                      const obs::RollingWindow* window = nullptr);
 
 }  // namespace agenp::srv

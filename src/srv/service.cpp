@@ -1,5 +1,6 @@
 #include "srv/service.hpp"
 
+#include "obs/costtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "srv/audit.hpp"
@@ -307,6 +308,8 @@ Decision DecisionService::process(Task& task) {
             std::optional<bool> hit;
             {
                 obs::TracePhase phase(task.trace.get(), "srv.cache_probe");
+                static obs::CostCell& probe_cost = obs::costs().cell("srv.cache_probe");
+                obs::ScopedCost cost(probe_cost);
                 hit = cache_.lookup(key, decision.model_version);
             }
             if (hit) {

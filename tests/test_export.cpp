@@ -263,6 +263,30 @@ TEST(HttpServerTest, ServesHandlerAndStripsQueryStrings) {
     server.shutdown();
 }
 
+TEST(HttpServerTest, ExposesQueryStringAndParams) {
+    agenp::obs::HttpServerOptions options;
+    options.port = 0;
+    agenp::obs::HttpServer server(options, [](const agenp::obs::HttpRequest& request) {
+        agenp::obs::HttpResponse response;
+        response.body = "seconds=" + agenp::obs::http_query_param(request.query, "seconds") +
+                        " hz=" + agenp::obs::http_query_param(request.query, "hz") + "\n";
+        return response;
+    });
+    auto result = get(server.port(), "/profz?seconds=2&hz=99");
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->body, "seconds=2 hz=99\n");
+    result = get(server.port(), "/profz");
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->body, "seconds= hz=\n");
+    server.shutdown();
+
+    // The free-function parser handles valueless and missing keys.
+    EXPECT_EQ(agenp::obs::http_query_param("a=1&b=2", "b"), "2");
+    EXPECT_EQ(agenp::obs::http_query_param("a=1&b", "b"), "");
+    EXPECT_EQ(agenp::obs::http_query_param("", "b"), "");
+    EXPECT_EQ(agenp::obs::http_query_param("bb=3", "b"), "");
+}
+
 TEST(GraphitePusherTest, PushesRenderedBodyToPlainTcpSink) {
     // A one-shot TCP sink standing in for carbon: accept one connection,
     // read to EOF.
@@ -444,6 +468,17 @@ TEST(ServeMetricsTest, LiveScrapeServesValidExpositionHealthzAndStatz) {
     std::string input;
     for (int i = 0; i < 20; ++i) input += "do patrol\n";
     ASSERT_EQ(::write(fds[1], input.data(), input.size()), static_cast<ssize_t>(input.size()));
+    // Wait until the exporter sees all 20 requests: the latency histogram
+    // and the cost-table cells only exist once traffic was processed, so
+    // scraping before that races (notably under sanitizer slowdown).
+    for (int i = 0; i < 2000; ++i) {
+        auto probe = get(metrics_port.load(), "/statz");
+        if (probe.has_value() &&
+            probe->body.find("\"completed\":20") != std::string::npos) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
 
     auto healthz = get(metrics_port.load(), "/healthz");
     ASSERT_TRUE(healthz.has_value());
@@ -463,6 +498,13 @@ TEST(ServeMetricsTest, LiveScrapeServesValidExpositionHealthzAndStatz) {
     EXPECT_NE(metrics->body.find("agenp_srv_draining 0"), std::string::npos);
     EXPECT_NE(metrics->body.find("# TYPE agenp_srv_latency_us histogram"), std::string::npos);
 
+    // Windowed families and the cost table ride on the same exposition.
+    EXPECT_NE(metrics->body.find("agenp_window_requests_per_s"), std::string::npos);
+    EXPECT_NE(metrics->body.find("agenp_window_latency_p95_us"), std::string::npos);
+    EXPECT_NE(metrics->body.find("span=\"60s\""), std::string::npos);
+    EXPECT_NE(metrics->body.find("agenp_cost_ewma_us"), std::string::npos);
+    EXPECT_NE(metrics->body.find("check=\"srv.cache_probe\""), std::string::npos);
+
     auto statz = get(metrics_port.load(), "/statz");
     ASSERT_TRUE(statz.has_value());
     EXPECT_EQ(statz->status, 200);
@@ -470,10 +512,36 @@ TEST(ServeMetricsTest, LiveScrapeServesValidExpositionHealthzAndStatz) {
     ASSERT_TRUE(stats.has_value()) << statz->body;
     EXPECT_NE(stats->find("cache"), nullptr);
     EXPECT_NE(stats->find("locks"), nullptr);
+    EXPECT_NE(stats->find("window"), nullptr);
+    EXPECT_NE(stats->find("costs"), nullptr);
+    EXPECT_NE(statz->body.find("\"10s\":{"), std::string::npos);
+    EXPECT_NE(statz->body.find("\"p95_us\":"), std::string::npos);
+    EXPECT_NE(statz->body.find("\"hit_rate\":"), std::string::npos);
+
+    auto buildz = get(metrics_port.load(), "/buildz");
+    ASSERT_TRUE(buildz.has_value());
+    EXPECT_EQ(buildz->status, 200);
+    EXPECT_NE(buildz->body.find("\"git_sha\":\""), std::string::npos);
+    EXPECT_NE(buildz->body.find("\"compiler\":\""), std::string::npos);
+    EXPECT_NE(buildz->body.find("\"build_type\":\""), std::string::npos);
+    EXPECT_NE(buildz->body.find("\"protocol_version\":1"), std::string::npos);
+    EXPECT_NE(buildz->body.find("\"replicas\":1"), std::string::npos);
+
+    // Short one-shot profile over the live server; stacks may be empty on
+    // an idle process, but the endpoint itself must answer in both forms.
+    auto profz = get(metrics_port.load(), "/profz?seconds=0.2&hz=200&format=json");
+    ASSERT_TRUE(profz.has_value());
+    EXPECT_EQ(profz->status, 200);
+    EXPECT_NE(profz->body.find("\"hz\":200"), std::string::npos);
+    EXPECT_NE(profz->body.find("\"stacks\":["), std::string::npos);
+    auto bad = get(metrics_port.load(), "/profz?seconds=900");
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_EQ(bad->status, 400);
 
     auto missing = get(metrics_port.load(), "/nope");
     ASSERT_TRUE(missing.has_value());
     EXPECT_EQ(missing->status, 404);
+    EXPECT_NE(missing->body.find("/profz"), std::string::npos);
 
     ::close(fds[1]);  // EOF -> drain -> exit
     server.join();

@@ -1,0 +1,174 @@
+// Sampling CPU profiler: off-by-default, start/stop/drain lifecycle,
+// folded-stack output naming the hot function, ring/report accounting.
+// The binary links with ENABLE_EXPORTS so dladdr() can symbolize frames.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/prof.hpp"
+
+namespace obs = agenp::obs;
+
+// External linkage + noinline: the sampler must find this name via
+// dladdr(). The inner call keeps frequent function entries so deferred
+// signal delivery (sanitizer runtimes) still lands inside the loop.
+__attribute__((noinline)) std::uint64_t agenp_test_burn_step(std::uint64_t x) {
+    // xorshift keeps the optimizer from collapsing the loop.
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+}
+
+__attribute__((noinline)) std::uint64_t agenp_test_burn_cpu(std::chrono::milliseconds for_ms) {
+    std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+    auto deadline = std::chrono::steady_clock::now() + for_ms;
+    while (std::chrono::steady_clock::now() < deadline) {
+        for (int i = 0; i < 4096; ++i) x = agenp_test_burn_step(x);
+    }
+    return x;
+}
+
+namespace {
+
+bool under_thread_sanitizer() {
+#if defined(__SANITIZE_THREAD__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+    return true;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+bool under_address_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__)
+    return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    return true;
+#else
+    return false;
+#endif
+#else
+    return false;
+#endif
+}
+
+}  // namespace
+
+TEST(CpuProfiler, OffByDefault) {
+    auto& profiler = obs::CpuProfiler::instance();
+    EXPECT_FALSE(profiler.running());
+    EXPECT_EQ(profiler.hz(), 0);
+    // Draining a stopped profiler is a harmless empty report.
+    obs::ProfileReport report = profiler.drain();
+    EXPECT_EQ(report.samples, 0u);
+    EXPECT_TRUE(report.stacks.empty());
+    obs::ProfileReport stopped = profiler.stop();
+    EXPECT_EQ(stopped.samples, 0u);
+}
+
+TEST(CpuProfiler, StartSampleStopProducesStacks) {
+    auto& profiler = obs::CpuProfiler::instance();
+    obs::ProfilerOptions options;
+    options.hz = 250;
+    ASSERT_TRUE(profiler.start(options));
+    EXPECT_TRUE(profiler.running());
+    EXPECT_EQ(profiler.hz(), 250);
+
+    volatile std::uint64_t sink = agenp_test_burn_cpu(std::chrono::milliseconds(400));
+    (void)sink;
+
+    obs::ProfileReport report = profiler.stop();
+    EXPECT_FALSE(profiler.running());
+    EXPECT_EQ(profiler.hz(), 0);
+
+    // 400ms of CPU at 250 Hz is ~100 samples; accept wide scheduling slop.
+    EXPECT_GT(report.samples, 5u);
+    ASSERT_FALSE(report.stacks.empty());
+    EXPECT_GT(report.seconds, 0.0);
+    EXPECT_EQ(report.hz, 250);
+
+    std::string folded = report.folded();
+    EXPECT_FALSE(folded.empty());
+    // Every line is "frames count".
+    EXPECT_NE(folded.find(' '), std::string::npos);
+    // The burn function dominates the profile. TSan's deferred signal
+    // delivery can attribute samples to runtime frames instead, and
+    // ASan's signal interceptor leaves an extra unskipped frame at the
+    // leaf of every stack, so the symbol assertions are best-effort
+    // under sanitizers.
+    if (!under_thread_sanitizer()) {
+        EXPECT_NE(folded.find("agenp_test_burn"), std::string::npos) << folded;
+    }
+    if (!under_thread_sanitizer() && !under_address_sanitizer()) {
+        std::string top = report.top(10);
+        EXPECT_NE(top.find("agenp_test_burn"), std::string::npos) << top;
+    }
+}
+
+TEST(CpuProfiler, DoubleStartRefusedAndStopIsFinal) {
+    auto& profiler = obs::CpuProfiler::instance();
+    ASSERT_TRUE(profiler.start(obs::ProfilerOptions{.hz = 97}));
+    EXPECT_FALSE(profiler.start(obs::ProfilerOptions{.hz = 10}));
+    EXPECT_EQ(profiler.hz(), 97);  // the running session keeps its rate
+    (void)profiler.stop();
+    EXPECT_FALSE(profiler.running());
+    // Restartable after stop.
+    ASSERT_TRUE(profiler.start(obs::ProfilerOptions{.hz = 50}));
+    (void)profiler.stop();
+}
+
+TEST(CpuProfiler, DrainWindowsAContinuousSession) {
+    auto& profiler = obs::CpuProfiler::instance();
+    ASSERT_TRUE(profiler.start(obs::ProfilerOptions{.hz = 250}));
+    (void)agenp_test_burn_cpu(std::chrono::milliseconds(200));
+    obs::ProfileReport first = profiler.drain();
+    EXPECT_TRUE(profiler.running());  // draining does not stop sampling
+    // Immediately draining again returns a near-empty window.
+    obs::ProfileReport second = profiler.drain();
+    EXPECT_LT(second.samples, first.samples + 5);
+    (void)agenp_test_burn_cpu(std::chrono::milliseconds(200));
+    obs::ProfileReport third = profiler.stop();
+    EXPECT_GT(first.samples + third.samples, 5u);
+}
+
+TEST(CpuProfiler, CollectOneShot) {
+    auto& profiler = obs::CpuProfiler::instance();
+    ASSERT_FALSE(profiler.running());
+    std::thread burner([] { (void)agenp_test_burn_cpu(std::chrono::milliseconds(400)); });
+    obs::ProfileReport report = profiler.collect(0.3, 250);
+    burner.join();
+    EXPECT_FALSE(profiler.running());  // collect() on a stopped profiler stops it again
+    EXPECT_GT(report.samples, 0u);
+    EXPECT_EQ(report.hz, 250);
+}
+
+TEST(CpuProfiler, ReportJsonShape) {
+    obs::ProfileReport report;
+    report.hz = 99;
+    report.seconds = 1.5;
+    report.samples = 3;
+    report.stacks.push_back({"main;work", 2});
+    report.stacks.push_back({"main;idle", 1});
+    std::string json = report.to_json();
+    EXPECT_NE(json.find("\"hz\":99"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"stack\":\"main;work\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    EXPECT_EQ(report.folded(), "main;work 2\nmain;idle 1\n");
+    // Flat profile attributes self time to leaves.
+    std::string top = report.top(10);
+    EXPECT_NE(top.find("work"), std::string::npos);
+    EXPECT_NE(top.find("idle"), std::string::npos);
+}
