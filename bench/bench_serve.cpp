@@ -402,6 +402,10 @@ std::string locks_json(const Row& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Benchmarks measure the production lock fast path; the debug-build
+    // lock-order checker adds a thread-local scan per ranked acquisition
+    // (it is already off under NDEBUG, i.e. in RelWithDebInfo builds).
+    obs::set_lock_order_checking(false);
     bool smoke = false;
 #ifdef AGENP_SOURCE_DIR
     std::string out_path = AGENP_SOURCE_DIR "/bench/results/BENCH_SERVE.json";

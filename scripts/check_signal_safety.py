@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Async-signal-safety checker for the SIGPROF sampling handler.
+
+The CPU profiler (src/obs/prof.cpp) runs `agenp_prof_signal_handler` in
+signal context at up to a few kHz. Anything it calls — directly or
+transitively — must be async-signal-safe: no malloc, no locks, no stdio,
+no C++ runtime entry points. The compiler cannot check this, and a
+regression (someone adds a log line or a std::string to the handler path)
+turns into a rare, unreproducible deadlock in production.
+
+This script makes the property a CI gate. It disassembles the built
+binary with objdump, extracts the static call graph (direct `call` and
+cross-function `jmp` tail calls), computes the closure reachable from the
+handler, and fails if the closure reaches any function outside a small
+allowlist:
+
+  - the handler itself and any local helpers the closure pulls in are
+    fine *as long as* their own calls stay inside the closure rules;
+  - `backtrace` (glibc, async-signal-safe after the lazy libgcc init that
+    CpuProfiler::start primes outside signal context);
+  - `__errno_location` (errno save/restore);
+  - toolchain runtime shims that cannot block (stack protector, TLS
+    address computation).
+
+Indirect `call *reg` instructions inside the closure are hard failures —
+the target cannot be proven safe statically. Indirect `jmp *` is reported
+as a warning only: compilers emit those for switch jump tables whose
+targets stay inside the same function.
+
+Usage:
+  check_signal_safety.py --binary build/src/agenp [--json report.json]
+
+Exit codes: 0 = clean, 1 = violation found, 2 = could not analyze.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+HANDLER_DEFAULT = "agenp_prof_signal_handler"
+
+# Functions the handler closure may call without further analysis.
+# Keep this list tiny and boring; additions need a DESIGN.md §12 note.
+ALLOWED_CALLS = {
+    "backtrace",  # glibc; primed outside signal context in CpuProfiler::start
+    "__errno_location",  # errno save/restore
+    "__stack_chk_fail",  # -fstack-protector epilogue; aborts, never returns
+    "__tls_get_addr",  # TLS address computation (no allocation after startup)
+    "abort",  # reached only via __stack_chk_fail; explicitly signal-safe
+}
+
+# `<symbol>` decorations objdump appends that don't change identity.
+SUFFIX_RE = re.compile(r"(@plt|@GLIBC[^>]*|\.cold|\.part\.\d+|\.isra\.\d+|\.constprop\.\d+)+$")
+
+FUNC_RE = re.compile(r"^[0-9a-f]+ <([^>]+)>:$")
+# e.g. "  4010a3:\tcall   401050 <backtrace@plt>" or "\tjmp    40109e <f+0x1e>"
+DIRECT_RE = re.compile(r"\b(call|jmp)[a-z]*\s+[0-9a-f]+\s+<([^>]+)>")
+INDIRECT_RE = re.compile(r"\b(call|jmp)[a-z]*\s+\*")
+
+
+def normalize(symbol: str) -> str:
+    symbol = symbol.split("+", 1)[0]  # <func+0x1e> -> func
+    return SUFFIX_RE.sub("", symbol)
+
+
+def parse_call_graph(disassembly: str):
+    """Returns (edges, indirect, plt_stubs) keyed by normalized function name.
+
+    edges[f] is the set of normalized direct call/tail-call targets of f;
+    indirect[f] is a list of (mnemonic, line) for `call *` / `jmp *`;
+    plt_stubs holds functions that are PLT trampolines into a shared
+    library — the analysis must stop at them (their `jmp *GOT` would
+    otherwise read as a harmless indirect-jump warning).
+    """
+    edges: dict[str, set[str]] = {}
+    indirect: dict[str, list[tuple[str, str]]] = {}
+    plt_stubs: set[str] = set()
+    current = None
+    for line in disassembly.splitlines():
+        match = FUNC_RE.match(line)
+        if match:
+            raw = match.group(1)
+            current = normalize(raw)
+            if "@plt" in raw:
+                plt_stubs.add(current)
+            edges.setdefault(current, set())
+            continue
+        if current is None:
+            continue
+        match = DIRECT_RE.search(line)
+        if match:
+            mnemonic, raw_target = match.groups()
+            target = normalize(raw_target)
+            # Intra-function jumps (loops, branches) are not call edges.
+            if mnemonic.startswith("jmp") and target == current:
+                continue
+            if target != current or mnemonic.startswith("call"):
+                edges[current].add(target)
+            continue
+        match = INDIRECT_RE.search(line)
+        if match:
+            indirect.setdefault(current, []).append((match.group(1), line.strip()))
+    return edges, indirect, plt_stubs
+
+
+def analyze(edges, indirect, plt_stubs, handler: str):
+    """Walks the closure from `handler`; returns (closure, violations, warnings)."""
+    violations = []
+    warnings = []
+    closure = []
+    seen = {handler}
+    queue = [handler]
+    while queue:
+        func = queue.pop()
+        closure.append(func)
+        if func not in edges:
+            # Named but not disassembled here: an external (PLT) target.
+            continue
+        for mnemonic, line in indirect.get(func, []):
+            finding = {"function": func, "instruction": line}
+            if mnemonic.startswith("call"):
+                violations.append({**finding, "kind": "indirect-call"})
+            else:
+                warnings.append({**finding, "kind": "indirect-jump"})
+        for target in sorted(edges[func]):
+            if target in ALLOWED_CALLS:
+                continue
+            if target in seen:
+                continue
+            seen.add(target)
+            if target in edges and target not in plt_stubs:
+                queue.append(target)  # local function: recurse into it
+            else:
+                # External (PLT stub or undisassembled): the boundary
+                # itself must be allowlisted.
+                violations.append(
+                    {
+                        "kind": "disallowed-call",
+                        "function": func,
+                        "target": target,
+                    }
+                )
+    return closure, violations, warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True, help="linked binary containing the handler")
+    parser.add_argument("--handler", default=HANDLER_DEFAULT)
+    parser.add_argument("--objdump", default="objdump")
+    parser.add_argument("--json", help="write a machine-readable report here")
+    args = parser.parse_args()
+
+    try:
+        disassembly = subprocess.run(
+            [args.objdump, "-d", "--no-show-raw-insn", args.binary],
+            check=True,
+            capture_output=True,
+            text=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as err:
+        print(f"check_signal_safety: cannot disassemble {args.binary}: {err}", file=sys.stderr)
+        return 2
+
+    edges, indirect, plt_stubs = parse_call_graph(disassembly)
+    if args.handler not in edges:
+        print(
+            f"check_signal_safety: handler {args.handler!r} not found in {args.binary} "
+            "(profiler compiled out, or the symbol was renamed?)",
+            file=sys.stderr,
+        )
+        return 2
+
+    closure, violations, warnings = analyze(edges, indirect, plt_stubs, args.handler)
+
+    report = {
+        "binary": args.binary,
+        "handler": args.handler,
+        "closure": sorted(closure),
+        "allowed": sorted(ALLOWED_CALLS),
+        "violations": violations,
+        "warnings": warnings,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as out:
+            json.dump(report, out, indent=2)
+            out.write("\n")
+
+    for warning in warnings:
+        print(f"warning: {warning['kind']} in {warning['function']}: {warning['instruction']}")
+    if violations:
+        print(f"check_signal_safety: {args.handler} reaches unsafe code:", file=sys.stderr)
+        for violation in violations:
+            if violation["kind"] == "disallowed-call":
+                print(
+                    f"  {violation['function']} calls {violation['target']} "
+                    "(not in the async-signal-safe allowlist)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"  {violation['function']}: {violation['instruction']} "
+                    "(indirect call; target unprovable)",
+                    file=sys.stderr,
+                )
+        return 1
+
+    print(
+        f"check_signal_safety: OK — closure of {args.handler} is "
+        f"{len(closure)} function(s), all async-signal-safe"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

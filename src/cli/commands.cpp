@@ -991,8 +991,10 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             serve.cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
             serve.use_cache = !take_bool_flag(args, "--no-cache");
             // Tail-capture knobs default from the environment; flags win.
-            const char* env_slow = std::getenv("AGENP_TRACE_SLOW_MS");
-            const char* env_sample = std::getenv("AGENP_TRACE_SAMPLE");
+            // getenv is single-threaded startup here, before any worker
+            // exists, so concurrency-mt-unsafe does not apply.
+            const char* env_slow = std::getenv("AGENP_TRACE_SLOW_MS");  // NOLINT(concurrency-mt-unsafe)
+            const char* env_sample = std::getenv("AGENP_TRACE_SAMPLE");  // NOLINT(concurrency-mt-unsafe)
             serve.trace_slow_ms =
                 std::stoull(take_flag(args, "--trace-slow-ms", env_slow ? env_slow : "0"));
             serve.trace_sample =

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <tuple>
 
+#include "util/mutex.hpp"
+
 namespace agenp::obs {
 namespace {
 
@@ -59,16 +61,18 @@ void CostCell::tick(std::uint64_t now_ns) {
 }
 
 struct CostTable::Impl {
-    mutable std::mutex mu;
-    // deque: stable element addresses across registration.
-    std::deque<std::pair<std::string, CostCell>> cells;
+    mutable util::Mutex mu;
+    // deque: stable element addresses across registration. The CostCell
+    // atomics are written lock-free by observe(); the cell *list* and the
+    // non-atomic tick bookkeeping inside each cell mutate only under mu.
+    std::deque<std::pair<std::string, CostCell>> cells GUARDED_BY(mu);
 };
 
 CostTable::CostTable() : impl_(new Impl) {}
 CostTable::~CostTable() { delete impl_; }
 
 CostCell& CostTable::cell(std::string_view check) {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     for (auto& [name, cell] : impl_->cells) {
         if (name == check) return cell;
     }
@@ -80,14 +84,14 @@ CostCell& CostTable::cell(std::string_view check) {
 
 void CostTable::tick() {
     std::uint64_t now = monotonic_ns();
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     for (auto& [name, cell] : impl_->cells) cell.tick(now);
 }
 
 std::vector<CostEntry> CostTable::snapshot() const {
     std::vector<CostEntry> entries;
     {
-        std::lock_guard<std::mutex> lock(impl_->mu);
+        util::MutexLock lock(impl_->mu);
         entries.reserve(impl_->cells.size());
         for (const auto& [name, cell] : impl_->cells) {
             CostEntry entry;
@@ -138,7 +142,7 @@ std::string CostTable::render_text() const {
 }
 
 void CostTable::reset() {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     for (auto& [name, cell] : impl_->cells) {
         cell.calls_.store(0, std::memory_order_relaxed);
         cell.total_us_.store(0, std::memory_order_relaxed);

@@ -19,6 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/errors.hpp"
+#include "util/mutex.hpp"
+
 namespace agenp::obs {
 
 namespace {
@@ -81,8 +84,8 @@ struct HttpServer::Impl {
     std::uint16_t port = 0;
     std::thread loop;
     std::atomic<bool> stopping{false};
-    std::mutex shutdown_mu;
-    bool shut_down = false;
+    util::Mutex shutdown_mu;
+    bool shut_down GUARDED_BY(shutdown_mu) = false;
 
     struct Connection {
         int fd = -1;
@@ -107,7 +110,7 @@ struct HttpServer::Impl {
 
     void open_listener() {
         listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (listen_fd < 0) throw std::runtime_error("socket: " + std::string(strerror(errno)));
+        if (listen_fd < 0) throw std::runtime_error("socket: " + util::errno_string());
         int one = 1;
         ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
         sockaddr_in addr{};
@@ -118,10 +121,10 @@ struct HttpServer::Impl {
         }
         if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
             throw std::runtime_error("bind " + options.bind_address + ":" +
-                                     std::to_string(options.port) + ": " + strerror(errno));
+                                     std::to_string(options.port) + ": " + util::errno_string());
         }
         if (::listen(listen_fd, 16) != 0) {
-            throw std::runtime_error("listen: " + std::string(strerror(errno)));
+            throw std::runtime_error("listen: " + util::errno_string());
         }
         sockaddr_in bound{};
         socklen_t len = sizeof bound;
@@ -130,7 +133,7 @@ struct HttpServer::Impl {
         set_nonblocking(listen_fd);
 
         int pipefd[2];
-        if (::pipe(pipefd) != 0) throw std::runtime_error("pipe: " + std::string(strerror(errno)));
+        if (::pipe(pipefd) != 0) throw std::runtime_error("pipe: " + util::errno_string());
         wake_r = pipefd[0];
         wake_w = pipefd[1];
         set_nonblocking(wake_r);
@@ -346,7 +349,7 @@ HttpServer::~HttpServer() { shutdown(); }
 
 void HttpServer::shutdown() {
     if (impl_ == nullptr) return;
-    std::lock_guard lock(impl_->shutdown_mu);
+    util::MutexLock lock(impl_->shutdown_mu);
     if (impl_->shut_down) return;
     impl_->shut_down = true;
     impl_->stopping.store(true, std::memory_order_release);

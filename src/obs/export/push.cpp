@@ -20,9 +20,8 @@ GraphitePusher::~GraphitePusher() { stop(); }
 
 void GraphitePusher::stop() {
     {
-        std::lock_guard lock(mutex_);
-        if (stopping_) return;
-        stopping_ = true;
+        util::MutexLock lock(mutex_);
+        if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();
@@ -31,16 +30,18 @@ void GraphitePusher::stop() {
 void GraphitePusher::run() {
     // Push immediately on startup (metrics appear without waiting out the
     // first interval), then once per interval until stopped.
-    std::unique_lock lock(mutex_);
-    while (!stopping_) {
-        lock.unlock();
+    while (!stopping_.load(std::memory_order_acquire)) {
         if (push_once()) {
             pushes_.fetch_add(1, std::memory_order_relaxed);
         } else {
             failures_.fetch_add(1, std::memory_order_relaxed);
         }
-        lock.lock();
-        if (cv_.wait_for(lock, options_.interval, [this] { return stopping_; })) break;
+        util::MutexLock lock(mutex_);
+        // stop() stores stopping_ under mutex_, so this re-check cannot
+        // lose the notify. A spurious wakeup just pushes early.
+        if (!stopping_.load(std::memory_order_acquire)) {
+            (void)cv_.wait_for(mutex_, options_.interval);
+        }
     }
 }
 

@@ -11,13 +11,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <ctime>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "util/mutex.hpp"
 
 namespace agenp::obs {
 
@@ -54,9 +54,12 @@ private:
 
     PushOptions options_;
     std::function<std::string(std::time_t)> render_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    // stopping_ is atomic so run() can poll it between pushes without the
+    // lock; stop() still flips it under mutex_ so the loop's
+    // check-then-wait cannot miss the notify.
+    util::Mutex mutex_;
+    util::CondVar cv_;
+    std::atomic<bool> stopping_{false};
     std::atomic<std::uint64_t> pushes_{0};
     std::atomic<std::uint64_t> failures_{0};
     std::thread thread_;

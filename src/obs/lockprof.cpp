@@ -4,15 +4,55 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace agenp::obs {
 
 namespace {
 
 std::atomic<bool> g_lock_profiling_enabled{true};
+
+// Order checking is a debugging aid: on by default only when asserts
+// are, so release servers and bench_serve never pay for it unless asked.
+std::atomic<bool> g_lock_order_checking{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+// The global lock hierarchy (DESIGN.md section 12). Acquisition order
+// must be strictly increasing in rank within a thread. Names not listed
+// here are unranked (exempt).
+struct LockRankEntry {
+    std::string_view name;
+    int rank;
+};
+constexpr LockRankEntry kLockRanks[] = {
+    {"srv.model", 10},       // DecisionService state_mu_ (shared: decide, excl: update)
+    {"srv.cache_shard", 20},  // DecisionCache shard locks, taken under srv.model
+    {"srv.monitor", 30},      // feedback monitor, taken under srv.model
+    {"srv.audit", 40},        // audit log rotation/append
+    {"srv.conn.outbox", 50},  // per-connection worker->loop handoff
+    {"symbol.intern", 60},    // intern shards; interning happens under srv.model
+};
+
+// Per-thread stack of held ranked locks. Depth is tiny (the hierarchy is
+// six names and nesting never exceeds three); a fixed array keeps the
+// bookkeeping allocation-free.
+struct HeldLock {
+    const void* mu;
+    int rank;
+    const char* name;
+};
+constexpr int kMaxHeld = 16;
+thread_local HeldLock t_held[kMaxHeld];
+thread_local int t_held_count = 0;
 
 std::string format_double(double v) {
     char buf[64];
@@ -30,10 +70,63 @@ void set_lock_profiling_enabled(bool enabled) {
     g_lock_profiling_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+bool lock_order_checking_enabled() {
+    return g_lock_order_checking.load(std::memory_order_relaxed);
+}
+
+void set_lock_order_checking(bool enabled) {
+    g_lock_order_checking.store(enabled, std::memory_order_relaxed);
+}
+
+LockRank lock_rank_of(std::string_view name) {
+    for (const auto& entry : kLockRanks) {
+        if (entry.name == name) return {entry.rank, entry.name.data()};
+    }
+    return {};
+}
+
+namespace detail {
+
+void lock_order_acquire(const void* mu, const LockRank& rank, bool enforce) {
+    if (enforce) {
+        for (int i = 0; i < t_held_count; ++i) {
+            if (t_held[i].rank >= rank.rank) {
+                // Report before blocking: under another interleaving this
+                // acquisition order is a deadlock, so treat it like a
+                // failed assert.
+                std::fprintf(stderr,
+                             "agenp: lock-order inversion: acquiring \"%s\" (rank %d) while "
+                             "holding \"%s\" (rank %d); the global hierarchy (DESIGN.md "
+                             "section 12) requires strictly increasing ranks\n",
+                             rank.name, rank.rank, t_held[i].name, t_held[i].rank);
+                std::abort();
+            }
+        }
+    }
+    if (t_held_count < kMaxHeld) {
+        t_held[t_held_count++] = {mu, rank.rank, rank.name};
+    }
+}
+
+void lock_order_release(const void* mu) {
+    // Last-in search: releases are almost always LIFO, and a no-match
+    // scan (entries recorded before a toggle, or none at all) is a
+    // handful of compares.
+    for (int i = t_held_count - 1; i >= 0; --i) {
+        if (t_held[i].mu == mu) {
+            for (int j = i; j + 1 < t_held_count; ++j) t_held[j] = t_held[j + 1];
+            --t_held_count;
+            return;
+        }
+    }
+}
+
+}  // namespace detail
+
 struct LockRegistry::Impl {
-    mutable std::mutex mutex;
+    mutable util::Mutex mutex;
     // std::map keeps node (and thus reference) stability on insert.
-    std::map<std::string, LockStats, std::less<>> stats;
+    std::map<std::string, LockStats, std::less<>> stats GUARDED_BY(mutex);
 };
 
 LockRegistry::LockRegistry() : impl_(new Impl) {}
@@ -43,7 +136,7 @@ LockStats& LockRegistry::get(std::string_view name) {
     // Lock names surface as `lock` label values in the metrics exposition;
     // keep them to the registry naming grammar so exporters never escape.
     assert(valid_metric_name(name));
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->stats.find(name);
     if (it == impl_->stats.end()) {
         it = impl_->stats.try_emplace(std::string(name)).first;
@@ -52,7 +145,7 @@ LockStats& LockRegistry::get(std::string_view name) {
 }
 
 std::vector<LockStatsSnapshot> LockRegistry::snapshot() const {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     std::vector<LockStatsSnapshot> out;
     out.reserve(impl_->stats.size());
     for (const auto& [name, s] : impl_->stats) {
@@ -107,7 +200,7 @@ std::string LockRegistry::render_text() const {
 }
 
 void LockRegistry::reset() {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     for (auto& [_, s] : impl_->stats) s.reset();
 }
 

@@ -1,15 +1,22 @@
 // Lock-contention profiling: drop-in mutex wrappers that attribute wait
-// time to named locks (DESIGN.md section "Observability").
+// time to named locks (DESIGN.md section "Observability"), annotated as
+// thread-safety capabilities (DESIGN.md section 12).
 //
 // The serving layer's scaling questions ("where do the cache-off threads
 // stall?") cannot be answered by latency histograms alone — they need to
 // know which lock was waited on and for how long. ProfiledMutex and
 // ProfiledSharedMutex satisfy the standard Lockable / SharedLockable
-// requirements, so std::lock_guard / std::unique_lock / std::shared_lock
-// work unchanged, and record per-lock:
+// requirements and record per-lock:
 //   - acquisitions: every successful lock (shared or exclusive),
 //   - contentions: acquisitions that lost the try_lock fast path,
 //   - wait_us:     histogram of slow-path wait time.
+//
+// Both are CAPABILITY("mutex") types, so fields can be GUARDED_BY them
+// and clang's -Wthread-safety checks the discipline at compile time.
+// Lock through the scoped types below (ProfiledMutexLock,
+// ProfiledWriteLock, ProfiledReadLock) — std::lock_guard and friends
+// carry no thread-safety annotations, so the analysis cannot see
+// through them.
 //
 // Cost model: the uncontended path is one try_lock plus one relaxed
 // atomic add — near-zero. Only the contended path reads the clock. With
@@ -19,6 +26,25 @@
 // Stats objects are owned by a process-wide LockRegistry keyed by name;
 // several mutexes may share one name (the 16 decision-cache shard locks
 // all report as "srv.cache_shard"), aggregating naturally.
+//
+// Lock hierarchy: named locks carry a rank (lock_rank_of), and a
+// debug-build checker aborts the process when a thread acquires a ranked
+// lock while holding one of equal or higher rank — a lock-order
+// inversion that could deadlock under another interleaving. The global
+// order (DESIGN.md section 12):
+//
+//   rank  lock name         held while taking ->
+//     10  srv.model         srv.cache_shard, srv.monitor, symbol.intern
+//     20  srv.cache_shard   (leaf)
+//     30  srv.monitor       (leaf)
+//     40  srv.audit         (leaf)
+//     50  srv.conn.outbox   (leaf)
+//     60  symbol.intern     (leaf)
+//
+// Unranked names are exempt (util::Mutex internals are invisible here —
+// they are plain capabilities, not profiled locks). The checker defaults
+// to on in debug builds (!NDEBUG) and off otherwise; bench_serve turns
+// it off explicitly so release numbers measure the production config.
 #pragma once
 
 #include <mutex>
@@ -28,6 +54,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::obs {
 
@@ -35,6 +62,29 @@ namespace agenp::obs {
 // defaults to on because its fast path is one relaxed add.
 bool lock_profiling_enabled();
 void set_lock_profiling_enabled(bool enabled);
+
+// Runtime lock-order checking (inversion -> stderr report + abort).
+// Defaults to on in debug builds, off under NDEBUG. Toggle only while no
+// ranked locks are held.
+bool lock_order_checking_enabled();
+void set_lock_order_checking(bool enabled);
+
+// A named lock's place in the global hierarchy. rank 0 = unranked
+// (exempt from order checking); name points at the static rank table.
+struct LockRank {
+    int rank = 0;
+    const char* name = "";
+};
+
+[[nodiscard]] LockRank lock_rank_of(std::string_view name);
+
+namespace detail {
+// Per-thread held-lock bookkeeping for the order checker. acquire checks
+// for inversion (reporting to stderr and aborting when `enforce`), then
+// records the lock; release forgets it. Called only for ranked locks.
+void lock_order_acquire(const void* mu, const LockRank& rank, bool enforce = true);
+void lock_order_release(const void* mu);
+}  // namespace detail
 
 // Per-named-lock instrument. All mutation is lock-free.
 class LockStats {
@@ -104,14 +154,22 @@ private:
 // locks may be used during static teardown).
 LockRegistry& locks();
 
-// std::mutex with contention accounting. Satisfies Lockable.
-class ProfiledMutex {
+// std::mutex with contention accounting. Satisfies Lockable and is a
+// thread-safety capability.
+class CAPABILITY("mutex") ProfiledMutex {
 public:
-    explicit ProfiledMutex(std::string_view name) : stats_(&locks().get(name)) {}
+    explicit ProfiledMutex(std::string_view name)
+        : stats_(&locks().get(name)), rank_(lock_rank_of(name)) {}
     ProfiledMutex(const ProfiledMutex&) = delete;
     ProfiledMutex& operator=(const ProfiledMutex&) = delete;
 
-    void lock() {
+    void lock() ACQUIRE() {
+        // Record (and order-check) before blocking: the thread does
+        // nothing else while it waits, so the early push is equivalent,
+        // and an inversion reports before it can deadlock.
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_);
+        }
         if (mu_.try_lock()) {
             if (lock_profiling_enabled()) stats_->record_uncontended();
             return;
@@ -125,30 +183,46 @@ public:
         stats_->record_contended(monotonic_ns() - start);
     }
 
-    bool try_lock() {
+    bool try_lock() TRY_ACQUIRE(true) {
         if (!mu_.try_lock()) return false;
+        // Recorded but not enforced: a failed try_lock cannot deadlock,
+        // and try-then-back-off is the legitimate escape from the
+        // hierarchy. Locks taken *under* this hold are still checked.
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_, /*enforce=*/false);
+        }
         if (lock_profiling_enabled()) stats_->record_uncontended();
         return true;
     }
 
-    void unlock() { mu_.unlock(); }
+    void unlock() RELEASE() {
+        if (rank_.rank != 0) detail::lock_order_release(this);
+        mu_.unlock();
+    }
 
     [[nodiscard]] const LockStats& stats() const { return *stats_; }
+    [[nodiscard]] const LockRank& rank() const { return rank_; }
 
 private:
     std::mutex mu_;
     LockStats* stats_;
+    LockRank rank_;
 };
 
 // std::shared_mutex with contention accounting on both the exclusive and
-// the shared path. Satisfies SharedLockable.
-class ProfiledSharedMutex {
+// the shared path. Satisfies SharedLockable and is a thread-safety
+// capability.
+class CAPABILITY("mutex") ProfiledSharedMutex {
 public:
-    explicit ProfiledSharedMutex(std::string_view name) : stats_(&locks().get(name)) {}
+    explicit ProfiledSharedMutex(std::string_view name)
+        : stats_(&locks().get(name)), rank_(lock_rank_of(name)) {}
     ProfiledSharedMutex(const ProfiledSharedMutex&) = delete;
     ProfiledSharedMutex& operator=(const ProfiledSharedMutex&) = delete;
 
-    void lock() {
+    void lock() ACQUIRE() {
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_);
+        }
         if (mu_.try_lock()) {
             if (lock_profiling_enabled()) stats_->record_uncontended();
             return;
@@ -162,15 +236,26 @@ public:
         stats_->record_contended(monotonic_ns() - start);
     }
 
-    bool try_lock() {
+    bool try_lock() TRY_ACQUIRE(true) {
         if (!mu_.try_lock()) return false;
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_, /*enforce=*/false);
+        }
         if (lock_profiling_enabled()) stats_->record_uncontended();
         return true;
     }
 
-    void unlock() { mu_.unlock(); }
+    void unlock() RELEASE() {
+        if (rank_.rank != 0) detail::lock_order_release(this);
+        mu_.unlock();
+    }
 
-    void lock_shared() {
+    void lock_shared() ACQUIRE_SHARED() {
+        // Shared holders participate in the hierarchy too: holding
+        // srv.model shared while taking srv.cache_shard must still rank.
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_);
+        }
         if (mu_.try_lock_shared()) {
             if (lock_profiling_enabled()) stats_->record_uncontended();
             return;
@@ -184,19 +269,70 @@ public:
         stats_->record_contended(monotonic_ns() - start);
     }
 
-    bool try_lock_shared() {
+    bool try_lock_shared() TRY_ACQUIRE_SHARED(true) {
         if (!mu_.try_lock_shared()) return false;
+        if (rank_.rank != 0 && lock_order_checking_enabled()) {
+            detail::lock_order_acquire(this, rank_, /*enforce=*/false);
+        }
         if (lock_profiling_enabled()) stats_->record_uncontended();
         return true;
     }
 
-    void unlock_shared() { mu_.unlock_shared(); }
+    void unlock_shared() RELEASE_SHARED() {
+        if (rank_.rank != 0) detail::lock_order_release(this);
+        mu_.unlock_shared();
+    }
 
     [[nodiscard]] const LockStats& stats() const { return *stats_; }
+    [[nodiscard]] const LockRank& rank() const { return rank_; }
 
 private:
     std::shared_mutex mu_;
     LockStats* stats_;
+    LockRank rank_;
+};
+
+// Scoped locks the thread-safety analysis can see through. Use these
+// instead of std::lock_guard / std::unique_lock / std::shared_lock.
+
+class SCOPED_CAPABILITY ProfiledMutexLock {
+public:
+    explicit ProfiledMutexLock(ProfiledMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~ProfiledMutexLock() RELEASE() { mu_.unlock(); }
+
+    ProfiledMutexLock(const ProfiledMutexLock&) = delete;
+    ProfiledMutexLock& operator=(const ProfiledMutexLock&) = delete;
+
+private:
+    ProfiledMutex& mu_;
+};
+
+// Exclusive (writer) hold of a ProfiledSharedMutex.
+class SCOPED_CAPABILITY ProfiledWriteLock {
+public:
+    explicit ProfiledWriteLock(ProfiledSharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~ProfiledWriteLock() RELEASE() { mu_.unlock(); }
+
+    ProfiledWriteLock(const ProfiledWriteLock&) = delete;
+    ProfiledWriteLock& operator=(const ProfiledWriteLock&) = delete;
+
+private:
+    ProfiledSharedMutex& mu_;
+};
+
+// Shared (reader) hold of a ProfiledSharedMutex.
+class SCOPED_CAPABILITY ProfiledReadLock {
+public:
+    explicit ProfiledReadLock(ProfiledSharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+        mu_.lock_shared();
+    }
+    ~ProfiledReadLock() RELEASE() { mu_.unlock_shared(); }
+
+    ProfiledReadLock(const ProfiledReadLock&) = delete;
+    ProfiledReadLock& operator=(const ProfiledReadLock&) = delete;
+
+private:
+    ProfiledSharedMutex& mu_;
 };
 
 }  // namespace agenp::obs

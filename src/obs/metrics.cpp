@@ -8,6 +8,8 @@
 #include <map>
 #include <mutex>
 
+#include "util/mutex.hpp"
+
 namespace agenp::obs {
 
 namespace {
@@ -230,11 +232,11 @@ bool parse_metric_key(std::string_view key, std::string* name, MetricLabels* lab
 // --- MetricsRegistry --------------------------------------------------------
 
 struct MetricsRegistry::Impl {
-    mutable std::mutex mutex;
+    mutable util::Mutex mutex;
     // std::map keeps node (and thus reference) stability on insert.
-    std::map<std::string, Counter, std::less<>> counters;
-    std::map<std::string, Gauge, std::less<>> gauges;
-    std::map<std::string, Histogram, std::less<>> histograms;
+    std::map<std::string, Counter, std::less<>> counters GUARDED_BY(mutex);
+    std::map<std::string, Gauge, std::less<>> gauges GUARDED_BY(mutex);
+    std::map<std::string, Histogram, std::less<>> histograms GUARDED_BY(mutex);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -242,7 +244,7 @@ MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
     assert(valid_metric_name(name));
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->counters.find(name);
     if (it == impl_->counters.end()) {
         it = impl_->counters.try_emplace(std::string(name)).first;
@@ -252,7 +254,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
     assert(valid_metric_name(name));
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->gauges.find(name);
     if (it == impl_->gauges.end()) {
         it = impl_->gauges.try_emplace(std::string(name)).first;
@@ -262,7 +264,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
     assert(valid_metric_name(name));
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->histograms.find(name);
     if (it == impl_->histograms.end()) {
         it = impl_->histograms.try_emplace(std::string(name)).first;
@@ -272,7 +274,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 
 Counter& MetricsRegistry::counter(std::string_view name, const MetricLabels& labels) {
     std::string key = metric_key(name, labels);
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->counters.find(key);
     if (it == impl_->counters.end()) it = impl_->counters.try_emplace(std::move(key)).first;
     return it->second;
@@ -280,7 +282,7 @@ Counter& MetricsRegistry::counter(std::string_view name, const MetricLabels& lab
 
 Gauge& MetricsRegistry::gauge(std::string_view name, const MetricLabels& labels) {
     std::string key = metric_key(name, labels);
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->gauges.find(key);
     if (it == impl_->gauges.end()) it = impl_->gauges.try_emplace(std::move(key)).first;
     return it->second;
@@ -288,14 +290,14 @@ Gauge& MetricsRegistry::gauge(std::string_view name, const MetricLabels& labels)
 
 Histogram& MetricsRegistry::histogram(std::string_view name, const MetricLabels& labels) {
     std::string key = metric_key(name, labels);
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     auto it = impl_->histograms.find(key);
     if (it == impl_->histograms.end()) it = impl_->histograms.try_emplace(std::move(key)).first;
     return it->second;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     MetricsSnapshot s;
     for (const auto& [name, c] : impl_->counters) s.counters.emplace_back(name, c.value());
     for (const auto& [name, g] : impl_->gauges) s.gauges.emplace_back(name, g.value());
@@ -360,7 +362,7 @@ std::string MetricsRegistry::render_json() const {
 }
 
 void MetricsRegistry::reset() {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     for (auto& [_, c] : impl_->counters) c.reset();
     for (auto& [_, g] : impl_->gauges) g.reset();
     for (auto& [_, h] : impl_->histograms) h.reset();

@@ -20,6 +20,7 @@
 #include <sys/time.h>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace agenp::obs {
 namespace {
@@ -159,24 +160,27 @@ double wall_seconds_since(std::uint64_t start_ns) {
 }  // namespace
 
 struct CpuProfiler::Impl {
-    std::mutex mu;
-    std::unique_ptr<Ring> ring;
-    struct sigaction old_action {};
+    util::Mutex mu;
+    // The pointer changes only under mu; the handler reaches the Ring
+    // through the g_ring atomic, never through this field, and the Ring's
+    // own slots are lock-free atomics.
+    std::unique_ptr<Ring> ring GUARDED_BY(mu) PT_GUARDED_BY(mu);
+    struct sigaction old_action GUARDED_BY(mu) {};
     std::atomic<bool> running{false};
     std::atomic<int> hz{0};
-    std::uint64_t window_start_ns = 0;
+    std::uint64_t window_start_ns GUARDED_BY(mu) = 0;
     // Address -> frame name cache; symbols never move, so entries live for
     // the process.
-    std::unordered_map<void*, std::string> symbols;
+    std::unordered_map<void*, std::string> symbols GUARDED_BY(mu);
 
-    const std::string& frame_name(void* addr) {
+    const std::string& frame_name(void* addr) REQUIRES(mu) {
         auto it = symbols.find(addr);
         if (it == symbols.end()) it = symbols.emplace(addr, symbolize_frame(addr)).first;
         return it->second;
     }
 
     // Drains the ring into an aggregated report; caller holds `mu`.
-    ProfileReport drain_locked() {
+    ProfileReport drain_locked() REQUIRES(mu) {
         ProfileReport report;
         report.hz = hz.load(std::memory_order_relaxed);
         report.seconds = window_start_ns != 0 ? wall_seconds_since(window_start_ns) : 0.0;
@@ -229,7 +233,7 @@ CpuProfiler& CpuProfiler::instance() {
 }
 
 bool CpuProfiler::start(const ProfilerOptions& options) {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     if (impl_->running.load(std::memory_order_relaxed)) return false;
 
     int hz = std::clamp(options.hz, 1, 1000);
@@ -269,12 +273,12 @@ bool CpuProfiler::start(const ProfilerOptions& options) {
 }
 
 ProfileReport CpuProfiler::drain() {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     return impl_->drain_locked();
 }
 
 ProfileReport CpuProfiler::stop() {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    util::MutexLock lock(impl_->mu);
     if (!impl_->running.load(std::memory_order_relaxed)) return {};
 
     itimerval off{};

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace agenp::obs {
 
@@ -24,8 +25,8 @@ thread_local std::vector<std::uint64_t> t_child_ns;
 }  // namespace
 
 struct TraceRecorder::Impl {
-    mutable std::mutex mutex;
-    std::vector<SpanEvent> events;
+    mutable util::Mutex mutex;
+    std::vector<SpanEvent> events GUARDED_BY(mutex);
 };
 
 TraceRecorder::TraceRecorder() : impl_(new Impl) {}
@@ -34,17 +35,17 @@ TraceRecorder::~TraceRecorder() { delete impl_; }
 void TraceRecorder::set_enabled(bool enabled) { enabled_ = enabled; }
 
 void TraceRecorder::clear() {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     impl_->events.clear();
 }
 
 void TraceRecorder::record(SpanEvent event) {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     impl_->events.push_back(std::move(event));
 }
 
 std::vector<SpanEvent> TraceRecorder::events() const {
-    std::lock_guard lock(impl_->mutex);
+    util::MutexLock lock(impl_->mutex);
     return impl_->events;
 }
 

@@ -64,7 +64,7 @@ void RollingWindow::tick() { tick_at(monotonic_ms()); }
 
 void RollingWindow::tick_at(std::uint64_t now_ms) {
     MetricsSnapshot snapshot = registry_.snapshot();
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     Bucket& bucket = ring_[head_];
     bucket.at_ms = now_ms;
     bucket.snapshot = std::move(snapshot);
@@ -77,7 +77,7 @@ WindowDelta RollingWindow::window(std::chrono::seconds span) const {
 }
 
 WindowDelta RollingWindow::window_at(std::chrono::seconds span, std::uint64_t now_ms) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return window_locked(span, now_ms);
 }
 
@@ -136,7 +136,7 @@ WindowDelta RollingWindow::window_locked(std::chrono::seconds span,
 }
 
 std::size_t RollingWindow::bucket_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     return static_cast<std::size_t>(
         std::count_if(ring_.begin(), ring_.end(), [](const Bucket& b) { return b.valid; }));
 }
@@ -145,21 +145,28 @@ WindowTicker::WindowTicker(RollingWindow& window, std::function<void()> on_tick)
     : window_(window), on_tick_(std::move(on_tick)), interval_(std::chrono::seconds(1)) {
     window_.tick();  // bucket 0: the baseline every warm-up window starts from
     thread_ = std::thread([this] {
-        std::unique_lock<std::mutex> lock(mu_);
-        while (!stop_) {
-            if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
-            lock.unlock();
+        while (!stop_.load(std::memory_order_acquire)) {
+            {
+                util::MutexLock lock(mu_);
+                // Re-check under the lock: the destructor stores stop_
+                // while holding mu_, so this check-then-wait cannot lose
+                // the notify. A spurious wakeup just ticks early, which
+                // only reduces bucket granularity error.
+                if (!stop_.load(std::memory_order_acquire)) {
+                    (void)cv_.wait_for(mu_, interval_);
+                }
+            }
+            if (stop_.load(std::memory_order_acquire)) break;
             window_.tick();
             if (on_tick_) on_tick_();
-            lock.lock();
         }
     });
 }
 
 WindowTicker::~WindowTicker() {
     {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
+        util::MutexLock lock(mu_);
+        stop_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
     if (thread_.joinable()) thread_.join();

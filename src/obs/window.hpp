@@ -15,16 +15,17 @@
 // layer on top, not a new instrument kind.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::obs {
 
@@ -78,13 +79,13 @@ private:
     };
 
     [[nodiscard]] WindowDelta window_locked(std::chrono::seconds span,
-                                            std::uint64_t now_ms) const;
+                                            std::uint64_t now_ms) const REQUIRES(mu_);
 
     const MetricsRegistry& registry_;
     WindowOptions options_;
-    mutable std::mutex mu_;
-    std::vector<Bucket> ring_;
-    std::size_t head_ = 0;  // next slot to write
+    mutable util::Mutex mu_;
+    std::vector<Bucket> ring_ GUARDED_BY(mu_);
+    std::size_t head_ GUARDED_BY(mu_) = 0;  // next slot to write
 };
 
 // Background thread that ticks a RollingWindow once per bucket interval
@@ -101,9 +102,12 @@ private:
     RollingWindow& window_;
     std::function<void()> on_tick_;
     std::chrono::milliseconds interval_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    // stop_ is atomic so the ticker loop can poll it without the lock;
+    // the store still happens under mu_ so a concurrent check-then-wait
+    // in the loop cannot miss the wakeup.
+    std::atomic<bool> stop_{false};
+    util::Mutex mu_;
+    util::CondVar cv_;
     std::thread thread_;
 };
 

@@ -2,11 +2,10 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/errors.hpp"
 
 namespace agenp::srv {
 
@@ -44,14 +43,14 @@ AuditLog::AuditLog(AuditOptions options) : options_(std::move(options)) {
     file_ = std::fopen(options_.path.c_str(), "ae");
     if (file_ == nullptr) {
         throw std::runtime_error("cannot open audit log " + options_.path + ": " +
-                                 std::strerror(errno));
+                                 util::errno_string());
     }
     long pos = std::ftell(file_);
     bytes_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
 }
 
 AuditLog::~AuditLog() {
-    std::lock_guard lock(mutex_);
+    obs::ProfiledMutexLock lock(mutex_);
     if (file_ != nullptr) std::fclose(file_);
     file_ = nullptr;
 }
@@ -75,7 +74,7 @@ void AuditLog::record(AuditEntry entry) {
     std::string line = audit_entry_json(entry);
     line.push_back('\n');
 
-    std::lock_guard lock(mutex_);
+    obs::ProfiledMutexLock lock(mutex_);
     std::uint64_t seen = seen_++;
     if (options_.sample_every > 1 && seen % options_.sample_every != 0) {
         ++sampled_out_;
@@ -106,17 +105,17 @@ void AuditLog::record(AuditEntry entry) {
 }
 
 std::uint64_t AuditLog::recorded() const {
-    std::lock_guard lock(mutex_);
+    obs::ProfiledMutexLock lock(mutex_);
     return recorded_;
 }
 
 std::uint64_t AuditLog::sampled_out() const {
-    std::lock_guard lock(mutex_);
+    obs::ProfiledMutexLock lock(mutex_);
     return sampled_out_;
 }
 
 std::uint64_t AuditLog::rotations() const {
-    std::lock_guard lock(mutex_);
+    obs::ProfiledMutexLock lock(mutex_);
     return rotations_;
 }
 

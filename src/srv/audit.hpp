@@ -22,6 +22,7 @@
 #include <string>
 
 #include "obs/lockprof.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::srv {
 
@@ -69,16 +70,16 @@ public:
     [[nodiscard]] const AuditOptions& options() const { return options_; }
 
 private:
-    void rotate_locked();
+    void rotate_locked() REQUIRES(mutex_);
 
     AuditOptions options_;
     mutable obs::ProfiledMutex mutex_{"srv.audit"};
-    std::FILE* file_ = nullptr;      // guarded by mutex_
-    std::uint64_t bytes_ = 0;        // current file size, guarded by mutex_
-    std::uint64_t seen_ = 0;         // entries offered, guarded by mutex_
-    std::uint64_t recorded_ = 0;     // guarded by mutex_
-    std::uint64_t sampled_out_ = 0;  // guarded by mutex_
-    std::uint64_t rotations_ = 0;    // guarded by mutex_
+    std::FILE* file_ GUARDED_BY(mutex_) = nullptr;
+    std::uint64_t bytes_ GUARDED_BY(mutex_) = 0;        // current file size
+    std::uint64_t seen_ GUARDED_BY(mutex_) = 0;         // entries offered
+    std::uint64_t recorded_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t sampled_out_ GUARDED_BY(mutex_) = 0;
+    std::uint64_t rotations_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace agenp::srv

@@ -38,7 +38,7 @@ void DecisionCache::erase_entry(Shard& shard, std::list<Entry>::iterator it) {
 
 std::optional<bool> DecisionCache::lookup(const CacheKey& key, std::uint64_t model_version) {
     Shard& shard = shard_for(key.hash);
-    std::lock_guard lock(shard.mu);
+    obs::ProfiledMutexLock lock(shard.mu);
     auto it = shard.index.find(key.text);
     if (it == shard.index.end()) {
         ++shard.misses;
@@ -58,7 +58,7 @@ std::optional<bool> DecisionCache::lookup(const CacheKey& key, std::uint64_t mod
 void DecisionCache::insert(const CacheKey& key, std::uint64_t model_version, bool permitted) {
     {
         Shard& shard = shard_for(key.hash);
-        std::lock_guard lock(shard.mu);
+        obs::ProfiledMutexLock lock(shard.mu);
         if (auto it = shard.index.find(key.text); it != shard.index.end()) {
             it->second->version = model_version;
             it->second->permitted = permitted;
@@ -81,7 +81,7 @@ void DecisionCache::insert(const CacheKey& key, std::uint64_t model_version, boo
 std::vector<CacheEntry> DecisionCache::export_entries() const {
     std::vector<CacheEntry> out;
     for (const auto& shard : shards_) {
-        std::lock_guard lock(shard->mu);
+        obs::ProfiledMutexLock lock(shard->mu);
         for (const auto& entry : shard->lru) {
             out.push_back({entry.text, entry.version, entry.permitted});
         }
@@ -94,7 +94,7 @@ DecisionCache::RestoreCounts DecisionCache::restore_entries(const std::vector<Ca
     for (const auto& entry : entries) {
         std::uint64_t hash = util::fnv1a_hash(entry.text);
         Shard& shard = shard_for(hash);
-        std::lock_guard lock(shard.mu);
+        obs::ProfiledMutexLock lock(shard.mu);
         if (auto it = shard.index.find(entry.text); it != shard.index.end()) {
             // Duplicate key: a WAL record replayed over its snapshot
             // entry. The later record wins; it counts as the same entry.
@@ -125,7 +125,7 @@ std::string_view DecisionCache::request_text_of_key(std::string_view key_text) {
 
 void DecisionCache::clear() {
     for (auto& shard : shards_) {
-        std::lock_guard lock(shard->mu);
+        obs::ProfiledMutexLock lock(shard->mu);
         shard->index.clear();
         shard->lru.clear();
         shard->bytes = 0;
@@ -135,7 +135,7 @@ void DecisionCache::clear() {
 CacheStats DecisionCache::stats() const {
     CacheStats out;
     for (const auto& shard : shards_) {
-        std::lock_guard lock(shard->mu);
+        obs::ProfiledMutexLock lock(shard->mu);
         out.hits += shard->hits;
         out.misses += shard->misses;
         out.insertions += shard->insertions;

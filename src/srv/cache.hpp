@@ -18,7 +18,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,6 +27,7 @@
 #include "asp/program.hpp"
 #include "cfg/grammar.hpp"
 #include "obs/lockprof.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::srv {
 
@@ -122,19 +122,19 @@ private:
     struct Shard {
         // All shard locks report aggregate contention as "srv.cache_shard".
         obs::ProfiledMutex mu{"srv.cache_shard"};
-        std::list<Entry> lru;  // front = most recently used
+        std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
         // Views into the stable list nodes' `text`.
-        std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
-        std::uint64_t bytes = 0;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
-        std::uint64_t evictions = 0;
-        std::uint64_t invalidations = 0;
+        std::unordered_map<std::string_view, std::list<Entry>::iterator> index GUARDED_BY(mu);
+        std::uint64_t bytes GUARDED_BY(mu) = 0;
+        std::uint64_t hits GUARDED_BY(mu) = 0;
+        std::uint64_t misses GUARDED_BY(mu) = 0;
+        std::uint64_t insertions GUARDED_BY(mu) = 0;
+        std::uint64_t evictions GUARDED_BY(mu) = 0;
+        std::uint64_t invalidations GUARDED_BY(mu) = 0;
     };
 
     Shard& shard_for(std::uint64_t hash) { return *shards_[hash & shard_mask_]; }
-    void erase_entry(Shard& shard, std::list<Entry>::iterator it);
+    void erase_entry(Shard& shard, std::list<Entry>::iterator it) REQUIRES(shard.mu);
     static std::uint64_t entry_bytes(const Entry& entry);
 
     std::vector<std::unique_ptr<Shard>> shards_;

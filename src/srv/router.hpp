@@ -147,7 +147,9 @@ private:
     // Cached per-replica model versions, refreshed by update_model(). The
     // AMSes themselves must not be read here while serving: workers write
     // nothing, but reading AMS state outside the service's lock would
-    // race a concurrent update_model().
+    // race a concurrent update_model(). Atomics, not GUARDED_BY: readers
+    // (model_version(), ping) are lock-free by design and a torn read is
+    // impossible; versions_agree in snapshot_stats() covers staleness.
     std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> versions_;
     std::atomic<std::uint64_t> routed_affinity_{0};
     std::atomic<std::uint64_t> routed_fallback_{0};

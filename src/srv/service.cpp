@@ -42,7 +42,7 @@ DecisionService::DecisionService(framework::AutonomousManagedSystem& ams, Servic
 
 DecisionService::~DecisionService() {
     {
-        std::lock_guard lock(queue_mu_);
+        util::MutexLock lock(queue_mu_);
         stopping_ = true;
     }
     queue_cv_.notify_all();
@@ -92,7 +92,7 @@ std::future<Decision> DecisionService::submit(cfg::TokenString request,
     std::size_t depth = 0;
     bool rejected = false;
     {
-        std::lock_guard lock(queue_mu_);
+        util::MutexLock lock(queue_mu_);
         if (stopping_ || queue_.size() >= options_.queue_capacity) {
             rejected = true;
         } else {
@@ -129,22 +129,22 @@ std::vector<std::future<Decision>> DecisionService::submit_batch(
 }
 
 void DecisionService::drain() {
-    std::unique_lock lock(queue_mu_);
-    drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    util::MutexLock lock(queue_mu_);
+    while (!(queue_.empty() && in_flight_ == 0)) drain_cv_.wait(queue_mu_);
 }
 
 bool DecisionService::give_feedback(std::size_t monitor_index, bool should_permit) {
-    std::lock_guard lock(monitor_mu_);
+    obs::ProfiledMutexLock lock(monitor_mu_);
     return ams_.give_feedback(monitor_index, should_permit);
 }
 
 void DecisionService::update_model(const std::function<void()>& fn) {
-    std::unique_lock lock(state_mu_);
+    obs::ProfiledWriteLock lock(state_mu_);
     fn();
 }
 
 std::size_t DecisionService::queue_depth() const {
-    std::lock_guard lock(queue_mu_);
+    util::MutexLock lock(queue_mu_);
     return queue_.size();
 }
 
@@ -158,7 +158,7 @@ ServiceStats DecisionService::snapshot_stats() const {
     out.expired = expired_.load(std::memory_order_relaxed);
     out.traces_captured = traces_captured_.load(std::memory_order_relaxed);
     {
-        std::lock_guard lock(queue_mu_);
+        util::MutexLock lock(queue_mu_);
         out.queue_depth = queue_.size();
     }
     out.cache = cache_.stats();
@@ -166,12 +166,12 @@ ServiceStats DecisionService::snapshot_stats() const {
 }
 
 std::vector<CapturedTrace> DecisionService::captured_traces() const {
-    std::lock_guard lock(traces_mu_);
+    util::MutexLock lock(traces_mu_);
     return {captured_.begin(), captured_.end()};
 }
 
 std::string DecisionService::captured_traces_json() const {
-    std::lock_guard lock(traces_mu_);
+    util::MutexLock lock(traces_mu_);
     std::vector<const obs::TraceContext*> traces;
     traces.reserve(captured_.size());
     for (const auto& c : captured_) traces.push_back(&c.trace);
@@ -182,8 +182,8 @@ void DecisionService::worker_loop() {
     while (true) {
         Task task;
         {
-            std::unique_lock lock(queue_mu_);
-            queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            util::MutexLock lock(queue_mu_);
+            while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mu_);
             if (queue_.empty()) {
                 if (stopping_) return;
                 continue;
@@ -196,7 +196,7 @@ void DecisionService::worker_loop() {
         task.promise.set_value(decision);
         if (task.on_complete) task.on_complete(decision);
         {
-            std::lock_guard lock(queue_mu_);
+            util::MutexLock lock(queue_mu_);
             --in_flight_;
             if (queue_.empty() && in_flight_ == 0) drain_cv_.notify_all();
         }
@@ -219,7 +219,7 @@ void DecisionService::maybe_capture(Task& task, std::uint64_t total_us) {
         static obs::Counter& captured = obs::metrics().counter("srv.traces_captured");
         captured.add(1);
     }
-    std::lock_guard lock(traces_mu_);
+    util::MutexLock lock(traces_mu_);
     captured_.push_back(CapturedTrace{reason, std::move(*task.trace)});
     while (captured_.size() > opts.max_captured) captured_.pop_front();
 }
@@ -288,7 +288,7 @@ Decision DecisionService::process(Task& task) {
 
     bool permitted = false;
     {
-        std::shared_lock state(state_mu_);
+        obs::ProfiledReadLock state(state_mu_);
         asp::Program context;
         {
             obs::TracePhase phase(task.trace.get(), "srv.context");
@@ -331,7 +331,7 @@ Decision DecisionService::process(Task& task) {
         record.model_version = decision.model_version;
         {
             obs::TracePhase phase(task.trace.get(), "srv.monitor");
-            std::lock_guard monitor(monitor_mu_);
+            obs::ProfiledMutexLock monitor(monitor_mu_);
             decision.monitor_index = ams_.monitor().record(std::move(record));
         }
     }

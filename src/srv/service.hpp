@@ -20,8 +20,8 @@
 //  - `monitor_mu_` (ProfiledMutex "srv.monitor"): serializes
 //    DecisionMonitor record/feedback (short critical section; the
 //    expensive membership solve happens outside it).
-//  - `queue_mu_`: protects the request queue and the in-flight count
-//    (plain std::mutex — it pairs with the workers' condition variable).
+//  - `queue_mu_` (util::Mutex): protects the request queue and the
+//    in-flight count; pairs with the workers' condition variable.
 //
 // Backpressure: submit() never blocks. When the queue is at capacity the
 // request is rejected immediately with Outcome::Overloaded — the caller
@@ -41,13 +41,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -56,6 +53,8 @@
 #include "obs/reqtrace.hpp"
 #include "srv/cache.hpp"
 #include "srv/flight.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::srv {
 
@@ -233,15 +232,15 @@ private:
     obs::ProfiledSharedMutex state_mu_{"srv.model"};
     obs::ProfiledMutex monitor_mu_{"srv.monitor"};
 
-    mutable std::mutex queue_mu_;
-    std::condition_variable queue_cv_;  // workers: work available or stopping
-    std::condition_variable drain_cv_;  // drain(): queue empty and idle
-    std::deque<Task> queue_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
+    mutable util::Mutex queue_mu_;
+    util::CondVar queue_cv_;  // workers: work available or stopping
+    util::CondVar drain_cv_;  // drain(): queue empty and idle
+    std::deque<Task> queue_ GUARDED_BY(queue_mu_);
+    std::size_t in_flight_ GUARDED_BY(queue_mu_) = 0;
+    bool stopping_ GUARDED_BY(queue_mu_) = false;
 
-    mutable std::mutex traces_mu_;
-    std::deque<CapturedTrace> captured_;
+    mutable util::Mutex traces_mu_;
+    std::deque<CapturedTrace> captured_ GUARDED_BY(traces_mu_);
 
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};

@@ -13,13 +13,16 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "cfg/grammar.hpp"
+#include "obs/lockprof.hpp"
 #include "obs/metrics.hpp"
+#include "util/errors.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::srv {
 
@@ -124,9 +127,9 @@ struct TcpServer::Connection {
     bool kill_after_flush = false;  // close once write_buf is flushed
     std::atomic<std::size_t> pending{0};  // submitted, reply not yet in outbox
 
-    std::mutex outbox_mu;
-    std::vector<std::string> outbox;  // serialized replies from workers
-    bool closed = false;              // guarded by outbox_mu
+    obs::ProfiledMutex outbox_mu{"srv.conn.outbox"};
+    std::vector<std::string> outbox GUARDED_BY(outbox_mu);  // replies from workers
+    bool closed GUARDED_BY(outbox_mu) = false;
 };
 
 struct TcpServer::Impl {
@@ -140,8 +143,8 @@ struct TcpServer::Impl {
     std::uint16_t port = 0;
     std::thread loop;
     std::atomic<bool> stopping{false};
-    std::mutex shutdown_mu;
-    bool shut_down = false;
+    util::Mutex shutdown_mu;
+    bool shut_down GUARDED_BY(shutdown_mu) = false;
 
     std::vector<std::shared_ptr<Connection>> conns;  // loop thread only
     std::uint64_t next_conn_id = 1;
@@ -196,7 +199,7 @@ struct TcpServer::Impl {
 
     void open_listener() {
         listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (listen_fd < 0) throw std::runtime_error("socket: " + std::string(strerror(errno)));
+        if (listen_fd < 0) throw std::runtime_error("socket: " + util::errno_string());
         int one = 1;
         ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
         sockaddr_in addr{};
@@ -207,10 +210,10 @@ struct TcpServer::Impl {
         }
         if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
             throw std::runtime_error("bind " + options.bind_address + ":" +
-                                     std::to_string(options.port) + ": " + strerror(errno));
+                                     std::to_string(options.port) + ": " + util::errno_string());
         }
         if (::listen(listen_fd, 64) != 0) {
-            throw std::runtime_error("listen: " + std::string(strerror(errno)));
+            throw std::runtime_error("listen: " + util::errno_string());
         }
         sockaddr_in bound{};
         socklen_t len = sizeof bound;
@@ -219,7 +222,7 @@ struct TcpServer::Impl {
         set_nonblocking(listen_fd);
 
         int pipefd[2];
-        if (::pipe(pipefd) != 0) throw std::runtime_error("pipe: " + std::string(strerror(errno)));
+        if (::pipe(pipefd) != 0) throw std::runtime_error("pipe: " + util::errno_string());
         wake_r = pipefd[0];
         wake_w = pipefd[1];
         set_nonblocking(wake_r);
@@ -241,7 +244,7 @@ struct TcpServer::Impl {
     void close_conn(const std::shared_ptr<Connection>& conn) {
         if (conn->fd < 0) return;
         {
-            std::lock_guard lock(conn->outbox_mu);
+            obs::ProfiledMutexLock lock(conn->outbox_mu);
             conn->closed = true;
             conn->outbox.clear();
         }
@@ -278,6 +281,10 @@ struct TcpServer::Impl {
             if (n > 0) {
                 stats.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
                                           std::memory_order_relaxed);
+                // A delivered reply is activity: without this, a request
+                // slower than idle_timeout gets its connection idle-closed
+                // the moment (or before) the client sees the answer.
+                conn->last_activity = std::chrono::steady_clock::now();
                 conn->write_buf.erase(0, static_cast<std::size_t>(n));
                 continue;
             }
@@ -307,7 +314,7 @@ struct TcpServer::Impl {
             router, line, LineMode::Json, conn->id, control,
             [this, conn](std::string reply) {
                 {
-                    std::lock_guard lock(conn->outbox_mu);
+                    obs::ProfiledMutexLock lock(conn->outbox_mu);
                     if (!conn->closed) conn->outbox.push_back(std::move(reply));
                 }
                 conn->pending.fetch_sub(1, std::memory_order_release);
@@ -400,7 +407,7 @@ struct TcpServer::Impl {
             if (conn->fd < 0) continue;
             ready.clear();
             {
-                std::lock_guard lock(conn->outbox_mu);
+                obs::ProfiledMutexLock lock(conn->outbox_mu);
                 ready.swap(conn->outbox);
             }
             for (const std::string& reply : ready) queue_output(conn, reply);
@@ -418,7 +425,7 @@ struct TcpServer::Impl {
                 // outside the lock — close_conn takes outbox_mu itself.
                 bool outbox_empty;
                 {
-                    std::lock_guard lock(conn->outbox_mu);
+                    obs::ProfiledMutexLock lock(conn->outbox_mu);
                     outbox_empty = conn->outbox.empty();
                 }
                 if (outbox_empty) close_conn(conn);
@@ -434,6 +441,16 @@ struct TcpServer::Impl {
             if (conn->fd < 0 || conn->read_closed) continue;
             if (conn->pending.load(std::memory_order_acquire) != 0) continue;
             if (!conn->write_buf.empty()) continue;
+            // A completed reply may be sitting in the outbox (pending is
+            // decremented after the push) waiting for the next
+            // service_connections() pass; closing now would drop it. The
+            // acquire load on pending orders this check after the push.
+            bool outbox_empty;
+            {
+                obs::ProfiledMutexLock lock(conn->outbox_mu);
+                outbox_empty = conn->outbox.empty();
+            }
+            if (!outbox_empty) continue;
             if (now - conn->last_activity >= options.idle_timeout) {
                 stats.idle.fetch_add(1, std::memory_order_relaxed);
                 if (m_idle != nullptr) m_idle->add(1);
@@ -530,7 +547,7 @@ TcpServer::~TcpServer() { shutdown(); }
 
 void TcpServer::shutdown() {
     if (impl_ == nullptr) return;
-    std::lock_guard lock(impl_->shutdown_mu);
+    util::MutexLock lock(impl_->shutdown_mu);
     if (impl_->shut_down) return;
     impl_->shut_down = true;
     impl_->stopping.store(true, std::memory_order_release);
@@ -575,7 +592,7 @@ TcpClient::TcpClient(const std::string& host, std::uint16_t port) {
     ::freeaddrinfo(res);
     if (fd < 0) {
         throw std::runtime_error("cannot connect to " + host + ":" + service + ": " +
-                                 strerror(errno));
+                                 util::errno_string());
     }
     set_nodelay(fd);
     fd_ = fd;
@@ -596,7 +613,7 @@ void TcpClient::send_line(std::string_view line) {
             continue;
         }
         if (errno == EINTR) continue;
-        throw std::runtime_error("send: " + std::string(strerror(errno)));
+        throw std::runtime_error("send: " + util::errno_string());
     }
 }
 

@@ -16,7 +16,8 @@
 //    connection is closed after the reply flushes;
 //  - a client that reads slower than it submits is disconnected when its
 //    write buffer exceeds max_write_buffer_bytes;
-//  - a connection idle longer than idle_timeout (with nothing in flight)
+//  - a connection idle longer than idle_timeout — no request read, no
+//    reply written, nothing in flight or still queued in its outbox —
 //    is closed;
 //  - a half-closed connection (client shutdown(SHUT_WR)) still receives
 //    every reply for requests already read, then is closed.

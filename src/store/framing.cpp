@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/errors.hpp"
+
 namespace agenp::store {
 
 namespace {
@@ -23,7 +25,7 @@ std::array<std::uint32_t, 256> make_crc_table() {
 }
 
 std::string errno_message(const char* what, const std::string& path) {
-    return std::string(what) + " " + path + ": " + std::strerror(errno);
+    return std::string(what) + " " + path + ": " + util::errno_string();
 }
 
 // Directory of `path` for the post-rename fsync ("." when bare filename).

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "store/framing.hpp"
+#include "util/errors.hpp"
 
 namespace agenp::store {
 
@@ -29,7 +30,7 @@ StateStore::StateStore(StoreOptions options) : options_(std::move(options)) {
     // stores only hashes), so the state dir is private to the serving user.
     if (::mkdir(options_.dir.c_str(), 0700) != 0 && errno != EEXIST) {
         throw std::runtime_error("cannot create state dir " + options_.dir + ": " +
-                                 std::strerror(errno));
+                                 util::errno_string());
     }
     std::string error;
     if (!wal_.open(wal_path(), &error)) {

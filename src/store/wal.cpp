@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "store/framing.hpp"
+#include "util/errors.hpp"
 
 namespace agenp::store {
 
@@ -80,17 +81,17 @@ WalReplay replay_wal(const std::string& path) {
 WalWriter::~WalWriter() { close(); }
 
 void WalWriter::close() {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (fd_ >= 0) ::close(fd_);
     fd_ = -1;
 }
 
 bool WalWriter::open(const std::string& path, std::string* error) {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (fd_ >= 0) ::close(fd_);
     fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0600);
     if (fd_ < 0) {
-        if (error) *error = "open " + path + ": " + std::strerror(errno);
+        if (error) *error = "open " + path + ": " + util::errno_string();
         return false;
     }
     path_ = path;
@@ -99,7 +100,7 @@ bool WalWriter::open(const std::string& path, std::string* error) {
         std::string framed;
         append_record(framed, encode_wal_header());
         if (::write(fd_, framed.data(), framed.size()) != static_cast<ssize_t>(framed.size())) {
-            if (error) *error = "write " + path + ": " + std::strerror(errno);
+            if (error) *error = "write " + path + ": " + util::errno_string();
             ::close(fd_);
             fd_ = -1;
             return false;
@@ -112,7 +113,7 @@ bool WalWriter::open(const std::string& path, std::string* error) {
 std::size_t WalWriter::append(const CacheEntryRecord& entry) {
     std::string framed;
     append_record(framed, encode_cache_entry(entry));
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (fd_ < 0) return 0;
     // One write(2) on an O_APPEND fd: the record lands contiguously, so a
     // crash can tear at most the record being written right now.
@@ -121,7 +122,7 @@ std::size_t WalWriter::append(const CacheEntryRecord& entry) {
 }
 
 bool WalWriter::truncate_to(std::size_t bytes) {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (fd_ < 0) return false;
     if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) return false;
     // O_APPEND repositions on each write; nothing else to fix up.
@@ -129,7 +130,7 @@ bool WalWriter::truncate_to(std::size_t bytes) {
 }
 
 bool WalWriter::reset() {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (fd_ < 0) return false;
     if (::ftruncate(fd_, 0) != 0) return false;
     std::string framed;

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "store/snapshot.hpp"
+#include "util/mutex.hpp"
 
 namespace agenp::store {
 
@@ -63,12 +63,15 @@ public:
     bool reset();
 
     void close();
-    [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+    [[nodiscard]] bool is_open() const {
+        util::MutexLock lock(mu_);
+        return fd_ >= 0;
+    }
 
 private:
-    std::mutex mu_;
-    int fd_ = -1;
-    std::string path_;
+    mutable util::Mutex mu_;
+    int fd_ GUARDED_BY(mu_) = -1;
+    std::string path_ GUARDED_BY(mu_);
 };
 
 }  // namespace agenp::store

@@ -1,0 +1,37 @@
+// Thread-safe errno formatting (clang-tidy concurrency-mt-unsafe bans
+// strerror(): it may return a pointer into static storage that another
+// thread's strerror() call rewrites mid-read).
+//
+// Header-only so low-level libraries (agenp_obs, agenp_store) can use it
+// without linking agenp_util, which depends on them.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace agenp::util {
+
+namespace detail {
+// strerror_r has two flavors: glibc's GNU variant returns char* (which
+// may or may not be `buf`), POSIX returns int (0 on success, message in
+// `buf`). Overloading on the result type picks the right adapter at
+// compile time for whichever the libc provides.
+inline const char* strerror_adapt(const char* result, const char* /*buf*/) { return result; }
+inline const char* strerror_adapt(int result, const char* buf) {
+    return result == 0 ? buf : "Unknown error";
+}
+}  // namespace detail
+
+// The message for `err` (an errno value), like std::strerror but safe to
+// call from any thread.
+inline std::string errno_string(int err) {
+    char buf[256];
+    buf[0] = '\0';
+    return detail::strerror_adapt(strerror_r(err, buf, sizeof buf), buf);
+}
+
+// Convenience for the common `...: strerror(errno)` message tail.
+inline std::string errno_string() { return errno_string(errno); }
+
+}  // namespace agenp::util

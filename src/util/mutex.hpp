@@ -1,0 +1,85 @@
+// Annotated wrappers over std::mutex / std::condition_variable
+// (DESIGN.md section 12).
+//
+// std::mutex is not a thread-safety capability, so fields guarded by one
+// are invisible to clang's -Wthread-safety. util::Mutex is the drop-in
+// replacement for internal locks that should be *checked* but not
+// *profiled* (registry impls, queue handoffs, ticker wakeups); locks on
+// hot serving paths use obs::ProfiledMutex instead, which is both a
+// capability and a /lockz row.
+//
+// util::CondVar pairs with util::Mutex. wait()/wait_for() take the Mutex
+// directly and are annotated REQUIRES(mu): the capability is held at
+// entry and at exit, and the analysis deliberately does not see the
+// unlock/relock inside the wait. Predicate overloads are omitted on
+// purpose — a predicate lambda reading GUARDED_BY fields defeats the
+// analysis, so callers write the `while (!ready) cv.wait(mu);` loop out.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace agenp::util {
+
+class CondVar;
+
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+// std::lock_guard equivalent that the analysis can see through.
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(Mutex& mu) REQUIRES(mu) {
+        std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+        cv_.wait(lock);
+        lock.release();
+    }
+
+    template <class Rep, class Period>
+    std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+        REQUIRES(mu) {
+        std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+        std::cv_status status = cv_.wait_for(lock, timeout);
+        lock.release();
+        return status;
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace agenp::util

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/lockprof.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace agenp::util {
 namespace {
@@ -36,12 +37,14 @@ constexpr std::size_t kMaxChunks = 1 << 12;                 // 33M symbols/shard
 struct Shard {
     obs::ProfiledMutex mu{"symbol.intern"};
     // Keys view into the chunk slots below (stable addresses).
-    std::unordered_map<std::string_view, std::uint32_t> index;
-    std::uint32_t count = 0;                  // slots filled; guarded by mu
+    std::unordered_map<std::string_view, std::uint32_t> index GUARDED_BY(mu);
+    std::uint32_t count GUARDED_BY(mu) = 0;   // slots filled
     std::atomic<std::uint32_t> published{0};  // release-stored copy of count
+    // Chunk pointers are atomics so lookup() can read them lock-free;
+    // only slot() (under mu) ever stores them.
     std::array<std::atomic<std::string*>, kMaxChunks> chunks{};
 
-    std::string& slot(std::uint32_t local) {
+    std::string& slot(std::uint32_t local) REQUIRES(mu) {
         std::size_t chunk_index = local >> kChunkBits;
         std::string* chunk = chunks[chunk_index].load(std::memory_order_acquire);
         if (chunk == nullptr) {
@@ -57,8 +60,10 @@ struct InternTable {
 
     InternTable() {
         // Pre-seed id 0 = "" in shard 0 (intern() special-cases "" so it
-        // never lands in another shard under a different id).
+        // never lands in another shard under a different id). The lock is
+        // uncontendable here but keeps the GUARDED_BY contract uniform.
         Shard& s = shards[0];
+        obs::ProfiledMutexLock lock(s.mu);
         s.slot(0) = "";
         s.index.emplace(std::string_view(s.slot(0)), 0);
         s.count = 1;
@@ -69,7 +74,7 @@ struct InternTable {
         if (text.empty()) return 0;
         auto shard_id = static_cast<std::uint32_t>(std::hash<std::string_view>{}(text)) & kShardMask;
         Shard& s = shards[shard_id];
-        std::lock_guard<obs::ProfiledMutex> lock(s.mu);
+        obs::ProfiledMutexLock lock(s.mu);
         if (auto it = s.index.find(text); it != s.index.end()) {
             return (it->second << kShardBits) | shard_id;
         }

@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotation macros (DESIGN.md section 12).
+//
+// These expand to clang's `capability` attribute family when compiling
+// with clang and to nothing everywhere else, so gcc builds see plain
+// C++. The CI `thread-safety` job compiles all of src/ with
+// -Werror=thread-safety -Werror=thread-safety-beta, turning every
+// violated GUARDED_BY / REQUIRES contract into a build failure.
+//
+// Conventions for new code (see DESIGN.md section 12 for the full table):
+//  - Every mutex that guards anything is an annotated capability type:
+//    util::Mutex for plain internal locks, obs::ProfiledMutex /
+//    obs::ProfiledSharedMutex when the lock should show up in /lockz.
+//  - Every field written under a lock carries GUARDED_BY(that_lock);
+//    pointers whose *pointee* the lock guards add PT_GUARDED_BY.
+//  - Private helpers that assume the caller holds a lock are annotated
+//    REQUIRES(lock) and named *_locked.
+//  - Lock with the scoped types (util::MutexLock, obs::ProfiledMutexLock,
+//    obs::ProfiledWriteLock, obs::ProfiledReadLock) — std::lock_guard and
+//    friends carry no annotations, so the analysis cannot see through
+//    them.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AGENP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AGENP_THREAD_ANNOTATION_(x)
+#endif
+
+#define CAPABILITY(x) AGENP_THREAD_ANNOTATION_(capability(x))
+
+#define SCOPED_CAPABILITY AGENP_THREAD_ANNOTATION_(scoped_lockable)
+
+#define GUARDED_BY(x) AGENP_THREAD_ANNOTATION_(guarded_by(x))
+
+#define PT_GUARDED_BY(x) AGENP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) AGENP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) AGENP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) AGENP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) AGENP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) AGENP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) AGENP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) AGENP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) AGENP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) AGENP_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) AGENP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) AGENP_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) AGENP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) AGENP_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) AGENP_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) AGENP_THREAD_ANNOTATION_(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS AGENP_THREAD_ANNOTATION_(no_thread_safety_analysis)

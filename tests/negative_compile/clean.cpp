@@ -1,0 +1,32 @@
+// Control case for the negative-compile suite: correctly-locked code
+// must compile cleanly under -Werror=thread-safety{,-beta}. If this file
+// starts failing, the sibling WILL_FAIL cases prove nothing.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void add(int delta) {
+        agenp::util::MutexLock lock(mu_);
+        value_ += delta;
+    }
+
+    [[nodiscard]] int value() const {
+        agenp::util::MutexLock lock(mu_);
+        return value_;
+    }
+
+private:
+    mutable agenp::util::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.add(1);
+    return counter.value() == 1 ? 0 : 1;
+}

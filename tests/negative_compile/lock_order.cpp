@@ -1,0 +1,38 @@
+// MUST NOT COMPILE under -Werror=thread-safety-beta (ctest WILL_FAIL).
+//
+// Seeds a lock-hierarchy inversion: `low` is declared ACQUIRED_BEFORE
+// `high` (mirroring the rank table in src/obs/lockprof.cpp), and
+// backwards() takes them in the opposite order. Clang's beta analysis
+// rejects the ordering violation; the runtime checker in lockprof
+// catches the same class of bug in debug binaries when the static
+// declaration is missing.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class TwoLocks {
+public:
+    void forwards() {  // declared order: fine
+        agenp::util::MutexLock first(low_);
+        agenp::util::MutexLock second(high_);
+    }
+
+    void backwards() {  // BUG: inverts the declared hierarchy
+        agenp::util::MutexLock first(high_);
+        agenp::util::MutexLock second(low_);
+    }
+
+private:
+    agenp::util::Mutex low_ ACQUIRED_BEFORE(high_);
+    agenp::util::Mutex high_;
+};
+
+}  // namespace
+
+int main() {
+    TwoLocks locks;
+    locks.forwards();
+    locks.backwards();
+    return 0;
+}

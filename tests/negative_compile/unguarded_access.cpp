@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Werror=thread-safety (ctest WILL_FAIL).
+//
+// Seeds the exact bug class the annotations exist to catch: a
+// GUARDED_BY field read and written without its mutex held. If this
+// file ever compiles, the thread-safety gate has stopped firing.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+    void add(int delta) {
+        value_ += delta;  // BUG: mu_ not held
+    }
+
+private:
+    agenp::util::Mutex mu_;
+    int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+    Counter counter;
+    counter.add(1);
+    return 0;
+}

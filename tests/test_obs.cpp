@@ -628,6 +628,76 @@ TEST(LockProf, SameNameAggregatesAcrossMutexes) {
     EXPECT_EQ(locks().get("test.lockprof.pool").acquisitions(), 2u);
 }
 
+TEST(LockOrder, RankTableMatchesDesignDoc) {
+    EXPECT_EQ(lock_rank_of("srv.model").rank, 10);
+    EXPECT_EQ(lock_rank_of("srv.cache_shard").rank, 20);
+    EXPECT_EQ(lock_rank_of("srv.monitor").rank, 30);
+    EXPECT_EQ(lock_rank_of("srv.audit").rank, 40);
+    EXPECT_EQ(lock_rank_of("srv.conn.outbox").rank, 50);
+    EXPECT_EQ(lock_rank_of("symbol.intern").rank, 60);
+    EXPECT_EQ(lock_rank_of("test.lockprof.unranked").rank, 0);  // exempt
+}
+
+TEST(LockOrder, SilentWhenHierarchyRespected) {
+    bool prev = lock_order_checking_enabled();
+    set_lock_order_checking(true);
+    ProfiledSharedMutex model("srv.model");
+    ProfiledMutex shard("srv.cache_shard");
+    ProfiledMutex monitor("srv.monitor");
+    {
+        // The real worker path: model (shared) -> cache shard -> monitor.
+        ProfiledReadLock m(model);
+        { ProfiledMutexLock s(shard); }
+        { ProfiledMutexLock mon(monitor); }
+    }
+    {
+        // Unranked locks may interleave anywhere.
+        ProfiledMutex local("test.lockprof.unranked");
+        ProfiledMutexLock mon(monitor);
+        ProfiledMutexLock l(local);
+    }
+    set_lock_order_checking(prev);
+}
+
+TEST(LockOrder, TryLockBackOffIsExempt) {
+    bool prev = lock_order_checking_enabled();
+    set_lock_order_checking(true);
+    ProfiledMutex shard("srv.cache_shard");
+    ProfiledSharedMutex model("srv.model");
+    {
+        ProfiledMutexLock s(shard);
+        // Inverted rank via try_lock: legal, because a failed try_lock
+        // backs off instead of blocking — no deadlock cycle possible.
+        ASSERT_TRUE(model.try_lock());
+        model.unlock();
+    }
+    set_lock_order_checking(prev);
+}
+
+TEST(LockOrderDeathTest, AbortsOnBlockingInversion) {
+    EXPECT_DEATH(
+        {
+            set_lock_order_checking(true);
+            ProfiledMutex shard("srv.cache_shard");
+            ProfiledSharedMutex model("srv.model");
+            ProfiledMutexLock s(shard);
+            ProfiledReadLock m(model);  // rank 10 while holding rank 20
+        },
+        "lock-order inversion");
+}
+
+TEST(LockOrderDeathTest, SharedAcquisitionsParticipate) {
+    EXPECT_DEATH(
+        {
+            set_lock_order_checking(true);
+            ProfiledMutex intern("symbol.intern");
+            ProfiledMutex shard("srv.cache_shard");
+            ProfiledMutexLock i(intern);
+            ProfiledMutexLock s(shard);  // rank 20 while holding rank 60
+        },
+        "lock-order inversion");
+}
+
 TEST(LockProf, DisabledStillLocksButRecordsNothing) {
     ProfiledMutex mu("test.lockprof.off");
     locks().get("test.lockprof.off").reset();

@@ -1076,6 +1076,28 @@ TEST(Transport, IdleConnectionsAreReaped) {
     EXPECT_EQ(stats.active, 0u);
 }
 
+TEST(Transport, IdleTimerNeverDropsAnInFlightReply) {
+    // Every solve outlasts the idle timeout, so each completion reaches
+    // the idle check with an aged connection. The pending counter covers
+    // the solve itself; the outbox must also be checked (a reply parked
+    // there after the pending decrement, before the loop's next service
+    // pass, would otherwise be discarded by an idle close).
+    AmsRouter router(demo_factory(6, 50ms), router_options(1, 1));
+    TransportOptions options;
+    options.idle_timeout = std::chrono::milliseconds{25};
+    TcpServer server(router, options);
+    TcpClient client("127.0.0.1", server.port());
+    for (std::size_t i = 0; i < 12; ++i) {
+        client.send_line("{\"id\":" + std::to_string(i) + ",\"decide\":\"do task_" +
+                         std::to_string(i % 6) + "\"}");
+        auto reply = client.recv_line(std::chrono::milliseconds{10000});
+        ASSERT_TRUE(reply.has_value()) << "reply " << i << " dropped by idle close";
+        EXPECT_NE(reply->find("\"id\":" + std::to_string(i)), std::string::npos) << *reply;
+    }
+    server.shutdown();
+    EXPECT_EQ(server.stats().idle_disconnects, 0u);
+}
+
 TEST(Transport, PingReportsReplicasAndModelVersion) {
     AmsRouter router(demo_factory(), router_options(3, 1));
     TcpServer server(router, TransportOptions{});
