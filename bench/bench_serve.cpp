@@ -11,8 +11,9 @@
 // srv.model). Emits one machine-readable line:
 //
 //   BENCH_SERVE_JSON {"rows":[{"transport":..,"threads":..,"cache":..,
-//                              "throughput_rps":..,"p50_us":..,"p95_us":..,
-//                              "p99_us":..,"hit_rate":..,"locks":{...}},...],
+//                              "memo":..,"throughput_rps":..,"p50_us":..,
+//                              "p95_us":..,"p99_us":..,"hit_rate":..,
+//                              "locks":{...}},...],
 //                     "exporter":{"baseline_rps":..,"scraped_rps":..,
 //                                 "overhead_pct":..,"scrapes":..},
 //                     "profiler":{"hz":..,"baseline_rps":..,"profiled_rps":..,
@@ -20,6 +21,9 @@
 //                                 "stacks_nonempty":..},
 //                     "restart":{"cold":{...},"warm":{...},
 //                                "entries_restored":..,"warm_ge_10x_cold":..},
+//                     "memo":{"off_rps":..,"on_rps":..,"speedup":..,
+//                             "hits":..,"misses":..,"sat_hits":..,
+//                             "gate_fallbacks":..},
 //                     "cache_speedup":..,"smoke":..}
 //
 // The full line is also written to bench/results/BENCH_SERVE.json (repo
@@ -65,16 +69,19 @@ struct Row {
     const char* transport = "inproc";
     std::size_t threads = 0;
     bool cache = false;
+    bool memo = true;  // grounding memo (asg/memo.hpp) on the miss path
     srv::LoadgenReport report;
     std::vector<obs::LockStatsSnapshot> locks;
+    asg::MemoStats memo_stats;
 };
 
-Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
+Row run_config(std::size_t threads, bool cache, bool memo, std::size_t requests_per_client,
                std::size_t distinct) {
     auto ams = srv::make_demo_ams(distinct);
     srv::ServiceOptions options;
     options.threads = threads;
     options.use_cache = cache;
+    options.use_memo = memo;
     srv::DecisionService service(ams, options);
 
     srv::LoadgenOptions load;
@@ -83,11 +90,13 @@ Row run_config(std::size_t threads, bool cache, std::size_t requests_per_client,
     Row row;
     row.threads = threads;
     row.cache = cache;
+    row.memo = memo;
     // Attribute contention to this configuration only: the run_loadgen call
     // is the only window where the profiled locks see multi-threaded load.
     obs::locks().reset();
     row.report = srv::run_loadgen(service, srv::demo_workload(distinct), load);
     row.locks = obs::locks().snapshot();
+    row.memo_stats = service.snapshot_stats().memo;
     return row;
 }
 
@@ -426,19 +435,19 @@ int main(int argc, char** argv) {
 
     std::printf("serving benchmark: %zu distinct requests, %zu per client, closed loop\n",
                 distinct, requests_per_client);
-    std::printf("%8s %8s %6s %14s %10s %10s %9s\n", "transp", "threads", "cache", "throughput",
-                "p50_us", "p99_us", "hit_rate");
+    std::printf("%8s %8s %6s %5s %14s %10s %10s %9s\n", "transp", "threads", "cache", "memo",
+                "throughput", "p50_us", "p99_us", "hit_rate");
 
     auto print_row = [](const Row& row) {
-        std::printf("%8s %8zu %6s %12.1f/s %10.1f %10.1f %9.3f\n", row.transport, row.threads,
-                    row.cache ? "on" : "off", row.report.throughput_rps, row.report.p50_us,
-                    row.report.p99_us, row.report.hit_rate);
+        std::printf("%8s %8zu %6s %5s %12.1f/s %10.1f %10.1f %9.3f\n", row.transport, row.threads,
+                    row.cache ? "on" : "off", row.memo ? "on" : "off", row.report.throughput_rps,
+                    row.report.p50_us, row.report.p99_us, row.report.hit_rate);
     };
 
     std::vector<Row> rows;
     for (bool cache : {false, true}) {
         for (std::size_t threads : thread_counts) {
-            Row row = run_config(threads, cache, requests_per_client, distinct);
+            Row row = run_config(threads, cache, /*memo=*/true, requests_per_client, distinct);
             print_row(row);
             rows.push_back(std::move(row));
         }
@@ -485,6 +494,29 @@ int main(int argc, char** argv) {
     double speedup = off_rps > 0 ? on_rps / off_rps : 0;
     std::printf("cache speedup at %zu threads: %.1fx\n", top, speedup);
 
+    // Grounding-memo speedup on the pure miss path: cache OFF so every
+    // request grounds and solves, memo off vs on, back to back at the top
+    // thread count so run-to-run noise hits both sides equally. This is
+    // the headline figure for the memoized G[PT] grounding + arena work
+    // (docs/PERFORMANCE.md): memo-off pays the full instantiate + ground +
+    // solve per request; memo-on recalls grounded fragments and decisive
+    // verdicts per (parse tree, context, model version).
+    Row memo_off = run_config(top, /*cache=*/false, /*memo=*/false, requests_per_client, distinct);
+    print_row(memo_off);
+    Row memo_on = run_config(top, /*cache=*/false, /*memo=*/true, requests_per_client, distinct);
+    print_row(memo_on);
+    double memo_off_rps = memo_off.report.throughput_rps;
+    double memo_on_rps = memo_on.report.throughput_rps;
+    double memo_speedup = memo_off_rps > 0 ? memo_on_rps / memo_off_rps : 0;
+    std::printf("memo speedup at %zu threads (cache off): %.1fx (%.1f/s -> %.1f/s,"
+                " %llu frag hits, %llu verdict hits)\n",
+                top, memo_speedup, memo_off_rps, memo_on_rps,
+                static_cast<unsigned long long>(memo_on.memo_stats.hits),
+                static_cast<unsigned long long>(memo_on.memo_stats.sat_hits));
+    const asg::MemoStats ms = memo_on.memo_stats;
+    rows.push_back(std::move(memo_off));
+    rows.push_back(std::move(memo_on));
+
     // Exporter overhead at the top thread count, cache on. Smoke runs are
     // far shorter than the production 1 s scrape interval, so scrape more
     // often there to make sure the path is actually exercised.
@@ -525,12 +557,12 @@ int main(int argc, char** argv) {
         const auto& row = rows[i];
         char buf[384];
         std::snprintf(buf, sizeof(buf),
-                      "%s{\"transport\":\"%s\",\"threads\":%zu,\"cache\":%s,"
+                      "%s{\"transport\":\"%s\",\"threads\":%zu,\"cache\":%s,\"memo\":%s,"
                       "\"throughput_rps\":%.1f,\"p50_us\":%.1f,"
                       "\"p95_us\":%.1f,\"p99_us\":%.1f,\"hit_rate\":%.3f,\"locks\":",
                       i == 0 ? "" : ",", row.transport, row.threads, row.cache ? "true" : "false",
-                      row.report.throughput_rps, row.report.p50_us, row.report.p95_us,
-                      row.report.p99_us, row.report.hit_rate);
+                      row.memo ? "true" : "false", row.report.throughput_rps, row.report.p50_us,
+                      row.report.p95_us, row.report.p99_us, row.report.hit_rate);
         json += buf;
         json += locks_json(row);
         json += "}";
@@ -544,7 +576,7 @@ int main(int argc, char** argv) {
                       side.time_to_steady_ms);
         return std::string(buf);
     };
-    char tail[768];
+    char tail[1024];
     std::snprintf(tail, sizeof(tail),
                   "],\"exporter\":{\"baseline_rps\":%.1f,\"scraped_rps\":%.1f,"
                   "\"overhead_pct\":%.1f,\"scrapes\":%zu},"
@@ -553,6 +585,8 @@ int main(int argc, char** argv) {
                   "\"stacks_nonempty\":%s},"
                   "\"restart\":{\"cold\":%s,\"warm\":%s,\"entries_restored\":%zu,"
                   "\"warm_ge_10x_cold\":%s},"
+                  "\"memo\":{\"off_rps\":%.1f,\"on_rps\":%.1f,\"speedup\":%.1f,"
+                  "\"hits\":%llu,\"misses\":%llu,\"sat_hits\":%llu,\"gate_fallbacks\":%llu},"
                   "\"cache_speedup\":%.1f,\"smoke\":%s}",
                   exporter.baseline_rps, exporter.scraped_rps, exporter.overhead_pct,
                   exporter.scrapes, profiler.hz, profiler.baseline_rps, profiler.profiled_rps,
@@ -560,7 +594,11 @@ int main(int argc, char** argv) {
                   profiler.stacks_nonempty ? "true" : "false",
                   restart_side_json(restart.cold).c_str(),
                   restart_side_json(restart.warm).c_str(), restart.entries_restored,
-                  restart.warm_ge_10x_cold ? "true" : "false", speedup,
+                  restart.warm_ge_10x_cold ? "true" : "false", memo_off_rps, memo_on_rps,
+                  memo_speedup, static_cast<unsigned long long>(ms.hits),
+                  static_cast<unsigned long long>(ms.misses),
+                  static_cast<unsigned long long>(ms.sat_hits),
+                  static_cast<unsigned long long>(ms.gate_fallbacks), speedup,
                   smoke ? "true" : "false");
     json += tail;
     std::printf("BENCH_SERVE_JSON %s\n", json.c_str());

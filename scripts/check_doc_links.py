@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo docs resolve.
+
+Walks every tracked *.md file (or the paths given on the command line),
+extracts inline markdown links `[text](target)`, and verifies that each
+relative target exists on disk. External links (http/https/mailto) and
+pure in-page anchors (#...) are skipped; a `path#anchor` target is checked
+for the path part only. Exits non-zero listing every broken link.
+
+Usage:
+    python3 scripts/check_doc_links.py [FILE.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are rare in this repo. The
+# target group stops at the first ')' — the docs don't use nested parens
+# in URLs.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(argv: list[str]) -> list[Path]:
+    if argv:
+        return [Path(a) for a in argv]
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return [Path(line) for line in out.stdout.splitlines() if line]
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    files = doc_files(sys.argv[1:])
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error)
+    print(f"checked {len(files)} markdown files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,11 @@ public:
     // The PDP strategy this AMS decides with (fixed at construction).
     [[nodiscard]] DecisionStrategy strategy() const { return pdp_.strategy(); }
 
+    // Installs a grounding memo on the PDP's membership path (nullptr
+    // removes it). The caller owns the memo and must keep its epoch in
+    // step with model_version(); DecisionService does both.
+    void set_grounding_memo(asg::GroundingMemo* memo) { pdp_.set_grounding_memo(memo); }
+
     PolicyEnforcementPoint& pep() { return pep_; }
     [[nodiscard]] const DecisionMonitor& monitor() const { return monitor_; }
     DecisionMonitor& monitor() { return monitor_; }

@@ -76,6 +76,11 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
     static obs::Histogram& time_hist = obs::metrics().histogram("agenp.pdp.time_us");
     obs::ScopedTimer timer(time_hist);
 
+    // The memo pointer rides on a per-call copy so `decide` stays const
+    // (MembershipOptions is a small value; the copy is a handful of words).
+    asg::MembershipOptions options = options_;
+    options.memo = memo_;
+
     bool permitted = false;
     switch (strategy_) {
         case DecisionStrategy::Repository: {
@@ -86,7 +91,7 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
             // absence from the repository is inconclusive: fall back to the
             // authoritative membership check instead of silently denying.
             if (!permitted && repo.truncated()) {
-                permitted = asg::in_language(model, request, context, options_);
+                permitted = asg::in_language(model, request, context, options);
                 if (obs::metrics_enabled()) {
                     static obs::Counter& fallbacks =
                         obs::metrics().counter("srv.repository_fallbacks");
@@ -98,7 +103,7 @@ bool PolicyDecisionPoint::decide(const cfg::TokenString& request, const asp::Pro
         case DecisionStrategy::Membership: {
             static obs::CostCell& membership_cost = obs::costs().cell("pdp.membership");
             obs::ScopedCost cost(membership_cost);
-            permitted = asg::in_language(model, request, context, options_);
+            permitted = asg::in_language(model, request, context, options);
             break;
         }
     }

@@ -111,9 +111,16 @@ public:
 
     [[nodiscard]] DecisionStrategy strategy() const { return strategy_; }
 
+    // Installs (or removes, with nullptr) a grounding memo used by the
+    // membership strategy; the owner (DecisionService) keeps it alive and
+    // epoch-stamps it on model updates. See asg/memo.hpp.
+    void set_grounding_memo(asg::GroundingMemo* memo) { memo_ = memo; }
+    [[nodiscard]] asg::GroundingMemo* grounding_memo() const { return memo_; }
+
 private:
     DecisionStrategy strategy_;
     asg::MembershipOptions options_;
+    asg::GroundingMemo* memo_ = nullptr;
 };
 
 // The PEP applies decisions to the managed resources; here the managed

@@ -1,5 +1,6 @@
 #include "asg/membership.hpp"
 
+#include "asg/memo.hpp"
 #include "obs/costtable.hpp"
 #include "obs/metrics.hpp"
 #include "obs/reqtrace.hpp"
@@ -37,24 +38,56 @@ MembershipResult check_membership(const AnswerSetGrammar& grammar, const cfg::To
     MembershipResult result;
     std::size_t asp_checks = 0;
     auto trees = cfg::parse_trees(grammar.grammar(), tokens, options.parse);
+    // One memo view per query: the gate and the context fingerprint are
+    // computed once; `usable()` is false when no memo was supplied or the
+    // gate rejected this grammar + context (plain path below).
+    MemoizedGrounding memoized(options.memo, grammar, context, options.grounding);
     for (const auto& tree : trees) {
         ++result.trees_checked;
-        asp::Program program = instantiate(grammar, tree, context);
-        asp::GroundProgram gp;
-        {
-            obs::TracePhase ground_phase(obs::current_trace(), "asp.ground");
-            static obs::CostCell& ground_cost = obs::costs().cell("asp.ground");
-            obs::ScopedCost cost(ground_cost);
-            gp = asp::ground(program, options.grounding);
-        }
         asp::SolveResult solved;
-        {
-            obs::TracePhase solve_phase(obs::current_trace(), "asp.solve");
-            static obs::CostCell& solve_cost = obs::costs().cell("asp.solve");
-            obs::ScopedCost cost(solve_cost);
-            solved = asp::solve(gp, options.solve);
+        if (memoized.usable() && !tree.is_leaf()) {
+            MemoizedGrounding::Root root;
+            {
+                obs::TracePhase ground_phase(obs::current_trace(), "asp.ground");
+                static obs::CostCell& memo_cost = obs::costs().cell("asg.memo_probe");
+                obs::ScopedCost cost(memo_cost);
+                root = memoized.ground_root(tree);
+            }
+            if (root.verdict.has_value()) {
+                if (*root.verdict) {
+                    result.in_language = true;
+                    publish(result, asp_checks);
+                    return result;
+                }
+                continue;
+            }
+            {
+                obs::TracePhase solve_phase(obs::current_trace(), "asp.solve");
+                static obs::CostCell& solve_cost = obs::costs().cell("asp.solve");
+                obs::ScopedCost cost(solve_cost);
+                solved = asp::solve(*root.program, options.solve);
+            }
+            ++asp_checks;
+            // A resource-limited verdict is not decisive — memoizing it
+            // would freeze `resource_limited` semantics into the cache.
+            if (!solved.exhausted) memoized.store_verdict(root, solved.satisfiable());
+        } else {
+            asp::Program program = instantiate(grammar, tree, context);
+            asp::GroundProgram gp;
+            {
+                obs::TracePhase ground_phase(obs::current_trace(), "asp.ground");
+                static obs::CostCell& ground_cost = obs::costs().cell("asp.ground");
+                obs::ScopedCost cost(ground_cost);
+                gp = asp::ground(program, options.grounding);
+            }
+            {
+                obs::TracePhase solve_phase(obs::current_trace(), "asp.solve");
+                static obs::CostCell& solve_cost = obs::costs().cell("asp.solve");
+                obs::ScopedCost cost(solve_cost);
+                solved = asp::solve(gp, options.solve);
+            }
+            ++asp_checks;
         }
-        ++asp_checks;
         if (solved.satisfiable()) {
             result.in_language = true;
             publish(result, asp_checks);

@@ -8,10 +8,17 @@
 
 namespace agenp::asg {
 
+class GroundingMemo;
+
 struct MembershipOptions {
     cfg::ParseOptions parse;
     asp::GroundingLimits grounding;
     asp::SolveOptions solve{.max_models = 1};
+    // Optional grounding memo (see asg/memo.hpp): when set and the
+    // grammar + context pass the memoizability gate, G[PT] fragments and
+    // decisive solver verdicts are recalled instead of re-ground/re-solved.
+    // Results are identical either way; the memo only changes the cost.
+    GroundingMemo* memo = nullptr;
 };
 
 struct MembershipResult {

@@ -46,6 +46,13 @@ std::string Literal::to_string() const {
     return positive ? atom.to_string() : "not " + atom.to_string();
 }
 
+std::size_t Comparison::hash() const {
+    std::size_t h = static_cast<std::size_t>(op) * 0x9e3779b97f4a7c15ull;
+    h ^= lhs.hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    h ^= rhs.hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    return h;
+}
+
 std::string Comparison::op_to_string(Op op) {
     switch (op) {
         case Op::Eq: return "=";

@@ -84,6 +84,8 @@ struct Comparison {
     friend bool operator==(const Comparison& a, const Comparison& b) {
         return a.op == b.op && a.lhs == b.lhs && a.rhs == b.rhs;
     }
+
+    [[nodiscard]] std::size_t hash() const;
 };
 
 // Evaluates arithmetic functors in a ground term, e.g. +(3,*(2,4)) -> 11.

@@ -34,17 +34,26 @@ void dedupe_keep_order(std::vector<AtomId>& ids) {
     ids.resize(out);
 }
 
-// Order-insensitive structural key for rule deduplication.
-std::string rule_key(const GroundRule& r) {
-    auto sorted = [](std::vector<AtomId> ids) {
-        std::sort(ids.begin(), ids.end());
-        return ids;
+std::vector<AtomId> sorted_ids(const std::vector<AtomId>& ids) {
+    std::vector<AtomId> out = ids;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// Order-insensitive structural hash for rule deduplication.
+std::uint64_t rule_hash(AtomId head, const std::vector<AtomId>& sorted_pos,
+                        const std::vector<AtomId>& sorted_neg) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
     };
-    std::string key = std::to_string(r.head) + "|";
-    for (auto id : sorted(r.pos)) key += std::to_string(id) + ",";
-    key += "|";
-    for (auto id : sorted(r.neg)) key += std::to_string(id) + ",";
-    return key;
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(head)) + 2);
+    mix(0x706f73ull);  // pos / neg section separators
+    for (auto id : sorted_pos) mix(static_cast<std::uint64_t>(id) + 1);
+    mix(0x6e6567ull);
+    for (auto id : sorted_neg) mix(static_cast<std::uint64_t>(id) + 1);
+    return h;
 }
 
 }  // namespace
@@ -52,9 +61,18 @@ std::string rule_key(const GroundRule& r) {
 void GroundProgram::add_rule(GroundRule rule) {
     dedupe_keep_order(rule.pos);
     dedupe_keep_order(rule.neg);
-    std::string key = rule_key(rule);
-    if (rule_index_.contains(key)) return;
-    rule_index_.emplace(std::move(key), rules_.size());
+    std::vector<AtomId> spos = sorted_ids(rule.pos);
+    std::vector<AtomId> sneg = sorted_ids(rule.neg);
+    std::uint64_t h = rule_hash(rule.head, spos, sneg);
+    auto& slots = rule_index_[h];
+    for (std::size_t slot : slots) {
+        const GroundRule& existing = rules_[slot];
+        if (existing.head == rule.head && sorted_ids(existing.pos) == spos &&
+            sorted_ids(existing.neg) == sneg) {
+            return;
+        }
+    }
+    slots.push_back(rules_.size());
     rules_.push_back(std::move(rule));
 }
 

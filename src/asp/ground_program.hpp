@@ -45,7 +45,11 @@ private:
     std::vector<Atom> atoms_;
     std::unordered_map<Atom, AtomId> index_;
     std::vector<GroundRule> rules_;
-    std::unordered_map<std::string, std::size_t> rule_index_;  // dedupe key -> rule slot
+    // Order-insensitive dedupe: hash over (head, sorted pos, sorted neg)
+    // to candidate rule slots, compared structurally on collision. Avoids
+    // materializing a key string per rule (the old scheme's main malloc
+    // churn on the miss path).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> rule_index_;
 };
 
 }  // namespace agenp::asp

@@ -7,25 +7,26 @@
 #include "asp/substitution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 
 namespace agenp::asp {
 namespace {
 
-// Ground rule in atom (not yet id) form, produced during instantiation.
-struct PendingRule {
-    std::optional<Atom> head;
-    std::vector<Atom> pos;
-    std::vector<Atom> neg;
-
-    [[nodiscard]] std::string key() const {
-        std::string k = head ? head->to_string() : "";
-        k += "|";
-        for (const auto& a : pos) k += a.to_string() + ",";
-        k += "|";
-        for (const auto& a : neg) k += a.to_string() + ",";
-        return k;
-    }
-};
+// Order-sensitive structural hash of a pending instance; dedupe compares
+// the full rule on collision, so the hash only has to spread.
+std::uint64_t instance_hash(const AtomRule& rule) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(rule.head ? rule.head->hash() : 0x68656164ull);
+    mix(0x706f73ull);
+    for (const auto& a : rule.pos) mix(a.hash());
+    mix(0x6e6567ull);
+    for (const auto& a : rule.neg) mix(a.hash());
+    return h;
+}
 
 // Atoms derived so far, indexed by predicate for matching. Per-predicate
 // vectors carry two boundaries so the semi-naive rounds can address the
@@ -38,11 +39,13 @@ public:
 
     // New atoms are staged and only appended to the per-predicate lists at
     // round boundaries: match_from holds raw pointers into those lists, so
-    // appending mid-round would invalidate them.
-    void add(const Atom& a) {
-        if (!known_.insert(a).second) return;
+    // appending mid-round would invalidate them. Returns true when the atom
+    // was not already known.
+    bool add(const Atom& a) {
+        if (!known_.insert(a).second) return false;
         staging_.push_back(a);
         ++total_;
+        return true;
     }
 
     [[nodiscard]] std::size_t total() const { return total_; }
@@ -107,10 +110,27 @@ private:
 
 class GrounderImpl {
 public:
-    GrounderImpl(const Program& program, const GroundingLimits& limits)
-        : program_(program), limits_(limits) {}
+    GrounderImpl(const Program& program, const GroundingLimits& limits, util::Arena& arena)
+        : program_(program),
+          limits_(limits),
+          arena_(arena),
+          seen_rules_(0, std::hash<std::uint64_t>(), std::equal_to<>(), BucketAlloc(arena)),
+          builtin_done_(util::ArenaAllocator<char>(arena)) {}
 
     GroundProgram run() {
+        instantiate();
+        return finalize();
+    }
+
+    SeededGrounding run_seeded(const std::vector<Atom>& seeds) {
+        collect_new_ = true;
+        for (const auto& a : seeds) derived_.add(a);
+        instantiate();
+        return finalize_seeded();
+    }
+
+private:
+    void instantiate() {
         obs::ScopedSpan span("asp.ground", "asp");
         static obs::Histogram& time_hist = obs::metrics().histogram("asp.grounder.time_us");
         obs::ScopedTimer timer(time_hist);
@@ -126,7 +146,8 @@ public:
         }
 
         // Semi-naive rounds: each instantiation must use at least one delta
-        // atom in its positive body (pivot position j).
+        // atom in its positive body (pivot position j). Seeds (when present)
+        // were staged before round 0 and join the first delta here.
         std::size_t rounds = 0;
         while (derived_.advance_round()) {
             ++rounds;
@@ -141,10 +162,7 @@ public:
         derived_.advance_round();  // flush atoms from the final round into "all"
 
         publish(rounds);
-        return finalize();
     }
-
-private:
     // Rejects unsafe rules with one ASP001 diagnostic per unbound variable
     // (rule index + variable name + rule text), gathered across the whole
     // program before throwing so callers see every offender at once.
@@ -219,7 +237,7 @@ private:
             return;
         }
 
-        PendingRule pending;
+        AtomRule pending;
         for (const auto& l : rule.body) {
             Atom ground_atom = apply_subst(l.atom, subst);
             if (!ground_atom.is_ground()) {
@@ -232,15 +250,30 @@ private:
             if (!head.is_ground()) {
                 throw GroundingError("internal: non-ground head after substitution in " + rule.to_string());
             }
-            derived_.add(head);
+            if (derived_.add(head) && collect_new_) new_atoms_.push_back(head);
             if (derived_.total() > limits_.max_atoms) {
                 throw GroundingError("grounding exceeded max_atoms limit");
             }
             pending.head = std::move(head);
         }
 
-        std::string key = pending.key();
-        if (seen_rules_.insert(std::move(key)).second) {
+        // Hash-bucketed dedupe (buckets live in the per-request arena):
+        // structurally identical instances collapse without building a key
+        // string per instance.
+        std::uint64_t h = instance_hash(pending);
+        auto [it, inserted] =
+            seen_rules_.try_emplace(h, Bucket(util::ArenaAllocator<std::uint32_t>(arena_)));
+        bool duplicate = false;
+        if (!inserted) {
+            for (std::uint32_t slot : it->second) {
+                if (pending_[slot] == pending) {
+                    duplicate = true;
+                    break;
+                }
+            }
+        }
+        if (!duplicate) {
+            it->second.push_back(static_cast<std::uint32_t>(pending_.size()));
             pending_.push_back(std::move(pending));
             if (pending_.size() > limits_.max_rules) {
                 throw GroundingError("grounding exceeded max_rules limit");
@@ -250,7 +283,10 @@ private:
     }
 
     bool evaluate_builtins(const std::vector<Comparison>& builtins, Subst& subst) {
-        std::vector<bool> done(builtins.size(), false);
+        // Arena-backed scratch: this runs once per candidate instance, so a
+        // heap vector here would be the hottest allocation in the grounder.
+        builtin_done_.assign(builtins.size(), 0);
+        auto& done = builtin_done_;
         bool progress = true;
         std::size_t remaining = builtins.size();
         while (progress && remaining > 0) {
@@ -301,6 +337,27 @@ private:
         return gp;
     }
 
+    // Atom-form finalize for compositional grounding: same negative-literal
+    // simplification as `finalize` (sound because the memo only composes
+    // fragments whose derivable sets are closed — see GroundingMemo), but
+    // rules stay as atoms so the caller can relocate their namespace.
+    SeededGrounding finalize_seeded() {
+        SeededGrounding out;
+        out.rules.reserve(pending_.size());
+        for (auto& pending : pending_) {
+            AtomRule rule;
+            rule.head = std::move(pending.head);
+            rule.pos = std::move(pending.pos);
+            rule.neg.reserve(pending.neg.size());
+            for (auto& a : pending.neg) {
+                if (derived_.contains(a)) rule.neg.push_back(std::move(a));
+            }
+            out.rules.push_back(std::move(rule));
+        }
+        out.new_atoms = std::move(new_atoms_);
+        return out;
+    }
+
     // One flush per grounding keeps the instantiation loops atomics-free.
     void publish(std::size_t rounds) const {
         if (!obs::metrics_enabled()) return;
@@ -315,17 +372,37 @@ private:
         round_counter.add(rounds);
     }
 
+    using Bucket = util::ArenaVector<std::uint32_t>;
+    using BucketAlloc = util::ArenaAllocator<std::pair<const std::uint64_t, Bucket>>;
+
     const Program& program_;
     GroundingLimits limits_;
+    util::Arena& arena_;
     DerivedAtoms derived_;
-    std::vector<PendingRule> pending_;
-    std::unordered_set<std::string> seen_rules_;
+    std::vector<AtomRule> pending_;
+    // instance hash -> slots into pending_ with that hash
+    std::unordered_map<std::uint64_t, Bucket, std::hash<std::uint64_t>, std::equal_to<>,
+                       BucketAlloc>
+        seen_rules_;
+    util::ArenaVector<char> builtin_done_;
+    bool collect_new_ = false;
+    std::vector<Atom> new_atoms_;
 };
 
 }  // namespace
 
 GroundProgram ground(const Program& program, const GroundingLimits& limits) {
-    return GrounderImpl(program, limits).run();
+    // The scratch arena is reset per grounding (and re-poisoned under
+    // ASan); everything the grounder returns is deep-copied into the
+    // GroundProgram, so nothing escapes the scope.
+    util::ArenaScope scope(util::grounding_arena());
+    return GrounderImpl(program, limits, util::grounding_arena()).run();
+}
+
+SeededGrounding ground_seeded(const Program& program, const std::vector<Atom>& seeds,
+                              const GroundingLimits& limits) {
+    util::ArenaScope scope(util::grounding_arena());
+    return GrounderImpl(program, limits, util::grounding_arena()).run_seeded(seeds);
 }
 
 }  // namespace agenp::asp

@@ -40,4 +40,36 @@ struct GroundingLimits {
 // Grounds `program`. Throws GroundingError on unsafe rules or blown limits.
 GroundProgram ground(const Program& program, const GroundingLimits& limits = {});
 
+// A ground rule still in atom (not interned-id) form. The grounding memo
+// stores fragments this way so their atoms can be relocated into a new
+// namespace before interning into a solver program.
+struct AtomRule {
+    std::optional<Atom> head;
+    std::vector<Atom> pos;
+    std::vector<Atom> neg;
+
+    friend bool operator==(const AtomRule& a, const AtomRule& b) {
+        return a.head == b.head && a.pos == b.pos && a.neg == b.neg;
+    }
+};
+
+struct SeededGrounding {
+    // Deduplicated rule instances produced by `program` (the seeds are NOT
+    // re-emitted — the caller already owns whatever derives them). Negative
+    // literals whose atom is underivable (given program + seeds) are
+    // already simplified away.
+    std::vector<AtomRule> rules;
+    // Heads derived beyond the seeds, in derivation order.
+    std::vector<Atom> new_atoms;
+};
+
+// Grounds `program` against a set of externally derived ground atoms: the
+// seeds participate in positive-body matching and count as derivable for
+// negative-literal simplification, but are not emitted as rules. This is
+// the compositional entry point used by the asg grounding memo, where the
+// seeds are the relocated derived atoms of already-grounded child
+// fragments. Throws like `ground`.
+SeededGrounding ground_seeded(const Program& program, const std::vector<Atom>& seeds,
+                              const GroundingLimits& limits = {});
+
 }  // namespace agenp::asp

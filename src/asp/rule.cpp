@@ -90,6 +90,19 @@ std::vector<Symbol> Rule::unsafe_variables() const {
     return out;
 }
 
+std::size_t Rule::hash() const {
+    auto mix = [](std::size_t h, std::size_t v) {
+        return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+    };
+    std::size_t h = head ? mix(0x517cc1b727220a95ull, head->hash()) : 0x2545f4914f6cdd1dull;
+    for (const auto& l : body) {
+        h = mix(h, l.atom.hash());
+        h = mix(h, l.positive ? 1u : 2u);
+    }
+    for (const auto& c : builtins) h = mix(h, c.hash());
+    return h;
+}
+
 std::string Rule::to_string() const {
     std::string out;
     if (head) out += head->to_string();

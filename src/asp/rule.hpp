@@ -64,6 +64,10 @@ struct Rule {
     friend bool operator==(const Rule& a, const Rule& b) {
         return a.head == b.head && a.body == b.body && a.builtins == b.builtins;
     }
+
+    // Structural hash (head, body literals in order, builtins in order);
+    // feeds the grounding memo's context fingerprint.
+    [[nodiscard]] std::size_t hash() const;
 };
 
 }  // namespace agenp::asp

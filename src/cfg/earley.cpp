@@ -230,4 +230,29 @@ std::vector<ParseNode> parse_trees(const Grammar& grammar, const TokenString& to
     return trees;
 }
 
+std::uint64_t subtree_hash(const ParseNode& node) {
+    // FNV-style fold over (production, child hashes); leaves get a fixed
+    // salt so arity differences always change the parent hash.
+    if (node.is_leaf()) return 0x9e3779b97f4a7c15ull;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(node.production) + 1);
+    mix(node.children.size());
+    for (const auto& child : node.children) mix(subtree_hash(child));
+    return h;
+}
+
+void subtree_shape(const ParseNode& node, std::vector<int>& out) {
+    if (node.is_leaf()) {
+        out.push_back(-1);
+        return;
+    }
+    out.push_back(node.production);
+    out.push_back(static_cast<int>(node.children.size()));
+    for (const auto& child : node.children) subtree_shape(child, out);
+}
+
 }  // namespace agenp::cfg

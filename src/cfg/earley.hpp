@@ -6,6 +6,8 @@
 // derivations (which would yield infinitely many trees) are cut.
 #pragma once
 
+#include <cstdint>
+
 #include "cfg/grammar.hpp"
 
 namespace agenp::cfg {
@@ -35,5 +37,18 @@ bool recognizes(const Grammar& grammar, const TokenString& tokens);
 // not in the CFG's language.
 std::vector<ParseNode> parse_trees(const Grammar& grammar, const TokenString& tokens,
                                    const ParseOptions& options = {});
+
+// Structural hash of a parse subtree: H(production id ⧺ child hashes),
+// with a fixed salt for terminal leaves. Two subtrees hash equal iff they
+// apply the same productions in the same shape — exactly the inputs that
+// determine the instantiated G[PT] fragment (leaf spellings only reach the
+// annotation through the production choice). Position-independent, so the
+// grounding memo can share fragments across parse positions and requests.
+std::uint64_t subtree_hash(const ParseNode& node);
+
+// The exact preorder production shape behind `subtree_hash` (leaves
+// contribute -1, nonterminals their production id followed by the child
+// count). Memo entries store this to rule out 64-bit hash collisions.
+void subtree_shape(const ParseNode& node, std::vector<int>& out);
 
 }  // namespace agenp::cfg

@@ -470,6 +470,8 @@ int cmd_serve(const ServeCliOptions& cli, std::istream& in, std::ostream& out) {
     router_options.service.use_cache = cli.use_cache;
     if (cli.cache_mb > 0) router_options.service.cache.capacity_bytes = cli.cache_mb << 20;
     if (cli.cache_shards > 0) router_options.service.cache.shards = cli.cache_shards;
+    router_options.service.use_memo = cli.use_memo;
+    if (cli.memo_mb > 0) router_options.service.memo.capacity_bytes = cli.memo_mb << 20;
     router_options.service.trace.slow_threshold_us = cli.trace_slow_ms * 1000;
     router_options.service.trace.sample_every = cli.trace_sample;
     router_options.service.audit = audit.get();
@@ -831,12 +833,14 @@ int cmd_loadgen(const LoadgenCliOptions& cli, std::ostream& out) {
     options.use_cache = cli.use_cache;
     if (cli.cache_mb > 0) options.cache.capacity_bytes = cli.cache_mb << 20;
     if (cli.cache_shards > 0) options.cache.shards = cli.cache_shards;
+    options.use_memo = cli.use_memo;
+    if (cli.memo_mb > 0) options.memo.capacity_bytes = cli.memo_mb << 20;
     srv::DecisionService service(ams, options);
 
     auto report = srv::run_loadgen(service, srv::demo_workload(cli.distinct), load);
     out << "loadgen: " << cli.clients << " clients x " << cli.requests_per_client << " requests, "
         << cli.distinct << " distinct, " << cli.threads << " threads, cache "
-        << (cli.use_cache ? "on" : "off") << "\n";
+        << (cli.use_cache ? "on" : "off") << ", memo " << (cli.use_memo ? "on" : "off") << "\n";
     out << report.render_text();
     out << "LOADGEN_JSON " << report.to_json() << "\n";
     return 0;
@@ -1028,12 +1032,15 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             serve.state_dir = take_flag(args, "--state-dir", "");
             serve.snapshot_every_s = std::stoull(take_flag(args, "--snapshot-every", "0"));
             serve.cache_shards = std::stoull(take_flag(args, "--cache-shards", "0"));
+            serve.use_memo = !take_bool_flag(args, "--no-memo");
+            serve.memo_mb = std::stoull(take_flag(args, "--memo-mb", "32"));
             serve.prof_hz = std::stoull(take_flag(args, "--prof-hz", "0"));
             if (serve.prof_hz > 1000) throw CliError("--prof-hz expects 0..1000");
             if (args.size() != 1) {
                 throw CliError(
                     "usage: agenp serve <grammar.asg> [--context ctx.lp] [--threads N] "
-                    "[--cache-mb M] [--no-cache] [--cache-shards N] [--trace-slow-ms MS] "
+                    "[--cache-mb M] [--no-cache] [--cache-shards N] [--no-memo] "
+                    "[--memo-mb M] [--trace-slow-ms MS] "
                     "[--trace-sample N] [--stats-every SEC] [--listen PORT] [--replicas N] "
                     "[--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC] "
                     "[--audit-log FILE] [--audit-max-mb M] [--audit-sample N] "
@@ -1051,6 +1058,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
             load.cache_mb = std::stoull(take_flag(args, "--cache-mb", "64"));
             load.use_cache = !take_bool_flag(args, "--no-cache");
             load.cache_shards = std::stoull(take_flag(args, "--cache-shards", "0"));
+            load.use_memo = !take_bool_flag(args, "--no-memo");
+            load.memo_mb = std::stoull(take_flag(args, "--memo-mb", "32"));
             auto connect = take_flag(args, "--connect", "");
             if (!connect.empty()) {
                 auto colon = connect.rfind(':');
@@ -1065,7 +1074,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out, std::ostream& e
                 throw CliError(
                     "usage: agenp loadgen [--threads N] [--clients N] [--requests N] "
                     "[--distinct K] [--cache-mb M] [--no-cache] [--cache-shards N] "
-                    "[--connect HOST:PORT]");
+                    "[--no-memo] [--memo-mb M] [--connect HOST:PORT]");
             }
             return cmd_loadgen(load, out);
         }

@@ -7,13 +7,15 @@
 //   agenp lint <file.asg|file.lp> [--context ctx.lp] [--json] [--strict]
 //   agenp quickstart
 //   agenp serve <grammar.asg> [--context ctx.lp] [--threads N] [--cache-mb M] [--no-cache]
-//               [--cache-shards N] [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
+//               [--cache-shards N] [--no-memo] [--memo-mb M]
+//               [--trace-slow-ms MS] [--trace-sample N] [--stats-every SEC]
 //               [--listen PORT] [--replicas N]
 //               [--metrics-listen PORT] [--metrics-push HOST:PORT] [--metrics-every SEC]
 //               [--audit-log FILE] [--audit-max-mb M] [--audit-sample N]
 //               [--state-dir DIR] [--snapshot-every SEC]
 //   agenp loadgen [--threads N] [--clients N] [--requests N] [--distinct K]
-//                 [--cache-mb M] [--no-cache] [--cache-shards N] [--connect HOST:PORT]
+//                 [--cache-mb M] [--no-cache] [--cache-shards N]
+//                 [--no-memo] [--memo-mb M] [--connect HOST:PORT]
 //
 // Global flags (any command):
 //   --stats            print the metrics-registry dump after the command
@@ -146,6 +148,10 @@ struct ServeCliOptions {
     // Decision-cache shard count (0 = the CacheOptions default of 16;
     // rounded up to a power of two).
     std::size_t cache_shards = 0;
+    // Grounding memo on the cache-miss path (--no-memo disables,
+    // --memo-mb sizes the budget). See docs/PERFORMANCE.md.
+    bool use_memo = true;
+    std::size_t memo_mb = 32;
     // Continuous CPU profiling (--prof-hz HZ, 0 = off): start the SIGPROF
     // sampler at HZ for the life of the process. Independently of this
     // flag, `!prof start|stop|status` toggles profiling at runtime and
@@ -181,6 +187,8 @@ struct LoadgenCliOptions {
     std::size_t cache_mb = 64;
     bool use_cache = true;
     std::size_t cache_shards = 0;  // 0 = the CacheOptions default of 16
+    bool use_memo = true;          // --no-memo: ground+solve every cache miss
+    std::size_t memo_mb = 32;      // grounding-memo budget (in-process mode)
     // Non-empty host: drive a remote `agenp serve --listen` server over
     // TCP instead of an in-process service.
     std::string connect_host;

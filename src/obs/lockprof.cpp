@@ -36,6 +36,8 @@ struct LockRankEntry {
 constexpr LockRankEntry kLockRanks[] = {
     {"srv.model", 10},       // DecisionService state_mu_ (shared: decide, excl: update)
     {"srv.cache_shard", 20},  // DecisionCache shard locks, taken under srv.model
+    {"asg.memo", 25},         // grounding-memo shards, taken under srv.model; never
+                              // nested with srv.cache_shard (probe vs decide paths)
     {"srv.monitor", 30},      // feedback monitor, taken under srv.model
     {"srv.audit", 40},        // audit log rotation/append
     {"srv.conn.outbox", 50},  // per-connection worker->loop handoff
@@ -43,7 +45,7 @@ constexpr LockRankEntry kLockRanks[] = {
 };
 
 // Per-thread stack of held ranked locks. Depth is tiny (the hierarchy is
-// six names and nesting never exceeds three); a fixed array keeps the
+// seven names and nesting never exceeds three); a fixed array keeps the
 // bookkeeping allocation-free.
 struct HeldLock {
     const void* mu;

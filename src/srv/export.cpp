@@ -108,6 +108,14 @@ std::string serve_stats_json(const AmsRouter& router, const TcpServer* server,
            ",\"bytes\":" + std::to_string(stats.cache.bytes) +
            ",\"evictions\":" + std::to_string(stats.cache.evictions) +
            ",\"invalidations\":" + std::to_string(stats.cache.invalidations) + "}";
+    out += ",\"memo\":{\"hits\":" + std::to_string(stats.memo.hits) +
+           ",\"misses\":" + std::to_string(stats.memo.misses) +
+           ",\"sat_hits\":" + std::to_string(stats.memo.sat_hits) +
+           ",\"entries\":" + std::to_string(stats.memo.entries) +
+           ",\"bytes\":" + std::to_string(stats.memo.bytes) +
+           ",\"evictions\":" + std::to_string(stats.memo.evictions) +
+           ",\"invalidations\":" + std::to_string(stats.memo.invalidations) +
+           ",\"gate_fallbacks\":" + std::to_string(stats.memo.gate_fallbacks) + "}";
     out += ",\"locks\":" + obs::locks().render_json();
     out += ",\"model_version\":" + std::to_string(rs.model_version);
     out += rs.versions_agree ? ",\"versions_agree\":true" : ",\"versions_agree\":false";
@@ -181,6 +189,22 @@ obs::Exposition serve_exposition(const AmsRouter& router, bool draining,
                            "Decision-cache capacity evictions across replicas");
     exposition.add_counter("srv.cache.invalidations", {}, rs.total.cache.invalidations,
                            "Decision-cache version invalidations across replicas");
+    exposition.add_counter("memo.hits", {}, rs.total.memo.hits,
+                           "Grounding-memo fragment hits across replicas");
+    exposition.add_counter("memo.misses", {}, rs.total.memo.misses,
+                           "Grounding-memo fragment misses across replicas");
+    exposition.add_counter("memo.sat_hits", {}, rs.total.memo.sat_hits,
+                           "Grounding-memo verdict hits (solver skipped) across replicas");
+    exposition.add_gauge("memo.entries", {}, static_cast<std::int64_t>(rs.total.memo.entries),
+                         "Grounding-memo entries across replicas");
+    exposition.add_gauge("memo.bytes", {}, static_cast<std::int64_t>(rs.total.memo.bytes),
+                         "Grounding-memo footprint in bytes across replicas");
+    exposition.add_counter("memo.evictions", {}, rs.total.memo.evictions,
+                           "Grounding-memo capacity evictions across replicas");
+    exposition.add_counter("memo.invalidations", {}, rs.total.memo.invalidations,
+                           "Grounding-memo model-version invalidations across replicas");
+    exposition.add_counter("memo.gate_fallbacks", {}, rs.total.memo.gate_fallbacks,
+                           "Queries where the memoizability gate forced the slow path");
     for (std::size_t i = 0; i < rs.replicas.size(); ++i) {
         exposition.add_gauge("srv.replica.model_version", {{"replica", std::to_string(i)}},
                              static_cast<std::int64_t>(rs.replicas[i].model_version),

@@ -177,6 +177,15 @@ RouterStats AmsRouter::snapshot_stats() const {
         out.total.cache.invalidations += replica.service.cache.invalidations;
         out.total.cache.entries += replica.service.cache.entries;
         out.total.cache.bytes += replica.service.cache.bytes;
+        out.total.memo.hits += replica.service.memo.hits;
+        out.total.memo.misses += replica.service.memo.misses;
+        out.total.memo.insertions += replica.service.memo.insertions;
+        out.total.memo.evictions += replica.service.memo.evictions;
+        out.total.memo.invalidations += replica.service.memo.invalidations;
+        out.total.memo.sat_hits += replica.service.memo.sat_hits;
+        out.total.memo.gate_fallbacks += replica.service.memo.gate_fallbacks;
+        out.total.memo.entries += replica.service.memo.entries;
+        out.total.memo.bytes += replica.service.memo.bytes;
 
         out.replicas.push_back(std::move(replica));
     }

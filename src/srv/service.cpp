@@ -34,6 +34,13 @@ DecisionService::DecisionService(framework::AutonomousManagedSystem& ams, Servic
     if (options_.queue_capacity == 0) options_.queue_capacity = 1;
     if (options_.trace.max_captured == 0) options_.trace.max_captured = 1;
     if (options_.id_stride == 0) options_.id_stride = 1;
+    if (options_.use_memo) {
+        // Install before the workers spawn so no decision ever races the
+        // memo pointer; stamped with the model version in force now.
+        memo_ = std::make_unique<asg::GroundingMemo>(options_.memo);
+        memo_->set_epoch(ams_.model_version());
+        ams_.set_grounding_memo(memo_.get());
+    }
     workers_.reserve(options_.threads);
     for (std::size_t i = 0; i < options_.threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
@@ -47,6 +54,8 @@ DecisionService::~DecisionService() {
     }
     queue_cv_.notify_all();
     for (auto& w : workers_) w.join();
+    // The AMS outlives the service; don't leave it pointing at our memo.
+    if (memo_) ams_.set_grounding_memo(nullptr);
 }
 
 std::future<Decision> DecisionService::submit(cfg::TokenString request,
@@ -141,6 +150,10 @@ bool DecisionService::give_feedback(std::size_t monitor_index, bool should_permi
 void DecisionService::update_model(const std::function<void()>& fn) {
     obs::ProfiledWriteLock lock(state_mu_);
     fn();
+    // Lazy invalidation, like the decision cache: stamping the new model
+    // version here (no worker holds the shared lock) makes every fragment
+    // and verdict inserted under the old version miss from now on.
+    if (memo_) memo_->set_epoch(ams_.model_version());
 }
 
 std::size_t DecisionService::queue_depth() const {
@@ -162,6 +175,7 @@ ServiceStats DecisionService::snapshot_stats() const {
         out.queue_depth = queue_.size();
     }
     out.cache = cache_.stats();
+    if (memo_) out.memo = memo_->stats();
     return out;
 }
 

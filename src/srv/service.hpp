@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "agenp/ams.hpp"
+#include "asg/memo.hpp"
 #include "obs/lockprof.hpp"
 #include "obs/reqtrace.hpp"
 #include "srv/cache.hpp"
@@ -78,6 +79,12 @@ struct ServiceOptions {
     std::size_t queue_capacity = 1024;
     bool use_cache = true;
     CacheOptions cache;
+    // Grounding memo on the cache-miss path (asg/memo.hpp): repeated
+    // grammar fragments ground once and decisive solver verdicts are
+    // recalled per (parse tree, context, model version). Decisions are
+    // identical with it on or off; disable to measure or to bound memory.
+    bool use_memo = true;
+    asg::MemoOptions memo;
     // Deadline applied to requests submitted without their own; zero means
     // no deadline.
     std::chrono::microseconds default_timeout{0};
@@ -131,6 +138,7 @@ struct ServiceStats {
     std::uint64_t traces_captured = 0;
     std::size_t queue_depth = 0;
     CacheStats cache;
+    asg::MemoStats memo;  // zeros when use_memo is off
 };
 
 // A span tree the tail sampler decided to keep.
@@ -192,6 +200,8 @@ public:
     // Mutable access exists for state restore (AmsRouter::restore_state)
     // only; everything in-band goes through lookup/insert on the workers.
     [[nodiscard]] DecisionCache& cache() { return cache_; }
+    // Null when use_memo is off.
+    [[nodiscard]] const asg::GroundingMemo* grounding_memo() const { return memo_.get(); }
     [[nodiscard]] const ServiceOptions& options() const { return options_; }
 
     // Recent-request ring (always on; see srv/flight.hpp).
@@ -227,6 +237,9 @@ private:
     framework::AutonomousManagedSystem& ams_;
     ServiceOptions options_;
     DecisionCache cache_;
+    // Owned grounding memo, installed on the AMS's PDP for the service's
+    // lifetime; epoch-stamped from update_model under the model write lock.
+    std::unique_ptr<asg::GroundingMemo> memo_;
     FlightRecorder flight_;
 
     obs::ProfiledSharedMutex state_mu_{"srv.model"};

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace agenp::util {
+namespace {
+
+TEST(Arena, AllocReturnsWritableAlignedMemory) {
+    Arena arena;
+    void* p = arena.alloc(64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t), 0u);
+    std::memset(p, 0xAB, 64);  // ASan would flag an undersized allocation
+    EXPECT_EQ(arena.bytes_allocated(), 64u);
+    EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(Arena, HonorsExplicitAlignment) {
+    Arena arena;
+    arena.alloc(1, 1);  // knock the cursor off alignment
+    for (std::size_t align : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        void* p = arena.alloc(8, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << "align " << align;
+    }
+}
+
+TEST(Arena, ZeroSizedAllocationsAreDistinct) {
+    Arena arena;
+    void* a = arena.alloc(0);
+    void* b = arena.alloc(0);
+    EXPECT_NE(a, b);
+}
+
+TEST(Arena, GrowsIntoAdditionalChunks) {
+    Arena arena(Arena::kDefaultChunkBytes);
+    std::set<void*> seen;
+    for (int i = 0; i < 100; ++i) {
+        void* p = arena.alloc(4096);
+        std::memset(p, i, 4096);
+        EXPECT_TRUE(seen.insert(p).second) << "allocation " << i << " overlapped";
+    }
+    EXPECT_GT(arena.chunk_count(), 1u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedChunk) {
+    Arena arena;  // 64 KB chunks
+    void* small = arena.alloc(16);
+    void* big = arena.alloc(1 << 20);  // 1 MB, far over the chunk size
+    std::memset(big, 0x5A, 1 << 20);
+    // Later small allocations still work, and the arena never hands out
+    // overlapping memory.
+    void* after = arena.alloc(16);
+    EXPECT_NE(small, after);
+    EXPECT_NE(big, after);
+    EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(Arena, OversizedChunkStaysReachableAfterReset) {
+    Arena arena;
+    arena.alloc(1 << 20);
+    std::size_t reserved = arena.bytes_reserved();
+    arena.reset();
+    // The next oversized request reuses the already-reserved big chunk
+    // instead of mallocing another one.
+    void* p = arena.alloc(1 << 20);
+    std::memset(p, 0x33, 1 << 20);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutFreeing) {
+    Arena arena;
+    for (int i = 0; i < 50; ++i) arena.alloc(4096);
+    std::size_t reserved = arena.bytes_reserved();
+    std::size_t chunks = arena.chunk_count();
+    arena.reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+    EXPECT_EQ(arena.chunk_count(), chunks);
+    // The recycled memory is fully writable again.
+    for (int i = 0; i < 50; ++i) std::memset(arena.alloc(4096), i, 4096);
+    EXPECT_EQ(arena.chunk_count(), chunks);  // no new chunks needed
+    EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(Arena, ReleaseFreesEverything) {
+    Arena arena;
+    arena.alloc(4096);
+    arena.release();
+    EXPECT_EQ(arena.chunk_count(), 0u);
+    EXPECT_EQ(arena.bytes_reserved(), 0u);
+    // Still usable afterwards.
+    std::memset(arena.alloc(128), 1, 128);
+}
+
+TEST(Arena, ArenaVectorGrowsAndReadsBack) {
+    Arena arena;
+    ArenaVector<int> v{ArenaAllocator<int>(arena)};
+    for (int i = 0; i < 10000; ++i) v.push_back(i);
+    for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+    // Deallocate is a no-op: growth left the old buffers in the arena.
+    EXPECT_GT(arena.bytes_allocated(), 10000 * sizeof(int));
+}
+
+TEST(Arena, ArenaScopeResetsOnEntryAndExit) {
+    Arena arena;
+    arena.alloc(100);
+    {
+        ArenaScope scope(arena);
+        EXPECT_EQ(arena.bytes_allocated(), 0u);  // reset on entry
+        arena.alloc(200);
+    }
+    EXPECT_EQ(arena.bytes_allocated(), 0u);  // reset on exit
+    EXPECT_EQ(arena.resets(), 2u);
+}
+
+TEST(Arena, RepeatedScopesReuseMemoryLikeTheGrounder) {
+    // The grounder's usage shape: per-request scope, ArenaVector scratch,
+    // repeat. After the first request warms the arena, later requests
+    // should not grow the reservation.
+    Arena arena;
+    std::size_t reserved_after_first = 0;
+    for (int request = 0; request < 20; ++request) {
+        ArenaScope scope(arena);
+        ArenaVector<std::uint64_t> scratch{ArenaAllocator<std::uint64_t>(arena)};
+        for (std::uint64_t i = 0; i < 2000; ++i) scratch.push_back(i * i);
+        ASSERT_EQ(scratch[1999], 1999ull * 1999ull);
+        if (request == 0) reserved_after_first = arena.bytes_reserved();
+    }
+    EXPECT_EQ(arena.bytes_reserved(), reserved_after_first);
+}
+
+TEST(Arena, ThreadLocalGroundingArenaIsPerThread) {
+    Arena* main_arena = &grounding_arena();
+    Arena* other = nullptr;
+    std::thread t([&] { other = &grounding_arena(); });
+    t.join();
+    EXPECT_NE(main_arena, nullptr);
+    EXPECT_NE(other, nullptr);
+    EXPECT_NE(main_arena, other);
+}
+
+}  // namespace
+}  // namespace agenp::util

@@ -428,6 +428,33 @@ TEST(CmdLoadgen, CacheShardsFlagParses) {
     EXPECT_NE(out.str().find("LOADGEN_JSON {"), std::string::npos);
 }
 
+TEST(CmdLoadgen, MemoFlagsParse) {
+    // --no-memo and --memo-mb reach the in-process service options; the
+    // report line says which mode ran.
+    std::ostringstream out, err;
+    EXPECT_EQ(run({"loadgen", "--clients", "2", "--requests", "10", "--no-memo"}, out, err), 0)
+        << err.str();
+    EXPECT_NE(out.str().find("memo off"), std::string::npos);
+    std::ostringstream out2, err2;
+    EXPECT_EQ(run({"loadgen", "--clients", "2", "--requests", "10", "--memo-mb", "8"}, out2,
+                  err2),
+              0)
+        << err2.str();
+    EXPECT_NE(out2.str().find("memo on"), std::string::npos);
+}
+
+TEST(CmdServe, UsageMentionsMemoFlags) {
+    std::ostringstream out, err;
+    EXPECT_NE(run({"serve"}, out, err), 0);
+    EXPECT_NE(err.str().find("--no-memo"), std::string::npos);
+    EXPECT_NE(err.str().find("--memo-mb"), std::string::npos);
+    // The loadgen usage line carries them too.
+    std::ostringstream out2, err2;
+    EXPECT_NE(run({"loadgen", "--bogus-flag"}, out2, err2), 0);
+    EXPECT_NE(err2.str().find("--no-memo"), std::string::npos);
+    EXPECT_NE(err2.str().find("--memo-mb"), std::string::npos);
+}
+
 TEST(CmdLoadgen, InProcessReportCarriesDroppedCount) {
     LoadgenCliOptions options;
     options.threads = 2;

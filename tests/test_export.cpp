@@ -505,12 +505,19 @@ TEST(ServeMetricsTest, LiveScrapeServesValidExpositionHealthzAndStatz) {
     EXPECT_NE(metrics->body.find("agenp_cost_ewma_us"), std::string::npos);
     EXPECT_NE(metrics->body.find("check=\"srv.cache_probe\""), std::string::npos);
 
+    // Grounding-memo gauges/counters (asg/memo.hpp) export alongside the
+    // decision-cache families.
+    EXPECT_NE(metrics->body.find("agenp_memo_hits"), std::string::npos);
+    EXPECT_NE(metrics->body.find("agenp_memo_sat_hits"), std::string::npos);
+    EXPECT_NE(metrics->body.find("agenp_memo_entries"), std::string::npos);
+
     auto statz = get(metrics_port.load(), "/statz");
     ASSERT_TRUE(statz.has_value());
     EXPECT_EQ(statz->status, 200);
     auto stats = agenp::srv::parse_json(statz->body);
     ASSERT_TRUE(stats.has_value()) << statz->body;
     EXPECT_NE(stats->find("cache"), nullptr);
+    EXPECT_NE(stats->find("memo"), nullptr);
     EXPECT_NE(stats->find("locks"), nullptr);
     EXPECT_NE(stats->find("window"), nullptr);
     EXPECT_NE(stats->find("costs"), nullptr);

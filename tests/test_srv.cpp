@@ -271,6 +271,90 @@ TEST(DecisionService, CacheOffEquivalence) {
     EXPECT_EQ(with_cache, without_cache);
 }
 
+TEST(DecisionService, MemoOffEquivalence) {
+    // The grounding memo must never change a decision: the same stream
+    // with the memo on and off, decision cache disabled so every request
+    // takes the miss path the memo accelerates.
+    util::Rng rng(11);
+    std::vector<cfg::TokenString> stream;
+    for (int i = 0; i < 80; ++i) {
+        stream.push_back(cfg::tokenize("do task_" + std::to_string(rng.uniform(0, 9))));
+    }
+    std::vector<bool> with_memo, without_memo;
+    for (bool use_memo : {true, false}) {
+        auto ams = make_demo_ams(10, /*context_weight=*/0);
+        ServiceOptions options = service_options(4, 1024, /*use_cache=*/false);
+        options.use_memo = use_memo;
+        DecisionService service(ams, options);
+        std::vector<std::future<Decision>> futures;
+        futures.reserve(stream.size());
+        for (const auto& r : stream) futures.push_back(service.submit(r));
+        for (auto& f : futures) {
+            (use_memo ? with_memo : without_memo).push_back(f.get().permitted());
+        }
+        ServiceStats stats = service.snapshot_stats();
+        if (use_memo) {
+            EXPECT_GT(stats.memo.hits + stats.memo.misses, 0u);
+            EXPECT_GT(stats.memo.sat_hits, 0u);  // repeats served by verdict
+        } else {
+            EXPECT_EQ(stats.memo.hits + stats.memo.misses, 0u);
+        }
+    }
+    EXPECT_EQ(with_memo, without_memo);
+}
+
+TEST(DecisionService, MemoEpochFollowsModelAdoption) {
+    auto ams = make_demo_ams(2, /*context_weight=*/0);
+    ServiceOptions options = service_options(2, 1024, /*use_cache=*/false);
+    DecisionService service(ams, options);
+    ASSERT_NE(service.grounding_memo(), nullptr);
+    EXPECT_TRUE(service.submit(cfg::tokenize("do task_0")).get().permitted());
+    EXPECT_EQ(service.grounding_memo()->epoch(), ams.model_version());
+
+    service.update_model([&] {
+        std::string text = "request -> \"do\" task { :- requires(L)@2, maxloa(M), L > M. }\n";
+        text += "task -> \"task_0\" { requires(5). }\n";
+        text += "task -> \"task_1\" { requires(5). }\n";
+        ams.representations().store(asg::AnswerSetGrammar::parse(text), "test-adoption");
+    });
+    // The memo epoch tracked the version bump, so entries grounded under
+    // the old model cannot be served for the new one.
+    EXPECT_EQ(service.grounding_memo()->epoch(), ams.model_version());
+    EXPECT_FALSE(service.submit(cfg::tokenize("do task_0")).get().permitted());
+    // Under the new model the request re-grounds (stale entries invalidate
+    // lazily) and the fresh verdict is correct on the repeat too.
+    EXPECT_FALSE(service.submit(cfg::tokenize("do task_0")).get().permitted());
+}
+
+TEST(ConcurrentSubmitters, MemoOnAgainstSharedMemo) {
+    // TSan-relevant: many workers decide through one sharded memo while
+    // the decision cache is off, so every request exercises probe/insert.
+    auto ams = make_demo_ams(8, /*context_weight=*/0);
+    ServiceOptions options = service_options(4, 1 << 14, /*use_cache=*/false);
+    DecisionService service(ams, options);
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 100;
+    std::atomic<std::uint64_t> wrong{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            util::Rng rng(static_cast<std::uint64_t>(c) + 300);
+            for (int i = 0; i < kPerClient; ++i) {
+                auto task = static_cast<std::size_t>(rng.uniform(0, 7));
+                Decision d =
+                    service.submit(cfg::tokenize("do task_" + std::to_string(task))).get();
+                if (d.permitted() != demo_expected(task)) wrong.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(wrong.load(), 0u);
+    ServiceStats stats = service.snapshot_stats();
+    EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients) * kPerClient);
+    EXPECT_GT(stats.memo.sat_hits, 0u);
+}
+
 TEST(DecisionService, ConcurrentSubmittersAgainstOneCache) {
     auto ams = make_demo_ams(8, /*context_weight=*/0);
     DecisionService service(ams, service_options(4, 1 << 14));
@@ -444,6 +528,7 @@ TEST(DecisionService, FlightRingSeesEveryRequest) {
 TEST(DecisionService, SampledCaptureProducesSpanTree) {
     auto ams = make_demo_ams(4, /*context_weight=*/0);
     ServiceOptions options = service_options(2, 1024, /*use_cache=*/false);
+    options.use_memo = false;  // keep the full ground+solve path in every trace
     options.trace.sample_every = 1;  // capture everything
     options.trace.max_captured = 64;
     DecisionService service(ams, options);
